@@ -1,0 +1,305 @@
+//! The kernel suite: the five ML primitives from the paper's compiler
+//! lessons, with reference implementations and workload generators.
+
+use treu_math::rng::SplitMix64;
+
+/// A kernel instance (shape included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// `C[m,n] = A[m,k] * B[k,n]`.
+    MatMul {
+        /// Rows of A/C.
+        m: usize,
+        /// Inner dimension.
+        k: usize,
+        /// Columns of B/C.
+        n: usize,
+    },
+    /// `C[m,n] = A^T[m,k] * B[k,n]` with `A` stored `k x m` (transposed
+    /// access on the left operand).
+    MatMulT {
+        /// Rows of the logical A/C.
+        m: usize,
+        /// Inner dimension.
+        k: usize,
+        /// Columns of B/C.
+        n: usize,
+    },
+    /// `y[m] = A[m,k] * x[k]`.
+    MatVec {
+        /// Rows.
+        m: usize,
+        /// Columns.
+        k: usize,
+    },
+    /// 1-D valid convolution of a length-`len` signal with a `k`-tap filter.
+    Conv1d {
+        /// Signal length.
+        len: usize,
+        /// Filter taps.
+        k: usize,
+    },
+    /// 2-D valid convolution of an `h x w` image with a `k x k` filter.
+    Conv2d {
+        /// Image height.
+        h: usize,
+        /// Image width.
+        w: usize,
+        /// Filter side.
+        k: usize,
+    },
+}
+
+/// Input/output buffers for one kernel execution.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// First operand, row-major.
+    pub a: Vec<f64>,
+    /// Second operand.
+    pub b: Vec<f64>,
+    /// Output buffer (zeroed).
+    pub c: Vec<f64>,
+}
+
+impl Kernel {
+    /// The paper's five-kernel suite at a laptop-scale default size.
+    pub fn suite() -> [Kernel; 5] {
+        [
+            Kernel::MatMul { m: 96, k: 96, n: 96 },
+            Kernel::MatMulT { m: 96, k: 96, n: 96 },
+            Kernel::MatVec { m: 256, k: 256 },
+            Kernel::Conv1d { len: 4096, k: 16 },
+            Kernel::Conv2d { h: 64, w: 64, k: 5 },
+        ]
+    }
+
+    /// Short stable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kernel::MatMul { .. } => "matmul",
+            Kernel::MatMulT { .. } => "matmul_t",
+            Kernel::MatVec { .. } => "matvec",
+            Kernel::Conv1d { .. } => "conv1d",
+            Kernel::Conv2d { .. } => "conv2d",
+        }
+    }
+
+    /// Floating-point operations (multiply-adds counted as 2).
+    pub fn flops(&self) -> u64 {
+        match *self {
+            Kernel::MatMul { m, k, n } | Kernel::MatMulT { m, k, n } => 2 * (m * k * n) as u64,
+            Kernel::MatVec { m, k } => 2 * (m * k) as u64,
+            Kernel::Conv1d { len, k } => 2 * ((len - k + 1) * k) as u64,
+            Kernel::Conv2d { h, w, k } => 2 * ((h - k + 1) * (w - k + 1) * k * k) as u64,
+        }
+    }
+
+    /// Minimum bytes that must cross memory (each input read once, output
+    /// written once) — the roofline's traffic floor.
+    pub fn min_bytes(&self) -> u64 {
+        let (ra, rb, wc) = match *self {
+            Kernel::MatMul { m, k, n } | Kernel::MatMulT { m, k, n } => (m * k, k * n, m * n),
+            Kernel::MatVec { m, k } => (m * k, k, m),
+            Kernel::Conv1d { len, k } => (len, k, len - k + 1),
+            Kernel::Conv2d { h, w, k } => (h * w, k * k, (h - k + 1) * (w - k + 1)),
+        };
+        8 * (ra + rb + wc) as u64
+    }
+
+    /// Arithmetic intensity in FLOPs per byte.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.flops() as f64 / self.min_bytes() as f64
+    }
+
+    /// Buffer lengths `(|a|, |b|, |c|)`.
+    pub fn buffer_sizes(&self) -> (usize, usize, usize) {
+        match *self {
+            Kernel::MatMul { m, k, n } | Kernel::MatMulT { m, k, n } => (m * k, k * n, m * n),
+            Kernel::MatVec { m, k } => (m * k, k, m),
+            Kernel::Conv1d { len, k } => (len, k, len - k + 1),
+            Kernel::Conv2d { h, w, k } => (h * w, k * k, (h - k + 1) * (w - k + 1)),
+        }
+    }
+
+    /// Generates a deterministic random workload.
+    pub fn workload(&self, rng: &mut SplitMix64) -> Workload {
+        let (sa, sb, sc) = self.buffer_sizes();
+        let mut a = vec![0.0; sa];
+        let mut b = vec![0.0; sb];
+        treu_math::rng::fill_uniform(rng, &mut a, -1.0, 1.0);
+        treu_math::rng::fill_uniform(rng, &mut b, -1.0, 1.0);
+        Workload { a, b, c: vec![0.0; sc] }
+    }
+
+    /// Reference (naive, obviously-correct) execution into `w.c`.
+    pub fn reference(&self, w: &mut Workload) {
+        w.c.fill(0.0);
+        match *self {
+            Kernel::MatMul { m, k, n } => {
+                for i in 0..m {
+                    for p in 0..k {
+                        let aip = w.a[i * k + p];
+                        for j in 0..n {
+                            w.c[i * n + j] += aip * w.b[p * n + j];
+                        }
+                    }
+                }
+            }
+            Kernel::MatMulT { m, k, n } => {
+                // A stored k x m; logical A[i][p] = a[p*m + i].
+                for i in 0..m {
+                    for p in 0..k {
+                        let aip = w.a[p * m + i];
+                        for j in 0..n {
+                            w.c[i * n + j] += aip * w.b[p * n + j];
+                        }
+                    }
+                }
+            }
+            Kernel::MatVec { m, k } => {
+                for i in 0..m {
+                    let mut acc = 0.0;
+                    for p in 0..k {
+                        acc += w.a[i * k + p] * w.b[p];
+                    }
+                    w.c[i] = acc;
+                }
+            }
+            Kernel::Conv1d { len, k } => {
+                for t in 0..len - k + 1 {
+                    let mut acc = 0.0;
+                    for p in 0..k {
+                        acc += w.a[t + p] * w.b[p];
+                    }
+                    w.c[t] = acc;
+                }
+            }
+            Kernel::Conv2d { h, w: iw, k } => {
+                let oh = h - k + 1;
+                let ow = iw - k + 1;
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let mut acc = 0.0;
+                        for dy in 0..k {
+                            for dx in 0..k {
+                                acc += w.a[(y + dy) * iw + (x + dx)] * w.b[dy * k + dx];
+                            }
+                        }
+                        w.c[y * ow + x] = acc;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Logical output dimensions `(rows, cols)` used by the tiled executor.
+    pub fn output_shape(&self) -> (usize, usize) {
+        match *self {
+            Kernel::MatMul { m, n, .. } | Kernel::MatMulT { m, n, .. } => (m, n),
+            Kernel::MatVec { m, .. } => (m, 1),
+            Kernel::Conv1d { len, k } => (1, len - k + 1),
+            Kernel::Conv2d { h, w, k } => (h - k + 1, w - k + 1),
+        }
+    }
+
+    /// Reduction depth (the `k` loop the schedule may tile).
+    pub fn reduction_len(&self) -> usize {
+        match *self {
+            Kernel::MatMul { k, .. } | Kernel::MatMulT { k, .. } | Kernel::MatVec { k, .. } => k,
+            Kernel::Conv1d { k, .. } => k,
+            Kernel::Conv2d { k, .. } => k * k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_and_bytes_positive_for_suite() {
+        for kern in Kernel::suite() {
+            assert!(kern.flops() > 0, "{}", kern.name());
+            assert!(kern.min_bytes() > 0);
+            assert!(kern.arithmetic_intensity() > 0.0);
+        }
+    }
+
+    #[test]
+    fn matmul_is_compute_intense_matvec_is_not() {
+        let mm = Kernel::MatMul { m: 96, k: 96, n: 96 };
+        let mv = Kernel::MatVec { m: 256, k: 256 };
+        assert!(
+            mm.arithmetic_intensity() > 10.0 * mv.arithmetic_intensity(),
+            "matmul AI {} vs matvec {}",
+            mm.arithmetic_intensity(),
+            mv.arithmetic_intensity()
+        );
+    }
+
+    #[test]
+    fn reference_matmul_matches_treu_math() {
+        let kern = Kernel::MatMul { m: 7, k: 5, n: 6 };
+        let mut rng = SplitMix64::new(1);
+        let mut w = kern.workload(&mut rng);
+        kern.reference(&mut w);
+        let a = treu_math::Matrix::from_vec(7, 5, w.a.clone());
+        let b = treu_math::Matrix::from_vec(5, 6, w.b.clone());
+        let c = a.matmul(&b);
+        for (x, y) in w.c.iter().zip(c.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reference_matmul_t_matches_explicit_transpose() {
+        let kern = Kernel::MatMulT { m: 4, k: 6, n: 5 };
+        let mut rng = SplitMix64::new(2);
+        let mut w = kern.workload(&mut rng);
+        kern.reference(&mut w);
+        let at = treu_math::Matrix::from_vec(6, 4, w.a.clone()); // k x m
+        let b = treu_math::Matrix::from_vec(6, 5, w.b.clone());
+        let c = at.transpose().matmul(&b);
+        for (x, y) in w.c.iter().zip(c.as_slice()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reference_conv1d_hand_checked() {
+        let kern = Kernel::Conv1d { len: 5, k: 2 };
+        let mut w = Workload { a: vec![1.0, 2.0, 3.0, 4.0, 5.0], b: vec![10.0, 1.0], c: vec![0.0; 4] };
+        kern.reference(&mut w);
+        assert_eq!(w.c, vec![12.0, 23.0, 34.0, 45.0]);
+    }
+
+    #[test]
+    fn reference_conv2d_identity_filter() {
+        let kern = Kernel::Conv2d { h: 3, w: 3, k: 1 };
+        let mut w = Workload {
+            a: (1..=9).map(f64::from).collect(),
+            b: vec![2.0],
+            c: vec![0.0; 9],
+        };
+        kern.reference(&mut w);
+        assert_eq!(w.c[0], 2.0);
+        assert_eq!(w.c[8], 18.0);
+    }
+
+    #[test]
+    fn workload_shapes_match() {
+        let mut rng = SplitMix64::new(3);
+        for kern in Kernel::suite() {
+            let w = kern.workload(&mut rng);
+            let (sa, sb, sc) = kern.buffer_sizes();
+            assert_eq!((w.a.len(), w.b.len(), w.c.len()), (sa, sb, sc), "{}", kern.name());
+        }
+    }
+
+    #[test]
+    fn names_distinct() {
+        let names: std::collections::BTreeSet<&str> =
+            Kernel::suite().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,114 @@
+//! The roofline performance model — "a performance modeling tool for
+//! understanding performance bottlenecks", one of the §2.5 lessons.
+//!
+//! Attainable performance is `min(peak_flops, intensity * bandwidth)`; the
+//! ridge point `peak / bandwidth` separates memory-bound kernels (left)
+//! from compute-bound ones (right).
+
+use crate::kernels::Kernel;
+
+/// A machine for roofline purposes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Machine {
+    /// Peak floating-point throughput, FLOP/s.
+    pub peak_flops: f64,
+    /// Sustained memory bandwidth, bytes/s.
+    pub bandwidth: f64,
+}
+
+impl Machine {
+    /// A modest laptop core: 50 GFLOP/s peak, 20 GB/s of bandwidth.
+    pub fn laptop() -> Self {
+        Self { peak_flops: 50e9, bandwidth: 20e9 }
+    }
+
+    /// Ridge point in FLOPs/byte: kernels below it are memory-bound.
+    pub fn ridge(&self) -> f64 {
+        self.peak_flops / self.bandwidth
+    }
+
+    /// Attainable FLOP/s at a given arithmetic intensity.
+    pub fn attainable(&self, intensity: f64) -> f64 {
+        (intensity * self.bandwidth).min(self.peak_flops)
+    }
+
+    /// Whether a kernel is memory-bound on this machine.
+    pub fn memory_bound(&self, kernel: &Kernel) -> bool {
+        kernel.arithmetic_intensity() < self.ridge()
+    }
+
+    /// Fraction of peak a kernel can possibly reach (its roofline ceiling
+    /// relative to peak).
+    pub fn ceiling_fraction(&self, kernel: &Kernel) -> f64 {
+        self.attainable(kernel.arithmetic_intensity()) / self.peak_flops
+    }
+}
+
+/// One row of a roofline report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflineRow {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Arithmetic intensity (FLOPs/byte).
+    pub intensity: f64,
+    /// Attainable GFLOP/s.
+    pub attainable_gflops: f64,
+    /// Memory- or compute-bound.
+    pub memory_bound: bool,
+}
+
+/// Builds the roofline report for the kernel suite.
+pub fn report(machine: Machine, kernels: &[Kernel]) -> Vec<RooflineRow> {
+    kernels
+        .iter()
+        .map(|k| RooflineRow {
+            kernel: k.name(),
+            intensity: k.arithmetic_intensity(),
+            attainable_gflops: machine.attainable(k.arithmetic_intensity()) / 1e9,
+            memory_bound: machine.memory_bound(k),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ridge_and_attainable() {
+        let m = Machine::laptop();
+        assert!((m.ridge() - 2.5).abs() < 1e-12);
+        assert_eq!(m.attainable(1.0), 20e9);
+        assert_eq!(m.attainable(10.0), 50e9);
+        // Continuity at the ridge.
+        assert!((m.attainable(2.5) - 50e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn matvec_is_memory_bound_matmul_is_not() {
+        let m = Machine::laptop();
+        assert!(m.memory_bound(&Kernel::MatVec { m: 256, k: 256 }));
+        assert!(!m.memory_bound(&Kernel::MatMul { m: 96, k: 96, n: 96 }));
+    }
+
+    #[test]
+    fn report_covers_suite() {
+        let rows = report(Machine::laptop(), &Kernel::suite());
+        assert_eq!(rows.len(), 5);
+        let mv = rows.iter().find(|r| r.kernel == "matvec").unwrap();
+        assert!(mv.memory_bound);
+        assert!(mv.attainable_gflops < 50.0);
+        let mm = rows.iter().find(|r| r.kernel == "matmul").unwrap();
+        assert!(!mm.memory_bound);
+        assert_eq!(mm.attainable_gflops, 50.0);
+    }
+
+    #[test]
+    fn ceiling_fraction_in_unit_interval() {
+        let m = Machine::laptop();
+        for k in Kernel::suite() {
+            let f = m.ceiling_fraction(&k);
+            assert!((0.0..=1.0).contains(&f), "{}: {f}", k.name());
+        }
+    }
+}

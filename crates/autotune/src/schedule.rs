@@ -1,0 +1,177 @@
+//! The schedule IR: the transformations a "scheduling language" exposes.
+//!
+//! A [`Schedule`] is the compiler-agnostic description of how to execute a
+//! kernel — tile sizes for the two output dimensions and the reduction,
+//! an unroll factor for the innermost loop, and a worker count. The
+//! genetic tuner searches this space; either executor backend can realize
+//! any schedule (the crate's stand-in for "expressing Ansor's schedules in
+//! MLIR's transform dialect").
+
+use crate::kernels::Kernel;
+use treu_math::rng::SplitMix64;
+
+/// Tile/unroll/parallelism choices for one kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Schedule {
+    /// Tile size along the first output dimension.
+    pub tile_i: usize,
+    /// Tile size along the second output dimension.
+    pub tile_j: usize,
+    /// Tile size along the reduction dimension.
+    pub tile_k: usize,
+    /// Innermost-loop unroll factor (1, 2, 4 or 8).
+    pub unroll: usize,
+    /// Worker threads for the outer tile loop.
+    pub threads: usize,
+}
+
+/// Candidate values per axis — the discrete search space.
+pub const TILE_CHOICES: [usize; 6] = [1, 4, 8, 16, 32, 64];
+/// Unroll factor choices.
+pub const UNROLL_CHOICES: [usize; 4] = [1, 2, 4, 8];
+/// Thread-count choices.
+pub const THREAD_CHOICES: [usize; 3] = [1, 2, 4];
+
+impl Schedule {
+    /// The untransformed default: unit tiles, no unrolling, single thread.
+    /// This plays the role of the unscheduled (naive compiler) baseline.
+    pub fn naive() -> Self {
+        Self { tile_i: 1, tile_j: 1, tile_k: 1, unroll: 1, threads: 1 }
+    }
+
+    /// A sensible hand-written default (the "reference schedule" a compiler
+    /// ships): 16×16 output tiles, full-depth reduction tiles, 4× unroll.
+    pub fn reference() -> Self {
+        Self { tile_i: 16, tile_j: 16, tile_k: 64, unroll: 4, threads: 1 }
+    }
+
+    /// Draws a uniformly random schedule from the discrete space.
+    pub fn random(rng: &mut SplitMix64) -> Self {
+        let pick = |rng: &mut SplitMix64, xs: &[usize]| xs[rng.next_bounded(xs.len() as u64) as usize];
+        Self {
+            tile_i: pick(rng, &TILE_CHOICES),
+            tile_j: pick(rng, &TILE_CHOICES),
+            tile_k: pick(rng, &TILE_CHOICES),
+            unroll: pick(rng, &UNROLL_CHOICES),
+            threads: pick(rng, &THREAD_CHOICES),
+        }
+    }
+
+    /// Clamps tiles to the kernel's actual extents (a schedule is valid for
+    /// every kernel after clamping, mirroring how scheduling languages
+    /// handle partial tiles).
+    pub fn clamped_for(mut self, kernel: &Kernel) -> Self {
+        let (oi, oj) = kernel.output_shape();
+        let kk = kernel.reduction_len();
+        self.tile_i = self.tile_i.min(oi.max(1));
+        self.tile_j = self.tile_j.min(oj.max(1));
+        self.tile_k = self.tile_k.min(kk.max(1));
+        self
+    }
+
+    /// Mutates one axis at random (the GA's mutation operator).
+    pub fn mutate(mut self, rng: &mut SplitMix64) -> Self {
+        let pick = |rng: &mut SplitMix64, xs: &[usize]| xs[rng.next_bounded(xs.len() as u64) as usize];
+        match rng.next_bounded(5) {
+            0 => self.tile_i = pick(rng, &TILE_CHOICES),
+            1 => self.tile_j = pick(rng, &TILE_CHOICES),
+            2 => self.tile_k = pick(rng, &TILE_CHOICES),
+            3 => self.unroll = pick(rng, &UNROLL_CHOICES),
+            _ => self.threads = pick(rng, &THREAD_CHOICES),
+        }
+        self
+    }
+
+    /// Uniform crossover (the GA's recombination operator).
+    pub fn crossover(self, other: Schedule, rng: &mut SplitMix64) -> Self {
+        let flip = |rng: &mut SplitMix64, a, b| if rng.next_f64() < 0.5 { a } else { b };
+        Self {
+            tile_i: flip(rng, self.tile_i, other.tile_i),
+            tile_j: flip(rng, self.tile_j, other.tile_j),
+            tile_k: flip(rng, self.tile_k, other.tile_k),
+            unroll: flip(rng, self.unroll, other.unroll),
+            threads: flip(rng, self.threads, other.threads),
+        }
+    }
+
+    /// Renders the schedule as transform-dialect-style text — the "schedule
+    /// as code" representation the MLIR lesson demonstrates.
+    pub fn render(&self) -> String {
+        format!(
+            "tile(i={}, j={}, k={}) |> unroll({}) |> parallelize(threads={})",
+            self.tile_i, self.tile_j, self.tile_k, self.unroll, self.threads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_schedules_are_in_space() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..200 {
+            let s = Schedule::random(&mut rng);
+            assert!(TILE_CHOICES.contains(&s.tile_i));
+            assert!(TILE_CHOICES.contains(&s.tile_j));
+            assert!(TILE_CHOICES.contains(&s.tile_k));
+            assert!(UNROLL_CHOICES.contains(&s.unroll));
+            assert!(THREAD_CHOICES.contains(&s.threads));
+        }
+    }
+
+    #[test]
+    fn clamping_respects_kernel_extents() {
+        let s = Schedule { tile_i: 64, tile_j: 64, tile_k: 64, unroll: 8, threads: 4 };
+        let k = Kernel::MatVec { m: 10, k: 3 };
+        let c = s.clamped_for(&k);
+        assert_eq!(c.tile_i, 10);
+        assert_eq!(c.tile_j, 1);
+        assert_eq!(c.tile_k, 3);
+    }
+
+    #[test]
+    fn mutation_changes_exactly_one_axis_value_or_is_lateral() {
+        let mut rng = SplitMix64::new(2);
+        let base = Schedule::reference();
+        let mut changed = 0;
+        for _ in 0..100 {
+            let m = base.mutate(&mut rng);
+            let diffs = [
+                m.tile_i != base.tile_i,
+                m.tile_j != base.tile_j,
+                m.tile_k != base.tile_k,
+                m.unroll != base.unroll,
+                m.threads != base.threads,
+            ]
+            .iter()
+            .filter(|&&d| d)
+            .count();
+            assert!(diffs <= 1, "mutation touched {diffs} axes");
+            changed += diffs;
+        }
+        assert!(changed > 30, "mutation should usually change something");
+    }
+
+    #[test]
+    fn crossover_takes_fields_from_parents() {
+        let mut rng = SplitMix64::new(3);
+        let a = Schedule::naive();
+        let b = Schedule { tile_i: 64, tile_j: 64, tile_k: 64, unroll: 8, threads: 4 };
+        for _ in 0..50 {
+            let c = a.crossover(b, &mut rng);
+            assert!(c.tile_i == a.tile_i || c.tile_i == b.tile_i);
+            assert!(c.unroll == a.unroll || c.unroll == b.unroll);
+        }
+    }
+
+    #[test]
+    fn render_mentions_all_axes() {
+        let s = Schedule::reference();
+        let r = s.render();
+        assert!(r.contains("tile(i=16"));
+        assert!(r.contains("unroll(4)"));
+        assert!(r.contains("threads=1"));
+    }
+}

@@ -1,0 +1,223 @@
+//! The genetic autotuner ("Ansor uses genetic algorithms to generate
+//! potential candidates").
+//!
+//! Standard generational GA over the discrete [`Schedule`] space: tournament
+//! selection, uniform crossover, single-axis mutation, elitism. Fitness is
+//! any `Fn(Schedule) -> f64` cost (lower is better), so the same tuner runs
+//! on the deterministic cost model (experiments) or on real executor
+//! timings (benches).
+
+use crate::schedule::Schedule;
+use treu_math::rng::SplitMix64;
+
+/// GA hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaParams {
+    /// Population size.
+    pub population: usize,
+    /// Generations to evolve.
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Probability of crossover (else clone a parent).
+    pub crossover_rate: f64,
+    /// Probability of mutating each child.
+    pub mutation_rate: f64,
+    /// Number of elites copied unchanged each generation.
+    pub elites: usize,
+}
+
+impl Default for GaParams {
+    fn default() -> Self {
+        Self {
+            population: 24,
+            generations: 20,
+            tournament: 3,
+            crossover_rate: 0.8,
+            mutation_rate: 0.5,
+            elites: 2,
+        }
+    }
+}
+
+/// The tuner and its search trace.
+pub struct Tuner {
+    params: GaParams,
+    rng: SplitMix64,
+    /// Best cost after each generation (the convergence curve).
+    pub history: Vec<f64>,
+    evaluations: u64,
+}
+
+impl Tuner {
+    /// Creates a tuner with a deterministic seed.
+    pub fn new(params: GaParams, seed: u64) -> Self {
+        assert!(params.population >= 2, "population too small");
+        assert!(params.elites < params.population, "elites must leave room for offspring");
+        assert!(params.tournament >= 1, "tournament size must be positive");
+        Self { params, rng: SplitMix64::new(seed), history: Vec::new(), evaluations: 0 }
+    }
+
+    /// Number of fitness evaluations performed.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Runs the GA and returns `(best schedule, best cost)`.
+    pub fn tune(&mut self, mut cost: impl FnMut(Schedule) -> f64) -> (Schedule, f64) {
+        let p = self.params;
+        // Seed the population with the known-good anchors plus randoms —
+        // the "sketches" Ansor starts from.
+        let mut pop: Vec<Schedule> = vec![Schedule::naive(), Schedule::reference()];
+        while pop.len() < p.population {
+            pop.push(Schedule::random(&mut self.rng));
+        }
+        let mut fitness: Vec<f64> = pop
+            .iter()
+            .map(|&s| {
+                self.evaluations += 1;
+                cost(s)
+            })
+            .collect();
+
+        for _gen in 0..p.generations {
+            // Rank by fitness (ascending cost).
+            let mut order: Vec<usize> = (0..pop.len()).collect();
+            order.sort_by(|&i, &j| fitness[i].partial_cmp(&fitness[j]).expect("NaN cost"));
+            self.history.push(fitness[order[0]]);
+
+            let mut next: Vec<Schedule> = order.iter().take(p.elites).map(|&i| pop[i]).collect();
+            while next.len() < p.population {
+                let a = self.tournament_pick(&fitness);
+                let child = if self.rng.next_f64() < p.crossover_rate {
+                    let b = self.tournament_pick(&fitness);
+                    pop[a].crossover(pop[b], &mut self.rng)
+                } else {
+                    pop[a]
+                };
+                let child = if self.rng.next_f64() < p.mutation_rate {
+                    child.mutate(&mut self.rng)
+                } else {
+                    child
+                };
+                next.push(child);
+            }
+            pop = next;
+            fitness = pop
+                .iter()
+                .map(|&s| {
+                    self.evaluations += 1;
+                    cost(s)
+                })
+                .collect();
+        }
+
+        let mut best = 0;
+        for i in 1..pop.len() {
+            if fitness[i] < fitness[best] {
+                best = i;
+            }
+        }
+        self.history.push(fitness[best]);
+        (pop[best], fitness[best])
+    }
+
+    fn tournament_pick(&mut self, fitness: &[f64]) -> usize {
+        let n = fitness.len();
+        let mut best = self.rng.next_bounded(n as u64) as usize;
+        for _ in 1..self.params.tournament {
+            let c = self.rng.next_bounded(n as u64) as usize;
+            if fitness[c] < fitness[best] {
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost;
+    use crate::executor::Backend;
+    use crate::kernels::Kernel;
+
+    #[test]
+    fn ga_improves_over_naive_on_every_kernel() {
+        for kern in Kernel::suite() {
+            let mut tuner = Tuner::new(GaParams::default(), 42);
+            let (best, best_cost) =
+                tuner.tune(|s| cost::estimate(&kern, s, Backend::AxpyLowering));
+            let naive = cost::estimate(&kern, Schedule::naive(), Backend::AxpyLowering);
+            assert!(
+                best_cost < naive,
+                "{}: GA {best_cost} vs naive {naive} ({})",
+                kern.name(),
+                best.render()
+            );
+        }
+    }
+
+    #[test]
+    fn ga_matches_or_beats_reference_schedule() {
+        for kern in Kernel::suite() {
+            let mut tuner = Tuner::new(GaParams::default(), 7);
+            let (_, best_cost) = tuner.tune(|s| cost::estimate(&kern, s, Backend::AxpyLowering));
+            let reference = cost::estimate(&kern, Schedule::reference(), Backend::AxpyLowering);
+            assert!(
+                best_cost <= reference * 1.001,
+                "{}: GA {best_cost} vs reference {reference}",
+                kern.name()
+            );
+        }
+    }
+
+    #[test]
+    fn convergence_curve_is_nonincreasing() {
+        let kern = Kernel::MatMul { m: 96, k: 96, n: 96 };
+        let mut tuner = Tuner::new(GaParams::default(), 1);
+        tuner.tune(|s| cost::estimate(&kern, s, Backend::AxpyLowering));
+        for w in tuner.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "elitism guarantees monotone best");
+        }
+    }
+
+    #[test]
+    fn tuning_is_deterministic() {
+        let kern = Kernel::Conv2d { h: 64, w: 64, k: 5 };
+        let run = |seed| {
+            let mut t = Tuner::new(GaParams::default(), seed);
+            t.tune(|s| cost::estimate(&kern, s, Backend::DotLowering))
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn evaluation_budget_is_respected() {
+        let p = GaParams { population: 10, generations: 5, ..GaParams::default() };
+        let mut t = Tuner::new(p, 2);
+        t.tune(|_| 1.0);
+        assert_eq!(t.evaluations(), 10 * 6); // initial + 5 generations
+    }
+
+    #[test]
+    #[should_panic(expected = "population too small")]
+    fn tiny_population_panics() {
+        Tuner::new(GaParams { population: 1, ..GaParams::default() }, 0);
+    }
+
+    #[test]
+    fn larger_population_does_not_hurt() {
+        // Ablation direction: more candidates, equal-or-better best cost.
+        let kern = Kernel::MatMulT { m: 96, k: 96, n: 96 };
+        let small = {
+            let mut t = Tuner::new(GaParams { population: 6, generations: 10, ..GaParams::default() }, 3);
+            t.tune(|s| cost::estimate(&kern, s, Backend::AxpyLowering)).1
+        };
+        let large = {
+            let mut t = Tuner::new(GaParams { population: 48, generations: 10, ..GaParams::default() }, 3);
+            t.tune(|s| cost::estimate(&kern, s, Backend::AxpyLowering)).1
+        };
+        assert!(large <= small * 1.05, "large pop {large} vs small {small}");
+    }
+}

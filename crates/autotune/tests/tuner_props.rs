@@ -1,0 +1,78 @@
+//! Property tests for the schedule space, cost model and GA.
+
+use proptest::prelude::*;
+use treu_autotune::cost;
+use treu_autotune::executor::{verify, Backend};
+use treu_autotune::{GaParams, Kernel, Schedule, Tuner};
+use treu_math::rng::SplitMix64;
+
+fn any_kernel() -> impl Strategy<Value = Kernel> {
+    prop_oneof![
+        (2usize..20, 2usize..20, 2usize..20).prop_map(|(m, k, n)| Kernel::MatMul { m, k, n }),
+        (2usize..20, 2usize..20, 2usize..20).prop_map(|(m, k, n)| Kernel::MatMulT { m, k, n }),
+        (2usize..40, 2usize..40).prop_map(|(m, k)| Kernel::MatVec { m, k }),
+        (8usize..64, 1usize..8).prop_map(|(len, k)| Kernel::Conv1d { len, k: k.min(len) }),
+        (4usize..16, 4usize..16, 1usize..4).prop_map(|(h, w, k)| Kernel::Conv2d {
+            h,
+            w,
+            k: k.min(h).min(w),
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cost_is_positive_and_deterministic(kernel in any_kernel(), seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let s = Schedule::random(&mut rng);
+        for backend in Backend::all() {
+            let c = cost::estimate(&kernel, s, backend);
+            prop_assert!(c > 0.0 && c.is_finite());
+            prop_assert_eq!(c.to_bits(), cost::estimate(&kernel, s, backend).to_bits());
+        }
+    }
+
+    #[test]
+    fn random_schedules_execute_correctly_on_random_kernels(kernel in any_kernel(), seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let s = Schedule::random(&mut rng);
+        for backend in Backend::all() {
+            prop_assert!(verify(&kernel, s, backend, seed ^ 0xAB) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ga_never_beats_the_anchors_backwards(kernel in any_kernel(), seed in any::<u64>()) {
+        // Naive and reference schedules seed the population and elitism
+        // preserves the best, so the GA result can never be worse than
+        // either anchor under the same cost function.
+        let ga = GaParams { population: 8, generations: 3, ..GaParams::default() };
+        let mut tuner = Tuner::new(ga, seed);
+        let (_, best) = tuner.tune(|s| cost::estimate(&kernel, s, Backend::AxpyLowering));
+        let naive = cost::estimate(&kernel, Schedule::naive(), Backend::AxpyLowering);
+        let reference = cost::estimate(&kernel, Schedule::reference(), Backend::AxpyLowering);
+        prop_assert!(best <= naive + 1e-9, "best {} vs naive {}", best, naive);
+        prop_assert!(best <= reference + 1e-9, "best {} vs reference {}", best, reference);
+    }
+
+    #[test]
+    fn clamping_is_idempotent_and_in_bounds(kernel in any_kernel(), seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let s = Schedule::random(&mut rng).clamped_for(&kernel);
+        prop_assert_eq!(s.clamped_for(&kernel), s);
+        let (oi, oj) = kernel.output_shape();
+        prop_assert!(s.tile_i <= oi.max(1));
+        prop_assert!(s.tile_j <= oj.max(1));
+        prop_assert!(s.tile_k <= kernel.reduction_len().max(1));
+    }
+
+    #[test]
+    fn flops_scale_with_shape(m in 2usize..12, k in 2usize..12, n in 2usize..12) {
+        let small = Kernel::MatMul { m, k, n };
+        let big = Kernel::MatMul { m: 2 * m, k, n };
+        prop_assert_eq!(big.flops(), 2 * small.flops());
+        prop_assert!(big.min_bytes() > small.min_bytes());
+    }
+}

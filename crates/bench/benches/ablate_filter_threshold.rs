@@ -1,0 +1,60 @@
+//! Ablation bench — the spectral filter's stopping-threshold multiplier
+//! (DESIGN.md's `ablate_filter_threshold`): error and rounds as the
+//! threshold sweeps from aggressive to permissive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use treu_math::rng::SplitMix64;
+use treu_robust::contamination::{ContaminatedSample, Contamination};
+use treu_robust::{spectral_filter, FilterParams};
+
+fn sample(seed: u64) -> ContaminatedSample {
+    let mut rng = SplitMix64::new(seed);
+    ContaminatedSample::generate(800, 64, 0.1, Contamination::SubtleShift, &mut rng)
+}
+
+fn print_reproduction() {
+    println!("ablation: filter error/rounds by threshold multiplier (3 trials)");
+    for mult in [1.0, 3.0, 6.0, 12.0, 24.0] {
+        let (mut err, mut rounds) = (0.0, 0.0);
+        for t in 0..3 {
+            let s = sample(50 + t);
+            let out = spectral_filter(
+                &s.data,
+                FilterParams { epsilon: 0.1, threshold_multiplier: mult, ..FilterParams::default() },
+            );
+            err += s.error(&out.mean) / 3.0;
+            rounds += out.rounds as f64 / 3.0;
+        }
+        println!("  mult {mult:>5.1}: error {err:.3}  rounds {rounds:.1}");
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let s = sample(9);
+    let mut g = c.benchmark_group("ablate_filter_threshold/filter");
+    for mult in [1.0f64, 6.0, 24.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(mult), &mult, |b, &m| {
+            b.iter(|| {
+                black_box(spectral_filter(
+                    &s.data,
+                    FilterParams { epsilon: 0.1, threshold_multiplier: m, ..FilterParams::default() },
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation bench — GA population size vs schedule quality and tuning
+//! cost (DESIGN.md's `ablate_ga_population`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use treu_autotune::experiment::tune_kernel;
+use treu_autotune::{GaParams, Kernel};
+
+fn print_reproduction() {
+    println!("ablation: matmul tuned cost by GA population (15 generations)");
+    let kernel = Kernel::MatMul { m: 96, k: 96, n: 96 };
+    for pop in [4usize, 8, 16, 32, 64] {
+        let ga = GaParams { population: pop, generations: 15, ..GaParams::default() };
+        let r = tune_kernel(kernel, ga, 3);
+        println!("  pop {:>3}: cost {:>12.0}  speedup {:>5.2}x", pop, r.tuned_cost, r.speedup());
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let kernel = Kernel::MatMul { m: 96, k: 96, n: 96 };
+    let mut g = c.benchmark_group("ablate_ga_population/tune");
+    for pop in [8usize, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(pop), &pop, |b, &p| {
+            let ga = GaParams { population: p, generations: 10, ..GaParams::default() };
+            b.iter(|| black_box(tune_kernel(kernel, ga, 3)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .without_plots();
+    targets = bench
+}
+criterion_main!(benches);

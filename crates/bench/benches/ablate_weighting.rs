@@ -1,0 +1,70 @@
+//! Ablation bench — weighting-kernel family and bandwidth sweep (the
+//! design-choice ablation DESIGN.md calls out for §2.2): how accuracy
+//! responds to the kernel shape and to the bandwidth σ.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use treu_pf::filter::{FilterConfig, ScheduleFilter};
+use treu_pf::schedule::{DriftModel, EventSchedule, Performance, SensorModel};
+use treu_pf::WeightFn;
+use treu_math::rng::SplitMix64;
+
+fn rmse_for(kernel: WeightFn, sigma: f64, seed: u64) -> f64 {
+    let schedule = EventSchedule::uniform(25, 8.0);
+    let mut rng = SplitMix64::new(seed);
+    let perf = Performance::simulate(
+        &schedule,
+        DriftModel { rate0: 1.12, ..DriftModel::default() },
+        SensorModel::default(),
+        0.1,
+        &mut rng,
+    );
+    let cfg = FilterConfig { kernel, sigma, ..FilterConfig::default() };
+    let mut f = ScheduleFilter::new(schedule, cfg, seed ^ 0xF0);
+    let mut se = 0.0;
+    for (&truth, &obs) in perf.truth.iter().zip(&perf.observations) {
+        f.step(perf.dt, obs);
+        se += (f.estimate() - truth).powi(2);
+    }
+    (se / perf.len() as f64).sqrt()
+}
+
+fn print_reproduction() {
+    println!("ablation: RMSE by kernel x bandwidth (5 trials)");
+    print!("{:<12}", "kernel");
+    for sigma in [0.5, 1.0, 1.5, 3.0, 6.0] {
+        print!(" s={sigma:<6}");
+    }
+    println!();
+    for kernel in WeightFn::all() {
+        print!("{:<12}", kernel.name());
+        for sigma in [0.5, 1.0, 1.5, 3.0, 6.0] {
+            let rmse: f64 = (0..5).map(|s| rmse_for(kernel, sigma, s)).sum::<f64>() / 5.0;
+            print!(" {rmse:<8.3}");
+        }
+        println!();
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let mut g = c.benchmark_group("ablate_weighting/track");
+    for kernel in WeightFn::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(kernel.name()), &kernel, |b, &k| {
+            b.iter(|| black_box(rmse_for(k, 1.5, 3)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .without_plots();
+    targets = bench
+}
+criterion_main!(benches);

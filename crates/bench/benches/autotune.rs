@@ -1,0 +1,62 @@
+//! Bench E2.5 — compiler scheduling: prints the GA-tuning + replication
+//! table (the §2.5 finding: matvec replicates, the matmul family gaps),
+//! then times real scheduled executions so the cost model's ranking can be
+//! compared against the machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use treu_autotune::executor::{execute, Backend};
+use treu_autotune::experiment::tune_kernel;
+use treu_autotune::{GaParams, Kernel, Schedule};
+use treu_math::rng::SplitMix64;
+
+fn print_reproduction() {
+    println!("E2.5: GA tuning + replication (cost model)");
+    for kernel in Kernel::suite() {
+        let r = tune_kernel(kernel, GaParams::default(), 7);
+        println!(
+            "  {:<10} speedup {:>6.2}x  replication {:>5.2}x  {}",
+            r.kernel,
+            r.speedup(),
+            r.replication_ratio(),
+            r.best.render()
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    for kernel in Kernel::suite() {
+        let tuned = tune_kernel(kernel, GaParams::default(), 7).best;
+        let mut g = c.benchmark_group(format!("autotune/{}", kernel.name()));
+        for (label, sched) in [
+            ("naive", Schedule::naive()),
+            ("reference", Schedule::reference()),
+            ("tuned", tuned),
+        ] {
+            g.bench_with_input(BenchmarkId::new("axpy", label), &sched, |b, &s| {
+                let mut rng = SplitMix64::new(1);
+                let mut w = kernel.workload(&mut rng);
+                b.iter(|| black_box(execute(&kernel, s, Backend::AxpyLowering, &mut w)))
+            });
+            g.bench_with_input(BenchmarkId::new("dot", label), &sched, |b, &s| {
+                let mut rng = SplitMix64::new(1);
+                let mut w = kernel.workload(&mut rng);
+                b.iter(|| black_box(execute(&kernel, s, Backend::DotLowering, &mut w)))
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Bench E2.6 — the deaugmentation study: prints the original-vs-
+//! deaugmented generalization comparison (with the coverage confound),
+//! then times detector training and inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use treu_detect::dataset::{build_dataset, DatasetKind};
+use treu_detect::detector::{cells_of, CellDetector, DetectorConfig};
+use treu_detect::video::FieldStrip;
+use treu_math::rng::SplitMix64;
+
+fn print_reproduction() {
+    let mut rng = SplitMix64::new(2023);
+    let strip = FieldStrip::generate(1600, 10, 0.5, &mut rng);
+    let val: Vec<_> = (0..12).map(|i| strip.frame(900 + i * 40)).collect();
+    println!("E2.6: 24-frame training sets, held-out validation");
+    for kind in [DatasetKind::Original, DatasetKind::Deaugmented] {
+        let ds = build_dataset(&strip, kind, 0, 24);
+        let mut det = CellDetector::train(&ds.frames, DetectorConfig::default(), 5);
+        let q = det.evaluate(&val);
+        println!(
+            "  {:<12} val acc {:.3}  plant F1 {:.3}  coverage {} cols, {} distinct plants",
+            kind.name(),
+            q.accuracy,
+            q.plant_f1,
+            ds.coverage_columns,
+            ds.distinct_plants
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let mut rng = SplitMix64::new(1);
+    let strip = FieldStrip::generate(1600, 10, 0.5, &mut rng);
+    let ds = build_dataset(&strip, DatasetKind::Deaugmented, 0, 24);
+    c.bench_function("detection/train_24_frames", |b| {
+        let cfg = DetectorConfig { epochs: 10, ..DetectorConfig::default() };
+        b.iter(|| black_box(CellDetector::train(&ds.frames, cfg, 5)))
+    });
+    c.bench_function("detection/featurize_frames", |b| {
+        b.iter(|| black_box(cells_of(black_box(&ds.frames))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Bench E3 — GPU contention: prints the policy × scheduler table (the
+//! §3 staging recommendation, quantified), then times the discrete-event
+//! simulator at growing trace sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use treu_cluster::sim::Scheduler;
+use treu_cluster::trace::{cohort_trace, SubmissionPolicy};
+use treu_cluster::Cluster;
+use treu_math::rng::SplitMix64;
+
+fn print_reproduction() {
+    let cluster = Cluster::default();
+    println!("E3: 40 jobs on 8 GPUs, 10 trials (stuck = waiting > 4h)");
+    println!(
+        "  {:<11} {:<9} {:>10} {:>9} {:>7}",
+        "policy", "sched", "mean wait", "p95 wait", "stuck"
+    );
+    let policies = [
+        SubmissionPolicy::Clustered,
+        SubmissionPolicy::Staged { batches: 4, window: 8.0 },
+        SubmissionPolicy::Uniform { span: 32.0 },
+    ];
+    for policy in policies {
+        for sched in [Scheduler::Fifo, Scheduler::Backfill] {
+            let (mut wait, mut p95, mut stuck) = (0.0, 0.0, 0.0);
+            for t in 0..10u64 {
+                let mut rng = SplitMix64::new(9000 + t);
+                let jobs = cohort_trace(40, policy, &mut rng);
+                let m = cluster.simulate(&jobs, sched);
+                wait += m.mean_wait / 10.0;
+                p95 += m.p95_wait / 10.0;
+                stuck += m.stuck_fraction / 10.0;
+            }
+            println!(
+                "  {:<11} {:<9} {:>9.2}h {:>8.2}h {:>6.0}%",
+                policy.name(),
+                sched.name(),
+                wait,
+                p95,
+                stuck * 100.0
+            );
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let cluster = Cluster::default();
+    let mut g = c.benchmark_group("gpu_contention/simulate");
+    for n_jobs in [40usize, 200, 1000] {
+        let mut rng = SplitMix64::new(1);
+        let jobs = cohort_trace(n_jobs, SubmissionPolicy::Clustered, &mut rng);
+        g.bench_with_input(BenchmarkId::from_parameter(n_jobs), &jobs, |b, jobs| {
+            b.iter(|| black_box(cluster.simulate(black_box(jobs), Scheduler::Backfill)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Bench E2.2b — schedule-aware filter vs the typical particle filter,
+//! on-tempo and under drift. Prints the accuracy comparison, then times
+//! both filters at several particle counts (the "time experiments" of
+//! §2.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use treu_pf::experiment::{run_baseline, run_tracking, Workload};
+use treu_pf::WeightFn;
+
+fn print_reproduction() {
+    println!("E2.2b: RMSE, ours vs typical filter (8 trials)");
+    for (label, rate0) in [("on-tempo", 1.0), ("drift+15%", 1.15)] {
+        let w = Workload { rate0, ..Workload::default() };
+        let (mut ours, mut base) = (0.0, 0.0);
+        for seed in 0..8 {
+            ours += run_tracking(w, WeightFn::Gaussian, 256, seed).rmse / 8.0;
+            base += run_baseline(w, 256, seed).rmse / 8.0;
+        }
+        println!("  {label:<10} ours {ours:.3}  typical {base:.3}");
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let mut g = c.benchmark_group("pf_baseline/particles");
+    for particles in [64usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::new("ours", particles), &particles, |b, &n| {
+            b.iter(|| black_box(run_tracking(Workload::default(), WeightFn::Gaussian, n, 3)))
+        });
+        g.bench_with_input(BenchmarkId::new("typical", particles), &particles, |b, &n| {
+            b.iter(|| black_box(run_baseline(Workload::default(), n, 3)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .without_plots();
+    targets = bench
+}
+criterion_main!(benches);

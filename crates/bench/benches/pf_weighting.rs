@@ -1,0 +1,64 @@
+//! Bench E2.2a — the §2.2 headline: the fast weighting function is "much
+//! faster and almost as accurate" than the Gaussian. Prints the accuracy
+//! series, then times a full tracking run and the raw kernel evaluation
+//! per weighting function (the latency that matters for "applications that
+//! demand low latency or frequent updates").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use treu_pf::experiment::{run_tracking, Workload};
+use treu_pf::WeightFn;
+
+fn print_reproduction() {
+    println!("E2.2a: RMSE by weighting kernel (8 trials, 256 particles)");
+    for kernel in WeightFn::all() {
+        let mut rmse = 0.0;
+        for seed in 0..8 {
+            rmse += run_tracking(Workload::default(), kernel, 256, seed).rmse / 8.0;
+        }
+        println!(
+            "  {:<12} rmse {:.3}  transcendentals: {}",
+            kernel.name(),
+            rmse,
+            kernel.uses_transcendentals()
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let mut g = c.benchmark_group("pf_weighting/full_track");
+    for kernel in WeightFn::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(kernel.name()), &kernel, |b, &k| {
+            b.iter(|| black_box(run_tracking(Workload::default(), k, 256, 7)))
+        });
+    }
+    g.finish();
+
+    // Raw kernel evaluation: the per-particle cost the fast kernels cut.
+    let mut g = c.benchmark_group("pf_weighting/kernel_eval_x1e4");
+    for kernel in WeightFn::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(kernel.name()), &kernel, |b, &k| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..10_000 {
+                    acc += k.eval(black_box(i as f64 * 1e-3 - 5.0), 1.5);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Bench E2.8 — RL reliability: prints the env × estimator reliability
+//! grid (mean, CVaR, acceptability) and the per-environment reward sums
+//! (the paper's "slightly better sum of average rewards in Frogger"),
+//! then times a DQN training run per estimator family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use treu_rl::dqn::{DqnAgent, DqnConfig};
+use treu_rl::env::EnvKind;
+use treu_rl::estimators::EstimatorKind;
+use treu_rl::experiment::seed_rewards;
+use treu_rl::reliability::reliability;
+
+fn print_reproduction() {
+    let cfg = DqnConfig { episodes: 250, ..DqnConfig::default() };
+    println!("E2.8: reliability over 4 seeds, 250 episodes");
+    println!(
+        "  {:<9} {:<10} {:>8} {:>8} {:>8} {:>8}",
+        "env", "estimator", "mean", "std", "cvar25", "p(acc)"
+    );
+    for env in EnvKind::all() {
+        let mut sum = 0.0;
+        for est in EstimatorKind::all() {
+            let rewards = seed_rewards(env, est, cfg, 4, 4, 2023);
+            let r = reliability(&rewards, 2.0);
+            sum += r.mean;
+            println!(
+                "  {:<9} {:<10} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+                env.name(),
+                est.name(),
+                r.mean,
+                r.std_dev,
+                r.cvar25,
+                r.p_acceptable
+            );
+        }
+        println!("  {:<9} reward sum over estimators: {sum:.2}", env.name());
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let mut g = c.benchmark_group("rl_reliability/train_60_episodes");
+    for est in EstimatorKind::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(est.name()), &est, |b, &e| {
+            b.iter(|| {
+                let cfg = DqnConfig { episodes: 60, ..DqnConfig::default() };
+                let mut env = EnvKind::Catch.build();
+                let mut agent = DqnAgent::new(e, cfg, 5);
+                black_box(agent.train(env.as_mut()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Bench E2.10 — robust statistics: prints the ε- and dimension-sweeps,
+//! then times the estimators (the paper's "main computational bottlenecks
+//! were in linear algebra (SVD), and repetition of randomized algorithms").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use treu_math::rng::SplitMix64;
+use treu_robust::contamination::{ContaminatedSample, Contamination};
+use treu_robust::estimators;
+use treu_robust::experiment::sweep_point;
+use treu_robust::{spectral_filter, FilterParams};
+
+fn print_reproduction() {
+    println!("E2.10: L2 error vs dimension (eps=0.1, subtle shift, 3 trials)");
+    println!("  {:>5} {:>9} {:>9} {:>9} {:>9}", "d", "mean", "median", "filter", "oracle");
+    for d in [16usize, 64, 256] {
+        let p = sweep_point(800, d, 0.1, Contamination::SubtleShift, 3, 4, 100 + d as u64);
+        println!(
+            "  {:>5} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            d, p.mean, p.median, p.filter, p.oracle
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let mut g = c.benchmark_group("robust_stats/estimators_d64");
+    let mut rng = SplitMix64::new(7);
+    let s = ContaminatedSample::generate(800, 64, 0.1, Contamination::SubtleShift, &mut rng);
+    g.bench_function("sample_mean", |b| {
+        b.iter(|| black_box(estimators::sample_mean(black_box(&s.data))))
+    });
+    g.bench_function("coordinate_median", |b| {
+        b.iter(|| black_box(estimators::coordinate_median(black_box(&s.data))))
+    });
+    g.bench_function("geometric_median", |b| {
+        b.iter(|| black_box(estimators::geometric_median(black_box(&s.data), 1e-8, 100)))
+    });
+    g.bench_function("spectral_filter", |b| {
+        b.iter(|| black_box(spectral_filter(black_box(&s.data), FilterParams::default())))
+    });
+    g.finish();
+
+    // The SVD bottleneck itself, across dimensions.
+    let mut g = c.benchmark_group("robust_stats/power_iteration");
+    for d in [32usize, 128] {
+        let mut rng = SplitMix64::new(d as u64);
+        let s = ContaminatedSample::generate(400, d, 0.1, Contamination::SubtleShift, &mut rng);
+        let cov = treu_math::stats::covariance_matrix(&s.data);
+        g.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| black_box(treu_math::decomp::power_iteration(&cov, 3, 1e-10, 2000)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Bench E2.11 — shape atlases: prints the one-mode recovery and the
+//! particle-count ablation, then times the pipeline stages (correspondence
+//! optimization, alignment, PCA).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use treu_math::rng::SplitMix64;
+use treu_shapes::align::align_cohort;
+use treu_shapes::correspond::ParticleSystem;
+use treu_shapes::experiment::compute_atlas;
+use treu_shapes::sample::EllipsoidFamily;
+
+fn print_reproduction() {
+    println!("E2.11: one-mode ellipsoid family, 24 shapes");
+    let r = compute_atlas(EllipsoidFamily::default(), 24, 64, 1);
+    println!(
+        "  mode-1 variance ratio {:.3}, mode-1/latent correlation {:.3}",
+        r.mode1_ratio, r.mode1_latent_corr
+    );
+    println!("  particle ablation:");
+    for particles in [8usize, 16, 64, 256] {
+        let r = compute_atlas(EllipsoidFamily::default(), 24, particles, 2);
+        println!(
+            "    {:>4} particles: mode-1 ratio {:.3}, latent corr {:.3}",
+            particles, r.mode1_ratio, r.mode1_latent_corr
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let mut g = c.benchmark_group("shape_atlas/full_pipeline");
+    for particles in [16usize, 64, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(particles), &particles, |b, &p| {
+            b.iter(|| black_box(compute_atlas(EllipsoidFamily::default(), 24, p, 3)))
+        });
+    }
+    g.finish();
+
+    let mut rng = SplitMix64::new(4);
+    let shapes = EllipsoidFamily::default().sample(24, &mut rng);
+    let ps = ParticleSystem::fibonacci(64);
+    let m = ps.shape_matrix(&shapes);
+    c.bench_function("shape_atlas/procrustes_align", |b| {
+        b.iter(|| black_box(align_cohort(black_box(&m))))
+    });
+    c.bench_function("shape_atlas/correspondence_optimize", |b| {
+        b.iter(|| {
+            let mut sys = ParticleSystem::random(64, &mut SplitMix64::new(5));
+            sys.optimize(40, 0.02);
+            black_box(sys.uniformity())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Bench T1 — regenerates the paper's Table 1 (goals accomplished, out of
+//! nine post hoc respondents) and times the cohort-simulation + analysis
+//! pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use treu_surveys::{analysis, Cohort};
+
+fn print_reproduction() {
+    let cohort = Cohort::simulate(2023);
+    println!("{}", analysis::render_table1(&analysis::table1(&cohort)));
+    let n = analysis::narrative(&cohort);
+    println!(
+        "narrative: PhD intent {:.1}(mode {}) -> {:.1}(mode {}); goals by all nine: {}\n",
+        n.phd_apriori_mean, n.phd_apriori_mode, n.phd_posthoc_mean, n.phd_posthoc_mode, n.goals_by_all
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    c.bench_function("table1/simulate+analyze", |b| {
+        b.iter(|| {
+            let cohort = Cohort::simulate(black_box(2023));
+            black_box(analysis::table1(&cohort))
+        })
+    });
+    let cohort = Cohort::simulate(2023);
+    c.bench_function("table1/analyze_only", |b| {
+        b.iter(|| black_box(analysis::table1(black_box(&cohort))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Bench T2 — regenerates the paper's Table 2 (confidence in 18 research
+//! skills + boost) and times the analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use treu_surveys::{analysis, paper, Cohort};
+
+fn print_reproduction() {
+    let cohort = Cohort::simulate(2023);
+    let rows = analysis::table2(&cohort);
+    println!("{}", analysis::render_table2(&rows));
+    let worst = rows
+        .iter()
+        .zip(paper::SKILLS.iter())
+        .map(|(r, (_, m, _))| (r.apriori_mean - m).abs())
+        .fold(0.0f64, f64::max);
+    println!("worst a-priori-mean deviation from paper: {worst:.4}\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let cohort = Cohort::simulate(2023);
+    c.bench_function("table2/analyze", |b| {
+        b.iter(|| black_box(analysis::table2(black_box(&cohort))))
+    });
+    c.bench_function("table2/render", |b| {
+        let rows = analysis::table2(&cohort);
+        b.iter(|| black_box(analysis::render_table2(black_box(&rows))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Bench T3 — regenerates the paper's Table 3 (knowledge of five topic
+//! areas + increase) and times the analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use treu_surveys::{analysis, paper, Cohort};
+
+fn print_reproduction() {
+    let cohort = Cohort::simulate(2023);
+    let rows = analysis::table3(&cohort);
+    println!("{}", analysis::render_table3(&rows));
+    for (r, (name, m, inc)) in rows.iter().zip(paper::KNOWLEDGE.iter()) {
+        println!(
+            "{name}: paper ({m:.1}, +{inc:.1}) measured ({:.2}, +{:.2})",
+            r.apriori_mean, r.increase
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let cohort = Cohort::simulate(2023);
+    c.bench_function("table3/analyze", |b| {
+        b.iter(|| black_box(analysis::table3(black_box(&cohort))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .without_plots();
+    targets = bench
+}
+criterion_main!(benches);

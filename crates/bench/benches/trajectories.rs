@@ -1,0 +1,51 @@
+//! Bench E2.4 — trajectory classification: prints the shape-only vs
+//! shape+semantics controlled comparison, then times featurization and
+//! classification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use treu_math::rng::SplitMix64;
+use treu_traj::experiment::compare;
+use treu_traj::features::{combined_features, default_landmarks, landmark_features};
+use treu_traj::generate::{generate_trajectory, TrajectoryClass};
+use treu_traj::PoiMap;
+
+fn print_reproduction() {
+    println!("E2.4: accuracy, shape-only vs +semantics (3 trials)");
+    let (mut s, mut m) = (0.0, 0.0);
+    for seed in 0..3 {
+        let r = compare(12, 6, 150, seed);
+        s += r.shape_accuracy / 3.0;
+        m += r.semantic_accuracy / 3.0;
+    }
+    println!("  shape-only {s:.3}  with semantics {m:.3}  improvement {:+.3}\n", m - s);
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let map = PoiMap::standard();
+    let lms = default_landmarks();
+    let mut rng = SplitMix64::new(1);
+    let t = generate_trajectory(TrajectoryClass::Commuter, &map, 150, &mut rng);
+
+    c.bench_function("trajectories/shape_features", |b| {
+        b.iter(|| black_box(landmark_features(black_box(&t), &lms)))
+    });
+    c.bench_function("trajectories/combined_features", |b| {
+        b.iter(|| black_box(combined_features(black_box(&t), &lms, &map, 3.0)))
+    });
+    c.bench_function("trajectories/end_to_end_compare", |b| {
+        b.iter(|| black_box(compare(8, 4, 100, 5)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Bench E2.3 — machine unlearning: prints the three-way method
+//! comparison (forget/retain accuracy and cost), then times each
+//! unlearning method against the full-retrain oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use treu_math::rng::SplitMix64;
+use treu_unlearn::ascent::{unlearn, AscentConfig};
+use treu_unlearn::experiment::compare_methods;
+use treu_unlearn::retrain::{retrain_without, train, TrainConfig};
+use treu_unlearn::BlobDataset;
+
+fn print_reproduction() {
+    println!("E2.3: forget class 2 (2 trials)");
+    let (orig, ascent, sisa, retrain) = compare_methods(2023, TrainConfig::default(), 2);
+    println!("  original per-class acc: {orig:?}");
+    for (name, r) in [("ascent", ascent), ("sisa", sisa), ("retrain", retrain)] {
+        println!(
+            "  {:<8} forget {:.3} retain {:.3} steps {}",
+            name, r.forget_accuracy, r.retain_accuracy, r.cost_steps
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let mut rng = SplitMix64::new(100);
+    let d = BlobDataset::generate(4, 40, 8, 6.0, &mut rng);
+
+    c.bench_function("unlearning/ascent", |b| {
+        b.iter(|| {
+            let (mut model, _) = train(&d.train_x, &d.train_y, 4, TrainConfig::default(), 1);
+            let ((fx, fy), (rx, ry)) = d.split_forget(2);
+            black_box(unlearn(&mut model, (&fx, &fy), (&rx, &ry), AscentConfig::default(), 7))
+        })
+    });
+    c.bench_function("unlearning/full_retrain", |b| {
+        b.iter(|| black_box(retrain_without(&d, 2, TrainConfig::default(), 3).1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Shared nothing: each bench is self-contained.

@@ -1,0 +1,117 @@
+//! Harnessed experiment E3: the clustered-rush vs staged-batches study.
+
+use crate::sim::{Cluster, Scheduler};
+use crate::trace::{cohort_trace, SubmissionPolicy};
+use treu_core::experiment::{Experiment, Params, RunContext};
+use treu_core::ExperimentRegistry;
+use treu_math::rng::{derive_seed, SplitMix64};
+
+/// E3: per (policy, scheduler) pair, report the §3 pain metrics.
+pub struct GpuContentionExperiment;
+
+impl Experiment for GpuContentionExperiment {
+    fn name(&self) -> &str {
+        "cluster/contention"
+    }
+
+    fn run(&self, ctx: &mut RunContext) {
+        let n_jobs = ctx.int("jobs", 40) as usize;
+        let gpus = ctx.int("gpus", 8) as usize;
+        let trials = ctx.int("trials", 5) as u64;
+        let cluster = Cluster { gpus, stuck_threshold: 4.0 };
+        let policies = [
+            SubmissionPolicy::Clustered,
+            SubmissionPolicy::Staged { batches: 4, window: 8.0 },
+            SubmissionPolicy::Uniform { span: 32.0 },
+        ];
+        for policy in policies {
+            for scheduler in [Scheduler::Fifo, Scheduler::Backfill] {
+                let (mut mean_wait, mut p95, mut stuck, mut util) = (0.0, 0.0, 0.0, 0.0);
+                for t in 0..trials {
+                    let mut rng = SplitMix64::new(derive_seed(ctx.seed(), &format!("t{t}")));
+                    let jobs = cohort_trace(n_jobs, policy, &mut rng);
+                    let m = cluster.simulate(&jobs, scheduler);
+                    mean_wait += m.mean_wait / trials as f64;
+                    p95 += m.p95_wait / trials as f64;
+                    stuck += m.stuck_fraction / trials as f64;
+                    util += m.utilization / trials as f64;
+                }
+                let tag = format!("{}_{}", policy.name(), scheduler.name());
+                ctx.record(&format!("{tag}_mean_wait"), mean_wait);
+                ctx.record(&format!("{tag}_p95_wait"), p95);
+                ctx.record(&format!("{tag}_stuck_fraction"), stuck);
+                ctx.record(&format!("{tag}_utilization"), util);
+            }
+        }
+    }
+}
+
+/// Registers E3.
+pub fn register(reg: &mut ExperimentRegistry) {
+    reg.register(
+        "E3",
+        "Section 3",
+        "GPU contention: clustered rush vs staged batches, FIFO vs backfill",
+        Params::new().with_int("jobs", 40).with_int("gpus", 8),
+        Box::new(GpuContentionExperiment),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treu_core::experiment::{assert_deterministic, run_once};
+
+    fn record() -> &'static treu_core::RunRecord {
+        static REC: std::sync::OnceLock<treu_core::RunRecord> = std::sync::OnceLock::new();
+        REC.get_or_init(|| run_once(&GpuContentionExperiment, 2023, Params::new()))
+    }
+
+    #[test]
+    fn staging_relieves_the_rush() {
+        let rec = record();
+        let rush = rec.metric("clustered_fifo_stuck_fraction").unwrap();
+        let staged = rec.metric("staged_fifo_stuck_fraction").unwrap();
+        assert!(
+            staged < rush * 0.6,
+            "staging must cut the stuck fraction: {rush} -> {staged}"
+        );
+        assert!(
+            rec.metric("staged_fifo_p95_wait").unwrap()
+                < rec.metric("clustered_fifo_p95_wait").unwrap()
+        );
+    }
+
+    #[test]
+    fn backfill_helps_under_clustered_load() {
+        let rec = record();
+        let fifo = rec.metric("clustered_fifo_mean_wait").unwrap();
+        let back = rec.metric("clustered_backfill_mean_wait").unwrap();
+        assert!(back <= fifo, "backfill mean wait {back} vs fifo {fifo}");
+    }
+
+    #[test]
+    fn clustered_rush_really_hurts() {
+        let rec = record();
+        assert!(
+            rec.metric("clustered_fifo_stuck_fraction").unwrap() > 0.2,
+            "the rush should leave a meaningful fraction stuck"
+        );
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        assert_deterministic(
+            &GpuContentionExperiment,
+            5,
+            &Params::new().with_int("jobs", 15).with_int("trials", 2),
+        );
+    }
+
+    #[test]
+    fn registry_id() {
+        let mut reg = ExperimentRegistry::new();
+        register(&mut reg);
+        assert!(reg.get("E3").is_some());
+    }
+}

@@ -1,0 +1,39 @@
+//! `treu-cluster` — GPU-cluster contention simulation (paper §3).
+//!
+//! The paper's operational findings: "Some students launched a job
+//! requiring a huge allocation and that was fine but others who were even
+//! slightly late to launch were stuck (GPU availability was a bottleneck)"
+//! and "an array of ML/AI projects finishing at the same time resulted in
+//! GPU availability issues — something that needs to be addressed by
+//! staging GPU result collection across non-overlapping batches (requiring
+//! proactive planning)."
+//!
+//! This crate quantifies both with a discrete-event simulator of a shared
+//! GPU pool ([`sim`]): job traces model a cohort's end-of-program rush
+//! ([`trace`]), schedulers are FIFO with optional backfill, and submission
+//! policies compare the rush against the recommended staged batches
+//! ([`experiment`], E3). Metrics are the ones the complaint is about:
+//! queue-wait percentiles and the fraction of "stuck" students.
+//!
+//! # Example
+//!
+//! ```
+//! use treu_cluster::{Cluster, Scheduler, SubmissionPolicy};
+//! use treu_cluster::trace::cohort_trace;
+//! use treu_math::rng::SplitMix64;
+//!
+//! let mut rng = SplitMix64::new(1);
+//! let rush = cohort_trace(30, SubmissionPolicy::Clustered, &mut rng);
+//! let metrics = Cluster::default().simulate(&rush, Scheduler::Backfill);
+//! assert!(metrics.utilization > 0.0 && metrics.utilization <= 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod sim;
+pub mod trace;
+
+pub use sim::{Cluster, Metrics, Scheduler};
+pub use trace::{Job, SubmissionPolicy};

@@ -1,0 +1,131 @@
+//! Job traces: the cohort's training runs and how they get submitted.
+
+use serde::{Deserialize, Serialize};
+use treu_math::rng::SplitMix64;
+
+/// One GPU job (a student project's training run).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Job id.
+    pub id: usize,
+    /// Submission time (hours from the rush's start).
+    pub submit: f64,
+    /// Run duration (hours).
+    pub duration: f64,
+    /// GPUs required for the whole duration.
+    pub gpus: usize,
+}
+
+/// How the cohort schedules its submissions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SubmissionPolicy {
+    /// Everyone submits in the final crunch: all jobs arrive within a
+    /// small window (the paper's "array of ML/AI projects finishing at the
+    /// same time").
+    Clustered,
+    /// Submissions staged across `k` non-overlapping batch windows — the
+    /// paper's recommendation.
+    Staged {
+        /// Number of batches.
+        batches: usize,
+        /// Hours between batch starts.
+        window: f64,
+    },
+    /// Uniformly spread submissions (the idealized well-planned cohort).
+    Uniform {
+        /// Total span in hours.
+        span: f64,
+    },
+}
+
+impl SubmissionPolicy {
+    /// Short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SubmissionPolicy::Clustered => "clustered",
+            SubmissionPolicy::Staged { .. } => "staged",
+            SubmissionPolicy::Uniform { .. } => "uniform",
+        }
+    }
+}
+
+/// Generates the cohort's job trace under a submission policy.
+///
+/// Job shapes are policy-independent (same durations/GPU demands drawn
+/// from the same stream), so the comparison isolates the submission
+/// pattern.
+pub fn cohort_trace(n_jobs: usize, policy: SubmissionPolicy, rng: &mut SplitMix64) -> Vec<Job> {
+    // Shapes first, deterministically shared across policies for a seed.
+    let shapes: Vec<(f64, usize)> = (0..n_jobs)
+        .map(|_| {
+            // Durations: mostly 0.5-3h, a few long hauls; the occasional
+            // "huge allocation" job wants several GPUs. Sized so the
+            // cohort's total demand fits a staged day but swamps a rush.
+            let duration = 0.5 + rng.next_f64() * 2.5 + if rng.next_f64() < 0.1 { 4.0 } else { 0.0 };
+            let gpus = if rng.next_f64() < 0.15 { 4 } else { 1 + rng.next_bounded(2) as usize };
+            (duration, gpus)
+        })
+        .collect();
+    shapes
+        .into_iter()
+        .enumerate()
+        .map(|(id, (duration, gpus))| {
+            let submit = match policy {
+                SubmissionPolicy::Clustered => rng.next_f64() * 0.5,
+                SubmissionPolicy::Staged { batches, window } => {
+                    let b = id % batches.max(1);
+                    b as f64 * window + rng.next_f64() * 0.5
+                }
+                SubmissionPolicy::Uniform { span } => rng.next_f64() * span,
+            };
+            Job { id, submit, duration, gpus }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustered_trace_arrives_in_the_crunch() {
+        let mut rng = SplitMix64::new(1);
+        let jobs = cohort_trace(30, SubmissionPolicy::Clustered, &mut rng);
+        assert_eq!(jobs.len(), 30);
+        assert!(jobs.iter().all(|j| j.submit < 0.5));
+        assert!(jobs.iter().all(|j| j.duration >= 0.5 && j.gpus >= 1));
+    }
+
+    #[test]
+    fn staged_trace_spreads_batches() {
+        let mut rng = SplitMix64::new(2);
+        let jobs = cohort_trace(30, SubmissionPolicy::Staged { batches: 3, window: 8.0 }, &mut rng);
+        let in_batch = |lo: f64, hi: f64| jobs.iter().filter(|j| j.submit >= lo && j.submit < hi).count();
+        assert_eq!(in_batch(0.0, 4.0), 10);
+        assert_eq!(in_batch(8.0, 12.0), 10);
+        assert_eq!(in_batch(16.0, 20.0), 10);
+    }
+
+    #[test]
+    fn same_seed_same_shapes_across_policies() {
+        let shapes = |policy| {
+            let mut rng = SplitMix64::new(3);
+            cohort_trace(20, policy, &mut rng)
+                .into_iter()
+                .map(|j| (j.duration.to_bits(), j.gpus))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            shapes(SubmissionPolicy::Clustered),
+            shapes(SubmissionPolicy::Staged { batches: 4, window: 6.0 })
+        );
+    }
+
+    #[test]
+    fn some_jobs_want_big_allocations() {
+        let mut rng = SplitMix64::new(4);
+        let jobs = cohort_trace(100, SubmissionPolicy::Clustered, &mut rng);
+        assert!(jobs.iter().any(|j| j.gpus == 4), "big-allocation jobs exist");
+        assert!(jobs.iter().any(|j| j.duration > 4.0), "long jobs exist");
+    }
+}

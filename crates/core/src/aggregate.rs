@@ -1,0 +1,129 @@
+//! Multi-seed aggregation of run records.
+//!
+//! A single seeded run answers "what happened"; a *claim* needs the
+//! distribution over seeds — exactly the reliability framing the RL project
+//! uses and the framing artifact reviewers apply when a rerun doesn't match
+//! to the digit. This module folds a set of [`RunRecord`]s into per-metric
+//! summaries (mean/std/min/max via the streaming [`Welford`] accumulator)
+//! and renders them as a report table.
+
+use crate::experiment::RunRecord;
+use crate::report::{Cell, Table};
+use std::collections::BTreeMap;
+use treu_math::stats::Welford;
+
+/// Summary of one metric across runs.
+#[derive(Debug, Clone)]
+pub struct MetricSummary {
+    /// Streaming moments.
+    pub stats: Welford,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl MetricSummary {
+    fn new() -> Self {
+        Self { stats: Welford::new(), min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    fn add(&mut self, v: f64) {
+        self.stats.add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+}
+
+/// Aggregates the metrics of many runs (typically one per seed).
+///
+/// Metrics recorded multiple times within one run contribute their *final*
+/// value, matching [`RunRecord::metric`] semantics.
+pub fn summarize(records: &[RunRecord]) -> BTreeMap<String, MetricSummary> {
+    let mut out: BTreeMap<String, MetricSummary> = BTreeMap::new();
+    for rec in records {
+        // Last value per name within this record.
+        let mut last: BTreeMap<&str, f64> = BTreeMap::new();
+        for (name, value) in rec.trail.metrics() {
+            last.insert(name, value);
+        }
+        for (name, value) in last {
+            out.entry(name.to_string()).or_insert_with(MetricSummary::new).add(value);
+        }
+    }
+    out
+}
+
+/// Renders a summary as a table with one row per metric.
+pub fn render_summary(title: &str, summary: &BTreeMap<String, MetricSummary>) -> Table {
+    let mut t = Table::new(title, &["metric", "n", "mean", "std", "min", "max"]);
+    for (name, s) in summary {
+        t.push_row(vec![
+            name.as_str().into(),
+            Cell::Int(s.stats.count() as i64),
+            Cell::Float(s.stats.mean(), 4),
+            Cell::Float(s.stats.std_dev(), 4),
+            Cell::Float(s.min, 4),
+            Cell::Float(s.max, 4),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_seeds, Experiment, Params, RunContext};
+
+    struct SeedEcho;
+    impl Experiment for SeedEcho {
+        fn name(&self) -> &str {
+            "seed-echo"
+        }
+        fn run(&self, ctx: &mut RunContext) {
+            ctx.record("seed_mod", (ctx.seed() % 10) as f64);
+            ctx.record("constant", 4.5);
+            // Overwritten metric: only the final value should count.
+            ctx.record("last_wins", 0.0);
+            ctx.record("last_wins", 1.0);
+        }
+    }
+
+    #[test]
+    fn summarize_counts_and_moments() {
+        let records = run_seeds(&SeedEcho, &[1, 2, 3, 14], &Params::new());
+        let s = summarize(&records);
+        let c = &s["constant"];
+        assert_eq!(c.stats.count(), 4);
+        assert_eq!(c.stats.mean(), 4.5);
+        assert_eq!(c.stats.std_dev(), 0.0);
+        let m = &s["seed_mod"];
+        assert_eq!(m.min, 1.0);
+        assert_eq!(m.max, 4.0);
+        assert!((m.stats.mean() - 10.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_metric_takes_final_value() {
+        let records = run_seeds(&SeedEcho, &[7], &Params::new());
+        let s = summarize(&records);
+        assert_eq!(s["last_wins"].stats.mean(), 1.0);
+        assert_eq!(s["last_wins"].stats.count(), 1);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_summary() {
+        assert!(summarize(&[]).is_empty());
+    }
+
+    #[test]
+    fn render_lists_metrics_sorted() {
+        let records = run_seeds(&SeedEcho, &[1, 2], &Params::new());
+        let table = render_summary("Across seeds", &summarize(&records));
+        let s = table.render();
+        assert!(s.contains("Across seeds"));
+        let pos_c = s.find("constant").unwrap();
+        let pos_s = s.find("seed_mod").unwrap();
+        assert!(pos_c < pos_s, "BTreeMap ordering in render");
+    }
+}

@@ -1,0 +1,246 @@
+//! Machine-checkable research-artifact specifications.
+//!
+//! Section 2.1's pilot study surfaced a finding this module encodes
+//! directly: "authors conceive of research artifacts as distinct from the
+//! documentation that explains them; to computational researchers,
+//! artifacts are code." An [`Artifact`] therefore carries two separable
+//! halves — [`CodeComponent`]s (the artifact proper) and
+//! [`DocComponent`]s (the explanation) — and completeness is evaluated for
+//! each half on its own, so a review can say "the code is complete but the
+//! docs are not" rather than collapsing both into one score.
+
+use serde::{Deserialize, Serialize};
+
+/// A code-shaped component of an artifact (source tree, script, dataset
+/// generator, container recipe).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodeComponent {
+    /// Component name (e.g. `"training script"`).
+    pub name: String,
+    /// Language or format (e.g. `"rust"`, `"dockerfile"`).
+    pub kind: String,
+    /// Whether the component declares a pinned version/digest.
+    pub pinned: bool,
+    /// Whether an automated check (test, smoke run) covers it.
+    pub checked: bool,
+}
+
+/// A documentation component (README, setup instructions, claims list).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DocComponent {
+    /// Document name (e.g. `"README"`).
+    pub name: String,
+    /// Which claims/steps the document covers.
+    pub covers: Vec<String>,
+}
+
+/// A falsifiable claim the artifact is supposed to support.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Claim {
+    /// Claim identifier (e.g. `"T1"`, `"E2.10"`).
+    pub id: String,
+    /// Statement of the claim.
+    pub statement: String,
+    /// Tolerance for numeric reproduction, when applicable (relative).
+    pub tolerance: f64,
+}
+
+/// A complete artifact specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Artifact {
+    /// Artifact name.
+    pub name: String,
+    /// Version string.
+    pub version: String,
+    /// Code half.
+    pub code: Vec<CodeComponent>,
+    /// Documentation half.
+    pub docs: Vec<DocComponent>,
+    /// Claims the artifact supports.
+    pub claims: Vec<Claim>,
+}
+
+/// Completeness report for one artifact, produced by [`Artifact::assess`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assessment {
+    /// Fraction of code components that are pinned.
+    pub code_pinned_fraction: f64,
+    /// Fraction of code components covered by automated checks.
+    pub code_checked_fraction: f64,
+    /// Claims with no documentation coverage.
+    pub undocumented_claims: Vec<String>,
+    /// Claims referenced by docs but not declared (dangling references).
+    pub dangling_doc_refs: Vec<String>,
+}
+
+impl Assessment {
+    /// True when the code half is complete: every component pinned and
+    /// checked.
+    pub fn code_complete(&self) -> bool {
+        self.code_pinned_fraction >= 1.0 && self.code_checked_fraction >= 1.0
+    }
+
+    /// True when the documentation half is complete: every claim covered
+    /// and no dangling references.
+    pub fn docs_complete(&self) -> bool {
+        self.undocumented_claims.is_empty() && self.dangling_doc_refs.is_empty()
+    }
+}
+
+impl Artifact {
+    /// Starts a named artifact.
+    pub fn new(name: &str, version: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            version: version.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Builder: adds a code component.
+    pub fn with_code(mut self, name: &str, kind: &str, pinned: bool, checked: bool) -> Self {
+        self.code.push(CodeComponent {
+            name: name.to_string(),
+            kind: kind.to_string(),
+            pinned,
+            checked,
+        });
+        self
+    }
+
+    /// Builder: adds a documentation component covering the given claim ids.
+    pub fn with_doc(mut self, name: &str, covers: &[&str]) -> Self {
+        self.docs.push(DocComponent {
+            name: name.to_string(),
+            covers: covers.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Builder: adds a claim.
+    pub fn with_claim(mut self, id: &str, statement: &str, tolerance: f64) -> Self {
+        self.claims.push(Claim {
+            id: id.to_string(),
+            statement: statement.to_string(),
+            tolerance,
+        });
+        self
+    }
+
+    /// Assesses completeness of the two halves independently.
+    pub fn assess(&self) -> Assessment {
+        let n = self.code.len().max(1) as f64;
+        let code_pinned_fraction = self.code.iter().filter(|c| c.pinned).count() as f64 / n;
+        let code_checked_fraction = self.code.iter().filter(|c| c.checked).count() as f64 / n;
+
+        let covered: std::collections::BTreeSet<&str> = self
+            .docs
+            .iter()
+            .flat_map(|d| d.covers.iter().map(|s| s.as_str()))
+            .collect();
+        let declared: std::collections::BTreeSet<&str> =
+            self.claims.iter().map(|c| c.id.as_str()).collect();
+
+        let undocumented_claims = declared
+            .iter()
+            .filter(|id| !covered.contains(**id))
+            .map(|s| s.to_string())
+            .collect();
+        let dangling_doc_refs = covered
+            .iter()
+            .filter(|id| !declared.contains(**id))
+            .map(|s| s.to_string())
+            .collect();
+
+        Assessment {
+            code_pinned_fraction,
+            code_checked_fraction,
+            undocumented_claims,
+            dangling_doc_refs,
+        }
+    }
+
+    /// Finds a claim by id.
+    pub fn claim(&self, id: &str) -> Option<&Claim> {
+        self.claims.iter().find(|c| c.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_artifact() -> Artifact {
+        Artifact::new("treu", "0.1.0")
+            .with_code("core library", "rust", true, true)
+            .with_code("bench harness", "rust", true, true)
+            .with_doc("README", &["T1", "T2"])
+            .with_doc("EXPERIMENTS", &["T3"])
+            .with_claim("T1", "goal table reproduces", 0.0)
+            .with_claim("T2", "confidence table reproduces", 0.05)
+            .with_claim("T3", "knowledge table reproduces", 0.05)
+    }
+
+    #[test]
+    fn complete_artifact_passes_both_halves() {
+        let a = full_artifact().assess();
+        assert!(a.code_complete());
+        assert!(a.docs_complete());
+        assert_eq!(a.code_pinned_fraction, 1.0);
+    }
+
+    #[test]
+    fn code_and_docs_assessed_independently() {
+        // Good code, bad docs: the §2.1 "artifacts are code" situation.
+        let a = Artifact::new("x", "1")
+            .with_code("lib", "rust", true, true)
+            .with_claim("C1", "it works", 0.0)
+            .assess();
+        assert!(a.code_complete());
+        assert!(!a.docs_complete());
+        assert_eq!(a.undocumented_claims, vec!["C1".to_string()]);
+
+        // Good docs, bad code.
+        let b = Artifact::new("y", "1")
+            .with_code("lib", "rust", false, false)
+            .with_doc("README", &["C1"])
+            .with_claim("C1", "it works", 0.0)
+            .assess();
+        assert!(!b.code_complete());
+        assert!(b.docs_complete());
+    }
+
+    #[test]
+    fn dangling_doc_refs_detected() {
+        let a = Artifact::new("z", "1")
+            .with_doc("README", &["GHOST"])
+            .assess();
+        assert_eq!(a.dangling_doc_refs, vec!["GHOST".to_string()]);
+        assert!(!a.docs_complete());
+    }
+
+    #[test]
+    fn partial_fractions() {
+        let a = Artifact::new("w", "1")
+            .with_code("a", "rust", true, false)
+            .with_code("b", "rust", false, true)
+            .assess();
+        assert_eq!(a.code_pinned_fraction, 0.5);
+        assert_eq!(a.code_checked_fraction, 0.5);
+        assert!(!a.code_complete());
+    }
+
+    #[test]
+    fn empty_artifact_is_doc_complete_but_vacuous() {
+        let a = Artifact::new("empty", "0").assess();
+        assert!(a.docs_complete());
+        assert_eq!(a.code_pinned_fraction, 0.0);
+    }
+
+    #[test]
+    fn claim_lookup() {
+        let art = full_artifact();
+        assert_eq!(art.claim("T2").unwrap().tolerance, 0.05);
+        assert!(art.claim("nope").is_none());
+    }
+}

@@ -1,0 +1,233 @@
+//! ACM-style artifact badge evaluation.
+//!
+//! The REU's §2.1 project piloted materials for studying how conference
+//! artifact-evaluation committees work. This module implements the decision
+//! procedure such a committee applies, in the form used by ACM/IEEE venues:
+//!
+//! * **Artifacts Available** — the artifact exists and is retrievable.
+//! * **Artifacts Evaluated — Functional** — the code half is complete
+//!   (pinned + checked) and documentation explains every claim.
+//! * **Results Reproduced** — an independent rerun produced the claimed
+//!   results within each claim's tolerance.
+//!
+//! Evidence for the last badge is a set of [`ClaimCheck`]s, typically
+//! produced by comparing a fresh [`crate::RunRecord`] against the claimed
+//! values.
+
+use crate::artifact::Artifact;
+use serde::{Deserialize, Serialize};
+
+/// Badges a committee can award, ordered by strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Badge {
+    /// The artifact is permanently retrievable.
+    ArtifactsAvailable,
+    /// The artifact is complete, documented, and exercised by checks.
+    ArtifactsFunctional,
+    /// The artifact's claims were independently reproduced.
+    ResultsReproduced,
+}
+
+/// The outcome of checking one claim against a rerun.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClaimCheck {
+    /// Claim id (matches `Artifact::claims`).
+    pub claim_id: String,
+    /// Value the artifact claims.
+    pub claimed: f64,
+    /// Value the rerun measured.
+    pub measured: f64,
+}
+
+impl ClaimCheck {
+    /// Relative error of the rerun against the claim (absolute error when
+    /// the claimed value is zero).
+    pub fn relative_error(&self) -> f64 {
+        if self.claimed == 0.0 {
+            (self.measured - self.claimed).abs()
+        } else {
+            ((self.measured - self.claimed) / self.claimed).abs()
+        }
+    }
+
+    /// Whether the rerun reproduces the claim within `tolerance`.
+    pub fn within(&self, tolerance: f64) -> bool {
+        self.relative_error() <= tolerance
+    }
+}
+
+/// Result of a badge evaluation: the awarded badges plus the reasons any
+/// badge was withheld.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Badges awarded, sorted ascending by strength.
+    pub awarded: Vec<Badge>,
+    /// Human-readable reasons for each withheld badge.
+    pub withheld: Vec<String>,
+}
+
+impl Evaluation {
+    /// True if the named badge was awarded.
+    pub fn has(&self, badge: Badge) -> bool {
+        self.awarded.contains(&badge)
+    }
+}
+
+/// Evaluates an artifact against the badge ladder.
+///
+/// * `available` — whether the evaluator could retrieve the artifact.
+/// * `checks` — claim-by-claim rerun evidence. Claims with no check count
+///   as unreproduced.
+pub fn evaluate(artifact: &Artifact, available: bool, checks: &[ClaimCheck]) -> Evaluation {
+    let mut awarded = Vec::new();
+    let mut withheld = Vec::new();
+
+    if available {
+        awarded.push(Badge::ArtifactsAvailable);
+    } else {
+        withheld.push("Available: artifact could not be retrieved".to_string());
+    }
+
+    let assessment = artifact.assess();
+    let functional = available && assessment.code_complete() && assessment.docs_complete();
+    if functional {
+        awarded.push(Badge::ArtifactsFunctional);
+    } else if available {
+        if !assessment.code_complete() {
+            withheld.push(format!(
+                "Functional: code incomplete (pinned {:.0}%, checked {:.0}%)",
+                assessment.code_pinned_fraction * 100.0,
+                assessment.code_checked_fraction * 100.0
+            ));
+        }
+        if !assessment.docs_complete() {
+            withheld.push(format!(
+                "Functional: docs incomplete (undocumented: {:?}, dangling: {:?})",
+                assessment.undocumented_claims, assessment.dangling_doc_refs
+            ));
+        }
+    } else {
+        withheld.push("Functional: requires Available".to_string());
+    }
+
+    let mut reproduced = functional && !artifact.claims.is_empty();
+    for claim in &artifact.claims {
+        match checks.iter().find(|c| c.claim_id == claim.id) {
+            Some(check) if check.within(claim.tolerance) => {}
+            Some(check) => {
+                reproduced = false;
+                withheld.push(format!(
+                    "Reproduced: claim {} off by {:.2}% (tolerance {:.2}%)",
+                    claim.id,
+                    check.relative_error() * 100.0,
+                    claim.tolerance * 100.0
+                ));
+            }
+            None => {
+                reproduced = false;
+                withheld.push(format!("Reproduced: claim {} has no rerun evidence", claim.id));
+            }
+        }
+    }
+    if !functional && !artifact.claims.is_empty() {
+        withheld.push("Reproduced: requires Functional".to_string());
+    }
+    if artifact.claims.is_empty() {
+        withheld.push("Reproduced: artifact declares no claims".to_string());
+        reproduced = false;
+    }
+    if reproduced {
+        awarded.push(Badge::ResultsReproduced);
+    }
+
+    Evaluation { awarded, withheld }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good_artifact() -> Artifact {
+        Artifact::new("treu", "0.1.0")
+            .with_code("lib", "rust", true, true)
+            .with_doc("README", &["C1", "C2"])
+            .with_claim("C1", "accuracy is 0.9", 0.05)
+            .with_claim("C2", "speedup is 3x", 0.10)
+    }
+
+    fn good_checks() -> Vec<ClaimCheck> {
+        vec![
+            ClaimCheck { claim_id: "C1".into(), claimed: 0.9, measured: 0.91 },
+            ClaimCheck { claim_id: "C2".into(), claimed: 3.0, measured: 2.8 },
+        ]
+    }
+
+    #[test]
+    fn full_ladder_awarded() {
+        let e = evaluate(&good_artifact(), true, &good_checks());
+        assert!(e.has(Badge::ArtifactsAvailable));
+        assert!(e.has(Badge::ArtifactsFunctional));
+        assert!(e.has(Badge::ResultsReproduced));
+        assert!(e.withheld.is_empty(), "{:?}", e.withheld);
+    }
+
+    #[test]
+    fn unavailable_blocks_everything() {
+        let e = evaluate(&good_artifact(), false, &good_checks());
+        assert!(e.awarded.is_empty());
+        assert!(e.withheld.iter().any(|w| w.contains("could not be retrieved")));
+    }
+
+    #[test]
+    fn out_of_tolerance_blocks_reproduced_only() {
+        let mut checks = good_checks();
+        checks[1].measured = 1.0; // 66% off a 10% tolerance
+        let e = evaluate(&good_artifact(), true, &checks);
+        assert!(e.has(Badge::ArtifactsFunctional));
+        assert!(!e.has(Badge::ResultsReproduced));
+        assert!(e.withheld.iter().any(|w| w.contains("C2")));
+    }
+
+    #[test]
+    fn missing_evidence_blocks_reproduced() {
+        let checks = vec![good_checks().remove(0)];
+        let e = evaluate(&good_artifact(), true, &checks);
+        assert!(!e.has(Badge::ResultsReproduced));
+        assert!(e.withheld.iter().any(|w| w.contains("no rerun evidence")));
+    }
+
+    #[test]
+    fn incomplete_docs_block_functional_and_reproduced() {
+        let art = Artifact::new("x", "1")
+            .with_code("lib", "rust", true, true)
+            .with_claim("C1", "claim", 0.0);
+        let e = evaluate(&art, true, &[]);
+        assert!(e.has(Badge::ArtifactsAvailable));
+        assert!(!e.has(Badge::ArtifactsFunctional));
+        assert!(!e.has(Badge::ResultsReproduced));
+    }
+
+    #[test]
+    fn zero_claim_artifact_cannot_be_reproduced() {
+        let art = Artifact::new("x", "1")
+            .with_code("lib", "rust", true, true);
+        let e = evaluate(&art, true, &[]);
+        assert!(e.has(Badge::ArtifactsFunctional));
+        assert!(!e.has(Badge::ResultsReproduced));
+        assert!(e.withheld.iter().any(|w| w.contains("no claims")));
+    }
+
+    #[test]
+    fn relative_error_zero_claim_uses_absolute() {
+        let c = ClaimCheck { claim_id: "z".into(), claimed: 0.0, measured: 0.01 };
+        assert!((c.relative_error() - 0.01).abs() < 1e-15);
+        assert!(c.within(0.02));
+        assert!(!c.within(0.005));
+    }
+
+    #[test]
+    fn badge_ordering() {
+        assert!(Badge::ArtifactsAvailable < Badge::ArtifactsFunctional);
+        assert!(Badge::ArtifactsFunctional < Badge::ResultsReproduced);
+    }
+}

@@ -1,0 +1,358 @@
+//! Seeded, parameterized experiment execution.
+//!
+//! An [`Experiment`] is anything that can run against a [`RunContext`]. The
+//! context is the *only* sanctioned source of randomness and the only sink
+//! for results: components ask it for derived RNG streams by tag, read typed
+//! parameters, and record metrics. Everything the context hands out or
+//! receives is logged to a provenance [`Trail`], so a completed
+//! [`RunRecord`] is a self-describing, fingerprintable account of the run.
+//!
+//! Determinism is a checkable property, not a hope:
+//! [`assert_deterministic`] runs an experiment twice with the same seed and
+//! panics unless the two trails are bit-identical.
+
+use crate::provenance::Trail;
+use std::collections::BTreeMap;
+use std::time::Instant;
+use treu_math::rng::{derive_seed, SplitMix64};
+
+/// Typed parameter values for an experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// Integer parameter.
+    Int(i64),
+    /// Floating-point parameter.
+    Float(f64),
+    /// Textual parameter.
+    Text(String),
+    /// Boolean parameter.
+    Bool(bool),
+}
+
+impl std::fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParamValue::Int(v) => write!(f, "{v}"),
+            ParamValue::Float(v) => write!(f, "{v}"),
+            ParamValue::Text(v) => write!(f, "{v}"),
+            ParamValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// An ordered, named parameter set.
+///
+/// Backed by a `BTreeMap` so iteration (and therefore provenance and
+/// fingerprints) is independent of insertion order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Params {
+    map: BTreeMap<String, ParamValue>,
+}
+
+impl Params {
+    /// Creates an empty parameter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style integer parameter.
+    pub fn with_int(mut self, key: &str, v: i64) -> Self {
+        self.map.insert(key.to_string(), ParamValue::Int(v));
+        self
+    }
+
+    /// Builder-style float parameter.
+    pub fn with_float(mut self, key: &str, v: f64) -> Self {
+        self.map.insert(key.to_string(), ParamValue::Float(v));
+        self
+    }
+
+    /// Builder-style text parameter.
+    pub fn with_text(mut self, key: &str, v: &str) -> Self {
+        self.map.insert(key.to_string(), ParamValue::Text(v.to_string()));
+        self
+    }
+
+    /// Builder-style boolean parameter.
+    pub fn with_bool(mut self, key: &str, v: bool) -> Self {
+        self.map.insert(key.to_string(), ParamValue::Bool(v));
+        self
+    }
+
+    /// Looks up a raw value.
+    pub fn get(&self, key: &str) -> Option<&ParamValue> {
+        self.map.get(key)
+    }
+
+    /// Iterates parameters in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &ParamValue)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no parameters are set.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The live context handed to an experiment while it runs.
+pub struct RunContext {
+    seed: u64,
+    params: Params,
+    trail: Trail,
+}
+
+impl RunContext {
+    /// Creates a context with a master seed and parameters. All parameters
+    /// are logged to the trail up front, so the provenance of a run starts
+    /// with its full configuration.
+    pub fn new(seed: u64, params: Params) -> Self {
+        let mut trail = Trail::new();
+        trail.param("seed", seed);
+        for (k, v) in params.iter() {
+            trail.param(k, v);
+        }
+        Self { seed, params, trail }
+    }
+
+    /// The master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Opens an independent RNG stream derived from the master seed and a
+    /// tag; the derivation is logged.
+    pub fn rng(&mut self, tag: &str) -> SplitMix64 {
+        let s = derive_seed(self.seed, tag);
+        self.trail.rng_stream(tag, s);
+        SplitMix64::new(s)
+    }
+
+    /// Reads an integer parameter, falling back to `default`.
+    pub fn int(&self, key: &str, default: i64) -> i64 {
+        match self.params.get(key) {
+            Some(ParamValue::Int(v)) => *v,
+            _ => default,
+        }
+    }
+
+    /// Reads a float parameter, falling back to `default`.
+    pub fn float(&self, key: &str, default: f64) -> f64 {
+        match self.params.get(key) {
+            Some(ParamValue::Float(v)) => *v,
+            Some(ParamValue::Int(v)) => *v as f64,
+            _ => default,
+        }
+    }
+
+    /// Reads a boolean parameter, falling back to `default`.
+    pub fn bool(&self, key: &str, default: bool) -> bool {
+        match self.params.get(key) {
+            Some(ParamValue::Bool(v)) => *v,
+            _ => default,
+        }
+    }
+
+    /// Reads a text parameter, falling back to `default`.
+    pub fn text(&self, key: &str, default: &str) -> String {
+        match self.params.get(key) {
+            Some(ParamValue::Text(v)) => v.clone(),
+            _ => default.to_string(),
+        }
+    }
+
+    /// Records a scalar result metric.
+    pub fn record(&mut self, name: &str, value: f64) {
+        self.trail.metric(name, value);
+    }
+
+    /// Records a free-form note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.trail.note(text);
+    }
+
+    /// Read-only view of the trail so far.
+    pub fn trail(&self) -> &Trail {
+        &self.trail
+    }
+}
+
+/// A completed run: the trail plus wall-clock duration.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Experiment name.
+    pub name: String,
+    /// Master seed used.
+    pub seed: u64,
+    /// Full provenance trail.
+    pub trail: Trail,
+    /// Wall-clock duration of `Experiment::run` in seconds. Excluded from
+    /// the fingerprint: timing is environment, not result.
+    pub wall_seconds: f64,
+}
+
+impl RunRecord {
+    /// Fingerprint of the run's trail (see [`Trail::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.trail.fingerprint()
+    }
+
+    /// Convenience metric lookup.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.trail.metric_value(name)
+    }
+}
+
+/// Anything runnable under the harness.
+pub trait Experiment {
+    /// Stable, human-readable experiment name (used in registries and
+    /// reports).
+    fn name(&self) -> &str;
+
+    /// Executes the experiment against the context. All randomness must
+    /// come from `ctx.rng(..)` and all results must go to `ctx.record(..)`
+    /// for the determinism guarantees to hold.
+    fn run(&self, ctx: &mut RunContext);
+}
+
+/// Runs an experiment once and returns the record.
+pub fn run_once<E: Experiment + ?Sized>(exp: &E, seed: u64, params: Params) -> RunRecord {
+    let mut ctx = RunContext::new(seed, params);
+    let start = Instant::now();
+    exp.run(&mut ctx);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    RunRecord {
+        name: exp.name().to_string(),
+        seed,
+        trail: ctx.trail,
+        wall_seconds,
+    }
+}
+
+/// Runs an experiment over several seeds, returning one record per seed.
+pub fn run_seeds<E: Experiment + ?Sized>(exp: &E, seeds: &[u64], params: &Params) -> Vec<RunRecord> {
+    seeds.iter().map(|&s| run_once(exp, s, params.clone())).collect()
+}
+
+/// Runs the experiment twice with the same seed and panics unless the two
+/// provenance trails are identical — the workspace's executable definition
+/// of "this experiment is reproducible".
+///
+/// Returns the (shared) fingerprint on success.
+pub fn assert_deterministic<E: Experiment + ?Sized>(exp: &E, seed: u64, params: &Params) -> u64 {
+    let a = run_once(exp, seed, params.clone());
+    let b = run_once(exp, seed, params.clone());
+    assert_eq!(
+        a.trail, b.trail,
+        "experiment '{}' is not deterministic for seed {seed}",
+        exp.name()
+    );
+    a.fingerprint()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Noisy;
+    impl Experiment for Noisy {
+        fn name(&self) -> &str {
+            "noisy"
+        }
+        fn run(&self, ctx: &mut RunContext) {
+            let n = ctx.int("n", 10) as usize;
+            let mut rng = ctx.rng("draws");
+            let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+            ctx.record("mean", mean);
+        }
+    }
+
+    #[test]
+    fn run_once_records_config_and_metrics() {
+        let rec = run_once(&Noisy, 42, Params::new().with_int("n", 100));
+        assert_eq!(rec.name, "noisy");
+        assert_eq!(rec.seed, 42);
+        assert!(rec.metric("mean").is_some());
+        // Config appears in the trail.
+        let rendered = rec.trail.render();
+        assert!(rendered.contains("param  n = 100"));
+        assert!(rendered.contains("param  seed = 42"));
+        assert!(rendered.contains("rng    draws"));
+    }
+
+    #[test]
+    fn determinism_holds() {
+        let fp = assert_deterministic(&Noisy, 7, &Params::new().with_int("n", 50));
+        let again = assert_deterministic(&Noisy, 7, &Params::new().with_int("n", 50));
+        assert_eq!(fp, again);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_once(&Noisy, 1, Params::new());
+        let b = run_once(&Noisy, 2, Params::new());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.metric("mean"), b.metric("mean"));
+    }
+
+    #[test]
+    fn params_are_order_insensitive() {
+        let p1 = Params::new().with_int("a", 1).with_int("b", 2);
+        let p2 = Params::new().with_int("b", 2).with_int("a", 1);
+        let r1 = run_once(&Noisy, 3, p1);
+        let r2 = run_once(&Noisy, 3, p2);
+        assert_eq!(r1.fingerprint(), r2.fingerprint());
+    }
+
+    #[test]
+    fn param_type_coercion() {
+        let ctx = RunContext::new(0, Params::new().with_int("k", 5).with_float("x", 1.5));
+        assert_eq!(ctx.int("k", 0), 5);
+        assert_eq!(ctx.float("k", 0.0), 5.0); // int readable as float
+        assert_eq!(ctx.float("x", 0.0), 1.5);
+        assert_eq!(ctx.int("x", 9), 9); // float not readable as int
+        assert!(ctx.bool("missing", true));
+        assert_eq!(ctx.text("missing", "d"), "d");
+    }
+
+    #[test]
+    fn run_seeds_produces_one_record_each() {
+        let recs = run_seeds(&Noisy, &[1, 2, 3], &Params::new());
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[1].seed, 2);
+    }
+
+    struct NonDet(std::cell::Cell<u64>);
+    impl Experiment for NonDet {
+        fn name(&self) -> &str {
+            "nondet"
+        }
+        fn run(&self, ctx: &mut RunContext) {
+            self.0.set(self.0.get() + 1);
+            ctx.record("counter", self.0.get() as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not deterministic")]
+    fn nondeterminism_is_caught() {
+        assert_deterministic(&NonDet(std::cell::Cell::new(0)), 1, &Params::new());
+    }
+
+    #[test]
+    fn rng_streams_are_independent_of_each_other() {
+        let mut ctx = RunContext::new(10, Params::new());
+        let mut a = ctx.rng("a");
+        let mut b = ctx.rng("b");
+        assert_ne!(a.next_u64(), b.next_u64());
+        // Re-opening the same tag yields the same stream.
+        let mut a2 = ctx.rng("a");
+        let mut a3 = RunContext::new(10, Params::new()).rng("a");
+        assert_eq!(a2.next_u64(), a3.next_u64());
+    }
+}

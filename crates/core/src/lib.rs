@@ -1,0 +1,51 @@
+//! `treu-core` — the reproducibility and artifact-evaluation harness.
+//!
+//! The TREU paper's central thesis is that *trust fundamentally depends on
+//! reproducibility*: "a person must be able to take an existing scientific
+//! result or a pre-existing software component, test it, and see if they can
+//! reproduce the published specifications or claims." This crate turns that
+//! thesis into infrastructure. Every experiment in the workspace runs
+//! through it:
+//!
+//! * [`experiment`] — seeded, parameterized experiment runs with per-
+//!   component RNG streams. Identical seeds produce bitwise-identical
+//!   results, and [`experiment::assert_deterministic`] verifies it.
+//! * [`provenance`] — an append-only trail of everything a run did
+//!   (parameters read, RNG streams opened, metrics recorded), with a stable
+//!   fingerprint so two runs can be compared byte-for-byte.
+//! * [`environment`] — capture of the host environment, the part of a
+//!   result that is *not* controlled by the seed and must be disclosed.
+//! * [`artifact`] — machine-checkable artifact specifications, modelling
+//!   the §2.1 finding that "authors conceive of research artifacts as
+//!   distinct from the documentation that explains them": both halves are
+//!   first-class and completeness is checked for each separately.
+//! * [`badge`] — ACM-style badge evaluation (Available / Functional /
+//!   Results Reproduced) computed from an artifact spec plus run evidence.
+//! * [`registry`] — the per-experiment index required by DESIGN.md: every
+//!   table/figure id maps to a runnable entry.
+//! * [`study`] — the human-centered-computing substrate for §2.1: diary
+//!   study instruments, interview protocols and pilot-session revision
+//!   tracking.
+//! * [`sweep`] — parameter-grid sweeps with per-point derived seeds.
+//! * [`aggregate`] — multi-seed metric summaries (the distributional view
+//!   reliability claims need).
+//! * [`report`] — plain-text table rendering shared by the survey crate and
+//!   the examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod artifact;
+pub mod badge;
+pub mod environment;
+pub mod experiment;
+pub mod provenance;
+pub mod registry;
+pub mod report;
+pub mod study;
+pub mod sweep;
+
+pub use experiment::{Experiment, RunContext, RunRecord};
+pub use provenance::Trail;
+pub use registry::ExperimentRegistry;

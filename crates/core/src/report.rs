@@ -1,0 +1,191 @@
+//! Plain-text table rendering.
+//!
+//! The paper's evaluation is three tables; the survey crate and the
+//! examples render their reproductions through this module so all output
+//! shares one format. Tables are built row-by-row and rendered with
+//! per-column width computation; numeric cells support fixed precision.
+
+/// A cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Textual cell.
+    Text(String),
+    /// Integer cell.
+    Int(i64),
+    /// Float cell rendered with the given number of decimals.
+    Float(f64, usize),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Int(v) => v.to_string(),
+            Cell::Float(v, prec) => format!("{v:.*}", prec),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+
+impl From<i64> for Cell {
+    fn from(v: i64) -> Self {
+        Cell::Int(v)
+    }
+}
+
+/// A plain-text table with a title, column headers and rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<Cell>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's arity differs from the header's.
+    pub fn push_row(&mut self, row: Vec<Cell>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns a data cell (row, col).
+    pub fn cell(&self, row: usize, col: usize) -> Option<&Cell> {
+        self.rows.get(row)?.get(col)
+    }
+
+    /// Renders the table: title, rule, aligned header, rule, rows.
+    ///
+    /// First column is left-aligned, remaining columns right-aligned — the
+    /// convention of the paper's tables (label then numbers).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let rendered_rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::render).collect())
+            .collect();
+        for row in &rendered_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        out.push_str(&"=".repeat(total.max(self.title.len())));
+        out.push('\n');
+        let fmt_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    out.push_str(&format!("{:<w$}", cell, w = widths[i]));
+                } else {
+                    out.push_str(&format!("{:>w$}", cell, w = widths[i]));
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.headers, &mut out);
+        out.push_str(&"-".repeat(total.max(self.title.len())));
+        out.push('\n');
+        for row in &rendered_rows {
+            fmt_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a labelled scalar comparison line, used by EXPERIMENTS.md
+/// tooling: `label: paper=X measured=Y (delta Z%)`.
+pub fn comparison_line(label: &str, paper: f64, measured: f64) -> String {
+    let delta = if paper == 0.0 {
+        measured - paper
+    } else {
+        (measured - paper) / paper * 100.0
+    };
+    format!("{label}: paper={paper:.3} measured={measured:.3} (delta {delta:+.1}%)")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["name", "count"]);
+        t.push_row(vec!["alpha".into(), Cell::Int(5)]);
+        t.push_row(vec!["a-very-long-label".into(), Cell::Int(123)]);
+        let s = t.render();
+        assert!(s.contains("Demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header + 2 rows, all the same length after alignment.
+        let data: Vec<&&str> = lines.iter().filter(|l| l.contains("alpha") || l.contains("count") || l.contains("long")).collect();
+        assert_eq!(data.len(), 3);
+        assert_eq!(data[0].len(), data[2].len());
+    }
+
+    #[test]
+    fn float_precision_respected() {
+        let c = Cell::Float(3.14159, 2);
+        assert_eq!(c.render(), "3.14");
+        let c0 = Cell::Float(2.0, 0);
+        assert_eq!(c0.render(), "2");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn cell_accessors() {
+        let mut t = Table::new("x", &["a"]);
+        t.push_row(vec![Cell::Int(7)]);
+        assert_eq!(t.n_rows(), 1);
+        assert_eq!(t.cell(0, 0), Some(&Cell::Int(7)));
+        assert_eq!(t.cell(1, 0), None);
+    }
+
+    #[test]
+    fn comparison_line_formats() {
+        let s = comparison_line("PhD intent", 3.6, 3.6);
+        assert!(s.contains("delta +0.0%"), "{s}");
+        let z = comparison_line("zero", 0.0, 0.5);
+        assert!(z.contains("0.5"));
+    }
+}

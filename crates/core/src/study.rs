@@ -1,0 +1,287 @@
+//! Human-centered-computing study substrate (paper §2.1).
+//!
+//! The Artifact Evaluation project had students pilot *study materials* —
+//! diary-study questions and semi-structured interview protocols — and
+//! revise them based on pilot feedback. This module models those
+//! instruments and the revision loop: materials are versioned, pilot
+//! sessions attach clarity/comprehensiveness ratings and comments to
+//! individual items, and a revision pass produces the next version with a
+//! change log. The paper's own outcome ("students substantially revised the
+//! materials, improving their validity and utility") becomes a checkable
+//! property: validity scores are non-decreasing across revisions applied
+//! from pilot feedback.
+
+/// An individual prompt in a study instrument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Item {
+    /// Stable item identifier.
+    pub id: String,
+    /// The text shown to participants.
+    pub prompt: String,
+}
+
+/// The kind of instrument, mirroring the §2.1 materials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstrumentKind {
+    /// Daily diary-study questionnaire (piloted in Qualtrics in the paper).
+    DiaryStudy,
+    /// Semi-structured interview protocol (conducted over Zoom).
+    InterviewProtocol,
+}
+
+/// A versioned study instrument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instrument {
+    /// Instrument kind.
+    pub kind: InstrumentKind,
+    /// Version number, starting at 1.
+    pub version: u32,
+    /// Items, in presentation order.
+    pub items: Vec<Item>,
+    /// Change log lines accumulated across revisions.
+    pub changelog: Vec<String>,
+}
+
+impl Instrument {
+    /// Creates version 1 of an instrument from `(id, prompt)` pairs.
+    pub fn new(kind: InstrumentKind, items: &[(&str, &str)]) -> Self {
+        Self {
+            kind,
+            version: 1,
+            items: items
+                .iter()
+                .map(|(id, p)| Item { id: id.to_string(), prompt: p.to_string() })
+                .collect(),
+            changelog: Vec::new(),
+        }
+    }
+
+    /// Looks up an item by id.
+    pub fn item(&self, id: &str) -> Option<&Item> {
+        self.items.iter().find(|i| i.id == id)
+    }
+}
+
+/// Per-item feedback from one pilot participant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemFeedback {
+    /// Item id the feedback refers to.
+    pub item_id: String,
+    /// Clarity rating 1–5.
+    pub clarity: u8,
+    /// Comprehensiveness rating 1–5 (does it capture what it should?).
+    pub comprehensiveness: u8,
+    /// Optional rewording suggestion.
+    pub suggestion: Option<String>,
+}
+
+/// One pilot session: a participant works through the instrument and
+/// leaves per-item feedback. The paper ran four such sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PilotSession {
+    /// Pilot participant label (anonymized).
+    pub participant: String,
+    /// Instrument version piloted.
+    pub instrument_version: u32,
+    /// Collected feedback.
+    pub feedback: Vec<ItemFeedback>,
+}
+
+/// Aggregated validity score of an instrument given pilot feedback:
+/// mean of clarity and comprehensiveness over all feedback items, on 1–5.
+///
+/// Returns `None` when there is no feedback to aggregate.
+pub fn validity_score(sessions: &[PilotSession]) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for s in sessions {
+        for f in &s.feedback {
+            sum += f64::from(f.clarity) + f64::from(f.comprehensiveness);
+            n += 2;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+/// Applies pilot feedback to produce the next instrument version.
+///
+/// Revision policy (a distillation of what the REU students did):
+/// * any item whose *mean clarity* across sessions is below `threshold`
+///   and that has at least one suggestion is reworded to the first
+///   suggestion offered;
+/// * items below threshold with no suggestion are flagged in the changelog
+///   for manual attention but kept verbatim;
+/// * all other items pass through unchanged.
+pub fn revise(instrument: &Instrument, sessions: &[PilotSession], threshold: f64) -> Instrument {
+    let mut next = instrument.clone();
+    next.version += 1;
+    for item in &mut next.items {
+        let mut ratings = Vec::new();
+        let mut suggestion = None;
+        for s in sessions {
+            if s.instrument_version != instrument.version {
+                continue;
+            }
+            for f in &s.feedback {
+                if f.item_id == item.id {
+                    ratings.push(f64::from(f.clarity));
+                    if suggestion.is_none() {
+                        suggestion = f.suggestion.clone();
+                    }
+                }
+            }
+        }
+        if ratings.is_empty() {
+            continue;
+        }
+        let mean = ratings.iter().sum::<f64>() / ratings.len() as f64;
+        if mean < threshold {
+            match suggestion {
+                Some(s) => {
+                    next.changelog.push(format!(
+                        "v{}: reworded '{}' (mean clarity {mean:.1})",
+                        next.version, item.id
+                    ));
+                    item.prompt = s;
+                }
+                None => next.changelog.push(format!(
+                    "v{}: '{}' flagged (mean clarity {mean:.1}), no suggestion",
+                    next.version, item.id
+                )),
+            }
+        }
+    }
+    next
+}
+
+/// The default TREU diary-study instrument, transcribed from the study
+/// design the §2.1 students piloted: daily prompts about artifact-review
+/// activity and obstacles.
+pub fn default_diary_study() -> Instrument {
+    Instrument::new(
+        InstrumentKind::DiaryStudy,
+        &[
+            ("d1", "Which artifact did you work on today, and for how long?"),
+            ("d2", "What were you trying to reproduce or verify?"),
+            ("d3", "What obstacles did you encounter (missing docs, broken deps, hardware)?"),
+            ("d4", "Did you contact the authors or other reviewers? What happened?"),
+            ("d5", "How confident are you that the artifact supports its claims (1-5)?"),
+        ],
+    )
+}
+
+/// The default TREU interview protocol: semi-structured questions on how
+/// reviewers evaluate artifacts and the sociotechnical factors involved.
+pub fn default_interview_protocol() -> Instrument {
+    Instrument::new(
+        InstrumentKind::InterviewProtocol,
+        &[
+            ("q1", "Walk me through the last artifact you reviewed."),
+            ("q2", "What does 'reproducible' mean to you in practice?"),
+            ("q3", "How do you weigh code quality versus documentation quality?"),
+            ("q4", "What rewards or costs shape whether you volunteer to review?"),
+            ("q5", "When an artifact fails, how do you decide between 'broken' and 'I am misusing it'?"),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pilot(version: u32, item: &str, clarity: u8, suggestion: Option<&str>) -> PilotSession {
+        PilotSession {
+            participant: "p".into(),
+            instrument_version: version,
+            feedback: vec![ItemFeedback {
+                item_id: item.into(),
+                clarity,
+                comprehensiveness: 4,
+                suggestion: suggestion.map(str::to_string),
+            }],
+        }
+    }
+
+    #[test]
+    fn default_instruments_have_items() {
+        assert_eq!(default_diary_study().items.len(), 5);
+        assert_eq!(default_interview_protocol().items.len(), 5);
+        assert!(default_diary_study().item("d3").is_some());
+    }
+
+    #[test]
+    fn low_clarity_item_with_suggestion_is_reworded() {
+        let v1 = default_diary_study();
+        let sessions = vec![pilot(1, "d2", 1, Some("What claim were you testing today?"))];
+        let v2 = revise(&v1, &sessions, 3.0);
+        assert_eq!(v2.version, 2);
+        assert_eq!(v2.item("d2").unwrap().prompt, "What claim were you testing today?");
+        assert_eq!(v2.changelog.len(), 1);
+        assert!(v2.changelog[0].contains("reworded 'd2'"));
+    }
+
+    #[test]
+    fn low_clarity_without_suggestion_is_flagged_not_changed() {
+        let v1 = default_diary_study();
+        let original = v1.item("d4").unwrap().prompt.clone();
+        let v2 = revise(&v1, &[pilot(1, "d4", 2, None)], 3.0);
+        assert_eq!(v2.item("d4").unwrap().prompt, original);
+        assert!(v2.changelog[0].contains("flagged"));
+    }
+
+    #[test]
+    fn clear_items_pass_through() {
+        let v1 = default_diary_study();
+        let v2 = revise(&v1, &[pilot(1, "d1", 5, Some("ignored"))], 3.0);
+        assert_eq!(v2.item("d1").unwrap().prompt, v1.item("d1").unwrap().prompt);
+        assert!(v2.changelog.is_empty());
+    }
+
+    #[test]
+    fn feedback_for_other_versions_is_ignored() {
+        let v1 = default_diary_study();
+        let v2 = revise(&v1, &[pilot(99, "d1", 1, Some("wrong version"))], 3.0);
+        assert_eq!(v2.item("d1").unwrap().prompt, v1.item("d1").unwrap().prompt);
+    }
+
+    #[test]
+    fn validity_improves_after_revision_from_feedback() {
+        // Simulate the paper's four pilot sessions: v1 gets poor clarity on
+        // two items; after revision, reworded items pilot better.
+        let v1 = default_diary_study();
+        let v1_sessions: Vec<PilotSession> = (0..4)
+            .map(|i| PilotSession {
+                participant: format!("p{i}"),
+                instrument_version: 1,
+                feedback: vec![
+                    ItemFeedback { item_id: "d2".into(), clarity: 2, comprehensiveness: 3, suggestion: Some("What claim were you testing?".into()) },
+                    ItemFeedback { item_id: "d3".into(), clarity: 2, comprehensiveness: 3, suggestion: Some("List every blocker you hit.".into()) },
+                ],
+            })
+            .collect();
+        let before = validity_score(&v1_sessions).unwrap();
+        let v2 = revise(&v1, &v1_sessions, 3.0);
+        let v2_sessions: Vec<PilotSession> = (0..4)
+            .map(|i| PilotSession {
+                participant: format!("p{i}"),
+                instrument_version: 2,
+                feedback: vec![
+                    ItemFeedback { item_id: "d2".into(), clarity: 4, comprehensiveness: 4, suggestion: None },
+                    ItemFeedback { item_id: "d3".into(), clarity: 5, comprehensiveness: 4, suggestion: None },
+                ],
+            })
+            .collect();
+        let after = validity_score(&v2_sessions).unwrap();
+        assert!(after > before, "validity must improve: {before} -> {after}");
+        assert_eq!(v2.changelog.len(), 2);
+    }
+
+    #[test]
+    fn validity_none_without_feedback() {
+        assert_eq!(validity_score(&[]), None);
+    }
+}

@@ -1,0 +1,180 @@
+//! The grid-cell detector: a per-cell patch classifier.
+//!
+//! Plays the role of YOLO v8 at the scale of this study: each `CELL x CELL`
+//! grid cell is classified {background, lettuce, weed} from its pixel
+//! patch (plus a one-pixel context ring) by a small MLP. Detection metrics
+//! are per-cell accuracy and per-class F1.
+
+use crate::video::{Frame, CELL, FRAME};
+use treu_math::rng::{derive_seed, SplitMix64};
+use treu_math::Matrix;
+use treu_nn::prelude::*;
+
+/// Patch side length (cell plus one-pixel context ring).
+pub const PATCH: usize = CELL + 2;
+
+/// Detector hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Hidden width.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// SGD learning rate.
+    pub lr: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self { hidden: 24, epochs: 30, batch: 32, lr: 0.05 }
+    }
+}
+
+/// Extracts the padded patch for cell `(gy, gx)` of a frame.
+pub fn cell_patch(frame: &Frame, gy: usize, gx: usize) -> Vec<f64> {
+    let mut patch = vec![0.0; PATCH * PATCH];
+    for py in 0..PATCH {
+        for px in 0..PATCH {
+            let y = (gy * CELL + py) as isize - 1;
+            let x = (gx * CELL + px) as isize - 1;
+            if (0..FRAME as isize).contains(&y) && (0..FRAME as isize).contains(&x) {
+                patch[py * PATCH + px] = frame.pixels[y as usize * FRAME + x as usize];
+            }
+        }
+    }
+    patch
+}
+
+/// Converts frames into per-cell `(features, labels)`.
+pub fn cells_of(frames: &[Frame]) -> (Matrix, Vec<usize>) {
+    let grid = FRAME / CELL;
+    let n = frames.len() * grid * grid;
+    let mut x = Matrix::zeros(n, PATCH * PATCH);
+    let mut y = Vec::with_capacity(n);
+    let mut row = 0;
+    for f in frames {
+        for gy in 0..grid {
+            for gx in 0..grid {
+                x.row_mut(row).copy_from_slice(&cell_patch(f, gy, gx));
+                y.push(f.labels[gy * grid + gx]);
+                row += 1;
+            }
+        }
+    }
+    (x, y)
+}
+
+/// The trained detector.
+pub struct CellDetector {
+    model: Sequential,
+}
+
+/// Per-class detection quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionQuality {
+    /// Overall per-cell accuracy.
+    pub accuracy: f64,
+    /// Macro F1 over lettuce and weed (background excluded, since it
+    /// dominates the cell population).
+    pub plant_f1: f64,
+}
+
+impl CellDetector {
+    /// Trains a detector on the given frames.
+    pub fn train(frames: &[Frame], cfg: DetectorConfig, seed: u64) -> Self {
+        let (x, y) = cells_of(frames);
+        let mut model = Sequential::new(vec![
+            Box::new(Dense::new(PATCH * PATCH, cfg.hidden, derive_seed(seed, "l1"))),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(cfg.hidden, 3, derive_seed(seed, "l2"))),
+        ]);
+        let mut opt = Sgd::new(cfg.lr, 0.9);
+        let mut rng = SplitMix64::new(derive_seed(seed, "epochs"));
+        for _ in 0..cfg.epochs {
+            treu_nn::model::train_epoch(&mut model, &mut opt, &x, &y, cfg.batch, &mut rng);
+        }
+        Self { model }
+    }
+
+    /// Predicts the class of each feature row (cells from [`cells_of`]).
+    pub fn predict_cells(&mut self, x: &Matrix) -> Vec<usize> {
+        treu_nn::model::predict(&mut self.model, x)
+    }
+
+    /// Evaluates on frames, returning per-cell accuracy and plant F1.
+    pub fn evaluate(&mut self, frames: &[Frame]) -> DetectionQuality {
+        let (x, y) = cells_of(frames);
+        let preds = treu_nn::model::predict(&mut self.model, &x);
+        let accuracy = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64
+            / y.len().max(1) as f64;
+        let f1 = |class: usize| -> f64 {
+            let tp = preds.iter().zip(&y).filter(|(&p, &t)| p == class && t == class).count() as f64;
+            let fp = preds.iter().zip(&y).filter(|(&p, &t)| p == class && t != class).count() as f64;
+            let fneg = preds.iter().zip(&y).filter(|(&p, &t)| p != class && t == class).count() as f64;
+            if tp == 0.0 {
+                0.0
+            } else {
+                2.0 * tp / (2.0 * tp + fp + fneg)
+            }
+        };
+        DetectionQuality { accuracy, plant_f1: 0.5 * (f1(1) + f1(2)) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{build_dataset, DatasetKind};
+    use crate::video::FieldStrip;
+
+    fn strip(seed: u64) -> FieldStrip {
+        let mut rng = SplitMix64::new(seed);
+        FieldStrip::generate(1600, 10, 0.5, &mut rng)
+    }
+
+    #[test]
+    fn patch_has_context_ring() {
+        let s = strip(1);
+        let f = s.frame(0);
+        let p = cell_patch(&f, 0, 0);
+        assert_eq!(p.len(), PATCH * PATCH);
+        // Top-left corner of the ring is out of frame -> zero padding.
+        assert_eq!(p[0], 0.0);
+    }
+
+    #[test]
+    fn cells_of_shapes() {
+        let s = strip(2);
+        let frames = vec![s.frame(0), s.frame(30)];
+        let (x, y) = cells_of(&frames);
+        let grid = FRAME / CELL;
+        assert_eq!(x.shape(), (2 * grid * grid, PATCH * PATCH));
+        assert_eq!(y.len(), 2 * grid * grid);
+    }
+
+    #[test]
+    fn detector_learns_on_varied_data() {
+        let s = strip(3);
+        let train = build_dataset(&s, DatasetKind::Deaugmented, 0, 24);
+        let val: Vec<_> = (0..10).map(|i| s.frame(700 + i * 40)).collect();
+        let mut det = CellDetector::train(&train.frames, DetectorConfig::default(), 4);
+        let q = det.evaluate(&val);
+        assert!(q.accuracy > 0.85, "accuracy {}", q.accuracy);
+        assert!(q.plant_f1 > 0.5, "plant f1 {}", q.plant_f1);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let s = strip(5);
+        let train = build_dataset(&s, DatasetKind::Original, 0, 12);
+        let val = vec![s.frame(500)];
+        let run = || {
+            let cfg = DetectorConfig { epochs: 5, ..DetectorConfig::default() };
+            let mut det = CellDetector::train(&train.frames, cfg, 6);
+            det.evaluate(&val).accuracy.to_bits()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,33 @@
+//! `treu-detect` — object detection dataset-overlap study (paper §2.6).
+//!
+//! The project: "investigate the performance of object detection models
+//! trained on video frames containing images of lettuce and weeds. The
+//! original dataset, being from video, contained many frames with
+//! overlapping content. We created a second deaugmented dataset, where each
+//! frame is of unique content, and investigated its impact on training
+//! behavior and generalization performance. ... the model trained on
+//! deaugmented set produced better generalization performance ... Because
+//! the deaugmented set covered 24 times the video length compared to the
+//! original dataset, we find the result unsurprising."
+//!
+//! Substitution (DESIGN.md §2): YOLO v8 on field video becomes a grid-cell
+//! detector on a synthetic crop-row video ([`video`]): a camera pans along
+//! a field strip of procedurally rendered lettuce discs and weed crosses,
+//! so frame overlap is an exact, controllable quantity. [`dataset`] builds
+//! the two 24-frame training sets (consecutive frames vs strided unique
+//! frames) and reports their video-length coverage — including the confound
+//! the paper owns up to. [`detector`] is a per-cell patch classifier, and
+//! [`experiment`] reproduces the generalization comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod detector;
+pub mod experiment;
+pub mod metrics;
+pub mod video;
+
+pub use dataset::{build_dataset, DatasetKind};
+pub use detector::{CellDetector, DetectorConfig};
+pub use video::{FieldStrip, Frame, CELL};

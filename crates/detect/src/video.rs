@@ -1,0 +1,254 @@
+//! Synthetic field video: a camera panning along a crop strip.
+//!
+//! The world is a tall pixel strip; plants are procedurally rendered with
+//! per-instance appearance variation (size, intensity, raggedness), which
+//! is what makes *instance variety* — and therefore dataset overlap —
+//! matter for generalization. Lettuce renders as a filled disc, weeds as a
+//! noisy cross; both sit on textured soil.
+
+use treu_math::rng::SplitMix64;
+
+/// Frame height and width in pixels (frames are square).
+pub const FRAME: usize = 24;
+/// Cell size of the detector grid (each frame is `FRAME/CELL` cells wide).
+pub const CELL: usize = 6;
+
+/// Per-cell ground-truth class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellClass {
+    /// Bare soil.
+    Background,
+    /// Lettuce plant.
+    Lettuce,
+    /// Weed.
+    Weed,
+}
+
+impl CellClass {
+    /// Numeric label.
+    pub fn label(self) -> usize {
+        match self {
+            CellClass::Background => 0,
+            CellClass::Lettuce => 1,
+            CellClass::Weed => 2,
+        }
+    }
+}
+
+/// A plant instance in the world strip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Plant {
+    /// Center column in world coordinates.
+    cx: usize,
+    /// Center row.
+    cy: usize,
+    /// Radius in pixels.
+    radius: f64,
+    /// Peak intensity.
+    intensity: f64,
+    /// True = lettuce, false = weed.
+    lettuce: bool,
+}
+
+/// The world: a `FRAME`-tall, `length`-wide pixel strip plus its plants.
+#[derive(Debug, Clone)]
+pub struct FieldStrip {
+    /// Pixel intensities, row-major (`FRAME x length`).
+    pixels: Vec<f64>,
+    /// Strip width in pixels.
+    pub length: usize,
+    plants: Vec<Plant>,
+}
+
+/// One camera frame: pixels plus per-cell labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// `FRAME x FRAME` pixels, row-major.
+    pub pixels: Vec<f64>,
+    /// Per-cell labels, row-major over the `(FRAME/CELL)²` grid.
+    pub labels: Vec<usize>,
+    /// World column where the frame starts.
+    pub offset: usize,
+}
+
+impl FieldStrip {
+    /// Generates a strip of the given pixel length with plants roughly
+    /// every `spacing` columns (alternating crop rows), lettuce with
+    /// probability `p_lettuce`.
+    pub fn generate(length: usize, spacing: usize, p_lettuce: f64, rng: &mut SplitMix64) -> Self {
+        assert!(length >= FRAME, "strip shorter than one frame");
+        assert!(spacing >= 4, "plants too dense to label cells uniquely");
+        let mut pixels = vec![0.0; FRAME * length];
+        // Soil texture.
+        for p in pixels.iter_mut() {
+            *p = rng.next_gaussian() * 0.05;
+        }
+        let mut plants = Vec::new();
+        let mut cx = spacing / 2;
+        while cx + 3 < length {
+            let plant = Plant {
+                cx,
+                cy: 4 + rng.next_bounded((FRAME - 8) as u64) as usize,
+                radius: 1.6 + rng.next_f64() * 1.6,
+                intensity: 0.7 + rng.next_f64() * 0.6,
+                lettuce: rng.next_f64() < p_lettuce,
+            };
+            Self::render(&mut pixels, length, plant, rng);
+            plants.push(plant);
+            cx += spacing + rng.next_bounded(3) as usize;
+        }
+        Self { pixels, length, plants }
+    }
+
+    fn render(pixels: &mut [f64], length: usize, p: Plant, rng: &mut SplitMix64) {
+        let r = p.radius.ceil() as isize + 1;
+        for dy in -r..=r {
+            for dx in -r..=r {
+                let y = p.cy as isize + dy;
+                let x = p.cx as isize + dx;
+                if y < 0 || y >= FRAME as isize || x < 0 || x >= length as isize {
+                    continue;
+                }
+                let d = ((dx * dx + dy * dy) as f64).sqrt();
+                let v = if p.lettuce {
+                    // Filled disc with a soft edge.
+                    if d <= p.radius {
+                        p.intensity * (1.0 - 0.3 * d / p.radius)
+                    } else {
+                        0.0
+                    }
+                } else {
+                    // Noisy cross: strong along the axes only.
+                    if (dx == 0 || dy == 0) && d <= p.radius + 1.0 {
+                        -p.intensity * (0.8 + 0.4 * rng.next_f64())
+                    } else {
+                        0.0
+                    }
+                };
+                if v != 0.0 {
+                    pixels[y as usize * length + x as usize] = v;
+                }
+            }
+        }
+    }
+
+    /// Extracts the frame starting at world column `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame would run past the strip.
+    pub fn frame(&self, offset: usize) -> Frame {
+        assert!(offset + FRAME <= self.length, "frame exceeds strip");
+        let mut pixels = vec![0.0; FRAME * FRAME];
+        for y in 0..FRAME {
+            let src = y * self.length + offset;
+            pixels[y * FRAME..(y + 1) * FRAME].copy_from_slice(&self.pixels[src..src + FRAME]);
+        }
+        let grid = FRAME / CELL;
+        let mut labels = vec![CellClass::Background.label(); grid * grid];
+        for p in &self.plants {
+            if p.cx >= offset && p.cx < offset + FRAME {
+                let gx = (p.cx - offset) / CELL;
+                let gy = p.cy / CELL;
+                labels[gy * grid + gx] = if p.lettuce {
+                    CellClass::Lettuce.label()
+                } else {
+                    CellClass::Weed.label()
+                };
+            }
+        }
+        Frame { pixels, labels, offset }
+    }
+
+    /// Number of plants in the strip.
+    pub fn n_plants(&self) -> usize {
+        self.plants.len()
+    }
+
+    /// Number of distinct plant instances visible in frames covering
+    /// `[start, end)` world columns.
+    pub fn plants_in_range(&self, start: usize, end: usize) -> usize {
+        self.plants.iter().filter(|p| p.cx >= start && p.cx < end).count()
+    }
+}
+
+/// Fractional pixel overlap between two frames at the given offsets.
+pub fn frame_overlap(offset_a: usize, offset_b: usize) -> f64 {
+    let gap = offset_a.abs_diff(offset_b);
+    if gap >= FRAME {
+        0.0
+    } else {
+        (FRAME - gap) as f64 / FRAME as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip(seed: u64) -> FieldStrip {
+        let mut rng = SplitMix64::new(seed);
+        FieldStrip::generate(600, 10, 0.5, &mut rng)
+    }
+
+    #[test]
+    fn strip_has_plants_of_both_kinds() {
+        let s = strip(1);
+        assert!(s.n_plants() > 30);
+        let lettuce = s.plants.iter().filter(|p| p.lettuce).count();
+        assert!(lettuce > 5 && lettuce < s.n_plants() - 5);
+    }
+
+    #[test]
+    fn frame_extraction_shapes() {
+        let s = strip(2);
+        let f = s.frame(100);
+        assert_eq!(f.pixels.len(), FRAME * FRAME);
+        assert_eq!(f.labels.len(), (FRAME / CELL) * (FRAME / CELL));
+        assert_eq!(f.offset, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame exceeds strip")]
+    fn out_of_range_frame_panics() {
+        strip(3).frame(590);
+    }
+
+    #[test]
+    fn labels_match_plant_positions() {
+        let s = strip(4);
+        let f = s.frame(50);
+        let visible = s.plants_in_range(50, 50 + FRAME);
+        let labelled = f.labels.iter().filter(|&&l| l != 0).count();
+        // Multiple plants may share a cell; labelled <= visible.
+        assert!(labelled >= 1, "some plant should be visible");
+        assert!(labelled <= visible);
+    }
+
+    #[test]
+    fn consecutive_frames_overlap_heavily() {
+        assert!((frame_overlap(10, 11) - (FRAME as f64 - 1.0) / FRAME as f64).abs() < 1e-12);
+        assert_eq!(frame_overlap(0, FRAME), 0.0);
+        assert_eq!(frame_overlap(5, 5), 1.0);
+    }
+
+    #[test]
+    fn lettuce_is_bright_weeds_are_dark() {
+        let s = strip(5);
+        for p in &s.plants {
+            let v = s.pixels[p.cy * s.length + p.cx];
+            if p.lettuce {
+                assert!(v > 0.3, "lettuce center {v}");
+            } else {
+                assert!(v < -0.3, "weed center {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        let a = strip(7);
+        let b = strip(7);
+        assert_eq!(a.pixels, b.pixels);
+    }
+}

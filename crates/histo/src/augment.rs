@@ -1,0 +1,146 @@
+//! Dihedral data augmentation for square patches.
+//!
+//! The eight symmetries of the square (4 rotations × optional mirror),
+//! applied consistently to image and mask. Cell counts are invariant.
+
+use crate::synth::{PatchDataset, PATCH_SIDE};
+use treu_math::rng::SplitMix64;
+use treu_math::Matrix;
+
+/// One of the eight dihedral transforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dihedral {
+    /// Quarter-turns (0–3).
+    pub rot: u8,
+    /// Mirror horizontally first.
+    pub flip: bool,
+}
+
+impl Dihedral {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Self { rot: 0, flip: false }
+    }
+
+    /// Draws a uniformly random transform.
+    pub fn random(rng: &mut SplitMix64) -> Self {
+        Self { rot: (rng.next_bounded(4)) as u8, flip: rng.next_f64() < 0.5 }
+    }
+
+    /// Applies the transform to a flattened square image.
+    pub fn apply(self, img: &[f64]) -> Vec<f64> {
+        assert_eq!(img.len(), PATCH_SIDE * PATCH_SIDE, "augment: not a patch");
+        let n = PATCH_SIDE;
+        let mut out = vec![0.0; img.len()];
+        for y in 0..n {
+            for x in 0..n {
+                let (mut sx, sy) = (x, y);
+                if self.flip {
+                    sx = n - 1 - sx;
+                }
+                // Rotate source coordinates `rot` quarter-turns.
+                let (mut rx, mut ry) = (sx, sy);
+                for _ in 0..self.rot {
+                    let t = rx;
+                    rx = ry;
+                    ry = n - 1 - t;
+                }
+                out[y * n + x] = img[ry * n + rx];
+            }
+        }
+        out
+    }
+}
+
+/// Expands a dataset with `k` random augmented copies of each patch
+/// (original included).
+pub fn augment_dataset(d: &PatchDataset, k: usize, rng: &mut SplitMix64) -> PatchDataset {
+    let n = d.len() * (k + 1);
+    let px = d.images.cols();
+    let mut images = Matrix::zeros(n, px);
+    let mut masks = Matrix::zeros(n, px);
+    let mut counts = Vec::with_capacity(n);
+    let mut row = 0;
+    for i in 0..d.len() {
+        images.row_mut(row).copy_from_slice(d.images.row(i));
+        masks.row_mut(row).copy_from_slice(d.masks.row(i));
+        counts.push(d.counts[i]);
+        row += 1;
+        for _ in 0..k {
+            let t = Dihedral::random(rng);
+            images.row_mut(row).copy_from_slice(&t.apply(d.images.row(i)));
+            masks.row_mut(row).copy_from_slice(&t.apply(d.masks.row(i)));
+            counts.push(d.counts[i]);
+            row += 1;
+        }
+    }
+    PatchDataset { images, masks, counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let img: Vec<f64> = (0..PATCH_SIDE * PATCH_SIDE).map(|i| i as f64).collect();
+        assert_eq!(Dihedral::identity().apply(&img), img);
+    }
+
+    #[test]
+    fn four_rotations_compose_to_identity() {
+        let img: Vec<f64> = (0..PATCH_SIDE * PATCH_SIDE).map(|i| (i as f64).sin()).collect();
+        let r = Dihedral { rot: 1, flip: false };
+        let mut x = img.clone();
+        for _ in 0..4 {
+            x = r.apply(&x);
+        }
+        assert_eq!(x, img);
+    }
+
+    #[test]
+    fn double_flip_is_identity() {
+        let img: Vec<f64> = (0..PATCH_SIDE * PATCH_SIDE).map(|i| (i * 7 % 13) as f64).collect();
+        let f = Dihedral { rot: 0, flip: true };
+        assert_eq!(f.apply(&f.apply(&img)), img);
+    }
+
+    #[test]
+    fn transforms_preserve_pixel_multiset() {
+        let mut rng = SplitMix64::new(1);
+        let img: Vec<f64> = (0..PATCH_SIDE * PATCH_SIDE).map(|i| i as f64).collect();
+        for _ in 0..8 {
+            let t = Dihedral::random(&mut rng);
+            let mut out = t.apply(&img);
+            out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut orig = img.clone();
+            orig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(out, orig);
+        }
+    }
+
+    #[test]
+    fn augment_dataset_multiplies_and_preserves_counts() {
+        let mut rng = SplitMix64::new(2);
+        let d = PatchDataset::generate(4, &mut rng);
+        let a = augment_dataset(&d, 3, &mut rng);
+        assert_eq!(a.len(), 16);
+        // Counts repeat in blocks of k+1.
+        assert_eq!(a.counts[0], a.counts[1]);
+        assert_eq!(a.counts[0], d.counts[0]);
+        assert_eq!(a.counts[4], d.counts[1]);
+    }
+
+    #[test]
+    fn mask_and_image_transform_together() {
+        let mut rng = SplitMix64::new(3);
+        let d = PatchDataset::generate(2, &mut rng);
+        let a = augment_dataset(&d, 2, &mut rng);
+        // Tissue area is invariant under dihedral transforms.
+        for i in 0..a.len() {
+            let area: f64 = a.masks.row(i).iter().sum();
+            let orig_area: f64 = d.masks.row(i / 3).iter().sum();
+            assert_eq!(area, orig_area, "row {i}");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! CPU-vs-GPU throughput model for study (a).
+//!
+//! The students' study (a) compared "training on a CPU versus a GPU". Our
+//! training runs entirely on CPU, so the device comparison is an explicit
+//! analytic model (DESIGN.md substitution): per-step time is
+//! `flops / throughput + launch_overhead`, with parameters representative
+//! of a laptop core and a single CHPC-class GPU. The model exposes the real
+//! phenomenon the students hit — GPUs win only when batches are large
+//! enough to amortize launch overhead.
+
+/// A device for throughput modelling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Device {
+    /// Sustained FLOP/s for this workload.
+    pub throughput: f64,
+    /// Fixed overhead per training step (kernel launches etc.), seconds.
+    pub step_overhead: f64,
+    /// Human name.
+    pub name: &'static str,
+}
+
+impl Device {
+    /// A laptop CPU core: 20 GFLOP/s, negligible step overhead.
+    pub fn cpu() -> Self {
+        Self { throughput: 20e9, step_overhead: 2e-6, name: "cpu" }
+    }
+
+    /// A data-center GPU: 10 TFLOP/s sustained, 50 µs of launch overhead
+    /// per step.
+    pub fn gpu() -> Self {
+        Self { throughput: 10e12, step_overhead: 50e-6, name: "gpu" }
+    }
+
+    /// Modelled seconds for one training step of `flops_per_sample *
+    /// batch` work.
+    pub fn step_seconds(&self, flops_per_sample: f64, batch: usize) -> f64 {
+        flops_per_sample * batch as f64 / self.throughput + self.step_overhead
+    }
+
+    /// Modelled seconds for a full epoch of `n` samples at `batch`.
+    pub fn epoch_seconds(&self, flops_per_sample: f64, n: usize, batch: usize) -> f64 {
+        let steps = n.div_ceil(batch.max(1));
+        steps as f64 * self.step_seconds(flops_per_sample, batch.min(n))
+    }
+
+    /// Speedup of `self` over `other` on the same epoch.
+    pub fn speedup_over(&self, other: &Device, flops_per_sample: f64, n: usize, batch: usize) -> f64 {
+        other.epoch_seconds(flops_per_sample, n, batch) / self.epoch_seconds(flops_per_sample, n, batch)
+    }
+}
+
+/// Approximate FLOPs per sample for a dense trunk model with the given
+/// parameter count (forward + backward ≈ 6 × params; the standard rule of
+/// thumb).
+pub fn flops_per_sample(param_count: usize) -> f64 {
+    6.0 * param_count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_wins_at_large_batch() {
+        let f = flops_per_sample(100_000);
+        let s = Device::gpu().speedup_over(&Device::cpu(), f, 10_000, 256);
+        assert!(s > 20.0, "large-batch GPU speedup {s}");
+    }
+
+    #[test]
+    fn cpu_competitive_at_tiny_batches() {
+        // Tiny model, batch 1: launch overhead eats the GPU's advantage.
+        let f = flops_per_sample(1_000);
+        let s = Device::gpu().speedup_over(&Device::cpu(), f, 1_000, 1);
+        assert!(s < 2.0, "tiny-batch GPU speedup {s} should collapse");
+    }
+
+    #[test]
+    fn epoch_time_scales_with_samples() {
+        let f = flops_per_sample(10_000);
+        let d = Device::cpu();
+        let t1 = d.epoch_seconds(f, 100, 10);
+        let t2 = d.epoch_seconds(f, 200, 10);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_seconds_monotone_in_batch() {
+        let f = flops_per_sample(50_000);
+        let d = Device::gpu();
+        assert!(d.step_seconds(f, 64) > d.step_seconds(f, 1));
+    }
+}

@@ -1,0 +1,34 @@
+//! `treu-histo` — multi-task computational histopathology (paper §2.7).
+//!
+//! The project: "Deep learning models for cell detection/counting in
+//! digital histopathology are trained independently from tissue/tumor
+//! segmentation models as two separate tasks. But a pathologist zooms out
+//! ... to identify tissues of interest and zooms in to detect cells ...
+//! This workflow indicates a dependence between these tasks. The aim of
+//! this project was to train a deep learning model that closely matches a
+//! pathologist's workflow," on OCELOT, "where tissue annotations and cell
+//! annotations are available for overlapping patches and multi-task
+//! learning could be used to share features."
+//!
+//! Substitution (DESIGN.md §2): OCELOT patches become a synthetic
+//! tissue/cell generator ([`synth`]) in which cells are *structurally
+//! coupled to tissue* — they concentrate inside tissue regions — so sharing
+//! features between segmentation and counting genuinely helps, which is the
+//! section's premise. The model ([`model`]) is a shared trunk with a
+//! segmentation head and a cell-count head; [`augment`] provides the
+//! dihedral augmentations; [`device`] models the CPU-vs-GPU throughput
+//! comparison the students ran on CHPC; and [`experiment`] reproduces the
+//! four studies (a)–(d): device timing, hyper-parameter search,
+//! augmentation impact, and fine-tuning a pretrained trunk.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod augment;
+pub mod device;
+pub mod experiment;
+pub mod model;
+pub mod synth;
+
+pub use model::{MultiTaskModel, TaskWeights};
+pub use synth::{PatchDataset, PATCH_SIDE};

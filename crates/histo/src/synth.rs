@@ -1,0 +1,215 @@
+//! Synthetic tissue/cell patches with overlapping annotations.
+//!
+//! Each patch is a `PATCH_SIDE²` grayscale image: a smooth blobby *tissue*
+//! region (elevated intensity) on background, with *cells* (small bright
+//! peaks) placed mostly inside the tissue — the structural coupling that
+//! makes multi-task sharing profitable. Ground truth per patch: the binary
+//! tissue mask and the cell count.
+
+use treu_math::rng::SplitMix64;
+use treu_math::Matrix;
+
+/// Patch side length in pixels.
+pub const PATCH_SIDE: usize = 16;
+/// Pixels per patch.
+pub const PATCH_PIXELS: usize = PATCH_SIDE * PATCH_SIDE;
+
+/// A labelled patch dataset.
+#[derive(Debug, Clone)]
+pub struct PatchDataset {
+    /// Patch images, one per row (`n x PATCH_PIXELS`).
+    pub images: Matrix,
+    /// Binary tissue masks, one per row.
+    pub masks: Matrix,
+    /// Cell counts.
+    pub counts: Vec<f64>,
+}
+
+impl PatchDataset {
+    /// Generates `n` patches.
+    pub fn generate(n: usize, rng: &mut SplitMix64) -> Self {
+        let mut images = Matrix::zeros(n, PATCH_PIXELS);
+        let mut masks = Matrix::zeros(n, PATCH_PIXELS);
+        let mut counts = Vec::with_capacity(n);
+        for i in 0..n {
+            let (img, mask, count) = Self::one_patch(rng);
+            images.row_mut(i).copy_from_slice(&img);
+            masks.row_mut(i).copy_from_slice(&mask);
+            counts.push(count);
+        }
+        Self { images, masks, counts }
+    }
+
+    fn one_patch(rng: &mut SplitMix64) -> (Vec<f64>, Vec<f64>, f64) {
+        let s = PATCH_SIDE as f64;
+        // Tissue: an ellipse with random center/axes covering ~20-60%.
+        let cx = s * (0.3 + 0.4 * rng.next_f64());
+        let cy = s * (0.3 + 0.4 * rng.next_f64());
+        let rx = s * (0.2 + 0.2 * rng.next_f64());
+        let ry = s * (0.2 + 0.2 * rng.next_f64());
+        let mut img = vec![0.0; PATCH_PIXELS];
+        let mut mask = vec![0.0; PATCH_PIXELS];
+        for y in 0..PATCH_SIDE {
+            for x in 0..PATCH_SIDE {
+                let dx = (x as f64 - cx) / rx;
+                let dy = (y as f64 - cy) / ry;
+                let inside = dx * dx + dy * dy <= 1.0;
+                let idx = y * PATCH_SIDE + x;
+                mask[idx] = if inside { 1.0 } else { 0.0 };
+                img[idx] = if inside { 0.5 } else { 0.1 } + rng.next_gaussian() * 0.05;
+            }
+        }
+        // Cells: Poisson-ish count, ~85% inside tissue.
+        let n_cells = 2 + rng.next_bounded(7) as usize;
+        let mut placed = 0usize;
+        let mut attempts = 0usize;
+        while placed < n_cells && attempts < 200 {
+            attempts += 1;
+            let x = rng.next_bounded(PATCH_SIDE as u64) as usize;
+            let y = rng.next_bounded(PATCH_SIDE as u64) as usize;
+            let idx = y * PATCH_SIDE + x;
+            let in_tissue = mask[idx] > 0.5;
+            let want_inside = rng.next_f64() < 0.85;
+            if in_tissue == want_inside {
+                img[idx] += 0.9;
+                if x + 1 < PATCH_SIDE {
+                    img[idx + 1] += 0.4;
+                }
+                if y + 1 < PATCH_SIDE {
+                    img[idx + PATCH_SIDE] += 0.4;
+                }
+                placed += 1;
+            }
+        }
+        (img, mask, placed as f64)
+    }
+
+    /// Number of patches.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Splits off the first `k` patches into a new dataset (for few-shot
+    /// fine-tuning experiments).
+    pub fn take(&self, k: usize) -> PatchDataset {
+        assert!(k <= self.len(), "take: not enough patches");
+        let mut images = Matrix::zeros(k, PATCH_PIXELS);
+        let mut masks = Matrix::zeros(k, PATCH_PIXELS);
+        for i in 0..k {
+            images.row_mut(i).copy_from_slice(self.images.row(i));
+            masks.row_mut(i).copy_from_slice(self.masks.row(i));
+        }
+        PatchDataset { images, masks, counts: self.counts[..k].to_vec() }
+    }
+}
+
+/// Intersection-over-union of a predicted mask (thresholded at 0.5)
+/// against ground truth.
+pub fn mask_iou(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "iou: length mismatch");
+    let mut inter = 0.0;
+    let mut union = 0.0;
+    for (p, t) in pred.iter().zip(truth) {
+        let p = if *p > 0.5 { 1.0 } else { 0.0 };
+        inter += p * t;
+        union += (p + t - p * t).min(1.0);
+    }
+    if union == 0.0 {
+        1.0
+    } else {
+        inter / union
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_shapes() {
+        let mut rng = SplitMix64::new(1);
+        let d = PatchDataset::generate(10, &mut rng);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.images.shape(), (10, PATCH_PIXELS));
+        assert_eq!(d.masks.shape(), (10, PATCH_PIXELS));
+        assert!(d.counts.iter().all(|&c| c >= 0.0));
+    }
+
+    #[test]
+    fn masks_are_binary_and_nonempty() {
+        let mut rng = SplitMix64::new(2);
+        let d = PatchDataset::generate(20, &mut rng);
+        for i in 0..d.len() {
+            let m = d.masks.row(i);
+            assert!(m.iter().all(|&v| v == 0.0 || v == 1.0));
+            let area: f64 = m.iter().sum();
+            assert!(area > 5.0, "patch {i} tissue area {area}");
+            assert!(area < PATCH_PIXELS as f64 * 0.9);
+        }
+    }
+
+    #[test]
+    fn tissue_is_brighter_than_background() {
+        let mut rng = SplitMix64::new(3);
+        let d = PatchDataset::generate(10, &mut rng);
+        for i in 0..d.len() {
+            let img = d.images.row(i);
+            let m = d.masks.row(i);
+            let (mut tin, mut nin, mut tout, mut nout) = (0.0, 0.0, 0.0, 0.0);
+            for (v, t) in img.iter().zip(m) {
+                if *t > 0.5 {
+                    tin += v;
+                    nin += 1.0;
+                } else {
+                    tout += v;
+                    nout += 1.0;
+                }
+            }
+            assert!(tin / nin > tout / nout + 0.2, "patch {i} tissue contrast");
+        }
+    }
+
+    #[test]
+    fn cells_concentrate_in_tissue() {
+        // Across many patches, bright cell peaks should mostly fall inside
+        // tissue, implementing the task coupling.
+        let mut rng = SplitMix64::new(4);
+        let d = PatchDataset::generate(50, &mut rng);
+        let (mut inside, mut total) = (0.0, 0.0);
+        for i in 0..d.len() {
+            let img = d.images.row(i);
+            let m = d.masks.row(i);
+            for (v, t) in img.iter().zip(m) {
+                // A cell peak is far above both base intensities.
+                if *v > 1.1 {
+                    total += 1.0;
+                    inside += t;
+                }
+            }
+        }
+        assert!(total > 20.0, "need cells to count");
+        assert!(inside / total > 0.6, "cells inside fraction {}", inside / total);
+    }
+
+    #[test]
+    fn iou_known_values() {
+        assert_eq!(mask_iou(&[1.0, 1.0, 0.0], &[1.0, 1.0, 0.0]), 1.0);
+        assert_eq!(mask_iou(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+        assert_eq!(mask_iou(&[0.0, 0.0], &[0.0, 0.0]), 1.0);
+        assert!((mask_iou(&[1.0, 1.0], &[1.0, 0.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn take_prefixes() {
+        let mut rng = SplitMix64::new(5);
+        let d = PatchDataset::generate(10, &mut rng);
+        let t = d.take(3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.images.row(2), d.images.row(2));
+    }
+}

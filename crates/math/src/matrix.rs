@@ -1,0 +1,427 @@
+//! Row-major dense matrices.
+//!
+//! [`Matrix`] is the workhorse container of the workspace: a contiguous
+//! row-major `Vec<f64>` with shape metadata. Multiplication comes in three
+//! flavours — naive (`matmul_naive`, kept for testing and as the autotuner's
+//! reference point), cache-blocked (`matmul`) and thread-parallel
+//! (`matmul_parallel`, crossbeam-scoped over row bands).
+
+use crate::parallel;
+use crate::vector;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", &self.row(r)[..self.cols.min(8)])?;
+        }
+        if self.rows > 8 || self.cols > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_vec: shape/buffer mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow of row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copy of column `c`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// The flat row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable flat row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Transpose into a fresh matrix.
+    pub fn transpose(&self) -> Self {
+        let mut out = Self::zeros(self.cols, self.rows);
+        // Blocked transpose for cache friendliness on larger matrices.
+        const B: usize = 32;
+        for rb in (0..self.rows).step_by(B) {
+            for cb in (0..self.cols).step_by(B) {
+                for r in rb..(rb + B).min(self.rows) {
+                    for c in cb..(cb + B).min(self.cols) {
+                        out[(c, r)] = self[(r, c)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        (0..self.rows).map(|r| vector::dot(self.row(r), x)).collect()
+    }
+
+    /// Naive triple-loop multiplication; the reference implementation used
+    /// by tests and by the autotuner baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = out.row_mut(i);
+                vector::axpy(a, brow, orow);
+            }
+        }
+        out
+    }
+
+    /// Cache-blocked multiplication (ikj loop order, 64-wide tiles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        Self::mul_into_range(self, other, out.as_mut_slice(), 0, self.rows);
+        out
+    }
+
+    /// Thread-parallel multiplication over horizontal bands of the output.
+    ///
+    /// Uses `crossbeam::scope`; each worker owns a disjoint `&mut` band of
+    /// the output, so no synchronization is needed. Falls back to the
+    /// single-threaded path for small outputs where spawn overhead would
+    /// dominate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_parallel(&self, other: &Matrix, threads: usize) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
+        let threads = threads.max(1);
+        if threads == 1 || self.rows * other.cols < 64 * 64 {
+            return self.matmul(other);
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        let ocols = other.cols;
+        parallel::for_each_band(out.as_mut_slice(), ocols, threads, |band_start, band| {
+            let rows = band.len() / ocols;
+            Self::mul_into_range(self, other, band, band_start, band_start + rows);
+        });
+        out
+    }
+
+    /// Computes rows `[r0, r1)` of `self * other` into `out_band`, a buffer
+    /// whose first element corresponds to `(r0, 0)` of the product.
+    fn mul_into_range(a: &Matrix, b: &Matrix, out_band: &mut [f64], r0: usize, r1: usize) {
+        const KB: usize = 64;
+        let n = b.cols;
+        for i in r0..r1 {
+            let orow = &mut out_band[(i - r0) * n..(i - r0 + 1) * n];
+            for kb in (0..a.cols).step_by(KB) {
+                let kend = (kb + KB).min(a.cols);
+                for k in kb..kend {
+                    let aik = a[(i, k)];
+                    if aik != 0.0 {
+                        vector::axpy(aik, b.row(k), orow);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        vector::dot(&self.data, &self.data).sqrt()
+    }
+
+    /// Element-wise maximum absolute difference to another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "max_abs_diff: shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .fold(0.0, |m, (a, b)| m.max((a - b).abs()))
+    }
+
+    /// `self + other` into a fresh matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "add: shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// `self - other` into a fresh matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "sub: shape mismatch");
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Scales every element by `alpha` in place.
+    pub fn scale_in_place(&mut self, alpha: f64) {
+        vector::scale(alpha, &mut self.data);
+    }
+
+    /// Returns `true` if every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn random_matrix(rng: &mut SplitMix64, r: usize, c: usize) -> Matrix {
+        Matrix::from_fn(r, c, |_, _| rng.next_gaussian())
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = SplitMix64::new(1);
+        let a = random_matrix(&mut rng, 5, 5);
+        let i = Matrix::identity(5);
+        assert!(a.matmul(&i).max_abs_diff(&a) < 1e-12);
+        assert!(i.matmul(&a).max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let mut rng = SplitMix64::new(2);
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (17, 31, 9), (65, 64, 70)] {
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let d = a.matmul(&b).max_abs_diff(&a.matmul_naive(&b));
+            assert!(d < 1e-10, "({m},{k},{n}) diff {d}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = SplitMix64::new(3);
+        let a = random_matrix(&mut rng, 97, 83);
+        let b = random_matrix(&mut rng, 83, 101);
+        let seq = a.matmul(&b);
+        for threads in [1, 2, 3, 8] {
+            let par = a.matmul_parallel(&b, threads);
+            assert!(par.max_abs_diff(&seq) < 1e-10, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = SplitMix64::new(4);
+        let a = random_matrix(&mut rng, 40, 33);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t[(0, 1)], 4.0);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = SplitMix64::new(5);
+        let a = random_matrix(&mut rng, 12, 7);
+        let x: Vec<f64> = (0..7).map(|i| i as f64).collect();
+        let xm = Matrix::from_vec(7, 1, x.clone());
+        let via_mm = a.matmul(&xm);
+        let via_mv = a.matvec(&x);
+        for (i, v) in via_mv.iter().enumerate() {
+            assert!((v - via_mm[(i, 0)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[0.5, 0.5]]);
+        let mut s = a.add(&b);
+        assert_eq!(s.row(0), &[1.5, 2.5]);
+        s = s.sub(&b);
+        assert_eq!(s.row(0), &[1.0, 2.0]);
+        s.scale_in_place(2.0);
+        assert_eq!(s.row(0), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn frobenius() {
+        let a = Matrix::from_rows(&[&[3.0], &[4.0]]);
+        assert_eq!(a.frobenius_norm(), 5.0);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let a = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f64);
+        assert_eq!(a.row(1), &[10.0, 11.0, 12.0]);
+        assert_eq!(a.col(2), vec![2.0, 12.0]);
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut a = Matrix::zeros(2, 2);
+        assert!(a.is_finite());
+        a[(1, 1)] = f64::NAN;
+        assert!(!a.is_finite());
+    }
+}

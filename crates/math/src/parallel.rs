@@ -1,0 +1,216 @@
+//! Crossbeam-scoped data-parallel helpers.
+//!
+//! The HPC guides for this workspace present two idioms: rayon-style
+//! parallel iterators, and scoped threads over disjoint chunks. The offline
+//! dependency set includes crossbeam but not rayon, so this module provides
+//! the scoped-chunk equivalent: split a buffer (or an index range) into
+//! bands, hand each band to a scoped worker, and join. Workers own disjoint
+//! `&mut` regions, so the compiler proves data-race freedom — no locks, no
+//! atomics on the hot path.
+
+/// Splits `buf` into `threads` near-equal bands of whole rows (each row is
+/// `row_len` elements) and runs `f(first_row_index, band)` on each band in
+/// its own scoped thread.
+///
+/// Bands are maximal prefixes: band `t` starts at row
+/// `t * ceil(rows / threads)`. If `buf` is empty or `threads <= 1`, `f` runs
+/// inline on the whole buffer.
+///
+/// # Panics
+///
+/// Panics if `row_len == 0` or `buf.len()` is not a multiple of `row_len`.
+pub fn for_each_band(
+    buf: &mut [f64],
+    row_len: usize,
+    threads: usize,
+    f: impl Fn(usize, &mut [f64]) + Sync,
+) {
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(buf.len() % row_len, 0, "buffer not a whole number of rows");
+    let rows = buf.len() / row_len;
+    if threads <= 1 || rows <= 1 {
+        f(0, buf);
+        return;
+    }
+    let band_rows = rows.div_ceil(threads);
+    crossbeam::scope(|s| {
+        let mut rest = buf;
+        let mut row0 = 0;
+        while !rest.is_empty() {
+            let take = (band_rows * row_len).min(rest.len());
+            let (band, tail) = rest.split_at_mut(take);
+            let fr = &f;
+            let start = row0;
+            s.spawn(move |_| fr(start, band));
+            row0 += take / row_len;
+            rest = tail;
+        }
+    })
+    .expect("parallel band worker panicked");
+}
+
+/// Applies `f` to every index in `0..n` across `threads` scoped workers and
+/// collects the results in index order.
+///
+/// Work is split into contiguous ranges, one per worker; each worker fills
+/// its own output band. Deterministic: output order never depends on thread
+/// scheduling.
+pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n];
+    if threads <= 1 || n <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return out;
+    }
+    let band = n.div_ceil(threads);
+    crossbeam::scope(|s| {
+        let mut rest = out.as_mut_slice();
+        let mut i0 = 0;
+        while !rest.is_empty() {
+            let take = band.min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let fr = &f;
+            let start = i0;
+            s.spawn(move |_| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = fr(start + k);
+                }
+            });
+            i0 += take;
+            rest = tail;
+        }
+    })
+    .expect("parallel map worker panicked");
+    out
+}
+
+/// Reduces `0..n` with `map` then `combine`, in parallel, with a
+/// deterministic combination order (band 0 first, then band 1, ...).
+///
+/// `combine` must be associative for the result to equal the sequential
+/// reduction; TREU uses this only for associative-and-commutative folds
+/// (sums, maxima, counts).
+pub fn par_reduce<T, M, C>(n: usize, threads: usize, identity: T, map: M, combine: C) -> T
+where
+    T: Send + Clone,
+    M: Fn(usize) -> T + Sync,
+    C: Fn(T, T) -> T + Send + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        let mut acc = identity;
+        for i in 0..n {
+            acc = combine(acc, map(i));
+        }
+        return acc;
+    }
+    let band = n.div_ceil(threads);
+    let mut partials: Vec<Option<T>> = Vec::new();
+    crossbeam::scope(|s| {
+        let mut handles = Vec::new();
+        let mut i0 = 0;
+        while i0 < n {
+            let i1 = (i0 + band).min(n);
+            let mr = &map;
+            let cr = &combine;
+            let idc = identity.clone();
+            handles.push(s.spawn(move |_| {
+                let mut acc = idc;
+                for i in i0..i1 {
+                    acc = cr(acc, mr(i));
+                }
+                acc
+            }));
+            i0 = i1;
+        }
+        for h in handles {
+            partials.push(Some(h.join().expect("reduce worker panicked")));
+        }
+    })
+    .expect("parallel reduce scope failed");
+    let mut acc = identity;
+    for p in partials.into_iter().flatten() {
+        acc = combine(acc, p);
+    }
+    acc
+}
+
+/// Recommended worker count for this machine: the number of available
+/// hardware threads, minimum 1.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_cover_everything_once() {
+        let mut buf = vec![0.0; 7 * 3]; // 7 rows of 3
+        for_each_band(&mut buf, 3, 3, |row0, band| {
+            for (k, v) in band.iter_mut().enumerate() {
+                *v += (row0 * 3 + k) as f64 + 1.0;
+            }
+        });
+        let expect: Vec<f64> = (0..21).map(|i| i as f64 + 1.0).collect();
+        assert_eq!(buf, expect);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let mut buf = vec![0.0; 4];
+        for_each_band(&mut buf, 2, 1, |row0, band| {
+            assert_eq!(row0, 0);
+            assert_eq!(band.len(), 4);
+            band.fill(9.0);
+        });
+        assert_eq!(buf, vec![9.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of rows")]
+    fn ragged_buffer_panics() {
+        let mut buf = vec![0.0; 5];
+        for_each_band(&mut buf, 2, 2, |_, _| {});
+    }
+
+    #[test]
+    fn par_map_is_in_order() {
+        for threads in [1, 2, 5, 16] {
+            let v = par_map(23, threads, |i| i * i);
+            let expect: Vec<usize> = (0..23).map(|i| i * i).collect();
+            assert_eq!(v, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_empty() {
+        let v: Vec<u64> = par_map(0, 4, |_| 1);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn par_reduce_sum_matches_sequential() {
+        let seq: u64 = (0..1000u64).sum();
+        for threads in [1, 3, 8] {
+            let par = par_reduce(1000, threads, 0u64, |i| i as u64, |a, b| a + b);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_max() {
+        let m = par_reduce(100, 4, f64::NEG_INFINITY, |i| ((i as f64) - 50.0).abs(), f64::max);
+        assert_eq!(m, 50.0);
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Principal component analysis.
+//!
+//! Used by the shape-atlas project (§2.11: "analyze the modes of variation
+//! ... using principal component analysis") and by the trajectory and
+//! robust-statistics crates. Computed from the eigendecomposition of the
+//! sample covariance, which is exact and deterministic — preferable here to
+//! randomized sketching since cohort-scale data is small.
+
+use crate::decomp::{symmetric_eigen, SymmetricEigen};
+use crate::matrix::Matrix;
+use crate::stats;
+
+/// A fitted PCA model.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Column means of the training data (the model's origin).
+    pub mean: Vec<f64>,
+    /// Principal axes as rows, sorted by explained variance (descending).
+    pub components: Matrix,
+    /// Variance explained by each component (eigenvalues of the covariance).
+    pub explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits PCA to row-sample data (`n x d`), keeping `k` components.
+    ///
+    /// `k` is clamped to `min(d, n)` informative directions. With fewer
+    /// than two samples all variances are zero and the components are the
+    /// canonical basis. When `d > n` the fit uses the Gram-matrix trick
+    /// (eigendecompose the `n x n` inner-product matrix instead of the
+    /// `d x d` covariance), which keeps high-dimensional, few-sample fits —
+    /// the shape-atlas regime — fast and exact.
+    pub fn fit(samples: &Matrix, k: usize) -> Self {
+        let (n, d) = samples.shape();
+        let k = k.min(d);
+        let mean = stats::column_means(samples);
+        if n >= 2 && d > n {
+            return Self::fit_gram(samples, mean, k);
+        }
+        let cov = stats::covariance_matrix(samples);
+        let SymmetricEigen { values, vectors } = symmetric_eigen(&cov, 1e-12, 100);
+        let components = Matrix::from_fn(k, d, |r, c| vectors[(r, c)]);
+        let explained_variance = values.into_iter().take(k).map(|v| v.max(0.0)).collect();
+        Self { mean, components, explained_variance }
+    }
+
+    /// Gram-trick fit for the `d > n` regime: the covariance has rank at
+    /// most `n - 1`, and its nonzero eigenpairs are recoverable from the
+    /// `n x n` matrix `X Xᵀ / (n-1)` of the centered data `X` as
+    /// `λ_k` with feature-space directions `Xᵀ u_k / ‖Xᵀ u_k‖`.
+    fn fit_gram(samples: &Matrix, mean: Vec<f64>, k: usize) -> Self {
+        let (n, d) = samples.shape();
+        let mut centered = samples.clone();
+        for r in 0..n {
+            let row = centered.row_mut(r);
+            for (v, m) in row.iter_mut().zip(&mean) {
+                *v -= m;
+            }
+        }
+        let mut gram = centered.matmul(&centered.transpose());
+        gram.scale_in_place(1.0 / (n - 1) as f64);
+        let SymmetricEigen { values, vectors } = symmetric_eigen(&gram, 1e-12, 100);
+        let k = k.min(n);
+        let mut components = Matrix::zeros(k, d);
+        let mut explained_variance = Vec::with_capacity(k);
+        for r in 0..k {
+            let lambda = values[r].max(0.0);
+            explained_variance.push(lambda);
+            // Feature-space direction: Xᵀ u_r, normalized.
+            let u = vectors.row(r);
+            let mut dir = vec![0.0; d];
+            for (i, &ui) in u.iter().enumerate() {
+                crate::vector::axpy(ui, centered.row(i), &mut dir);
+            }
+            crate::vector::normalize(&mut dir);
+            components.row_mut(r).copy_from_slice(&dir);
+        }
+        Self { mean, components, explained_variance }
+    }
+
+    /// Number of retained components.
+    pub fn n_components(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Projects a single observation into component space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimension.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.mean.len(), "transform: dimension mismatch");
+        let centered: Vec<f64> = x.iter().zip(&self.mean).map(|(v, m)| v - m).collect();
+        self.components.matvec(&centered)
+    }
+
+    /// Projects every row of `samples`.
+    pub fn transform_all(&self, samples: &Matrix) -> Matrix {
+        let n = samples.rows();
+        let k = self.n_components();
+        let mut out = Matrix::zeros(n, k);
+        for r in 0..n {
+            let t = self.transform(samples.row(r));
+            out.row_mut(r).copy_from_slice(&t);
+        }
+        out
+    }
+
+    /// Reconstructs an observation from its component-space coordinates.
+    pub fn inverse_transform(&self, z: &[f64]) -> Vec<f64> {
+        assert_eq!(z.len(), self.n_components(), "inverse_transform: dimension mismatch");
+        let mut x = self.mean.clone();
+        for (i, &zi) in z.iter().enumerate() {
+            crate::vector::axpy(zi, self.components.row(i), &mut x);
+        }
+        x
+    }
+
+    /// Fraction of total variance explained by each retained component.
+    ///
+    /// Normalized by the *total* variance (sum over all `d` eigenvalues is
+    /// unavailable after truncation, so this uses the retained sum — callers
+    /// that need the global ratio should fit with `k = d`).
+    pub fn explained_variance_ratio(&self) -> Vec<f64> {
+        let total: f64 = self.explained_variance.iter().sum();
+        if total <= 0.0 {
+            return vec![0.0; self.explained_variance.len()];
+        }
+        self.explained_variance.iter().map(|v| v / total).collect()
+    }
+
+    /// Compactness curve: cumulative explained-variance ratio, the standard
+    /// shape-model evaluation metric used by the §2.11 project.
+    pub fn compactness(&self) -> Vec<f64> {
+        let ratios = self.explained_variance_ratio();
+        let mut acc = 0.0;
+        ratios
+            .into_iter()
+            .map(|r| {
+                acc += r;
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    /// Data concentrated along a single known direction.
+    fn one_mode_data(seed: u64, n: usize) -> Matrix {
+        let mut rng = SplitMix64::new(seed);
+        let axis = [3.0 / 5.0, 4.0 / 5.0, 0.0];
+        Matrix::from_fn(n, 3, |_, _| 0.0).clone_with(|m| {
+            for r in 0..n {
+                let t = rng.next_gaussian() * 5.0;
+                let noise = [rng.next_gaussian() * 0.01, rng.next_gaussian() * 0.01, rng.next_gaussian() * 0.01];
+                for c in 0..3 {
+                    m[(r, c)] = t * axis[c] + noise[c] + 10.0;
+                }
+            }
+        })
+    }
+
+    trait CloneWith {
+        fn clone_with(self, f: impl FnOnce(&mut Matrix)) -> Matrix;
+    }
+    impl CloneWith for Matrix {
+        fn clone_with(mut self, f: impl FnOnce(&mut Matrix)) -> Matrix {
+            f(&mut self);
+            self
+        }
+    }
+
+    #[test]
+    fn recovers_dominant_axis() {
+        let data = one_mode_data(42, 500);
+        let pca = Pca::fit(&data, 3);
+        let c0 = pca.components.row(0);
+        let cos = (c0[0] * 0.6 + c0[1] * 0.8).abs();
+        assert!(cos > 0.999, "cos {cos}");
+        // First mode dominates.
+        let ratio = pca.explained_variance_ratio();
+        assert!(ratio[0] > 0.99, "ratio {:?}", ratio);
+    }
+
+    #[test]
+    fn transform_then_inverse_is_identity_on_full_rank() {
+        let data = one_mode_data(43, 100);
+        let pca = Pca::fit(&data, 3);
+        let x = data.row(7);
+        let z = pca.transform(x);
+        let back = pca.inverse_transform(&z);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn compactness_is_monotone_and_ends_at_one() {
+        let data = one_mode_data(44, 200);
+        let pca = Pca::fit(&data, 3);
+        let c = pca.compactness();
+        for w in c.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        assert!((c.last().unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transform_all_shape() {
+        let data = one_mode_data(45, 20);
+        let pca = Pca::fit(&data, 2);
+        let z = pca.transform_all(&data);
+        assert_eq!(z.shape(), (20, 2));
+    }
+
+    #[test]
+    fn degenerate_single_sample() {
+        let data = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let pca = Pca::fit(&data, 3);
+        assert!(pca.explained_variance.iter().all(|&v| v == 0.0));
+        assert_eq!(pca.transform(&[1.0, 2.0, 3.0]), vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,233 @@
+//! Deterministic random-number utilities.
+//!
+//! Reproducibility in TREU rests on one discipline: every source of
+//! randomness is an explicitly seeded generator, and sub-components derive
+//! their own independent streams from a parent seed plus a textual tag. This
+//! module provides that derivation ([`derive_seed`]) plus a small,
+//! well-understood generator ([`SplitMix64`]) used both directly and as the
+//! seeding path for `rand`'s [`rand::rngs::StdRng`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A [SplitMix64](https://prng.di.unimi.it/splitmix64.c) generator.
+///
+/// SplitMix64 passes BigCrush, is trivially seedable from a single `u64`,
+/// and — crucially for reproducibility — has a specification small enough to
+/// re-derive from this file alone. TREU uses it for seed derivation and for
+/// inner loops where constructing a `StdRng` would dominate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a float uniformly distributed in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits scaled into [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns an integer uniformly distributed in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method; unbiased for every
+    /// `bound > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= (bound.wrapping_neg() % bound) {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a standard normal deviate via the Box–Muller transform.
+    pub fn next_gaussian(&mut self) -> f64 {
+        // Draw u1 in (0,1] so the log is finite.
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Derives an independent child seed from a parent seed and a textual tag.
+///
+/// The derivation is an FNV-1a hash of the tag folded into a SplitMix64
+/// scramble of the parent. Distinct tags yield (with overwhelming
+/// probability) statistically independent streams, so components can be
+/// added or reordered without perturbing each other's randomness — the core
+/// requirement for stable, reviewable experiment provenance.
+///
+/// ```
+/// use treu_math::rng::derive_seed;
+/// assert_ne!(derive_seed(42, "weights"), derive_seed(42, "data"));
+/// assert_eq!(derive_seed(42, "weights"), derive_seed(42, "weights"));
+/// ```
+pub fn derive_seed(parent: u64, tag: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in tag.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut mix = SplitMix64::new(parent ^ h);
+    mix.next_u64()
+}
+
+/// Constructs a `rand` [`StdRng`] from a 64-bit seed.
+///
+/// The 32-byte seed required by `StdRng` is expanded from the `u64` with
+/// SplitMix64, matching the approach recommended by the xoshiro authors.
+pub fn std_rng(seed: u64) -> StdRng {
+    let mut mix = SplitMix64::new(seed);
+    let mut bytes = [0u8; 32];
+    for chunk in bytes.chunks_exact_mut(8) {
+        chunk.copy_from_slice(&mix.next_u64().to_le_bytes());
+    }
+    StdRng::from_seed(bytes)
+}
+
+/// Fills `out` with i.i.d. standard normal deviates from `rng`.
+pub fn fill_gaussian(rng: &mut SplitMix64, out: &mut [f64]) {
+    for v in out {
+        *v = rng.next_gaussian();
+    }
+}
+
+/// Fills `out` with i.i.d. `U[lo, hi)` deviates from `rng`.
+pub fn fill_uniform(rng: &mut SplitMix64, out: &mut [f64], lo: f64, hi: f64) {
+    debug_assert!(hi >= lo);
+    for v in out {
+        *v = lo + (hi - lo) * rng.next_f64();
+    }
+}
+
+/// Produces a random permutation of `0..n` (Fisher–Yates).
+pub fn permutation(rng: &mut SplitMix64, n: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.next_bounded(i as u64 + 1) as usize;
+        idx.swap(i, j);
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // First outputs of splitmix64 with seed 0, from the reference C code.
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(123);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_bounded_is_in_range_and_hits_all_values() {
+        let mut r = SplitMix64::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = r.next_bounded(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_bounded_zero_panics() {
+        SplitMix64::new(1).next_bounded(0);
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut r = SplitMix64::new(99);
+        let n = 100_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = r.next_gaussian();
+            sum += x;
+            sumsq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn derive_seed_distinct_tags() {
+        let s = 42;
+        let a = derive_seed(s, "a");
+        let b = derive_seed(s, "b");
+        let c = derive_seed(s, "ab");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn derive_seed_depends_on_parent() {
+        assert_ne!(derive_seed(1, "x"), derive_seed(2, "x"));
+    }
+
+    #[test]
+    fn std_rng_deterministic() {
+        use rand::Rng;
+        let mut a = std_rng(5);
+        let mut b = std_rng(5);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut r = SplitMix64::new(3);
+        let p = permutation(&mut r, 100);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fill_uniform_respects_bounds() {
+        let mut r = SplitMix64::new(11);
+        let mut buf = vec![0.0; 1000];
+        fill_uniform(&mut r, &mut buf, -2.0, 3.0);
+        assert!(buf.iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+}

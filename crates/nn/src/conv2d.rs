@@ -1,0 +1,234 @@
+//! Two-dimensional convolution.
+//!
+//! Input rows are `(channels x h x w)` channel-major flattenings —
+//! element `c*h*w + y*w + x` — matching how the histopathology and
+//! detection crates rasterize patches. Valid padding, stride 1.
+
+use crate::init;
+use crate::layer::Layer;
+use treu_math::rng::SplitMix64;
+use treu_math::Matrix;
+
+/// 2-D convolution with "valid" padding and stride 1.
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    h: usize,
+    w: usize,
+    /// Weights: `out_channels x (in_channels * kernel * kernel)`.
+    weights: Matrix,
+    bias: Vec<f64>,
+    grad_w: Matrix,
+    grad_b: Vec<f64>,
+    input: Matrix,
+}
+
+impl Conv2d {
+    /// Creates a convolution over `(in_channels, h, w)` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel exceeds either spatial extent or any dimension
+    /// is zero.
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, h: usize, w: usize, seed: u64) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && kernel > 0, "Conv2d: zero dimension");
+        assert!(kernel <= h && kernel <= w, "Conv2d: kernel larger than input");
+        let mut rng = SplitMix64::new(treu_math::rng::derive_seed(seed, "conv2d.w"));
+        let fan_in = in_channels * kernel * kernel;
+        Self {
+            in_channels,
+            out_channels,
+            kernel,
+            h,
+            w,
+            weights: init::he_normal(&mut rng, out_channels, fan_in),
+            bias: vec![0.0; out_channels],
+            grad_w: Matrix::zeros(out_channels, fan_in),
+            grad_b: vec![0.0; out_channels],
+            input: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// Output height.
+    pub fn out_h(&self) -> usize {
+        self.h - self.kernel + 1
+    }
+
+    /// Output width.
+    pub fn out_w(&self) -> usize {
+        self.w - self.kernel + 1
+    }
+
+    /// Output row width (`out_channels * out_h * out_w`).
+    pub fn out_len(&self) -> usize {
+        self.out_channels * self.out_h() * self.out_w()
+    }
+
+    #[inline]
+    fn in_idx(&self, c: usize, y: usize, x: usize) -> usize {
+        c * self.h * self.w + y * self.w + x
+    }
+
+    #[inline]
+    fn w_idx(&self, ic: usize, dy: usize, dx: usize) -> usize {
+        ic * self.kernel * self.kernel + dy * self.kernel + dx
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.in_channels * self.h * self.w,
+            "Conv2d: input width mismatch"
+        );
+        self.input = input.clone();
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let mut out = Matrix::zeros(input.rows(), self.out_channels * oh * ow);
+        for r in 0..input.rows() {
+            let x = input.row(r);
+            for oc in 0..self.out_channels {
+                let filt = self.weights.row(oc);
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let mut acc = self.bias[oc];
+                        for ic in 0..self.in_channels {
+                            for dy in 0..self.kernel {
+                                for dx in 0..self.kernel {
+                                    acc += x[self.in_idx(ic, y + dy, xx + dx)]
+                                        * filt[self.w_idx(ic, dy, dx)];
+                                }
+                            }
+                        }
+                        out[(r, oc * oh * ow + y * ow + xx)] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let (oh, ow) = (self.out_h(), self.out_w());
+        assert_eq!(grad_out.cols(), self.out_channels * oh * ow, "Conv2d: grad width mismatch");
+        assert_eq!(grad_out.rows(), self.input.rows(), "Conv2d: grad batch mismatch");
+        let mut grad_in = Matrix::zeros(self.input.rows(), self.in_channels * self.h * self.w);
+        for r in 0..grad_out.rows() {
+            let x = self.input.row(r);
+            for oc in 0..self.out_channels {
+                for y in 0..oh {
+                    for xx in 0..ow {
+                        let g = grad_out[(r, oc * oh * ow + y * ow + xx)];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.grad_b[oc] += g;
+                        for ic in 0..self.in_channels {
+                            for dy in 0..self.kernel {
+                                for dx in 0..self.kernel {
+                                    let ii = self.in_idx(ic, y + dy, xx + dx);
+                                    let wi = self.w_idx(ic, dy, dx);
+                                    self.grad_w[(oc, wi)] += g * x[ii];
+                                    grad_in[(r, ii)] += g * self.weights[(oc, wi)];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        f(self.weights.as_mut_slice(), self.grad_w.as_mut_slice());
+        f(&mut self.bias, &mut self.grad_b);
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_w.as_mut_slice().fill(0.0);
+        self.grad_b.fill(0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.as_slice().len() + self.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::finite_diff_check;
+
+    #[test]
+    fn identity_kernel_copies_input() {
+        // 1x1 kernel with weight 1: output equals input.
+        let mut c = Conv2d::new(1, 1, 1, 3, 3, 0);
+        c.weights.as_mut_slice()[0] = 1.0;
+        c.bias[0] = 0.0;
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]]);
+        let y = c.forward(&x, true);
+        assert_eq!(y.row(0), x.row(0));
+    }
+
+    #[test]
+    fn known_3x3_box_filter() {
+        let mut c = Conv2d::new(1, 1, 2, 3, 3, 0);
+        c.weights.as_mut_slice().fill(1.0);
+        c.bias[0] = 0.0;
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]]);
+        let y = c.forward(&x, true);
+        // 2x2 sums: [1+2+4+5, 2+3+5+6, 4+5+7+8, 5+6+8+9]
+        assert_eq!(y.row(0), &[12.0, 16.0, 24.0, 28.0]);
+        assert_eq!(c.out_len(), 4);
+    }
+
+    #[test]
+    fn multichannel_shapes() {
+        let mut c = Conv2d::new(3, 5, 3, 8, 10, 1);
+        let x = Matrix::zeros(2, 3 * 8 * 10);
+        let y = c.forward(&x, true);
+        assert_eq!(y.shape(), (2, 5 * 6 * 8));
+        assert_eq!(c.param_count(), 5 * 27 + 5);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut c = Conv2d::new(2, 2, 2, 4, 4, 3);
+        let mut rng = SplitMix64::new(4);
+        let x = Matrix::from_fn(2, 2 * 16, |_, _| rng.next_gaussian());
+        finite_diff_check(&mut c, &x, 1e-4);
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut c = Conv2d::new(1, 2, 2, 4, 4, 5);
+        let mut rng = SplitMix64::new(6);
+        let x = Matrix::from_fn(2, 16, |_, _| rng.next_gaussian());
+        let out = c.forward(&x, true);
+        c.zero_grads();
+        c.backward(&out);
+        let analytic = c.grad_w.clone();
+        let eps = 1e-5;
+        for i in 0..c.weights.as_slice().len() {
+            let orig = c.weights.as_slice()[i];
+            c.weights.as_mut_slice()[i] = orig + eps;
+            let lp: f64 = c.forward(&x, true).as_slice().iter().map(|v| v * v * 0.5).sum();
+            c.weights.as_mut_slice()[i] = orig - eps;
+            let lm: f64 = c.forward(&x, true).as_slice().iter().map(|v| v * v * 0.5).sum();
+            c.weights.as_mut_slice()[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic.as_slice()[i]).abs() < 1e-4 * numeric.abs().max(1.0),
+                "w[{i}]"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger than input")]
+    fn oversized_kernel_panics() {
+        Conv2d::new(1, 1, 5, 4, 4, 0);
+    }
+}

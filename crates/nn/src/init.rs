@@ -1,0 +1,67 @@
+//! Deterministic weight initialization.
+//!
+//! All initializers take an explicit seed. Layers in this crate take a
+//! `seed` argument in their constructors and derive their weight streams
+//! with [`treu_math::rng::derive_seed`], so a model's initial state is a
+//! pure function of its architecture and seeds.
+
+use treu_math::rng::SplitMix64;
+use treu_math::Matrix;
+
+/// Xavier/Glorot uniform initialization: `U[-a, a]` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Appropriate before tanh/sigmoid.
+pub fn xavier_uniform(rng: &mut SplitMix64, fan_in: usize, fan_out: usize) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| (rng.next_f64() * 2.0 - 1.0) * a)
+}
+
+/// He/Kaiming normal initialization: `N(0, 2/fan_in)`. Appropriate before
+/// ReLU.
+pub fn he_normal(rng: &mut SplitMix64, fan_in: usize, fan_out: usize) -> Matrix {
+    let std = (2.0 / fan_in as f64).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.next_gaussian() * std)
+}
+
+/// Small-scale normal initialization `N(0, scale^2)`, used for embeddings.
+pub fn scaled_normal(rng: &mut SplitMix64, rows: usize, cols: usize, scale: f64) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.next_gaussian() * scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = SplitMix64::new(1);
+        let w = xavier_uniform(&mut rng, 100, 50);
+        let a = (6.0 / 150.0f64).sqrt();
+        assert!(w.as_slice().iter().all(|&v| v.abs() <= a));
+        assert_eq!(w.shape(), (100, 50));
+    }
+
+    #[test]
+    fn he_variance_is_plausible() {
+        let mut rng = SplitMix64::new(2);
+        let w = he_normal(&mut rng, 200, 200);
+        let var: f64 = w.as_slice().iter().map(|v| v * v).sum::<f64>() / w.as_slice().len() as f64;
+        assert!((var - 0.01).abs() < 0.002, "var {var}"); // 2/200 = 0.01
+    }
+
+    #[test]
+    fn initialization_is_deterministic() {
+        let a = he_normal(&mut SplitMix64::new(7), 10, 10);
+        let b = he_normal(&mut SplitMix64::new(7), 10, 10);
+        assert_eq!(a, b);
+        let c = he_normal(&mut SplitMix64::new(8), 10, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scaled_normal_scale() {
+        let mut rng = SplitMix64::new(3);
+        let w = scaled_normal(&mut rng, 50, 50, 0.01);
+        let max = w.as_slice().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(max < 0.1, "max {max}");
+    }
+}

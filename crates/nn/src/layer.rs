@@ -1,0 +1,237 @@
+//! The [`Layer`] trait and element-wise activation layers.
+//!
+//! A layer owns its parameters and their gradient buffers. The training
+//! protocol is: `forward(x, train)` caches whatever it needs, `backward(g)`
+//! accumulates parameter gradients and returns the gradient with respect to
+//! the input, and the optimizer visits parameters through
+//! [`Layer::for_each_param`]. Visitation order is deterministic (each layer
+//! visits its buffers in a fixed order, the container visits layers in
+//! order), which is what lets stateful optimizers like Adam keep their
+//! moment estimates aligned without any registry.
+
+use treu_math::Matrix;
+
+/// A differentiable computation with owned parameters.
+pub trait Layer {
+    /// Computes the layer output for a batch (rows = samples).
+    ///
+    /// `train` distinguishes training from inference for layers that
+    /// behave differently (none of the built-ins currently do, but
+    /// project crates implement dropout-style layers).
+    fn forward(&mut self, input: &Matrix, train: bool) -> Matrix;
+
+    /// Backpropagates `grad_out` (gradient of the loss w.r.t. this layer's
+    /// output), accumulating parameter gradients, and returns the gradient
+    /// w.r.t. this layer's input.
+    ///
+    /// Must be called after a `forward` on the same batch.
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix;
+
+    /// Visits every `(parameter, gradient)` buffer pair in a fixed order.
+    ///
+    /// The default is a no-op for parameter-free layers.
+    fn for_each_param(&mut self, _f: &mut dyn FnMut(&mut [f64], &mut [f64])) {}
+
+    /// Zeroes all gradient buffers. Default no-op.
+    fn zero_grads(&mut self) {}
+
+    /// Number of scalar parameters (for reporting). Default zero.
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+/// Rectified linear unit.
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
+        self.mask = input.as_slice().iter().map(|&v| v > 0.0).collect();
+        let data = input.as_slice().iter().map(|&v| v.max(0.0)).collect();
+        Matrix::from_vec(input.rows(), input.cols(), data)
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        assert_eq!(grad_out.as_slice().len(), self.mask.len(), "backward before forward");
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(&self.mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Matrix::from_vec(grad_out.rows(), grad_out.cols(), data)
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Debug, Default)]
+pub struct Tanh {
+    output: Vec<f64>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
+        self.output = input.as_slice().iter().map(|v| v.tanh()).collect();
+        Matrix::from_vec(input.rows(), input.cols(), self.output.clone())
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        assert_eq!(grad_out.as_slice().len(), self.output.len(), "backward before forward");
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(&self.output)
+            .map(|(&g, &y)| g * (1.0 - y * y))
+            .collect();
+        Matrix::from_vec(grad_out.rows(), grad_out.cols(), data)
+    }
+}
+
+/// Logistic sigmoid activation.
+#[derive(Debug, Default)]
+pub struct Sigmoid {
+    output: Vec<f64>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid activation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
+        self.output = input
+            .as_slice()
+            .iter()
+            .map(|&v| 1.0 / (1.0 + (-v).exp()))
+            .collect();
+        Matrix::from_vec(input.rows(), input.cols(), self.output.clone())
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        assert_eq!(grad_out.as_slice().len(), self.output.len(), "backward before forward");
+        let data = grad_out
+            .as_slice()
+            .iter()
+            .zip(&self.output)
+            .map(|(&g, &y)| g * y * (1.0 - y))
+            .collect();
+        Matrix::from_vec(grad_out.rows(), grad_out.cols(), data)
+    }
+}
+
+/// Numerically checks a layer's input gradient against central finite
+/// differences on a scalar loss `sum(output^2)/2`. Test helper shared by
+/// the layer implementations.
+#[doc(hidden)]
+pub fn finite_diff_check<L: Layer>(layer: &mut L, input: &Matrix, tol: f64) {
+    // Analytic gradient.
+    let out = layer.forward(input, true);
+    let grad_out = out.clone(); // d(sum(y^2)/2)/dy = y
+    let grad_in = layer.backward(&grad_out);
+
+    let eps = 1e-5;
+    for i in 0..input.as_slice().len() {
+        let mut plus = input.clone();
+        plus.as_mut_slice()[i] += eps;
+        let mut minus = input.clone();
+        minus.as_mut_slice()[i] -= eps;
+        let lp: f64 = layer.forward(&plus, true).as_slice().iter().map(|v| v * v * 0.5).sum();
+        let lm: f64 = layer.forward(&minus, true).as_slice().iter().map(|v| v * v * 0.5).sum();
+        let numeric = (lp - lm) / (2.0 * eps);
+        let analytic = grad_in.as_slice()[i];
+        assert!(
+            (numeric - analytic).abs() <= tol * numeric.abs().max(1.0),
+            "grad mismatch at {i}: analytic {analytic} vs numeric {numeric}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treu_math::rng::SplitMix64;
+
+    fn random_batch(seed: u64, r: usize, c: usize) -> Matrix {
+        let mut rng = SplitMix64::new(seed);
+        Matrix::from_fn(r, c, |_, _| rng.next_gaussian())
+    }
+
+    #[test]
+    fn relu_forward_clamps() {
+        let mut relu = Relu::new();
+        let x = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        let y = relu.forward(&x, true);
+        assert_eq!(y.row(0), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let mut relu = Relu::new();
+        let x = Matrix::from_rows(&[&[-1.0, 3.0]]);
+        relu.forward(&x, true);
+        let g = relu.backward(&Matrix::from_rows(&[&[5.0, 5.0]]));
+        assert_eq!(g.row(0), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_finite_difference() {
+        let mut t = Tanh::new();
+        finite_diff_check(&mut t, &random_batch(1, 3, 4), 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_gradient_matches_finite_difference() {
+        let mut s = Sigmoid::new();
+        finite_diff_check(&mut s, &random_batch(2, 2, 5), 1e-5);
+    }
+
+    #[test]
+    fn relu_gradient_matches_finite_difference_away_from_kink() {
+        // Shift inputs away from zero so the finite difference is valid.
+        let mut x = random_batch(3, 3, 3);
+        for v in x.as_mut_slice() {
+            if v.abs() < 0.1 {
+                *v += 0.5;
+            }
+        }
+        finite_diff_check(&mut Relu::new(), &x, 1e-5);
+    }
+
+    #[test]
+    fn activations_have_no_params() {
+        let mut r = Relu::new();
+        assert_eq!(r.param_count(), 0);
+        let mut visited = 0;
+        r.for_each_param(&mut |_, _| visited += 1);
+        assert_eq!(visited, 0);
+    }
+
+    #[test]
+    fn sigmoid_range() {
+        let mut s = Sigmoid::new();
+        let y = s.forward(&Matrix::from_rows(&[&[-100.0, 0.0, 100.0]]), false);
+        assert!(y.row(0)[0] < 1e-10);
+        assert!((y.row(0)[1] - 0.5).abs() < 1e-12);
+        assert!(y.row(0)[2] > 1.0 - 1e-10);
+    }
+}

@@ -1,0 +1,245 @@
+//! Parameter-update rules.
+//!
+//! Optimizers visit a model's parameters through
+//! [`crate::layer::Layer::for_each_param`]. Because visitation order is
+//! deterministic, stateful optimizers keep per-buffer state in a `Vec`
+//! indexed by visitation position — no parameter registry or interior
+//! mutability needed.
+
+use crate::layer::Layer;
+
+/// An update rule applicable to any [`Layer`] (including containers).
+pub trait Optimizer {
+    /// Applies one update step using the currently accumulated gradients.
+    /// Does not zero gradients; call [`Layer::zero_grads`] afterwards.
+    fn step(&mut self, model: &mut dyn Layer);
+}
+
+/// Stochastic gradient descent with classical momentum.
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<Vec<f64>>,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr` and momentum coefficient
+    /// `momentum` (`0.0` disables momentum).
+    pub fn new(lr: f64, momentum: f64) -> Self {
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f64) {
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, model: &mut dyn Layer) {
+        let mut idx = 0usize;
+        let lr = self.lr;
+        let mu = self.momentum;
+        let velocity = &mut self.velocity;
+        model.for_each_param(&mut |params, grads| {
+            if velocity.len() == idx {
+                velocity.push(vec![0.0; params.len()]);
+            }
+            let v = &mut velocity[idx];
+            assert_eq!(v.len(), params.len(), "Sgd: model shape changed between steps");
+            for ((p, g), vi) in params.iter_mut().zip(grads.iter()).zip(v.iter_mut()) {
+                *vi = mu * *vi - lr * g;
+                *p += *vi;
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction.
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard defaults `beta1=0.9`, `beta2=0.999`,
+    /// `eps=1e-8`.
+    pub fn new(lr: f64) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Creates Adam with explicit hyperparameters.
+    pub fn with_betas(lr: f64, beta1: f64, beta2: f64) -> Self {
+        Self { beta1, beta2, ..Self::new(lr) }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, model: &mut dyn Layer) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, b1, b2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        let mut idx = 0usize;
+        model.for_each_param(&mut |params, grads| {
+            if ms.len() == idx {
+                ms.push(vec![0.0; params.len()]);
+                vs.push(vec![0.0; params.len()]);
+            }
+            let m = &mut ms[idx];
+            let v = &mut vs[idx];
+            assert_eq!(m.len(), params.len(), "Adam: model shape changed between steps");
+            for i in 0..params.len() {
+                let g = grads[i];
+                m[i] = b1 * m[i] + (1.0 - b1) * g;
+                v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                params[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// Clips every gradient buffer to a global L2 norm of at most `max_norm`.
+///
+/// Used by the RL crate (DQN training is famously unstable without it).
+pub fn clip_grad_norm(model: &mut dyn Layer, max_norm: f64) -> f64 {
+    let mut sq = 0.0;
+    model.for_each_param(&mut |_, grads| {
+        for g in grads.iter() {
+            sq += g * g;
+        }
+    });
+    let norm = sq.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let s = max_norm / norm;
+        model.for_each_param(&mut |_, grads| {
+            for g in grads.iter_mut() {
+                *g *= s;
+            }
+        });
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A layer holding one scalar, loss = p^2/2 so grad = p.
+    struct Scalar {
+        p: Vec<f64>,
+        g: Vec<f64>,
+    }
+    impl Scalar {
+        fn new(p0: f64) -> Self {
+            Self { p: vec![p0], g: vec![0.0] }
+        }
+        fn compute_grad(&mut self) {
+            self.g[0] = self.p[0];
+        }
+    }
+    impl Layer for Scalar {
+        fn forward(&mut self, input: &treu_math::Matrix, _t: bool) -> treu_math::Matrix {
+            input.clone()
+        }
+        fn backward(&mut self, g: &treu_math::Matrix) -> treu_math::Matrix {
+            g.clone()
+        }
+        fn for_each_param(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+            f(&mut self.p, &mut self.g);
+        }
+        fn zero_grads(&mut self) {
+            self.g[0] = 0.0;
+        }
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut s = Scalar::new(10.0);
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..200 {
+            s.compute_grad();
+            opt.step(&mut s);
+            s.zero_grads();
+        }
+        assert!(s.p[0].abs() < 1e-6, "p = {}", s.p[0]);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let run = |mu: f64| {
+            let mut s = Scalar::new(10.0);
+            let mut opt = Sgd::new(0.01, mu);
+            for _ in 0..100 {
+                s.compute_grad();
+                opt.step(&mut s);
+                s.zero_grads();
+            }
+            s.p[0].abs()
+        };
+        assert!(run(0.9) < run(0.0), "momentum should converge faster here");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut s = Scalar::new(5.0);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            s.compute_grad();
+            opt.step(&mut s);
+            s.zero_grads();
+        }
+        assert!(s.p[0].abs() < 1e-3, "p = {}", s.p[0]);
+    }
+
+    #[test]
+    fn adam_first_step_magnitude_is_lr() {
+        // With bias correction, |first step| ≈ lr regardless of grad scale.
+        for g0 in [0.001, 1.0, 1000.0] {
+            let mut s = Scalar::new(0.0);
+            s.g[0] = g0;
+            let mut opt = Adam::new(0.1);
+            opt.step(&mut s);
+            assert!((s.p[0].abs() - 0.1).abs() < 1e-6, "g0={g0} step={}", s.p[0]);
+        }
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down_only() {
+        let mut s = Scalar::new(0.0);
+        s.g[0] = 10.0;
+        let n = clip_grad_norm(&mut s, 1.0);
+        assert_eq!(n, 10.0);
+        assert!((s.g[0] - 1.0).abs() < 1e-12);
+        // Under the cap: untouched.
+        s.g[0] = 0.5;
+        clip_grad_norm(&mut s, 1.0);
+        assert_eq!(s.g[0], 0.5);
+    }
+
+    #[test]
+    fn set_lr_changes_step() {
+        let mut s = Scalar::new(1.0);
+        let mut opt = Sgd::new(0.0, 0.0);
+        opt.set_lr(1.0);
+        assert_eq!(opt.lr(), 1.0);
+        s.compute_grad();
+        opt.step(&mut s);
+        assert_eq!(s.p[0], 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests: every layer's analytic input gradient matches central
+//! finite differences on randomized shapes and inputs — the single
+//! invariant the whole training substrate rests on.
+
+use proptest::prelude::*;
+use treu_math::rng::SplitMix64;
+use treu_math::Matrix;
+use treu_nn::layer::finite_diff_check;
+use treu_nn::prelude::*;
+
+fn batch(seed: u64, rows: usize, cols: usize) -> Matrix {
+    let mut rng = SplitMix64::new(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.next_gaussian() * 0.8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dense_gradients(seed in any::<u64>(), rows in 1usize..5, fan_in in 1usize..6, fan_out in 1usize..6) {
+        let mut layer = Dense::new(fan_in, fan_out, seed);
+        finite_diff_check(&mut layer, &batch(seed ^ 1, rows, fan_in), 1e-4);
+    }
+
+    #[test]
+    fn conv1d_gradients(seed in any::<u64>(), rows in 1usize..3, ch in 1usize..3, len in 4usize..8, kernel in 1usize..4) {
+        prop_assume!(kernel <= len);
+        let mut layer = Conv1d::new(ch, 2, kernel, len, seed);
+        finite_diff_check(&mut layer, &batch(seed ^ 2, rows, ch * len), 1e-4);
+    }
+
+    #[test]
+    fn conv2d_gradients(seed in any::<u64>(), ch in 1usize..3, side in 3usize..6, kernel in 1usize..3) {
+        prop_assume!(kernel <= side);
+        let mut layer = Conv2d::new(ch, 2, kernel, side, side, seed);
+        finite_diff_check(&mut layer, &batch(seed ^ 9, 2, ch * side * side), 1e-4);
+    }
+
+    #[test]
+    fn layernorm_gradients(seed in any::<u64>(), rows in 1usize..4, dim in 2usize..8) {
+        let mut layer = LayerNorm::new(dim);
+        finite_diff_check(&mut layer, &batch(seed ^ 10, rows, dim), 5e-3);
+    }
+
+    #[test]
+    fn pool_gradients(seed in any::<u64>(), rows in 1usize..3, ch in 1usize..4, len in 2usize..6) {
+        let mut layer = GlobalMaxPool1d::new(ch, len);
+        finite_diff_check(&mut layer, &batch(seed ^ 3, rows, ch * len), 1e-4);
+    }
+
+    #[test]
+    fn attention_gradients(seed in any::<u64>(), tokens in 2usize..5, dim in 2usize..5) {
+        let mut layer = SelfAttention::new(dim, seed);
+        finite_diff_check(&mut layer, &batch(seed ^ 4, tokens, dim), 5e-3);
+    }
+
+    #[test]
+    fn activation_gradients(seed in any::<u64>(), rows in 1usize..4, cols in 1usize..6) {
+        finite_diff_check(&mut Tanh::new(), &batch(seed ^ 5, rows, cols), 1e-4);
+        finite_diff_check(&mut Sigmoid::new(), &batch(seed ^ 6, rows, cols), 1e-4);
+        // ReLU: keep inputs away from the kink.
+        let mut x = batch(seed ^ 7, rows, cols);
+        for v in x.as_mut_slice() {
+            if v.abs() < 0.1 {
+                *v += 0.5;
+            }
+        }
+        finite_diff_check(&mut Relu::new(), &x, 1e-4);
+    }
+
+    #[test]
+    fn sequential_composition_gradients(seed in any::<u64>(), rows in 1usize..3) {
+        let mut model = Sequential::new(vec![
+            Box::new(Dense::new(4, 6, seed)),
+            Box::new(Tanh::new()),
+            Box::new(Dense::new(6, 3, seed ^ 1)),
+            Box::new(Sigmoid::new()),
+        ]);
+        finite_diff_check(&mut model, &batch(seed ^ 8, rows, 4), 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_property(seed in any::<u64>(), rows in 1usize..4, classes in 2usize..5) {
+        let logits = batch(seed, rows, classes);
+        let labels: Vec<usize> = (0..rows).map(|r| r % classes).collect();
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        // Each row's gradient sums to zero (softmax simplex constraint).
+        for r in 0..rows {
+            let s: f64 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-10, "row {} grad sum {}", r, s);
+        }
+    }
+}

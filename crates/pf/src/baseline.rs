@@ -1,0 +1,183 @@
+//! The "typical" particle filter baseline.
+//!
+//! This is the filter the §2.2 project set out to beat: position-only
+//! state, fixed nominal rate in the motion model, Gaussian weighting. It
+//! is exactly right when features are repeatedly observable (any tempo
+//! error gets corrected by the next sighting of the *same* feature), and
+//! systematically wrong for one-shot events: once the performance drifts,
+//! the fixed-rate prediction walks away from the truth and each event is
+//! heard only once, so the filter never accumulates enough evidence about
+//! the rate.
+
+use crate::schedule::{EventSchedule, Observation};
+use crate::weighting::WeightFn;
+use treu_math::rng::SplitMix64;
+
+/// Configuration for the baseline filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineConfig {
+    /// Number of particles.
+    pub n_particles: usize,
+    /// Kernel bandwidth.
+    pub sigma: f64,
+    /// Process noise on position per √tick.
+    pub pos_noise: f64,
+    /// Assumed (fixed) progression rate.
+    pub assumed_rate: f64,
+    /// Resample when ESS falls below this fraction.
+    pub resample_threshold: f64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        Self {
+            n_particles: 256,
+            sigma: 1.5,
+            pos_noise: 0.05,
+            assumed_rate: 1.0,
+            resample_threshold: 0.5,
+        }
+    }
+}
+
+/// Position-only particle filter with a fixed-rate motion model.
+pub struct BaselineFilter {
+    schedule: EventSchedule,
+    config: BaselineConfig,
+    positions: Vec<f64>,
+    weights: Vec<f64>,
+    rng: SplitMix64,
+}
+
+impl BaselineFilter {
+    /// Creates the baseline filter.
+    pub fn new(schedule: EventSchedule, config: BaselineConfig, seed: u64) -> Self {
+        assert!(config.n_particles > 0, "need at least one particle");
+        let mut rng = SplitMix64::new(seed);
+        let positions = (0..config.n_particles).map(|_| rng.next_f64() * 0.5).collect();
+        let weights = vec![1.0 / config.n_particles as f64; config.n_particles];
+        Self { schedule, config, positions, weights, rng }
+    }
+
+    /// One predict/update tick.
+    pub fn step(&mut self, dt: f64, obs: Observation) {
+        for p in &mut self.positions {
+            *p += self.config.assumed_rate * dt
+                + self.rng.next_gaussian() * self.config.pos_noise * dt.sqrt();
+            *p = p.max(0.0);
+        }
+        if let Observation::Event { id } = obs {
+            if id < self.schedule.len() {
+                let t_event = self.schedule.time_of(id);
+                for (i, &p) in self.positions.iter().enumerate() {
+                    self.weights[i] *=
+                        1e-3 + 0.999 * WeightFn::Gaussian.eval(p - t_event, self.config.sigma);
+                }
+                let total: f64 = self.weights.iter().sum();
+                if total > 0.0 && total.is_finite() {
+                    for w in &mut self.weights {
+                        *w /= total;
+                    }
+                } else {
+                    self.weights.fill(1.0 / self.positions.len() as f64);
+                }
+                let ess: f64 = 1.0 / self.weights.iter().map(|w| w * w).sum::<f64>();
+                if ess < self.config.resample_threshold * self.positions.len() as f64 {
+                    self.resample();
+                }
+            }
+        }
+    }
+
+    /// Weighted-mean position estimate.
+    pub fn estimate(&self) -> f64 {
+        self.positions.iter().zip(&self.weights).map(|(p, w)| p * w).sum()
+    }
+
+    fn resample(&mut self) {
+        let n = self.positions.len();
+        let step = 1.0 / n as f64;
+        let start = self.rng.next_f64() * step;
+        let mut new = Vec::with_capacity(n);
+        let mut cum = self.weights[0];
+        let mut i = 0;
+        for k in 0..n {
+            let u = start + k as f64 * step;
+            while u > cum && i + 1 < n {
+                i += 1;
+                cum += self.weights[i];
+            }
+            new.push(self.positions[i]);
+        }
+        self.positions = new;
+        self.weights.fill(step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{FilterConfig, ScheduleFilter};
+    use crate::schedule::{DriftModel, Performance, SensorModel};
+
+    fn rmse_pair(rate0: f64, seed: u64) -> (f64, f64) {
+        let schedule = EventSchedule::uniform(20, 8.0);
+        let mut rng = SplitMix64::new(seed);
+        let perf = Performance::simulate(
+            &schedule,
+            DriftModel { rate0, ..DriftModel::default() },
+            SensorModel::default(),
+            0.1,
+            &mut rng,
+        );
+        let mut base = BaselineFilter::new(schedule.clone(), BaselineConfig::default(), seed ^ 1);
+        let mut ours = ScheduleFilter::new(schedule, FilterConfig::default(), seed ^ 1);
+        let (mut se_b, mut se_o) = (0.0, 0.0);
+        for (&truth, &obs) in perf.truth.iter().zip(&perf.observations) {
+            base.step(perf.dt, obs);
+            ours.step(perf.dt, obs);
+            se_b += (base.estimate() - truth).powi(2);
+            se_o += (ours.estimate() - truth).powi(2);
+        }
+        let n = perf.len() as f64;
+        ((se_b / n).sqrt(), (se_o / n).sqrt())
+    }
+
+    #[test]
+    fn baseline_is_fine_on_tempo() {
+        // "Fine" is relative: the tempo random walk still accumulates a
+        // few seconds of drift over a ~200 s performance, so the fixed-rate
+        // baseline cannot be sub-second even on tempo.
+        let (b, _) = rmse_pair(1.0, 1);
+        assert!(b < 5.0, "on-tempo baseline rmse {b}");
+    }
+
+    #[test]
+    fn schedule_aware_beats_baseline_under_drift() {
+        // Aggregate over seeds: the rate-tracking filter should win when
+        // the performance runs 15% fast.
+        let mut wins = 0;
+        for seed in 0..6 {
+            let (b, o) = rmse_pair(1.15, seed);
+            if o < b {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 4, "schedule-aware won only {wins}/6 drifted runs");
+    }
+
+    #[test]
+    fn baseline_estimate_advances() {
+        let schedule = EventSchedule::uniform(5, 10.0);
+        let mut f = BaselineFilter::new(schedule, BaselineConfig::default(), 2);
+        for _ in 0..100 {
+            f.step(0.1, Observation::Silence);
+        }
+        assert!((f.estimate() - 10.0).abs() < 2.0, "estimate {}", f.estimate());
+    }
+
+    #[test]
+    fn baseline_deterministic() {
+        assert_eq!(rmse_pair(1.1, 5), rmse_pair(1.1, 5));
+    }
+}

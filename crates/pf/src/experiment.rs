@@ -1,0 +1,228 @@
+//! Harnessed experiments E2.2a (weighting comparison) and E2.2b (baseline
+//! comparison), plus the shared tracking-run helper the benches reuse.
+
+use crate::baseline::{BaselineConfig, BaselineFilter};
+use crate::filter::{FilterConfig, ScheduleFilter};
+use crate::schedule::{DriftModel, EventSchedule, Performance, SensorModel};
+use crate::weighting::WeightFn;
+use treu_core::experiment::{Experiment, Params, RunContext};
+use treu_core::ExperimentRegistry;
+use treu_math::rng::{derive_seed, SplitMix64};
+
+/// Result of one tracking run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackResult {
+    /// Root-mean-square position error over the performance.
+    pub rmse: f64,
+    /// Absolute error at the final tick.
+    pub final_error: f64,
+    /// Kernel evaluations performed (deterministic cost proxy).
+    pub kernel_evals: u64,
+}
+
+/// Standard workload for the §2.2 experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Number of scheduled events.
+    pub k_events: usize,
+    /// Nominal spacing between events (seconds).
+    pub spacing: f64,
+    /// Performance tempo (1.0 = on schedule).
+    pub rate0: f64,
+    /// Simulation tick.
+    pub dt: f64,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Self { k_events: 25, spacing: 8.0, rate0: 1.12, dt: 0.1 }
+    }
+}
+
+/// Runs the schedule-aware filter over one simulated performance.
+pub fn run_tracking(workload: Workload, kernel: WeightFn, n_particles: usize, seed: u64) -> TrackResult {
+    let schedule = EventSchedule::uniform(workload.k_events, workload.spacing);
+    let mut rng = SplitMix64::new(derive_seed(seed, "performance"));
+    let perf = Performance::simulate(
+        &schedule,
+        DriftModel { rate0: workload.rate0, ..DriftModel::default() },
+        SensorModel::default(),
+        workload.dt,
+        &mut rng,
+    );
+    let cfg = FilterConfig { kernel, n_particles, ..FilterConfig::default() };
+    let mut filter = ScheduleFilter::new(schedule, cfg, derive_seed(seed, "filter"));
+    let mut se = 0.0;
+    let mut last = 0.0;
+    for (&truth, &obs) in perf.truth.iter().zip(&perf.observations) {
+        filter.step(perf.dt, obs);
+        last = (filter.estimate() - truth).abs();
+        se += last * last;
+    }
+    TrackResult {
+        rmse: (se / perf.len().max(1) as f64).sqrt(),
+        final_error: last,
+        kernel_evals: filter.kernel_evals(),
+    }
+}
+
+/// Runs the typical (baseline) filter over the same performance shape.
+pub fn run_baseline(workload: Workload, n_particles: usize, seed: u64) -> TrackResult {
+    let schedule = EventSchedule::uniform(workload.k_events, workload.spacing);
+    let mut rng = SplitMix64::new(derive_seed(seed, "performance"));
+    let perf = Performance::simulate(
+        &schedule,
+        DriftModel { rate0: workload.rate0, ..DriftModel::default() },
+        SensorModel::default(),
+        workload.dt,
+        &mut rng,
+    );
+    let cfg = BaselineConfig { n_particles, ..BaselineConfig::default() };
+    let mut filter = BaselineFilter::new(schedule, cfg, derive_seed(seed, "filter"));
+    let mut se = 0.0;
+    let mut last = 0.0;
+    let mut evals = 0u64;
+    for (&truth, &obs) in perf.truth.iter().zip(&perf.observations) {
+        if matches!(obs, crate::schedule::Observation::Event { .. }) {
+            evals += n_particles as u64;
+        }
+        filter.step(perf.dt, obs);
+        last = (filter.estimate() - truth).abs();
+        se += last * last;
+    }
+    TrackResult {
+        rmse: (se / perf.len().max(1) as f64).sqrt(),
+        final_error: last,
+        kernel_evals: evals,
+    }
+}
+
+/// E2.2a: accuracy of each weighting kernel, averaged over trials.
+///
+/// Records `rmse_<kernel>` per kernel plus `rmse_ratio_triangular`
+/// (triangular / gaussian) — the paper claims "almost as accurate", i.e. a
+/// ratio near 1.
+pub struct WeightingExperiment;
+
+impl Experiment for WeightingExperiment {
+    fn name(&self) -> &str {
+        "pf/weighting"
+    }
+
+    fn run(&self, ctx: &mut RunContext) {
+        let trials = ctx.int("trials", 8) as u64;
+        let n_particles = ctx.int("particles", 256) as usize;
+        let workload = Workload::default();
+        let mut rmse_gaussian = 0.0;
+        for kernel in WeightFn::all() {
+            let mut sum = 0.0;
+            for t in 0..trials {
+                let seed = derive_seed(ctx.seed(), &format!("trial{t}"));
+                sum += run_tracking(workload, kernel, n_particles, seed).rmse;
+            }
+            let mean = sum / trials as f64;
+            ctx.record(&format!("rmse_{}", kernel.name()), mean);
+            ctx.record(
+                &format!("transcendental_{}", kernel.name()),
+                if kernel.uses_transcendentals() { 1.0 } else { 0.0 },
+            );
+            if kernel == WeightFn::Gaussian {
+                rmse_gaussian = mean;
+            }
+        }
+        let tri = ctx.trail().metric_value("rmse_triangular").unwrap_or(f64::NAN);
+        ctx.record("rmse_ratio_triangular", tri / rmse_gaussian);
+    }
+}
+
+/// E2.2b: schedule-aware filter vs the typical filter, on- and off-tempo.
+pub struct BaselineExperiment;
+
+impl Experiment for BaselineExperiment {
+    fn run(&self, ctx: &mut RunContext) {
+        let trials = ctx.int("trials", 8) as u64;
+        let n_particles = ctx.int("particles", 256) as usize;
+        for (tag, rate0) in [("ontempo", 1.0), ("drift", 1.15)] {
+            let workload = Workload { rate0, ..Workload::default() };
+            let (mut ours, mut base) = (0.0, 0.0);
+            for t in 0..trials {
+                let seed = derive_seed(ctx.seed(), &format!("{tag}.{t}"));
+                ours += run_tracking(workload, WeightFn::Gaussian, n_particles, seed).rmse;
+                base += run_baseline(workload, n_particles, seed).rmse;
+            }
+            ctx.record(&format!("rmse_ours_{tag}"), ours / trials as f64);
+            ctx.record(&format!("rmse_baseline_{tag}"), base / trials as f64);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "pf/baseline"
+    }
+}
+
+/// Registers E2.2a and E2.2b.
+pub fn register(reg: &mut ExperimentRegistry) {
+    reg.register(
+        "E2.2a",
+        "Section 2.2",
+        "fast weighting vs Gaussian weighting accuracy",
+        Params::new().with_int("trials", 8).with_int("particles", 256),
+        Box::new(WeightingExperiment),
+    );
+    reg.register(
+        "E2.2b",
+        "Section 2.2",
+        "schedule-aware filter vs typical particle filter",
+        Params::new().with_int("trials", 8).with_int("particles", 256),
+        Box::new(BaselineExperiment),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treu_core::experiment::{assert_deterministic, run_once};
+
+    #[test]
+    fn weighting_experiment_shows_near_parity() {
+        let rec = run_once(&WeightingExperiment, 42, Params::new().with_int("trials", 6));
+        let ratio = rec.metric("rmse_ratio_triangular").unwrap();
+        assert!(
+            ratio < 1.6,
+            "triangular should be almost as accurate as gaussian; ratio {ratio}"
+        );
+        assert_eq!(rec.metric("transcendental_gaussian"), Some(1.0));
+        assert_eq!(rec.metric("transcendental_triangular"), Some(0.0));
+    }
+
+    #[test]
+    fn baseline_experiment_shows_drift_win() {
+        let rec = run_once(&BaselineExperiment, 42, Params::new().with_int("trials", 6));
+        let ours = rec.metric("rmse_ours_drift").unwrap();
+        let base = rec.metric("rmse_baseline_drift").unwrap();
+        assert!(ours < base, "schedule-aware ({ours}) must beat baseline ({base}) under drift");
+    }
+
+    #[test]
+    fn experiments_are_deterministic() {
+        let p = Params::new().with_int("trials", 2).with_int("particles", 64);
+        assert_deterministic(&WeightingExperiment, 7, &p);
+        assert_deterministic(&BaselineExperiment, 7, &p);
+    }
+
+    #[test]
+    fn tracking_result_fields_consistent() {
+        let r = run_tracking(Workload::default(), WeightFn::Rational, 128, 3);
+        assert!(r.rmse >= 0.0 && r.rmse.is_finite());
+        assert!(r.final_error >= 0.0);
+        assert!(r.kernel_evals > 0);
+    }
+
+    #[test]
+    fn registry_ids() {
+        let mut reg = ExperimentRegistry::new();
+        register(&mut reg);
+        assert!(reg.get("E2.2a").is_some());
+        assert!(reg.get("E2.2b").is_some());
+    }
+}

@@ -1,0 +1,324 @@
+//! The schedule-aware particle filter.
+//!
+//! State per particle: `(position, rate)` — where the performance is in the
+//! schedule and how fast it is progressing. The rate component is what the
+//! "usual implementations" lack: with one-shot events there is no chance to
+//! re-observe a feature and correct a bad velocity estimate after the fact,
+//! so the filter must carry rate uncertainty explicitly. (The paper credits
+//! "ideas from reinforcement learning" for adapting the proposal; here that
+//! is the rate random-walk whose scale anneals with the effective sample
+//! size.)
+
+use crate::schedule::{EventSchedule, Observation};
+use crate::weighting::WeightFn;
+use treu_math::rng::SplitMix64;
+
+/// One particle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Particle {
+    /// Schedule position (seconds into the program).
+    pub pos: f64,
+    /// Progression rate (schedule seconds per wall second).
+    pub rate: f64,
+}
+
+/// Filter configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterConfig {
+    /// Number of particles.
+    pub n_particles: usize,
+    /// Weighting kernel.
+    pub kernel: WeightFn,
+    /// Kernel bandwidth (schedule seconds).
+    pub sigma: f64,
+    /// Process noise on position per √tick.
+    pub pos_noise: f64,
+    /// Random-walk scale on rate per tick.
+    pub rate_noise: f64,
+    /// Resample when ESS falls below this fraction of `n_particles`.
+    pub resample_threshold: f64,
+    /// Floor weight mixed into every particle so mislabelled events cannot
+    /// zero out the whole cloud (the filter's robustness to `p_mislabel`).
+    pub weight_floor: f64,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        Self {
+            n_particles: 256,
+            kernel: WeightFn::Gaussian,
+            sigma: 1.5,
+            pos_noise: 0.05,
+            rate_noise: 0.01,
+            resample_threshold: 0.5,
+            weight_floor: 1e-3,
+        }
+    }
+}
+
+/// A running schedule-aware particle filter.
+pub struct ScheduleFilter {
+    schedule: EventSchedule,
+    config: FilterConfig,
+    particles: Vec<Particle>,
+    weights: Vec<f64>,
+    rng: SplitMix64,
+    kernel_evals: u64,
+    resamples: u64,
+}
+
+impl ScheduleFilter {
+    /// Creates a filter with particles initialized at the schedule start
+    /// with rate spread around 1.0.
+    pub fn new(schedule: EventSchedule, config: FilterConfig, seed: u64) -> Self {
+        assert!(config.n_particles > 0, "need at least one particle");
+        let mut rng = SplitMix64::new(seed);
+        let particles = (0..config.n_particles)
+            .map(|_| Particle {
+                pos: rng.next_f64() * 0.5,
+                rate: 1.0 + rng.next_gaussian() * 0.05,
+            })
+            .collect();
+        let weights = vec![1.0 / config.n_particles as f64; config.n_particles];
+        Self {
+            schedule,
+            config,
+            particles,
+            weights,
+            rng,
+            kernel_evals: 0,
+            resamples: 0,
+        }
+    }
+
+    /// Advances every particle by one tick of length `dt` (the prediction
+    /// step), then folds in the observation (the update step), resampling
+    /// if the effective sample size has collapsed.
+    pub fn step(&mut self, dt: f64, obs: Observation) {
+        // Predict: position advances by rate; rate does a random walk whose
+        // scale grows when the cloud is degenerate (the adaptive proposal).
+        let ess_frac = self.effective_sample_size() / self.config.n_particles as f64;
+        let boost = if ess_frac < 0.25 { 3.0 } else { 1.0 };
+        for p in &mut self.particles {
+            p.rate = (p.rate + self.rng.next_gaussian() * self.config.rate_noise * boost)
+                .clamp(0.5, 1.5);
+            p.pos += p.rate * dt + self.rng.next_gaussian() * self.config.pos_noise * dt.sqrt();
+            p.pos = p.pos.max(0.0);
+        }
+
+        // Update: weight by agreement between each particle's position and
+        // the observed event's nominal time.
+        if let Observation::Event { id } = obs {
+            if id < self.schedule.len() {
+                let t_event = self.schedule.time_of(id);
+                let floor = self.config.weight_floor;
+                for (i, p) in self.particles.iter().enumerate() {
+                    let d = p.pos - t_event;
+                    let w = self.config.kernel.eval(d, self.config.sigma);
+                    self.kernel_evals += 1;
+                    self.weights[i] *= floor + (1.0 - floor) * w;
+                }
+                self.normalize_weights();
+                if self.effective_sample_size()
+                    < self.config.resample_threshold * self.config.n_particles as f64
+                {
+                    self.resample();
+                }
+            }
+        }
+    }
+
+    /// Weighted-mean estimate of the current schedule position.
+    pub fn estimate(&self) -> f64 {
+        self.particles
+            .iter()
+            .zip(&self.weights)
+            .map(|(p, w)| p.pos * w)
+            .sum()
+    }
+
+    /// Weighted-mean estimate of the progression rate.
+    pub fn rate_estimate(&self) -> f64 {
+        self.particles
+            .iter()
+            .zip(&self.weights)
+            .map(|(p, w)| p.rate * w)
+            .sum()
+    }
+
+    /// Kish effective sample size `1 / Σ w²`.
+    pub fn effective_sample_size(&self) -> f64 {
+        let s: f64 = self.weights.iter().map(|w| w * w).sum();
+        if s > 0.0 {
+            1.0 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Number of kernel evaluations so far (deterministic cost proxy).
+    pub fn kernel_evals(&self) -> u64 {
+        self.kernel_evals
+    }
+
+    /// Number of resampling events so far.
+    pub fn resamples(&self) -> u64 {
+        self.resamples
+    }
+
+    /// Particle count.
+    pub fn n_particles(&self) -> usize {
+        self.particles.len()
+    }
+
+    fn normalize_weights(&mut self) {
+        let total: f64 = self.weights.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            // Degenerate cloud: reset to uniform rather than propagate NaN.
+            let u = 1.0 / self.weights.len() as f64;
+            self.weights.fill(u);
+            return;
+        }
+        for w in &mut self.weights {
+            *w /= total;
+        }
+    }
+
+    /// Systematic (low-variance) resampling.
+    fn resample(&mut self) {
+        let n = self.particles.len();
+        let step = 1.0 / n as f64;
+        let start = self.rng.next_f64() * step;
+        let mut new = Vec::with_capacity(n);
+        let mut cum = self.weights[0];
+        let mut i = 0;
+        for k in 0..n {
+            let u = start + k as f64 * step;
+            while u > cum && i + 1 < n {
+                i += 1;
+                cum += self.weights[i];
+            }
+            new.push(self.particles[i]);
+        }
+        self.particles = new;
+        self.weights.fill(step);
+        self.resamples += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{DriftModel, Performance, SensorModel};
+
+    fn track(kernel: WeightFn, seed: u64) -> (f64, f64) {
+        let schedule = EventSchedule::uniform(20, 8.0);
+        let mut rng = SplitMix64::new(seed);
+        let perf = Performance::simulate(
+            &schedule,
+            DriftModel { rate0: 1.1, ..DriftModel::default() },
+            SensorModel::default(),
+            0.1,
+            &mut rng,
+        );
+        let mut f = ScheduleFilter::new(
+            schedule,
+            FilterConfig { kernel, ..FilterConfig::default() },
+            seed ^ 0xABCD,
+        );
+        let mut se = 0.0;
+        for (t, (&truth, &obs)) in perf.truth.iter().zip(&perf.observations).enumerate() {
+            f.step(perf.dt, obs);
+            let _ = t;
+            let e = f.estimate() - truth;
+            se += e * e;
+        }
+        ((se / perf.len() as f64).sqrt(), f.rate_estimate())
+    }
+
+    #[test]
+    fn tracks_drifting_performance() {
+        let (rmse, rate) = track(WeightFn::Gaussian, 1);
+        assert!(rmse < 3.0, "rmse {rmse}");
+        // The performance runs ~10% fast; the filter should notice.
+        assert!(rate > 1.02, "rate estimate {rate} should exceed 1.0");
+    }
+
+    #[test]
+    fn fast_kernel_is_almost_as_accurate() {
+        let mut g = 0.0;
+        let mut t = 0.0;
+        for seed in 0..5 {
+            g += track(WeightFn::Gaussian, seed).0;
+            t += track(WeightFn::Triangular, seed).0;
+        }
+        assert!(t < g * 1.5, "triangular rmse {t} vs gaussian {g} (5-seed sums)");
+    }
+
+    #[test]
+    fn weights_stay_normalized() {
+        let schedule = EventSchedule::uniform(5, 10.0);
+        let mut f = ScheduleFilter::new(schedule, FilterConfig::default(), 3);
+        for k in 0..5 {
+            f.step(0.1, Observation::Event { id: k });
+            let s: f64 = f.weights.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "weights sum {s}");
+        }
+    }
+
+    #[test]
+    fn ess_bounds() {
+        let schedule = EventSchedule::uniform(5, 10.0);
+        let f = ScheduleFilter::new(schedule, FilterConfig::default(), 4);
+        let ess = f.effective_sample_size();
+        assert!((ess - f.n_particles() as f64).abs() < 1e-6, "uniform weights -> ESS = N");
+    }
+
+    #[test]
+    fn out_of_range_observation_is_ignored() {
+        let schedule = EventSchedule::uniform(3, 10.0);
+        let mut f = ScheduleFilter::new(schedule, FilterConfig::default(), 5);
+        f.step(0.1, Observation::Event { id: 99 });
+        assert_eq!(f.kernel_evals(), 0);
+    }
+
+    #[test]
+    fn silence_costs_no_kernel_evals() {
+        let schedule = EventSchedule::uniform(3, 10.0);
+        let mut f = ScheduleFilter::new(schedule, FilterConfig::default(), 6);
+        for _ in 0..100 {
+            f.step(0.1, Observation::Silence);
+        }
+        assert_eq!(f.kernel_evals(), 0);
+        // But positions still advance.
+        assert!(f.estimate() > 5.0);
+    }
+
+    #[test]
+    fn filter_is_deterministic() {
+        let a = track(WeightFn::Rational, 7);
+        let b = track(WeightFn::Rational, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resampling_fires_under_degeneracy() {
+        let schedule = EventSchedule::uniform(10, 5.0);
+        let cfg = FilterConfig { sigma: 0.3, ..FilterConfig::default() };
+        let mut f = ScheduleFilter::new(schedule, cfg, 8);
+        for k in 0..10 {
+            for _ in 0..40 {
+                f.step(0.1, Observation::Silence);
+            }
+            f.step(0.1, Observation::Event { id: k });
+        }
+        assert!(f.resamples() > 0, "tight kernel should trigger resampling");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one particle")]
+    fn zero_particles_panics() {
+        let cfg = FilterConfig { n_particles: 0, ..FilterConfig::default() };
+        ScheduleFilter::new(EventSchedule::uniform(2, 5.0), cfg, 0);
+    }
+}

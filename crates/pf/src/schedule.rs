@@ -1,0 +1,292 @@
+//! Concert schedules, performances, and the sensor model.
+//!
+//! A schedule lists K distinct events at nominal times. A *performance* of
+//! the schedule plays the events in order but at a drifting tempo, so event
+//! k actually sounds when the performance's schedule-position crosses the
+//! nominal time of event k. A sensor sometimes hears an event (and may
+//! mislabel it), producing the observation stream the filters consume.
+
+use treu_math::rng::SplitMix64;
+
+/// A published schedule of `K` distinct events at nominal times (seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventSchedule {
+    times: Vec<f64>,
+}
+
+impl EventSchedule {
+    /// Creates a schedule from strictly increasing nominal event times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the times are empty or not strictly increasing.
+    pub fn new(times: Vec<f64>) -> Self {
+        assert!(!times.is_empty(), "schedule needs at least one event");
+        assert!(
+            times.windows(2).all(|w| w[1] > w[0]),
+            "schedule times must be strictly increasing"
+        );
+        Self { times }
+    }
+
+    /// An evenly spaced schedule: `k` events `spacing` seconds apart,
+    /// starting at `spacing`.
+    pub fn uniform(k: usize, spacing: f64) -> Self {
+        Self::new((1..=k).map(|i| i as f64 * spacing).collect())
+    }
+
+    /// A jittered schedule: uniform plus deterministic per-event jitter —
+    /// closer to a real concert program.
+    pub fn jittered(k: usize, spacing: f64, jitter: f64, rng: &mut SplitMix64) -> Self {
+        let mut times: Vec<f64> = (1..=k)
+            .map(|i| i as f64 * spacing + (rng.next_f64() - 0.5) * 2.0 * jitter)
+            .collect();
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Enforce strict monotonicity in case jitter collided two events.
+        for i in 1..times.len() {
+            if times[i] <= times[i - 1] {
+                times[i] = times[i - 1] + 1e-6;
+            }
+        }
+        Self::new(times)
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True if the schedule is empty (impossible by construction).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Nominal time of event `k`.
+    pub fn time_of(&self, k: usize) -> f64 {
+        self.times[k]
+    }
+
+    /// Total nominal duration (time of the last event).
+    pub fn duration(&self) -> f64 {
+        *self.times.last().expect("non-empty by construction")
+    }
+
+    /// All nominal times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+}
+
+/// One sensor reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Observation {
+    /// An event was heard and labelled (possibly wrongly) as `id`.
+    Event {
+        /// Reported event index.
+        id: usize,
+    },
+    /// Nothing was heard this tick.
+    Silence,
+}
+
+/// Sensor characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorModel {
+    /// Probability an occurring event is detected at all.
+    pub p_detect: f64,
+    /// Probability a detected event is labelled with a random wrong id.
+    pub p_mislabel: f64,
+    /// Half-width (in schedule seconds) of the audibility window around an
+    /// event's nominal time.
+    pub window: f64,
+}
+
+impl Default for SensorModel {
+    fn default() -> Self {
+        Self { p_detect: 0.9, p_mislabel: 0.05, window: 1.5 }
+    }
+}
+
+/// A simulated performance: the ground-truth trajectory of schedule
+/// position over wall time, plus the observation stream.
+#[derive(Debug, Clone)]
+pub struct Performance {
+    /// Ground-truth schedule position at each tick.
+    pub truth: Vec<f64>,
+    /// Observation at each tick.
+    pub observations: Vec<Observation>,
+    /// Tick length in seconds.
+    pub dt: f64,
+}
+
+/// Tempo-drift parameters for a performance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftModel {
+    /// Initial rate (schedule seconds per wall second); 1.0 = on tempo.
+    pub rate0: f64,
+    /// Per-tick Gaussian perturbation of the rate (random-walk scale).
+    pub rate_walk: f64,
+    /// Rate is clamped to `[min_rate, max_rate]`.
+    pub min_rate: f64,
+    /// Upper clamp.
+    pub max_rate: f64,
+}
+
+impl Default for DriftModel {
+    fn default() -> Self {
+        Self { rate0: 1.0, rate_walk: 0.004, min_rate: 0.7, max_rate: 1.3 }
+    }
+}
+
+impl Performance {
+    /// Simulates a performance of `schedule` until the position passes the
+    /// final event (plus one window), with the given drift and sensor.
+    pub fn simulate(
+        schedule: &EventSchedule,
+        drift: DriftModel,
+        sensor: SensorModel,
+        dt: f64,
+        rng: &mut SplitMix64,
+    ) -> Self {
+        let mut pos = 0.0;
+        let mut rate = drift.rate0;
+        let mut truth = Vec::new();
+        let mut observations = Vec::new();
+        let mut emitted = vec![false; schedule.len()];
+        let end = schedule.duration() + sensor.window;
+        let max_ticks = ((end / dt) * 3.0) as usize + 10;
+        for _ in 0..max_ticks {
+            if pos > end {
+                break;
+            }
+            rate = (rate + rng.next_gaussian() * drift.rate_walk)
+                .clamp(drift.min_rate, drift.max_rate);
+            pos += rate * dt;
+            truth.push(pos);
+
+            // An event sounds when its nominal time is first crossed; it
+            // is audible (once) within the sensor window.
+            let mut obs = Observation::Silence;
+            for (k, &t) in schedule.times().iter().enumerate() {
+                if !emitted[k] && pos >= t && (pos - t) <= sensor.window {
+                    emitted[k] = true;
+                    if rng.next_f64() < sensor.p_detect {
+                        let id = if rng.next_f64() < sensor.p_mislabel {
+                            rng.next_bounded(schedule.len() as u64) as usize
+                        } else {
+                            k
+                        };
+                        obs = Observation::Event { id };
+                    }
+                    break;
+                }
+            }
+            observations.push(obs);
+        }
+        Self { truth, observations, dt }
+    }
+
+    /// Number of ticks.
+    pub fn len(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// True when the performance has no ticks.
+    pub fn is_empty(&self) -> bool {
+        self.truth.is_empty()
+    }
+
+    /// Number of non-silent observations.
+    pub fn n_events_heard(&self) -> usize {
+        self.observations
+            .iter()
+            .filter(|o| matches!(o, Observation::Event { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_schedule_spacing() {
+        let s = EventSchedule::uniform(5, 10.0);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.time_of(0), 10.0);
+        assert_eq!(s.duration(), 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_schedule_panics() {
+        EventSchedule::new(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn jittered_schedule_is_monotone() {
+        let mut rng = SplitMix64::new(1);
+        let s = EventSchedule::jittered(50, 5.0, 2.4, &mut rng);
+        assert!(s.times().windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(s.len(), 50);
+    }
+
+    #[test]
+    fn performance_truth_is_monotone_and_covers_schedule() {
+        let s = EventSchedule::uniform(8, 10.0);
+        let mut rng = SplitMix64::new(2);
+        let p = Performance::simulate(&s, DriftModel::default(), SensorModel::default(), 0.1, &mut rng);
+        assert!(!p.is_empty());
+        assert!(p.truth.windows(2).all(|w| w[1] > w[0]), "position must advance");
+        assert!(*p.truth.last().unwrap() >= s.duration());
+    }
+
+    #[test]
+    fn each_event_heard_at_most_once() {
+        let s = EventSchedule::uniform(10, 8.0);
+        let mut rng = SplitMix64::new(3);
+        let sensor = SensorModel { p_detect: 1.0, p_mislabel: 0.0, window: 2.0 };
+        let p = Performance::simulate(&s, DriftModel::default(), sensor, 0.1, &mut rng);
+        let mut counts = vec![0usize; s.len()];
+        for o in &p.observations {
+            if let Observation::Event { id } = o {
+                counts[*id] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c <= 1), "one-shot events: {counts:?}");
+        assert_eq!(p.n_events_heard(), 10, "perfect sensor hears every event");
+    }
+
+    #[test]
+    fn detection_probability_thins_observations() {
+        let s = EventSchedule::uniform(40, 5.0);
+        let mut rng = SplitMix64::new(4);
+        let sensor = SensorModel { p_detect: 0.5, p_mislabel: 0.0, window: 2.0 };
+        let p = Performance::simulate(&s, DriftModel::default(), sensor, 0.1, &mut rng);
+        let heard = p.n_events_heard();
+        assert!(heard < 38 && heard > 5, "heard {heard} of 40 at p=0.5");
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let s = EventSchedule::uniform(6, 7.0);
+        let run = |seed| {
+            let mut rng = SplitMix64::new(seed);
+            Performance::simulate(&s, DriftModel::default(), SensorModel::default(), 0.1, &mut rng).truth
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn drift_clamps_rate() {
+        let s = EventSchedule::uniform(3, 5.0);
+        let mut rng = SplitMix64::new(5);
+        let drift = DriftModel { rate0: 1.0, rate_walk: 0.5, min_rate: 0.9, max_rate: 1.1 };
+        let p = Performance::simulate(&s, drift, SensorModel::default(), 0.1, &mut rng);
+        for w in p.truth.windows(2) {
+            let r = (w[1] - w[0]) / 0.1;
+            assert!((0.89..=1.11).contains(&r), "rate {r} escaped clamp");
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests on the particle-filter invariants: weight normalization,
+//! ESS bounds, monotone-ish tracking, and kernel sanity across random
+//! configurations.
+
+use proptest::prelude::*;
+use treu_math::rng::SplitMix64;
+use treu_pf::filter::{FilterConfig, ScheduleFilter};
+use treu_pf::schedule::{DriftModel, EventSchedule, Observation, Performance, SensorModel};
+use treu_pf::WeightFn;
+
+fn any_kernel() -> impl Strategy<Value = WeightFn> {
+    prop_oneof![
+        Just(WeightFn::Gaussian),
+        Just(WeightFn::Triangular),
+        Just(WeightFn::Rational),
+        Just(WeightFn::Biweight),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ess_stays_within_bounds(seed in any::<u64>(), kernel in any_kernel(), n in 8usize..128) {
+        let schedule = EventSchedule::uniform(10, 6.0);
+        let cfg = FilterConfig { kernel, n_particles: n, ..FilterConfig::default() };
+        let mut f = ScheduleFilter::new(schedule, cfg, seed);
+        for k in 0..10 {
+            f.step(0.1, Observation::Event { id: k });
+            let ess = f.effective_sample_size();
+            prop_assert!(ess >= 1.0 - 1e-9 && ess <= n as f64 + 1e-9, "ess {}", ess);
+        }
+    }
+
+    #[test]
+    fn estimate_is_finite_and_nonnegative(seed in any::<u64>(), kernel in any_kernel()) {
+        let schedule = EventSchedule::uniform(8, 5.0);
+        let mut rng = SplitMix64::new(seed);
+        let perf = Performance::simulate(
+            &schedule,
+            DriftModel::default(),
+            SensorModel::default(),
+            0.1,
+            &mut rng,
+        );
+        let cfg = FilterConfig { kernel, n_particles: 64, ..FilterConfig::default() };
+        let mut f = ScheduleFilter::new(schedule, cfg, seed ^ 1);
+        for &obs in &perf.observations {
+            f.step(perf.dt, obs);
+            let e = f.estimate();
+            prop_assert!(e.is_finite() && e >= 0.0, "estimate {}", e);
+        }
+    }
+
+    #[test]
+    fn kernels_are_bounded_probability_like(kernel in any_kernel(), d in -50.0..50.0f64, sigma in 0.1..10.0f64) {
+        let w = kernel.eval(d, sigma);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&w), "{} eval {}", kernel.name(), w);
+    }
+
+    #[test]
+    fn wrong_labels_do_not_destroy_the_cloud(seed in any::<u64>()) {
+        // Feed deliberately contradictory observations: the weight floor
+        // must keep the filter alive (finite estimate, ESS >= 1).
+        let schedule = EventSchedule::uniform(10, 6.0);
+        let mut f = ScheduleFilter::new(schedule, FilterConfig::default(), seed);
+        for k in [9usize, 0, 9, 0, 9, 0] {
+            f.step(0.1, Observation::Event { id: k });
+        }
+        prop_assert!(f.estimate().is_finite());
+        prop_assert!(f.effective_sample_size() >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn performance_truth_is_strictly_increasing(seed in any::<u64>(), k in 2usize..20) {
+        let schedule = EventSchedule::uniform(k, 5.0);
+        let mut rng = SplitMix64::new(seed);
+        let perf = Performance::simulate(
+            &schedule,
+            DriftModel::default(),
+            SensorModel::default(),
+            0.1,
+            &mut rng,
+        );
+        prop_assert!(perf.truth.windows(2).all(|w| w[1] > w[0]));
+        prop_assert_eq!(perf.truth.len(), perf.observations.len());
+    }
+}

@@ -1,0 +1,309 @@
+//! Deep Q-learning with experience replay and a target network
+//! (Mnih et al. 2015, the paper's reference \[15\]).
+
+use crate::env::{Env, StepResult, N_ACTIONS};
+use crate::estimators::{EstimatorKind, QNetwork};
+use treu_math::rng::{derive_seed, SplitMix64};
+
+/// One replay transition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// State observation.
+    pub obs: Vec<f64>,
+    /// Action taken.
+    pub action: usize,
+    /// Reward received.
+    pub reward: f64,
+    /// Next observation.
+    pub next_obs: Vec<f64>,
+    /// Whether the episode ended at `next_obs`.
+    pub done: bool,
+}
+
+/// A bounded ring-buffer replay memory with uniform sampling.
+#[derive(Debug, Default)]
+pub struct ReplayBuffer {
+    buf: Vec<Transition>,
+    capacity: usize,
+    head: usize,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding at most `capacity` transitions.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        Self { buf: Vec::with_capacity(capacity), capacity, head: 0 }
+    }
+
+    /// Stores a transition, evicting the oldest when full.
+    pub fn push(&mut self, t: Transition) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(t);
+        } else {
+            self.buf[self.head] = t;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Uniform random sample (with replacement).
+    pub fn sample<'a>(&'a self, n: usize, rng: &mut SplitMix64) -> Vec<&'a Transition> {
+        (0..n)
+            .map(|_| &self.buf[rng.next_bounded(self.buf.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// DQN hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DqnConfig {
+    /// Training episodes.
+    pub episodes: usize,
+    /// Replay capacity.
+    pub replay_capacity: usize,
+    /// Replay minibatch size (transitions per learning step).
+    pub batch: usize,
+    /// Discount factor.
+    pub gamma: f64,
+    /// Initial exploration rate.
+    pub eps_start: f64,
+    /// Final exploration rate.
+    pub eps_end: f64,
+    /// Target-network sync interval (environment steps).
+    pub target_sync: usize,
+    /// Estimator learning rate.
+    pub lr: f64,
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        Self {
+            episodes: 400,
+            replay_capacity: 2000,
+            batch: 8,
+            gamma: 0.95,
+            eps_start: 1.0,
+            eps_end: 0.05,
+            target_sync: 50,
+            lr: 0.005,
+        }
+    }
+}
+
+/// A DQN agent bound to an estimator family.
+pub struct DqnAgent {
+    online: Box<dyn QNetwork>,
+    target: Box<dyn QNetwork>,
+    replay: ReplayBuffer,
+    config: DqnConfig,
+    rng: SplitMix64,
+    steps: usize,
+    /// Total reward of each training episode (the learning curve).
+    pub episode_rewards: Vec<f64>,
+}
+
+impl DqnAgent {
+    /// Creates an agent with freshly initialized online/target networks.
+    pub fn new(kind: EstimatorKind, config: DqnConfig, seed: u64) -> Self {
+        let mut online = kind.build(config.lr, derive_seed(seed, "online"));
+        let mut target = kind.build(config.lr, derive_seed(seed, "target"));
+        let params = online.export_params();
+        target.load_params_from(&params);
+        Self {
+            online,
+            target,
+            replay: ReplayBuffer::new(config.replay_capacity),
+            config,
+            rng: SplitMix64::new(derive_seed(seed, "agent")),
+            steps: 0,
+            episode_rewards: Vec::new(),
+        }
+    }
+
+    fn epsilon(&self, episode: usize, total: usize) -> f64 {
+        let t = episode as f64 / total.max(1) as f64;
+        self.config.eps_start + (self.config.eps_end - self.config.eps_start) * t.min(1.0)
+    }
+
+    fn act(&mut self, obs: &[f64], eps: f64) -> usize {
+        if self.rng.next_f64() < eps {
+            self.rng.next_bounded(N_ACTIONS as u64) as usize
+        } else {
+            treu_math::vector::argmax(&self.online.q_values(obs)).unwrap_or(0)
+        }
+    }
+
+    fn learn(&mut self) {
+        if self.replay.len() < self.config.batch {
+            return;
+        }
+        // Sample indices first (immutable borrow), then update.
+        let picks: Vec<Transition> = self
+            .replay
+            .sample(self.config.batch, &mut self.rng)
+            .into_iter()
+            .cloned()
+            .collect();
+        for t in picks {
+            let target = if t.done {
+                t.reward
+            } else {
+                let next_q = self.target.q_values(&t.next_obs);
+                t.reward
+                    + self.config.gamma
+                        * next_q.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            };
+            self.online.update(&t.obs, t.action, target);
+        }
+    }
+
+    /// Trains against the environment; returns the mean reward of the last
+    /// 20% of episodes (the converged estimate).
+    pub fn train(&mut self, env: &mut dyn Env) -> f64 {
+        let total = self.config.episodes;
+        for ep in 0..total {
+            let eps = self.epsilon(ep, total);
+            let mut obs = env.reset(&mut self.rng);
+            let mut ep_reward = 0.0;
+            for _ in 0..env.horizon() {
+                let action = self.act(&obs, eps);
+                let StepResult { obs: next, reward, done } = env.step(action, &mut self.rng);
+                ep_reward += reward;
+                self.replay.push(Transition {
+                    obs: obs.clone(),
+                    action,
+                    reward,
+                    next_obs: next.clone(),
+                    done,
+                });
+                self.learn();
+                self.steps += 1;
+                if self.steps.is_multiple_of(self.config.target_sync) {
+                    let params = self.online.export_params();
+                    self.target.load_params_from(&params);
+                }
+                obs = next;
+                if done {
+                    break;
+                }
+            }
+            self.episode_rewards.push(ep_reward);
+        }
+        let tail = (total / 5).max(1);
+        let last: Vec<f64> = self.episode_rewards[total - tail..].to_vec();
+        treu_math::stats::mean(&last)
+    }
+
+    /// Greedy evaluation over `episodes`, returning the mean total reward.
+    pub fn evaluate(&mut self, env: &mut dyn Env, episodes: usize) -> f64 {
+        let mut total = 0.0;
+        for _ in 0..episodes {
+            let mut obs = env.reset(&mut self.rng);
+            for _ in 0..env.horizon() {
+                let action = self.act(&obs, 0.0);
+                let r = env.step(action, &mut self.rng);
+                total += r.reward;
+                obs = r.obs;
+                if r.done {
+                    break;
+                }
+            }
+        }
+        total / episodes.max(1) as f64
+    }
+}
+
+/// A uniformly random policy's mean reward — the floor any trained agent
+/// must clear.
+pub fn random_policy_reward(env: &mut dyn Env, episodes: usize, seed: u64) -> f64 {
+    let mut rng = SplitMix64::new(seed);
+    let mut total = 0.0;
+    for _ in 0..episodes {
+        let mut _obs = env.reset(&mut rng);
+        for _ in 0..env.horizon() {
+            let r = env.step(rng.next_bounded(N_ACTIONS as u64) as usize, &mut rng);
+            total += r.reward;
+            if r.done {
+                break;
+            }
+        }
+    }
+    total / episodes.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::EnvKind;
+
+    #[test]
+    fn replay_buffer_evicts_oldest() {
+        let mut rb = ReplayBuffer::new(2);
+        let t = |r: f64| Transition { obs: vec![], action: 0, reward: r, next_obs: vec![], done: false };
+        rb.push(t(1.0));
+        rb.push(t(2.0));
+        rb.push(t(3.0));
+        assert_eq!(rb.len(), 2);
+        let rewards: Vec<f64> = rb.buf.iter().map(|x| x.reward).collect();
+        assert!(rewards.contains(&3.0));
+        assert!(!rewards.contains(&1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        ReplayBuffer::new(0);
+    }
+
+    #[test]
+    fn dqn_learns_catch() {
+        // Catch is the easiest env: a trained agent must clearly beat random.
+        let mut env = EnvKind::Catch.build();
+        let cfg = DqnConfig { episodes: 400, ..DqnConfig::default() };
+        let mut agent = DqnAgent::new(EstimatorKind::Conv, cfg, 1);
+        agent.train(env.as_mut());
+        let trained = agent.evaluate(env.as_mut(), 40);
+        let random = random_policy_reward(env.as_mut(), 40, 2);
+        assert!(
+            trained > random + 3.0,
+            "trained {trained} must beat random {random}"
+        );
+    }
+
+    #[test]
+    fn epsilon_schedule_decays() {
+        let agent = DqnAgent::new(EstimatorKind::Conv, DqnConfig::default(), 3);
+        assert!(agent.epsilon(0, 100) > agent.epsilon(50, 100));
+        assert!((agent.epsilon(100, 100) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let run = || {
+            let mut env = EnvKind::Catch.build();
+            let cfg = DqnConfig { episodes: 30, ..DqnConfig::default() };
+            let mut agent = DqnAgent::new(EstimatorKind::Conv, cfg, 5);
+            agent.train(env.as_mut());
+            agent.episode_rewards.iter().map(|r| r.to_bits()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn learning_curve_has_episode_per_entry() {
+        let mut env = EnvKind::Frogger.build();
+        let cfg = DqnConfig { episodes: 12, ..DqnConfig::default() };
+        let mut agent = DqnAgent::new(EstimatorKind::Attention, cfg, 6);
+        agent.train(env.as_mut());
+        assert_eq!(agent.episode_rewards.len(), 12);
+    }
+}

@@ -1,0 +1,344 @@
+//! The gridworld environment suite.
+//!
+//! All environments share one observation format — a `GRID x GRID` occupancy
+//! image flattened row-major, agent plane encoded as `1.0`, hazards/objects
+//! as `-1.0`/`0.5` — so the two Q-estimator families consume identical
+//! inputs and the comparison is purely about the estimator.
+
+use treu_math::rng::SplitMix64;
+
+/// Grid side length shared by the suite.
+pub const GRID: usize = 6;
+/// Observation length (`GRID * GRID`).
+pub const OBS_LEN: usize = GRID * GRID;
+/// Action space: 0 = up, 1 = down, 2 = left, 3 = right, 4 = stay.
+pub const N_ACTIONS: usize = 5;
+
+/// One interaction step's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResult {
+    /// Next observation.
+    pub obs: Vec<f64>,
+    /// Reward received.
+    pub reward: f64,
+    /// Whether the episode ended.
+    pub done: bool,
+}
+
+/// A reinforcement-learning environment.
+pub trait Env {
+    /// Resets to an initial state and returns the first observation.
+    fn reset(&mut self, rng: &mut SplitMix64) -> Vec<f64>;
+    /// Applies an action.
+    fn step(&mut self, action: usize, rng: &mut SplitMix64) -> StepResult;
+    /// Maximum episode length.
+    fn horizon(&self) -> usize {
+        40
+    }
+}
+
+/// The suite's environments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvKind {
+    /// Cross the road: start at the bottom, reach the top; cars sweep
+    /// horizontally through the middle lanes. The suite's Frogger.
+    Frogger,
+    /// Collect the pellet while a ghost pursues.
+    Collect,
+    /// Catch the falling ball with a paddle on the bottom row.
+    Catch,
+}
+
+impl EnvKind {
+    /// All environments.
+    pub fn all() -> [EnvKind; 3] {
+        [EnvKind::Frogger, EnvKind::Collect, EnvKind::Catch]
+    }
+
+    /// Short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnvKind::Frogger => "frogger",
+            EnvKind::Collect => "collect",
+            EnvKind::Catch => "catch",
+        }
+    }
+
+    /// Instantiates the environment.
+    pub fn build(self) -> Box<dyn Env> {
+        match self {
+            EnvKind::Frogger => Box::new(FroggerEnv::default()),
+            EnvKind::Collect => Box::new(CollectEnv::default()),
+            EnvKind::Catch => Box::new(CatchEnv::default()),
+        }
+    }
+}
+
+fn clamp_move(pos: (usize, usize), action: usize) -> (usize, usize) {
+    let (r, c) = pos;
+    match action {
+        0 => (r.saturating_sub(1), c),
+        1 => ((r + 1).min(GRID - 1), c),
+        2 => (r, c.saturating_sub(1)),
+        3 => (r, (c + 1).min(GRID - 1)),
+        _ => (r, c),
+    }
+}
+
+/// Frogger: rows 1..GRID-1 are lanes with one car each, moving one cell per
+/// tick (alternating directions). Reaching row 0 pays +10; collision pays
+/// -5 and ends the episode; each tick costs -0.1.
+#[derive(Debug, Default)]
+pub struct FroggerEnv {
+    agent: (usize, usize),
+    cars: Vec<(usize, usize, bool)>, // (row, col, moves_right)
+}
+
+impl FroggerEnv {
+    fn observation(&self) -> Vec<f64> {
+        let mut obs = vec![0.0; OBS_LEN];
+        for &(r, c, _) in &self.cars {
+            obs[r * GRID + c] = -1.0;
+        }
+        obs[self.agent.0 * GRID + self.agent.1] = 1.0;
+        obs
+    }
+}
+
+impl Env for FroggerEnv {
+    fn reset(&mut self, rng: &mut SplitMix64) -> Vec<f64> {
+        self.agent = (GRID - 1, rng.next_bounded(GRID as u64) as usize);
+        self.cars = (1..GRID - 1)
+            .map(|r| (r, rng.next_bounded(GRID as u64) as usize, r % 2 == 0))
+            .collect();
+        self.observation()
+    }
+
+    fn step(&mut self, action: usize, _rng: &mut SplitMix64) -> StepResult {
+        self.agent = clamp_move(self.agent, action);
+        // Cars advance deterministically.
+        for (_, c, right) in self.cars.iter_mut() {
+            *c = if *right { (*c + 1) % GRID } else { (*c + GRID - 1) % GRID };
+        }
+        let collided = self.cars.iter().any(|&(r, c, _)| (r, c) == self.agent);
+        let reached = self.agent.0 == 0;
+        let reward = if collided {
+            -5.0
+        } else if reached {
+            10.0
+        } else {
+            -0.1
+        };
+        StepResult { obs: self.observation(), reward, done: collided || reached }
+    }
+}
+
+/// Collect: a pellet (+10, episode ends) and a pursuing ghost (-5,
+/// episode ends). The ghost takes a greedy step toward the agent every
+/// other tick.
+#[derive(Debug, Default)]
+pub struct CollectEnv {
+    agent: (usize, usize),
+    pellet: (usize, usize),
+    ghost: (usize, usize),
+    tick: usize,
+}
+
+impl CollectEnv {
+    fn observation(&self) -> Vec<f64> {
+        let mut obs = vec![0.0; OBS_LEN];
+        obs[self.ghost.0 * GRID + self.ghost.1] = -1.0;
+        obs[self.pellet.0 * GRID + self.pellet.1] = 0.5;
+        obs[self.agent.0 * GRID + self.agent.1] = 1.0;
+        obs
+    }
+}
+
+impl Env for CollectEnv {
+    fn reset(&mut self, rng: &mut SplitMix64) -> Vec<f64> {
+        self.agent = (GRID - 1, 0);
+        self.pellet = (
+            rng.next_bounded(2) as usize,
+            rng.next_bounded(GRID as u64) as usize,
+        );
+        self.ghost = (0, GRID - 1);
+        self.tick = 0;
+        self.observation()
+    }
+
+    fn step(&mut self, action: usize, _rng: &mut SplitMix64) -> StepResult {
+        self.agent = clamp_move(self.agent, action);
+        self.tick += 1;
+        if self.tick.is_multiple_of(2) {
+            // Greedy pursuit: close the larger coordinate gap.
+            let dr = self.agent.0 as isize - self.ghost.0 as isize;
+            let dc = self.agent.1 as isize - self.ghost.1 as isize;
+            if dr.abs() >= dc.abs() {
+                self.ghost.0 = (self.ghost.0 as isize + dr.signum()) as usize;
+            } else {
+                self.ghost.1 = (self.ghost.1 as isize + dc.signum()) as usize;
+            }
+        }
+        let caught = self.ghost == self.agent;
+        let got = self.agent == self.pellet;
+        let reward = if caught {
+            -5.0
+        } else if got {
+            10.0
+        } else {
+            -0.1
+        };
+        StepResult { obs: self.observation(), reward, done: caught || got }
+    }
+}
+
+/// Catch: a ball falls one row per tick from a random column; the agent is
+/// a paddle on the bottom row moving left/right. Catching pays +10,
+/// missing -5.
+#[derive(Debug, Default)]
+pub struct CatchEnv {
+    paddle: usize,
+    ball: (usize, usize),
+}
+
+impl CatchEnv {
+    fn observation(&self) -> Vec<f64> {
+        let mut obs = vec![0.0; OBS_LEN];
+        obs[self.ball.0 * GRID + self.ball.1] = 0.5;
+        obs[(GRID - 1) * GRID + self.paddle] = 1.0;
+        obs
+    }
+}
+
+impl Env for CatchEnv {
+    fn reset(&mut self, rng: &mut SplitMix64) -> Vec<f64> {
+        self.paddle = GRID / 2;
+        self.ball = (0, rng.next_bounded(GRID as u64) as usize);
+        self.observation()
+    }
+
+    fn step(&mut self, action: usize, _rng: &mut SplitMix64) -> StepResult {
+        match action {
+            2 => self.paddle = self.paddle.saturating_sub(1),
+            3 => self.paddle = (self.paddle + 1).min(GRID - 1),
+            _ => {}
+        }
+        self.ball.0 += 1;
+        if self.ball.0 == GRID - 1 {
+            let caught = self.ball.1 == self.paddle;
+            return StepResult {
+                obs: self.observation(),
+                reward: if caught { 10.0 } else { -5.0 },
+                done: true,
+            };
+        }
+        StepResult { obs: self.observation(), reward: 0.0, done: false }
+    }
+
+    fn horizon(&self) -> usize {
+        GRID + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_are_grid_sized_and_bounded() {
+        let mut rng = SplitMix64::new(1);
+        for kind in EnvKind::all() {
+            let mut env = kind.build();
+            let obs = env.reset(&mut rng);
+            assert_eq!(obs.len(), OBS_LEN, "{}", kind.name());
+            assert!(obs.iter().all(|v| (-1.0..=1.0).contains(v)));
+            assert_eq!(obs.iter().filter(|&&v| v == 1.0).count(), 1, "one agent plane");
+        }
+    }
+
+    #[test]
+    fn frogger_reaching_top_pays_out() {
+        let mut rng = SplitMix64::new(2);
+        let mut env = FroggerEnv::default();
+        env.reset(&mut rng);
+        // Drive straight up; either we win (+10) or get hit (-5), both end.
+        let mut last = StepResult { obs: vec![], reward: 0.0, done: false };
+        for _ in 0..GRID {
+            last = env.step(0, &mut rng);
+            if last.done {
+                break;
+            }
+        }
+        assert!(last.done);
+        assert!(last.reward == 10.0 || last.reward == -5.0);
+    }
+
+    #[test]
+    fn catch_perfect_play_always_wins() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..20 {
+            let mut env = CatchEnv::default();
+            env.reset(&mut rng);
+            let mut result = StepResult { obs: vec![], reward: 0.0, done: false };
+            for _ in 0..GRID {
+                // Track the ball column.
+                let action = if env.ball.1 < env.paddle {
+                    2
+                } else if env.ball.1 > env.paddle {
+                    3
+                } else {
+                    4
+                };
+                result = env.step(action, &mut rng);
+                if result.done {
+                    break;
+                }
+            }
+            assert_eq!(result.reward, 10.0, "tracking the ball must catch it");
+        }
+    }
+
+    #[test]
+    fn collect_ghost_pursues() {
+        let mut rng = SplitMix64::new(4);
+        let mut env = CollectEnv::default();
+        env.reset(&mut rng);
+        let d0 = env.ghost.0.abs_diff(env.agent.0) + env.ghost.1.abs_diff(env.agent.1);
+        for _ in 0..6 {
+            env.step(4, &mut rng); // stand still
+        }
+        let d1 = env.ghost.0.abs_diff(env.agent.0) + env.ghost.1.abs_diff(env.agent.1);
+        assert!(d1 < d0, "ghost should close distance: {d0} -> {d1}");
+    }
+
+    #[test]
+    fn step_is_deterministic_given_rng() {
+        for kind in EnvKind::all() {
+            let run = || {
+                let mut rng = SplitMix64::new(9);
+                let mut env = kind.build();
+                env.reset(&mut rng);
+                let mut rewards = Vec::new();
+                for a in [0, 3, 0, 2, 1, 0, 0, 3] {
+                    let r = env.step(a, &mut rng);
+                    rewards.push(r.reward.to_bits());
+                    if r.done {
+                        break;
+                    }
+                }
+                rewards
+            };
+            assert_eq!(run(), run(), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn names_distinct_and_horizons_positive() {
+        let names: std::collections::BTreeSet<&str> =
+            EnvKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 3);
+        for kind in EnvKind::all() {
+            assert!(kind.build().horizon() > 0);
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! The two Q-estimator families: convolutional and attention-based.
+//!
+//! Both consume the same flattened `GRID x GRID` observation and emit
+//! [`crate::env::N_ACTIONS`] Q-values; the DQN agent is generic over
+//! [`QNetwork`], so the reliability comparison isolates the estimator
+//! family exactly as §2.8 isolates "CNNs vs. vision transformers for
+//! estimating Q values".
+
+use crate::env::{GRID, N_ACTIONS, OBS_LEN};
+use treu_math::rng::derive_seed;
+use treu_math::Matrix;
+use treu_nn::attention::SelfAttention;
+use treu_nn::conv::Conv1d;
+use treu_nn::dense::Dense;
+use treu_nn::layer::{Layer, Relu};
+use treu_nn::optimizer::{Adam, Optimizer};
+
+/// A trainable state-action value estimator.
+pub trait QNetwork {
+    /// Q-values for all actions in a state.
+    fn q_values(&mut self, obs: &[f64]) -> Vec<f64>;
+    /// One TD update: move `Q(obs, action)` toward `target`.
+    fn update(&mut self, obs: &[f64], action: usize, target: f64);
+    /// Copies all parameters from `other` (the target-network sync).
+    fn load_params_from(&mut self, params: &[Vec<f64>]);
+    /// Extracts all parameters (for target-network sync).
+    fn export_params(&mut self) -> Vec<Vec<f64>>;
+}
+
+/// Estimator family selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimatorKind {
+    /// Convolutional (the CNN family: EfficientNet's role).
+    Conv,
+    /// Attention (the vision-transformer family: SwinNet's role).
+    Attention,
+}
+
+impl EstimatorKind {
+    /// Both families.
+    pub fn all() -> [EstimatorKind; 2] {
+        [EstimatorKind::Conv, EstimatorKind::Attention]
+    }
+
+    /// Short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EstimatorKind::Conv => "conv",
+            EstimatorKind::Attention => "attention",
+        }
+    }
+
+    /// Builds an estimator with the given learning rate.
+    pub fn build(self, lr: f64, seed: u64) -> Box<dyn QNetwork> {
+        match self {
+            EstimatorKind::Conv => Box::new(ConvQNet::new(lr, seed)),
+            EstimatorKind::Attention => Box::new(AttnQNet::new(lr, seed)),
+        }
+    }
+}
+
+/// Shared helpers for the two nets.
+fn td_backward(layers: &mut dyn Layer, opt: &mut Adam, logits: &Matrix, action: usize, target: f64) {
+    // Squared TD error on the chosen action only.
+    let mut grad = Matrix::zeros(1, N_ACTIONS);
+    grad[(0, action)] = 2.0 * (logits[(0, action)] - target);
+    layers.backward(&grad);
+    treu_nn::optimizer::clip_grad_norm(layers, 5.0);
+    opt.step(layers);
+    layers.zero_grads();
+}
+
+fn export_params_of(layer: &mut dyn Layer) -> Vec<Vec<f64>> {
+    let mut out = Vec::new();
+    layer.for_each_param(&mut |p, _| out.push(p.to_vec()));
+    out
+}
+
+fn load_params_into(layer: &mut dyn Layer, params: &[Vec<f64>]) {
+    let mut i = 0;
+    layer.for_each_param(&mut |p, _| {
+        assert!(i < params.len(), "parameter bundle too short");
+        assert_eq!(p.len(), params[i].len(), "parameter shape mismatch");
+        p.copy_from_slice(&params[i]);
+        i += 1;
+    });
+    assert_eq!(i, params.len(), "parameter bundle too long");
+}
+
+/// Convolutional Q-network: grid rows as channels, Conv1d along columns,
+/// ReLU, dense head.
+pub struct ConvQNet {
+    net: treu_nn::model::Sequential,
+    opt: Adam,
+}
+
+impl ConvQNet {
+    /// Builds the network.
+    pub fn new(lr: f64, seed: u64) -> Self {
+        let conv = Conv1d::new(GRID, 8, 3, GRID, derive_seed(seed, "conv"));
+        let width = conv.out_width();
+        let net = treu_nn::model::Sequential::new(vec![
+            Box::new(conv),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(width, 32, derive_seed(seed, "fc1"))),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(32, N_ACTIONS, derive_seed(seed, "fc2"))),
+        ]);
+        Self { net, opt: Adam::new(lr) }
+    }
+}
+
+impl QNetwork for ConvQNet {
+    fn q_values(&mut self, obs: &[f64]) -> Vec<f64> {
+        assert_eq!(obs.len(), OBS_LEN, "observation length mismatch");
+        let x = Matrix::from_vec(1, OBS_LEN, obs.to_vec());
+        self.net.forward(&x, false).row(0).to_vec()
+    }
+
+    fn update(&mut self, obs: &[f64], action: usize, target: f64) {
+        let x = Matrix::from_vec(1, OBS_LEN, obs.to_vec());
+        let logits = self.net.forward(&x, true);
+        td_backward(&mut self.net, &mut self.opt, &logits, action, target);
+    }
+
+    fn load_params_from(&mut self, params: &[Vec<f64>]) {
+        load_params_into(&mut self.net, params);
+    }
+
+    fn export_params(&mut self) -> Vec<Vec<f64>> {
+        export_params_of(&mut self.net)
+    }
+}
+
+/// Attention Q-network: grid rows as tokens (dim = GRID), one
+/// self-attention block, mean pool, dense head.
+pub struct AttnQNet {
+    attn: SelfAttention,
+    head1: Dense,
+    relu: Relu,
+    head2: Dense,
+    opt: Adam,
+}
+
+impl AttnQNet {
+    /// Builds the network.
+    pub fn new(lr: f64, seed: u64) -> Self {
+        Self {
+            attn: SelfAttention::new(GRID, derive_seed(seed, "attn")),
+            head1: Dense::new(GRID, 32, derive_seed(seed, "fc1")),
+            relu: Relu::new(),
+            head2: Dense::new(32, N_ACTIONS, derive_seed(seed, "fc2")),
+            opt: Adam::new(lr),
+        }
+    }
+
+    fn forward(&mut self, obs: &[f64], train: bool) -> Matrix {
+        // Rows as tokens: GRID x GRID sequence.
+        let x = Matrix::from_vec(GRID, GRID, obs.to_vec());
+        let y = self.attn.forward(&x, train); // GRID x GRID
+        // Mean-pool tokens -> 1 x GRID.
+        let mut pooled = Matrix::zeros(1, GRID);
+        for t in 0..GRID {
+            for c in 0..GRID {
+                pooled[(0, c)] += y[(t, c)] / GRID as f64;
+            }
+        }
+        let h = self.head1.forward(&pooled, train);
+        let h = self.relu.forward(&h, train);
+        self.head2.forward(&h, train)
+    }
+}
+
+impl Layer for AttnQNet {
+    fn forward(&mut self, _input: &Matrix, _train: bool) -> Matrix {
+        panic!("AttnQNet: use QNetwork methods");
+    }
+
+    fn backward(&mut self, grad: &Matrix) -> Matrix {
+        let g = self.head2.backward(grad);
+        let g = self.relu.backward(&g);
+        let g = self.head1.backward(&g); // 1 x GRID
+        let mut gy = Matrix::zeros(GRID, GRID);
+        for t in 0..GRID {
+            for c in 0..GRID {
+                gy[(t, c)] = g[(0, c)] / GRID as f64;
+            }
+        }
+        self.attn.backward(&gy)
+    }
+
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {
+        self.attn.for_each_param(f);
+        self.head1.for_each_param(f);
+        self.head2.for_each_param(f);
+    }
+
+    fn zero_grads(&mut self) {
+        self.attn.zero_grads();
+        self.head1.zero_grads();
+        self.head2.zero_grads();
+    }
+}
+
+impl QNetwork for AttnQNet {
+    fn q_values(&mut self, obs: &[f64]) -> Vec<f64> {
+        assert_eq!(obs.len(), OBS_LEN, "observation length mismatch");
+        self.forward(obs, false).row(0).to_vec()
+    }
+
+    fn update(&mut self, obs: &[f64], action: usize, target: f64) {
+        let logits = self.forward(obs, true);
+        let mut grad = Matrix::zeros(1, N_ACTIONS);
+        grad[(0, action)] = 2.0 * (logits[(0, action)] - target);
+        Layer::backward(self, &grad);
+        treu_nn::optimizer::clip_grad_norm(self, 5.0);
+        // Adam is a field; borrow dance via std::mem swap.
+        let mut opt = std::mem::replace(&mut self.opt, Adam::new(0.0));
+        opt.step(self);
+        self.opt = opt;
+        self.zero_grads();
+    }
+
+    fn load_params_from(&mut self, params: &[Vec<f64>]) {
+        load_params_into(self, params);
+    }
+
+    fn export_params(&mut self) -> Vec<Vec<f64>> {
+        export_params_of(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zero_obs() -> Vec<f64> {
+        vec![0.0; OBS_LEN]
+    }
+
+    #[test]
+    fn q_values_have_action_arity() {
+        for kind in EstimatorKind::all() {
+            let mut q = kind.build(0.01, 1);
+            let v = q.q_values(&zero_obs());
+            assert_eq!(v.len(), N_ACTIONS, "{}", kind.name());
+            assert!(v.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn update_moves_q_toward_target() {
+        for kind in EstimatorKind::all() {
+            let mut q = kind.build(0.02, 2);
+            let mut obs = zero_obs();
+            obs[7] = 1.0;
+            let before = q.q_values(&obs)[3];
+            for _ in 0..200 {
+                q.update(&obs, 3, 5.0);
+            }
+            let after = q.q_values(&obs)[3];
+            assert!(
+                (after - 5.0).abs() < (before - 5.0).abs(),
+                "{}: {before} -> {after}",
+                kind.name()
+            );
+            assert!((after - 5.0).abs() < 1.0, "{}: after {after}", kind.name());
+        }
+    }
+
+    #[test]
+    fn target_sync_roundtrip() {
+        for kind in EstimatorKind::all() {
+            let mut a = kind.build(0.02, 3);
+            let mut b = kind.build(0.02, 4);
+            let obs = {
+                let mut o = zero_obs();
+                o[10] = 1.0;
+                o[20] = -1.0;
+                o
+            };
+            assert_ne!(a.q_values(&obs), b.q_values(&obs), "different seeds differ");
+            let params = a.export_params();
+            b.load_params_from(&params);
+            assert_eq!(a.q_values(&obs), b.q_values(&obs), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "observation length mismatch")]
+    fn wrong_obs_len_panics() {
+        EstimatorKind::Conv.build(0.01, 0).q_values(&[0.0; 4]);
+    }
+
+    #[test]
+    fn updates_are_deterministic() {
+        for kind in EstimatorKind::all() {
+            let run = || {
+                let mut q = kind.build(0.02, 7);
+                let mut obs = zero_obs();
+                obs[0] = 1.0;
+                for i in 0..50 {
+                    q.update(&obs, i % N_ACTIONS, 1.0);
+                }
+                q.q_values(&obs)
+            };
+            assert_eq!(run(), run(), "{}", kind.name());
+        }
+    }
+}

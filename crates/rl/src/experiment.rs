@@ -1,0 +1,179 @@
+//! Harnessed experiment E2.8: environments × estimator families × seeds.
+//!
+//! Seeds within one configuration run in parallel (crossbeam via
+//! `treu_math::parallel::par_map`) — this is the "array of ML projects
+//! finishing at the same time" workload shape, here used productively.
+
+use crate::dqn::{DqnAgent, DqnConfig};
+use crate::env::EnvKind;
+use crate::estimators::EstimatorKind;
+use crate::reliability::reliability;
+use treu_core::experiment::{Experiment, Params, RunContext};
+use treu_core::ExperimentRegistry;
+use treu_math::parallel;
+use treu_math::rng::derive_seed;
+
+/// Trains one agent per seed and returns the per-seed greedy rewards.
+pub fn seed_rewards(
+    env_kind: EnvKind,
+    estimator: EstimatorKind,
+    cfg: DqnConfig,
+    seeds: usize,
+    threads: usize,
+    master_seed: u64,
+) -> Vec<f64> {
+    parallel::par_map(seeds, threads, |s| {
+        let seed = derive_seed(master_seed, &format!("{}.{}.{s}", env_kind.name(), estimator.name()));
+        let mut env = env_kind.build();
+        let mut agent = DqnAgent::new(estimator, cfg, seed);
+        agent.train(env.as_mut());
+        agent.evaluate(env.as_mut(), 20)
+    })
+}
+
+/// E2.8: the reliability comparison grid.
+pub struct RlReliabilityExperiment;
+
+impl Experiment for RlReliabilityExperiment {
+    fn name(&self) -> &str {
+        "rl/reliability"
+    }
+
+    fn run(&self, ctx: &mut RunContext) {
+        let episodes = ctx.int("episodes", 400) as usize;
+        let seeds = ctx.int("seeds", 5) as usize;
+        let threads = ctx.int("threads", 4) as usize;
+        let threshold = ctx.float("acceptable_reward", 2.0);
+        let cfg = DqnConfig { episodes, ..DqnConfig::default() };
+
+        let mut env_sums: Vec<(EnvKind, f64)> = Vec::new();
+        for env_kind in EnvKind::all() {
+            let mut env_sum = 0.0;
+            for estimator in EstimatorKind::all() {
+                let rewards =
+                    seed_rewards(env_kind, estimator, cfg, seeds, threads, ctx.seed());
+                let rel = reliability(&rewards, threshold);
+                let tag = format!("{}_{}", env_kind.name(), estimator.name());
+                ctx.record(&format!("{tag}_mean"), rel.mean);
+                ctx.record(&format!("{tag}_std"), rel.std_dev);
+                ctx.record(&format!("{tag}_cvar25"), rel.cvar25);
+                ctx.record(&format!("{tag}_p_acceptable"), rel.p_acceptable);
+                env_sum += rel.mean;
+            }
+            ctx.record(&format!("{}_reward_sum", env_kind.name()), env_sum);
+            env_sums.push((env_kind, env_sum));
+        }
+        // The §2.8 observation: which environment produced the best sum of
+        // average rewards.
+        let best = env_sums
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN sum"))
+            .expect("non-empty suite");
+        ctx.note(format!("best environment by reward sum: {}", best.0.name()));
+        ctx.record("best_env_is_frogger", if best.0 == EnvKind::Frogger { 1.0 } else { 0.0 });
+    }
+}
+
+/// Replay-capacity ablation (DESIGN.md): reliability of the conv estimator
+/// on Catch as a function of buffer size.
+pub struct ReplayAblation;
+
+impl Experiment for ReplayAblation {
+    fn name(&self) -> &str {
+        "rl/replay-ablation"
+    }
+
+    fn run(&self, ctx: &mut RunContext) {
+        let episodes = ctx.int("episodes", 180) as usize;
+        let seeds = ctx.int("seeds", 4) as usize;
+        let threads = ctx.int("threads", 4) as usize;
+        for capacity in [16usize, 128, 2000] {
+            let cfg = DqnConfig { episodes, replay_capacity: capacity, ..DqnConfig::default() };
+            let rewards = seed_rewards(
+                EnvKind::Catch,
+                EstimatorKind::Conv,
+                cfg,
+                seeds,
+                threads,
+                derive_seed(ctx.seed(), &format!("cap{capacity}")),
+            );
+            let rel = reliability(&rewards, 2.0);
+            ctx.record(&format!("cap{capacity:04}_mean"), rel.mean);
+            ctx.record(&format!("cap{capacity:04}_cvar25"), rel.cvar25);
+        }
+    }
+}
+
+/// Registers E2.8 and its ablation.
+pub fn register(reg: &mut ExperimentRegistry) {
+    reg.register(
+        "E2.8",
+        "Section 2.8",
+        "DQN reliability: conv vs attention Q-estimators across envs",
+        Params::new().with_int("episodes", 400).with_int("seeds", 5),
+        Box::new(RlReliabilityExperiment),
+    );
+    reg.register(
+        "E2.8-abl",
+        "Section 2.8",
+        "replay-capacity ablation on Catch",
+        Params::new().with_int("episodes", 180).with_int("seeds", 4),
+        Box::new(ReplayAblation),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treu_core::experiment::run_once;
+
+    #[test]
+    fn seed_rewards_are_thread_invariant() {
+        let cfg = DqnConfig { episodes: 25, ..DqnConfig::default() };
+        let a = seed_rewards(EnvKind::Catch, EstimatorKind::Conv, cfg, 3, 1, 7);
+        let b = seed_rewards(EnvKind::Catch, EstimatorKind::Conv, cfg, 3, 4, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn experiment_records_full_grid() {
+        let p = Params::new().with_int("episodes", 40).with_int("seeds", 2);
+        let rec = run_once(&RlReliabilityExperiment, 3, p);
+        for env in EnvKind::all() {
+            for est in EstimatorKind::all() {
+                let tag = format!("{}_{}", env.name(), est.name());
+                assert!(rec.metric(&format!("{tag}_mean")).is_some(), "{tag}");
+                assert!(rec.metric(&format!("{tag}_cvar25")).is_some());
+            }
+            assert!(rec.metric(&format!("{}_reward_sum", env.name())).is_some());
+        }
+        assert!(rec.metric("best_env_is_frogger").is_some());
+    }
+
+    #[test]
+    fn trained_agents_beat_random_on_catch() {
+        let cfg = DqnConfig { episodes: 400, ..DqnConfig::default() };
+        let rewards = seed_rewards(EnvKind::Catch, EstimatorKind::Conv, cfg, 3, 3, 11);
+        let mut env = EnvKind::Catch.build();
+        let random = crate::dqn::random_policy_reward(env.as_mut(), 40, 12);
+        let mean = treu_math::stats::mean(&rewards);
+        assert!(mean > random + 3.0, "trained {mean} vs random {random}");
+    }
+
+    #[test]
+    fn replay_ablation_records_all_capacities() {
+        let p = Params::new().with_int("episodes", 30).with_int("seeds", 2);
+        let rec = run_once(&ReplayAblation, 5, p);
+        for cap in ["cap0016", "cap0128", "cap2000"] {
+            assert!(rec.metric(&format!("{cap}_mean")).is_some(), "{cap}");
+        }
+    }
+
+    #[test]
+    fn registry_ids() {
+        let mut reg = ExperimentRegistry::new();
+        register(&mut reg);
+        assert!(reg.get("E2.8").is_some());
+        assert!(reg.get("E2.8-abl").is_some());
+    }
+}

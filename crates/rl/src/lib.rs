@@ -1,0 +1,32 @@
+//! `treu-rl` — reinforcement-learning reliability studies (paper §2.8).
+//!
+//! The project: "RL agents can exhibit superhuman performance in certain
+//! tasks such as Atari games, but often do so unreliably, i.e. they may not
+//! exhibit acceptable performance with high probability. The goal of the
+//! project was to compare the reliability of using CNNs vs. vision
+//! transformers for estimating Q values in deep Q networks."
+//!
+//! Substitution (DESIGN.md §2): Gymnasium's Atari suite becomes a
+//! deterministic gridworld suite ([`mod@env`]) — including a Frogger-like
+//! lane-crossing game, a pellet-collection game and a catching game — and
+//! the two estimator families become a convolutional Q-network and an
+//! attention (transformer-style) Q-network over the same grid observation
+//! ([`estimators`]). The agent is a standard DQN with experience replay
+//! and a target network ([`dqn`]). Reliability is measured the way the
+//! literature the project builds on measures it: across independently
+//! seeded training runs, report mean reward, dispersion, CVaR of the worst
+//! quartile, and the probability of acceptable performance
+//! ([`reliability`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dqn;
+pub mod env;
+pub mod estimators;
+pub mod experiment;
+pub mod reliability;
+
+pub use dqn::{DqnAgent, DqnConfig};
+pub use env::{Env, EnvKind};
+pub use estimators::{EstimatorKind, QNetwork};

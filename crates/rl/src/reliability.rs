@@ -1,0 +1,91 @@
+//! Reliability metrics over independently seeded training runs.
+//!
+//! §2.8's framing: agents "may not exhibit acceptable performance with
+//! high probability." Reliability is therefore a distributional property of
+//! the *training procedure*, not of one run: train many seeds, look at the
+//! spread of final performance.
+
+use treu_math::stats;
+
+/// Reliability summary of a set of per-seed final rewards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reliability {
+    /// Mean final reward across seeds.
+    pub mean: f64,
+    /// Standard deviation across seeds (dispersion).
+    pub std_dev: f64,
+    /// Conditional value at risk: mean of the worst 25% of seeds.
+    pub cvar25: f64,
+    /// Fraction of seeds at or above the acceptability threshold.
+    pub p_acceptable: f64,
+    /// The threshold used.
+    pub threshold: f64,
+}
+
+/// Computes reliability metrics from per-seed rewards.
+///
+/// # Panics
+///
+/// Panics if `rewards` is empty.
+pub fn reliability(rewards: &[f64], threshold: f64) -> Reliability {
+    assert!(!rewards.is_empty(), "no seeds to summarize");
+    let mut sorted = rewards.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN reward"));
+    let k = (sorted.len() as f64 * 0.25).ceil().max(1.0) as usize;
+    let cvar25 = stats::mean(&sorted[..k]);
+    Reliability {
+        mean: stats::mean(rewards),
+        std_dev: stats::std_dev(rewards),
+        cvar25,
+        p_acceptable: rewards.iter().filter(|&&r| r >= threshold).count() as f64
+            / rewards.len() as f64,
+        threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_on_known_distribution() {
+        let rewards = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0];
+        let r = reliability(&rewards, 6.0);
+        assert_eq!(r.mean, 7.0);
+        assert_eq!(r.cvar25, 1.0); // worst 2 of 8: {0, 2}
+        assert_eq!(r.p_acceptable, 0.625); // 5 of 8 >= 6
+    }
+
+    #[test]
+    fn cvar_is_lower_than_mean_for_spread_data() {
+        let r = reliability(&[1.0, 5.0, 9.0, 13.0], 0.0);
+        assert!(r.cvar25 < r.mean);
+        assert_eq!(r.p_acceptable, 1.0);
+    }
+
+    #[test]
+    fn degenerate_single_seed() {
+        let r = reliability(&[3.0], 2.0);
+        assert_eq!(r.mean, 3.0);
+        assert_eq!(r.cvar25, 3.0);
+        assert_eq!(r.std_dev, 0.0);
+        assert_eq!(r.p_acceptable, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no seeds")]
+    fn empty_panics() {
+        reliability(&[], 0.0);
+    }
+
+    #[test]
+    fn unreliable_beats_reliable_on_mean_but_not_cvar() {
+        // The canonical §2.8 phenomenon: a higher-mean but erratic
+        // procedure can be worse in the tail.
+        let reliable = reliability(&[5.0, 5.2, 4.8, 5.1], 4.0);
+        let erratic = reliability(&[9.0, 9.5, -2.0, 9.2], 4.0);
+        assert!(erratic.mean > reliable.mean);
+        assert!(erratic.cvar25 < reliable.cvar25);
+        assert!(erratic.p_acceptable < reliable.p_acceptable);
+    }
+}

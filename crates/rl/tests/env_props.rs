@@ -1,0 +1,73 @@
+//! Property tests for the environment suite: the contracts the DQN agent
+//! relies on, under arbitrary action sequences.
+
+use proptest::prelude::*;
+use treu_math::rng::SplitMix64;
+use treu_rl::env::{EnvKind, N_ACTIONS, OBS_LEN};
+
+fn any_env() -> impl Strategy<Value = EnvKind> {
+    prop_oneof![Just(EnvKind::Frogger), Just(EnvKind::Collect), Just(EnvKind::Catch)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn observations_and_rewards_are_always_well_formed(
+        kind in any_env(),
+        seed in any::<u64>(),
+        actions in proptest::collection::vec(0usize..N_ACTIONS, 1..60),
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let mut env = kind.build();
+        let obs = env.reset(&mut rng);
+        prop_assert_eq!(obs.len(), OBS_LEN);
+        for &a in &actions {
+            let r = env.step(a, &mut rng);
+            prop_assert_eq!(r.obs.len(), OBS_LEN);
+            prop_assert!(r.obs.iter().all(|v| (-1.0..=1.0).contains(v)));
+            prop_assert!((-5.0..=10.0).contains(&r.reward), "reward {}", r.reward);
+            if r.done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn episodes_terminate_within_horizon_or_run_forever_gracefully(
+        kind in any_env(),
+        seed in any::<u64>(),
+    ) {
+        // Play a fixed policy for twice the horizon: either the episode
+        // ends (done), or every step stays well-formed — no panics, no
+        // state corruption.
+        let mut rng = SplitMix64::new(seed);
+        let mut env = kind.build();
+        env.reset(&mut rng);
+        let horizon = env.horizon();
+        prop_assert!(horizon > 0);
+        for step in 0..2 * horizon {
+            let r = env.step(step % N_ACTIONS, &mut rng);
+            if r.done {
+                return Ok(());
+            }
+        }
+    }
+
+    #[test]
+    fn reset_always_restores_a_playable_state(kind in any_env(), seed in any::<u64>()) {
+        let mut rng = SplitMix64::new(seed);
+        let mut env = kind.build();
+        // Run to completion, then reset and confirm a fresh episode works.
+        env.reset(&mut rng);
+        for _ in 0..env.horizon() {
+            if env.step(0, &mut rng).done {
+                break;
+            }
+        }
+        let obs = env.reset(&mut rng);
+        prop_assert_eq!(obs.iter().filter(|&&v| v == 1.0).count(), 1, "one agent after reset");
+        let r = env.step(4, &mut rng);
+        prop_assert_eq!(r.obs.len(), OBS_LEN);
+    }
+}

@@ -1,0 +1,237 @@
+//! Huber-contamination data model.
+//!
+//! A sample of `n` points in `R^d`: `(1-ε)n` drawn from `N(mu, I)` and `εn`
+//! placed by an adversary. The four adversaries below span the regimes the
+//! robust-statistics literature evaluates on: an obvious far cluster (easy
+//! for naive outlier removal), a *subtle shift* cluster placed just a few
+//! sigmas out along one direction (the case that separates spectral methods
+//! from coordinate-wise ones), heavy-tailed noise, and a sign-coordinated
+//! product attack.
+
+use treu_math::rng::SplitMix64;
+use treu_math::Matrix;
+
+/// Adversarial contamination strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Contamination {
+    /// All outliers at `mu + R * u` for a fixed far radius `R = 100` along
+    /// a random unit direction `u` — blatant, easily filtered.
+    FarCluster,
+    /// Outliers at `mu + c * u` with `c ≈ 3`: individually plausible
+    /// points that collectively bias the mean along `u`. The hard case.
+    SubtleShift,
+    /// Outliers from `N(mu, 100 I)` — heavy, isotropic noise.
+    HeavyNoise,
+    /// Outliers with every coordinate `mu_j + 3 * s_j` for random signs
+    /// `s_j` — large in `ℓ2` but coordinate-wise only 3σ.
+    SignProduct,
+}
+
+impl Contamination {
+    /// All strategies, for sweeps.
+    pub fn all() -> [Contamination; 4] {
+        [
+            Contamination::FarCluster,
+            Contamination::SubtleShift,
+            Contamination::HeavyNoise,
+            Contamination::SignProduct,
+        ]
+    }
+
+    /// Short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Contamination::FarCluster => "far_cluster",
+            Contamination::SubtleShift => "subtle_shift",
+            Contamination::HeavyNoise => "heavy_noise",
+            Contamination::SignProduct => "sign_product",
+        }
+    }
+}
+
+/// A generated contaminated sample with ground truth attached.
+#[derive(Debug, Clone)]
+pub struct ContaminatedSample {
+    /// The data, one point per row (`n x d`), clean and adversarial rows
+    /// interleaved deterministically.
+    pub data: Matrix,
+    /// Ground-truth mean.
+    pub true_mean: Vec<f64>,
+    /// Whether each row is an inlier (for oracle diagnostics only; no
+    /// estimator may read this).
+    pub is_inlier: Vec<bool>,
+    /// Contamination fraction actually used.
+    pub epsilon: f64,
+}
+
+impl ContaminatedSample {
+    /// Generates a contaminated sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `[0, 0.5)` or `n == 0` or `d == 0`.
+    pub fn generate(
+        n: usize,
+        d: usize,
+        epsilon: f64,
+        strategy: Contamination,
+        rng: &mut SplitMix64,
+    ) -> Self {
+        assert!(n > 0 && d > 0, "empty sample requested");
+        assert!((0.0..0.5).contains(&epsilon), "epsilon must be in [0, 0.5)");
+        // Ground-truth mean: deterministic draw so it is not at the origin
+        // (estimators that silently return zero would otherwise look good).
+        let true_mean: Vec<f64> = (0..d).map(|_| rng.next_gaussian() * 2.0).collect();
+        let n_bad = ((n as f64) * epsilon).floor() as usize;
+
+        // Attack direction (unit vector).
+        let mut dir: Vec<f64> = (0..d).map(|_| rng.next_gaussian()).collect();
+        treu_math::vector::normalize(&mut dir);
+        // Random signs for the sign-product attack.
+        let signs: Vec<f64> = (0..d)
+            .map(|_| if rng.next_f64() < 0.5 { -1.0 } else { 1.0 })
+            .collect();
+
+        let mut data = Matrix::zeros(n, d);
+        let mut is_inlier = vec![true; n];
+        // Deterministic interleaving: outliers occupy every ⌊n/n_bad⌋-th slot.
+        let stride = n.checked_div(n_bad).unwrap_or(n + 1);
+        let mut placed_bad = 0usize;
+        for i in 0..n {
+            let make_bad = placed_bad < n_bad && i % stride == stride - 1;
+            let row = data.row_mut(i);
+            if make_bad {
+                placed_bad += 1;
+                is_inlier[i] = false;
+                match strategy {
+                    Contamination::FarCluster => {
+                        for (j, v) in row.iter_mut().enumerate() {
+                            *v = true_mean[j] + 100.0 * dir[j] + rng.next_gaussian() * 0.1;
+                        }
+                    }
+                    Contamination::SubtleShift => {
+                        for (j, v) in row.iter_mut().enumerate() {
+                            *v = true_mean[j] + 3.0 * dir[j] * (d as f64).sqrt()
+                                + rng.next_gaussian() * 0.2;
+                        }
+                    }
+                    Contamination::HeavyNoise => {
+                        for (j, v) in row.iter_mut().enumerate() {
+                            *v = true_mean[j] + rng.next_gaussian() * 10.0;
+                        }
+                    }
+                    Contamination::SignProduct => {
+                        for (j, v) in row.iter_mut().enumerate() {
+                            *v = true_mean[j] + 3.0 * signs[j] + rng.next_gaussian() * 0.2;
+                        }
+                    }
+                }
+            } else {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = true_mean[j] + rng.next_gaussian();
+                }
+            }
+        }
+        Self { data, true_mean, is_inlier, epsilon: n_bad as f64 / n as f64 }
+    }
+
+    /// Number of points.
+    pub fn n(&self) -> usize {
+        self.data.rows()
+    }
+
+    /// Dimension.
+    pub fn d(&self) -> usize {
+        self.data.cols()
+    }
+
+    /// `ℓ2` distance of an estimate from the ground-truth mean.
+    pub fn error(&self, estimate: &[f64]) -> f64 {
+        treu_math::vector::distance(estimate, &self.true_mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outlier_fraction_is_close_to_epsilon() {
+        let mut rng = SplitMix64::new(1);
+        let s = ContaminatedSample::generate(500, 10, 0.1, Contamination::FarCluster, &mut rng);
+        let bad = s.is_inlier.iter().filter(|&&b| !b).count();
+        assert_eq!(bad, 50);
+        assert!((s.epsilon - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_zero_is_all_inliers() {
+        let mut rng = SplitMix64::new(2);
+        let s = ContaminatedSample::generate(100, 5, 0.0, Contamination::HeavyNoise, &mut rng);
+        assert!(s.is_inlier.iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in")]
+    fn epsilon_half_rejected() {
+        let mut rng = SplitMix64::new(3);
+        ContaminatedSample::generate(10, 2, 0.5, Contamination::FarCluster, &mut rng);
+    }
+
+    #[test]
+    fn inlier_mean_is_near_truth() {
+        let mut rng = SplitMix64::new(4);
+        let s = ContaminatedSample::generate(2000, 8, 0.1, Contamination::SubtleShift, &mut rng);
+        let mut mean = vec![0.0; 8];
+        let mut n_in = 0.0;
+        for i in 0..s.n() {
+            if s.is_inlier[i] {
+                treu_math::vector::axpy(1.0, s.data.row(i), &mut mean);
+                n_in += 1.0;
+            }
+        }
+        treu_math::vector::scale(1.0 / n_in, &mut mean);
+        assert!(s.error(&mean) < 0.15, "inlier mean error {}", s.error(&mean));
+    }
+
+    #[test]
+    fn far_cluster_outliers_are_far() {
+        let mut rng = SplitMix64::new(5);
+        let s = ContaminatedSample::generate(200, 6, 0.1, Contamination::FarCluster, &mut rng);
+        for i in 0..s.n() {
+            let dist = s.error(s.data.row(i));
+            if s.is_inlier[i] {
+                assert!(dist < 15.0);
+            } else {
+                assert!(dist > 50.0, "outlier {i} at distance {dist}");
+            }
+        }
+    }
+
+    #[test]
+    fn subtle_outliers_bias_the_raw_mean() {
+        let mut rng = SplitMix64::new(6);
+        let s = ContaminatedSample::generate(2000, 32, 0.1, Contamination::SubtleShift, &mut rng);
+        let raw = treu_math::stats::column_means(&s.data);
+        // Bias should be roughly ε * 3 * sqrt(d) ≈ 1.7.
+        let err = s.error(&raw);
+        assert!(err > 0.8, "subtle shift should bias the mean; err {err}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen = |seed| {
+            let mut rng = SplitMix64::new(seed);
+            ContaminatedSample::generate(50, 4, 0.2, Contamination::SignProduct, &mut rng).data
+        };
+        assert_eq!(gen(7), gen(7));
+        assert_ne!(gen(7), gen(8));
+    }
+
+    #[test]
+    fn strategy_names_distinct() {
+        let names: std::collections::BTreeSet<&str> =
+            Contamination::all().iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,255 @@
+//! Classical location estimators.
+//!
+//! These are the baselines the spectral filter is measured against: the
+//! sample mean (zero robustness), coordinate-wise median and trimmed mean
+//! (robust per coordinate but with `ℓ2` error growing like `ε√d`), and the
+//! geometric median (rotation-equivariant, still `Θ(ε√d)` in the worst
+//! case).
+
+use treu_math::stats;
+use treu_math::{vector, Matrix};
+
+/// Sample mean of row-points.
+pub fn sample_mean(data: &Matrix) -> Vec<f64> {
+    stats::column_means(data)
+}
+
+/// Coordinate-wise median.
+pub fn coordinate_median(data: &Matrix) -> Vec<f64> {
+    let (_, d) = data.shape();
+    (0..d).map(|j| stats::median(&data.col(j))).collect()
+}
+
+/// Coordinate-wise `alpha`-trimmed mean: drop the `alpha` fraction from
+/// each tail of every coordinate before averaging.
+///
+/// # Panics
+///
+/// Panics if `alpha` is not in `[0, 0.5)`.
+pub fn trimmed_mean(data: &Matrix, alpha: f64) -> Vec<f64> {
+    assert!((0.0..0.5).contains(&alpha), "trim fraction must be in [0, 0.5)");
+    let (n, d) = data.shape();
+    let k = ((n as f64) * alpha).floor() as usize;
+    (0..d)
+        .map(|j| {
+            let mut col = data.col(j);
+            col.sort_by(|a, b| a.partial_cmp(b).expect("NaN in data"));
+            let kept = &col[k..n - k];
+            stats::mean(kept)
+        })
+        .collect()
+}
+
+/// Geometric median via Weiszfeld's algorithm.
+///
+/// Iterates `y ← Σ x_i / ||x_i - y|| / Σ 1 / ||x_i - y||` from the
+/// coordinate-median start until the step is below `tol` or `max_iters`.
+/// Points coincident with the current iterate are handled by the standard
+/// ε-regularization.
+pub fn geometric_median(data: &Matrix, tol: f64, max_iters: usize) -> Vec<f64> {
+    let (n, d) = data.shape();
+    let mut y = coordinate_median(data);
+    if n == 1 {
+        return data.row(0).to_vec();
+    }
+    for _ in 0..max_iters {
+        let mut num = vec![0.0; d];
+        let mut den = 0.0;
+        for i in 0..n {
+            let dist = vector::distance(data.row(i), &y).max(1e-12);
+            let w = 1.0 / dist;
+            vector::axpy(w, data.row(i), &mut num);
+            den += w;
+        }
+        vector::scale(1.0 / den, &mut num);
+        let step = vector::distance(&num, &y);
+        y = num;
+        if step < tol {
+            break;
+        }
+    }
+    y
+}
+
+/// Median-of-means: partition the points into `k` blocks, average each
+/// block, and take the coordinate-wise median of the block means. The
+/// classical heavy-tail workhorse: block means concentrate, and the median
+/// over blocks tolerates up to `(k-1)/2` poisoned blocks — i.e. fewer than
+/// `k/2` gross outliers in total. Against an ε-*fraction* adversary every
+/// block is poisoned and MoM inherits the bias; that failure is exactly
+/// what motivates the spectral [`crate::filter`].
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > n`.
+pub fn median_of_means(data: &Matrix, k: usize) -> Vec<f64> {
+    let (n, d) = data.shape();
+    assert!(k > 0 && k <= n, "median_of_means: bad block count");
+    let mut block_means = Matrix::zeros(k, d);
+    let mut counts = vec![0.0f64; k];
+    for i in 0..n {
+        let b = i % k;
+        counts[b] += 1.0;
+        let row = data.row(i).to_vec();
+        vector::axpy(1.0, &row, block_means.row_mut(b));
+    }
+    for b in 0..k {
+        vector::scale(1.0 / counts[b], block_means.row_mut(b));
+    }
+    coordinate_median(&block_means)
+}
+
+/// Oracle estimator: the mean of the true inliers. Not available to any
+/// real algorithm; used only as the error floor in experiment plots.
+pub fn oracle_mean(data: &Matrix, is_inlier: &[bool]) -> Vec<f64> {
+    let (n, d) = data.shape();
+    assert_eq!(is_inlier.len(), n, "oracle: flag length mismatch");
+    let mut mean = vec![0.0; d];
+    let mut count = 0.0;
+    for i in 0..n {
+        if is_inlier[i] {
+            vector::axpy(1.0, data.row(i), &mut mean);
+            count += 1.0;
+        }
+    }
+    if count > 0.0 {
+        vector::scale(1.0 / count, &mut mean);
+    }
+    mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contamination::{ContaminatedSample, Contamination};
+    use treu_math::rng::SplitMix64;
+
+    fn sample(strategy: Contamination, eps: f64, d: usize, seed: u64) -> ContaminatedSample {
+        let mut rng = SplitMix64::new(seed);
+        ContaminatedSample::generate(1000, d, eps, strategy, &mut rng)
+    }
+
+    #[test]
+    fn mean_breaks_under_far_cluster() {
+        let s = sample(Contamination::FarCluster, 0.1, 10, 1);
+        let err = s.error(&sample_mean(&s.data));
+        assert!(err > 5.0, "far cluster must wreck the mean; err {err}");
+    }
+
+    #[test]
+    fn median_survives_far_cluster() {
+        let s = sample(Contamination::FarCluster, 0.1, 10, 2);
+        let err = s.error(&coordinate_median(&s.data));
+        assert!(err < 1.0, "median err {err}");
+    }
+
+    #[test]
+    fn trimmed_mean_survives_far_cluster() {
+        let s = sample(Contamination::FarCluster, 0.1, 10, 3);
+        let err = s.error(&trimmed_mean(&s.data, 0.15));
+        assert!(err < 1.0, "trimmed err {err}");
+    }
+
+    #[test]
+    fn trimmed_mean_with_zero_alpha_is_mean() {
+        let s = sample(Contamination::HeavyNoise, 0.05, 4, 4);
+        let a = trimmed_mean(&s.data, 0.0);
+        let b = sample_mean(&s.data);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "trim fraction")]
+    fn trimmed_mean_rejects_half() {
+        trimmed_mean(&Matrix::zeros(4, 2), 0.5);
+    }
+
+    #[test]
+    fn geometric_median_on_clean_data_is_accurate() {
+        let s = sample(Contamination::FarCluster, 0.0, 8, 5);
+        let err = s.error(&geometric_median(&s.data, 1e-9, 200));
+        assert!(err < 0.2, "geomedian err {err}");
+    }
+
+    #[test]
+    fn geometric_median_resists_far_cluster() {
+        let s = sample(Contamination::FarCluster, 0.15, 8, 6);
+        let err = s.error(&geometric_median(&s.data, 1e-9, 200));
+        assert!(err < 1.2, "geomedian err {err}");
+    }
+
+    #[test]
+    fn geometric_median_of_single_point() {
+        let m = Matrix::from_rows(&[&[3.0, -1.0]]);
+        assert_eq!(geometric_median(&m, 1e-9, 10), vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn geometric_median_minimizes_distance_sum_locally() {
+        let s = sample(Contamination::HeavyNoise, 0.1, 5, 7);
+        let gm = geometric_median(&s.data, 1e-10, 500);
+        let cost = |y: &[f64]| -> f64 {
+            (0..s.n()).map(|i| treu_math::vector::distance(s.data.row(i), y)).sum()
+        };
+        let base = cost(&gm);
+        for j in 0..5 {
+            for delta in [-0.01, 0.01] {
+                let mut y = gm.clone();
+                y[j] += delta;
+                assert!(cost(&y) >= base - 1e-6, "perturbation improved Weiszfeld optimum");
+            }
+        }
+    }
+
+    #[test]
+    fn median_of_means_survives_few_gross_outliers() {
+        // MoM's guarantee is against *fewer than k/2 outliers in total*
+        // (its classical heavy-tail regime), not against an ε-fraction
+        // spread across every block: with n=1000 and ε=0.004 there are 4
+        // outliers and k=9 blocks, so at most 4 blocks are poisoned and
+        // the block median holds — while the plain mean is wrecked.
+        let mut rng = SplitMix64::new(9);
+        let s = ContaminatedSample::generate(1000, 10, 0.004, Contamination::FarCluster, &mut rng);
+        let mom_err = s.error(&median_of_means(&s.data, 9));
+        let mean_err = s.error(&sample_mean(&s.data));
+        assert!(mom_err < 0.5, "median-of-means err {mom_err}");
+        assert!(mean_err > mom_err, "mean {mean_err} vs mom {mom_err}");
+    }
+
+    #[test]
+    fn median_of_means_fails_under_spread_contamination() {
+        // The complementary fact (why the spectral filter exists): an
+        // ε-fraction adversary poisons *every* block, and MoM inherits the
+        // full bias — documented as a negative test.
+        let s = sample(Contamination::FarCluster, 0.1, 10, 9);
+        let err = s.error(&median_of_means(&s.data, 9));
+        assert!(err > 2.0, "spread contamination should defeat MoM; err {err}");
+    }
+
+    #[test]
+    fn median_of_means_with_one_block_is_the_mean() {
+        let s = sample(Contamination::HeavyNoise, 0.05, 4, 10);
+        let a = median_of_means(&s.data, 1);
+        let b = sample_mean(&s.data);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad block count")]
+    fn median_of_means_rejects_zero_blocks() {
+        median_of_means(&Matrix::zeros(4, 2), 0);
+    }
+
+    #[test]
+    fn oracle_is_best_on_subtle_shift() {
+        let s = sample(Contamination::SubtleShift, 0.1, 32, 8);
+        let oracle = s.error(&oracle_mean(&s.data, &s.is_inlier));
+        let median = s.error(&coordinate_median(&s.data));
+        assert!(oracle < median, "oracle {oracle} vs median {median}");
+        assert!(oracle < 0.3);
+    }
+}

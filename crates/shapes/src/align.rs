@@ -1,0 +1,152 @@
+//! Generalized Procrustes alignment ("data grooming and preprocessing").
+//!
+//! Before PCA, the cohort's particle clouds are aligned: translations are
+//! removed by centering each shape at its particle centroid, and rotations
+//! by orthogonal Procrustes against the cohort mean (via the Jacobi SVD in
+//! `treu-math`). Scale is preserved — radius variation *is* the signal the
+//! mode analysis must find.
+
+use treu_math::decomp::svd;
+use treu_math::Matrix;
+
+/// Centers each row-shape (flattened `m x 3` particles) at its centroid.
+/// Returns the per-shape centroids that were removed.
+pub fn center_rows(shapes: &mut Matrix) -> Vec<[f64; 3]> {
+    let m = shapes.cols() / 3;
+    let mut centroids = Vec::with_capacity(shapes.rows());
+    for r in 0..shapes.rows() {
+        let row = shapes.row_mut(r);
+        let mut c = [0.0; 3];
+        for k in 0..m {
+            for a in 0..3 {
+                c[a] += row[k * 3 + a] / m as f64;
+            }
+        }
+        for k in 0..m {
+            for a in 0..3 {
+                row[k * 3 + a] -= c[a];
+            }
+        }
+        centroids.push(c);
+    }
+    centroids
+}
+
+/// Optimal rotation aligning particle cloud `a` (as `m x 3`) to `b`, via
+/// orthogonal Procrustes: `R = U V^T` of `SVD(bᵀ a)` — applied as
+/// `a_aligned = a Rᵀ`.
+pub fn procrustes_rotation(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "procrustes: shape mismatch");
+    assert_eq!(a.cols(), 3, "procrustes: expected m x 3 clouds");
+    let cross = b.transpose().matmul(a); // 3 x 3
+    let d = svd(&cross, 1e-14, 60);
+    d.u.matmul(&d.vt)
+}
+
+/// Aligns every row-shape of the matrix to the first shape's cloud
+/// (translation + rotation). Returns the aligned matrix.
+pub fn align_cohort(shapes: &Matrix) -> Matrix {
+    let mut out = shapes.clone();
+    center_rows(&mut out);
+    let m = out.cols() / 3;
+    let reference = row_to_cloud(&out, 0, m);
+    for r in 1..out.rows() {
+        let cloud = row_to_cloud(&out, r, m);
+        let rot = procrustes_rotation(&cloud, &reference);
+        let aligned = cloud.matmul(&rot.transpose());
+        let row = out.row_mut(r);
+        for k in 0..m {
+            for a in 0..3 {
+                row[k * 3 + a] = aligned[(k, a)];
+            }
+        }
+    }
+    out
+}
+
+fn row_to_cloud(shapes: &Matrix, r: usize, m: usize) -> Matrix {
+    let row = shapes.row(r);
+    Matrix::from_fn(m, 3, |k, a| row[k * 3 + a])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correspond::ParticleSystem;
+    use crate::sample::{EllipsoidFamily, Shape};
+    use treu_math::rng::SplitMix64;
+
+    #[test]
+    fn centering_zeroes_centroids() {
+        let mut rng = SplitMix64::new(1);
+        let shapes = EllipsoidFamily::default().sample(4, &mut rng);
+        let ps = ParticleSystem::fibonacci(32);
+        let mut m = ps.shape_matrix(&shapes);
+        let removed = center_rows(&mut m);
+        assert_eq!(removed.len(), 4);
+        for r in 0..4 {
+            let row = m.row(r);
+            for a in 0..3 {
+                let mean: f64 = (0..32).map(|k| row[k * 3 + a]).sum::<f64>() / 32.0;
+                assert!(mean.abs() < 1e-9);
+            }
+        }
+        // The removed centroids approximate the shape centers.
+        for (c, s) in removed.iter().zip(&shapes) {
+            for a in 0..3 {
+                assert!((c[a] - s.center[a]).abs() < 1.0, "axis {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn procrustes_recovers_a_rotation() {
+        // Rotate a cloud by a known rotation about z; Procrustes must undo it.
+        let theta: f64 = 0.7;
+        let rot = Matrix::from_rows(&[
+            &[theta.cos(), -theta.sin(), 0.0],
+            &[theta.sin(), theta.cos(), 0.0],
+            &[0.0, 0.0, 1.0],
+        ]);
+        let shape = Shape { radii: [5.0, 3.0, 2.0], center: [0.0; 3], latent: vec![] };
+        let ps = ParticleSystem::fibonacci(64);
+        let cloud = {
+            let m = ps.shape_matrix(&[shape]);
+            Matrix::from_fn(64, 3, |k, a| m[(0, k * 3 + a)])
+        };
+        let rotated = cloud.matmul(&rot.transpose());
+        let r = procrustes_rotation(&rotated, &cloud);
+        let back = rotated.matmul(&r.transpose());
+        assert!(back.max_abs_diff(&cloud) < 1e-8, "diff {}", back.max_abs_diff(&cloud));
+    }
+
+    #[test]
+    fn rotation_is_orthogonal() {
+        let mut rng = SplitMix64::new(2);
+        let a = Matrix::from_fn(20, 3, |_, _| rng.next_gaussian());
+        let b = Matrix::from_fn(20, 3, |_, _| rng.next_gaussian());
+        let r = procrustes_rotation(&a, &b);
+        let should_be_i = r.matmul(&r.transpose());
+        assert!(should_be_i.max_abs_diff(&Matrix::identity(3)) < 1e-8);
+    }
+
+    #[test]
+    fn alignment_removes_translation_variance() {
+        let mut rng = SplitMix64::new(3);
+        // Identical spheres, random translations: after alignment all rows
+        // must coincide.
+        let fam = EllipsoidFamily { mode_scale: 0.0, ..EllipsoidFamily::default() };
+        let shapes = fam.sample(6, &mut rng);
+        let ps = ParticleSystem::fibonacci(32);
+        let aligned = align_cohort(&ps.shape_matrix(&shapes));
+        for r in 1..6 {
+            let d: f64 = aligned
+                .row(0)
+                .iter()
+                .zip(aligned.row(r))
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(d < 1e-6, "row {r} differs by {d}");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Harnessed experiment E2.11: the one-mode atlas and the particle-count
+//! ablation.
+
+use crate::align::align_cohort;
+use crate::correspond::ParticleSystem;
+use crate::sample::EllipsoidFamily;
+use treu_core::experiment::{Experiment, Params, RunContext};
+use treu_core::ExperimentRegistry;
+use treu_math::pca::Pca;
+use treu_math::rng::{derive_seed, SplitMix64};
+use treu_math::stats;
+
+/// Result of one atlas computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtlasResult {
+    /// Fraction of variance in the first mode.
+    pub mode1_ratio: f64,
+    /// |correlation| between mode-1 scores and the ground-truth latent.
+    pub mode1_latent_corr: f64,
+    /// Full compactness curve.
+    pub compactness: Vec<f64>,
+}
+
+/// Computes a shape atlas: sample the cohort, optimize correspondence,
+/// align, PCA, and validate mode 1 against the generator's latent.
+pub fn compute_atlas(family: EllipsoidFamily, n_shapes: usize, particles: usize, seed: u64) -> AtlasResult {
+    let mut rng = SplitMix64::new(derive_seed(seed, "cohort"));
+    let shapes = family.sample(n_shapes, &mut rng);
+    let mut ps = ParticleSystem::random(particles, &mut SplitMix64::new(derive_seed(seed, "particles")));
+    ps.optimize(40, 0.02);
+    let aligned = align_cohort(&ps.shape_matrix(&shapes));
+    let pca = Pca::fit(&aligned, n_shapes.min(aligned.cols()).min(6));
+    let ratios = pca.explained_variance_ratio();
+    let scores = pca.transform_all(&aligned);
+    let mode1: Vec<f64> = (0..n_shapes).map(|r| scores[(r, 0)]).collect();
+    let latent: Vec<f64> = shapes.iter().map(|s| s.latent[0]).collect();
+    AtlasResult {
+        mode1_ratio: ratios.first().copied().unwrap_or(0.0),
+        mode1_latent_corr: stats::pearson(&mode1, &latent).abs(),
+        compactness: pca.compactness(),
+    }
+}
+
+/// E2.11: the one-mode warm-up, a two-mode check, and the particle
+/// ablation.
+pub struct ShapeAtlasExperiment;
+
+impl Experiment for ShapeAtlasExperiment {
+    fn name(&self) -> &str {
+        "shapes/atlas"
+    }
+
+    fn run(&self, ctx: &mut RunContext) {
+        let n_shapes = ctx.int("shapes", 24) as usize;
+
+        // One-mode family (the paper's familiarization exercise).
+        let one = compute_atlas(EllipsoidFamily::default(), n_shapes, 64, derive_seed(ctx.seed(), "one"));
+        ctx.record("one_mode_ratio", one.mode1_ratio);
+        ctx.record("one_mode_latent_corr", one.mode1_latent_corr);
+
+        // Two-mode family: the first two modes should carry ~everything.
+        let fam2 = EllipsoidFamily { modes: 2, ..EllipsoidFamily::default() };
+        let two = compute_atlas(fam2, n_shapes, 64, derive_seed(ctx.seed(), "two"));
+        ctx.record("two_mode_top2_compactness", two.compactness.get(1).copied().unwrap_or(0.0));
+
+        // Particle-count ablation on the one-mode family.
+        for particles in [8usize, 16, 64, 256] {
+            let r = compute_atlas(
+                EllipsoidFamily::default(),
+                n_shapes,
+                particles,
+                derive_seed(ctx.seed(), &format!("abl{particles}")),
+            );
+            ctx.record(&format!("abl_p{particles:03}_mode1_ratio"), r.mode1_ratio);
+            ctx.record(&format!("abl_p{particles:03}_latent_corr"), r.mode1_latent_corr);
+        }
+    }
+}
+
+/// Registers E2.11.
+pub fn register(reg: &mut ExperimentRegistry) {
+    reg.register(
+        "E2.11",
+        "Section 2.11",
+        "shape atlas: one-mode recovery and particle-count ablation",
+        Params::new().with_int("shapes", 24),
+        Box::new(ShapeAtlasExperiment),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treu_core::experiment::{assert_deterministic, run_once};
+
+    #[test]
+    fn one_mode_family_yields_one_dominant_mode() {
+        let r = compute_atlas(EllipsoidFamily::default(), 24, 64, 1);
+        assert!(r.mode1_ratio > 0.9, "mode-1 ratio {}", r.mode1_ratio);
+        assert!(
+            r.mode1_latent_corr > 0.95,
+            "mode-1/latent correlation {}",
+            r.mode1_latent_corr
+        );
+    }
+
+    #[test]
+    fn compactness_saturates_after_true_modes() {
+        let fam2 = EllipsoidFamily { modes: 2, ..EllipsoidFamily::default() };
+        let r = compute_atlas(fam2, 24, 64, 2);
+        assert!(r.compactness[1] > 0.95, "two modes must explain ~all: {:?}", r.compactness);
+    }
+
+    #[test]
+    fn ablation_more_particles_never_hurts_much() {
+        let small = compute_atlas(EllipsoidFamily::default(), 20, 8, 3);
+        let large = compute_atlas(EllipsoidFamily::default(), 20, 128, 3);
+        assert!(
+            large.mode1_latent_corr >= small.mode1_latent_corr - 0.05,
+            "corr {} -> {}",
+            small.mode1_latent_corr,
+            large.mode1_latent_corr
+        );
+    }
+
+    #[test]
+    fn experiment_records_all_metrics() {
+        let rec = run_once(&ShapeAtlasExperiment, 2023, Params::new().with_int("shapes", 16));
+        assert!(rec.metric("one_mode_ratio").unwrap() > 0.85);
+        assert!(rec.metric("two_mode_top2_compactness").unwrap() > 0.9);
+        for p in ["p008", "p016", "p064", "p256"] {
+            assert!(rec.metric(&format!("abl_{p}_mode1_ratio")).is_some(), "{p}");
+        }
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        assert_deterministic(&ShapeAtlasExperiment, 7, &Params::new().with_int("shapes", 10));
+    }
+
+    #[test]
+    fn registry_id() {
+        let mut reg = ExperimentRegistry::new();
+        register(&mut reg);
+        assert!(reg.get("E2.11").is_some());
+    }
+}

@@ -1,0 +1,30 @@
+//! `treu-shapes` — statistical shape atlases (paper §2.11).
+//!
+//! The project: "Use Shapeworks to compute a statistical shape model for
+//! different anatomies ... The student was instructed to compute a shape
+//! atlas and principal modes of variations for synthetic 3D spherical data
+//! (one mode of variation) to familiarize themselves with the entire
+//! computational pipeline. ... The student also conducted an ablation study
+//! by analyzing the modes of variation using varying quantities of
+//! particles for the same anatomy."
+//!
+//! This crate is that pipeline: a synthetic ellipsoid cohort with a known
+//! number of variation modes ([`sample`]), particle-based surface
+//! correspondence via shared-direction optimization ([`correspond`]),
+//! generalized Procrustes alignment ([`align`]), and PCA mode analysis with
+//! the particle-count ablation ([`experiment`]).
+
+#![forbid(unsafe_code)]
+// Indexed loops over multiple parallel arrays are the clearest idiom in
+// this crate's numeric kernels; the zip-chain rewrite the lint suggests
+// obscures them.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod align;
+pub mod correspond;
+pub mod experiment;
+pub mod sample;
+
+pub use correspond::{ParticleSystem, Particles};
+pub use sample::{EllipsoidFamily, Shape};

@@ -1,0 +1,269 @@
+//! The survey analysis pipeline: raw responses → the paper's tables.
+//!
+//! Functions here see only a [`Cohort`]'s individual responses — never the
+//! calibration targets in [`crate::paper`] — and aggregate them the way the
+//! REU instructors describe: goal counts over the nine goal respondents,
+//! per-skill mean confidence and boost, per-area knowledge increase, and
+//! the narrative statistics (PhD intent, recommenders).
+
+use crate::cohort::Cohort;
+use crate::likert;
+use crate::paper;
+use treu_core::report::{Cell, Table};
+use treu_math::stats;
+
+/// One row of the reproduced Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoalRow {
+    /// Goal text.
+    pub goal: String,
+    /// Number of goal respondents who accomplished it.
+    pub accomplished: usize,
+}
+
+/// Reproduces Table 1 from raw responses.
+pub fn table1(cohort: &Cohort) -> Vec<GoalRow> {
+    let respondents = cohort.goal_respondents();
+    paper::GOALS
+        .iter()
+        .enumerate()
+        .map(|(g, (name, _))| GoalRow {
+            goal: (*name).to_string(),
+            accomplished: respondents
+                .iter()
+                .filter(|r| r.goals.as_ref().is_some_and(|gs| gs[g]))
+                .count(),
+        })
+        .collect()
+}
+
+/// One row of the reproduced Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkillRow {
+    /// Skill text.
+    pub skill: String,
+    /// A priori mean confidence.
+    pub apriori_mean: f64,
+    /// Post hoc mean minus a priori mean.
+    pub boost: f64,
+}
+
+/// Reproduces Table 2 from raw responses.
+pub fn table2(cohort: &Cohort) -> Vec<SkillRow> {
+    paper::SKILLS
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _, _))| {
+            let a: Vec<i64> = cohort.apriori.iter().map(|r| r.confidence[i]).collect();
+            let p: Vec<i64> = cohort.posthoc.iter().map(|r| r.confidence[i]).collect();
+            let am = likert::mean(&a);
+            SkillRow {
+                skill: (*name).to_string(),
+                apriori_mean: am,
+                boost: likert::mean(&p) - am,
+            }
+        })
+        .collect()
+}
+
+/// One row of the reproduced Table 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnowledgeRow {
+    /// Topic area text.
+    pub area: String,
+    /// A priori mean knowledge.
+    pub apriori_mean: f64,
+    /// Post hoc mean minus a priori mean.
+    pub increase: f64,
+}
+
+/// Reproduces Table 3 from raw responses.
+pub fn table3(cohort: &Cohort) -> Vec<KnowledgeRow> {
+    paper::KNOWLEDGE
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _, _))| {
+            let a: Vec<i64> = cohort.apriori.iter().map(|r| r.knowledge[i]).collect();
+            let p: Vec<i64> = cohort.posthoc.iter().map(|r| r.knowledge[i]).collect();
+            let am = likert::mean(&a);
+            KnowledgeRow {
+                area: (*name).to_string(),
+                apriori_mean: am,
+                increase: likert::mean(&p) - am,
+            }
+        })
+        .collect()
+}
+
+/// The §3 narrative statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Narrative {
+    /// A priori PhD-intent mean.
+    pub phd_apriori_mean: f64,
+    /// A priori PhD-intent mode.
+    pub phd_apriori_mode: i64,
+    /// Post hoc PhD-intent mean.
+    pub phd_posthoc_mean: f64,
+    /// Post hoc PhD-intent mode.
+    pub phd_posthoc_mode: i64,
+    /// REU recommenders: (mode, min, max).
+    pub rec_reu: (i64, i64, i64),
+    /// Home-institution recommenders: (mode, min, max).
+    pub rec_home: (i64, i64, i64),
+    /// Outside recommenders: (mode, min, max).
+    pub rec_outside: (i64, i64, i64),
+    /// Goals accomplished by every goal respondent.
+    pub goals_by_all: usize,
+}
+
+/// Computes the narrative statistics from raw responses.
+pub fn narrative(cohort: &Cohort) -> Narrative {
+    let ia: Vec<i64> = cohort.apriori.iter().map(|r| r.phd_intent).collect();
+    let ip: Vec<i64> = cohort.posthoc.iter().map(|r| r.phd_intent).collect();
+    let summarize = |xs: Vec<i64>| {
+        let mode = stats::mode_int(&xs).unwrap_or(0);
+        let lo = xs.iter().copied().min().unwrap_or(0);
+        let hi = xs.iter().copied().max().unwrap_or(0);
+        (mode, lo, hi)
+    };
+    let collect = |f: fn(&crate::cohort::Respondent) -> Option<i64>| {
+        cohort.posthoc.iter().filter_map(f).collect::<Vec<i64>>()
+    };
+    let n_goal = cohort.goal_respondents().len();
+    Narrative {
+        phd_apriori_mean: likert::mean(&ia),
+        phd_apriori_mode: stats::mode_int(&ia).unwrap_or(0),
+        phd_posthoc_mean: likert::mean(&ip),
+        phd_posthoc_mode: stats::mode_int(&ip).unwrap_or(0),
+        rec_reu: summarize(collect(|r| r.recommenders_reu)),
+        rec_home: summarize(collect(|r| r.recommenders_home)),
+        rec_outside: summarize(collect(|r| r.recommenders_outside)),
+        goals_by_all: table1(cohort)
+            .iter()
+            .filter(|row| row.accomplished == n_goal)
+            .count(),
+    }
+}
+
+/// Renders the reproduced Table 1 in the paper's layout.
+pub fn render_table1(rows: &[GoalRow]) -> String {
+    let mut t = Table::new(
+        "Table 1: goals accomplished (out of nine post hoc respondents)",
+        &["Student-set Goals", "# Students"],
+    );
+    for r in rows {
+        t.push_row(vec![r.goal.as_str().into(), Cell::Int(r.accomplished as i64)]);
+    }
+    t.render()
+}
+
+/// Renders the reproduced Table 2 in the paper's layout.
+pub fn render_table2(rows: &[SkillRow]) -> String {
+    let mut t = Table::new(
+        "Table 2: confidence in research skills (1-5) and attained boost",
+        &["Research Skill", "A priori mean", "Conf. boost"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.skill.as_str().into(),
+            Cell::Float(r.apriori_mean, 1),
+            Cell::Float(r.boost, 1),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the reproduced Table 3 in the paper's layout.
+pub fn render_table3(rows: &[KnowledgeRow]) -> String {
+    let mut t = Table::new(
+        "Table 3: self-reported knowledge of five topic areas (1-5)",
+        &["Knowledge Area", "A priori mean", "Increase"],
+    );
+    for r in rows {
+        t.push_row(vec![
+            r.area.as_str().into(),
+            Cell::Float(r.apriori_mean, 1),
+            Cell::Float(r.increase, 1),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohort::Cohort;
+
+    fn cohort() -> Cohort {
+        Cohort::simulate(2023)
+    }
+
+    #[test]
+    fn table1_matches_paper_exactly() {
+        let rows = table1(&cohort());
+        assert_eq!(rows.len(), 19);
+        for (row, (name, want)) in rows.iter().zip(paper::GOALS.iter()) {
+            assert_eq!(row.goal, *name);
+            assert_eq!(row.accomplished, *want, "goal '{name}'");
+        }
+    }
+
+    #[test]
+    fn table2_within_rounding_of_paper() {
+        let rows = table2(&cohort());
+        assert_eq!(rows.len(), 18);
+        for (row, (name, m, b)) in rows.iter().zip(paper::SKILLS.iter()) {
+            // Achievable-mean error is at most 0.5/15 + 0.5/10 = 0.0833…
+            assert!(
+                (row.apriori_mean - m).abs() <= 0.04,
+                "{name}: a priori {} vs {m}",
+                row.apriori_mean
+            );
+            assert!((row.boost - b).abs() <= 0.09, "{name}: boost {} vs {b}", row.boost);
+        }
+    }
+
+    #[test]
+    fn table3_within_rounding_of_paper() {
+        let rows = table3(&cohort());
+        assert_eq!(rows.len(), 5);
+        for (row, (name, m, b)) in rows.iter().zip(paper::KNOWLEDGE.iter()) {
+            assert!((row.apriori_mean - m).abs() <= 0.04, "{name}");
+            assert!((row.increase - b).abs() <= 0.09, "{name}");
+        }
+    }
+
+    #[test]
+    fn narrative_matches_paper() {
+        let n = narrative(&cohort());
+        assert!((n.phd_apriori_mean - 3.2).abs() <= 0.04);
+        assert_eq!(n.phd_apriori_mode, 3);
+        assert!((n.phd_posthoc_mean - 3.6).abs() <= 0.06);
+        assert_eq!(n.phd_posthoc_mode, 4);
+        assert_eq!(n.rec_reu, paper::RECOMMENDERS_REU);
+        assert_eq!(n.rec_home, paper::RECOMMENDERS_HOME);
+        assert_eq!(n.rec_outside, paper::RECOMMENDERS_OUTSIDE);
+        assert_eq!(n.goals_by_all, 5, "five goals were accomplished by all nine");
+    }
+
+    #[test]
+    fn renders_contain_paper_rows() {
+        let c = cohort();
+        let t1 = render_table1(&table1(&c));
+        assert!(t1.contains("Collaborate with peers"));
+        assert!(t1.contains("Learn a new programming language"));
+        let t2 = render_table2(&table2(&c));
+        assert!(t2.contains("Preparing a scientific poster"));
+        let t3 = render_table3(&table3(&c));
+        assert!(t3.contains("Reproducibility of computational research"));
+    }
+
+    #[test]
+    fn analysis_is_pure() {
+        // Same cohort in, same tables out — the pipeline has no hidden state.
+        let c = cohort();
+        assert_eq!(table1(&c), table1(&c));
+        assert_eq!(table2(&c), table2(&c));
+        assert_eq!(narrative(&c), narrative(&c));
+    }
+}

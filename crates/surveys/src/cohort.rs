@@ -1,0 +1,349 @@
+//! Calibrated cohort simulation.
+//!
+//! Survey responses in the paper were anonymous and the raw data is not
+//! published, so reproduction works from a simulated cohort whose marginal
+//! statistics are calibrated to the published values (DESIGN.md §2 records
+//! this substitution). What *is* real is the pipeline: the simulator emits
+//! individual-level responses, and the analysis in [`crate::analysis`]
+//! aggregates them exactly as the REU instructors did, never touching the
+//! calibration targets.
+
+use crate::likert;
+use crate::paper;
+use treu_math::rng::{derive_seed, SplitMix64};
+
+/// One survey respondent's answers.
+///
+/// A priori and post hoc cohorts are disjoint (responses were anonymous and
+/// unlinked in the paper), so a respondent belongs to exactly one wave.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Respondent {
+    /// Respondent index within its wave.
+    pub id: usize,
+    /// Confidence ratings, one per Table 2 skill, 1–5.
+    pub confidence: Vec<i64>,
+    /// Knowledge ratings, one per Table 3 area, 1–5.
+    pub knowledge: Vec<i64>,
+    /// Intent to complete a PhD, 1–5.
+    pub phd_intent: i64,
+    /// Goal accomplishment flags (post hoc wave only; `None` for the one
+    /// post hoc participant who skipped these items and for the a priori
+    /// wave, where goals were free-text).
+    pub goals: Option<Vec<bool>>,
+    /// Potential recommenders met through the REU (post hoc only).
+    pub recommenders_reu: Option<i64>,
+    /// Potential recommenders at the home institution.
+    pub recommenders_home: Option<i64>,
+    /// Potential recommenders outside both.
+    pub recommenders_outside: Option<i64>,
+}
+
+/// The full simulated survey data: both waves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cohort {
+    /// A priori wave (15 respondents in the paper).
+    pub apriori: Vec<Respondent>,
+    /// Post hoc wave (10 respondents; 9 answered the goal items).
+    pub posthoc: Vec<Respondent>,
+}
+
+/// Draws `n` responses with a target mean *and* a target mode.
+///
+/// Starts from the all-`mode` vector and spreads the residual total across
+/// a minimal number of entries, so the mode survives; positions are then
+/// shuffled. Callers should keep `|mean - mode| * n` well below `n` for the
+/// mode to be preservable (all paper targets satisfy this comfortably).
+fn sample_with_mean_mode(rng: &mut SplitMix64, n: usize, mean: f64, mode: i64) -> Vec<i64> {
+    let want = ((mean * n as f64).round() as i64)
+        .clamp(n as i64 * likert::MIN, n as i64 * likert::MAX);
+    let mut xs = vec![mode; n];
+    let mut delta = want - mode * n as i64;
+    let dir = delta.signum();
+    let mut i = 0usize;
+    while delta != 0 && i < n {
+        let room = if dir > 0 { likert::MAX - xs[i] } else { xs[i] - likert::MIN };
+        // Cap per-entry movement at 2 so adjusted values spread over
+        // several entries rather than piling on the scale endpoint.
+        let step = room.min(delta.abs()).min(2);
+        xs[i] += dir * step;
+        delta -= dir * step;
+        i += 1;
+    }
+    let perm = treu_math::rng::permutation(rng, n);
+    perm.into_iter().map(|p| xs[p]).collect()
+}
+
+/// Draws `n` counts with a target mode and exact range `[lo, hi]`.
+///
+/// Used for the recommender narrative ("mode of 2 ... range 2–4").
+///
+/// # Panics
+///
+/// Panics if the constraints are unsatisfiable (`n < 3` with distinct
+/// endpoints, mode outside the range, or `lo > hi`).
+fn sample_with_mode_range(rng: &mut SplitMix64, n: usize, mode: i64, lo: i64, hi: i64) -> Vec<i64> {
+    assert!(lo <= hi && (lo..=hi).contains(&mode), "inconsistent mode/range");
+    let mut xs = Vec::with_capacity(n);
+    if lo != mode {
+        xs.push(lo);
+    }
+    if hi != mode {
+        xs.push(hi);
+    }
+    assert!(xs.len() + 2 <= n, "n too small to realize mode and range");
+    // One mid value (when available) for spread, distinct from the mode.
+    if hi - lo >= 2 {
+        let mid = if (lo + hi) / 2 == mode { mode + 1 } else { (lo + hi) / 2 };
+        if (lo..=hi).contains(&mid) && mid != mode {
+            xs.push(mid);
+        }
+    }
+    while xs.len() < n {
+        xs.push(mode);
+    }
+    let perm = treu_math::rng::permutation(rng, n);
+    perm.into_iter().map(|p| xs[p]).collect()
+}
+
+/// Transposes per-item calibrated columns into per-respondent rows.
+fn columns_to_rows(columns: &[Vec<i64>], n: usize) -> Vec<Vec<i64>> {
+    (0..n)
+        .map(|r| columns.iter().map(|col| col[r]).collect())
+        .collect()
+}
+
+impl Cohort {
+    /// Simulates the full cohort from a master seed. Every wave, item and
+    /// statistic derives its own RNG stream, so adding an item never
+    /// perturbs the others.
+    pub fn simulate(seed: u64) -> Self {
+        let na = paper::N_APRIORI;
+        let np = paper::N_POSTHOC;
+        let ng = paper::N_GOAL_RESPONDENTS;
+
+        // A priori confidence & knowledge: target the Table 2/3 a priori means.
+        let conf_a: Vec<Vec<i64>> = paper::SKILLS
+            .iter()
+            .map(|(name, m, _)| {
+                let mut r = SplitMix64::new(derive_seed(seed, &format!("apriori.conf.{name}")));
+                likert::sample_with_mean(&mut r, na, *m)
+            })
+            .collect();
+        let know_a: Vec<Vec<i64>> = paper::KNOWLEDGE
+            .iter()
+            .map(|(name, m, _)| {
+                let mut r = SplitMix64::new(derive_seed(seed, &format!("apriori.know.{name}")));
+                likert::sample_with_mean(&mut r, na, *m)
+            })
+            .collect();
+        // Post hoc targets are a priori + boost.
+        let conf_p: Vec<Vec<i64>> = paper::SKILLS
+            .iter()
+            .map(|(name, m, b)| {
+                let mut r = SplitMix64::new(derive_seed(seed, &format!("posthoc.conf.{name}")));
+                likert::sample_with_mean(&mut r, np, m + b)
+            })
+            .collect();
+        let know_p: Vec<Vec<i64>> = paper::KNOWLEDGE
+            .iter()
+            .map(|(name, m, b)| {
+                let mut r = SplitMix64::new(derive_seed(seed, &format!("posthoc.know.{name}")));
+                likert::sample_with_mean(&mut r, np, m + b)
+            })
+            .collect();
+
+        let (pa_mean, pa_mode, pp_mean, pp_mode) = paper::PHD_INTENT;
+        let mut r_intent_a = SplitMix64::new(derive_seed(seed, "apriori.intent"));
+        let intent_a = sample_with_mean_mode(&mut r_intent_a, na, pa_mean, pa_mode);
+        let mut r_intent_p = SplitMix64::new(derive_seed(seed, "posthoc.intent"));
+        let intent_p = sample_with_mean_mode(&mut r_intent_p, np, pp_mean, pp_mode);
+
+        // Goal flags: exact column counts over the 9 goal respondents.
+        let goal_cols: Vec<Vec<bool>> = paper::GOALS
+            .iter()
+            .map(|(name, k)| {
+                let mut r = SplitMix64::new(derive_seed(seed, &format!("posthoc.goal.{name}")));
+                likert::sample_with_count(&mut r, ng, *k)
+            })
+            .collect();
+
+        let rec = |tag: &str, (mode, lo, hi): (i64, i64, i64)| {
+            let mut r = SplitMix64::new(derive_seed(seed, tag));
+            sample_with_mode_range(&mut r, np, mode, lo, hi)
+        };
+        let rec_reu = rec("posthoc.rec.reu", paper::RECOMMENDERS_REU);
+        let rec_home = rec("posthoc.rec.home", paper::RECOMMENDERS_HOME);
+        let rec_out = rec("posthoc.rec.outside", paper::RECOMMENDERS_OUTSIDE);
+
+        let conf_a_rows = columns_to_rows(&conf_a, na);
+        let know_a_rows = columns_to_rows(&know_a, na);
+        let conf_p_rows = columns_to_rows(&conf_p, np);
+        let know_p_rows = columns_to_rows(&know_p, np);
+
+        let apriori = (0..na)
+            .map(|id| Respondent {
+                id,
+                confidence: conf_a_rows[id].clone(),
+                knowledge: know_a_rows[id].clone(),
+                phd_intent: intent_a[id],
+                goals: None,
+                recommenders_reu: None,
+                recommenders_home: None,
+                recommenders_outside: None,
+            })
+            .collect();
+
+        let posthoc = (0..np)
+            .map(|id| Respondent {
+                id,
+                confidence: conf_p_rows[id].clone(),
+                knowledge: know_p_rows[id].clone(),
+                phd_intent: intent_p[id],
+                // The first `ng` respondents answered the goal items; the
+                // last one (the paper's incomplete participant) did not.
+                goals: if id < ng {
+                    Some(goal_cols.iter().map(|col| col[id]).collect())
+                } else {
+                    None
+                },
+                recommenders_reu: Some(rec_reu[id]),
+                recommenders_home: Some(rec_home[id]),
+                recommenders_outside: Some(rec_out[id]),
+            })
+            .collect();
+
+        Self { apriori, posthoc }
+    }
+
+    /// Post hoc respondents who answered the goal items.
+    pub fn goal_respondents(&self) -> Vec<&Respondent> {
+        self.posthoc.iter().filter(|r| r.goals.is_some()).collect()
+    }
+}
+
+/// A simulated applicant to the REU site (for the admissions narrative:
+/// 85 applicants, 10 positions, offers "slanted toward institutions
+/// without an established research program").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Applicant {
+    /// Applicant index.
+    pub id: usize,
+    /// Whether the home institution has an established research program.
+    pub research_institution: bool,
+    /// Academic year: 2 = sophomore, 3 = junior, 4 = senior.
+    pub year: u8,
+    /// Application strength in `[0, 1)`.
+    pub strength: f64,
+}
+
+/// Simulates the applicant pool and applies the paper's offer policy:
+/// rank by strength plus a bonus for non-research institutions, take the
+/// top [`paper::N_POSITIONS`].
+pub fn simulate_admissions(seed: u64) -> (Vec<Applicant>, Vec<usize>) {
+    let mut rng = SplitMix64::new(derive_seed(seed, "admissions"));
+    let pool: Vec<Applicant> = (0..paper::N_APPLICANTS)
+        .map(|id| Applicant {
+            id,
+            research_institution: rng.next_f64() < 0.45,
+            year: if rng.next_f64() < 0.45 {
+                2
+            } else if rng.next_f64() < 0.85 {
+                3
+            } else {
+                4
+            },
+            strength: rng.next_f64(),
+        })
+        .collect();
+    let mut ranked: Vec<usize> = (0..pool.len()).collect();
+    let score = |a: &Applicant| a.strength + if a.research_institution { 0.0 } else { 0.35 };
+    ranked.sort_by(|&i, &j| score(&pool[j]).partial_cmp(&score(&pool[i])).unwrap());
+    let offers = ranked.into_iter().take(paper::N_POSITIONS).collect();
+    (pool, offers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohort_has_paper_cardinalities() {
+        let c = Cohort::simulate(1);
+        assert_eq!(c.apriori.len(), paper::N_APRIORI);
+        assert_eq!(c.posthoc.len(), paper::N_POSTHOC);
+        assert_eq!(c.goal_respondents().len(), paper::N_GOAL_RESPONDENTS);
+        assert!(c.apriori.iter().all(|r| r.goals.is_none()));
+    }
+
+    #[test]
+    fn goal_columns_hit_published_counts_exactly() {
+        let c = Cohort::simulate(2);
+        let resp = c.goal_respondents();
+        for (g, (_, want)) in paper::GOALS.iter().enumerate() {
+            let got = resp.iter().filter(|r| r.goals.as_ref().unwrap()[g]).count();
+            assert_eq!(got, *want, "goal {g}");
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic_and_seed_sensitive() {
+        assert_eq!(Cohort::simulate(5), Cohort::simulate(5));
+        assert_ne!(Cohort::simulate(5), Cohort::simulate(6));
+    }
+
+    #[test]
+    fn all_likert_values_on_scale() {
+        let c = Cohort::simulate(3);
+        for r in c.apriori.iter().chain(&c.posthoc) {
+            assert!(r.confidence.iter().all(|&v| (1..=5).contains(&v)));
+            assert!(r.knowledge.iter().all(|&v| (1..=5).contains(&v)));
+            assert!((1..=5).contains(&r.phd_intent));
+        }
+    }
+
+    #[test]
+    fn mean_mode_sampler_hits_both_targets() {
+        let mut rng = SplitMix64::new(7);
+        let xs = sample_with_mean_mode(&mut rng, 15, 3.2, 3);
+        assert!((likert::mean(&xs) - 3.2).abs() <= 0.5 / 15.0 + 1e-12);
+        assert_eq!(likert::mode(&xs), Some(3));
+        let ys = sample_with_mean_mode(&mut rng, 10, 3.6, 4);
+        assert!((likert::mean(&ys) - 3.6).abs() <= 0.5 / 10.0 + 1e-12);
+        assert_eq!(likert::mode(&ys), Some(4));
+    }
+
+    #[test]
+    fn mode_range_sampler_hits_all_three_targets() {
+        let mut rng = SplitMix64::new(8);
+        for &(m, lo, hi) in &[(2i64, 2i64, 4i64), (2, 1, 5), (1, 0, 5)] {
+            let xs = sample_with_mode_range(&mut rng, 10, m, lo, hi);
+            assert_eq!(treu_math::stats::mode_int(&xs), Some(m));
+            assert_eq!(*xs.iter().min().unwrap(), lo);
+            assert_eq!(*xs.iter().max().unwrap(), hi);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent mode/range")]
+    fn mode_outside_range_panics() {
+        sample_with_mode_range(&mut SplitMix64::new(0), 10, 9, 0, 5);
+    }
+
+    #[test]
+    fn admissions_respects_positions_and_slant() {
+        let (pool, offers) = simulate_admissions(4);
+        assert_eq!(pool.len(), paper::N_APPLICANTS);
+        assert_eq!(offers.len(), paper::N_POSITIONS);
+        // The slant: offer rate for non-research institutions exceeds the
+        // pool base rate.
+        let offered_nonresearch =
+            offers.iter().filter(|&&i| !pool[i].research_institution).count() as f64
+                / offers.len() as f64;
+        let pool_nonresearch =
+            pool.iter().filter(|a| !a.research_institution).count() as f64 / pool.len() as f64;
+        assert!(
+            offered_nonresearch > pool_nonresearch,
+            "offers must be slanted: {offered_nonresearch} vs pool {pool_nonresearch}"
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Harnessed experiments: T1, T2, T3 and the narrative block N1.
+//!
+//! Each experiment simulates a cohort under the run's seed, executes the
+//! analysis pipeline, and records both the reproduced values and their
+//! deviation from the published tables. The registration function wires
+//! them into a [`treu_core::ExperimentRegistry`] under the ids DESIGN.md
+//! assigns.
+
+use crate::analysis;
+use crate::cohort::Cohort;
+use crate::paper;
+use treu_core::experiment::{Experiment, Params, RunContext};
+use treu_core::ExperimentRegistry;
+
+/// Reproduces Table 1 and records `goal<i>` counts plus the maximum
+/// absolute deviation from the published counts (`max_abs_dev`, expected 0).
+pub struct Table1Experiment;
+
+impl Experiment for Table1Experiment {
+    fn name(&self) -> &str {
+        "surveys/table1"
+    }
+
+    fn run(&self, ctx: &mut RunContext) {
+        let cohort = Cohort::simulate(ctx.seed());
+        let rows = analysis::table1(&cohort);
+        let mut max_dev = 0.0f64;
+        for (i, (row, (_, want))) in rows.iter().zip(paper::GOALS.iter()).enumerate() {
+            ctx.record(&format!("goal{i:02}"), row.accomplished as f64);
+            max_dev = max_dev.max((row.accomplished as f64 - *want as f64).abs());
+        }
+        ctx.record("goals_by_all", analysis::narrative(&cohort).goals_by_all as f64);
+        ctx.record("max_abs_dev", max_dev);
+    }
+}
+
+/// Reproduces Table 2 and records per-skill a priori means and boosts plus
+/// maximum deviations from the published values.
+pub struct Table2Experiment;
+
+impl Experiment for Table2Experiment {
+    fn name(&self) -> &str {
+        "surveys/table2"
+    }
+
+    fn run(&self, ctx: &mut RunContext) {
+        let cohort = Cohort::simulate(ctx.seed());
+        let rows = analysis::table2(&cohort);
+        let mut dev_mean = 0.0f64;
+        let mut dev_boost = 0.0f64;
+        for (i, (row, (_, m, b))) in rows.iter().zip(paper::SKILLS.iter()).enumerate() {
+            ctx.record(&format!("skill{i:02}_apriori"), row.apriori_mean);
+            ctx.record(&format!("skill{i:02}_boost"), row.boost);
+            dev_mean = dev_mean.max((row.apriori_mean - m).abs());
+            dev_boost = dev_boost.max((row.boost - b).abs());
+        }
+        ctx.record("max_abs_dev_mean", dev_mean);
+        ctx.record("max_abs_dev_boost", dev_boost);
+    }
+}
+
+/// Reproduces Table 3 analogously.
+pub struct Table3Experiment;
+
+impl Experiment for Table3Experiment {
+    fn name(&self) -> &str {
+        "surveys/table3"
+    }
+
+    fn run(&self, ctx: &mut RunContext) {
+        let cohort = Cohort::simulate(ctx.seed());
+        let rows = analysis::table3(&cohort);
+        let mut dev_mean = 0.0f64;
+        let mut dev_inc = 0.0f64;
+        for (i, (row, (_, m, b))) in rows.iter().zip(paper::KNOWLEDGE.iter()).enumerate() {
+            ctx.record(&format!("area{i}_apriori"), row.apriori_mean);
+            ctx.record(&format!("area{i}_increase"), row.increase);
+            dev_mean = dev_mean.max((row.apriori_mean - m).abs());
+            dev_inc = dev_inc.max((row.increase - b).abs());
+        }
+        ctx.record("max_abs_dev_mean", dev_mean);
+        ctx.record("max_abs_dev_increase", dev_inc);
+    }
+}
+
+/// Reproduces the §3 narrative statistics (PhD intent, recommenders,
+/// admissions slant).
+pub struct NarrativeExperiment;
+
+impl Experiment for NarrativeExperiment {
+    fn name(&self) -> &str {
+        "surveys/narrative"
+    }
+
+    fn run(&self, ctx: &mut RunContext) {
+        let cohort = Cohort::simulate(ctx.seed());
+        let n = analysis::narrative(&cohort);
+        ctx.record("phd_apriori_mean", n.phd_apriori_mean);
+        ctx.record("phd_apriori_mode", n.phd_apriori_mode as f64);
+        ctx.record("phd_posthoc_mean", n.phd_posthoc_mean);
+        ctx.record("phd_posthoc_mode", n.phd_posthoc_mode as f64);
+        ctx.record("rec_reu_mode", n.rec_reu.0 as f64);
+        ctx.record("rec_home_mode", n.rec_home.0 as f64);
+        ctx.record("rec_outside_mode", n.rec_outside.0 as f64);
+        ctx.record("goals_by_all", n.goals_by_all as f64);
+
+        let (pool, offers) = crate::cohort::simulate_admissions(ctx.seed());
+        ctx.record("applicants", pool.len() as f64);
+        ctx.record("offers", offers.len() as f64);
+        let nonresearch =
+            offers.iter().filter(|&&i| !pool[i].research_institution).count() as f64;
+        ctx.record("offers_nonresearch_frac", nonresearch / offers.len() as f64);
+    }
+}
+
+/// Registers T1, T2, T3 and N1 into a registry.
+pub fn register(reg: &mut ExperimentRegistry) {
+    reg.register(
+        "T1",
+        "Table 1",
+        "goals accomplished by post hoc respondents",
+        Params::new(),
+        Box::new(Table1Experiment),
+    );
+    reg.register(
+        "T2",
+        "Table 2",
+        "confidence in research skills and attained boost",
+        Params::new(),
+        Box::new(Table2Experiment),
+    );
+    reg.register(
+        "T3",
+        "Table 3",
+        "self-reported knowledge of five topic areas",
+        Params::new(),
+        Box::new(Table3Experiment),
+    );
+    reg.register(
+        "N1",
+        "Section 3",
+        "narrative statistics: PhD intent, recommenders, admissions",
+        Params::new(),
+        Box::new(NarrativeExperiment),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treu_core::experiment::{assert_deterministic, run_once};
+
+    #[test]
+    fn t1_reproduces_exactly() {
+        let rec = run_once(&Table1Experiment, 2023, Params::new());
+        assert_eq!(rec.metric("max_abs_dev"), Some(0.0));
+        assert_eq!(rec.metric("goals_by_all"), Some(5.0));
+    }
+
+    #[test]
+    fn t2_t3_within_rounding() {
+        let r2 = run_once(&Table2Experiment, 2023, Params::new());
+        assert!(r2.metric("max_abs_dev_mean").unwrap() <= 0.04);
+        assert!(r2.metric("max_abs_dev_boost").unwrap() <= 0.09);
+        let r3 = run_once(&Table3Experiment, 2023, Params::new());
+        assert!(r3.metric("max_abs_dev_mean").unwrap() <= 0.04);
+        assert!(r3.metric("max_abs_dev_increase").unwrap() <= 0.09);
+    }
+
+    #[test]
+    fn narrative_metrics_present() {
+        let rec = run_once(&NarrativeExperiment, 2023, Params::new());
+        assert_eq!(rec.metric("applicants"), Some(85.0));
+        assert_eq!(rec.metric("offers"), Some(10.0));
+        assert_eq!(rec.metric("phd_posthoc_mode"), Some(4.0));
+    }
+
+    #[test]
+    fn all_survey_experiments_are_deterministic() {
+        assert_deterministic(&Table1Experiment, 9, &Params::new());
+        assert_deterministic(&Table2Experiment, 9, &Params::new());
+        assert_deterministic(&Table3Experiment, 9, &Params::new());
+        assert_deterministic(&NarrativeExperiment, 9, &Params::new());
+    }
+
+    #[test]
+    fn registration_exposes_four_ids() {
+        let mut reg = ExperimentRegistry::new();
+        register(&mut reg);
+        assert_eq!(reg.len(), 4);
+        for id in ["T1", "T2", "T3", "N1"] {
+            assert!(reg.get(id).is_some(), "{id} missing");
+            assert!(reg.run(id, 2023).is_some());
+        }
+    }
+}

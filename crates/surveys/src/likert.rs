@@ -1,0 +1,164 @@
+//! Likert-scale primitives and calibrated sampling.
+//!
+//! The surveys use 5-point Likert items ("1 (very unconfident) to 5 (very
+//! confident)"). This module provides the scale type and the calibrated
+//! sampler the cohort simulator is built on: draw `n` integer responses in
+//! `1..=5` whose mean is as close to a target as integer-valued responses
+//! allow.
+
+use treu_math::rng::SplitMix64;
+use treu_math::stats;
+
+/// Bounds of the 5-point scale.
+pub const MIN: i64 = 1;
+/// Upper bound of the 5-point scale.
+pub const MAX: i64 = 5;
+
+/// Clamps a raw value onto the scale.
+pub fn clamp(v: i64) -> i64 {
+    v.clamp(MIN, MAX)
+}
+
+/// Mean of Likert responses as `f64`.
+pub fn mean(xs: &[i64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<i64>() as f64 / xs.len() as f64
+}
+
+/// Modal response (ties to the smaller value; see
+/// [`treu_math::stats::mode_int`]).
+pub fn mode(xs: &[i64]) -> Option<i64> {
+    stats::mode_int(xs)
+}
+
+/// Draws `n` responses in `1..=5` whose mean is the closest achievable to
+/// `target`.
+///
+/// Sampling proceeds in two phases: scatter responses around the target
+/// with unit Gaussian noise (so the sample has realistic spread), then
+/// repair the total by ±1 adjustments at deterministic-random positions
+/// until the sum equals `round(target * n)` (clamped to the achievable
+/// range `[n, 5n]`). The achieved mean therefore differs from the target by
+/// at most `0.5 / n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn sample_with_mean(rng: &mut SplitMix64, n: usize, target: f64) -> Vec<i64> {
+    assert!(n > 0, "sample_with_mean: empty sample requested");
+    let want: i64 = ((target * n as f64).round() as i64).clamp(n as i64 * MIN, n as i64 * MAX);
+    let mut xs: Vec<i64> = (0..n)
+        .map(|_| clamp((target + rng.next_gaussian()).round() as i64))
+        .collect();
+    let mut sum: i64 = xs.iter().sum();
+    // Repair pass: random single-step adjustments toward the target total.
+    // Each iteration moves |sum - want| down by one, so it terminates.
+    while sum != want {
+        let i = rng.next_bounded(n as u64) as usize;
+        if sum < want && xs[i] < MAX {
+            xs[i] += 1;
+            sum += 1;
+        } else if sum > want && xs[i] > MIN {
+            xs[i] -= 1;
+            sum -= 1;
+        }
+    }
+    xs
+}
+
+/// Draws a boolean vector of length `n` with exactly `k` `true`s in random
+/// positions — used for Table 1's "k of n respondents accomplished goal g".
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_with_count(rng: &mut SplitMix64, n: usize, k: usize) -> Vec<bool> {
+    assert!(k <= n, "sample_with_count: k exceeds n");
+    let mut v = vec![false; n];
+    let perm = treu_math::rng::permutation(rng, n);
+    for &i in perm.iter().take(k) {
+        v[i] = true;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_bounds() {
+        assert_eq!(clamp(0), 1);
+        assert_eq!(clamp(6), 5);
+        assert_eq!(clamp(3), 3);
+    }
+
+    #[test]
+    fn sample_hits_achievable_mean_exactly() {
+        let mut rng = SplitMix64::new(1);
+        // 3.2 * 15 = 48 exactly.
+        let xs = sample_with_mean(&mut rng, 15, 3.2);
+        assert_eq!(xs.len(), 15);
+        assert!((mean(&xs) - 3.2).abs() < 1e-12);
+        assert!(xs.iter().all(|&x| (MIN..=MAX).contains(&x)));
+    }
+
+    #[test]
+    fn sample_rounds_unachievable_mean() {
+        let mut rng = SplitMix64::new(2);
+        // 2.5 * 15 = 37.5 -> rounds to 38 -> mean 2.5333…
+        let xs = sample_with_mean(&mut rng, 15, 2.5);
+        assert!((mean(&xs) - 2.5).abs() <= 0.5 / 15.0 + 1e-12);
+    }
+
+    #[test]
+    fn sample_extreme_targets() {
+        let mut rng = SplitMix64::new(3);
+        let lo = sample_with_mean(&mut rng, 10, 1.0);
+        assert!(lo.iter().all(|&x| x == 1));
+        let hi = sample_with_mean(&mut rng, 10, 5.0);
+        assert!(hi.iter().all(|&x| x == 5));
+        // Out-of-range target clamps to achievable.
+        let over = sample_with_mean(&mut rng, 4, 9.0);
+        assert!((mean(&over) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_has_spread_not_constant() {
+        let mut rng = SplitMix64::new(4);
+        let xs = sample_with_mean(&mut rng, 40, 3.0);
+        let distinct: std::collections::BTreeSet<i64> = xs.iter().copied().collect();
+        assert!(distinct.len() > 1, "sampler should produce realistic spread");
+    }
+
+    #[test]
+    fn sample_is_deterministic() {
+        let a = sample_with_mean(&mut SplitMix64::new(9), 12, 3.7);
+        let b = sample_with_mean(&mut SplitMix64::new(9), 12, 3.7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn count_sampler_exact() {
+        let mut rng = SplitMix64::new(5);
+        for k in 0..=9 {
+            let v = sample_with_count(&mut rng, 9, k);
+            assert_eq!(v.iter().filter(|&&b| b).count(), k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k exceeds n")]
+    fn count_sampler_rejects_k_gt_n() {
+        sample_with_count(&mut SplitMix64::new(0), 3, 4);
+    }
+
+    #[test]
+    fn mean_mode_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1, 2, 3]), 2.0);
+        assert_eq!(mode(&[4, 4, 3]), Some(4));
+    }
+}

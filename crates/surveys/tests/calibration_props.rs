@@ -1,0 +1,62 @@
+//! Property tests: the cohort calibration holds for *every* seed, not just
+//! the documented one — reproducing the tables is a property of the
+//! pipeline, not a lucky constant.
+
+use proptest::prelude::*;
+use treu_surveys::{analysis, paper, Cohort};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn table1_is_exact_for_every_seed(seed in any::<u64>()) {
+        let cohort = Cohort::simulate(seed);
+        for (row, (_, want)) in analysis::table1(&cohort).iter().zip(paper::GOALS.iter()) {
+            prop_assert_eq!(row.accomplished, *want);
+        }
+    }
+
+    #[test]
+    fn likert_tables_within_rounding_for_every_seed(seed in any::<u64>()) {
+        let cohort = Cohort::simulate(seed);
+        for (row, (_, m, b)) in analysis::table2(&cohort).iter().zip(paper::SKILLS.iter()) {
+            prop_assert!((row.apriori_mean - m).abs() <= 0.5 / 15.0 + 1e-12);
+            prop_assert!((row.boost - b).abs() <= 0.5 / 15.0 + 0.5 / 10.0 + 1e-12);
+        }
+        for (row, (_, m, b)) in analysis::table3(&cohort).iter().zip(paper::KNOWLEDGE.iter()) {
+            prop_assert!((row.apriori_mean - m).abs() <= 0.5 / 15.0 + 1e-12);
+            prop_assert!((row.increase - b).abs() <= 0.5 / 15.0 + 0.5 / 10.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn narrative_modes_hold_for_every_seed(seed in any::<u64>()) {
+        let n = analysis::narrative(&Cohort::simulate(seed));
+        prop_assert_eq!(n.phd_apriori_mode, paper::PHD_INTENT.1);
+        prop_assert_eq!(n.phd_posthoc_mode, paper::PHD_INTENT.3);
+        prop_assert_eq!(n.rec_reu, paper::RECOMMENDERS_REU);
+        prop_assert_eq!(n.rec_home, paper::RECOMMENDERS_HOME);
+        prop_assert_eq!(n.rec_outside, paper::RECOMMENDERS_OUTSIDE);
+        prop_assert_eq!(n.goals_by_all, 5);
+    }
+
+    #[test]
+    fn all_responses_stay_on_scale(seed in any::<u64>()) {
+        let cohort = Cohort::simulate(seed);
+        for r in cohort.apriori.iter().chain(&cohort.posthoc) {
+            prop_assert!(r.confidence.iter().all(|&v| (1..=5).contains(&v)));
+            prop_assert!(r.knowledge.iter().all(|&v| (1..=5).contains(&v)));
+            prop_assert!((1..=5).contains(&r.phd_intent));
+        }
+    }
+
+    #[test]
+    fn admissions_always_fills_every_position(seed in any::<u64>()) {
+        let (pool, offers) = treu_surveys::cohort::simulate_admissions(seed);
+        prop_assert_eq!(pool.len(), paper::N_APPLICANTS);
+        prop_assert_eq!(offers.len(), paper::N_POSITIONS);
+        // Offers are distinct applicants.
+        let distinct: std::collections::BTreeSet<usize> = offers.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), paper::N_POSITIONS);
+    }
+}

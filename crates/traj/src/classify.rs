@@ -1,0 +1,168 @@
+//! k-nearest-neighbour classification over feature vectors.
+//!
+//! The trajectory framework reduces classification to vectors, so any
+//! classifier applies; k-NN keeps the experiment about the *features*
+//! (shape vs shape+semantics) rather than about model capacity. Features
+//! are z-score standardized per dimension so landmark distances (tens of
+//! units) cannot drown semantic fractions (~1).
+
+/// A fitted k-NN classifier with per-dimension standardization.
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    k: usize,
+    train: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl KnnClassifier {
+    /// Fits the classifier (memorizes standardized training vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if inputs are empty, ragged, or `k == 0`.
+    pub fn fit(k: usize, xs: &[Vec<f64>], ys: &[usize]) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(!xs.is_empty(), "empty training set");
+        assert_eq!(xs.len(), ys.len(), "label count mismatch");
+        let d = xs[0].len();
+        assert!(xs.iter().all(|x| x.len() == d), "ragged feature vectors");
+        let n = xs.len() as f64;
+        let mut mean = vec![0.0; d];
+        for x in xs {
+            for (m, v) in mean.iter_mut().zip(x) {
+                *m += v / n;
+            }
+        }
+        let mut std = vec![0.0; d];
+        for x in xs {
+            for j in 0..d {
+                std[j] += (x[j] - mean[j]).powi(2) / n;
+            }
+        }
+        for s in &mut std {
+            *s = s.sqrt().max(1e-9);
+        }
+        let train = xs
+            .iter()
+            .map(|x| x.iter().zip(&mean).zip(&std).map(|((v, m), s)| (v - m) / s).collect())
+            .collect();
+        Self { k, train, labels: ys.to_vec(), mean, std }
+    }
+
+    /// Predicts the label of one feature vector by majority vote among the
+    /// `k` nearest standardized training vectors (ties to the smallest
+    /// label).
+    pub fn predict(&self, x: &[f64]) -> usize {
+        assert_eq!(x.len(), self.mean.len(), "feature arity mismatch");
+        let z: Vec<f64> = x
+            .iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect();
+        let mut dists: Vec<(f64, usize)> = self
+            .train
+            .iter()
+            .zip(&self.labels)
+            .map(|(t, &y)| (treu_math::vector::distance(t, &z), y))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN distance"));
+        let mut votes = std::collections::BTreeMap::new();
+        for (_, y) in dists.iter().take(self.k) {
+            *votes.entry(*y).or_insert(0usize) += 1;
+        }
+        votes
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(y, _)| y)
+            .expect("non-empty votes")
+    }
+
+    /// Accuracy over a labelled set.
+    pub fn accuracy(&self, xs: &[Vec<f64>], ys: &[usize]) -> f64 {
+        assert_eq!(xs.len(), ys.len(), "label count mismatch");
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let correct = xs
+            .iter()
+            .zip(ys)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        correct as f64 / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Vec<Vec<f64>>, Vec<usize>) {
+        (
+            vec![
+                vec![0.0, 0.0],
+                vec![0.1, 0.1],
+                vec![5.0, 5.0],
+                vec![5.1, 4.9],
+            ],
+            vec![0, 0, 1, 1],
+        )
+    }
+
+    #[test]
+    fn knn_separates_clusters() {
+        let (xs, ys) = toy();
+        let knn = KnnClassifier::fit(1, &xs, &ys);
+        assert_eq!(knn.predict(&[0.05, 0.0]), 0);
+        assert_eq!(knn.predict(&[4.9, 5.0]), 1);
+        assert_eq!(knn.accuracy(&xs, &ys), 1.0);
+    }
+
+    #[test]
+    fn standardization_balances_scales() {
+        // Dimension 0 is huge but uninformative; dimension 1 separates.
+        let xs = vec![
+            vec![1000.0, 0.0],
+            vec![-1000.0, 0.1],
+            vec![1000.0, 1.0],
+            vec![-1000.0, 0.9],
+        ];
+        let ys = vec![0, 0, 1, 1];
+        let knn = KnnClassifier::fit(1, &xs, &ys);
+        assert_eq!(knn.predict(&[0.0, 0.05]), 0);
+        assert_eq!(knn.predict(&[0.0, 0.95]), 1);
+    }
+
+    #[test]
+    fn k_majority_voting() {
+        let xs = vec![vec![0.0], vec![0.2], vec![0.4], vec![10.0]];
+        let ys = vec![0, 0, 0, 1];
+        let knn = KnnClassifier::fit(3, &xs, &ys);
+        // Nearest three to 0.3 are all class 0.
+        assert_eq!(knn.predict(&[0.3]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let (xs, ys) = toy();
+        KnnClassifier::fit(0, &xs, &ys);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature arity mismatch")]
+    fn wrong_arity_panics() {
+        let (xs, ys) = toy();
+        KnnClassifier::fit(1, &xs, &ys).predict(&[1.0]);
+    }
+
+    #[test]
+    fn constant_dimension_does_not_nan() {
+        let xs = vec![vec![1.0, 0.0], vec![1.0, 1.0]];
+        let ys = vec![0, 1];
+        let knn = KnnClassifier::fit(1, &xs, &ys);
+        assert_eq!(knn.predict(&[1.0, 0.1]), 0);
+    }
+}

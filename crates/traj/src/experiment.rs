@@ -1,0 +1,141 @@
+//! Harnessed experiment E2.4: the controlled shape-vs-semantics comparison.
+
+use crate::classify::KnnClassifier;
+use crate::features::{combined_features, default_landmarks, landmark_features};
+use crate::generate::{generate_dataset, PoiMap, Trajectory};
+use treu_core::experiment::{Experiment, Params, RunContext};
+use treu_core::ExperimentRegistry;
+use treu_math::rng::{derive_seed, SplitMix64};
+
+/// Result of one comparison run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComparisonResult {
+    /// Test accuracy of the shape-only framework.
+    pub shape_accuracy: f64,
+    /// Test accuracy with semantic features added.
+    pub semantic_accuracy: f64,
+}
+
+/// Runs the controlled experiment once: generate train/test sets, fit the
+/// two feature pipelines, compare test accuracy.
+pub fn compare(n_train_per_class: usize, n_test_per_class: usize, steps: usize, seed: u64) -> ComparisonResult {
+    let map = PoiMap::standard();
+    let landmarks = default_landmarks();
+    let mut rng = SplitMix64::new(derive_seed(seed, "train"));
+    let train = generate_dataset(n_train_per_class, steps, &map, &mut rng);
+    let mut rng = SplitMix64::new(derive_seed(seed, "test"));
+    let test = generate_dataset(n_test_per_class, steps, &map, &mut rng);
+
+    let featurize = |ts: &[Trajectory], semantic: bool| -> (Vec<Vec<f64>>, Vec<usize>) {
+        let xs = ts
+            .iter()
+            .map(|t| {
+                if semantic {
+                    combined_features(t, &landmarks, &map, 3.0)
+                } else {
+                    landmark_features(t, &landmarks)
+                }
+            })
+            .collect();
+        let ys = ts.iter().map(|t| t.class.label()).collect();
+        (xs, ys)
+    };
+
+    let (sx, sy) = featurize(&train, false);
+    let (tx, ty) = featurize(&test, false);
+    let shape = KnnClassifier::fit(3, &sx, &sy).accuracy(&tx, &ty);
+
+    let (sx, sy) = featurize(&train, true);
+    let (tx, ty) = featurize(&test, true);
+    let semantic = KnnClassifier::fit(3, &sx, &sy).accuracy(&tx, &ty);
+
+    ComparisonResult { shape_accuracy: shape, semantic_accuracy: semantic }
+}
+
+/// E2.4: averaged comparison plus the class-pair confusion structure.
+pub struct TrajectoryExperiment;
+
+impl Experiment for TrajectoryExperiment {
+    fn name(&self) -> &str {
+        "traj/semantics"
+    }
+
+    fn run(&self, ctx: &mut RunContext) {
+        let trials = ctx.int("trials", 3) as u64;
+        let n_train = ctx.int("train_per_class", 12) as usize;
+        let n_test = ctx.int("test_per_class", 6) as usize;
+        let steps = ctx.int("steps", 150) as usize;
+        let (mut shape, mut semantic) = (0.0, 0.0);
+        for t in 0..trials {
+            let r = compare(n_train, n_test, steps, derive_seed(ctx.seed(), &format!("t{t}")));
+            shape += r.shape_accuracy;
+            semantic += r.semantic_accuracy;
+        }
+        let k = trials as f64;
+        ctx.record("shape_accuracy", shape / k);
+        ctx.record("semantic_accuracy", semantic / k);
+        ctx.record("improvement", (semantic - shape) / k);
+    }
+}
+
+/// Registers E2.4.
+pub fn register(reg: &mut ExperimentRegistry) {
+    reg.register(
+        "E2.4",
+        "Section 2.4",
+        "trajectory classification: shape-only vs shape+semantics",
+        Params::new().with_int("trials", 3),
+        Box::new(TrajectoryExperiment),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treu_core::experiment::{assert_deterministic, run_once};
+
+    #[test]
+    fn semantics_give_clear_improvement() {
+        let r = compare(12, 6, 150, 1);
+        // Shape-only is stuck confusing the two pairs: at best ~0.5-0.7.
+        assert!(r.shape_accuracy < 0.8, "shape acc {}", r.shape_accuracy);
+        // Semantics resolve them.
+        assert!(r.semantic_accuracy > 0.85, "semantic acc {}", r.semantic_accuracy);
+        assert!(
+            r.semantic_accuracy > r.shape_accuracy + 0.15,
+            "clear improvement required: {} -> {}",
+            r.shape_accuracy,
+            r.semantic_accuracy
+        );
+    }
+
+    #[test]
+    fn shape_only_still_beats_chance() {
+        // Shape separates the loop from the road (2 super-classes), so it
+        // should sit well above 25% chance.
+        let r = compare(12, 6, 150, 2);
+        assert!(r.shape_accuracy > 0.4, "shape acc {}", r.shape_accuracy);
+    }
+
+    #[test]
+    fn experiment_records_improvement() {
+        let rec = run_once(&TrajectoryExperiment, 3, Params::new().with_int("trials", 2));
+        assert!(rec.metric("improvement").unwrap() > 0.1);
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        assert_deterministic(
+            &TrajectoryExperiment,
+            5,
+            &Params::new().with_int("trials", 1).with_int("train_per_class", 6),
+        );
+    }
+
+    #[test]
+    fn registry_id() {
+        let mut reg = ExperimentRegistry::new();
+        register(&mut reg);
+        assert!(reg.get("E2.4").is_some());
+    }
+}

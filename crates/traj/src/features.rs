@@ -1,0 +1,158 @@
+//! Feature maps: the shape-only landmark framework and its semantic
+//! extension.
+
+use crate::generate::{Point, PoiKind, PoiMap, Trajectory};
+
+/// The landmark set used by the shape-only framework: a deterministic grid
+/// over the city, mirroring the landmark-based distance feature maps of
+/// the trajectory-classification literature.
+pub fn default_landmarks() -> Vec<Point> {
+    let mut out = Vec::new();
+    for gx in 0..4 {
+        for gy in 0..4 {
+            out.push(Point { x: 12.5 + 25.0 * gx as f64, y: 12.5 + 25.0 * gy as f64 });
+        }
+    }
+    out
+}
+
+/// Shape-only features: for each landmark, the minimum distance from the
+/// trajectory to it. Treats the trajectory purely as a set of points in
+/// the plane — "only treated spatial trajectories as shapes".
+pub fn landmark_features(t: &Trajectory, landmarks: &[Point]) -> Vec<f64> {
+    landmarks
+        .iter()
+        .map(|lm| {
+            t.points
+                .iter()
+                .map(|p| p.distance(*lm))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect()
+}
+
+/// Semantic features: per POI kind, the fraction of waypoints dwelling
+/// within `radius` of a POI of that kind, plus two kinematic summaries
+/// (mean step speed and stop fraction).
+pub fn semantic_features(t: &Trajectory, map: &PoiMap, radius: f64) -> Vec<f64> {
+    let n = t.points.len().max(1) as f64;
+    let mut out: Vec<f64> = PoiKind::all()
+        .iter()
+        .map(|&kind| {
+            let pois = map.of_kind(kind);
+            let near = t
+                .points
+                .iter()
+                .filter(|p| pois.iter().any(|poi| poi.at.distance(**p) < radius))
+                .count();
+            near as f64 / n
+        })
+        .collect();
+    // Kinematics.
+    let mut speed_sum = 0.0;
+    let mut stops = 0usize;
+    for w in t.points.windows(2) {
+        let v = w[0].distance(w[1]);
+        speed_sum += v;
+        if v < 0.3 {
+            stops += 1;
+        }
+    }
+    let segs = (t.points.len().saturating_sub(1)).max(1) as f64;
+    out.push(speed_sum / segs);
+    out.push(stops as f64 / segs);
+    out
+}
+
+/// The extended framework: shape features followed by semantic features.
+pub fn combined_features(t: &Trajectory, landmarks: &[Point], map: &PoiMap, radius: f64) -> Vec<f64> {
+    let mut f = landmark_features(t, landmarks);
+    f.extend(semantic_features(t, map, radius));
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_trajectory, TrajectoryClass};
+    use treu_math::rng::SplitMix64;
+
+    #[test]
+    fn landmark_grid_covers_city() {
+        let lms = default_landmarks();
+        assert_eq!(lms.len(), 16);
+        assert!(lms.iter().all(|p| (0.0..=100.0).contains(&p.x) && (0.0..=100.0).contains(&p.y)));
+    }
+
+    #[test]
+    fn landmark_features_are_min_distances() {
+        let t = Trajectory {
+            points: vec![Point { x: 0.0, y: 0.0 }, Point { x: 10.0, y: 0.0 }],
+            class: TrajectoryClass::Car,
+        };
+        let f = landmark_features(&t, &[Point { x: 10.0, y: 5.0 }]);
+        assert_eq!(f, vec![5.0]);
+    }
+
+    #[test]
+    fn semantic_features_have_fixed_arity() {
+        let map = PoiMap::standard();
+        let mut rng = SplitMix64::new(1);
+        let t = generate_trajectory(TrajectoryClass::Bus, &map, 80, &mut rng);
+        let f = semantic_features(&t, &map, 3.0);
+        assert_eq!(f.len(), 6); // 4 POI kinds + speed + stop fraction
+        assert!(f.iter().all(|&v| v >= 0.0 && v.is_finite()));
+        // Dwell fractions are fractions.
+        assert!(f[..4].iter().all(|&v| v <= 1.0));
+    }
+
+    #[test]
+    fn tourists_and_commuters_differ_semantically_not_geometrically() {
+        let map = PoiMap::standard();
+        let lms = default_landmarks();
+        let mut rng = SplitMix64::new(2);
+        let mut shape_gap = 0.0;
+        let mut sem_gap = 0.0;
+        for _ in 0..5 {
+            let a = generate_trajectory(TrajectoryClass::Tourist, &map, 150, &mut rng);
+            let b = generate_trajectory(TrajectoryClass::Commuter, &map, 150, &mut rng);
+            shape_gap += treu_math::vector::distance(
+                &landmark_features(&a, &lms),
+                &landmark_features(&b, &lms),
+            );
+            sem_gap += treu_math::vector::distance(
+                &semantic_features(&a, &map, 3.0),
+                &semantic_features(&b, &map, 3.0),
+            );
+        }
+        // Normalize by typical feature magnitudes: shape features are tens
+        // of units, semantic fractions are ~1. Compare *relative* gaps.
+        let shape_rel = shape_gap / 5.0 / 30.0;
+        let sem_rel = sem_gap / 5.0 / 0.5;
+        assert!(
+            sem_rel > shape_rel,
+            "semantic separation ({sem_rel}) must exceed shape separation ({shape_rel})"
+        );
+    }
+
+    #[test]
+    fn cars_are_faster_than_tourists() {
+        let map = PoiMap::standard();
+        let mut rng = SplitMix64::new(3);
+        let car = generate_trajectory(TrajectoryClass::Car, &map, 100, &mut rng);
+        let tourist = generate_trajectory(TrajectoryClass::Tourist, &map, 100, &mut rng);
+        let speed = |t: &Trajectory| semantic_features(t, &map, 3.0)[4];
+        assert!(speed(&car) > speed(&tourist));
+    }
+
+    #[test]
+    fn combined_concatenates() {
+        let map = PoiMap::standard();
+        let lms = default_landmarks();
+        let mut rng = SplitMix64::new(4);
+        let t = generate_trajectory(TrajectoryClass::Car, &map, 60, &mut rng);
+        let c = combined_features(&t, &lms, &map, 3.0);
+        assert_eq!(c.len(), 16 + 6);
+        assert_eq!(&c[..16], landmark_features(&t, &lms).as_slice());
+    }
+}

@@ -1,0 +1,337 @@
+//! Synthetic GPS trajectories over a semantic map.
+//!
+//! The map is a 100×100 unit city with typed points of interest. Four
+//! trajectory classes move through it; the generator is constructed so two
+//! pairs of classes share geometry and differ only semantically:
+//!
+//! * [`TrajectoryClass::Tourist`] and [`TrajectoryClass::Commuter`] both
+//!   walk the *park loop*; tourists dwell at parks and shops, commuters at
+//!   bus stops.
+//! * [`TrajectoryClass::Car`] and [`TrajectoryClass::Bus`] both drive the
+//!   *main road*; cars dwell near parking, buses stop at bus stops.
+
+use treu_math::rng::SplitMix64;
+
+/// A 2-D waypoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// East coordinate.
+    pub x: f64,
+    /// North coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Euclidean distance.
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// Semantic category of a point of interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PoiKind {
+    /// Green space.
+    Park,
+    /// Retail.
+    Shop,
+    /// Transit stop.
+    BusStop,
+    /// Parking structure.
+    Parking,
+}
+
+impl PoiKind {
+    /// All kinds, in feature order.
+    pub fn all() -> [PoiKind; 4] {
+        [PoiKind::Park, PoiKind::Shop, PoiKind::BusStop, PoiKind::Parking]
+    }
+}
+
+/// A typed point of interest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poi {
+    /// Location.
+    pub at: Point,
+    /// Category.
+    pub kind: PoiKind,
+}
+
+/// The city's POI map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoiMap {
+    /// All POIs.
+    pub pois: Vec<Poi>,
+}
+
+impl PoiMap {
+    /// The standard map: parks and shops along the park loop, bus stops
+    /// and parking along the main road (plus bus stops near the loop for
+    /// commuters).
+    pub fn standard() -> Self {
+        let p = |x, y, kind| Poi { at: Point { x, y }, kind };
+        Self {
+            pois: vec![
+                // Park loop neighbourhood (upper-left quadrant).
+                p(20.0, 70.0, PoiKind::Park),
+                p(30.0, 80.0, PoiKind::Park),
+                p(25.0, 60.0, PoiKind::Shop),
+                p(35.0, 72.0, PoiKind::Shop),
+                p(15.0, 65.0, PoiKind::BusStop),
+                p(32.0, 64.0, PoiKind::BusStop),
+                // Main road (y = 20 corridor).
+                p(10.0, 20.0, PoiKind::BusStop),
+                p(40.0, 20.0, PoiKind::BusStop),
+                p(70.0, 20.0, PoiKind::BusStop),
+                p(25.0, 18.0, PoiKind::Parking),
+                p(55.0, 22.0, PoiKind::Parking),
+                p(85.0, 18.0, PoiKind::Parking),
+            ],
+        }
+    }
+
+    /// POIs of one kind.
+    pub fn of_kind(&self, kind: PoiKind) -> Vec<&Poi> {
+        self.pois.iter().filter(|p| p.kind == kind).collect()
+    }
+}
+
+/// Ground-truth trajectory class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrajectoryClass {
+    /// Walks the park loop, dwells at parks/shops.
+    Tourist,
+    /// Walks the same park loop, dwells at bus stops.
+    Commuter,
+    /// Drives the main road, dwells at parking.
+    Car,
+    /// Drives the same road, dwells at bus stops.
+    Bus,
+}
+
+impl TrajectoryClass {
+    /// All classes, in label order.
+    pub fn all() -> [TrajectoryClass; 4] {
+        [
+            TrajectoryClass::Tourist,
+            TrajectoryClass::Commuter,
+            TrajectoryClass::Car,
+            TrajectoryClass::Bus,
+        ]
+    }
+
+    /// Numeric label.
+    pub fn label(self) -> usize {
+        match self {
+            TrajectoryClass::Tourist => 0,
+            TrajectoryClass::Commuter => 1,
+            TrajectoryClass::Car => 2,
+            TrajectoryClass::Bus => 3,
+        }
+    }
+
+    /// The kinds this class dwells near.
+    fn dwell_kinds(self) -> &'static [PoiKind] {
+        match self {
+            TrajectoryClass::Tourist => &[PoiKind::Park, PoiKind::Shop],
+            TrajectoryClass::Commuter => &[PoiKind::BusStop],
+            TrajectoryClass::Car => &[PoiKind::Parking],
+            TrajectoryClass::Bus => &[PoiKind::BusStop],
+        }
+    }
+
+    /// Whether this class moves along the park loop (else the main road).
+    fn on_loop(self) -> bool {
+        matches!(self, TrajectoryClass::Tourist | TrajectoryClass::Commuter)
+    }
+}
+
+/// A generated trajectory with its ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    /// Waypoints in time order (fixed 1-unit sampling interval).
+    pub points: Vec<Point>,
+    /// Ground-truth class.
+    pub class: TrajectoryClass,
+}
+
+/// Generates one trajectory of `steps` waypoints.
+pub fn generate_trajectory(
+    class: TrajectoryClass,
+    map: &PoiMap,
+    steps: usize,
+    rng: &mut SplitMix64,
+) -> Trajectory {
+    // Route templates.
+    let route: Vec<Point> = if class.on_loop() {
+        // A rounded loop through the park quadrant.
+        (0..16)
+            .map(|i| {
+                let theta = i as f64 / 16.0 * std::f64::consts::TAU;
+                Point { x: 25.0 + 10.0 * theta.cos(), y: 70.0 + 10.0 * theta.sin() }
+            })
+            .collect()
+    } else {
+        // Straight main road, west to east.
+        (0..16)
+            .map(|i| Point { x: 5.0 + i as f64 * 6.0, y: 20.0 })
+            .collect()
+    };
+    // Dwell targets: POIs of the class's preferred kinds near the route.
+    let dwell: Vec<Point> = class
+        .dwell_kinds()
+        .iter()
+        .flat_map(|&k| map.of_kind(k))
+        .map(|p| p.at)
+        .filter(|p| route.iter().any(|r| r.distance(*p) < 15.0))
+        .collect();
+
+    let mut points = Vec::with_capacity(steps);
+    let mut leg = 0usize;
+    let mut pos = route[0];
+    let mut dwell_left = 0usize;
+    let mut dwell_at = pos;
+    let jitter = 0.4;
+    for step in 0..steps {
+        if dwell_left > 0 {
+            dwell_left -= 1;
+            points.push(Point {
+                x: dwell_at.x + rng.next_gaussian() * 0.2,
+                y: dwell_at.y + rng.next_gaussian() * 0.2,
+            });
+            continue;
+        }
+        // Move toward the next route vertex.
+        let target = route[(leg + 1) % route.len()];
+        let d = pos.distance(target);
+        let speed = if class.on_loop() { 1.0 } else { 3.0 };
+        if d <= speed {
+            pos = target;
+            leg = (leg + 1) % route.len();
+        } else {
+            pos = Point {
+                x: pos.x + (target.x - pos.x) / d * speed,
+                y: pos.y + (target.y - pos.y) / d * speed,
+            };
+        }
+        points.push(Point {
+            x: pos.x + rng.next_gaussian() * jitter,
+            y: pos.y + rng.next_gaussian() * jitter,
+        });
+        // Occasionally start a dwell near a preferred POI.
+        if !dwell.is_empty() && step % 12 == 11 {
+            // Dwell at the nearest preferred POI if close enough.
+            let nearest = dwell
+                .iter()
+                .min_by(|a, b| pos.distance(**a).partial_cmp(&pos.distance(**b)).unwrap())
+                .copied()
+                .expect("dwell non-empty");
+            if pos.distance(nearest) < 12.0 {
+                dwell_at = nearest;
+                dwell_left = 6 + rng.next_bounded(5) as usize;
+            }
+        }
+    }
+    Trajectory { points, class }
+}
+
+/// Generates a balanced labelled dataset: `n_per_class` trajectories per
+/// class, `steps` waypoints each.
+pub fn generate_dataset(
+    n_per_class: usize,
+    steps: usize,
+    map: &PoiMap,
+    rng: &mut SplitMix64,
+) -> Vec<Trajectory> {
+    let mut out = Vec::with_capacity(4 * n_per_class);
+    for class in TrajectoryClass::all() {
+        for _ in 0..n_per_class {
+            out.push(generate_trajectory(class, map, steps, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_map_has_all_kinds() {
+        let m = PoiMap::standard();
+        for k in PoiKind::all() {
+            assert!(!m.of_kind(k).is_empty(), "{k:?} missing");
+        }
+    }
+
+    #[test]
+    fn trajectories_have_requested_length() {
+        let m = PoiMap::standard();
+        let mut rng = SplitMix64::new(1);
+        let t = generate_trajectory(TrajectoryClass::Car, &m, 120, &mut rng);
+        assert_eq!(t.points.len(), 120);
+        assert_eq!(t.class, TrajectoryClass::Car);
+    }
+
+    #[test]
+    fn loop_and_road_classes_occupy_different_regions() {
+        let m = PoiMap::standard();
+        let mut rng = SplitMix64::new(2);
+        let tourist = generate_trajectory(TrajectoryClass::Tourist, &m, 100, &mut rng);
+        let car = generate_trajectory(TrajectoryClass::Car, &m, 100, &mut rng);
+        let mean_y = |t: &Trajectory| t.points.iter().map(|p| p.y).sum::<f64>() / t.points.len() as f64;
+        assert!(mean_y(&tourist) > 50.0, "tourist stays in the park quadrant");
+        assert!(mean_y(&car) < 30.0, "car stays on the road");
+    }
+
+    #[test]
+    fn tourists_and_commuters_share_geometry() {
+        // Mean positions of the two walking classes are close — the
+        // designed geometric confusability.
+        let m = PoiMap::standard();
+        let mut rng = SplitMix64::new(3);
+        let mut centroid = |class| {
+            let mut cx = 0.0;
+            let mut cy = 0.0;
+            let mut n = 0.0;
+            for _ in 0..5 {
+                let t = generate_trajectory(class, &m, 150, &mut rng);
+                for p in &t.points {
+                    cx += p.x;
+                    cy += p.y;
+                    n += 1.0;
+                }
+            }
+            (cx / n, cy / n)
+        };
+        let (tx, ty) = centroid(TrajectoryClass::Tourist);
+        let (cx, cy) = centroid(TrajectoryClass::Commuter);
+        let d = ((tx - cx).powi(2) + (ty - cy).powi(2)).sqrt();
+        assert!(d < 8.0, "walking classes should overlap geometrically; centroid gap {d}");
+    }
+
+    #[test]
+    fn commuters_dwell_near_bus_stops() {
+        let m = PoiMap::standard();
+        let mut rng = SplitMix64::new(4);
+        let t = generate_trajectory(TrajectoryClass::Commuter, &m, 200, &mut rng);
+        let stops = m.of_kind(PoiKind::BusStop);
+        let near = t
+            .points
+            .iter()
+            .filter(|p| stops.iter().any(|s| s.at.distance(**p) < 3.0))
+            .count();
+        assert!(near > 10, "commuter should dwell near bus stops; {near} near points");
+    }
+
+    #[test]
+    fn dataset_is_balanced_and_deterministic() {
+        let m = PoiMap::standard();
+        let mut r1 = SplitMix64::new(5);
+        let d1 = generate_dataset(3, 50, &m, &mut r1);
+        assert_eq!(d1.len(), 12);
+        let mut r2 = SplitMix64::new(5);
+        let d2 = generate_dataset(3, 50, &m, &mut r2);
+        assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Class-conditional Gaussian blob datasets.
+//!
+//! The unlearning experiments compare *training regimes*, so the dataset
+//! only needs controllable class structure, not natural images (DESIGN.md
+//! §2). Each class is an isotropic Gaussian around a deterministic center;
+//! separability is controlled by the center spacing / noise ratio.
+
+use treu_math::rng::SplitMix64;
+use treu_math::Matrix;
+
+/// A labelled dataset with a train/test split.
+#[derive(Debug, Clone)]
+pub struct BlobDataset {
+    /// Training features, one sample per row.
+    pub train_x: Matrix,
+    /// Training labels.
+    pub train_y: Vec<usize>,
+    /// Test features.
+    pub test_x: Matrix,
+    /// Test labels.
+    pub test_y: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl BlobDataset {
+    /// Generates `n_per_class` train and `n_per_class / 4` test samples per
+    /// class in `d` dimensions.
+    ///
+    /// Class centers sit at `spacing * e_dir(c)` along deterministic random
+    /// unit directions; within-class noise is unit Gaussian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size parameter is zero.
+    pub fn generate(classes: usize, n_per_class: usize, d: usize, spacing: f64, rng: &mut SplitMix64) -> Self {
+        assert!(classes > 1 && n_per_class > 4 && d > 0, "degenerate dataset requested");
+        // Deterministic class centers, pairwise well-separated directions.
+        let centers: Vec<Vec<f64>> = (0..classes)
+            .map(|_| {
+                let mut v: Vec<f64> = (0..d).map(|_| rng.next_gaussian()).collect();
+                treu_math::vector::normalize(&mut v);
+                v.iter().map(|x| x * spacing).collect()
+            })
+            .collect();
+        let n_test = (n_per_class / 4).max(1);
+        let mut make = |n: usize| {
+            let mut x = Matrix::zeros(n * classes, d);
+            let mut y = Vec::with_capacity(n * classes);
+            for c in 0..classes {
+                for i in 0..n {
+                    let row = x.row_mut(c * n + i);
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v = centers[c][j] + rng.next_gaussian();
+                    }
+                    y.push(c);
+                }
+            }
+            (x, y)
+        };
+        let (train_x, train_y) = make(n_per_class);
+        let (test_x, test_y) = make(n_test);
+        Self { train_x, train_y, test_x, test_y, classes }
+    }
+
+    /// Training-set size.
+    pub fn n_train(&self) -> usize {
+        self.train_y.len()
+    }
+
+    /// Splits the training set into (forget, retain) by class.
+    ///
+    /// Returns `((x_f, y_f), (x_r, y_r))`.
+    pub fn split_forget(&self, forget_class: usize) -> ((Matrix, Vec<usize>), (Matrix, Vec<usize>)) {
+        assert!(forget_class < self.classes, "forget class out of range");
+        let d = self.train_x.cols();
+        let (mut fx, mut fy, mut rx, mut ry) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for (i, &y) in self.train_y.iter().enumerate() {
+            if y == forget_class {
+                fx.extend_from_slice(self.train_x.row(i));
+                fy.push(y);
+            } else {
+                rx.extend_from_slice(self.train_x.row(i));
+                ry.push(y);
+            }
+        }
+        (
+            (Matrix::from_vec(fy.len(), d, fx), fy),
+            (Matrix::from_vec(ry.len(), d, rx), ry),
+        )
+    }
+
+    /// Per-class test accuracy of a predictor given its predictions on
+    /// `test_x`: returns `accs[class]`.
+    pub fn per_class_test_accuracy(&self, preds: &[usize]) -> Vec<f64> {
+        assert_eq!(preds.len(), self.test_y.len(), "prediction count mismatch");
+        let mut correct = vec![0usize; self.classes];
+        let mut total = vec![0usize; self.classes];
+        for (&p, &y) in preds.iter().zip(&self.test_y) {
+            total[y] += 1;
+            if p == y {
+                correct[y] += 1;
+            }
+        }
+        correct
+            .iter()
+            .zip(&total)
+            .map(|(&c, &t)| if t == 0 { 0.0 } else { c as f64 / t as f64 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(seed: u64) -> BlobDataset {
+        let mut rng = SplitMix64::new(seed);
+        BlobDataset::generate(4, 40, 8, 6.0, &mut rng)
+    }
+
+    #[test]
+    fn shapes_and_labels() {
+        let d = dataset(1);
+        assert_eq!(d.n_train(), 160);
+        assert_eq!(d.test_y.len(), 40);
+        assert_eq!(d.train_x.shape(), (160, 8));
+        assert!(d.train_y.iter().all(|&y| y < 4));
+    }
+
+    #[test]
+    fn split_forget_partitions_train() {
+        let d = dataset(2);
+        let ((fx, fy), (rx, ry)) = d.split_forget(2);
+        assert_eq!(fx.rows() + rx.rows(), d.n_train());
+        assert!(fy.iter().all(|&y| y == 2));
+        assert!(ry.iter().all(|&y| y != 2));
+        assert_eq!(fy.len(), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_forget_class_panics() {
+        dataset(3).split_forget(9);
+    }
+
+    #[test]
+    fn classes_are_separable() {
+        // Nearest-center classification should be near-perfect at spacing 6.
+        let d = dataset(4);
+        let mut centers = vec![vec![0.0; 8]; 4];
+        let mut counts = vec![0.0; 4];
+        for (i, &y) in d.train_y.iter().enumerate() {
+            treu_math::vector::axpy(1.0, d.train_x.row(i), &mut centers[y]);
+            counts[y] += 1.0;
+        }
+        for (c, n) in centers.iter_mut().zip(&counts) {
+            treu_math::vector::scale(1.0 / n, c);
+        }
+        let preds: Vec<usize> = (0..d.test_y.len())
+            .map(|i| {
+                let x = d.test_x.row(i);
+                (0..4)
+                    .min_by(|&a, &b| {
+                        treu_math::vector::distance(x, &centers[a])
+                            .partial_cmp(&treu_math::vector::distance(x, &centers[b]))
+                            .unwrap()
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let acc = preds.iter().zip(&d.test_y).filter(|(p, y)| p == y).count() as f64
+            / d.test_y.len() as f64;
+        assert!(acc > 0.95, "nearest-center accuracy {acc}");
+    }
+
+    #[test]
+    fn per_class_accuracy_counts() {
+        let d = dataset(5);
+        let perfect = d.test_y.clone();
+        assert!(d.per_class_test_accuracy(&perfect).iter().all(|&a| a == 1.0));
+        let wrong: Vec<usize> = d.test_y.iter().map(|&y| (y + 1) % 4).collect();
+        assert!(d.per_class_test_accuracy(&wrong).iter().all(|&a| a == 0.0));
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        assert_eq!(dataset(7).train_x, dataset(7).train_x);
+        assert_ne!(dataset(7).train_x, dataset(8).train_x);
+    }
+}

@@ -1,0 +1,41 @@
+//! `treu-unlearn` — machine unlearning (paper §2.3).
+//!
+//! The project: "we are sometimes required (e.g. for legal reasons) to have
+//! a model that 'forgets' certain ideas, such as certain classes. However,
+//! there are no techniques ... for making a model behave as if it had never
+//! been trained on certain data, besides completely retraining a model from
+//! scratch ... We developed a technique that avoids complete retraining,
+//! and our initial experiments demonstrate comparable performance to models
+//! that were not required to unlearn."
+//!
+//! Three ways to forget a class, all runnable here:
+//!
+//! * [`retrain`] — the oracle: retrain from scratch without the forget
+//!   class (the gold standard the paper says is the only known option);
+//! * [`ascent`] — the developed technique: brief gradient *ascent* on the
+//!   forget class followed by repair fine-tuning on retained data — orders
+//!   of magnitude cheaper in optimizer steps;
+//! * [`sisa`] — the sharded (SISA-style) baseline: an ensemble of
+//!   shard-models where unlearning retrains only the affected shards.
+//!
+//! The quality bar for all of them is [`metrics::UnlearningReport`]:
+//! forget-class accuracy should collapse to (at or below) chance while
+//! retained-class accuracy stays near the original model's.
+
+#![forbid(unsafe_code)]
+// Indexed loops over multiple parallel arrays are the clearest idiom in
+// this crate's numeric kernels; the zip-chain rewrite the lint suggests
+// obscures them.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod ascent;
+pub mod audit;
+pub mod data;
+pub mod experiment;
+pub mod metrics;
+pub mod retrain;
+pub mod sisa;
+
+pub use data::BlobDataset;
+pub use metrics::UnlearningReport;

@@ -1,0 +1,82 @@
+//! Unlearning quality and cost metrics.
+
+/// The report card for any unlearning method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnlearningReport {
+    /// Test accuracy on the forgotten class (lower is better; chance or
+    /// below means the class is gone).
+    pub forget_accuracy: f64,
+    /// Mean test accuracy over the retained classes (higher is better).
+    pub retain_accuracy: f64,
+    /// Optimizer steps the method consumed.
+    pub cost_steps: u64,
+}
+
+impl UnlearningReport {
+    /// Builds a report from per-class accuracies.
+    pub fn from_per_class(accs: &[f64], forget_class: usize, cost_steps: u64) -> Self {
+        assert!(forget_class < accs.len(), "forget class out of range");
+        let retained: Vec<f64> = accs
+            .iter()
+            .enumerate()
+            .filter(|(c, _)| *c != forget_class)
+            .map(|(_, &a)| a)
+            .collect();
+        Self {
+            forget_accuracy: accs[forget_class],
+            retain_accuracy: treu_math::stats::mean(&retained),
+            cost_steps,
+        }
+    }
+
+    /// The §2.3 success criterion: the class is effectively forgotten
+    /// (below `forget_bar`) while retained performance stays above
+    /// `retain_bar`.
+    pub fn successful(&self, forget_bar: f64, retain_bar: f64) -> bool {
+        self.forget_accuracy <= forget_bar && self.retain_accuracy >= retain_bar
+    }
+
+    /// Cost relative to a reference (e.g. full retrain) in `[0, ∞)`.
+    pub fn relative_cost(&self, reference_steps: u64) -> f64 {
+        if reference_steps == 0 {
+            return f64::INFINITY;
+        }
+        self.cost_steps as f64 / reference_steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_per_class_separates_forget_and_retain() {
+        let r = UnlearningReport::from_per_class(&[0.9, 0.1, 0.8, 1.0], 1, 50);
+        assert_eq!(r.forget_accuracy, 0.1);
+        assert!((r.retain_accuracy - 0.9).abs() < 1e-12);
+        assert_eq!(r.cost_steps, 50);
+    }
+
+    #[test]
+    fn success_criterion() {
+        let good = UnlearningReport { forget_accuracy: 0.05, retain_accuracy: 0.9, cost_steps: 10 };
+        assert!(good.successful(0.3, 0.8));
+        let leaky = UnlearningReport { forget_accuracy: 0.5, retain_accuracy: 0.9, cost_steps: 10 };
+        assert!(!leaky.successful(0.3, 0.8));
+        let damaged = UnlearningReport { forget_accuracy: 0.0, retain_accuracy: 0.5, cost_steps: 10 };
+        assert!(!damaged.successful(0.3, 0.8));
+    }
+
+    #[test]
+    fn relative_cost() {
+        let r = UnlearningReport { forget_accuracy: 0.0, retain_accuracy: 1.0, cost_steps: 25 };
+        assert_eq!(r.relative_cost(100), 0.25);
+        assert_eq!(r.relative_cost(0), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_forget_index_panics() {
+        UnlearningReport::from_per_class(&[1.0], 3, 0);
+    }
+}

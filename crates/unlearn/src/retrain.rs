@@ -1,0 +1,115 @@
+//! Training and the full-retrain oracle.
+
+use crate::data::BlobDataset;
+use treu_math::rng::{derive_seed, SplitMix64};
+use treu_math::Matrix;
+use treu_nn::prelude::*;
+
+/// Training hyperparameters shared across the unlearning methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Hidden width of the 2-layer MLP.
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// SGD learning rate.
+    pub lr: f64,
+    /// SGD momentum.
+    pub momentum: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { hidden: 32, epochs: 25, batch: 16, lr: 0.05, momentum: 0.9 }
+    }
+}
+
+/// Builds the standard classifier architecture for `d -> classes`.
+pub fn build_model(d: usize, classes: usize, cfg: TrainConfig, seed: u64) -> Sequential {
+    Sequential::new(vec![
+        Box::new(Dense::new(d, cfg.hidden, derive_seed(seed, "l1"))),
+        Box::new(Relu::new()),
+        Box::new(Dense::new(cfg.hidden, classes, derive_seed(seed, "l2"))),
+    ])
+}
+
+/// Trains a model on `(x, y)` and returns it along with the number of
+/// optimizer steps taken (the unlearning cost unit).
+pub fn train(
+    x: &Matrix,
+    y: &[usize],
+    classes: usize,
+    cfg: TrainConfig,
+    seed: u64,
+) -> (Sequential, u64) {
+    let mut model = build_model(x.cols(), classes, cfg, derive_seed(seed, "init"));
+    let steps = train_into(&mut model, x, y, cfg, derive_seed(seed, "train"));
+    (model, steps)
+}
+
+/// Continues training an existing model; returns optimizer steps taken.
+pub fn train_into(model: &mut Sequential, x: &Matrix, y: &[usize], cfg: TrainConfig, seed: u64) -> u64 {
+    let mut opt = Sgd::new(cfg.lr, cfg.momentum);
+    let mut rng = SplitMix64::new(seed);
+    let batches_per_epoch = y.len().div_ceil(cfg.batch) as u64;
+    for _ in 0..cfg.epochs {
+        treu_nn::model::train_epoch(model, &mut opt, x, y, cfg.batch, &mut rng);
+    }
+    cfg.epochs as u64 * batches_per_epoch
+}
+
+/// The oracle: train from scratch on the retain set only.
+///
+/// Returns `(model, steps)` — the cost every cheaper method is compared to.
+pub fn retrain_without(dataset: &BlobDataset, forget_class: usize, cfg: TrainConfig, seed: u64) -> (Sequential, u64) {
+    let (_, (rx, ry)) = dataset.split_forget(forget_class);
+    train(&rx, &ry, dataset.classes, cfg, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treu_math::rng::SplitMix64;
+
+    fn dataset() -> BlobDataset {
+        let mut rng = SplitMix64::new(100);
+        BlobDataset::generate(4, 40, 8, 6.0, &mut rng)
+    }
+
+    #[test]
+    fn training_reaches_high_accuracy() {
+        let d = dataset();
+        let (mut model, steps) = train(&d.train_x, &d.train_y, 4, TrainConfig::default(), 1);
+        let preds = treu_nn::model::predict(&mut model, &d.test_x);
+        let acc = preds.iter().zip(&d.test_y).filter(|(p, y)| p == y).count() as f64
+            / d.test_y.len() as f64;
+        assert!(acc > 0.9, "test accuracy {acc}");
+        assert_eq!(steps, 25 * 10); // 160 samples / 16 batch = 10
+    }
+
+    #[test]
+    fn retrained_model_never_predicts_forgotten_class_well() {
+        let d = dataset();
+        let (mut model, _) = retrain_without(&d, 1, TrainConfig::default(), 2);
+        let preds = treu_nn::model::predict(&mut model, &d.test_x);
+        let accs = d.per_class_test_accuracy(&preds);
+        assert!(accs[1] < 0.2, "forgotten class acc {}", accs[1]);
+        for (c, &a) in accs.iter().enumerate() {
+            if c != 1 {
+                assert!(a > 0.8, "retained class {c} acc {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let d = dataset();
+        let (mut a, _) = train(&d.train_x, &d.train_y, 4, TrainConfig::default(), 9);
+        let (mut b, _) = train(&d.train_x, &d.train_y, 4, TrainConfig::default(), 9);
+        let pa = treu_nn::model::predict(&mut a, &d.test_x);
+        let pb = treu_nn::model::predict(&mut b, &d.test_x);
+        assert_eq!(pa, pb);
+    }
+}

@@ -1,0 +1,239 @@
+//! SISA-style sharded training (Sharded, Isolated, Sliced, Aggregated).
+//!
+//! The structural alternative to post-hoc unlearning: partition the
+//! training data into `S` shards, train an isolated model per shard, and
+//! predict by ensemble vote. Unlearning data then requires retraining only
+//! the shards that contained it — for class-level forgetting of uniformly
+//! distributed data that is *every* shard, but each shard retrain costs
+//! `1/S` of a full run, so the worst case equals one retrain while point-
+//! level forgetting costs `1/S` of it. The crate includes it as the
+//! "exact unlearning" baseline the ascent technique trades accuracy
+//! guarantees against.
+
+use crate::retrain::{train, TrainConfig};
+use treu_math::rng::{derive_seed, SplitMix64};
+use treu_math::Matrix;
+use treu_nn::model::Sequential;
+
+/// A sharded ensemble.
+pub struct SisaEnsemble {
+    shards: Vec<Sequential>,
+    shard_data: Vec<(Matrix, Vec<usize>)>,
+    classes: usize,
+    cfg: TrainConfig,
+    seed: u64,
+}
+
+impl SisaEnsemble {
+    /// Trains `n_shards` isolated models over a deterministic partition of
+    /// `(x, y)`. Returns the ensemble and total optimizer steps.
+    pub fn train(
+        x: &Matrix,
+        y: &[usize],
+        classes: usize,
+        n_shards: usize,
+        cfg: TrainConfig,
+        seed: u64,
+    ) -> (Self, u64) {
+        assert!(n_shards > 0, "need at least one shard");
+        assert!(y.len() >= n_shards, "fewer samples than shards");
+        let mut rng = SplitMix64::new(derive_seed(seed, "partition"));
+        let perm = treu_math::rng::permutation(&mut rng, y.len());
+        let mut shard_data: Vec<(Vec<f64>, Vec<usize>)> =
+            (0..n_shards).map(|_| (Vec::new(), Vec::new())).collect();
+        for (pos, &idx) in perm.iter().enumerate() {
+            let s = pos % n_shards;
+            shard_data[s].0.extend_from_slice(x.row(idx));
+            shard_data[s].1.push(y[idx]);
+        }
+        let d = x.cols();
+        let shard_data: Vec<(Matrix, Vec<usize>)> = shard_data
+            .into_iter()
+            .map(|(buf, ys)| (Matrix::from_vec(ys.len(), d, buf), ys))
+            .collect();
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut steps = 0u64;
+        for (s, (sx, sy)) in shard_data.iter().enumerate() {
+            let (m, st) = train(sx, sy, classes, cfg, derive_seed(seed, &format!("shard{s}")));
+            shards.push(m);
+            steps += st;
+        }
+        (Self { shards, shard_data, classes, cfg, seed }, steps)
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Ensemble prediction by majority vote (ties to the lowest class id).
+    pub fn predict(&mut self, x: &Matrix) -> Vec<usize> {
+        let n = x.rows();
+        let mut votes = vec![vec![0usize; self.classes]; n];
+        for m in &mut self.shards {
+            let p = treu_nn::model::predict(m, x);
+            for (i, &c) in p.iter().enumerate() {
+                votes[i][c] += 1;
+            }
+        }
+        votes
+            .into_iter()
+            .map(|v| {
+                let mut best = 0;
+                for (c, &count) in v.iter().enumerate() {
+                    if count > v[best] {
+                        best = c;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Unlearns a class: removes its samples from every shard's data and
+    /// retrains only the shards that actually contained them. Returns the
+    /// optimizer steps spent (the incremental cost).
+    pub fn unlearn_class(&mut self, forget_class: usize) -> u64 {
+        let mut steps = 0u64;
+        for s in 0..self.shards.len() {
+            let (sx, sy) = &self.shard_data[s];
+            if !sy.contains(&forget_class) {
+                continue;
+            }
+            let d = sx.cols();
+            let mut buf = Vec::new();
+            let mut ys = Vec::new();
+            for (i, &y) in sy.iter().enumerate() {
+                if y != forget_class {
+                    buf.extend_from_slice(sx.row(i));
+                    ys.push(y);
+                }
+            }
+            let nx = Matrix::from_vec(ys.len(), d, buf);
+            let (m, st) = train(
+                &nx,
+                &ys,
+                self.classes,
+                self.cfg,
+                derive_seed(self.seed, &format!("shard{s}.unlearn{forget_class}")),
+            );
+            self.shards[s] = m;
+            self.shard_data[s] = (nx, ys);
+            steps += st;
+        }
+        steps
+    }
+
+    /// Unlearns a *single sample* by its pre-partition characteristics:
+    /// retrains only the one shard holding that row (located by value
+    /// match). Returns steps spent (`0` if the sample is absent).
+    pub fn unlearn_point(&mut self, point: &[f64]) -> u64 {
+        for s in 0..self.shards.len() {
+            let (sx, sy) = &self.shard_data[s];
+            let found = (0..sx.rows()).find(|&i| {
+                sx.row(i).iter().zip(point).all(|(a, b)| (a - b).abs() < 1e-12)
+            });
+            if let Some(idx) = found {
+                let d = sx.cols();
+                let mut buf = Vec::new();
+                let mut ys = Vec::new();
+                for (i, &y) in sy.iter().enumerate() {
+                    if i != idx {
+                        buf.extend_from_slice(sx.row(i));
+                        ys.push(y);
+                    }
+                }
+                let nx = Matrix::from_vec(ys.len(), d, buf);
+                let (m, st) = train(
+                    &nx,
+                    &ys,
+                    self.classes,
+                    self.cfg,
+                    derive_seed(self.seed, &format!("shard{s}.point")),
+                );
+                self.shards[s] = m;
+                self.shard_data[s] = (nx, ys);
+                return st;
+            }
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::BlobDataset;
+
+    fn dataset() -> BlobDataset {
+        let mut rng = SplitMix64::new(77);
+        BlobDataset::generate(4, 40, 8, 6.0, &mut rng)
+    }
+
+    fn small_cfg() -> TrainConfig {
+        TrainConfig { epochs: 15, ..TrainConfig::default() }
+    }
+
+    #[test]
+    fn ensemble_classifies_well() {
+        let d = dataset();
+        let (mut e, _) = SisaEnsemble::train(&d.train_x, &d.train_y, 4, 4, small_cfg(), 1);
+        let preds = e.predict(&d.test_x);
+        let acc = preds.iter().zip(&d.test_y).filter(|(p, y)| p == y).count() as f64
+            / d.test_y.len() as f64;
+        assert!(acc > 0.85, "ensemble acc {acc}");
+    }
+
+    #[test]
+    fn class_unlearning_removes_the_class() {
+        let d = dataset();
+        let (mut e, _) = SisaEnsemble::train(&d.train_x, &d.train_y, 4, 4, small_cfg(), 2);
+        e.unlearn_class(3);
+        let preds = e.predict(&d.test_x);
+        let accs = d.per_class_test_accuracy(&preds);
+        assert!(accs[3] < 0.2, "forgotten class acc {}", accs[3]);
+        for c in 0..3 {
+            assert!(accs[c] > 0.7, "retained class {c}: {}", accs[c]);
+        }
+        // No shard retains any forget-class data.
+        assert!(e.shard_data.iter().all(|(_, ys)| !ys.contains(&3)));
+    }
+
+    #[test]
+    fn point_unlearning_touches_one_shard() {
+        let d = dataset();
+        let (mut e, full_steps) = SisaEnsemble::train(&d.train_x, &d.train_y, 4, 4, small_cfg(), 3);
+        let target = d.train_x.row(5).to_vec();
+        let before: usize = e.shard_data.iter().map(|(_, ys)| ys.len()).sum();
+        let steps = e.unlearn_point(&target);
+        let after: usize = e.shard_data.iter().map(|(_, ys)| ys.len()).sum();
+        assert_eq!(before - after, 1, "exactly one sample removed");
+        assert!(steps > 0);
+        assert!(
+            (steps as f64) < full_steps as f64 / 2.0,
+            "point unlearning {steps} vs full {full_steps}"
+        );
+    }
+
+    #[test]
+    fn unlearning_missing_point_is_free() {
+        let d = dataset();
+        let (mut e, _) = SisaEnsemble::train(&d.train_x, &d.train_y, 4, 2, small_cfg(), 4);
+        assert_eq!(e.unlearn_point(&[999.0; 8]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let d = dataset();
+        SisaEnsemble::train(&d.train_x, &d.train_y, 4, 0, small_cfg(), 5);
+    }
+
+    #[test]
+    fn sharding_is_deterministic() {
+        let d = dataset();
+        let (mut a, _) = SisaEnsemble::train(&d.train_x, &d.train_y, 4, 3, small_cfg(), 9);
+        let (mut b, _) = SisaEnsemble::train(&d.train_x, &d.train_y, 4, 3, small_cfg(), 9);
+        assert_eq!(a.predict(&d.test_x), b.predict(&d.test_x));
+    }
+}

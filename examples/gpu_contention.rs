@@ -1,0 +1,58 @@
+//! GPU contention demo (§3): the cohort's end-of-program rush vs the
+//! paper's recommended staged batches, under FIFO and backfill scheduling.
+//!
+//! Run with: `cargo run --release --example gpu_contention`
+
+use treu::cluster::sim::Scheduler;
+use treu::cluster::trace::{cohort_trace, SubmissionPolicy};
+use treu::cluster::Cluster;
+use treu_math::rng::SplitMix64;
+use treu_math::stats::Welford;
+
+fn main() {
+    let cluster = Cluster::default();
+    println!(
+        "Cluster: {} GPUs; a student is 'stuck' after waiting {:.0}h\n",
+        cluster.gpus, cluster.stuck_threshold
+    );
+    println!(
+        "{:<11} {:<9} {:>10} {:>9} {:>8} {:>12} {:>12}",
+        "policy", "sched", "mean wait", "p95 wait", "stuck", "makespan", "utilization"
+    );
+    let policies = [
+        SubmissionPolicy::Clustered,
+        SubmissionPolicy::Staged { batches: 4, window: 8.0 },
+        SubmissionPolicy::Uniform { span: 32.0 },
+    ];
+    for policy in policies {
+        for scheduler in [Scheduler::Fifo, Scheduler::Backfill] {
+            let mut wait = Welford::new();
+            let mut p95 = Welford::new();
+            let mut stuck = Welford::new();
+            let mut makespan = Welford::new();
+            let mut util = Welford::new();
+            for trial in 0..10u64 {
+                let mut rng = SplitMix64::new(9000 + trial);
+                let jobs = cohort_trace(40, policy, &mut rng);
+                let m = cluster.simulate(&jobs, scheduler);
+                wait.add(m.mean_wait);
+                p95.add(m.p95_wait);
+                stuck.add(m.stuck_fraction);
+                makespan.add(m.makespan);
+                util.add(m.utilization);
+            }
+            println!(
+                "{:<11} {:<9} {:>9.2}h {:>8.2}h {:>7.0}% {:>11.1}h {:>11.0}%",
+                policy.name(),
+                scheduler.name(),
+                wait.mean(),
+                p95.mean(),
+                stuck.mean() * 100.0,
+                makespan.mean(),
+                util.mean() * 100.0
+            );
+        }
+    }
+    println!("\nStaging the cohort's runs across non-overlapping batches removes the");
+    println!("stuck-student tail that the clustered deadline rush produces — §3's advice.");
+}

@@ -1,0 +1,42 @@
+//! The HPC lesson module (§4, footnote 1): "how to conduct performance
+//! measurement of parallel computations" — measure a real parallel
+//! matmul's speedup curve and fit Amdahl's law to it.
+//!
+//! Run with: `cargo run --release --example parallel_measurement`
+
+use treu_math::rng::SplitMix64;
+use treu_math::scaling::{amdahl_speedup, fit_amdahl, measure_speedup};
+use treu_math::Matrix;
+
+fn main() {
+    let mut rng = SplitMix64::new(1);
+    let n = 384;
+    let a = Matrix::from_fn(n, n, |_, _| rng.next_gaussian());
+    let b = Matrix::from_fn(n, n, |_, _| rng.next_gaussian());
+
+    // Sweep past the hardware parallelism on purpose: seeing the curve go
+    // flat (or negative) at oversubscription is part of the lesson.
+    let hw = treu_math::parallel::default_threads();
+    let counts: Vec<usize> = vec![1, 2, 4, 8];
+    println!(
+        "Measuring {n}x{n} matmul over {counts:?} threads (best of 3; {hw} hardware thread(s))\n"
+    );
+    let points = measure_speedup(&counts, 3, |t| {
+        let c = a.matmul_parallel(&b, t);
+        assert!(c.is_finite());
+    });
+
+    println!("{:>8} {:>12} {:>9}", "threads", "seconds", "speedup");
+    for p in &points {
+        println!("{:>8} {:>12.5} {:>8.2}x", p.threads, p.seconds, p.speedup);
+    }
+
+    let (f, rmse) = fit_amdahl(&points);
+    println!("\nAmdahl fit: serial fraction f = {f:.3} (rmse {rmse:.3})");
+    println!(
+        "Projected speedup at 64 threads under this fit: {:.1}x (perfect would be 64x)",
+        amdahl_speedup(f, 64)
+    );
+    println!("\nLesson: report the measurement protocol (reps, minimum-of), the");
+    println!("baseline, and the fitted scaling model — not just one wall-clock number.");
+}

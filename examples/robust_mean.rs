@@ -1,0 +1,41 @@
+//! Robust high-dimensional statistics demo (§2.10): the ε-sweep and
+//! dimension-sweep for robust mean estimation.
+//!
+//! Run with: `cargo run --release --example robust_mean`
+
+use treu::robust::experiment::sweep_point;
+use treu::robust::Contamination;
+
+fn main() {
+    let threads = treu_math::parallel::default_threads();
+    let strategy = Contamination::SubtleShift;
+    println!("Adversary: {} (the spectral-vs-coordinate separating case)\n", strategy.name());
+
+    println!("== L2 error vs contamination fraction (n=800, d=64, 4 trials) ==");
+    println!(
+        "{:>5} {:>9} {:>9} {:>9} {:>10} {:>8} {:>9} {:>9}",
+        "eps", "mean", "median", "trimmed", "geomedian", "mom", "filter", "oracle"
+    );
+    for eps_pct in [0, 2, 5, 10, 15, 20] {
+        let p = sweep_point(800, 64, eps_pct as f64 / 100.0, strategy, 4, threads, 11 + eps_pct);
+        println!(
+            "{:>4}% {:>9.3} {:>9.3} {:>9.3} {:>10.3} {:>8.3} {:>9.3} {:>9.3}",
+            eps_pct, p.mean, p.median, p.trimmed, p.geomedian, p.mom, p.filter, p.oracle
+        );
+    }
+
+    println!("\n== L2 error vs dimension (n=800, eps=0.1, 4 trials) ==");
+    println!(
+        "{:>5} {:>9} {:>9} {:>10} {:>9} {:>9}",
+        "d", "mean", "median", "geomedian", "filter", "oracle"
+    );
+    for d in [16usize, 32, 64, 128, 256] {
+        let p = sweep_point(800, d, 0.1, strategy, 4, threads, 100 + d as u64);
+        println!(
+            "{:>5} {:>9.3} {:>9.3} {:>10.3} {:>9.3} {:>9.3}",
+            d, p.mean, p.median, p.geomedian, p.filter, p.oracle
+        );
+    }
+    println!("\nCoordinate-wise estimators degrade like eps*sqrt(d); the spectral filter stays");
+    println!("near the oracle — the dimension-independence the recent theory promises.");
+}

@@ -1,0 +1,60 @@
+//! Regenerates the paper's entire evaluation: Tables 1, 2 and 3 plus the
+//! Section 3 narrative statistics, with paper-vs-measured deltas.
+//!
+//! Run with: `cargo run --release --example survey_report`
+
+use treu::core::report::comparison_line;
+use treu::surveys::{analysis, cohort::Cohort, paper};
+
+fn main() {
+    let cohort = Cohort::simulate(2023);
+
+    let t1 = analysis::table1(&cohort);
+    println!("{}", analysis::render_table1(&t1));
+    let t2 = analysis::table2(&cohort);
+    println!("{}", analysis::render_table2(&t2));
+    let t3 = analysis::table3(&cohort);
+    println!("{}", analysis::render_table3(&t3));
+
+    println!("== Paper vs measured ==");
+    let exact = t1
+        .iter()
+        .zip(paper::GOALS.iter())
+        .all(|(row, (_, want))| row.accomplished == *want);
+    println!("Table 1: all 19 goal counts exact: {exact}");
+    let worst2 = t2
+        .iter()
+        .zip(paper::SKILLS.iter())
+        .map(|(row, (_, m, _))| (row.apriori_mean - m).abs())
+        .fold(0.0f64, f64::max);
+    println!("Table 2: worst a-priori-mean deviation: {worst2:.3} (Likert rounding bound 0.034)");
+    let worst3 = t3
+        .iter()
+        .zip(paper::KNOWLEDGE.iter())
+        .map(|(row, (_, _, b))| (row.increase - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("Table 3: worst increase deviation:     {worst3:.3}");
+
+    println!("\n== Section 3 narrative ==");
+    let n = analysis::narrative(&cohort);
+    println!("{}", comparison_line("PhD intent (a priori mean)", paper::PHD_INTENT.0, n.phd_apriori_mean));
+    println!("{}", comparison_line("PhD intent (post hoc mean)", paper::PHD_INTENT.2, n.phd_posthoc_mean));
+    println!(
+        "PhD intent modes: paper {} -> {}, measured {} -> {}",
+        paper::PHD_INTENT.1, paper::PHD_INTENT.3, n.phd_apriori_mode, n.phd_posthoc_mode
+    );
+    println!(
+        "Recommenders (mode, min, max): REU {:?}, home {:?}, outside {:?}",
+        n.rec_reu, n.rec_home, n.rec_outside
+    );
+    println!("Goals accomplished by all nine respondents: {} (paper: 5)", n.goals_by_all);
+
+    let (pool, offers) = treu::surveys::cohort::simulate_admissions(2023);
+    let nonresearch = offers.iter().filter(|&&i| !pool[i].research_institution).count();
+    println!(
+        "\nAdmissions: {} applicants, {} offers, {} to non-research institutions (slant by policy)",
+        pool.len(),
+        offers.len(),
+        nonresearch
+    );
+}

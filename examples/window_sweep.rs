@@ -1,0 +1,32 @@
+//! Figure-equivalent for §2.9: transformer accuracy as a function of its
+//! truncation window, produced with the harness's parameter-sweep API.
+//! As the window approaches the sequence length the transformer closes the
+//! gap to the CNN — quantifying why "not close to the entire sequence
+//! length" lost.
+//!
+//! Run with: `cargo run --release --example window_sweep`
+
+use treu::core::experiment::Params;
+use treu::core::sweep::{render_sweep, sweep, Axis};
+use treu::malware::experiment::MalwareExperiment;
+
+fn main() {
+    // seq_len 32 keeps the mini-transformer inside its capacity so the
+    // sweep isolates *coverage* (at longer windows the mean-pooled
+    // single-head model is also capacity-limited, which muddies the curve).
+    let base = Params::new()
+        .with_int("seq_len", 32)
+        .with_int("n_train_per_class", 25)
+        .with_int("n_test_per_class", 15)
+        .with_int("epochs", 12);
+    let axes = [Axis::ints("window", &[8, 12, 16, 24, 32])];
+    let points = sweep(&MalwareExperiment, &base, &axes, 2023);
+    let table = render_sweep(
+        "E2.9 sweep: truncation window vs accuracy (seq_len = 32)",
+        &points,
+        &["window_coverage", "transformer_accuracy", "cnn_accuracy"],
+    );
+    println!("{}", table.render());
+    println!("The CNN column is flat (it always sees the whole sequence); the");
+    println!("transformer column tracks its window coverage — §2.9's mechanism.");
+}

@@ -1,0 +1,73 @@
+//! `treu` — command-line front end to the experiment registry.
+//!
+//! ```text
+//! treu list                  # print the experiment index
+//! treu run <id> [seed]       # run one experiment, print its provenance
+//! treu tables [seed]         # regenerate the paper's three tables
+//! treu verify <id> [seed]    # run twice, check bitwise reproduction
+//! treu env                   # print the captured environment
+//! ```
+
+use treu::core::environment::Environment;
+use treu::surveys::{analysis, Cohort};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reg = treu::full_registry();
+    let seed_arg = |i: usize| -> u64 {
+        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(2023)
+    };
+    match args.first().map(String::as_str) {
+        Some("list") => print!("{}", reg.render_index()),
+        Some("run") => {
+            let Some(id) = args.get(1) else {
+                eprintln!("usage: treu run <id> [seed]");
+                std::process::exit(2);
+            };
+            match reg.run(id, seed_arg(2)) {
+                Some(rec) => {
+                    println!(
+                        "{} (seed {}, {:.3}s, fingerprint {:#018x})",
+                        rec.name,
+                        rec.seed,
+                        rec.wall_seconds,
+                        rec.fingerprint()
+                    );
+                    print!("{}", rec.trail.render());
+                }
+                None => {
+                    eprintln!("unknown experiment id '{id}'; try `treu list`");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("tables") => {
+            let cohort = Cohort::simulate(seed_arg(1));
+            println!("{}", analysis::render_table1(&analysis::table1(&cohort)));
+            println!("{}", analysis::render_table2(&analysis::table2(&cohort)));
+            println!("{}", analysis::render_table3(&analysis::table3(&cohort)));
+        }
+        Some("verify") => {
+            let Some(id) = args.get(1) else {
+                eprintln!("usage: treu verify <id> [seed]");
+                std::process::exit(2);
+            };
+            let seed = seed_arg(2);
+            let (Some(a), Some(b)) = (reg.run(id, seed), reg.run(id, seed)) else {
+                eprintln!("unknown experiment id '{id}'");
+                std::process::exit(1);
+            };
+            if a.trail == b.trail {
+                println!("{id}: REPRODUCED (fingerprint {:#018x})", a.fingerprint());
+            } else {
+                println!("{id}: MISMATCH — run is not deterministic");
+                std::process::exit(1);
+            }
+        }
+        Some("env") => print!("{}", Environment::capture().render()),
+        _ => {
+            eprintln!("usage: treu <list|run|tables|verify|env> [...]");
+            std::process::exit(2);
+        }
+    }
+}

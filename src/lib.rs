@@ -1,0 +1,85 @@
+//! `treu` — umbrella crate for the TREU workspace.
+//!
+//! Re-exports every sub-crate and provides [`full_registry`], which wires
+//! all of the paper's experiments (tables T1–T3, narrative N1, project
+//! experiments E2.2–E2.11 with ablations, and the §3 contention study E3)
+//! into a single [`treu_core::ExperimentRegistry`]. The examples and
+//! integration tests drive everything through this entry point:
+//!
+//! ```
+//! let reg = treu::full_registry();
+//! let record = reg.run("T1", 2023).expect("registered");
+//! assert_eq!(record.metric("max_abs_dev"), Some(0.0)); // Table 1 exact
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use treu_autotune as autotune;
+pub use treu_cluster as cluster;
+pub use treu_core as core;
+pub use treu_detect as detect;
+pub use treu_histo as histo;
+pub use treu_malware as malware;
+pub use treu_math as math;
+pub use treu_nn as nn;
+pub use treu_pf as pf;
+pub use treu_rl as rl;
+pub use treu_robust as robust;
+pub use treu_shapes as shapes;
+pub use treu_surveys as surveys;
+pub use treu_traj as traj;
+pub use treu_unlearn as unlearn;
+
+use treu_core::ExperimentRegistry;
+
+/// Builds the complete experiment registry: every table, figure-equivalent
+/// experiment and ablation in DESIGN.md's index.
+pub fn full_registry() -> ExperimentRegistry {
+    let mut reg = ExperimentRegistry::new();
+    treu_surveys::experiments::register(&mut reg); // T1, T2, T3, N1
+    treu_surveys::bias::register(&mut reg); // X-bias (§4 future work)
+    treu_pf::experiment::register(&mut reg); // E2.2a, E2.2b
+    treu_unlearn::experiment::register(&mut reg); // E2.3
+    treu_traj::experiment::register(&mut reg); // E2.4
+    treu_autotune::experiment::register(&mut reg); // E2.5, E2.5-abl
+    treu_detect::experiment::register(&mut reg); // E2.6
+    treu_histo::experiment::register(&mut reg); // E2.7
+    treu_rl::experiment::register(&mut reg); // E2.8, E2.8-abl
+    treu_malware::experiment::register(&mut reg); // E2.9
+    treu_robust::experiment::register(&mut reg); // E2.10, E2.10-abl
+    treu_shapes::experiment::register(&mut reg); // E2.11
+    treu_cluster::experiment::register(&mut reg); // E3
+    reg
+}
+
+/// The ids of the three published tables, in paper order.
+pub const TABLE_IDS: [&str; 3] = ["T1", "T2", "T3"];
+
+/// Every experiment id the registry is expected to contain.
+pub const ALL_EXPERIMENT_IDS: [&str; 19] = [
+    "T1", "T2", "T3", "N1", "E2.2a", "E2.2b", "E2.3", "E2.4", "E2.5", "E2.5-abl", "E2.6",
+    "E2.7", "E2.8", "E2.8-abl", "E2.9", "E2.10", "E2.10-abl", "E2.11", "X-bias",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_every_design_md_id() {
+        let reg = full_registry();
+        assert_eq!(reg.len(), ALL_EXPERIMENT_IDS.len() + 1, "E3 plus the listed ids");
+        for id in ALL_EXPERIMENT_IDS {
+            assert!(reg.get(id).is_some(), "missing {id}");
+        }
+        assert!(reg.get("E3").is_some());
+    }
+
+    #[test]
+    fn index_renders() {
+        let s = full_registry().render_index();
+        assert!(s.contains("Table 1"));
+        assert!(s.contains("Section 2.10"));
+    }
+}

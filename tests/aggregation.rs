@@ -1,0 +1,39 @@
+//! Integration test: multi-seed aggregation over registry experiments —
+//! the distributional view that turns single-run metrics into claims.
+
+use treu::core::aggregate::{render_summary, summarize};
+use treu::core::experiment::{run_seeds, Params};
+use treu::surveys::experiments::Table1Experiment;
+use treu::traj::experiment::TrajectoryExperiment;
+
+#[test]
+fn table1_reproduction_has_zero_variance_across_seeds() {
+    // The goal counts are exact for every seed, so their across-seed
+    // variance must be exactly zero — the strongest reproducibility
+    // statement the harness can make.
+    let records = run_seeds(&Table1Experiment, &[1, 2, 3, 4, 5], &Params::new());
+    let summary = summarize(&records);
+    let dev = &summary["max_abs_dev"];
+    assert_eq!(dev.stats.count(), 5);
+    assert_eq!(dev.stats.mean(), 0.0);
+    assert_eq!(dev.stats.std_dev(), 0.0);
+    assert_eq!(dev.max, 0.0);
+}
+
+#[test]
+fn semantic_improvement_is_positive_in_distribution() {
+    let params = Params::new()
+        .with_int("trials", 1)
+        .with_int("train_per_class", 8)
+        .with_int("test_per_class", 4);
+    let records = run_seeds(&TrajectoryExperiment, &[10, 20, 30, 40], &params);
+    let summary = summarize(&records);
+    let imp = &summary["improvement"];
+    assert!(imp.stats.mean() > 0.05, "mean improvement {}", imp.stats.mean());
+    assert!(imp.min > -0.1, "no seed should show a large regression; min {}", imp.min);
+    // The rendered report carries all three metric rows.
+    let table = render_summary("E2.4 across seeds", &summary).render();
+    assert!(table.contains("improvement"));
+    assert!(table.contains("shape_accuracy"));
+    assert!(table.contains("semantic_accuracy"));
+}

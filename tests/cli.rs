@@ -1,0 +1,67 @@
+//! Integration tests for the `treu` command-line interface.
+
+use std::process::Command;
+
+fn treu(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_treu"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn list_prints_the_full_index() {
+    let out = treu(&["list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    for id in treu::ALL_EXPERIMENT_IDS {
+        assert!(stdout.contains(id), "index missing {id}");
+    }
+}
+
+#[test]
+fn run_prints_provenance_and_is_seed_stable() {
+    let a = treu(&["run", "T1", "7"]);
+    let b = treu(&["run", "T1", "7"]);
+    assert!(a.status.success());
+    let sa = String::from_utf8(a.stdout).expect("utf8");
+    let sb = String::from_utf8(b.stdout).expect("utf8");
+    assert_eq!(sa, sb, "identical seeds must print identical provenance");
+    assert!(sa.contains("metric max_abs_dev = 0"));
+    assert!(sa.contains("fingerprint 0x"));
+}
+
+#[test]
+fn verify_reports_reproduction() {
+    let out = treu(&["verify", "T2", "11"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("REPRODUCED"), "{stdout}");
+}
+
+#[test]
+fn tables_render_all_three() {
+    let out = treu(&["tables"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("Table 1"));
+    assert!(stdout.contains("Table 2"));
+    assert!(stdout.contains("Table 3"));
+    assert!(stdout.contains("Collaborate with peers"));
+}
+
+#[test]
+fn unknown_id_fails_cleanly() {
+    let out = treu(&["run", "NOPE"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("unknown experiment id"));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = treu(&[]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("usage"));
+}
