@@ -46,7 +46,8 @@ pub fn estimate(kernel: &Kernel, schedule: Schedule, backend: Backend) -> f64 {
     };
 
     // (b) Cache factor from the per-tile working set.
-    let ws = 8.0 * (s.tile_i * s.tile_k + s.tile_k * s.tile_j.min(out_cols) + s.tile_i * s.tile_j) as f64;
+    let ws = 8.0
+        * (s.tile_i * s.tile_k + s.tile_k * s.tile_j.min(out_cols) + s.tile_i * s.tile_j) as f64;
     let cache = if ws <= L1_BYTES {
         1.0
     } else if ws <= L2_BYTES {
@@ -56,10 +57,8 @@ pub fn estimate(kernel: &Kernel, schedule: Schedule, backend: Backend) -> f64 {
     };
 
     // (c) Loop overhead: unit tiles re-enter loop prologues constantly.
-    let overhead = 1.0
-        + 1.5 / s.tile_k as f64
-        + 0.5 / s.tile_j.max(1) as f64
-        + 0.25 / s.tile_i.max(1) as f64;
+    let overhead =
+        1.0 + 1.5 / s.tile_k as f64 + 0.5 / s.tile_j.max(1) as f64 + 0.25 / s.tile_i.max(1) as f64;
 
     // (d) Unroll efficiency, with register pressure at 8.
     let unroll = match s.unroll {
@@ -72,11 +71,7 @@ pub fn estimate(kernel: &Kernel, schedule: Schedule, backend: Backend) -> f64 {
     // (e) Parallelism (conv1d's single output row cannot parallelize).
     let parallelizable = !matches!(kernel, Kernel::Conv1d { .. });
     let threads = if parallelizable { s.threads.max(1) as f64 } else { 1.0 };
-    let spawn = if parallelizable {
-        SPAWN_OVERHEAD * (s.threads.max(1) - 1) as f64
-    } else {
-        0.0
-    };
+    let spawn = if parallelizable { SPAWN_OVERHEAD * (s.threads.max(1) - 1) as f64 } else { 0.0 };
 
     macs * affinity * cache * overhead * unroll / threads + spawn
 }
@@ -126,7 +121,9 @@ mod tests {
         assert!(estimate(&k, s4, Backend::AxpyLowering) < estimate(&k, s1, Backend::AxpyLowering));
         // Tiny kernel: spawn overhead dominates.
         let tiny = Kernel::MatVec { m: 8, k: 8 };
-        assert!(estimate(&tiny, s4, Backend::DotLowering) > estimate(&tiny, s1, Backend::DotLowering));
+        assert!(
+            estimate(&tiny, s4, Backend::DotLowering) > estimate(&tiny, s1, Backend::DotLowering)
+        );
     }
 
     #[test]

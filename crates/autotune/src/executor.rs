@@ -88,7 +88,12 @@ fn mm(
                                 for p in kt..kend {
                                     let aip = a[aidx(i, p)];
                                     let brow = &b[p * n..(p + 1) * n];
-                                    unrolled_axpy(aip, &brow[jt..jend], &mut crow[jt..jend], s.unroll);
+                                    unrolled_axpy(
+                                        aip,
+                                        &brow[jt..jend],
+                                        &mut crow[jt..jend],
+                                        s.unroll,
+                                    );
                                 }
                             }
                         }
@@ -196,7 +201,16 @@ fn conv2d(a: &[f64], b: &[f64], c: &mut [f64], h: usize, iw: usize, k: usize, s:
                 for x in xt..xend {
                     let mut acc = 0.0;
                     for dy in 0..k {
-                        acc += unrolled_strided_dot(a, b, (y + dy) * iw + x, 1, dy * k, 1, k, s.unroll);
+                        acc += unrolled_strided_dot(
+                            a,
+                            b,
+                            (y + dy) * iw + x,
+                            1,
+                            dy * k,
+                            1,
+                            k,
+                            s.unroll,
+                        );
                     }
                     c[y * ow + x] = acc;
                 }
@@ -213,9 +227,7 @@ pub fn verify(kernel: &Kernel, schedule: Schedule, backend: Backend, seed: u64) 
     let mut w_ref = w.clone();
     kernel.reference(&mut w_ref);
     execute(kernel, schedule, backend, &mut w);
-    w.c.iter()
-        .zip(&w_ref.c)
-        .fold(0.0f64, |acc, (x, y)| acc.max((x - y).abs()))
+    w.c.iter().zip(&w_ref.c).fold(0.0f64, |acc, (x, y)| acc.max((x - y).abs()))
 }
 
 #[cfg(test)]
@@ -229,13 +241,7 @@ mod tests {
             for backend in Backend::all() {
                 for sched in [Schedule::naive(), Schedule::reference()] {
                     let d = verify(&kern, sched, backend, 42);
-                    assert!(
-                        d < 1e-9,
-                        "{} {} {:?}: diff {d}",
-                        kern.name(),
-                        backend.name(),
-                        sched
-                    );
+                    assert!(d < 1e-9, "{} {} {:?}: diff {d}", kern.name(), backend.name(), sched);
                 }
             }
         }

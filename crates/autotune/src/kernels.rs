@@ -268,7 +268,8 @@ mod tests {
     #[test]
     fn reference_conv1d_hand_checked() {
         let kern = Kernel::Conv1d { len: 5, k: 2 };
-        let mut w = Workload { a: vec![1.0, 2.0, 3.0, 4.0, 5.0], b: vec![10.0, 1.0], c: vec![0.0; 4] };
+        let mut w =
+            Workload { a: vec![1.0, 2.0, 3.0, 4.0, 5.0], b: vec![10.0, 1.0], c: vec![0.0; 4] };
         kern.reference(&mut w);
         assert_eq!(w.c, vec![12.0, 23.0, 34.0, 45.0]);
     }
@@ -276,11 +277,7 @@ mod tests {
     #[test]
     fn reference_conv2d_identity_filter() {
         let kern = Kernel::Conv2d { h: 3, w: 3, k: 1 };
-        let mut w = Workload {
-            a: (1..=9).map(f64::from).collect(),
-            b: vec![2.0],
-            c: vec![0.0; 9],
-        };
+        let mut w = Workload { a: (1..=9).map(f64::from).collect(), b: vec![2.0], c: vec![0.0; 9] };
         kern.reference(&mut w);
         assert_eq!(w.c[0], 2.0);
         assert_eq!(w.c[8], 18.0);

@@ -47,7 +47,8 @@ impl Schedule {
 
     /// Draws a uniformly random schedule from the discrete space.
     pub fn random(rng: &mut SplitMix64) -> Self {
-        let pick = |rng: &mut SplitMix64, xs: &[usize]| xs[rng.next_bounded(xs.len() as u64) as usize];
+        let pick =
+            |rng: &mut SplitMix64, xs: &[usize]| xs[rng.next_bounded(xs.len() as u64) as usize];
         Self {
             tile_i: pick(rng, &TILE_CHOICES),
             tile_j: pick(rng, &TILE_CHOICES),
@@ -71,7 +72,8 @@ impl Schedule {
 
     /// Mutates one axis at random (the GA's mutation operator).
     pub fn mutate(mut self, rng: &mut SplitMix64) -> Self {
-        let pick = |rng: &mut SplitMix64, xs: &[usize]| xs[rng.next_bounded(xs.len() as u64) as usize];
+        let pick =
+            |rng: &mut SplitMix64, xs: &[usize]| xs[rng.next_bounded(xs.len() as u64) as usize];
         match rng.next_bounded(5) {
             0 => self.tile_i = pick(rng, &TILE_CHOICES),
             1 => self.tile_j = pick(rng, &TILE_CHOICES),

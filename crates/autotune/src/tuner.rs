@@ -146,8 +146,7 @@ mod tests {
     fn ga_improves_over_naive_on_every_kernel() {
         for kern in Kernel::suite() {
             let mut tuner = Tuner::new(GaParams::default(), 42);
-            let (best, best_cost) =
-                tuner.tune(|s| cost::estimate(&kern, s, Backend::AxpyLowering));
+            let (best, best_cost) = tuner.tune(|s| cost::estimate(&kern, s, Backend::AxpyLowering));
             let naive = cost::estimate(&kern, Schedule::naive(), Backend::AxpyLowering);
             assert!(
                 best_cost < naive,
@@ -211,11 +210,13 @@ mod tests {
         // Ablation direction: more candidates, equal-or-better best cost.
         let kern = Kernel::MatMulT { m: 96, k: 96, n: 96 };
         let small = {
-            let mut t = Tuner::new(GaParams { population: 6, generations: 10, ..GaParams::default() }, 3);
+            let mut t =
+                Tuner::new(GaParams { population: 6, generations: 10, ..GaParams::default() }, 3);
             t.tune(|s| cost::estimate(&kern, s, Backend::AxpyLowering)).1
         };
         let large = {
-            let mut t = Tuner::new(GaParams { population: 48, generations: 10, ..GaParams::default() }, 3);
+            let mut t =
+                Tuner::new(GaParams { population: 48, generations: 10, ..GaParams::default() }, 3);
             t.tune(|s| cost::estimate(&kern, s, Backend::AxpyLowering)).1
         };
         assert!(large <= small * 1.05, "large pop {large} vs small {small}");

@@ -21,7 +21,11 @@ fn print_reproduction() {
             let s = sample(50 + t);
             let out = spectral_filter(
                 &s.data,
-                FilterParams { epsilon: 0.1, threshold_multiplier: mult, ..FilterParams::default() },
+                FilterParams {
+                    epsilon: 0.1,
+                    threshold_multiplier: mult,
+                    ..FilterParams::default()
+                },
             );
             err += s.error(&out.mean) / 3.0;
             rounds += out.rounds as f64 / 3.0;
@@ -40,7 +44,11 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 black_box(spectral_filter(
                     &s.data,
-                    FilterParams { epsilon: 0.1, threshold_multiplier: m, ..FilterParams::default() },
+                    FilterParams {
+                        epsilon: 0.1,
+                        threshold_multiplier: m,
+                        ..FilterParams::default()
+                    },
                 ))
             })
         });

@@ -4,10 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use treu_math::rng::SplitMix64;
 use treu_pf::filter::{FilterConfig, ScheduleFilter};
 use treu_pf::schedule::{DriftModel, EventSchedule, Performance, SensorModel};
 use treu_pf::WeightFn;
-use treu_math::rng::SplitMix64;
 
 fn rmse_for(kernel: WeightFn, sigma: f64, seed: u64) -> f64 {
     let schedule = EventSchedule::uniform(25, 8.0);

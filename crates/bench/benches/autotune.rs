@@ -30,11 +30,9 @@ fn bench(c: &mut Criterion) {
     for kernel in Kernel::suite() {
         let tuned = tune_kernel(kernel, GaParams::default(), 7).best;
         let mut g = c.benchmark_group(format!("autotune/{}", kernel.name()));
-        for (label, sched) in [
-            ("naive", Schedule::naive()),
-            ("reference", Schedule::reference()),
-            ("tuned", tuned),
-        ] {
+        for (label, sched) in
+            [("naive", Schedule::naive()), ("reference", Schedule::reference()), ("tuned", tuned)]
+        {
             g.bench_with_input(BenchmarkId::new("axpy", label), &sched, |b, &s| {
                 let mut rng = SplitMix64::new(1);
                 let mut w = kernel.workload(&mut rng);

@@ -1,0 +1,94 @@
+//! Bench: the deterministic parallel executor. Sequential and parallel
+//! registry batches must produce identical fingerprints — checked before
+//! any timing — and the parallel runs should demonstrate a speedup on
+//! multi-core hosts, reported per job count so the scaling curve is
+//! visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use treu_core::exec::Executor;
+use treu_core::experiment::{Experiment, Params, RunContext};
+use treu_core::sweep::Axis;
+use treu_core::ExperimentRegistry;
+use treu_math::parallel::default_threads;
+use treu_robust::contamination::{ContaminatedSample, Contamination};
+use treu_robust::estimators;
+
+/// A compute-bound stand-in: robust mean estimation on one contaminated
+/// sample. Each run costs milliseconds, so worker fan-out has real work
+/// to amortize its overhead against.
+struct RobustTrial;
+
+impl Experiment for RobustTrial {
+    fn name(&self) -> &str {
+        "bench/robust-trial"
+    }
+
+    fn run(&self, ctx: &mut RunContext) {
+        let n = ctx.int("n", 300) as usize;
+        let d = ctx.int("d", 24) as usize;
+        let mut rng = ctx.rng("sample");
+        let s = ContaminatedSample::generate(n, d, 0.1, Contamination::SubtleShift, &mut rng);
+        let gm = estimators::geometric_median(&s.data, 1e-8, 120);
+        ctx.record("geomedian_err", s.error(&gm));
+        ctx.record("mean_err", s.error(&estimators::sample_mean(&s.data)));
+    }
+}
+
+fn registry() -> ExperimentRegistry {
+    let mut reg = ExperimentRegistry::new();
+    for i in 0..8i64 {
+        reg.register(
+            &format!("X{i}"),
+            "bench",
+            "robust trial",
+            Params::new().with_int("n", 260 + 20 * i).with_int("d", 16 + 2 * i),
+            Box::new(RobustTrial),
+        );
+    }
+    reg
+}
+
+fn bench(c: &mut Criterion) {
+    let reg = registry();
+    let hw = default_threads();
+
+    // The guarantee before the speed: job count must not change results.
+    let seq = Executor::sequential().run_all(&reg, 7);
+    let par = Executor::new(hw).run_all(&reg, 7);
+    assert!(
+        seq.iter().zip(&par).all(|(a, b)| a.0 == b.0 && a.1.trail == b.1.trail),
+        "parallel registry batch diverged from sequential"
+    );
+    println!("executor: {} registry ids, fingerprints identical at 1 and {hw} job(s)\n", seq.len());
+
+    let mut g = c.benchmark_group("executor/run_all");
+    for jobs in [1, 2, hw] {
+        g.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &j| {
+            let exec = Executor::new(j);
+            b.iter(|| black_box(exec.run_all(&reg, 7)))
+        });
+    }
+    g.finish();
+
+    let axes = [Axis::ints("n", &[240, 280, 320, 360]), Axis::ints("d", &[16, 24, 32])];
+    let mut g = c.benchmark_group("executor/sweep_12pt");
+    for jobs in [1, hw] {
+        g.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &j| {
+            let exec = Executor::new(j);
+            b.iter(|| black_box(exec.sweep(&RobustTrial, &Params::new(), &axes, 3)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .without_plots();
+    targets = bench
+}
+criterion_main!(benches);

@@ -12,7 +12,11 @@ fn print_reproduction() {
     let n = analysis::narrative(&cohort);
     println!(
         "narrative: PhD intent {:.1}(mode {}) -> {:.1}(mode {}); goals by all nine: {}\n",
-        n.phd_apriori_mean, n.phd_apriori_mode, n.phd_posthoc_mean, n.phd_posthoc_mode, n.goals_by_all
+        n.phd_apriori_mean,
+        n.phd_apriori_mode,
+        n.phd_posthoc_mean,
+        n.phd_posthoc_mode,
+        n.goals_by_all
     );
 }
 

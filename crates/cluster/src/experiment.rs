@@ -72,10 +72,7 @@ mod tests {
         let rec = record();
         let rush = rec.metric("clustered_fifo_stuck_fraction").unwrap();
         let staged = rec.metric("staged_fifo_stuck_fraction").unwrap();
-        assert!(
-            staged < rush * 0.6,
-            "staging must cut the stuck fraction: {rush} -> {staged}"
-        );
+        assert!(staged < rush * 0.6, "staging must cut the stuck fraction: {rush} -> {staged}");
         assert!(
             rec.metric("staged_fifo_p95_wait").unwrap()
                 < rec.metric("clustered_fifo_p95_wait").unwrap()

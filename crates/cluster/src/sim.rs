@@ -128,16 +128,10 @@ impl Cluster {
             }
         }
 
-        let waits: Vec<f64> = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| (starts[i] - j.submit).max(0.0))
-            .collect();
-        let makespan = jobs
-            .iter()
-            .enumerate()
-            .map(|(i, j)| starts[i] + j.duration)
-            .fold(0.0f64, f64::max);
+        let waits: Vec<f64> =
+            jobs.iter().enumerate().map(|(i, j)| (starts[i] - j.submit).max(0.0)).collect();
+        let makespan =
+            jobs.iter().enumerate().map(|(i, j)| starts[i] + j.duration).fold(0.0f64, f64::max);
         Metrics {
             mean_wait: stats::mean(&waits),
             p95_wait: stats::quantile(&waits, 0.95),
@@ -189,9 +183,9 @@ mod tests {
         // 1-GPU job behind it can backfill on the free GPU.
         let c = Cluster { gpus: 2, stuck_threshold: 10.0 };
         let jobs = vec![
-            job(0, 0.0, 4.0, 1),  // runs immediately, one GPU busy
-            job(1, 0.1, 4.0, 2),  // blocked until t=4
-            job(2, 0.2, 1.0, 1),  // backfill candidate
+            job(0, 0.0, 4.0, 1), // runs immediately, one GPU busy
+            job(1, 0.1, 4.0, 2), // blocked until t=4
+            job(2, 0.2, 1.0, 1), // backfill candidate
         ];
         let fifo = c.simulate(&jobs, Scheduler::Fifo);
         let back = c.simulate(&jobs, Scheduler::Backfill);
@@ -233,7 +227,8 @@ mod tests {
     #[test]
     fn simulation_is_deterministic() {
         let mut rng = treu_math::rng::SplitMix64::new(5);
-        let jobs = crate::trace::cohort_trace(40, crate::trace::SubmissionPolicy::Clustered, &mut rng);
+        let jobs =
+            crate::trace::cohort_trace(40, crate::trace::SubmissionPolicy::Clustered, &mut rng);
         let c = Cluster::default();
         let a = c.simulate(&jobs, Scheduler::Backfill);
         let b = c.simulate(&jobs, Scheduler::Backfill);

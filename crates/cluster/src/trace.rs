@@ -1,10 +1,9 @@
 //! Job traces: the cohort's training runs and how they get submitted.
 
-use serde::{Deserialize, Serialize};
 use treu_math::rng::SplitMix64;
 
 /// One GPU job (a student project's training run).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Job {
     /// Job id.
     pub id: usize,
@@ -61,7 +60,8 @@ pub fn cohort_trace(n_jobs: usize, policy: SubmissionPolicy, rng: &mut SplitMix6
             // Durations: mostly 0.5-3h, a few long hauls; the occasional
             // "huge allocation" job wants several GPUs. Sized so the
             // cohort's total demand fits a staged day but swamps a rush.
-            let duration = 0.5 + rng.next_f64() * 2.5 + if rng.next_f64() < 0.1 { 4.0 } else { 0.0 };
+            let duration =
+                0.5 + rng.next_f64() * 2.5 + if rng.next_f64() < 0.1 { 4.0 } else { 0.0 };
             let gpus = if rng.next_f64() < 0.15 { 4 } else { 1 + rng.next_bounded(2) as usize };
             (duration, gpus)
         })
@@ -100,7 +100,8 @@ mod tests {
     fn staged_trace_spreads_batches() {
         let mut rng = SplitMix64::new(2);
         let jobs = cohort_trace(30, SubmissionPolicy::Staged { batches: 3, window: 8.0 }, &mut rng);
-        let in_batch = |lo: f64, hi: f64| jobs.iter().filter(|j| j.submit >= lo && j.submit < hi).count();
+        let in_batch =
+            |lo: f64, hi: f64| jobs.iter().filter(|j| j.submit >= lo && j.submit < hi).count();
         assert_eq!(in_batch(0.0, 4.0), 10);
         assert_eq!(in_batch(8.0, 12.0), 10);
         assert_eq!(in_batch(16.0, 20.0), 10);

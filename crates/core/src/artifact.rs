@@ -9,11 +9,9 @@
 //! each half on its own, so a review can say "the code is complete but the
 //! docs are not" rather than collapsing both into one score.
 
-use serde::{Deserialize, Serialize};
-
 /// A code-shaped component of an artifact (source tree, script, dataset
 /// generator, container recipe).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CodeComponent {
     /// Component name (e.g. `"training script"`).
     pub name: String,
@@ -26,7 +24,7 @@ pub struct CodeComponent {
 }
 
 /// A documentation component (README, setup instructions, claims list).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DocComponent {
     /// Document name (e.g. `"README"`).
     pub name: String,
@@ -35,7 +33,7 @@ pub struct DocComponent {
 }
 
 /// A falsifiable claim the artifact is supposed to support.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Claim {
     /// Claim identifier (e.g. `"T1"`, `"E2.10"`).
     pub id: String,
@@ -46,7 +44,7 @@ pub struct Claim {
 }
 
 /// A complete artifact specification.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Artifact {
     /// Artifact name.
     pub name: String,
@@ -61,7 +59,7 @@ pub struct Artifact {
 }
 
 /// Completeness report for one artifact, produced by [`Artifact::assess`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Assessment {
     /// Fraction of code components that are pinned.
     pub code_pinned_fraction: f64,
@@ -90,11 +88,7 @@ impl Assessment {
 impl Artifact {
     /// Starts a named artifact.
     pub fn new(name: &str, version: &str) -> Self {
-        Self {
-            name: name.to_string(),
-            version: version.to_string(),
-            ..Self::default()
-        }
+        Self { name: name.to_string(), version: version.to_string(), ..Self::default() }
     }
 
     /// Builder: adds a code component.
@@ -119,11 +113,7 @@ impl Artifact {
 
     /// Builder: adds a claim.
     pub fn with_claim(mut self, id: &str, statement: &str, tolerance: f64) -> Self {
-        self.claims.push(Claim {
-            id: id.to_string(),
-            statement: statement.to_string(),
-            tolerance,
-        });
+        self.claims.push(Claim { id: id.to_string(), statement: statement.to_string(), tolerance });
         self
     }
 
@@ -133,24 +123,15 @@ impl Artifact {
         let code_pinned_fraction = self.code.iter().filter(|c| c.pinned).count() as f64 / n;
         let code_checked_fraction = self.code.iter().filter(|c| c.checked).count() as f64 / n;
 
-        let covered: std::collections::BTreeSet<&str> = self
-            .docs
-            .iter()
-            .flat_map(|d| d.covers.iter().map(|s| s.as_str()))
-            .collect();
+        let covered: std::collections::BTreeSet<&str> =
+            self.docs.iter().flat_map(|d| d.covers.iter().map(|s| s.as_str())).collect();
         let declared: std::collections::BTreeSet<&str> =
             self.claims.iter().map(|c| c.id.as_str()).collect();
 
-        let undocumented_claims = declared
-            .iter()
-            .filter(|id| !covered.contains(**id))
-            .map(|s| s.to_string())
-            .collect();
-        let dangling_doc_refs = covered
-            .iter()
-            .filter(|id| !declared.contains(**id))
-            .map(|s| s.to_string())
-            .collect();
+        let undocumented_claims =
+            declared.iter().filter(|id| !covered.contains(**id)).map(|s| s.to_string()).collect();
+        let dangling_doc_refs =
+            covered.iter().filter(|id| !declared.contains(**id)).map(|s| s.to_string()).collect();
 
         Assessment {
             code_pinned_fraction,
@@ -212,9 +193,7 @@ mod tests {
 
     #[test]
     fn dangling_doc_refs_detected() {
-        let a = Artifact::new("z", "1")
-            .with_doc("README", &["GHOST"])
-            .assess();
+        let a = Artifact::new("z", "1").with_doc("README", &["GHOST"]).assess();
         assert_eq!(a.dangling_doc_refs, vec!["GHOST".to_string()]);
         assert!(!a.docs_complete());
     }

@@ -15,10 +15,9 @@
 //! values.
 
 use crate::artifact::Artifact;
-use serde::{Deserialize, Serialize};
 
 /// Badges a committee can award, ordered by strength.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Badge {
     /// The artifact is permanently retrievable.
     ArtifactsAvailable,
@@ -29,7 +28,7 @@ pub enum Badge {
 }
 
 /// The outcome of checking one claim against a rerun.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClaimCheck {
     /// Claim id (matches `Artifact::claims`).
     pub claim_id: String,
@@ -58,7 +57,7 @@ impl ClaimCheck {
 
 /// Result of a badge evaluation: the awarded badges plus the reasons any
 /// badge was withheld.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Evaluation {
     /// Badges awarded, sorted ascending by strength.
     pub awarded: Vec<Badge>,
@@ -209,8 +208,7 @@ mod tests {
 
     #[test]
     fn zero_claim_artifact_cannot_be_reproduced() {
-        let art = Artifact::new("x", "1")
-            .with_code("lib", "rust", true, true);
+        let art = Artifact::new("x", "1").with_code("lib", "rust", true, true);
         let e = evaluate(&art, true, &[]);
         assert!(e.has(Badge::ArtifactsFunctional));
         assert!(!e.has(Badge::ResultsReproduced));

@@ -8,11 +8,10 @@
 //! captures can be diffed to explain why a numerically identical rerun was
 //! or was not expected.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A snapshot of the execution environment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Environment {
     /// Operating system family (`std::env::consts::OS`).
     pub os: String,
@@ -88,10 +87,7 @@ impl Environment {
             out.push(format!("threads: {} -> {}", self.threads, other.threads));
         }
         if self.harness_version != other.harness_version {
-            out.push(format!(
-                "harness: {} -> {}",
-                self.harness_version, other.harness_version
-            ));
+            out.push(format!("harness: {} -> {}", self.harness_version, other.harness_version));
         }
         let keys: std::collections::BTreeSet<&String> =
             self.vars.keys().chain(other.vars.keys()).collect();

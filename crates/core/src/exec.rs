@@ -1,0 +1,545 @@
+//! Deterministic parallel experiment execution.
+//!
+//! The repo's whole point is that a result you cannot re-run bitwise is a
+//! result you cannot trust — but if verification is slow, people skip it
+//! (the §3 "result collection takes too long" failure mode). This module
+//! removes the speed excuse without touching the guarantee: an
+//! [`Executor`] fans multi-seed runs, parameter sweeps, and registry-wide
+//! batches out over `crossbeam::scope` worker chunks and merges results
+//! back in canonical (input) order.
+//!
+//! The determinism contract: every run owns its own
+//! [`crate::experiment::RunContext`], all randomness is derived from
+//! per-run seeds, and merge order is input order — never completion order
+//! — so fingerprints, rendered tables, and aggregate summaries are
+//! **bitwise-identical for every job count**. Only `wall_seconds` (which
+//! is environment, not result, and is excluded from trails and
+//! fingerprints) may differ. The workspace conformance and property tests
+//! enforce this for every registered experiment id across jobs ∈ {1, 2, 8}.
+//!
+//! Observability: the `_report` variants return an [`ExecReport`] with
+//! per-run wall seconds, total vs critical-path time, and the measured
+//! speedup with its implied Amdahl serial fraction
+//! ([`treu_math::scaling`]), so the parallelism is itself a measured,
+//! reportable experiment — the paper's §4 performance-measurement lesson
+//! applied to the harness.
+
+use crate::experiment::{run_once, Experiment, Params, RunRecord};
+use crate::registry::ExperimentRegistry;
+use crate::sweep::{grid_points, Axis, SweepPoint};
+use std::time::Instant;
+use treu_math::parallel::{default_threads, par_map_into};
+use treu_math::scaling::amdahl_speedup;
+
+/// Deterministic parallel executor with a fixed worker count.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    jobs: usize,
+}
+
+impl Default for Executor {
+    /// One worker per available hardware thread.
+    fn default() -> Self {
+        Self::new(default_threads())
+    }
+}
+
+impl Executor {
+    /// Executor with `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Self { jobs: jobs.max(1) }
+    }
+
+    /// Single-worker executor: runs everything inline, in order.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The executor's core primitive: applies `f` to every index in
+    /// `0..n` across the configured workers and returns results in index
+    /// order. Scheduling never influences output order or content.
+    pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        par_map_into(n, self.jobs, f)
+    }
+
+    /// Parallel form of [`crate::experiment::run_seeds`]: one record per
+    /// seed, in seed order, bitwise-identical to the sequential version.
+    pub fn run_seeds<E>(&self, exp: &E, seeds: &[u64], params: &Params) -> Vec<RunRecord>
+    where
+        E: Experiment + Sync + ?Sized,
+    {
+        self.map_indexed(seeds.len(), |i| run_once(exp, seeds[i], params.clone()))
+    }
+
+    /// [`Executor::run_seeds`] plus an [`ExecReport`] for the batch.
+    pub fn run_seeds_report<E>(
+        &self,
+        exp: &E,
+        seeds: &[u64],
+        params: &Params,
+    ) -> (Vec<RunRecord>, ExecReport)
+    where
+        E: Experiment + Sync + ?Sized,
+    {
+        let start = Instant::now();
+        let records = self.run_seeds(exp, seeds, params);
+        let report = ExecReport::from_labelled(
+            self.jobs,
+            records.iter().map(|r| (format!("seed {}", r.seed), r.wall_seconds)),
+            start.elapsed().as_secs_f64(),
+        );
+        (records, report)
+    }
+
+    /// Parallel form of [`crate::sweep::sweep`]: the full cartesian grid
+    /// in canonical (odometer) order, bitwise-identical to the sequential
+    /// version.
+    pub fn sweep<E>(&self, exp: &E, base: &Params, axes: &[Axis], seed: u64) -> Vec<SweepPoint>
+    where
+        E: Experiment + Sync + ?Sized,
+    {
+        let grid = grid_points(base, axes, seed);
+        self.map_indexed(grid.len(), |i| {
+            let gp = &grid[i];
+            SweepPoint {
+                assignment: gp.assignment.clone(),
+                record: run_once(exp, gp.seed, gp.params.clone()),
+            }
+        })
+    }
+
+    /// Runs every registered experiment at its default parameters,
+    /// returning `(id, record)` pairs in registry (id) order.
+    pub fn run_all(&self, reg: &ExperimentRegistry, seed: u64) -> Vec<(String, RunRecord)> {
+        self.run_all_report(reg, seed).0
+    }
+
+    /// [`Executor::run_all`] plus an [`ExecReport`] for the batch.
+    pub fn run_all_report(
+        &self,
+        reg: &ExperimentRegistry,
+        seed: u64,
+    ) -> (Vec<(String, RunRecord)>, ExecReport) {
+        let entries: Vec<&str> = reg.iter().map(|(id, _)| id).collect();
+        let start = Instant::now();
+        let records = self.map_indexed(entries.len(), |i| {
+            let id = entries[i];
+            let rec = reg.run(id, seed).expect("id comes from the registry's own iterator");
+            (id.to_string(), rec)
+        });
+        let report = ExecReport::from_labelled(
+            self.jobs,
+            records.iter().map(|(id, r)| (id.clone(), r.wall_seconds)),
+            start.elapsed().as_secs_f64(),
+        );
+        (records, report)
+    }
+
+    /// The parallel form of [`crate::experiment::assert_deterministic`]:
+    /// runs `exp` twice concurrently with the same seed and panics unless
+    /// the two trails are bitwise-identical. Returns the shared
+    /// fingerprint on success.
+    pub fn assert_deterministic<E>(&self, exp: &E, seed: u64, params: &Params) -> u64
+    where
+        E: Experiment + Sync + ?Sized,
+    {
+        let runs = self.map_indexed(2, |_| run_once(exp, seed, params.clone()));
+        assert_eq!(
+            runs[0].trail,
+            runs[1].trail,
+            "experiment '{}' is not deterministic for seed {seed} under concurrent re-execution",
+            exp.name()
+        );
+        runs[0].fingerprint()
+    }
+
+    /// Verifies every registered experiment: each id is run twice,
+    /// concurrently with everything else, and the two trails are
+    /// cross-checked. Uses each entry's default parameters.
+    pub fn verify_all(&self, reg: &ExperimentRegistry, seed: u64) -> VerifyReport {
+        self.verify_all_with(reg, seed, |_, defaults| defaults)
+    }
+
+    /// [`Executor::verify_all`] with a parameter override hook: `params`
+    /// receives each id and its registered defaults and returns the
+    /// parameters to verify at (the conformance tests lighten heavy
+    /// experiments this way).
+    pub fn verify_all_with(
+        &self,
+        reg: &ExperimentRegistry,
+        seed: u64,
+        params: impl Fn(&str, Params) -> Params + Sync,
+    ) -> VerifyReport {
+        let jobs: Vec<(&str, Params)> =
+            reg.iter().map(|(id, e)| (id, params(id, e.defaults.clone()))).collect();
+        let start = Instant::now();
+        // Both replicas of an id are independent tasks, so they run
+        // concurrently whenever jobs >= 2.
+        let runs = self.map_indexed(jobs.len() * 2, |i| {
+            let (id, p) = &jobs[i / 2];
+            reg.run_with(id, seed, p.clone()).expect("id comes from the registry's own iterator")
+        });
+        let outcomes = jobs
+            .iter()
+            .zip(runs.chunks_exact(2))
+            .map(|((id, _), pair)| VerifyOutcome {
+                id: id.to_string(),
+                fingerprint: pair[0].fingerprint(),
+                reproduced: pair[0].trail == pair[1].trail,
+            })
+            .collect();
+        VerifyReport { jobs: self.jobs, outcomes, wall_seconds: start.elapsed().as_secs_f64() }
+    }
+}
+
+/// One experiment's verification outcome.
+#[derive(Debug, Clone)]
+pub struct VerifyOutcome {
+    /// Experiment id.
+    pub id: String,
+    /// Fingerprint of the first replica.
+    pub fingerprint: u64,
+    /// True when both replicas produced bitwise-identical trails.
+    pub reproduced: bool,
+}
+
+/// The result of a registry-wide verification pass.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Worker count used.
+    pub jobs: usize,
+    /// Per-id outcomes, in registry (id) order.
+    pub outcomes: Vec<VerifyOutcome>,
+    /// Wall-clock seconds for the whole pass.
+    pub wall_seconds: f64,
+}
+
+impl VerifyReport {
+    /// True when every experiment reproduced.
+    pub fn all_reproduced(&self) -> bool {
+        self.outcomes.iter().all(|o| o.reproduced)
+    }
+
+    /// Ids that failed to reproduce.
+    pub fn violations(&self) -> Vec<&str> {
+        self.outcomes.iter().filter(|o| !o.reproduced).map(|o| o.id.as_str()).collect()
+    }
+
+    /// Renders one line per id plus a summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for o in &self.outcomes {
+            if o.reproduced {
+                out.push_str(&format!(
+                    "{:<10} REPRODUCED (fingerprint {:#018x})\n",
+                    o.id, o.fingerprint
+                ));
+            } else {
+                out.push_str(&format!("{:<10} MISMATCH — run is not deterministic\n", o.id));
+            }
+        }
+        out.push_str(&format!(
+            "{}/{} reproduced in {:.3}s with {} job(s)\n",
+            self.outcomes.iter().filter(|o| o.reproduced).count(),
+            self.outcomes.len(),
+            self.wall_seconds,
+            self.jobs
+        ));
+        out
+    }
+}
+
+/// Wall-clock accounting for one run inside a batch.
+#[derive(Debug, Clone)]
+pub struct RunTiming {
+    /// Display label (seed, id, or grid tag).
+    pub label: String,
+    /// Wall seconds of that run alone.
+    pub wall_seconds: f64,
+}
+
+/// Timing report for a parallel batch: where the time went, how well the
+/// fan-out paid off, and what Amdahl's law implies about pushing further.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    /// Worker count used.
+    pub jobs: usize,
+    /// Per-run timings, in canonical order.
+    pub runs: Vec<RunTiming>,
+    /// Measured wall seconds for the whole batch.
+    pub wall_seconds: f64,
+}
+
+impl ExecReport {
+    /// Builds a report from labelled per-run wall times plus the measured
+    /// batch wall time.
+    pub fn from_labelled(
+        jobs: usize,
+        runs: impl IntoIterator<Item = (String, f64)>,
+        wall_seconds: f64,
+    ) -> Self {
+        Self {
+            jobs,
+            runs: runs
+                .into_iter()
+                .map(|(label, wall_seconds)| RunTiming { label, wall_seconds })
+                .collect(),
+            wall_seconds,
+        }
+    }
+
+    /// Total CPU-seconds across runs — the sequential cost.
+    pub fn total_seconds(&self) -> f64 {
+        self.runs.iter().map(|r| r.wall_seconds).sum()
+    }
+
+    /// The longest single run — no schedule can beat this.
+    pub fn critical_path_seconds(&self) -> f64 {
+        self.runs.iter().map(|r| r.wall_seconds).fold(0.0, f64::max)
+    }
+
+    /// Measured speedup: sequential cost over measured batch wall time.
+    pub fn speedup(&self) -> f64 {
+        self.total_seconds() / self.wall_seconds.max(1e-12)
+    }
+
+    /// The serial fraction Amdahl's law implies for the measured speedup
+    /// at this worker count (0 = perfect scaling, 1 = none). With one job
+    /// or one run there is no parallelism to attribute, so 1.0.
+    pub fn serial_fraction(&self) -> f64 {
+        let t = self.jobs.min(self.runs.len().max(1)) as f64;
+        if t <= 1.0 {
+            return 1.0;
+        }
+        let s = self.speedup().max(1e-12);
+        // S = 1 / (f + (1-f)/t)  =>  f = (1/S - 1/t) / (1 - 1/t)
+        ((1.0 / s - 1.0 / t) / (1.0 - 1.0 / t)).clamp(0.0, 1.0)
+    }
+
+    /// Projected speedup at `threads` workers under the fitted serial
+    /// fraction — the [`treu_math::scaling`] Amdahl hook.
+    pub fn projected_speedup(&self, threads: usize) -> f64 {
+        amdahl_speedup(self.serial_fraction(), threads)
+    }
+
+    /// Renders the accounting: per-run lines, then totals and the scaling
+    /// estimate.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for r in &self.runs {
+            out.push_str(&format!("  run    {:<24} {:>9.4}s\n", r.label, r.wall_seconds));
+        }
+        out.push_str(&format!(
+            "  total {:.4}s over {} run(s); critical path {:.4}s; wall {:.4}s with {} job(s)\n",
+            self.total_seconds(),
+            self.runs.len(),
+            self.critical_path_seconds(),
+            self.wall_seconds,
+            self.jobs
+        ));
+        out.push_str(&format!(
+            "  speedup {:.2}x (implied Amdahl serial fraction {:.3}; projected {:.2}x at {} threads)\n",
+            self.speedup(),
+            self.serial_fraction(),
+            self.projected_speedup(2 * self.jobs.max(1)),
+            2 * self.jobs.max(1)
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{assert_deterministic, run_seeds, RunContext};
+    use crate::sweep::sweep;
+
+    struct Noisy;
+    impl Experiment for Noisy {
+        fn name(&self) -> &str {
+            "noisy"
+        }
+        fn run(&self, ctx: &mut RunContext) {
+            let n = ctx.int("n", 40) as usize;
+            let mut rng = ctx.rng("draws");
+            let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+            ctx.record("mean", mean);
+            ctx.record("n", n as f64);
+        }
+    }
+
+    fn trails(records: &[RunRecord]) -> Vec<u64> {
+        records.iter().map(|r| r.fingerprint()).collect()
+    }
+
+    #[test]
+    fn run_seeds_matches_sequential_for_every_job_count() {
+        let seeds: Vec<u64> = (0..13).collect();
+        let params = Params::new().with_int("n", 64);
+        let seq = run_seeds(&Noisy, &seeds, &params);
+        for jobs in [1, 2, 3, 8, 32] {
+            let par = Executor::new(jobs).run_seeds(&Noisy, &seeds, &params);
+            assert_eq!(trails(&seq), trails(&par), "jobs={jobs}");
+            for (a, b) in seq.iter().zip(par.iter()) {
+                assert_eq!(a.trail, b.trail, "jobs={jobs}");
+                assert_eq!(a.seed, b.seed, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_matches_sequential_for_every_job_count() {
+        let axes = [Axis::ints("n", &[8, 16, 32]), Axis::floats("unused", &[0.5, 1.5])];
+        let base = Params::new();
+        let seq = sweep(&Noisy, &base, &axes, 2023);
+        for jobs in [1, 2, 7] {
+            let par = Executor::new(jobs).sweep(&Noisy, &base, &axes, 2023);
+            assert_eq!(seq.len(), par.len());
+            for (a, b) in seq.iter().zip(par.iter()) {
+                assert_eq!(a.assignment, b.assignment, "jobs={jobs}");
+                assert_eq!(a.record.trail, b.record.trail, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn executor_assert_deterministic_agrees_with_sequential() {
+        let params = Params::new().with_int("n", 32);
+        let fp_seq = assert_deterministic(&Noisy, 9, &params);
+        let fp_par = Executor::new(4).assert_deterministic(&Noisy, 9, &params);
+        assert_eq!(fp_seq, fp_par);
+    }
+
+    struct NonDet(std::sync::atomic::AtomicU64);
+    impl Experiment for NonDet {
+        fn name(&self) -> &str {
+            "nondet"
+        }
+        fn run(&self, ctx: &mut RunContext) {
+            let c = self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            ctx.record("counter", c as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not deterministic")]
+    fn concurrent_nondeterminism_is_caught() {
+        let exp = NonDet(std::sync::atomic::AtomicU64::new(0));
+        Executor::new(2).assert_deterministic(&exp, 1, &Params::new());
+    }
+
+    fn small_registry() -> ExperimentRegistry {
+        let mut reg = ExperimentRegistry::new();
+        reg.register("A", "x", "noisy a", Params::new().with_int("n", 16), Box::new(Noisy));
+        reg.register("B", "y", "noisy b", Params::new().with_int("n", 24), Box::new(Noisy));
+        reg.register("C", "z", "noisy c", Params::new().with_int("n", 8), Box::new(Noisy));
+        reg
+    }
+
+    #[test]
+    fn run_all_is_in_id_order_and_job_count_invariant() {
+        let reg = small_registry();
+        let base = Executor::sequential().run_all(&reg, 7);
+        assert_eq!(base.iter().map(|(id, _)| id.as_str()).collect::<Vec<_>>(), vec!["A", "B", "C"]);
+        for jobs in [2, 5] {
+            let par = Executor::new(jobs).run_all(&reg, 7);
+            for ((ida, a), (idb, b)) in base.iter().zip(par.iter()) {
+                assert_eq!(ida, idb);
+                assert_eq!(a.trail, b.trail, "jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn verify_all_passes_deterministic_registry() {
+        let reg = small_registry();
+        for jobs in [1, 4] {
+            let report = Executor::new(jobs).verify_all(&reg, 3);
+            assert!(report.all_reproduced(), "jobs={jobs}");
+            assert!(report.violations().is_empty());
+            assert_eq!(report.outcomes.len(), 3);
+            let rendered = report.render();
+            assert!(rendered.contains("3/3 reproduced"));
+            assert!(rendered.contains("REPRODUCED"));
+        }
+    }
+
+    #[test]
+    fn verify_all_flags_nondeterminism_and_exit_is_nonzero_worthy() {
+        let mut reg = small_registry();
+        reg.register(
+            "Z-bad",
+            "w",
+            "broken",
+            Params::new(),
+            Box::new(NonDet(std::sync::atomic::AtomicU64::new(0))),
+        );
+        let report = Executor::new(4).verify_all(&reg, 3);
+        assert!(!report.all_reproduced());
+        assert_eq!(report.violations(), vec!["Z-bad"]);
+        assert!(report.render().contains("MISMATCH"));
+    }
+
+    #[test]
+    fn verify_all_with_overrides_params() {
+        let reg = small_registry();
+        let report = Executor::new(2).verify_all_with(&reg, 5, |_, d| d.with_int("n", 4));
+        assert!(report.all_reproduced());
+    }
+
+    #[test]
+    fn report_accounts_time_and_fits_amdahl() {
+        let report = ExecReport::from_labelled(
+            4,
+            [("a".to_string(), 1.0), ("b".to_string(), 1.0), ("c".to_string(), 2.0)],
+            2.0,
+        );
+        assert_eq!(report.total_seconds(), 4.0);
+        assert_eq!(report.critical_path_seconds(), 2.0);
+        assert!((report.speedup() - 2.0).abs() < 1e-9);
+        let f = report.serial_fraction();
+        assert!((0.0..=1.0).contains(&f));
+        // Perfect scaling at t=3 effective workers would be 3x; measured
+        // 2x implies a nonzero serial fraction.
+        assert!(f > 0.0);
+        // The projection reproduces the measurement at the effective
+        // worker count by construction.
+        let t = report.jobs.min(report.runs.len());
+        assert!((report.projected_speedup(t) - report.speedup()).abs() < 1e-9);
+        let rendered = report.render();
+        assert!(rendered.contains("critical path"));
+        assert!(rendered.contains("speedup"));
+    }
+
+    #[test]
+    fn sequential_report_has_unit_serial_fraction() {
+        let report = ExecReport::from_labelled(1, [("a".to_string(), 1.0)], 1.0);
+        assert_eq!(report.serial_fraction(), 1.0);
+        assert_eq!(report.projected_speedup(8), 1.0);
+    }
+
+    #[test]
+    fn run_seeds_report_labels_every_seed() {
+        let (records, report) =
+            Executor::new(2).run_seeds_report(&Noisy, &[3, 1, 4], &Params::new());
+        assert_eq!(records.len(), 3);
+        assert_eq!(report.runs.len(), 3);
+        assert_eq!(report.runs[0].label, "seed 3");
+        assert!(report.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn map_indexed_preserves_order_under_oversubscription() {
+        let v = Executor::new(64).map_indexed(5, |i| i * i);
+        assert_eq!(v, vec![0, 1, 4, 9, 16]);
+    }
+}

@@ -226,16 +226,15 @@ pub fn run_once<E: Experiment + ?Sized>(exp: &E, seed: u64, params: Params) -> R
     let start = Instant::now();
     exp.run(&mut ctx);
     let wall_seconds = start.elapsed().as_secs_f64();
-    RunRecord {
-        name: exp.name().to_string(),
-        seed,
-        trail: ctx.trail,
-        wall_seconds,
-    }
+    RunRecord { name: exp.name().to_string(), seed, trail: ctx.trail, wall_seconds }
 }
 
 /// Runs an experiment over several seeds, returning one record per seed.
-pub fn run_seeds<E: Experiment + ?Sized>(exp: &E, seeds: &[u64], params: &Params) -> Vec<RunRecord> {
+pub fn run_seeds<E: Experiment + ?Sized>(
+    exp: &E,
+    seeds: &[u64],
+    params: &Params,
+) -> Vec<RunRecord> {
     seeds.iter().map(|&s| run_once(exp, s, params.clone())).collect()
 }
 
@@ -248,7 +247,8 @@ pub fn assert_deterministic<E: Experiment + ?Sized>(exp: &E, seed: u64, params: 
     let a = run_once(exp, seed, params.clone());
     let b = run_once(exp, seed, params.clone());
     assert_eq!(
-        a.trail, b.trail,
+        a.trail,
+        b.trail,
         "experiment '{}' is not deterministic for seed {seed}",
         exp.name()
     );

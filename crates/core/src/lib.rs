@@ -27,6 +27,9 @@
 //!   study instruments, interview protocols and pilot-session revision
 //!   tracking.
 //! * [`sweep`] — parameter-grid sweeps with per-point derived seeds.
+//! * [`exec`] — the deterministic parallel executor: fans seeds, sweeps
+//!   and registry batches over scoped workers and merges in canonical
+//!   order, so results are bitwise-identical for every `--jobs` value.
 //! * [`aggregate`] — multi-seed metric summaries (the distributional view
 //!   reliability claims need).
 //! * [`report`] — plain-text table rendering shared by the survey crate and
@@ -39,6 +42,7 @@ pub mod aggregate;
 pub mod artifact;
 pub mod badge;
 pub mod environment;
+pub mod exec;
 pub mod experiment;
 pub mod provenance;
 pub mod registry;
@@ -46,6 +50,7 @@ pub mod report;
 pub mod study;
 pub mod sweep;
 
+pub use exec::{ExecReport, Executor, VerifyReport};
 pub use experiment::{Experiment, RunContext, RunRecord};
 pub use provenance::Trail;
 pub use registry::ExperimentRegistry;

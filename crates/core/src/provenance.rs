@@ -12,10 +12,8 @@
 //! fingerprint is sensitive to any numeric difference, including ones far
 //! below printing precision.
 
-use serde::{Deserialize, Serialize};
-
 /// One provenance event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     /// A named parameter was set or read, with its rendered value.
     Param {
@@ -43,7 +41,7 @@ pub enum Event {
 }
 
 /// An append-only sequence of provenance events.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trail {
     events: Vec<Event>,
 }

@@ -7,6 +7,7 @@
 //! The registry is also how the umbrella crate's examples expose "run
 //! everything the paper reports" as a single loop.
 
+use crate::exec::{Executor, VerifyReport};
 use crate::experiment::{run_once, Experiment, Params, RunRecord};
 use std::collections::BTreeMap;
 
@@ -102,6 +103,19 @@ impl ExperimentRegistry {
         Some(run_once(e.runner.as_ref(), seed, params))
     }
 
+    /// Runs every registered experiment at its defaults through `exec`,
+    /// returning `(id, record)` pairs in id order. Bitwise-identical for
+    /// every executor job count (see [`crate::exec`]).
+    pub fn run_all(&self, exec: &Executor, seed: u64) -> Vec<(String, RunRecord)> {
+        exec.run_all(self, seed)
+    }
+
+    /// Verifies every registered experiment through `exec`: each id runs
+    /// twice concurrently and the trails are cross-checked.
+    pub fn verify_all(&self, exec: &Executor, seed: u64) -> VerifyReport {
+        exec.verify_all(self, seed)
+    }
+
     /// Renders the index as a plain-text table (id, location, description).
     pub fn render_index(&self) -> String {
         let mut out = String::from("id        location        description\n");
@@ -130,7 +144,13 @@ mod tests {
 
     fn registry() -> ExperimentRegistry {
         let mut r = ExperimentRegistry::new();
-        r.register("T1", "Table 1", "goal table", Params::new().with_int("n", 9), Box::new(Dummy("t1")));
+        r.register(
+            "T1",
+            "Table 1",
+            "goal table",
+            Params::new().with_int("n", 9),
+            Box::new(Dummy("t1")),
+        );
         r.register("E2.2", "Section 2.2", "particle filter", Params::new(), Box::new(Dummy("pf")));
         r
     }

@@ -89,11 +89,8 @@ impl Table {
     pub fn render(&self) -> String {
         let cols = self.headers.len();
         let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
-        let rendered_rows: Vec<Vec<String>> = self
-            .rows
-            .iter()
-            .map(|r| r.iter().map(Cell::render).collect())
-            .collect();
+        let rendered_rows: Vec<Vec<String>> =
+            self.rows.iter().map(|r| r.iter().map(Cell::render).collect()).collect();
         for row in &rendered_rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());
@@ -131,11 +128,7 @@ impl Table {
 /// Formats a labelled scalar comparison line, used by EXPERIMENTS.md
 /// tooling: `label: paper=X measured=Y (delta Z%)`.
 pub fn comparison_line(label: &str, paper: f64, measured: f64) -> String {
-    let delta = if paper == 0.0 {
-        measured - paper
-    } else {
-        (measured - paper) / paper * 100.0
-    };
+    let delta = if paper == 0.0 { measured - paper } else { (measured - paper) / paper * 100.0 };
     format!("{label}: paper={paper:.3} measured={measured:.3} (delta {delta:+.1}%)")
 }
 
@@ -152,15 +145,18 @@ mod tests {
         assert!(s.contains("Demo"));
         let lines: Vec<&str> = s.lines().collect();
         // Header + 2 rows, all the same length after alignment.
-        let data: Vec<&&str> = lines.iter().filter(|l| l.contains("alpha") || l.contains("count") || l.contains("long")).collect();
+        let data: Vec<&&str> = lines
+            .iter()
+            .filter(|l| l.contains("alpha") || l.contains("count") || l.contains("long"))
+            .collect();
         assert_eq!(data.len(), 3);
         assert_eq!(data[0].len(), data[2].len());
     }
 
     #[test]
     fn float_precision_respected() {
-        let c = Cell::Float(3.14159, 2);
-        assert_eq!(c.render(), "3.14");
+        let c = Cell::Float(3.14659, 2);
+        assert_eq!(c.render(), "3.15");
         let c0 = Cell::Float(2.0, 0);
         assert_eq!(c0.render(), "2");
     }

@@ -258,8 +258,18 @@ mod tests {
                 participant: format!("p{i}"),
                 instrument_version: 1,
                 feedback: vec![
-                    ItemFeedback { item_id: "d2".into(), clarity: 2, comprehensiveness: 3, suggestion: Some("What claim were you testing?".into()) },
-                    ItemFeedback { item_id: "d3".into(), clarity: 2, comprehensiveness: 3, suggestion: Some("List every blocker you hit.".into()) },
+                    ItemFeedback {
+                        item_id: "d2".into(),
+                        clarity: 2,
+                        comprehensiveness: 3,
+                        suggestion: Some("What claim were you testing?".into()),
+                    },
+                    ItemFeedback {
+                        item_id: "d3".into(),
+                        clarity: 2,
+                        comprehensiveness: 3,
+                        suggestion: Some("List every blocker you hit.".into()),
+                    },
                 ],
             })
             .collect();
@@ -270,8 +280,18 @@ mod tests {
                 participant: format!("p{i}"),
                 instrument_version: 2,
                 feedback: vec![
-                    ItemFeedback { item_id: "d2".into(), clarity: 4, comprehensiveness: 4, suggestion: None },
-                    ItemFeedback { item_id: "d3".into(), clarity: 5, comprehensiveness: 4, suggestion: None },
+                    ItemFeedback {
+                        item_id: "d2".into(),
+                        clarity: 4,
+                        comprehensiveness: 4,
+                        suggestion: None,
+                    },
+                    ItemFeedback {
+                        item_id: "d3".into(),
+                        clarity: 5,
+                        comprehensiveness: 4,
+                        suggestion: None,
+                    },
                 ],
             })
             .collect();

@@ -22,10 +22,7 @@ pub struct Axis {
 impl Axis {
     /// Integer axis.
     pub fn ints(key: &str, values: &[i64]) -> Self {
-        Self {
-            key: key.to_string(),
-            values: values.iter().map(|&v| ParamValue::Int(v)).collect(),
-        }
+        Self { key: key.to_string(), values: values.iter().map(|&v| ParamValue::Int(v)).collect() }
     }
 
     /// Float axis.
@@ -46,15 +43,27 @@ pub struct SweepPoint {
     pub record: RunRecord,
 }
 
-/// Runs `experiment` over the full cartesian grid of `axes`, starting from
-/// `base` parameters. Each point gets an independent seed derived from
-/// `seed` and its assignment, so adding axes never perturbs other points.
-pub fn sweep<E: Experiment + ?Sized>(
-    experiment: &E,
-    base: &Params,
-    axes: &[Axis],
-    seed: u64,
-) -> Vec<SweepPoint> {
+/// One fully resolved grid point, before it is run: its assignment (axis
+/// order), the merged parameters, and the seed derived for it.
+///
+/// The canonical grid order is the odometer order of the axes (last axis
+/// fastest); both the sequential [`sweep`] and the parallel
+/// [`crate::exec::Executor::sweep`] run points in exactly this order, which
+/// is what makes their outputs bitwise-identical.
+#[derive(Debug, Clone)]
+pub struct GridPoint {
+    /// The parameter assignment of this point (axis order).
+    pub assignment: Vec<(String, ParamValue)>,
+    /// Base parameters merged with the assignment.
+    pub params: Params,
+    /// Seed derived from the sweep seed and the assignment tag.
+    pub seed: u64,
+}
+
+/// Enumerates the full cartesian grid of `axes` in canonical (odometer)
+/// order. Each point gets an independent seed derived from `seed` and its
+/// assignment, so adding axes never perturbs other points.
+pub fn grid_points(base: &Params, axes: &[Axis], seed: u64) -> Vec<GridPoint> {
     let mut points = Vec::new();
     let mut index = vec![0usize; axes.len()];
     loop {
@@ -73,8 +82,7 @@ pub fn sweep<E: Experiment + ?Sized>(
                 ParamValue::Text(x) => params.with_text(&axis.key, x),
             };
         }
-        let record = run_once(experiment, derive_seed(seed, &tag), params);
-        points.push(SweepPoint { assignment, record });
+        points.push(GridPoint { assignment, params, seed: derive_seed(seed, &tag) });
 
         // Odometer increment.
         let mut a = axes.len();
@@ -92,6 +100,24 @@ pub fn sweep<E: Experiment + ?Sized>(
     }
 }
 
+/// Runs `experiment` over the full cartesian grid of `axes`, starting from
+/// `base` parameters (see [`grid_points`] for the seeding and ordering
+/// contract).
+pub fn sweep<E: Experiment + ?Sized>(
+    experiment: &E,
+    base: &Params,
+    axes: &[Axis],
+    seed: u64,
+) -> Vec<SweepPoint> {
+    grid_points(base, axes, seed)
+        .into_iter()
+        .map(|gp| SweepPoint {
+            assignment: gp.assignment,
+            record: run_once(experiment, gp.seed, gp.params),
+        })
+        .collect()
+}
+
 /// Renders a sweep as a table: one row per grid point, one column per axis
 /// plus one per requested metric.
 pub fn render_sweep(title: &str, points: &[SweepPoint], metrics: &[&str]) -> Table {
@@ -102,11 +128,8 @@ pub fn render_sweep(title: &str, points: &[SweepPoint], metrics: &[&str]) -> Tab
     headers.extend_from_slice(metrics);
     let mut table = Table::new(title, &headers);
     for p in points {
-        let mut row: Vec<Cell> = p
-            .assignment
-            .iter()
-            .map(|(_, v)| Cell::Text(v.to_string()))
-            .collect();
+        let mut row: Vec<Cell> =
+            p.assignment.iter().map(|(_, v)| Cell::Text(v.to_string())).collect();
         for m in metrics {
             row.push(match p.record.metric(m) {
                 Some(v) => Cell::Float(v, 4),

@@ -49,7 +49,12 @@ pub struct FrameDataset {
 /// # Panics
 ///
 /// Panics if the strip is too short for the requested span.
-pub fn build_dataset(strip: &FieldStrip, kind: DatasetKind, start: usize, n_frames: usize) -> FrameDataset {
+pub fn build_dataset(
+    strip: &FieldStrip,
+    kind: DatasetKind,
+    start: usize,
+    n_frames: usize,
+) -> FrameDataset {
     let stride = kind.stride();
     let span = (n_frames - 1) * stride + FRAME;
     assert!(start + span <= strip.length, "strip too short: need {span} columns");

@@ -107,12 +107,15 @@ impl CellDetector {
     pub fn evaluate(&mut self, frames: &[Frame]) -> DetectionQuality {
         let (x, y) = cells_of(frames);
         let preds = treu_nn::model::predict(&mut self.model, &x);
-        let accuracy = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64
-            / y.len().max(1) as f64;
+        let accuracy =
+            preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len().max(1) as f64;
         let f1 = |class: usize| -> f64 {
-            let tp = preds.iter().zip(&y).filter(|(&p, &t)| p == class && t == class).count() as f64;
-            let fp = preds.iter().zip(&y).filter(|(&p, &t)| p == class && t != class).count() as f64;
-            let fneg = preds.iter().zip(&y).filter(|(&p, &t)| p != class && t == class).count() as f64;
+            let tp =
+                preds.iter().zip(&y).filter(|(&p, &t)| p == class && t == class).count() as f64;
+            let fp =
+                preds.iter().zip(&y).filter(|(&p, &t)| p == class && t != class).count() as f64;
+            let fneg =
+                preds.iter().zip(&y).filter(|(&p, &t)| p != class && t == class).count() as f64;
             if tp == 0.0 {
                 0.0
             } else {

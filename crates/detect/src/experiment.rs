@@ -19,10 +19,8 @@ impl Experiment for DetectionExperiment {
     fn run(&self, ctx: &mut RunContext) {
         let n_frames = ctx.int("frames", 24) as usize;
         let trials = ctx.int("trials", 3) as u64;
-        let cfg = DetectorConfig {
-            epochs: ctx.int("epochs", 30) as usize,
-            ..DetectorConfig::default()
-        };
+        let cfg =
+            DetectorConfig { epochs: ctx.int("epochs", 30) as usize, ..DetectorConfig::default() };
         let mut acc = std::collections::BTreeMap::new();
         let mut f1 = std::collections::BTreeMap::new();
         let mut coverage_ratio = 0.0;
@@ -36,8 +34,11 @@ impl Experiment for DetectionExperiment {
             let deaug = build_dataset(&strip, DatasetKind::Deaugmented, 0, n_frames);
             coverage_ratio += deaug.coverage_ratio(&orig) / trials as f64;
             for ds in [&orig, &deaug] {
-                let mut det =
-                    CellDetector::train(&ds.frames, cfg, derive_seed(ctx.seed(), &format!("{}.{t}", ds.kind.name())));
+                let mut det = CellDetector::train(
+                    &ds.frames,
+                    cfg,
+                    derive_seed(ctx.seed(), &format!("{}.{t}", ds.kind.name())),
+                );
                 let q = det.evaluate(&val);
                 *acc.entry(ds.kind.name()).or_insert(0.0) += q.accuracy / trials as f64;
                 *f1.entry(ds.kind.name()).or_insert(0.0) += q.plant_f1 / trials as f64;
@@ -50,10 +51,7 @@ impl Experiment for DetectionExperiment {
             ctx.record(&format!("{name}_val_plant_f1"), *v);
         }
         ctx.record("coverage_ratio", coverage_ratio);
-        ctx.record(
-            "deaug_advantage_f1",
-            f1["deaugmented"] - f1["original"],
-        );
+        ctx.record("deaug_advantage_f1", f1["deaugmented"] - f1["original"]);
         ctx.note("coverage confound: the deaugmented set spans far more video (paper: 24x)");
     }
 }
@@ -79,10 +77,7 @@ mod tests {
         let rec = run_once(&DetectionExperiment, 2023, Params::new().with_int("trials", 2));
         let orig = rec.metric("original_val_plant_f1").unwrap();
         let deaug = rec.metric("deaugmented_val_plant_f1").unwrap();
-        assert!(
-            deaug > orig,
-            "deaugmented f1 {deaug} must beat original {orig}"
-        );
+        assert!(deaug > orig, "deaugmented f1 {deaug} must beat original {orig}");
         // The confound is on the record.
         assert!(rec.metric("coverage_ratio").unwrap() > 8.0);
     }

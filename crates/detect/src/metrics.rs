@@ -50,7 +50,11 @@ pub struct ObjectMetrics {
 /// Greedy one-to-one matching: a prediction matches an unmatched
 /// ground-truth object of the same class within Chebyshev distance
 /// `tolerance` cells. Returns object-level metrics.
-pub fn match_objects(predictions: &[Detection], truth: &[Detection], tolerance: usize) -> ObjectMetrics {
+pub fn match_objects(
+    predictions: &[Detection],
+    truth: &[Detection],
+    tolerance: usize,
+) -> ObjectMetrics {
     let mut matched_truth = vec![false; truth.len()];
     let mut tp = 0usize;
     for p in predictions {

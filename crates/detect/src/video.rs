@@ -150,11 +150,8 @@ impl FieldStrip {
             if p.cx >= offset && p.cx < offset + FRAME {
                 let gx = (p.cx - offset) / CELL;
                 let gy = p.cy / CELL;
-                labels[gy * grid + gx] = if p.lettuce {
-                    CellClass::Lettuce.label()
-                } else {
-                    CellClass::Weed.label()
-                };
+                labels[gy * grid + gx] =
+                    if p.lettuce { CellClass::Lettuce.label() } else { CellClass::Weed.label() };
             }
         }
         Frame { pixels, labels, offset }

@@ -44,8 +44,15 @@ impl Device {
     }
 
     /// Speedup of `self` over `other` on the same epoch.
-    pub fn speedup_over(&self, other: &Device, flops_per_sample: f64, n: usize, batch: usize) -> f64 {
-        other.epoch_seconds(flops_per_sample, n, batch) / self.epoch_seconds(flops_per_sample, n, batch)
+    pub fn speedup_over(
+        &self,
+        other: &Device,
+        flops_per_sample: f64,
+        n: usize,
+        batch: usize,
+    ) -> f64 {
+        other.epoch_seconds(flops_per_sample, n, batch)
+            / self.epoch_seconds(flops_per_sample, n, batch)
     }
 }
 

@@ -55,7 +55,8 @@ impl Experiment for HistoExperiment {
         for &hidden in &[16usize, 48, 96] {
             for &lr in &[0.001, 0.005, 0.02] {
                 let cfg = ModelConfig { hidden, lr, epochs: epochs / 2, ..ModelConfig::default() };
-                let mut m = MultiTaskModel::new(cfg, derive_seed(ctx.seed(), &format!("hp{hidden}x{lr}")));
+                let mut m =
+                    MultiTaskModel::new(cfg, derive_seed(ctx.seed(), &format!("hp{hidden}x{lr}")));
                 m.train(&train, true, true, derive_seed(ctx.seed(), &format!("hp{hidden}x{lr}.t")));
                 let q = m.evaluate(&val);
                 let score = (1.0 - q.seg_iou) + 0.2 * q.count_mae;
@@ -140,7 +141,9 @@ mod tests {
     fn gpu_model_shows_speedup_at_this_batch() {
         let rec = record();
         assert!(rec.metric("gpu_speedup").unwrap() > 1.0);
-        assert!(rec.metric("cpu_epoch_seconds").unwrap() > rec.metric("gpu_epoch_seconds").unwrap());
+        assert!(
+            rec.metric("cpu_epoch_seconds").unwrap() > rec.metric("gpu_epoch_seconds").unwrap()
+        );
     }
 
     #[test]

@@ -92,7 +92,14 @@ impl MultiTaskModel {
     }
 
     /// One combined-loss training step on a batch; returns the loss.
-    fn step(&mut self, x: &Matrix, masks: &Matrix, counts: &[f64], train_seg: bool, train_count: bool) -> f64 {
+    fn step(
+        &mut self,
+        x: &Matrix,
+        masks: &Matrix,
+        counts: &[f64],
+        train_seg: bool,
+        train_count: bool,
+    ) -> f64 {
         let n = x.rows().max(1) as f64;
         let (seg, count) = self.forward(x, true);
         let w = self.cfg.weights;
@@ -207,7 +214,12 @@ mod tests {
         let after = m.evaluate(&val);
         assert!(after.seg_iou > before.seg_iou, "iou {} -> {}", before.seg_iou, after.seg_iou);
         assert!(after.seg_iou > 0.5, "final iou {}", after.seg_iou);
-        assert!(after.count_mae < before.count_mae, "mae {} -> {}", before.count_mae, after.count_mae);
+        assert!(
+            after.count_mae < before.count_mae,
+            "mae {} -> {}",
+            before.count_mae,
+            after.count_mae
+        );
         assert!(after.count_mae < 2.0, "final mae {}", after.count_mae);
     }
 
@@ -244,7 +256,8 @@ mod tests {
         let train = data(13, 30);
         let val = data(14, 10);
         let run = || {
-            let mut m = MultiTaskModel::new(ModelConfig { epochs: 5, ..ModelConfig::default() }, 15);
+            let mut m =
+                MultiTaskModel::new(ModelConfig { epochs: 5, ..ModelConfig::default() }, 15);
             m.train(&train, true, true, 16);
             let q = m.evaluate(&val);
             (q.seg_iou.to_bits(), q.count_mae.to_bits())

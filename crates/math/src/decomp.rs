@@ -119,11 +119,7 @@ pub fn svd(a: &Matrix, tol: f64, max_sweeps: usize) -> Svd {
     if a.rows() < a.cols() {
         // Wide: decompose the transpose and swap factors.
         let t = svd(&a.transpose(), tol, max_sweeps);
-        return Svd {
-            u: t.vt.transpose(),
-            sigma: t.sigma,
-            vt: t.u.transpose(),
-        };
+        return Svd { u: t.vt.transpose(), sigma: t.sigma, vt: t.u.transpose() };
     }
     let (m, n) = a.shape();
     // Work on columns: store as column-major list of vectors for locality.

@@ -35,11 +35,7 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![0.0; rows * cols],
-        }
+        Self { rows, cols, data: vec![0.0; rows * cols] }
     }
 
     /// Creates a matrix from a flat row-major buffer.
@@ -258,10 +254,7 @@ impl Matrix {
     /// Panics if shapes disagree.
     pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
         assert_eq!(self.shape(), other.shape(), "max_abs_diff: shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .fold(0.0, |m, (a, b)| m.max((a - b).abs()))
+        self.data.iter().zip(&other.data).fold(0.0, |m, (a, b)| m.max((a - b).abs()))
     }
 
     /// `self + other` into a fresh matrix.

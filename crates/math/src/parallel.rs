@@ -89,6 +89,41 @@ where
     out
 }
 
+/// Like [`par_map`] but without the `Default + Clone` bound on `T`:
+/// workers fill disjoint bands of `Option<T>` slots, so any `Send` result
+/// type works. Deterministic: output order never depends on thread
+/// scheduling.
+pub fn par_map_into<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let band = n.div_ceil(threads);
+    crossbeam::scope(|s| {
+        let mut rest = out.as_mut_slice();
+        let mut i0 = 0;
+        while !rest.is_empty() {
+            let take = band.min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let fr = &f;
+            let start = i0;
+            s.spawn(move |_| {
+                for (k, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(fr(start + k));
+                }
+            });
+            i0 += take;
+            rest = tail;
+        }
+    })
+    .expect("parallel map worker panicked");
+    out.into_iter().map(|o| o.expect("worker filled every slot")).collect()
+}
+
 /// Reduces `0..n` with `map` then `combine`, in parallel, with a
 /// deterministic combination order (band 0 first, then band 1, ...).
 ///
@@ -192,6 +227,25 @@ mod tests {
     fn par_map_empty() {
         let v: Vec<u64> = par_map(0, 4, |_| 1);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn par_map_into_is_in_order_without_default() {
+        // String is Clone but the point is the missing Default-based
+        // preallocation: a non-trivial, heap-owning type round-trips.
+        for threads in [1, 2, 5, 16] {
+            let v = par_map_into(23, threads, |i| format!("r{i}"));
+            let expect: Vec<String> = (0..23).map(|i| format!("r{i}")).collect();
+            assert_eq!(v, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_into_empty_and_oversubscribed() {
+        let v: Vec<String> = par_map_into(0, 4, |_| String::new());
+        assert!(v.is_empty());
+        let v = par_map_into(3, 64, |i| i * 10);
+        assert_eq!(v, vec![0, 10, 20]);
     }
 
     #[test]

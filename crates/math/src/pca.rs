@@ -156,7 +156,11 @@ mod tests {
         Matrix::from_fn(n, 3, |_, _| 0.0).clone_with(|m| {
             for r in 0..n {
                 let t = rng.next_gaussian() * 5.0;
-                let noise = [rng.next_gaussian() * 0.01, rng.next_gaussian() * 0.01, rng.next_gaussian() * 0.01];
+                let noise = [
+                    rng.next_gaussian() * 0.01,
+                    rng.next_gaussian() * 0.01,
+                    rng.next_gaussian() * 0.01,
+                ];
                 for c in 0..3 {
                     m[(r, c)] = t * axis[c] + noise[c] + 10.0;
                 }

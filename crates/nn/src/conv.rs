@@ -36,7 +36,13 @@ impl Conv1d {
     /// # Panics
     ///
     /// Panics if `kernel > len` or any dimension is zero.
-    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, len: usize, seed: u64) -> Self {
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        len: usize,
+        seed: u64,
+    ) -> Self {
         assert!(in_channels > 0 && out_channels > 0 && kernel > 0, "Conv1d: zero dimension");
         assert!(kernel <= len, "Conv1d: kernel longer than sequence");
         let mut rng = SplitMix64::new(treu_math::rng::derive_seed(seed, "conv1d.w"));
@@ -67,11 +73,7 @@ impl Conv1d {
 
 impl Layer for Conv1d {
     fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
-        assert_eq!(
-            input.cols(),
-            self.in_channels * self.len,
-            "Conv1d: input width mismatch"
-        );
+        assert_eq!(input.cols(), self.in_channels * self.len, "Conv1d: input width mismatch");
         self.input = input.clone();
         let out_len = self.out_len();
         let mut out = Matrix::zeros(input.rows(), self.out_channels * out_len);

@@ -31,7 +31,14 @@ impl Conv2d {
     ///
     /// Panics if the kernel exceeds either spatial extent or any dimension
     /// is zero.
-    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, h: usize, w: usize, seed: u64) -> Self {
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        h: usize,
+        w: usize,
+        seed: u64,
+    ) -> Self {
         assert!(in_channels > 0 && out_channels > 0 && kernel > 0, "Conv2d: zero dimension");
         assert!(kernel <= h && kernel <= w, "Conv2d: kernel larger than input");
         let mut rng = SplitMix64::new(treu_math::rng::derive_seed(seed, "conv2d.w"));

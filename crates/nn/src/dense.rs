@@ -11,11 +11,11 @@ use treu_math::Matrix;
 /// zero. Gradients accumulate across `backward` calls until
 /// [`Layer::zero_grads`].
 pub struct Dense {
-    w: Matrix,         // in x out
-    b: Vec<f64>,       // out
-    grad_w: Matrix,    // in x out
-    grad_b: Vec<f64>,  // out
-    input: Matrix,     // cached batch
+    w: Matrix,        // in x out
+    b: Vec<f64>,      // out
+    grad_w: Matrix,   // in x out
+    grad_b: Vec<f64>, // out
+    input: Matrix,    // cached batch
 }
 
 impl Dense {
@@ -163,11 +163,13 @@ mod tests {
         d.forward(&x, true);
         d.backward(&g);
         let twice = d.grad_w.clone();
-        assert!(twice.max_abs_diff(&{
-            let mut m = once.clone();
-            m.scale_in_place(2.0);
-            m
-        }) < 1e-12);
+        assert!(
+            twice.max_abs_diff(&{
+                let mut m = once.clone();
+                m.scale_in_place(2.0);
+                m
+            }) < 1e-12
+        );
         d.zero_grads();
         assert_eq!(d.grad_w.frobenius_norm(), 0.0);
     }

@@ -119,11 +119,7 @@ impl Sigmoid {
 
 impl Layer for Sigmoid {
     fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
-        self.output = input
-            .as_slice()
-            .iter()
-            .map(|&v| 1.0 / (1.0 + (-v).exp()))
-            .collect();
+        self.output = input.as_slice().iter().map(|&v| 1.0 / (1.0 + (-v).exp())).collect();
         Matrix::from_vec(input.rows(), input.cols(), self.output.clone())
     }
 

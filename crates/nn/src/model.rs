@@ -120,9 +120,7 @@ pub fn train_epoch(
 /// Predicted class per row (argmax of logits) without gradient tracking.
 pub fn predict(model: &mut Sequential, x: &Matrix) -> Vec<usize> {
     let logits = model.forward(x, false);
-    (0..logits.rows())
-        .map(|r| treu_math::vector::argmax(logits.row(r)).unwrap_or(0))
-        .collect()
+    (0..logits.rows()).map(|r| treu_math::vector::argmax(logits.row(r)).unwrap_or(0)).collect()
 }
 
 #[cfg(test)]

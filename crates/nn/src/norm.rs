@@ -76,12 +76,8 @@ impl Layer for LayerNorm {
             // Standard layer-norm input gradient:
             // dx = inv_std * (dz - mean(dz) - z * mean(dz ⊙ z)).
             let mean_dz: f64 = dz.iter().sum::<f64>() / n;
-            let mean_dz_z: f64 = dz
-                .iter()
-                .enumerate()
-                .map(|(c, v)| v * self.normalized[(r, c)])
-                .sum::<f64>()
-                / n;
+            let mean_dz_z: f64 =
+                dz.iter().enumerate().map(|(c, v)| v * self.normalized[(r, c)]).sum::<f64>() / n;
             for c in 0..self.dim {
                 grad_in[(r, c)] =
                     self.inv_std[r] * (dz[c] - mean_dz - self.normalized[(r, c)] * mean_dz_z);

@@ -40,7 +40,12 @@ impl Default for Workload {
 }
 
 /// Runs the schedule-aware filter over one simulated performance.
-pub fn run_tracking(workload: Workload, kernel: WeightFn, n_particles: usize, seed: u64) -> TrackResult {
+pub fn run_tracking(
+    workload: Workload,
+    kernel: WeightFn,
+    n_particles: usize,
+    seed: u64,
+) -> TrackResult {
     let schedule = EventSchedule::uniform(workload.k_events, workload.spacing);
     let mut rng = SplitMix64::new(derive_seed(seed, "performance"));
     let perf = Performance::simulate(
@@ -187,10 +192,7 @@ mod tests {
     fn weighting_experiment_shows_near_parity() {
         let rec = run_once(&WeightingExperiment, 42, Params::new().with_int("trials", 6));
         let ratio = rec.metric("rmse_ratio_triangular").unwrap();
-        assert!(
-            ratio < 1.6,
-            "triangular should be almost as accurate as gaussian; ratio {ratio}"
-        );
+        assert!(ratio < 1.6, "triangular should be almost as accurate as gaussian; ratio {ratio}");
         assert_eq!(rec.metric("transcendental_gaussian"), Some(1.0));
         assert_eq!(rec.metric("transcendental_triangular"), Some(0.0));
     }

@@ -74,21 +74,10 @@ impl ScheduleFilter {
         assert!(config.n_particles > 0, "need at least one particle");
         let mut rng = SplitMix64::new(seed);
         let particles = (0..config.n_particles)
-            .map(|_| Particle {
-                pos: rng.next_f64() * 0.5,
-                rate: 1.0 + rng.next_gaussian() * 0.05,
-            })
+            .map(|_| Particle { pos: rng.next_f64() * 0.5, rate: 1.0 + rng.next_gaussian() * 0.05 })
             .collect();
         let weights = vec![1.0 / config.n_particles as f64; config.n_particles];
-        Self {
-            schedule,
-            config,
-            particles,
-            weights,
-            rng,
-            kernel_evals: 0,
-            resamples: 0,
-        }
+        Self { schedule, config, particles, weights, rng, kernel_evals: 0, resamples: 0 }
     }
 
     /// Advances every particle by one tick of length `dt` (the prediction
@@ -130,20 +119,12 @@ impl ScheduleFilter {
 
     /// Weighted-mean estimate of the current schedule position.
     pub fn estimate(&self) -> f64 {
-        self.particles
-            .iter()
-            .zip(&self.weights)
-            .map(|(p, w)| p.pos * w)
-            .sum()
+        self.particles.iter().zip(&self.weights).map(|(p, w)| p.pos * w).sum()
     }
 
     /// Weighted-mean estimate of the progression rate.
     pub fn rate_estimate(&self) -> f64 {
-        self.particles
-            .iter()
-            .zip(&self.weights)
-            .map(|(p, w)| p.rate * w)
-            .sum()
+        self.particles.iter().zip(&self.weights).map(|(p, w)| p.rate * w).sum()
     }
 
     /// Kish effective sample size `1 / Σ w²`.

@@ -38,9 +38,8 @@ impl EventSchedule {
     /// A jittered schedule: uniform plus deterministic per-event jitter —
     /// closer to a real concert program.
     pub fn jittered(k: usize, spacing: f64, jitter: f64, rng: &mut SplitMix64) -> Self {
-        let mut times: Vec<f64> = (1..=k)
-            .map(|i| i as f64 * spacing + (rng.next_f64() - 0.5) * 2.0 * jitter)
-            .collect();
+        let mut times: Vec<f64> =
+            (1..=k).map(|i| i as f64 * spacing + (rng.next_f64() - 0.5) * 2.0 * jitter).collect();
         times.sort_by(|a, b| a.partial_cmp(b).unwrap());
         // Enforce strict monotonicity in case jitter collided two events.
         for i in 1..times.len() {
@@ -198,10 +197,7 @@ impl Performance {
 
     /// Number of non-silent observations.
     pub fn n_events_heard(&self) -> usize {
-        self.observations
-            .iter()
-            .filter(|o| matches!(o, Observation::Event { .. }))
-            .count()
+        self.observations.iter().filter(|o| matches!(o, Observation::Event { .. })).count()
     }
 }
 
@@ -235,7 +231,8 @@ mod tests {
     fn performance_truth_is_monotone_and_covers_schedule() {
         let s = EventSchedule::uniform(8, 10.0);
         let mut rng = SplitMix64::new(2);
-        let p = Performance::simulate(&s, DriftModel::default(), SensorModel::default(), 0.1, &mut rng);
+        let p =
+            Performance::simulate(&s, DriftModel::default(), SensorModel::default(), 0.1, &mut rng);
         assert!(!p.is_empty());
         assert!(p.truth.windows(2).all(|w| w[1] > w[0]), "position must advance");
         assert!(*p.truth.last().unwrap() >= s.duration());
@@ -272,7 +269,8 @@ mod tests {
         let s = EventSchedule::uniform(6, 7.0);
         let run = |seed| {
             let mut rng = SplitMix64::new(seed);
-            Performance::simulate(&s, DriftModel::default(), SensorModel::default(), 0.1, &mut rng).truth
+            Performance::simulate(&s, DriftModel::default(), SensorModel::default(), 0.1, &mut rng)
+                .truth
         };
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));

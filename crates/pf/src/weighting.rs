@@ -126,11 +126,7 @@ mod tests {
             let d = i as f64 * 0.1;
             let g = WeightFn::Gaussian.eval(d, 1.0);
             for k in [WeightFn::Triangular, WeightFn::Rational, WeightFn::Biweight] {
-                assert!(
-                    (k.eval(d, 1.0) - g).abs() < 0.25,
-                    "{} deviates at {d}",
-                    k.name()
-                );
+                assert!((k.eval(d, 1.0) - g).abs() < 0.25, "{} deviates at {d}", k.name());
             }
         }
     }

@@ -57,9 +57,7 @@ impl ReplayBuffer {
 
     /// Uniform random sample (with replacement).
     pub fn sample<'a>(&'a self, n: usize, rng: &mut SplitMix64) -> Vec<&'a Transition> {
-        (0..n)
-            .map(|_| &self.buf[rng.next_bounded(self.buf.len() as u64) as usize])
-            .collect()
+        (0..n).map(|_| &self.buf[rng.next_bounded(self.buf.len() as u64) as usize]).collect()
     }
 }
 
@@ -147,20 +145,15 @@ impl DqnAgent {
             return;
         }
         // Sample indices first (immutable borrow), then update.
-        let picks: Vec<Transition> = self
-            .replay
-            .sample(self.config.batch, &mut self.rng)
-            .into_iter()
-            .cloned()
-            .collect();
+        let picks: Vec<Transition> =
+            self.replay.sample(self.config.batch, &mut self.rng).into_iter().cloned().collect();
         for t in picks {
             let target = if t.done {
                 t.reward
             } else {
                 let next_q = self.target.q_values(&t.next_obs);
                 t.reward
-                    + self.config.gamma
-                        * next_q.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                    + self.config.gamma * next_q.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
             };
             self.online.update(&t.obs, t.action, target);
         }
@@ -248,7 +241,13 @@ mod tests {
     #[test]
     fn replay_buffer_evicts_oldest() {
         let mut rb = ReplayBuffer::new(2);
-        let t = |r: f64| Transition { obs: vec![], action: 0, reward: r, next_obs: vec![], done: false };
+        let t = |r: f64| Transition {
+            obs: vec![],
+            action: 0,
+            reward: r,
+            next_obs: vec![],
+            done: false,
+        };
         rb.push(t(1.0));
         rb.push(t(2.0));
         rb.push(t(3.0));
@@ -273,10 +272,7 @@ mod tests {
         agent.train(env.as_mut());
         let trained = agent.evaluate(env.as_mut(), 40);
         let random = random_policy_reward(env.as_mut(), 40, 2);
-        assert!(
-            trained > random + 3.0,
-            "trained {trained} must beat random {random}"
-        );
+        assert!(trained > random + 3.0, "trained {trained} must beat random {random}");
     }
 
     #[test]

@@ -157,10 +157,7 @@ impl CollectEnv {
 impl Env for CollectEnv {
     fn reset(&mut self, rng: &mut SplitMix64) -> Vec<f64> {
         self.agent = (GRID - 1, 0);
-        self.pellet = (
-            rng.next_bounded(2) as usize,
-            rng.next_bounded(GRID as u64) as usize,
-        );
+        self.pellet = (rng.next_bounded(2) as usize, rng.next_bounded(GRID as u64) as usize);
         self.ghost = (0, GRID - 1);
         self.tick = 0;
         self.observation()

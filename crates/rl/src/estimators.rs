@@ -60,7 +60,13 @@ impl EstimatorKind {
 }
 
 /// Shared helpers for the two nets.
-fn td_backward(layers: &mut dyn Layer, opt: &mut Adam, logits: &Matrix, action: usize, target: f64) {
+fn td_backward(
+    layers: &mut dyn Layer,
+    opt: &mut Adam,
+    logits: &Matrix,
+    action: usize,
+    target: f64,
+) {
     // Squared TD error on the chosen action only.
     let mut grad = Matrix::zeros(1, N_ACTIONS);
     grad[(0, action)] = 2.0 * (logits[(0, action)] - target);
@@ -158,7 +164,7 @@ impl AttnQNet {
         // Rows as tokens: GRID x GRID sequence.
         let x = Matrix::from_vec(GRID, GRID, obs.to_vec());
         let y = self.attn.forward(&x, train); // GRID x GRID
-        // Mean-pool tokens -> 1 x GRID.
+                                              // Mean-pool tokens -> 1 x GRID.
         let mut pooled = Matrix::zeros(1, GRID);
         for t in 0..GRID {
             for c in 0..GRID {

@@ -1,16 +1,18 @@
 //! Harnessed experiment E2.8: environments × estimator families × seeds.
 //!
-//! Seeds within one configuration run in parallel (crossbeam via
-//! `treu_math::parallel::par_map`) — this is the "array of ML projects
-//! finishing at the same time" workload shape, here used productively.
+//! Seeds within one configuration run in parallel through the
+//! deterministic [`treu_core::exec::Executor`] — this is the "array of ML
+//! projects finishing at the same time" workload shape, here used
+//! productively, with results merged in seed order so the thread count
+//! never changes them.
 
 use crate::dqn::{DqnAgent, DqnConfig};
 use crate::env::EnvKind;
 use crate::estimators::EstimatorKind;
 use crate::reliability::reliability;
+use treu_core::exec::Executor;
 use treu_core::experiment::{Experiment, Params, RunContext};
 use treu_core::ExperimentRegistry;
-use treu_math::parallel;
 use treu_math::rng::derive_seed;
 
 /// Trains one agent per seed and returns the per-seed greedy rewards.
@@ -22,8 +24,9 @@ pub fn seed_rewards(
     threads: usize,
     master_seed: u64,
 ) -> Vec<f64> {
-    parallel::par_map(seeds, threads, |s| {
-        let seed = derive_seed(master_seed, &format!("{}.{}.{s}", env_kind.name(), estimator.name()));
+    Executor::new(threads).map_indexed(seeds, |s| {
+        let seed =
+            derive_seed(master_seed, &format!("{}.{}.{s}", env_kind.name(), estimator.name()));
         let mut env = env_kind.build();
         let mut agent = DqnAgent::new(estimator, cfg, seed);
         agent.train(env.as_mut());
@@ -50,8 +53,7 @@ impl Experiment for RlReliabilityExperiment {
         for env_kind in EnvKind::all() {
             let mut env_sum = 0.0;
             for estimator in EstimatorKind::all() {
-                let rewards =
-                    seed_rewards(env_kind, estimator, cfg, seeds, threads, ctx.seed());
+                let rewards = seed_rewards(env_kind, estimator, cfg, seeds, threads, ctx.seed());
                 let rel = reliability(&rewards, threshold);
                 let tag = format!("{}_{}", env_kind.name(), estimator.name());
                 ctx.record(&format!("{tag}_mean"), rel.mean);

@@ -88,9 +88,8 @@ impl ContaminatedSample {
         let mut dir: Vec<f64> = (0..d).map(|_| rng.next_gaussian()).collect();
         treu_math::vector::normalize(&mut dir);
         // Random signs for the sign-product attack.
-        let signs: Vec<f64> = (0..d)
-            .map(|_| if rng.next_f64() < 0.5 { -1.0 } else { 1.0 })
-            .collect();
+        let signs: Vec<f64> =
+            (0..d).map(|_| if rng.next_f64() < 0.5 { -1.0 } else { 1.0 }).collect();
 
         let mut data = Matrix::zeros(n, d);
         let mut is_inlier = vec![true; n];
@@ -111,7 +110,8 @@ impl ContaminatedSample {
                     }
                     Contamination::SubtleShift => {
                         for (j, v) in row.iter_mut().enumerate() {
-                            *v = true_mean[j] + 3.0 * dir[j] * (d as f64).sqrt()
+                            *v = true_mean[j]
+                                + 3.0 * dir[j] * (d as f64).sqrt()
                                 + rng.next_gaussian() * 0.2;
                         }
                     }

@@ -5,16 +5,17 @@
 //! Per configuration the experiment records the `ℓ2` estimation error of:
 //! sample mean, coordinate median, trimmed mean, geometric median, the
 //! spectral filter, and the inlier oracle. Parallelism: the trials of a
-//! sweep point run across crossbeam workers via
-//! [`treu_math::parallel::par_map`] — the "repetition of randomized
-//! algorithms" bottleneck the paper names.
+//! sweep point run across workers via the deterministic
+//! [`treu_core::exec::Executor`] — the "repetition of randomized
+//! algorithms" bottleneck the paper names, with trial order (and therefore
+//! every averaged error) independent of the thread count.
 
 use crate::contamination::{ContaminatedSample, Contamination};
 use crate::estimators;
 use crate::filter::{spectral_filter, FilterParams};
+use treu_core::exec::Executor;
 use treu_core::experiment::{Experiment, Params, RunContext};
 use treu_core::ExperimentRegistry;
-use treu_math::parallel;
 use treu_math::rng::{derive_seed, SplitMix64};
 
 /// Mean error of each estimator over `trials` independent samples.
@@ -46,7 +47,7 @@ pub fn sweep_point(
     threads: usize,
     seed: u64,
 ) -> SweepPoint {
-    let errs: Vec<SweepPoint> = parallel::par_map(trials, threads, |t| {
+    let errs: Vec<SweepPoint> = Executor::new(threads).map_indexed(trials, |t| {
         let mut rng = SplitMix64::new(derive_seed(seed, &format!("trial{t}")));
         let s = ContaminatedSample::generate(n, d, epsilon, strategy, &mut rng);
         let filt = if epsilon > 0.0 {
@@ -96,7 +97,15 @@ impl Experiment for RobustStatsExperiment {
         // ε sweep at d = 64.
         for eps_pct in [2i64, 5, 10, 15, 20] {
             let eps = eps_pct as f64 / 100.0;
-            let p = sweep_point(n, 64, eps, strategy, trials, threads, derive_seed(ctx.seed(), &format!("eps{eps_pct}")));
+            let p = sweep_point(
+                n,
+                64,
+                eps,
+                strategy,
+                trials,
+                threads,
+                derive_seed(ctx.seed(), &format!("eps{eps_pct}")),
+            );
             ctx.record(&format!("eps{eps_pct:02}_mean"), p.mean);
             ctx.record(&format!("eps{eps_pct:02}_median"), p.median);
             ctx.record(&format!("eps{eps_pct:02}_filter"), p.filter);
@@ -105,7 +114,15 @@ impl Experiment for RobustStatsExperiment {
 
         // Dimension sweep at ε = 0.1.
         for d in [16usize, 64, 256] {
-            let p = sweep_point(n, d, 0.1, strategy, trials, threads, derive_seed(ctx.seed(), &format!("d{d}")));
+            let p = sweep_point(
+                n,
+                d,
+                0.1,
+                strategy,
+                trials,
+                threads,
+                derive_seed(ctx.seed(), &format!("d{d}")),
+            );
             ctx.record(&format!("d{d:03}_median"), p.median);
             ctx.record(&format!("d{d:03}_geomedian"), p.geomedian);
             ctx.record(&format!("d{d:03}_filter"), p.filter);
@@ -128,15 +145,20 @@ impl Experiment for ThresholdAblation {
         let n = ctx.int("n", 800) as usize;
         let d = ctx.int("d", 64) as usize;
         let trials = ctx.int("trials", 3) as usize;
-        for (tag, mult) in [("m01", 1.0), ("m03", 3.0), ("m06", 6.0), ("m12", 12.0), ("m24", 24.0)] {
+        for (tag, mult) in [("m01", 1.0), ("m03", 3.0), ("m06", 6.0), ("m12", 12.0), ("m24", 24.0)]
+        {
             let mut err = 0.0;
             for t in 0..trials {
-                let mut rng =
-                    SplitMix64::new(derive_seed(ctx.seed(), &format!("{tag}.{t}")));
-                let s = ContaminatedSample::generate(n, d, 0.1, Contamination::SubtleShift, &mut rng);
+                let mut rng = SplitMix64::new(derive_seed(ctx.seed(), &format!("{tag}.{t}")));
+                let s =
+                    ContaminatedSample::generate(n, d, 0.1, Contamination::SubtleShift, &mut rng);
                 let out = spectral_filter(
                     &s.data,
-                    FilterParams { epsilon: 0.1, threshold_multiplier: mult, ..FilterParams::default() },
+                    FilterParams {
+                        epsilon: 0.1,
+                        threshold_multiplier: mult,
+                        ..FilterParams::default()
+                    },
                 );
                 err += s.error(&out.mean);
             }
@@ -191,10 +213,7 @@ mod tests {
         assert!(m256 > m16, "median error must grow with dimension: {m16} -> {m256}");
         let f16 = rec.metric("d016_filter").unwrap();
         let f256 = rec.metric("d256_filter").unwrap();
-        assert!(
-            f256 < m256,
-            "filter ({f256}) must beat median ({m256}) at d=256 (f16={f16})"
-        );
+        assert!(f256 < m256, "filter ({f256}) must beat median ({m256}) at d=256 (f16={f16})");
     }
 
     #[test]
@@ -208,7 +227,10 @@ mod tests {
         let e24 = rec.metric("m24_filter_err").unwrap();
         let e6 = rec.metric("m06_filter_err").unwrap();
         // The default (6) should not be worse than both extremes.
-        assert!(e6 <= e1.max(e24) + 1e-9, "default multiplier should be competitive: {e1} {e6} {e24}");
+        assert!(
+            e6 <= e1.max(e24) + 1e-9,
+            "default multiplier should be competitive: {e1} {e6} {e24}"
+        );
     }
 
     #[test]

@@ -141,7 +141,13 @@ mod tests {
     use crate::estimators;
     use treu_math::rng::SplitMix64;
 
-    fn sample(strategy: Contamination, eps: f64, n: usize, d: usize, seed: u64) -> ContaminatedSample {
+    fn sample(
+        strategy: Contamination,
+        eps: f64,
+        n: usize,
+        d: usize,
+        seed: u64,
+    ) -> ContaminatedSample {
         let mut rng = SplitMix64::new(seed);
         ContaminatedSample::generate(n, d, eps, strategy, &mut rng)
     }
@@ -156,7 +162,7 @@ mod tests {
         let out = spectral_filter(&s.data, params(0.1));
         assert!(s.error(&out.mean) < 0.3, "err {}", s.error(&out.mean));
         assert!(out.rounds <= 3, "clean data should not need filtering; {} rounds", out.rounds);
-        assert_eq!(out.survivors + out.rounds * 0, out.survivors); // survivors recorded
+        assert!(out.survivors > 0 && out.survivors <= 800); // survivors recorded
     }
 
     #[test]

@@ -23,10 +23,16 @@ pub struct AtlasResult {
 
 /// Computes a shape atlas: sample the cohort, optimize correspondence,
 /// align, PCA, and validate mode 1 against the generator's latent.
-pub fn compute_atlas(family: EllipsoidFamily, n_shapes: usize, particles: usize, seed: u64) -> AtlasResult {
+pub fn compute_atlas(
+    family: EllipsoidFamily,
+    n_shapes: usize,
+    particles: usize,
+    seed: u64,
+) -> AtlasResult {
     let mut rng = SplitMix64::new(derive_seed(seed, "cohort"));
     let shapes = family.sample(n_shapes, &mut rng);
-    let mut ps = ParticleSystem::random(particles, &mut SplitMix64::new(derive_seed(seed, "particles")));
+    let mut ps =
+        ParticleSystem::random(particles, &mut SplitMix64::new(derive_seed(seed, "particles")));
     ps.optimize(40, 0.02);
     let aligned = align_cohort(&ps.shape_matrix(&shapes));
     let pca = Pca::fit(&aligned, n_shapes.min(aligned.cols()).min(6));
@@ -54,7 +60,8 @@ impl Experiment for ShapeAtlasExperiment {
         let n_shapes = ctx.int("shapes", 24) as usize;
 
         // One-mode family (the paper's familiarization exercise).
-        let one = compute_atlas(EllipsoidFamily::default(), n_shapes, 64, derive_seed(ctx.seed(), "one"));
+        let one =
+            compute_atlas(EllipsoidFamily::default(), n_shapes, 64, derive_seed(ctx.seed(), "one"));
         ctx.record("one_mode_ratio", one.mode1_ratio);
         ctx.record("one_mode_latent_corr", one.mode1_latent_corr);
 
@@ -97,11 +104,7 @@ mod tests {
     fn one_mode_family_yields_one_dominant_mode() {
         let r = compute_atlas(EllipsoidFamily::default(), 24, 64, 1);
         assert!(r.mode1_ratio > 0.9, "mode-1 ratio {}", r.mode1_ratio);
-        assert!(
-            r.mode1_latent_corr > 0.95,
-            "mode-1/latent correlation {}",
-            r.mode1_latent_corr
-        );
+        assert!(r.mode1_latent_corr > 0.95, "mode-1/latent correlation {}", r.mode1_latent_corr);
     }
 
     #[test]

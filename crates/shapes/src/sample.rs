@@ -34,20 +34,12 @@ impl Shape {
             + u[1] * u[1] / (self.radii[1] * self.radii[1])
             + u[2] * u[2] / (self.radii[2] * self.radii[2]))
             .sqrt();
-        [
-            self.center[0] + u[0] / s,
-            self.center[1] + u[1] / s,
-            self.center[2] + u[2] / s,
-        ]
+        [self.center[0] + u[0] / s, self.center[1] + u[1] / s, self.center[2] + u[2] / s]
     }
 
     /// True if `p` lies (approximately) on the surface.
     pub fn on_surface(&self, p: Vec3, tol: f64) -> bool {
-        let v = [
-            p[0] - self.center[0],
-            p[1] - self.center[1],
-            p[2] - self.center[2],
-        ];
+        let v = [p[0] - self.center[0], p[1] - self.center[1], p[2] - self.center[2]];
         let q = v[0] * v[0] / (self.radii[0] * self.radii[0])
             + v[1] * v[1] / (self.radii[1] * self.radii[1])
             + v[2] * v[2] / (self.radii[2] * self.radii[2]);

@@ -57,11 +57,7 @@ pub fn table2(cohort: &Cohort) -> Vec<SkillRow> {
             let a: Vec<i64> = cohort.apriori.iter().map(|r| r.confidence[i]).collect();
             let p: Vec<i64> = cohort.posthoc.iter().map(|r| r.confidence[i]).collect();
             let am = likert::mean(&a);
-            SkillRow {
-                skill: (*name).to_string(),
-                apriori_mean: am,
-                boost: likert::mean(&p) - am,
-            }
+            SkillRow { skill: (*name).to_string(), apriori_mean: am, boost: likert::mean(&p) - am }
         })
         .collect()
 }
@@ -138,10 +134,7 @@ pub fn narrative(cohort: &Cohort) -> Narrative {
         rec_reu: summarize(collect(|r| r.recommenders_reu)),
         rec_home: summarize(collect(|r| r.recommenders_home)),
         rec_outside: summarize(collect(|r| r.recommenders_outside)),
-        goals_by_all: table1(cohort)
-            .iter()
-            .filter(|row| row.accomplished == n_goal)
-            .count(),
+        goals_by_all: table1(cohort).iter().filter(|row| row.accomplished == n_goal).count(),
     }
 }
 

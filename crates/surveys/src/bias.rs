@@ -65,11 +65,7 @@ pub fn simulate_cohort(n: usize, model: ResponseModel, rng: &mut SplitMix64) -> 
                 }
                 ResponseModel::Random { rate } => rate,
             };
-            Participant {
-                satisfaction,
-                true_boost,
-                responded: rng.next_f64() < p_respond,
-            }
+            Participant { satisfaction, true_boost, responded: rng.next_f64() < p_respond }
         })
         .collect()
 }
@@ -77,11 +73,8 @@ pub fn simulate_cohort(n: usize, model: ResponseModel, rng: &mut SplitMix64) -> 
 /// The estimator the instructors used: mean boost over responders.
 /// Returns `None` when nobody responded.
 pub fn measured_boost(cohort: &[Participant]) -> Option<f64> {
-    let responders: Vec<f64> = cohort
-        .iter()
-        .filter(|p| p.responded)
-        .map(|p| p.true_boost)
-        .collect();
+    let responders: Vec<f64> =
+        cohort.iter().filter(|p| p.responded).map(|p| p.true_boost).collect();
     if responders.is_empty() {
         None
     } else {
@@ -194,10 +187,6 @@ mod tests {
 
     #[test]
     fn experiment_is_deterministic() {
-        assert_deterministic(
-            &NonresponseBiasExperiment,
-            7,
-            &Params::new().with_int("trials", 20),
-        );
+        assert_deterministic(&NonresponseBiasExperiment, 7, &Params::new().with_int("trials", 20));
     }
 }

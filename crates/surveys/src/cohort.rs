@@ -54,8 +54,8 @@ pub struct Cohort {
 /// shuffled. Callers should keep `|mean - mode| * n` well below `n` for the
 /// mode to be preservable (all paper targets satisfy this comfortably).
 fn sample_with_mean_mode(rng: &mut SplitMix64, n: usize, mean: f64, mode: i64) -> Vec<i64> {
-    let want = ((mean * n as f64).round() as i64)
-        .clamp(n as i64 * likert::MIN, n as i64 * likert::MAX);
+    let want =
+        ((mean * n as f64).round() as i64).clamp(n as i64 * likert::MIN, n as i64 * likert::MAX);
     let mut xs = vec![mode; n];
     let mut delta = want - mode * n as i64;
     let dir = delta.signum();
@@ -107,9 +107,7 @@ fn sample_with_mode_range(rng: &mut SplitMix64, n: usize, mode: i64, lo: i64, hi
 
 /// Transposes per-item calibrated columns into per-respondent rows.
 fn columns_to_rows(columns: &[Vec<i64>], n: usize) -> Vec<Vec<i64>> {
-    (0..n)
-        .map(|r| columns.iter().map(|col| col[r]).collect())
-        .collect()
+    (0..n).map(|r| columns.iter().map(|col| col[r]).collect()).collect()
 }
 
 impl Cohort {
@@ -336,9 +334,9 @@ mod tests {
         assert_eq!(offers.len(), paper::N_POSITIONS);
         // The slant: offer rate for non-research institutions exceeds the
         // pool base rate.
-        let offered_nonresearch =
-            offers.iter().filter(|&&i| !pool[i].research_institution).count() as f64
-                / offers.len() as f64;
+        let offered_nonresearch = offers.iter().filter(|&&i| !pool[i].research_institution).count()
+            as f64
+            / offers.len() as f64;
         let pool_nonresearch =
             pool.iter().filter(|a| !a.research_institution).count() as f64 / pool.len() as f64;
         assert!(

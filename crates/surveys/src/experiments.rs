@@ -9,6 +9,9 @@
 use crate::analysis;
 use crate::cohort::Cohort;
 use crate::paper;
+use std::collections::BTreeMap;
+use treu_core::aggregate::{summarize, MetricSummary};
+use treu_core::exec::Executor;
 use treu_core::experiment::{Experiment, Params, RunContext};
 use treu_core::ExperimentRegistry;
 
@@ -107,10 +110,22 @@ impl Experiment for NarrativeExperiment {
         let (pool, offers) = crate::cohort::simulate_admissions(ctx.seed());
         ctx.record("applicants", pool.len() as f64);
         ctx.record("offers", offers.len() as f64);
-        let nonresearch =
-            offers.iter().filter(|&&i| !pool[i].research_institution).count() as f64;
+        let nonresearch = offers.iter().filter(|&&i| !pool[i].research_institution).count() as f64;
         ctx.record("offers_nonresearch_frac", nonresearch / offers.len() as f64);
     }
+}
+
+/// Multi-seed stability of a table experiment: runs it once per seed
+/// through the deterministic [`Executor`] and summarizes every recorded
+/// metric across seeds. The summary is bitwise-identical for every `jobs`
+/// value — the whole point of routing the fan-out through the executor.
+pub fn seed_stability<E: Experiment + Sync>(
+    exp: &E,
+    seeds: &[u64],
+    jobs: usize,
+) -> BTreeMap<String, MetricSummary> {
+    let records = Executor::new(jobs).run_seeds(exp, seeds, &Params::new());
+    summarize(&records)
 }
 
 /// Registers T1, T2, T3 and N1 into a registry.
@@ -181,6 +196,29 @@ mod tests {
         assert_deterministic(&Table2Experiment, 9, &Params::new());
         assert_deterministic(&Table3Experiment, 9, &Params::new());
         assert_deterministic(&NarrativeExperiment, 9, &Params::new());
+    }
+
+    #[test]
+    fn seed_stability_is_job_count_invariant() {
+        let seeds: Vec<u64> = (2020..2028).collect();
+        let base = seed_stability(&Table2Experiment, &seeds, 1);
+        for jobs in [2, 8] {
+            let other = seed_stability(&Table2Experiment, &seeds, jobs);
+            assert_eq!(base.len(), other.len(), "jobs={jobs}");
+            for (name, s) in &base {
+                let o = &other[name];
+                assert_eq!(s.stats.count(), o.stats.count(), "{name} jobs={jobs}");
+                assert_eq!(
+                    s.stats.mean().to_bits(),
+                    o.stats.mean().to_bits(),
+                    "{name} jobs={jobs}"
+                );
+                assert_eq!(s.min.to_bits(), o.min.to_bits(), "{name} jobs={jobs}");
+                assert_eq!(s.max.to_bits(), o.max.to_bits(), "{name} jobs={jobs}");
+            }
+        }
+        // Calibration holds across the seed neighborhood, not just 2023.
+        assert!(base["max_abs_dev_mean"].max <= 0.2, "{}", base["max_abs_dev_mean"].max);
     }
 
     #[test]

@@ -49,9 +49,8 @@ pub fn mode(xs: &[i64]) -> Option<i64> {
 pub fn sample_with_mean(rng: &mut SplitMix64, n: usize, target: f64) -> Vec<i64> {
     assert!(n > 0, "sample_with_mean: empty sample requested");
     let want: i64 = ((target * n as f64).round() as i64).clamp(n as i64 * MIN, n as i64 * MAX);
-    let mut xs: Vec<i64> = (0..n)
-        .map(|_| clamp((target + rng.next_gaussian()).round() as i64))
-        .collect();
+    let mut xs: Vec<i64> =
+        (0..n).map(|_| clamp((target + rng.next_gaussian()).round() as i64)).collect();
     let mut sum: i64 = xs.iter().sum();
     // Repair pass: random single-step adjustments toward the target total.
     // Each iteration moves |sum - want| down by one, so it terminates.

@@ -56,12 +56,8 @@ impl KnnClassifier {
     /// label).
     pub fn predict(&self, x: &[f64]) -> usize {
         assert_eq!(x.len(), self.mean.len(), "feature arity mismatch");
-        let z: Vec<f64> = x
-            .iter()
-            .zip(&self.mean)
-            .zip(&self.std)
-            .map(|((v, m), s)| (v - m) / s)
-            .collect();
+        let z: Vec<f64> =
+            x.iter().zip(&self.mean).zip(&self.std).map(|((v, m), s)| (v - m) / s).collect();
         let mut dists: Vec<(f64, usize)> = self
             .train
             .iter()
@@ -86,11 +82,7 @@ impl KnnClassifier {
         if xs.is_empty() {
             return 0.0;
         }
-        let correct = xs
-            .iter()
-            .zip(ys)
-            .filter(|(x, &y)| self.predict(x) == y)
-            .count();
+        let correct = xs.iter().zip(ys).filter(|(x, &y)| self.predict(x) == y).count();
         correct as f64 / xs.len() as f64
     }
 }
@@ -100,15 +92,7 @@ mod tests {
     use super::*;
 
     fn toy() -> (Vec<Vec<f64>>, Vec<usize>) {
-        (
-            vec![
-                vec![0.0, 0.0],
-                vec![0.1, 0.1],
-                vec![5.0, 5.0],
-                vec![5.1, 4.9],
-            ],
-            vec![0, 0, 1, 1],
-        )
+        (vec![vec![0.0, 0.0], vec![0.1, 0.1], vec![5.0, 5.0], vec![5.1, 4.9]], vec![0, 0, 1, 1])
     }
 
     #[test]
@@ -123,12 +107,7 @@ mod tests {
     #[test]
     fn standardization_balances_scales() {
         // Dimension 0 is huge but uninformative; dimension 1 separates.
-        let xs = vec![
-            vec![1000.0, 0.0],
-            vec![-1000.0, 0.1],
-            vec![1000.0, 1.0],
-            vec![-1000.0, 0.9],
-        ];
+        let xs = vec![vec![1000.0, 0.0], vec![-1000.0, 0.1], vec![1000.0, 1.0], vec![-1000.0, 0.9]];
         let ys = vec![0, 0, 1, 1];
         let knn = KnnClassifier::fit(1, &xs, &ys);
         assert_eq!(knn.predict(&[0.0, 0.05]), 0);

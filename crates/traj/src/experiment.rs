@@ -18,7 +18,12 @@ pub struct ComparisonResult {
 
 /// Runs the controlled experiment once: generate train/test sets, fit the
 /// two feature pipelines, compare test accuracy.
-pub fn compare(n_train_per_class: usize, n_test_per_class: usize, steps: usize, seed: u64) -> ComparisonResult {
+pub fn compare(
+    n_train_per_class: usize,
+    n_test_per_class: usize,
+    steps: usize,
+    seed: u64,
+) -> ComparisonResult {
     let map = PoiMap::standard();
     let landmarks = default_landmarks();
     let mut rng = SplitMix64::new(derive_seed(seed, "train"));

@@ -1,7 +1,7 @@
 //! Feature maps: the shape-only landmark framework and its semantic
 //! extension.
 
-use crate::generate::{Point, PoiKind, PoiMap, Trajectory};
+use crate::generate::{PoiKind, PoiMap, Point, Trajectory};
 
 /// The landmark set used by the shape-only framework: a deterministic grid
 /// over the city, mirroring the landmark-based distance feature maps of
@@ -22,12 +22,7 @@ pub fn default_landmarks() -> Vec<Point> {
 pub fn landmark_features(t: &Trajectory, landmarks: &[Point]) -> Vec<f64> {
     landmarks
         .iter()
-        .map(|lm| {
-            t.points
-                .iter()
-                .map(|p| p.distance(*lm))
-                .fold(f64::INFINITY, f64::min)
-        })
+        .map(|lm| t.points.iter().map(|p| p.distance(*lm)).fold(f64::INFINITY, f64::min))
         .collect()
 }
 
@@ -65,7 +60,12 @@ pub fn semantic_features(t: &Trajectory, map: &PoiMap, radius: f64) -> Vec<f64> 
 }
 
 /// The extended framework: shape features followed by semantic features.
-pub fn combined_features(t: &Trajectory, landmarks: &[Point], map: &PoiMap, radius: f64) -> Vec<f64> {
+pub fn combined_features(
+    t: &Trajectory,
+    landmarks: &[Point],
+    map: &PoiMap,
+    radius: f64,
+) -> Vec<f64> {
     let mut f = landmark_features(t, landmarks);
     f.extend(semantic_features(t, map, radius));
     f

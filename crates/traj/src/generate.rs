@@ -173,9 +173,7 @@ pub fn generate_trajectory(
             .collect()
     } else {
         // Straight main road, west to east.
-        (0..16)
-            .map(|i| Point { x: 5.0 + i as f64 * 6.0, y: 20.0 })
-            .collect()
+        (0..16).map(|i| Point { x: 5.0 + i as f64 * 6.0, y: 20.0 }).collect()
     };
     // Dwell targets: POIs of the class's preferred kinds near the route.
     let dwell: Vec<Point> = class
@@ -279,7 +277,8 @@ mod tests {
         let mut rng = SplitMix64::new(2);
         let tourist = generate_trajectory(TrajectoryClass::Tourist, &m, 100, &mut rng);
         let car = generate_trajectory(TrajectoryClass::Car, &m, 100, &mut rng);
-        let mean_y = |t: &Trajectory| t.points.iter().map(|p| p.y).sum::<f64>() / t.points.len() as f64;
+        let mean_y =
+            |t: &Trajectory| t.points.iter().map(|p| p.y).sum::<f64>() / t.points.len() as f64;
         assert!(mean_y(&tourist) > 50.0, "tourist stays in the park quadrant");
         assert!(mean_y(&car) < 30.0, "car stays on the road");
     }
@@ -316,11 +315,8 @@ mod tests {
         let mut rng = SplitMix64::new(4);
         let t = generate_trajectory(TrajectoryClass::Commuter, &m, 200, &mut rng);
         let stops = m.of_kind(PoiKind::BusStop);
-        let near = t
-            .points
-            .iter()
-            .filter(|p| stops.iter().any(|s| s.at.distance(**p) < 3.0))
-            .count();
+        let near =
+            t.points.iter().filter(|p| stops.iter().any(|s| s.at.distance(**p) < 3.0)).count();
         assert!(near > 10, "commuter should dwell near bus stops; {near} near points");
     }
 

@@ -7,7 +7,6 @@
 //! the retain set to undo collateral damage to the remaining classes.
 //! Total cost is a handful of epochs versus a full training run.
 
-
 use treu_math::rng::{derive_seed, SplitMix64};
 use treu_math::Matrix;
 use treu_nn::layer::Layer;

@@ -50,14 +50,14 @@ pub fn mean_max_confidence(model: &mut Sequential, x: &Matrix) -> f64 {
 
 /// Audits an unlearned model against a retrained reference on the forget
 /// inputs.
-pub fn audit(unlearned: &mut Sequential, reference: &mut Sequential, forget_x: &Matrix) -> AuditReport {
+pub fn audit(
+    unlearned: &mut Sequential,
+    reference: &mut Sequential,
+    forget_x: &Matrix,
+) -> AuditReport {
     let confidence = mean_max_confidence(unlearned, forget_x);
     let reference_confidence = mean_max_confidence(reference, forget_x);
-    AuditReport {
-        confidence,
-        reference_confidence,
-        leakage_gap: confidence - reference_confidence,
-    }
+    AuditReport { confidence, reference_confidence, leakage_gap: confidence - reference_confidence }
 }
 
 #[cfg(test)]

@@ -33,7 +33,13 @@ impl BlobDataset {
     /// # Panics
     ///
     /// Panics if any size parameter is zero.
-    pub fn generate(classes: usize, n_per_class: usize, d: usize, spacing: f64, rng: &mut SplitMix64) -> Self {
+    pub fn generate(
+        classes: usize,
+        n_per_class: usize,
+        d: usize,
+        spacing: f64,
+        rng: &mut SplitMix64,
+    ) -> Self {
         assert!(classes > 1 && n_per_class > 4 && d > 0, "degenerate dataset requested");
         // Deterministic class centers, pairwise well-separated directions.
         let centers: Vec<Vec<f64>> = (0..classes)
@@ -71,7 +77,10 @@ impl BlobDataset {
     /// Splits the training set into (forget, retain) by class.
     ///
     /// Returns `((x_f, y_f), (x_r, y_r))`.
-    pub fn split_forget(&self, forget_class: usize) -> ((Matrix, Vec<usize>), (Matrix, Vec<usize>)) {
+    pub fn split_forget(
+        &self,
+        forget_class: usize,
+    ) -> ((Matrix, Vec<usize>), (Matrix, Vec<usize>)) {
         assert!(forget_class < self.classes, "forget class out of range");
         let d = self.train_x.cols();
         let (mut fx, mut fy, mut rx, mut ry) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
@@ -84,10 +93,7 @@ impl BlobDataset {
                 ry.push(y);
             }
         }
-        (
-            (Matrix::from_vec(fy.len(), d, fx), fy),
-            (Matrix::from_vec(ry.len(), d, rx), ry),
-        )
+        ((Matrix::from_vec(fy.len(), d, fx), fy), (Matrix::from_vec(ry.len(), d, rx), ry))
     }
 
     /// Per-class test accuracy of a predictor given its predictions on

@@ -16,17 +16,24 @@ use treu_math::rng::{derive_seed, SplitMix64};
 
 /// Runs the three methods on one dataset/seed; returns
 /// `(original_accs, ascent, sisa, retrain)`.
-pub fn compare_methods(seed: u64, cfg: TrainConfig, forget_class: usize) -> (Vec<f64>, UnlearningReport, UnlearningReport, UnlearningReport) {
+pub fn compare_methods(
+    seed: u64,
+    cfg: TrainConfig,
+    forget_class: usize,
+) -> (Vec<f64>, UnlearningReport, UnlearningReport, UnlearningReport) {
     let mut rng = SplitMix64::new(derive_seed(seed, "data"));
     let d = BlobDataset::generate(4, 40, 8, 6.0, &mut rng);
 
     // Original model (never unlearned) — the reference accuracies.
-    let (mut original, base_steps) = retrain::train(&d.train_x, &d.train_y, 4, cfg, derive_seed(seed, "orig"));
-    let original_accs = d.per_class_test_accuracy(&treu_nn::model::predict(&mut original, &d.test_x));
+    let (mut original, base_steps) =
+        retrain::train(&d.train_x, &d.train_y, 4, cfg, derive_seed(seed, "orig"));
+    let original_accs =
+        d.per_class_test_accuracy(&treu_nn::model::predict(&mut original, &d.test_x));
 
     // Ascent unlearning on a copy... models are not Clone; retrain an
     // identical one (same seed -> identical weights) and unlearn it.
-    let (mut ascent_model, _) = retrain::train(&d.train_x, &d.train_y, 4, cfg, derive_seed(seed, "orig"));
+    let (mut ascent_model, _) =
+        retrain::train(&d.train_x, &d.train_y, 4, cfg, derive_seed(seed, "orig"));
     let ((fx, fy), (rx, ry)) = d.split_forget(forget_class);
     let ascent_steps = ascent::unlearn(
         &mut ascent_model,
@@ -42,7 +49,8 @@ pub fn compare_methods(seed: u64, cfg: TrainConfig, forget_class: usize) -> (Vec
     );
 
     // SISA: count only the incremental unlearning cost.
-    let (mut ensemble, _) = SisaEnsemble::train(&d.train_x, &d.train_y, 4, 4, cfg, derive_seed(seed, "sisa"));
+    let (mut ensemble, _) =
+        SisaEnsemble::train(&d.train_x, &d.train_y, 4, 4, cfg, derive_seed(seed, "sisa"));
     let sisa_steps = ensemble.unlearn_class(forget_class);
     let sisa_report = UnlearningReport::from_per_class(
         &d.per_class_test_accuracy(&ensemble.predict(&d.test_x)),
@@ -51,7 +59,8 @@ pub fn compare_methods(seed: u64, cfg: TrainConfig, forget_class: usize) -> (Vec
     );
 
     // Full retrain oracle.
-    let (mut retrained, retrain_steps) = retrain::retrain_without(&d, forget_class, cfg, derive_seed(seed, "retrain"));
+    let (mut retrained, retrain_steps) =
+        retrain::retrain_without(&d, forget_class, cfg, derive_seed(seed, "retrain"));
     let retrain_report = UnlearningReport::from_per_class(
         &d.per_class_test_accuracy(&treu_nn::model::predict(&mut retrained, &d.test_x)),
         forget_class,
@@ -77,7 +86,8 @@ impl Experiment for UnlearningExperiment {
         let mut acc = [[0.0f64; 3]; 3]; // [method][forget, retain, relcost]
         let mut orig_retain = 0.0;
         for t in 0..trials {
-            let (orig, a, s, r) = compare_methods(derive_seed(ctx.seed(), &format!("t{t}")), cfg, forget_class);
+            let (orig, a, s, r) =
+                compare_methods(derive_seed(ctx.seed(), &format!("t{t}")), cfg, forget_class);
             let retained: Vec<f64> = orig
                 .iter()
                 .enumerate()

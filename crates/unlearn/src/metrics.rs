@@ -16,12 +16,8 @@ impl UnlearningReport {
     /// Builds a report from per-class accuracies.
     pub fn from_per_class(accs: &[f64], forget_class: usize, cost_steps: u64) -> Self {
         assert!(forget_class < accs.len(), "forget class out of range");
-        let retained: Vec<f64> = accs
-            .iter()
-            .enumerate()
-            .filter(|(c, _)| *c != forget_class)
-            .map(|(_, &a)| a)
-            .collect();
+        let retained: Vec<f64> =
+            accs.iter().enumerate().filter(|(c, _)| *c != forget_class).map(|(_, &a)| a).collect();
         Self {
             forget_accuracy: accs[forget_class],
             retain_accuracy: treu_math::stats::mean(&retained),
@@ -63,7 +59,8 @@ mod tests {
         assert!(good.successful(0.3, 0.8));
         let leaky = UnlearningReport { forget_accuracy: 0.5, retain_accuracy: 0.9, cost_steps: 10 };
         assert!(!leaky.successful(0.3, 0.8));
-        let damaged = UnlearningReport { forget_accuracy: 0.0, retain_accuracy: 0.5, cost_steps: 10 };
+        let damaged =
+            UnlearningReport { forget_accuracy: 0.0, retain_accuracy: 0.5, cost_steps: 10 };
         assert!(!damaged.successful(0.3, 0.8));
     }
 

@@ -50,7 +50,13 @@ pub fn train(
 }
 
 /// Continues training an existing model; returns optimizer steps taken.
-pub fn train_into(model: &mut Sequential, x: &Matrix, y: &[usize], cfg: TrainConfig, seed: u64) -> u64 {
+pub fn train_into(
+    model: &mut Sequential,
+    x: &Matrix,
+    y: &[usize],
+    cfg: TrainConfig,
+    seed: u64,
+) -> u64 {
     let mut opt = Sgd::new(cfg.lr, cfg.momentum);
     let mut rng = SplitMix64::new(seed);
     let batches_per_epoch = y.len().div_ceil(cfg.batch) as u64;
@@ -63,7 +69,12 @@ pub fn train_into(model: &mut Sequential, x: &Matrix, y: &[usize], cfg: TrainCon
 /// The oracle: train from scratch on the retain set only.
 ///
 /// Returns `(model, steps)` — the cost every cheaper method is compared to.
-pub fn retrain_without(dataset: &BlobDataset, forget_class: usize, cfg: TrainConfig, seed: u64) -> (Sequential, u64) {
+pub fn retrain_without(
+    dataset: &BlobDataset,
+    forget_class: usize,
+    cfg: TrainConfig,
+    seed: u64,
+) -> (Sequential, u64) {
     let (_, (rx, ry)) = dataset.split_forget(forget_class);
     train(&rx, &ry, dataset.classes, cfg, seed)
 }

@@ -130,9 +130,8 @@ impl SisaEnsemble {
     pub fn unlearn_point(&mut self, point: &[f64]) -> u64 {
         for s in 0..self.shards.len() {
             let (sx, sy) = &self.shard_data[s];
-            let found = (0..sx.rows()).find(|&i| {
-                sx.row(i).iter().zip(point).all(|(a, b)| (a - b).abs() < 1e-12)
-            });
+            let found = (0..sx.rows())
+                .find(|&i| sx.row(i).iter().zip(point).all(|(a, b)| (a - b).abs() < 1e-12));
             if let Some(idx) = found {
                 let d = sx.cols();
                 let mut buf = Vec::new();

@@ -43,7 +43,10 @@ fn main() {
     println!("  revised d2: {}", v2.item("d2").expect("exists").prompt);
 
     let interviews = default_interview_protocol();
-    println!("\nInterview protocol has {} questions (conducted over Zoom in the paper).", interviews.items.len());
+    println!(
+        "\nInterview protocol has {} questions (conducted over Zoom in the paper).",
+        interviews.items.len()
+    );
 
     // --- Phase 2: review an artifact the way the study's subjects do.
     println!("\n== Reviewing the TREU artifact itself ==");
@@ -70,7 +73,11 @@ fn main() {
     let e210 = reg.run("E2.10", 2023).expect("registered");
     let beats = (e210.metric("d256_filter").unwrap() < e210.metric("d256_median").unwrap()) as i64;
     let checks = vec![
-        ClaimCheck { claim_id: "T1".into(), claimed: 0.0, measured: t1.metric("max_abs_dev").unwrap() },
+        ClaimCheck {
+            claim_id: "T1".into(),
+            claimed: 0.0,
+            measured: t1.metric("max_abs_dev").unwrap(),
+        },
         ClaimCheck { claim_id: "E2.10".into(), claimed: 1.0, measured: beats as f64 },
     ];
     let eval = evaluate(&artifact, true, &checks);

@@ -16,7 +16,8 @@ fn time_real(kernel: &Kernel, schedule: Schedule, backend: Backend, reps: usize)
     let mut w = kernel.workload(&mut rng);
     // Warm-up, then the median of reps.
     execute(kernel, schedule, backend, &mut w);
-    let mut times: Vec<f64> = (0..reps).map(|_| execute(kernel, schedule, backend, &mut w)).collect();
+    let mut times: Vec<f64> =
+        (0..reps).map(|_| execute(kernel, schedule, backend, &mut w)).collect();
     times.sort_by(|a, b| a.partial_cmp(b).unwrap());
     times[reps / 2]
 }
@@ -35,10 +36,7 @@ fn main() {
     }
 
     println!("\n== GA autotuning (cost model) + cross-backend replication ==");
-    println!(
-        "{:<10} {:>9} {:>11} {:<46}",
-        "kernel", "speedup", "replicate", "best schedule"
-    );
+    println!("{:<10} {:>9} {:>11} {:<46}", "kernel", "speedup", "replicate", "best schedule");
     for kernel in Kernel::suite() {
         let r = tune_kernel(kernel, GaParams::default(), 7);
         println!(

@@ -18,7 +18,10 @@ fn main() {
     );
 
     println!("== Weighting kernels (schedule-aware filter, 256 particles) ==");
-    println!("{:<12} {:>8} {:>10} {:>14} {:>12}", "kernel", "rmse", "final err", "kernel evals", "wall (ms)");
+    println!(
+        "{:<12} {:>8} {:>10} {:>14} {:>12}",
+        "kernel", "rmse", "final err", "kernel evals", "wall (ms)"
+    );
     for kernel in WeightFn::all() {
         let mut rmse = 0.0;
         let mut final_err = 0.0;

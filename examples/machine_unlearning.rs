@@ -9,10 +9,7 @@ use treu::unlearn::retrain::TrainConfig;
 fn main() {
     let forget_class = 2;
     println!("Forgetting class {forget_class} from a 4-class model (3 trials)\n");
-    println!(
-        "{:<22} {:>12} {:>12} {:>14}",
-        "method", "forget acc", "retain acc", "relative cost"
-    );
+    println!("{:<22} {:>12} {:>12} {:>14}", "method", "forget acc", "retain acc", "relative cost");
 
     let trials = 3;
     let mut rows = [[0.0f64; 3]; 3];

@@ -49,9 +49,21 @@ fn main() {
     let t2 = reg.run("T2", seed).expect("registered");
     let t3 = reg.run("T3", seed).expect("registered");
     let checks = vec![
-        ClaimCheck { claim_id: "T1".into(), claimed: 0.0, measured: t1.metric("max_abs_dev").unwrap() },
-        ClaimCheck { claim_id: "T2".into(), claimed: 0.0, measured: t2.metric("max_abs_dev_mean").unwrap() },
-        ClaimCheck { claim_id: "T3".into(), claimed: 0.0, measured: t3.metric("max_abs_dev_mean").unwrap() },
+        ClaimCheck {
+            claim_id: "T1".into(),
+            claimed: 0.0,
+            measured: t1.metric("max_abs_dev").unwrap(),
+        },
+        ClaimCheck {
+            claim_id: "T2".into(),
+            claimed: 0.0,
+            measured: t2.metric("max_abs_dev_mean").unwrap(),
+        },
+        ClaimCheck {
+            claim_id: "T3".into(),
+            claimed: 0.0,
+            measured: t3.metric("max_abs_dev_mean").unwrap(),
+        },
     ];
     let eval = evaluate(&artifact, true, &checks);
     for b in [Badge::ArtifactsAvailable, Badge::ArtifactsFunctional, Badge::ResultsReproduced] {

@@ -17,10 +17,8 @@ fn main() {
     println!("{}", analysis::render_table3(&t3));
 
     println!("== Paper vs measured ==");
-    let exact = t1
-        .iter()
-        .zip(paper::GOALS.iter())
-        .all(|(row, (_, want))| row.accomplished == *want);
+    let exact =
+        t1.iter().zip(paper::GOALS.iter()).all(|(row, (_, want))| row.accomplished == *want);
     println!("Table 1: all 19 goal counts exact: {exact}");
     let worst2 = t2
         .iter()
@@ -37,11 +35,20 @@ fn main() {
 
     println!("\n== Section 3 narrative ==");
     let n = analysis::narrative(&cohort);
-    println!("{}", comparison_line("PhD intent (a priori mean)", paper::PHD_INTENT.0, n.phd_apriori_mean));
-    println!("{}", comparison_line("PhD intent (post hoc mean)", paper::PHD_INTENT.2, n.phd_posthoc_mean));
+    println!(
+        "{}",
+        comparison_line("PhD intent (a priori mean)", paper::PHD_INTENT.0, n.phd_apriori_mean)
+    );
+    println!(
+        "{}",
+        comparison_line("PhD intent (post hoc mean)", paper::PHD_INTENT.2, n.phd_posthoc_mean)
+    );
     println!(
         "PhD intent modes: paper {} -> {}, measured {} -> {}",
-        paper::PHD_INTENT.1, paper::PHD_INTENT.3, n.phd_apriori_mode, n.phd_posthoc_mode
+        paper::PHD_INTENT.1,
+        paper::PHD_INTENT.3,
+        n.phd_apriori_mode,
+        n.phd_posthoc_mode
     );
     println!(
         "Recommenders (mode, min, max): REU {:?}, home {:?}, outside {:?}",
@@ -56,5 +63,24 @@ fn main() {
         pool.len(),
         offers.len(),
         nonresearch
+    );
+
+    // Multi-seed stability, fanned out over the deterministic executor:
+    // how sensitive are the Table 2 calibration deviations to the cohort
+    // seed? (Bitwise-identical for any job count.)
+    let seeds: Vec<u64> = (2020..2030).collect();
+    let jobs = treu::math::parallel::default_threads();
+    let stability = treu::surveys::experiments::seed_stability(
+        &treu::surveys::experiments::Table2Experiment,
+        &seeds,
+        jobs,
+    );
+    let dev = &stability["max_abs_dev_mean"];
+    println!(
+        "\nTable 2 a-priori-mean deviation across {} seeds ({} jobs): mean {:.3}, worst {:.3}",
+        seeds.len(),
+        jobs,
+        dev.stats.mean(),
+        dev.max
     );
 }

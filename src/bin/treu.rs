@@ -2,29 +2,38 @@
 //!
 //! ```text
 //! treu list                  # print the experiment index
-//! treu run <id> [seed]       # run one experiment, print its provenance
+//! treu run [id] [seed]       # run one experiment (or all of them)
 //! treu tables [seed]         # regenerate the paper's three tables
-//! treu verify <id> [seed]    # run twice, check bitwise reproduction
+//! treu verify [id] [seed]    # run twice, check bitwise reproduction
 //! treu env                   # print the captured environment
 //! ```
+//!
+//! Every run/tables/verify invocation accepts `--jobs N` (or `-j N`):
+//! work fans out over N workers through [`treu::core::exec::Executor`],
+//! and the output is bitwise-identical for every N — parallelism changes
+//! wall-clock time, never results. The default is one worker per
+//! hardware thread.
 
 use treu::core::environment::Environment;
+use treu::core::exec::Executor;
 use treu::surveys::{analysis, Cohort};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let reg = treu::full_registry();
-    let seed_arg = |i: usize| -> u64 {
-        args.get(i).and_then(|s| s.parse().ok()).unwrap_or(2023)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = match extract_jobs(&mut args) {
+        Ok(j) => j,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
     };
+    let exec = Executor::new(jobs);
+    let reg = treu::full_registry();
+    let seed_arg = |i: usize| -> u64 { args.get(i).and_then(|s| s.parse().ok()).unwrap_or(2023) };
     match args.first().map(String::as_str) {
         Some("list") => print!("{}", reg.render_index()),
-        Some("run") => {
-            let Some(id) = args.get(1) else {
-                eprintln!("usage: treu run <id> [seed]");
-                std::process::exit(2);
-            };
-            match reg.run(id, seed_arg(2)) {
+        Some("run") => match args.get(1) {
+            Some(id) => match reg.run(id, seed_arg(2)) {
                 Some(rec) => {
                     println!(
                         "{} (seed {}, {:.3}s, fingerprint {:#018x})",
@@ -39,35 +48,97 @@ fn main() {
                     eprintln!("unknown experiment id '{id}'; try `treu list`");
                     std::process::exit(1);
                 }
+            },
+            // No id: run the whole registry through the executor.
+            None => {
+                let (records, report) = exec.run_all_report(&reg, seed_arg(1));
+                for (id, rec) in &records {
+                    println!(
+                        "{:<10} {} (seed {}, fingerprint {:#018x})",
+                        id,
+                        rec.name,
+                        rec.seed,
+                        rec.fingerprint()
+                    );
+                }
+                println!();
+                print!("{}", report.render());
             }
-        }
+        },
         Some("tables") => {
             let cohort = Cohort::simulate(seed_arg(1));
-            println!("{}", analysis::render_table1(&analysis::table1(&cohort)));
-            println!("{}", analysis::render_table2(&analysis::table2(&cohort)));
-            println!("{}", analysis::render_table3(&analysis::table3(&cohort)));
+            // The three analyses are independent; fan them out, print in
+            // canonical order regardless of which finished first.
+            let rendered = exec.map_indexed(3, |i| match i {
+                0 => analysis::render_table1(&analysis::table1(&cohort)),
+                1 => analysis::render_table2(&analysis::table2(&cohort)),
+                _ => analysis::render_table3(&analysis::table3(&cohort)),
+            });
+            for table in rendered {
+                println!("{table}");
+            }
         }
         Some("verify") => {
-            let Some(id) = args.get(1) else {
-                eprintln!("usage: treu verify <id> [seed]");
-                std::process::exit(2);
-            };
             let seed = seed_arg(2);
-            let (Some(a), Some(b)) = (reg.run(id, seed), reg.run(id, seed)) else {
-                eprintln!("unknown experiment id '{id}'");
-                std::process::exit(1);
-            };
-            if a.trail == b.trail {
-                println!("{id}: REPRODUCED (fingerprint {:#018x})", a.fingerprint());
-            } else {
-                println!("{id}: MISMATCH — run is not deterministic");
-                std::process::exit(1);
+            match args.get(1) {
+                Some(id) => {
+                    if reg.get(id).is_none() {
+                        eprintln!("unknown experiment id '{id}'");
+                        std::process::exit(1);
+                    }
+                    // Two concurrent replicas of the same run.
+                    let runs =
+                        exec.map_indexed(2, |_| reg.run(id, seed).expect("id checked above"));
+                    if runs[0].trail == runs[1].trail {
+                        println!("{id}: REPRODUCED (fingerprint {:#018x})", runs[0].fingerprint());
+                    } else {
+                        println!("{id}: MISMATCH — run is not deterministic");
+                        std::process::exit(1);
+                    }
+                }
+                // No id: verify the whole registry.
+                None => {
+                    let report = exec.verify_all(&reg, seed_arg(1));
+                    print!("{}", report.render());
+                    if !report.all_reproduced() {
+                        std::process::exit(1);
+                    }
+                }
             }
         }
         Some("env") => print!("{}", Environment::capture().render()),
         _ => {
-            eprintln!("usage: treu <list|run|tables|verify|env> [...]");
+            eprintln!("usage: treu <list|run|tables|verify|env> [...] [--jobs N]");
             std::process::exit(2);
         }
     }
+}
+
+/// Removes `--jobs N` / `-j N` (or `--jobs=N`) from `args` and returns the
+/// worker count, defaulting to the hardware thread count.
+fn extract_jobs(args: &mut Vec<String>) -> Result<usize, String> {
+    let mut jobs = treu::math::parallel::default_threads();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        let value = if arg == "--jobs" || arg == "-j" {
+            if i + 1 >= args.len() {
+                return Err(format!("{arg} requires a value"));
+            }
+            let v = args.remove(i + 1);
+            args.remove(i);
+            v
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            args.remove(i);
+            v.to_string()
+        } else {
+            i += 1;
+            continue;
+        };
+        jobs =
+            value.parse::<usize>().ok().filter(|&j| j >= 1).ok_or_else(|| {
+                format!("invalid --jobs value '{value}' (want a positive integer)")
+            })?;
+    }
+    Ok(jobs)
 }

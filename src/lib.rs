@@ -58,8 +58,25 @@ pub const TABLE_IDS: [&str; 3] = ["T1", "T2", "T3"];
 
 /// Every experiment id the registry is expected to contain.
 pub const ALL_EXPERIMENT_IDS: [&str; 19] = [
-    "T1", "T2", "T3", "N1", "E2.2a", "E2.2b", "E2.3", "E2.4", "E2.5", "E2.5-abl", "E2.6",
-    "E2.7", "E2.8", "E2.8-abl", "E2.9", "E2.10", "E2.10-abl", "E2.11", "X-bias",
+    "T1",
+    "T2",
+    "T3",
+    "N1",
+    "E2.2a",
+    "E2.2b",
+    "E2.3",
+    "E2.4",
+    "E2.5",
+    "E2.5-abl",
+    "E2.6",
+    "E2.7",
+    "E2.8",
+    "E2.8-abl",
+    "E2.9",
+    "E2.10",
+    "E2.10-abl",
+    "E2.11",
+    "X-bias",
 ];
 
 #[cfg(test)]

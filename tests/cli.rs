@@ -3,10 +3,7 @@
 use std::process::Command;
 
 fn treu(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_treu"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_treu")).args(args).output().expect("binary runs")
 }
 
 #[test]
@@ -48,6 +45,35 @@ fn tables_render_all_three() {
     assert!(stdout.contains("Table 2"));
     assert!(stdout.contains("Table 3"));
     assert!(stdout.contains("Collaborate with peers"));
+}
+
+#[test]
+fn tables_are_identical_for_every_jobs_value() {
+    let one = treu(&["tables", "--jobs", "1"]);
+    let eight = treu(&["tables", "--jobs", "8"]);
+    assert!(one.status.success() && eight.status.success());
+    assert_eq!(one.stdout, eight.stdout, "--jobs must never change output");
+}
+
+#[test]
+fn verify_accepts_jobs_flag_in_both_spellings() {
+    let a = treu(&["verify", "T1", "--jobs", "2"]);
+    let b = treu(&["verify", "T1", "-j", "4"]);
+    assert!(a.status.success() && b.status.success());
+    let sa = String::from_utf8(a.stdout).expect("utf8");
+    let sb = String::from_utf8(b.stdout).expect("utf8");
+    assert_eq!(sa, sb);
+    assert!(sa.contains("REPRODUCED"));
+}
+
+#[test]
+fn bad_jobs_value_fails_with_usage_error() {
+    for bad in [&["tables", "--jobs", "0"][..], &["tables", "--jobs", "x"], &["tables", "--jobs"]] {
+        let out = treu(bad);
+        assert_eq!(out.status.code(), Some(2), "{bad:?}");
+        let stderr = String::from_utf8(out.stderr).expect("utf8");
+        assert!(stderr.contains("--jobs") || stderr.contains("requires a value"), "{stderr}");
+    }
 }
 
 #[test]

@@ -31,18 +31,16 @@ fn e22_schedule_awareness_beats_typical_filter_under_drift() {
 
 #[test]
 fn e23_unlearning_avoids_complete_retraining() {
-    let rec = reg()
-        .run_with("E2.3", 2023, Params::new().with_int("trials", 2))
-        .expect("registered");
+    let rec =
+        reg().run_with("E2.3", 2023, Params::new().with_int("trials", 2)).expect("registered");
     assert!(rec.metric("ascent_forget_acc").unwrap() < 0.3);
     assert!(rec.metric("ascent_relative_cost").unwrap() < 0.5);
 }
 
 #[test]
 fn e24_semantics_clearly_improve_classification() {
-    let rec = reg()
-        .run_with("E2.4", 2023, Params::new().with_int("trials", 2))
-        .expect("registered");
+    let rec =
+        reg().run_with("E2.4", 2023, Params::new().with_int("trials", 2)).expect("registered");
     assert!(rec.metric("improvement").unwrap() > 0.1);
 }
 
@@ -56,9 +54,8 @@ fn e25_replication_matches_on_matvec_gaps_elsewhere() {
 
 #[test]
 fn e26_deaugmented_set_generalizes_better() {
-    let rec = reg()
-        .run_with("E2.6", 2023, Params::new().with_int("trials", 2))
-        .expect("registered");
+    let rec =
+        reg().run_with("E2.6", 2023, Params::new().with_int("trials", 2)).expect("registered");
     assert!(rec.metric("deaug_advantage_f1").unwrap() > 0.0);
     assert!(rec.metric("coverage_ratio").unwrap() > 8.0, "the confound is measured");
 }

@@ -2,10 +2,13 @@
 //! registered experiment (RH in DESIGN.md's index).
 //!
 //! Every experiment in the registry must be (a) runnable, (b) bitwise
-//! deterministic under a fixed seed, and (c) sensitive to the seed. Heavy
-//! experiments run with lightened parameters — determinism is a property
-//! of the code path, not of the workload size.
+//! deterministic under a fixed seed, (c) sensitive to the seed, and
+//! (d) executor-conformant: running it through the parallel
+//! [`Executor`] at any job count produces trails bitwise-identical to
+//! the sequential run. Heavy experiments run with lightened parameters —
+//! determinism is a property of the code path, not of the workload size.
 
+use treu::core::exec::Executor;
 use treu::core::experiment::Params;
 
 /// Lightened parameters per experiment id, so the full determinism sweep
@@ -14,7 +17,10 @@ fn light_params(id: &str) -> Params {
     match id {
         "E2.2a" | "E2.2b" => Params::new().with_int("trials", 2).with_int("particles", 64),
         "E2.3" => Params::new().with_int("trials", 1).with_int("epochs", 8),
-        "E2.4" => Params::new().with_int("trials", 1).with_int("train_per_class", 6).with_int("test_per_class", 3),
+        "E2.4" => Params::new()
+            .with_int("trials", 1)
+            .with_int("train_per_class", 6)
+            .with_int("test_per_class", 3),
         "E2.5" => Params::new().with_int("population", 8).with_int("generations", 4),
         "E2.5-abl" => Params::new().with_int("generations", 3),
         "E2.6" => Params::new().with_int("trials", 1).with_int("epochs", 4),
@@ -42,12 +48,72 @@ fn every_experiment_runs_and_is_deterministic() {
         let p = light_params(id);
         let a = reg.run_with(id, 77, p.clone()).expect("registered");
         let b = reg.run_with(id, 77, p.clone()).expect("registered");
-        assert_eq!(
-            a.trail, b.trail,
-            "experiment {id} is not deterministic under a fixed seed"
-        );
+        assert_eq!(a.trail, b.trail, "experiment {id} is not deterministic under a fixed seed");
         assert!(!a.trail.metrics().is_empty(), "experiment {id} recorded no metrics");
     }
+}
+
+#[test]
+fn conformance_every_id_reproduces_at_every_job_count() {
+    // The workspace-wide determinism conformance suite: the whole registry
+    // is verified (each id run twice, concurrently) at jobs 1, 2 and 8,
+    // and the per-id fingerprints must be identical across job counts.
+    let reg = treu::full_registry();
+    let mut baseline: Option<Vec<(String, u64)>> = None;
+    for jobs in [1usize, 2, 8] {
+        let report = Executor::new(jobs).verify_all_with(&reg, 77, |id, _| light_params(id));
+        assert_eq!(report.outcomes.len(), reg.len(), "jobs={jobs}");
+        assert!(
+            report.all_reproduced(),
+            "non-deterministic at jobs={jobs}: {:?}",
+            report.violations()
+        );
+        let fps: Vec<(String, u64)> =
+            report.outcomes.iter().map(|o| (o.id.clone(), o.fingerprint)).collect();
+        match &baseline {
+            None => baseline = Some(fps),
+            Some(base) => {
+                assert_eq!(base, &fps, "fingerprints changed between jobs=1 and jobs={jobs}")
+            }
+        }
+    }
+}
+
+#[test]
+fn conformance_multi_seed_batches_are_job_count_invariant() {
+    // run_seeds through the executor, on a spread of registry ids covering
+    // different crates, must match the sequential records bitwise.
+    let reg = treu::full_registry();
+    let seeds = [3u64, 14, 15, 92, 65];
+    for id in ["T1", "N1", "E2.10-abl", "E2.5-abl", "E3"] {
+        let p = light_params(id);
+        let seq: Vec<_> =
+            seeds.iter().map(|&s| reg.run_with(id, s, p.clone()).expect("registered")).collect();
+        for jobs in [2usize, 8] {
+            let par = Executor::new(jobs).map_indexed(seeds.len(), |i| {
+                reg.run_with(id, seeds[i], p.clone()).expect("registered")
+            });
+            for (a, b) in seq.iter().zip(par.iter()) {
+                assert_eq!(a.trail, b.trail, "{id} diverged at jobs={jobs}");
+            }
+        }
+    }
+}
+
+#[test]
+fn executor_report_accounts_for_every_registry_run() {
+    let reg = treu::full_registry();
+    // Two light survey ids through run_all on a restricted registry is not
+    // possible (run_all uses defaults), so check the report plumbing on
+    // verify_all_with instead: per-id outcomes plus positive wall time.
+    let report = Executor::new(4).verify_all_with(&reg, 5, |id, _| light_params(id));
+    assert_eq!(report.jobs, 4);
+    assert!(report.wall_seconds > 0.0);
+    let rendered = report.render();
+    for (id, _) in reg.iter() {
+        assert!(rendered.contains(id), "render missing {id}");
+    }
+    assert!(rendered.contains(&format!("{}/{} reproduced", reg.len(), reg.len())));
 }
 
 #[test]

@@ -1,11 +1,45 @@
 //! Property-based tests (proptest) on the workspace's core invariants:
 //! linear algebra, statistics, RNG derivation, provenance fingerprints,
-//! Likert calibration, schedule correctness, and the cluster simulator.
+//! executor determinism, Likert calibration, schedule correctness, and the
+//! cluster simulator.
 
 use proptest::prelude::*;
+use treu::core::exec::Executor;
+use treu::core::experiment::{run_seeds, Experiment, Params, RunContext};
+use treu::core::sweep::{sweep, Axis};
 use treu::core::Trail;
 use treu_math::rng::SplitMix64;
 use treu_math::{stats, vector, Matrix};
+
+/// A cheap randomized experiment for executor properties: a handful of
+/// seeded draws folded through the run's parameters.
+struct Synthetic;
+
+impl Experiment for Synthetic {
+    fn name(&self) -> &str {
+        "prop/synthetic"
+    }
+
+    fn run(&self, ctx: &mut RunContext) {
+        let n = ctx.int("n", 8).unsigned_abs() as usize;
+        let scale = ctx.float("scale", 1.0);
+        let mut rng = ctx.rng("draws");
+        let sum: f64 = (0..n.max(1)).map(|_| rng.next_f64()).sum();
+        ctx.record("scaled_sum", sum * scale);
+        ctx.record("n_echo", n as f64);
+    }
+}
+
+/// The job counts the acceptance criteria call out: 1, 2, the hardware
+/// thread count, and strictly more jobs than work items.
+fn job_counts() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        Just(2usize),
+        Just(treu_math::parallel::default_threads()),
+        13usize..48,
+    ]
+}
 
 fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-100.0..100.0f64, rows * cols)
@@ -143,6 +177,56 @@ proptest! {
             t.metric(k, *v);
         }
         prop_assert_eq!(t.clone().fingerprint(), t.fingerprint());
+    }
+
+    // --- executor -----------------------------------------------------------
+
+    #[test]
+    fn executor_run_seeds_matches_sequential(
+        seeds in proptest::collection::vec(any::<u64>(), 0..12),
+        n in 1i64..40,
+        jobs in job_counts(),
+    ) {
+        let params = Params::new().with_int("n", n);
+        let seq = run_seeds(&Synthetic, &seeds, &params);
+        let par = Executor::new(jobs).run_seeds(&Synthetic, &seeds, &params);
+        prop_assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            prop_assert_eq!(a.seed, b.seed);
+            prop_assert_eq!(a.fingerprint(), b.fingerprint(), "jobs={}", jobs);
+            prop_assert_eq!(&a.trail, &b.trail);
+        }
+    }
+
+    #[test]
+    fn executor_sweep_matches_sequential(
+        seed in any::<u64>(),
+        n_vals in proptest::collection::vec(1i64..50, 1..4),
+        scale_vals in proptest::collection::vec(0.25..4.0f64, 1..4),
+        jobs in job_counts(),
+    ) {
+        let axes = [Axis::ints("n", &n_vals), Axis::floats("scale", &scale_vals)];
+        let seq = sweep(&Synthetic, &Params::new(), &axes, seed);
+        let par = Executor::new(jobs).sweep(&Synthetic, &Params::new(), &axes, seed);
+        prop_assert_eq!(seq.len(), n_vals.len() * scale_vals.len());
+        prop_assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(par.iter()) {
+            prop_assert_eq!(&a.assignment, &b.assignment, "grid order must be canonical");
+            prop_assert_eq!(&a.record.trail, &b.record.trail, "jobs={}", jobs);
+        }
+    }
+
+    #[test]
+    fn executor_map_preserves_index_order(n in 0usize..200, jobs in 1usize..32) {
+        let v = Executor::new(jobs).map_indexed(n, |i| i);
+        prop_assert_eq!(v, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn executor_verify_accepts_deterministic_runs(seed in any::<u64>(), jobs in job_counts()) {
+        let params = Params::new().with_int("n", 6);
+        let fp = Executor::new(jobs).assert_deterministic(&Synthetic, seed, &params);
+        prop_assert_eq!(fp, run_seeds(&Synthetic, &[seed], &params)[0].fingerprint());
     }
 
     // --- surveys ------------------------------------------------------------

@@ -57,6 +57,43 @@ fn table_reproduction_holds_across_seeds() {
 }
 
 #[test]
+fn rendered_tables_match_golden_snapshots() {
+    // Byte-for-byte snapshots of the three published tables at the
+    // canonical seed. A diff here means the rendered artifact changed —
+    // either a real regression or an intentional change that must be
+    // re-blessed by regenerating tests/goldens/.
+    use treu::surveys::{analysis, Cohort};
+    let c = Cohort::simulate(2023);
+    let cases = [
+        (analysis::render_table1(&analysis::table1(&c)), include_str!("goldens/table1.txt")),
+        (analysis::render_table2(&analysis::table2(&c)), include_str!("goldens/table2.txt")),
+        (analysis::render_table3(&analysis::table3(&c)), include_str!("goldens/table3.txt")),
+    ];
+    for (i, (got, want)) in cases.iter().enumerate() {
+        assert_eq!(got, want, "Table {} drifted from its golden snapshot", i + 1);
+    }
+}
+
+#[test]
+fn tables_are_job_count_invariant() {
+    // The `treu tables --jobs N` path fans the three analyses out over
+    // executor workers; the rendered bytes must not depend on N.
+    use treu::core::exec::Executor;
+    use treu::surveys::{analysis, Cohort};
+    let c = Cohort::simulate(2023);
+    let render = |i: usize| match i {
+        0 => analysis::render_table1(&analysis::table1(&c)),
+        1 => analysis::render_table2(&analysis::table2(&c)),
+        _ => analysis::render_table3(&analysis::table3(&c)),
+    };
+    let seq = Executor::sequential().map_indexed(3, render);
+    for jobs in [2usize, 8] {
+        assert_eq!(seq, Executor::new(jobs).map_indexed(3, render), "jobs={jobs}");
+    }
+    assert_eq!(seq[0], include_str!("goldens/table1.txt"));
+}
+
+#[test]
 fn rendered_tables_contain_every_paper_row() {
     use treu::surveys::{analysis, Cohort};
     let c = Cohort::simulate(2023);

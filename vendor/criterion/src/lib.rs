@@ -1,0 +1,289 @@
+//! Offline shim for the `criterion` API subset TREU's benches use.
+//!
+//! Implements [`Criterion`], [`Bencher`], [`BenchmarkId`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros with a simple
+//! warmup-then-sample timer. Each sample times a batch of iterations and
+//! the reported statistics are the minimum, median, and mean of the
+//! per-iteration times — minimum first, because timing noise is strictly
+//! additive. Results print to stdout; there is no plotting, baseline
+//! comparison, or statistical regression machinery.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterized benchmark, rendered `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/param` id.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", name.into(), param) }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self { id: param.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times the body handed to [`Bencher::iter`].
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    /// Per-iteration seconds, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly: first until the warmup window elapses, then
+    /// `sample_size` timed batches spread over the measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warmup, counting iterations to size the timed batches.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            std::hint::black_box(body());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let batch = ((budget / per_iter.max(1e-12)) as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(body());
+            }
+            self.samples.push(start.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warmup duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement window, split across samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Plotting is not implemented; accepted for API compatibility.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(id, &mut b.samples);
+        self
+    }
+
+    /// Runs one parameterized benchmark, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(&id.to_string(), |b| f(b, input))
+    }
+
+    /// Opens a named group; member ids render as `group/id`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A named collection of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark under the group's prefix. Accepts `&str` ids and
+    /// [`BenchmarkId`]s alike, as upstream does.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark under the group's prefix.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, samples: &mut [f64]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples — Bencher::iter never called)");
+        return;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{id:<40} min {} | median {} | mean {} ({} samples)",
+        fmt_secs(min),
+        fmt_secs(median),
+        fmt_secs(mean),
+        samples.len()
+    );
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:>9.4} s")
+    } else if s >= 1e-3 {
+        format!("{:>8.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:>8.3} µs", s * 1e6)
+    } else {
+        format!("{:>8.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| std::hint::black_box(2 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_run_their_members() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        let mut ran = 0;
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("one", |b| {
+            b.iter(|| std::hint::black_box(1));
+            ran += 1;
+        });
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2));
+            ran += 1;
+        });
+        g.finish();
+        assert_eq!(ran, 2);
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("sweep", 8).to_string(), "sweep/8");
+        assert_eq!(BenchmarkId::from_parameter(32).to_string(), "32");
+    }
+}

@@ -1,0 +1,94 @@
+//! Offline shim for the `crossbeam` API surface TREU uses.
+//!
+//! The workspace builds without network access to crates.io, so the real
+//! `crossbeam` cannot be fetched. This crate re-implements the one entry
+//! point the workspace calls — [`scope`] with [`thread::Scope::spawn`] and
+//! [`thread::ScopedJoinHandle::join`] — on top of `std::thread::scope`,
+//! which provides the same structured-concurrency guarantee (all workers
+//! join before the scope returns). Semantics match crossbeam for the
+//! workspace's usage; the one divergence is panic propagation: where
+//! crossbeam returns `Err` from `scope` if an unjoined worker panicked,
+//! `std::thread::scope` resumes the panic directly. Every call site
+//! `.expect()`s the result, so both surface as a panic either way.
+
+#![forbid(unsafe_code)]
+
+/// Scoped-thread types, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// Error payload of a panicked worker, as `join` returns it.
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle passed to [`super::scope`]'s closure; spawns workers
+    /// that may borrow from the enclosing stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped worker.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the worker and returns its result, or the panic
+        /// payload if it panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub(crate) fn wrap(inner: &'scope std::thread::Scope<'scope, 'env>) -> Self {
+            Self { inner }
+        }
+
+        /// Spawns a worker inside the scope. As in crossbeam, the closure
+        /// receives the scope again so workers can spawn sub-workers.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope::wrap(inner))) }
+        }
+    }
+}
+
+/// Creates a scope in which threads may borrow non-`'static` data; all
+/// spawned workers are joined before `scope` returns.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&thread::Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&thread::Scope::wrap(s))))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn workers_fill_disjoint_bands() {
+        let mut buf = [0u64; 10];
+        super::scope(|s| {
+            let (a, b) = buf.split_at_mut(5);
+            s.spawn(move |_| a.fill(1));
+            s.spawn(move |_| b.fill(2));
+        })
+        .unwrap();
+        assert_eq!(buf[..5], [1; 5]);
+        assert_eq!(buf[5..], [2; 5]);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let v = super::scope(|s| s.spawn(|_| 41 + 1).join().unwrap()).unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn nested_spawn_compiles_and_runs() {
+        let v = super::scope(|s| s.spawn(|s2| s2.spawn(|_| 7).join().unwrap()).join().unwrap())
+            .unwrap();
+        assert_eq!(v, 7);
+    }
+}

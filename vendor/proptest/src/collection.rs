@@ -1,0 +1,66 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+use std::ops::Range;
+
+/// Length specifications accepted by [`vec`]: an exact `usize` or a
+/// half-open `Range<usize>`.
+pub trait IntoSizeRange {
+    /// Converts to inclusive `(min, max)` lengths.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = if self.min == self.max {
+            self.min
+        } else {
+            self.min + rng.next_bounded((self.max - self.min + 1) as u64) as usize
+        };
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `Vec`s whose elements come from `element` and whose length
+/// lies in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_ranged_lengths() {
+        let mut rng = TestRng::for_case("len", 0);
+        assert_eq!(vec(0u8..10, 4usize).generate(&mut rng).len(), 4);
+        for _ in 0..50 {
+            let v = vec(0u8..10, 1..4).generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+}

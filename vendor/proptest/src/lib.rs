@@ -1,0 +1,262 @@
+//! Offline shim for the `proptest` API subset TREU uses.
+//!
+//! A deterministic mini property-testing framework: the [`proptest!`]
+//! macro expands each property into a `#[test]` that derives a per-case
+//! RNG from the test's name and case index (so failures are reproducible
+//! run-to-run, in keeping with this workspace's determinism thesis),
+//! samples each argument's [`Strategy`], and executes the body. There is
+//! no shrinking and no persistence of failing cases; a failing property
+//! reports the case index in its panic message instead.
+//!
+//! Implemented strategy surface: numeric ranges, [`any`],
+//! [`strategy::Just`], tuples, `prop_map`, [`prop_oneof!`][crate::prop_oneof],
+//! [`collection::vec`], and a small regex-class subset for `&str`
+//! strategies (`"[a-z]{1,12}"`-style patterns).
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+
+/// Deterministic generator (SplitMix64) driving every strategy.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for one test case, derived from the test name and case index.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut rng = Self { state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) };
+        rng.next_u64(); // decorrelate adjacent cases
+        rng
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be positive.
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= (bound.wrapping_neg() % bound) {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// Per-property configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+}
+
+/// Types producible by [`any`].
+pub trait Arbitrary {
+    /// Samples an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Full bit-pattern coverage: subnormals, infinities and NaNs
+        // included, as with upstream's any::<f64>().
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f32::from_bits(rng.next_u64() as u32)
+    }
+}
+
+/// Strategy producing any value of `T` (see [`Arbitrary`]).
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Expands properties into deterministic `#[test]` functions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (@impl $cfg:expr; $(#[test] fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..u64::from(cfg.cases) {
+                    let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    // As upstream: the body runs in a Result-returning
+                    // closure so `return Ok(())` ends a case early and
+                    // prop_assume! can reject one.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let Err(e) = __outcome {
+                        panic!("property {} failed at case {__case}: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// `assert!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// `assert_eq!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// `assert_ne!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Ends the current case early (as passed) when the assumption does not
+/// hold. Upstream re-draws rejected cases; this shim simply skips them,
+/// which is equivalent for the acceptance-style assumptions the workspace
+/// uses.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Uniform choice among strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.or($s))+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let a = crate::TestRng::for_case("t", 3).next_u64();
+        let b = crate::TestRng::for_case("t", 3).next_u64();
+        let c = crate::TestRng::for_case("t", 4).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..17, y in -2.5..4.0f64, b in 0u8..0xC0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..4.0).contains(&y));
+            prop_assert!(b < 0xC0);
+        }
+
+        #[test]
+        fn assume_skips(n in 0..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn string_classes_match(tag in "[a-z]{1,12}") {
+            prop_assert!(!tag.is_empty() && tag.len() <= 12);
+            prop_assert!(tag.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn vec_and_map_compose(v in crate::collection::vec((0usize..5).prop_map(|i| i * 2), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x % 2 == 0 && x < 10));
+        }
+
+        #[test]
+        fn oneof_picks_an_arm(v in prop_oneof![Just(1), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&v));
+        }
+
+        #[test]
+        fn tuples_sample_componentwise((a, b) in (1u64..9, "[xy]{2,3}")) {
+            prop_assert!((1..9).contains(&a));
+            prop_assert!(b.chars().all(|c| c == 'x' || c == 'y'));
+        }
+    }
+}
