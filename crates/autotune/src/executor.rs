@@ -47,6 +47,7 @@ impl Backend {
 pub fn execute(kernel: &Kernel, schedule: Schedule, backend: Backend, w: &mut Workload) -> f64 {
     let s = schedule.clamped_for(kernel);
     w.c.fill(0.0);
+    // treu-lint: allow(wall-clock, reason = "autotuning scores schedules by measured compute time")
     let start = Instant::now();
     match *kernel {
         Kernel::MatMul { m, k, n } => mm(&w.a, &w.b, &mut w.c, m, k, n, s, backend, false),

@@ -1,1 +1,2 @@
 //! Shared nothing: each bench is self-contained.
+#![forbid(unsafe_code)]

@@ -90,6 +90,7 @@ impl Executor {
     where
         E: Experiment + Sync + ?Sized,
     {
+        // treu-lint: allow(wall-clock, reason = "batch timing reported outside the fingerprint")
         let start = Instant::now();
         let records = self.run_seeds(exp, seeds, params);
         let report = ExecReport::from_labelled(
@@ -130,6 +131,7 @@ impl Executor {
         seed: u64,
     ) -> (Vec<(String, RunRecord)>, ExecReport) {
         let entries: Vec<&str> = reg.iter().map(|(id, _)| id).collect();
+        // treu-lint: allow(wall-clock, reason = "batch timing reported outside the fingerprint")
         let start = Instant::now();
         let records = self.map_indexed(entries.len(), |i| {
             let id = entries[i];
@@ -181,6 +183,7 @@ impl Executor {
     ) -> VerifyReport {
         let jobs: Vec<(&str, Params)> =
             reg.iter().map(|(id, e)| (id, params(id, e.defaults.clone()))).collect();
+        // treu-lint: allow(wall-clock, reason = "verification timing reported outside the fingerprint")
         let start = Instant::now();
         // Both replicas of an id are independent tasks, so they run
         // concurrently whenever jobs >= 2.

@@ -223,6 +223,7 @@ pub trait Experiment {
 /// Runs an experiment once and returns the record.
 pub fn run_once<E: Experiment + ?Sized>(exp: &E, seed: u64, params: Params) -> RunRecord {
     let mut ctx = RunContext::new(seed, params);
+    // treu-lint: allow(wall-clock, reason = "wall_seconds is advisory and excluded from the fingerprint")
     let start = Instant::now();
     exp.run(&mut ctx);
     let wall_seconds = start.elapsed().as_secs_f64();

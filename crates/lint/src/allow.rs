@@ -1,0 +1,177 @@
+//! Suppression directives.
+//!
+//! Grammar (one directive per comment, reason mandatory):
+//!
+//! ```text
+//! treu-lint: allow(<rule>, reason = "<non-empty text>")
+//! ```
+//!
+//! written after `//` — e.g. `treu-lint: allow(wall-clock, reason =
+//! "feeds the timing report only")`. A trailing directive suppresses its
+//! own line; a directive alone on a line suppresses the next line.
+//! `<rule>` is a rule name or code from [`RuleId`]. Malformed directives
+//! are themselves diagnostics (`A1 malformed-allow`), and a directive
+//! that suppresses nothing is flagged too (`A2 unused-allow`).
+
+use crate::rules::RuleId;
+use crate::scanner::Comment;
+
+/// A parsed, well-formed allow directive.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule being suppressed.
+    pub rule: RuleId,
+    /// Justification text (non-empty by construction).
+    pub reason: String,
+    /// 1-based line the directive suppresses.
+    pub target_line: usize,
+    /// Location of the directive comment itself.
+    pub line: usize,
+    /// Column of the directive comment.
+    pub col: usize,
+    /// Set once a diagnostic is suppressed by this directive.
+    pub used: bool,
+}
+
+/// The outcome of inspecting one comment.
+#[derive(Debug, Clone)]
+pub enum Parsed {
+    /// Not a directive at all (ordinary comment).
+    NotDirective,
+    /// A well-formed directive (target line still unset).
+    Directive {
+        /// The rule named by the directive.
+        rule: RuleId,
+        /// The mandatory justification.
+        reason: String,
+    },
+    /// A directive that does not follow the grammar.
+    Malformed(String),
+}
+
+/// Inspects a comment for a suppression directive. Only plain `//`
+/// comments can carry directives — doc comments (`///`, `//!`) are
+/// documentation, so grammar examples in them never parse as live
+/// suppressions.
+pub fn parse(comment: &Comment) -> Parsed {
+    if comment.text.starts_with('/') || comment.text.starts_with('!') {
+        return Parsed::NotDirective;
+    }
+    let t = comment.text.trim();
+    let Some(rest) = t.strip_prefix("treu-lint:") else {
+        return Parsed::NotDirective;
+    };
+    let rest = rest.trim();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return Parsed::Malformed("expected `allow(<rule>, reason = \"...\")`".to_string());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Parsed::Malformed("expected `(` after `allow`".to_string());
+    };
+    let Some(comma) = rest.find(',') else {
+        return Parsed::Malformed(
+            "missing mandatory `, reason = \"...\"` — every suppression must be justified"
+                .to_string(),
+        );
+    };
+    let rule_str = rest[..comma].trim();
+    let Some(rule) = RuleId::parse(rule_str) else {
+        return Parsed::Malformed(format!(
+            "unknown rule `{rule_str}` (use a code R1..R7 or a rule name)"
+        ));
+    };
+    let rest = rest[comma + 1..].trim_start();
+    let Some(rest) = rest.strip_prefix("reason") else {
+        return Parsed::Malformed("expected `reason = \"...\"` after the rule".to_string());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('=') else {
+        return Parsed::Malformed("expected `=` after `reason`".to_string());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('"') else {
+        return Parsed::Malformed("reason must be a quoted string".to_string());
+    };
+    let Some(close) = rest.find('"') else {
+        return Parsed::Malformed("unterminated reason string".to_string());
+    };
+    let reason = rest[..close].trim();
+    if reason.is_empty() {
+        return Parsed::Malformed("reason must not be empty".to_string());
+    }
+    if !rest[close + 1..].trim_start().starts_with(')') {
+        return Parsed::Malformed("expected `)` after the reason".to_string());
+    }
+    Parsed::Directive { rule, reason: reason.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(text: &str) -> Comment {
+        Comment { line: 4, col: 9, text: text.to_string() }
+    }
+
+    #[test]
+    fn well_formed_directive_parses() {
+        let p = parse(&comment(" treu-lint: allow(wall-clock, reason = \"timing only\")"));
+        match p {
+            Parsed::Directive { rule, reason } => {
+                assert_eq!(rule, RuleId::WallClock);
+                assert_eq!(reason, "timing only");
+            }
+            other => panic!("expected directive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn codes_work_as_rule_names() {
+        let p = parse(&comment(" treu-lint: allow(R3, reason = \"timing only\")"));
+        assert!(matches!(p, Parsed::Directive { rule: RuleId::WallClock, .. }));
+    }
+
+    #[test]
+    fn ordinary_comments_are_ignored() {
+        assert!(matches!(parse(&comment(" just words")), Parsed::NotDirective));
+        // Mentioning the marker mid-comment is not a directive.
+        assert!(matches!(
+            parse(&comment(" suppression uses treu-lint: allow(...)")),
+            Parsed::NotDirective
+        ));
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        // `///` and `//!` text starts with the extra marker char.
+        let doc = comment("/ treu-lint: allow(wall-clock, reason = \"x\")");
+        assert!(matches!(parse(&doc), Parsed::NotDirective));
+        let inner = comment("! treu-lint: allow(<rule>, reason = \"...\")");
+        assert!(matches!(parse(&inner), Parsed::NotDirective));
+    }
+
+    #[test]
+    fn missing_reason_is_malformed() {
+        let p = parse(&comment(" treu-lint: allow(wall-clock)"));
+        match p {
+            Parsed::Malformed(msg) => assert!(msg.contains("reason"), "{msg}"),
+            other => panic!("expected malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_reason_is_malformed() {
+        let p = parse(&comment(" treu-lint: allow(wall-clock, reason = \"  \")"));
+        assert!(matches!(p, Parsed::Malformed(_)));
+    }
+
+    #[test]
+    fn unknown_rule_is_malformed() {
+        let p = parse(&comment(" treu-lint: allow(wallclock, reason = \"x\")"));
+        match p {
+            Parsed::Malformed(msg) => assert!(msg.contains("unknown rule"), "{msg}"),
+            other => panic!("expected malformed, got {other:?}"),
+        }
+    }
+}

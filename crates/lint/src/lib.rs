@@ -1,0 +1,45 @@
+//! `treu-lint` — static reproducibility analyzer for the TREU workspace.
+//!
+//! PR 1 made determinism *verifiable at runtime* (`treu verify` re-runs
+//! every experiment and cross-checks trail fingerprints); this crate
+//! makes the conventions that determinism rests on *enforceable before
+//! anything runs*. A small hand-rolled scanner (no external deps — the
+//! workspace builds offline) walks every source file and reports
+//! violations of the workspace's determinism rules:
+//!
+//! | code | name | severity | hazard |
+//! |------|------|----------|--------|
+//! | R1 | `unordered-collections` | error | `HashMap`/`HashSet` iteration order |
+//! | R2 | `ambient-randomness` | error | `thread_rng`, `rand::random`, `from_entropy`, ... |
+//! | R3 | `wall-clock` | warn | `Instant::now`/`SystemTime` outside annotated timing scopes |
+//! | R4 | `env-read` | warn | `std::env::var` outside `treu-core`'s environment capture |
+//! | R5 | `relaxed-atomics` | error | `Ordering::Relaxed` result atomics, `static mut` |
+//! | R6 | `thread-float-merge` | warn | float accumulation inside spawned merge loops |
+//! | R7 | `missing-unsafe-forbid` | error | crate roots without `#![forbid(unsafe_code)]` |
+//!
+//! Plus two directive diagnostics: `A1 malformed-allow` (error) and
+//! `A2 unused-allow` (warn). Suppression is per-line via a mandatory-
+//! reason comment (see [`allow`]); the analyzer is exposed as this
+//! library, as the `treu lint` CLI subcommand, and as a CI gate.
+//!
+//! ```
+//! use treu_lint::{DenyLevel, Lint, Workspace};
+//! let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+//! let report = Lint::new().run(&Workspace::discover(&root).unwrap()).unwrap();
+//! assert!(!report.exceeds(DenyLevel::Warn), "{}", report.render_human());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod lint;
+pub mod report;
+pub mod rules;
+pub mod scanner;
+pub mod workspace;
+
+pub use lint::Lint;
+pub use report::{DenyLevel, Diagnostic, LintReport, Severity};
+pub use rules::RuleId;
+pub use workspace::{SourceFile, Workspace};

@@ -1,0 +1,390 @@
+//! The analyzer pipeline: scan each file, honor suppression directives,
+//! apply every active rule, and assemble a [`LintReport`].
+
+use crate::allow::{self, Allow, Parsed};
+use crate::report::{Diagnostic, LintReport, Severity};
+use crate::rules::{self, RuleId};
+use crate::scanner::{self, Scanned};
+use crate::workspace::{SourceFile, Workspace};
+use std::io;
+
+/// A configured lint pass.
+#[derive(Debug, Clone)]
+pub struct Lint {
+    rules: Vec<RuleId>,
+}
+
+impl Default for Lint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Lint {
+    /// A pass with every rule active.
+    pub fn new() -> Self {
+        Self { rules: RuleId::ALL.to_vec() }
+    }
+
+    /// A pass restricted to `rules` (directives naming inactive rules are
+    /// ignored entirely).
+    pub fn with_rules(rules: Vec<RuleId>) -> Self {
+        Self { rules }
+    }
+
+    /// The active rule set.
+    pub fn rules(&self) -> &[RuleId] {
+        &self.rules
+    }
+
+    fn active(&self, rule: RuleId) -> bool {
+        self.rules.contains(&rule)
+    }
+
+    /// Lints every file in the workspace. I/O errors (unreadable or
+    /// non-UTF-8 files) abort the pass — a file the analyzer cannot read
+    /// is a file it cannot vouch for.
+    pub fn run(&self, ws: &Workspace) -> io::Result<LintReport> {
+        let mut diagnostics = Vec::new();
+        let mut allows_honored = 0usize;
+        for file in &ws.files {
+            let text = std::fs::read_to_string(&file.path)
+                .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", file.path.display())))?;
+            allows_honored += self.lint_file(file, &text, &mut diagnostics);
+        }
+        diagnostics.sort_by(|a, b| {
+            (&a.file, a.line, a.col, a.code).cmp(&(&b.file, b.line, b.col, b.code))
+        });
+        Ok(LintReport { files_scanned: ws.files.len(), diagnostics, allows_honored })
+    }
+
+    /// Lints one file, appending diagnostics; returns how many allow
+    /// directives suppressed something.
+    fn lint_file(&self, file: &SourceFile, text: &str, out: &mut Vec<Diagnostic>) -> usize {
+        let sc = scanner::scan(text);
+        let mut allows = self.collect_allows(file, &sc, out);
+
+        for rule in &self.rules {
+            match rule {
+                RuleId::ThreadFloatMerge => self.check_thread_merge(file, &sc, &mut allows, out),
+                RuleId::MissingUnsafeForbid => check_crate_root(file, &sc, out),
+                rule => self.check_tokens(file, *rule, &sc, &mut allows, out),
+            }
+        }
+
+        let mut honored = 0;
+        for a in &allows {
+            if a.used {
+                honored += 1;
+            } else {
+                out.push(Diagnostic {
+                    code: "A2",
+                    rule: "unused-allow",
+                    severity: Severity::Warn,
+                    file: file.rel.clone(),
+                    line: a.line,
+                    col: a.col,
+                    message: format!(
+                        "allow({}) suppresses nothing on line {}",
+                        a.rule.name(),
+                        a.target_line
+                    ),
+                    hint: "delete the stale directive so suppressions stay meaningful".to_string(),
+                });
+            }
+        }
+        honored
+    }
+
+    /// Parses every comment for directives; malformed ones become `A1`
+    /// diagnostics immediately.
+    fn collect_allows(
+        &self,
+        file: &SourceFile,
+        sc: &Scanned,
+        out: &mut Vec<Diagnostic>,
+    ) -> Vec<Allow> {
+        let mut allows = Vec::new();
+        for c in &sc.comments {
+            match allow::parse(c) {
+                Parsed::NotDirective => {}
+                Parsed::Malformed(msg) => out.push(Diagnostic {
+                    code: "A1",
+                    rule: "malformed-allow",
+                    severity: Severity::Error,
+                    file: file.rel.clone(),
+                    line: c.line,
+                    col: c.col,
+                    message: msg,
+                    hint: "write: treu-lint: allow(<rule>, reason = \"<why>\")".to_string(),
+                }),
+                Parsed::Directive { rule, reason } => {
+                    if !self.active(rule) {
+                        continue;
+                    }
+                    // A trailing directive covers its own line; a
+                    // directive alone on a line covers the next line.
+                    let code_before = sc
+                        .cleaned
+                        .get(c.line - 1)
+                        .map(|l| l.chars().take(c.col - 1).any(|ch| !ch.is_whitespace()))
+                        .unwrap_or(false);
+                    let target_line = if code_before { c.line } else { c.line + 1 };
+                    allows.push(Allow {
+                        rule,
+                        reason,
+                        target_line,
+                        line: c.line,
+                        col: c.col,
+                        used: false,
+                    });
+                }
+            }
+        }
+        allows
+    }
+
+    fn check_tokens(
+        &self,
+        file: &SourceFile,
+        rule: RuleId,
+        sc: &Scanned,
+        allows: &mut [Allow],
+        out: &mut Vec<Diagnostic>,
+    ) {
+        if rule.exempt_paths().iter().any(|p| file.rel.ends_with(p)) {
+            return;
+        }
+        for (idx, line) in sc.cleaned.iter().enumerate() {
+            let lineno = idx + 1;
+            for token in rule.tokens() {
+                for col in rules::find_token(line, token) {
+                    if suppress(allows, rule, lineno) {
+                        continue;
+                    }
+                    out.push(diagnostic(file, rule, lineno, col, rule.message_for(token)));
+                }
+            }
+        }
+    }
+
+    /// R6: `+=` accumulation on float evidence inside spawn regions that
+    /// are not one of the canonical-merge modules.
+    fn check_thread_merge(
+        &self,
+        file: &SourceFile,
+        sc: &Scanned,
+        allows: &mut [Allow],
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let rule = RuleId::ThreadFloatMerge;
+        if rule.exempt_paths().iter().any(|p| file.rel.ends_with(p)) {
+            return;
+        }
+        for &(start, end) in &sc.spawn_regions {
+            let region: Vec<&str> = sc.cleaned[start - 1..end.min(sc.cleaned.len())]
+                .iter()
+                .map(String::as_str)
+                .collect();
+            let float_idents = rules::float_accumulator_idents(&region);
+            for (off, line) in region.iter().enumerate() {
+                let lineno = start + off;
+                let Some(pos) = line.find("+=") else { continue };
+                let evidence = rules::has_float_evidence(line)
+                    || float_idents.iter().any(|id| !rules::find_token(line, id).is_empty());
+                if !evidence || suppress(allows, rule, lineno) {
+                    continue;
+                }
+                let col = line[..pos].chars().count() + 1;
+                out.push(diagnostic(file, rule, lineno, col, rule.message_for("+=")));
+            }
+        }
+    }
+}
+
+/// R7: crate roots must carry an unsafe_code attribute. Not suppressible.
+fn check_crate_root(file: &SourceFile, sc: &Scanned, out: &mut Vec<Diagnostic>) {
+    if !file.is_crate_root {
+        return;
+    }
+    let has_attr = sc.cleaned.iter().any(|l| {
+        let flat: String = l.chars().filter(|c| !c.is_whitespace()).collect();
+        flat.contains("#![forbid(unsafe_code)]") || flat.contains("#![deny(unsafe_code)]")
+    });
+    if !has_attr {
+        let rule = RuleId::MissingUnsafeForbid;
+        out.push(diagnostic(file, rule, 1, 1, rule.message_for("")));
+    }
+}
+
+/// Marks a matching allow as used and reports whether one matched.
+fn suppress(allows: &mut [Allow], rule: RuleId, line: usize) -> bool {
+    if !rule.suppressible() {
+        return false;
+    }
+    let mut hit = false;
+    for a in allows.iter_mut() {
+        if a.rule == rule && a.target_line == line {
+            a.used = true;
+            hit = true;
+        }
+    }
+    hit
+}
+
+fn diagnostic(
+    file: &SourceFile,
+    rule: RuleId,
+    line: usize,
+    col: usize,
+    message: String,
+) -> Diagnostic {
+    Diagnostic {
+        code: rule.code(),
+        rule: rule.name(),
+        severity: rule.severity(),
+        file: file.rel.clone(),
+        line,
+        col,
+        message,
+        hint: rule.hint().to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_source(rel: &str, text: &str) -> (usize, Vec<Diagnostic>) {
+        let file = SourceFile {
+            path: std::path::PathBuf::from(rel),
+            rel: rel.to_string(),
+            is_crate_root: rel == "src/lib.rs" || rel.ends_with("/src/lib.rs"),
+        };
+        let mut out = Vec::new();
+        let honored = Lint::new().lint_file(&file, text, &mut out);
+        (honored, out)
+    }
+
+    #[test]
+    fn hazard_tokens_in_strings_and_comments_are_inert() {
+        let hm = "HashMap";
+        let src = format!("// a {hm} note\nlet s = \"{hm}\";\n");
+        let (_, diags) = lint_source("src/a.rs", &src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_its_own_line() {
+        let src = "fn f() -> std::time::Instant {\n    \
+                   std::time::Instant::now() // treu-lint: allow(wall-clock, reason = \"demo\")\n}\n";
+        let (honored, diags) = lint_source("src/a.rs", src);
+        assert_eq!(honored, 1);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_line_only() {
+        let src = "// treu-lint: allow(wall-clock, reason = \"demo\")\n\
+                   let a = std::time::Instant::now();\n\
+                   let b = std::time::Instant::now();\n";
+        let (honored, diags) = lint_source("src/a.rs", src);
+        assert_eq!(honored, 1);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+        assert_eq!(diags[0].code, "R3");
+    }
+
+    #[test]
+    fn allow_for_the_wrong_rule_does_not_suppress() {
+        let src = "// treu-lint: allow(env-read, reason = \"mismatched\")\n\
+                   let a = std::time::Instant::now();\n";
+        let (honored, diags) = lint_source("src/a.rs", src);
+        assert_eq!(honored, 0);
+        // The R3 hit plus the unused env-read allow.
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().any(|d| d.code == "R3"));
+        assert!(diags.iter().any(|d| d.code == "A2"));
+    }
+
+    #[test]
+    fn environment_module_is_exempt_from_env_read() {
+        let src = "pub fn cap(n: &str) -> Option<String> { std::env::var(n).ok() }\n";
+        let (_, diags) = lint_source("crates/core/src/environment.rs", src);
+        assert!(diags.iter().all(|d| d.code != "R4"), "{diags:?}");
+        let (_, diags) = lint_source("crates/other/src/x.rs", src);
+        assert!(diags.iter().any(|d| d.code == "R4"), "{diags:?}");
+    }
+
+    #[test]
+    fn crate_root_attribute_is_required_and_unsuppressible() {
+        let (_, diags) = lint_source("crates/x/src/lib.rs", "pub fn f() {}\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "R7");
+        let ok = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+        let (_, diags) = lint_source("crates/x/src/lib.rs", ok);
+        assert!(diags.is_empty(), "{diags:?}");
+        // deny also satisfies the rule (for justified exceptions).
+        let deny = "#![deny(unsafe_code)]\npub fn f() {}\n";
+        let (_, diags) = lint_source("crates/x/src/lib.rs", deny);
+        assert!(diags.is_empty(), "{diags:?}");
+        // Non-roots are not checked.
+        let (_, diags) = lint_source("crates/x/src/other.rs", "pub fn f() {}\n");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn rule_filter_disables_other_rules_and_their_allows() {
+        let src = "// treu-lint: allow(wall-clock, reason = \"demo\")\n\
+                   let a = std::time::Instant::now();\n\
+                   static mut X: u64 = 0;\n";
+        let file = SourceFile {
+            path: std::path::PathBuf::from("src/a.rs"),
+            rel: "src/a.rs".to_string(),
+            is_crate_root: false,
+        };
+        let mut out = Vec::new();
+        Lint::with_rules(vec![RuleId::RelaxedAtomics]).lint_file(&file, src, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].code, "R5");
+    }
+
+    #[test]
+    fn thread_merge_flags_float_accumulation_in_spawn() {
+        let src = "pub fn s(c: &[f64]) -> f64 {\n    let mut t = 0.0;\n    scope(|s| {\n        \
+                   s.spawn(|| {\n            let mut local = 0.0;\n            for v in c {\n                \
+                   local += *v;\n            }\n            t += local;\n        });\n    });\n    t\n}\n";
+        let (_, diags) = lint_source("crates/x/src/m.rs", src);
+        let r6: Vec<_> = diags.iter().filter(|d| d.code == "R6").collect();
+        assert_eq!(r6.len(), 2, "{diags:?}");
+        assert_eq!(r6[0].line, 7);
+        assert_eq!(r6[1].line, 9);
+    }
+
+    #[test]
+    fn thread_merge_ignores_integer_counters_and_outside_code() {
+        let src = "pub fn s(c: &[u64]) -> u64 {\n    let mut t = 0u64;\n    scope(|s| {\n        \
+                   s.spawn(|| {\n            let mut n = 0usize;\n            n += 1;\n        });\n    });\n    \
+                   t += 9;\n    t\n}\n";
+        let (_, diags) = lint_source("crates/x/src/m.rs", src);
+        assert!(diags.iter().all(|d| d.code != "R6"), "{diags:?}");
+    }
+
+    #[test]
+    fn canonical_merge_modules_are_exempt_from_thread_merge() {
+        let src = "fn m() {\n    s.spawn(|| {\n        let mut acc = 0.0;\n        acc += 1.5;\n    });\n}\n";
+        let (_, diags) = lint_source("crates/math/src/parallel.rs", src);
+        assert!(diags.iter().all(|d| d.code != "R6"), "{diags:?}");
+        let (_, diags) = lint_source("crates/other/src/x.rs", src);
+        assert!(diags.iter().any(|d| d.code == "R6"));
+    }
+
+    #[test]
+    fn malformed_directive_is_an_error_and_does_not_suppress() {
+        let src = "// treu-lint: allow(wall-clock)\nlet a = std::time::Instant::now();\n";
+        let (honored, diags) = lint_source("src/a.rs", src);
+        assert_eq!(honored, 0);
+        assert!(diags.iter().any(|d| d.code == "A1"));
+        assert!(diags.iter().any(|d| d.code == "R3"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Diagnostics and the [`LintReport`] with human and JSON renderings.
+
+use std::fmt;
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but sometimes legitimate; fails only `--deny warn`.
+    Warn,
+    /// A determinism hazard; fails `--deny warn` and `--deny error`.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// The threshold at which a lint run exits nonzero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenyLevel {
+    /// Never fail (report only).
+    None,
+    /// Fail on any warning or error (the CI setting).
+    Warn,
+    /// Fail on errors only.
+    Error,
+}
+
+impl DenyLevel {
+    /// Parses `none|warn|error`.
+    pub fn parse(s: &str) -> Option<DenyLevel> {
+        match s {
+            "none" => Some(DenyLevel::None),
+            "warn" => Some(DenyLevel::Warn),
+            "error" => Some(DenyLevel::Error),
+            _ => None,
+        }
+    }
+}
+
+/// One finding, anchored to a file:line:col span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule code (`R1`..`R7`, or `A1`/`A2` for directive issues).
+    pub code: &'static str,
+    /// Kebab-case rule name.
+    pub rule: &'static str,
+    /// Severity of this finding.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based char column.
+    pub col: usize,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+/// The result of linting a workspace.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// All findings, sorted by (file, line, col, code).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of allow directives that suppressed a finding.
+    pub allows_honored: usize,
+}
+
+impl LintReport {
+    /// Error-severity finding count.
+    pub fn errors(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Warn-severity finding count.
+    pub fn warnings(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warn).count()
+    }
+
+    /// True when the report should fail the run at `deny`.
+    pub fn exceeds(&self, deny: DenyLevel) -> bool {
+        match deny {
+            DenyLevel::None => false,
+            DenyLevel::Warn => !self.diagnostics.is_empty(),
+            DenyLevel::Error => self.errors() > 0,
+        }
+    }
+
+    /// Compiler-style plain-text rendering.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{}[{} {}] {}:{}:{} — {}\n    hint: {}\n",
+                d.severity, d.code, d.rule, d.file, d.line, d.col, d.message, d.hint
+            ));
+        }
+        let verdict = if self.diagnostics.is_empty() { " — clean" } else { "" };
+        out.push_str(&format!(
+            "summary: {} error(s), {} warning(s), {} allow(s) honored across {} file(s){}\n",
+            self.errors(),
+            self.warnings(),
+            self.allows_honored,
+            self.files_scanned,
+            verdict
+        ));
+        out
+    }
+
+    /// Stable machine-readable rendering (sorted diagnostics, fixed key
+    /// order) — the golden-snapshot format.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"errors\": {},\n", self.errors()));
+        out.push_str(&format!("  \"warnings\": {},\n", self.warnings()));
+        out.push_str(&format!("  \"allows_honored\": {},\n", self.allows_honored));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"code\": {}, \"rule\": {}, \"severity\": {}, \"file\": {}, \
+                 \"line\": {}, \"col\": {}, \"message\": {}, \"hint\": {}}}",
+                json_str(d.code),
+                json_str(d.rule),
+                json_str(&d.severity.to_string()),
+                json_str(&d.file),
+                d.line,
+                d.col,
+                json_str(&d.message),
+                json_str(&d.hint)
+            ));
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// JSON string literal with the escapes the report needs.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(severity: Severity) -> Diagnostic {
+        Diagnostic {
+            code: "R1",
+            rule: "unordered-collections",
+            severity,
+            file: "src/a.rs".to_string(),
+            line: 3,
+            col: 7,
+            message: "a \"quoted\" hazard".to_string(),
+            hint: "fix it".to_string(),
+        }
+    }
+
+    #[test]
+    fn deny_levels_gate_correctly() {
+        let clean = LintReport { files_scanned: 2, diagnostics: vec![], allows_honored: 0 };
+        assert!(!clean.exceeds(DenyLevel::Warn));
+        let warned = LintReport {
+            files_scanned: 2,
+            diagnostics: vec![diag(Severity::Warn)],
+            allows_honored: 0,
+        };
+        assert!(warned.exceeds(DenyLevel::Warn));
+        assert!(!warned.exceeds(DenyLevel::Error));
+        assert!(!warned.exceeds(DenyLevel::None));
+        let errored = LintReport {
+            files_scanned: 2,
+            diagnostics: vec![diag(Severity::Error)],
+            allows_honored: 0,
+        };
+        assert!(errored.exceeds(DenyLevel::Error));
+    }
+
+    #[test]
+    fn human_rendering_shows_span_and_hint() {
+        let r = LintReport {
+            files_scanned: 1,
+            diagnostics: vec![diag(Severity::Error)],
+            allows_honored: 2,
+        };
+        let s = r.render_human();
+        assert!(s.contains("error[R1 unordered-collections] src/a.rs:3:7"));
+        assert!(s.contains("hint: fix it"));
+        assert!(s.contains("1 error(s), 0 warning(s), 2 allow(s) honored across 1 file(s)"));
+    }
+
+    #[test]
+    fn clean_report_says_clean() {
+        let r = LintReport { files_scanned: 9, diagnostics: vec![], allows_honored: 0 };
+        assert!(r.render_human().contains("— clean"));
+        assert!(r.render_json().contains("\"diagnostics\": []"));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let r = LintReport {
+            files_scanned: 1,
+            diagnostics: vec![diag(Severity::Warn)],
+            allows_honored: 0,
+        };
+        let s = r.render_json();
+        assert!(s.contains("a \\\"quoted\\\" hazard"));
+        assert!(s.contains("\"severity\": \"warn\""));
+    }
+
+    #[test]
+    fn deny_level_parses() {
+        assert_eq!(DenyLevel::parse("warn"), Some(DenyLevel::Warn));
+        assert_eq!(DenyLevel::parse("error"), Some(DenyLevel::Error));
+        assert_eq!(DenyLevel::parse("none"), Some(DenyLevel::None));
+        assert_eq!(DenyLevel::parse("strict"), None);
+    }
+}

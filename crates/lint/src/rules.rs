@@ -1,0 +1,285 @@
+//! The determinism rule set.
+//!
+//! Each rule has a stable code (`R1`..`R7`), a kebab-case name usable in
+//! allow directives and `--rules` filters, a severity, and a fix hint.
+//! Token rules match word-boundary occurrences in cleaned source text
+//! (so string literals and comments never trigger them); the thread-merge
+//! rule additionally uses the scanner's spawn regions, and the crate-root
+//! rule is file-level.
+
+use crate::report::Severity;
+
+/// A determinism rule the analyzer enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// R1: `HashMap`/`HashSet` iteration order is nondeterministic.
+    UnorderedCollections,
+    /// R2: ambient randomness bypasses seed derivation.
+    AmbientRandomness,
+    /// R3: wall-clock reads outside annotated timing-only scopes.
+    WallClock,
+    /// R4: environment reads outside the sanctioned capture module.
+    EnvRead,
+    /// R5: relaxed atomics and `static mut` shared state.
+    RelaxedAtomics,
+    /// R6: float accumulation inside spawned-thread merge loops.
+    ThreadFloatMerge,
+    /// R7: crate roots must forbid (or deliberately deny) `unsafe_code`.
+    MissingUnsafeForbid,
+}
+
+impl RuleId {
+    /// Every rule, in code order.
+    pub const ALL: [RuleId; 7] = [
+        RuleId::UnorderedCollections,
+        RuleId::AmbientRandomness,
+        RuleId::WallClock,
+        RuleId::EnvRead,
+        RuleId::RelaxedAtomics,
+        RuleId::ThreadFloatMerge,
+        RuleId::MissingUnsafeForbid,
+    ];
+
+    /// Stable short code (`R1`..`R7`).
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::UnorderedCollections => "R1",
+            RuleId::AmbientRandomness => "R2",
+            RuleId::WallClock => "R3",
+            RuleId::EnvRead => "R4",
+            RuleId::RelaxedAtomics => "R5",
+            RuleId::ThreadFloatMerge => "R6",
+            RuleId::MissingUnsafeForbid => "R7",
+        }
+    }
+
+    /// Kebab-case name, as used in allow directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::UnorderedCollections => "unordered-collections",
+            RuleId::AmbientRandomness => "ambient-randomness",
+            RuleId::WallClock => "wall-clock",
+            RuleId::EnvRead => "env-read",
+            RuleId::RelaxedAtomics => "relaxed-atomics",
+            RuleId::ThreadFloatMerge => "thread-float-merge",
+            RuleId::MissingUnsafeForbid => "missing-unsafe-forbid",
+        }
+    }
+
+    /// Default severity.
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleId::UnorderedCollections
+            | RuleId::AmbientRandomness
+            | RuleId::RelaxedAtomics
+            | RuleId::MissingUnsafeForbid => Severity::Error,
+            RuleId::WallClock | RuleId::EnvRead | RuleId::ThreadFloatMerge => Severity::Warn,
+        }
+    }
+
+    /// One-line fix hint rendered under each diagnostic.
+    pub fn hint(self) -> &'static str {
+        match self {
+            RuleId::UnorderedCollections => {
+                "use BTreeMap/BTreeSet or an indexed Vec so iteration order is canonical"
+            }
+            RuleId::AmbientRandomness => {
+                "derive randomness from the run seed: RunContext::rng(tag) / SplitMix64::new(derive_seed(..))"
+            }
+            RuleId::WallClock => {
+                "route wall time into report-only fields, or annotate the timing scope with an allow(wall-clock) directive"
+            }
+            RuleId::EnvRead => {
+                "read the environment through treu-core::environment::Environment::capture"
+            }
+            RuleId::RelaxedAtomics => {
+                "use SeqCst for result-bearing atomics, or better: disjoint &mut bands merged in input order"
+            }
+            RuleId::ThreadFloatMerge => {
+                "accumulate into per-worker slots and combine in canonical order (treu-math::parallel / treu-core::exec)"
+            }
+            RuleId::MissingUnsafeForbid => {
+                "add #![forbid(unsafe_code)] to the crate root (or deny with a justifying comment)"
+            }
+        }
+    }
+
+    /// Parses a rule from its code (`R3`, case-insensitive) or name
+    /// (`wall-clock`).
+    pub fn parse(s: &str) -> Option<RuleId> {
+        let t = s.trim();
+        RuleId::ALL.into_iter().find(|r| r.name() == t || r.code().eq_ignore_ascii_case(t))
+    }
+
+    /// Token patterns for the plain token rules (empty for the two
+    /// structural rules R6/R7).
+    pub fn tokens(self) -> &'static [&'static str] {
+        match self {
+            RuleId::UnorderedCollections => &["HashMap", "HashSet"],
+            RuleId::AmbientRandomness => {
+                &["thread_rng", "from_entropy", "rand::random", "OsRng", "getrandom"]
+            }
+            RuleId::WallClock => &["Instant::now", "SystemTime"],
+            RuleId::EnvRead => &["env::var", "env::vars", "env::var_os", "env::vars_os"],
+            RuleId::RelaxedAtomics => &["Ordering::Relaxed", "static mut"],
+            RuleId::ThreadFloatMerge | RuleId::MissingUnsafeForbid => &[],
+        }
+    }
+
+    /// Diagnostic message for a token match.
+    pub fn message_for(self, token: &str) -> String {
+        match self {
+            RuleId::UnorderedCollections => {
+                format!("`{token}` iterates in nondeterministic order on a result path")
+            }
+            RuleId::AmbientRandomness => {
+                format!("`{token}` draws ambient randomness that no seed controls")
+            }
+            RuleId::WallClock => {
+                format!("`{token}` reads the wall clock outside an annotated timing-only scope")
+            }
+            RuleId::EnvRead => {
+                format!(
+                    "`{token}` reads the ambient environment outside the sanctioned capture module"
+                )
+            }
+            RuleId::RelaxedAtomics => {
+                format!("`{token}` permits scheduling-dependent views of shared state")
+            }
+            RuleId::ThreadFloatMerge => {
+                "float accumulation inside a spawned worker; merge order follows the scheduler"
+                    .to_string()
+            }
+            RuleId::MissingUnsafeForbid => "crate root does not forbid unsafe_code".to_string(),
+        }
+    }
+
+    /// Relative-path suffixes exempt from this rule (sanctioned modules).
+    pub fn exempt_paths(self) -> &'static [&'static str] {
+        match self {
+            RuleId::EnvRead => &["core/src/environment.rs"],
+            RuleId::ThreadFloatMerge => &["math/src/parallel.rs", "core/src/exec.rs"],
+            _ => &[],
+        }
+    }
+
+    /// True when an allow directive may suppress this rule. The crate-root
+    /// attribute rule is deliberately unsuppressible: the fix is one line.
+    pub fn suppressible(self) -> bool {
+        self != RuleId::MissingUnsafeForbid
+    }
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Finds word-boundary occurrences of `pat` in `line`, returning 1-based
+/// char columns. Boundaries: the chars immediately before and after the
+/// match must not be identifier chars (so `MyHashMap` and `env::vars_of`
+/// never match `HashMap` / `env::vars`).
+pub fn find_token(line: &str, pat: &str) -> Vec<usize> {
+    let chars: Vec<char> = line.chars().collect();
+    let needle: Vec<char> = pat.chars().collect();
+    let mut cols = Vec::new();
+    if needle.is_empty() || chars.len() < needle.len() {
+        return cols;
+    }
+    for start in 0..=chars.len() - needle.len() {
+        if chars[start..start + needle.len()] != needle[..] {
+            continue;
+        }
+        if start > 0 && is_ident(chars[start - 1]) {
+            continue;
+        }
+        if chars.get(start + needle.len()).copied().is_some_and(is_ident) {
+            continue;
+        }
+        cols.push(start + 1);
+    }
+    cols
+}
+
+/// True when the line contains a float literal (`digit . digit`) or an
+/// `f64`/`f32` token — the lexical evidence the thread-merge rule uses.
+pub fn has_float_evidence(line: &str) -> bool {
+    if !find_token(line, "f64").is_empty() || !find_token(line, "f32").is_empty() {
+        return true;
+    }
+    let chars: Vec<char> = line.chars().collect();
+    chars.windows(3).any(|w| w[0].is_ascii_digit() && w[1] == '.' && w[2].is_ascii_digit())
+}
+
+/// Extracts identifiers bound by `let mut <ident> = ...` on lines with
+/// float evidence — the worker-local accumulators the thread-merge rule
+/// tracks.
+pub fn float_accumulator_idents(lines: &[&str]) -> Vec<String> {
+    let mut idents = Vec::new();
+    for line in lines {
+        let Some(pos) = line.find("let mut ") else { continue };
+        if !has_float_evidence(line) {
+            continue;
+        }
+        let rest = &line[pos + "let mut ".len()..];
+        let ident: String = rest.chars().take_while(|&c| is_ident(c)).collect();
+        if !ident.is_empty() {
+            idents.push(ident);
+        }
+    }
+    idents
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_codes_and_names() {
+        assert_eq!(RuleId::parse("R1"), Some(RuleId::UnorderedCollections));
+        assert_eq!(RuleId::parse("r5"), Some(RuleId::RelaxedAtomics));
+        assert_eq!(RuleId::parse("wall-clock"), Some(RuleId::WallClock));
+        assert_eq!(RuleId::parse("nope"), None);
+        assert_eq!(RuleId::parse("WALL-CLOCK"), None, "names are exact");
+    }
+
+    #[test]
+    fn token_boundaries_reject_identifier_contexts() {
+        let hm = "HashMap";
+        assert_eq!(find_token("let m: HashMap<K, V> = x;", hm), vec![8]);
+        assert!(find_token("let m = MyHashMap::new();", hm).is_empty());
+        assert!(find_token("let m = HashMapLike::new();", hm).is_empty());
+        let ev = "env::var";
+        assert_eq!(find_token("std::env::var(name)", ev), vec![6]);
+        assert!(find_token("std::env::vars()", ev).is_empty());
+    }
+
+    #[test]
+    fn static_mut_matches_with_space() {
+        assert_eq!(find_token("static mut X: u64 = 0;", "static mut"), vec![1]);
+        assert!(find_token("static muted: u64 = 0;", "static mut").is_empty());
+    }
+
+    #[test]
+    fn float_evidence_detection() {
+        assert!(has_float_evidence("let x = 0.5;"));
+        assert!(has_float_evidence("let x: f64 = y;"));
+        assert!(has_float_evidence("let x = 1 as f32;"));
+        assert!(!has_float_evidence("let x = 15;"));
+        assert!(!has_float_evidence("let x = tuple.1;"));
+    }
+
+    #[test]
+    fn accumulator_idents_require_float_evidence() {
+        let lines = ["let mut total = 0.0;", "let mut count = 0usize;", "let mut s: f64 = z;"];
+        assert_eq!(float_accumulator_idents(&lines), vec!["total", "s"]);
+    }
+
+    #[test]
+    fn every_rule_round_trips_code_and_name() {
+        for r in RuleId::ALL {
+            assert_eq!(RuleId::parse(r.code()), Some(r));
+            assert_eq!(RuleId::parse(r.name()), Some(r));
+            assert!(!r.hint().is_empty());
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Hand-rolled Rust source scanner.
+//!
+//! The analyzer does not parse Rust — it tokenizes just enough to tell
+//! code apart from places where hazard tokens are inert: line comments,
+//! (nested) block comments, string literals, raw strings and char
+//! literals are all blanked out of the *cleaned* text the rules match
+//! against, while comment text is kept aside for suppression-directive
+//! parsing. The scanner also locates `spawn(...)` call regions so the
+//! thread-merge rule can reason about code running on worker threads.
+//!
+//! Known limitations (documented in DESIGN.md): macro-generated code is
+//! invisible, `include!`d files are not followed, and the char-vs-lifetime
+//! heuristic assumes rustfmt-style spacing.
+
+/// A comment captured during scanning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line of the first `/`.
+    pub line: usize,
+    /// 1-based char column of the first `/`.
+    pub col: usize,
+    /// Text after the `//` marker, verbatim (doc markers included).
+    pub text: String,
+}
+
+/// The scan result for one file.
+#[derive(Debug, Clone)]
+pub struct Scanned {
+    /// Source lines with comments and literal contents blanked to spaces.
+    pub cleaned: Vec<String>,
+    /// Every line comment, in order of appearance.
+    pub comments: Vec<Comment>,
+    /// 1-based inclusive line ranges covered by `spawn(...)` call
+    /// arguments (closures running on worker threads).
+    pub spawn_regions: Vec<(usize, usize)>,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// True when `chars[i..]` starts a raw string literal (`r"`, `r#"`,
+/// `br"`, ...). The caller guarantees `chars[i]` is `r` or `b`.
+fn raw_string_hashes(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Scans `source` into cleaned text, comments and spawn regions.
+pub fn scan(source: &str) -> Scanned {
+    let chars: Vec<char> = source.chars().collect();
+    let n = chars.len();
+    let mut out = String::with_capacity(source.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut i = 0usize;
+
+    // Pushes the chars in `i..j` as blanks, preserving newlines, and
+    // advances the line/col bookkeeping past them.
+    macro_rules! blank_to {
+        ($j:expr) => {{
+            let j = $j;
+            while i < j && i < n {
+                if chars[i] == '\n' {
+                    out.push('\n');
+                    line += 1;
+                    col = 1;
+                } else {
+                    out.push(' ');
+                    col += 1;
+                }
+                i += 1;
+            }
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '/' && next == Some('/') {
+            // Line comment: capture the text, blank it from the cleaned
+            // view.
+            let mut j = i + 2;
+            while j < n && chars[j] != '\n' {
+                j += 1;
+            }
+            comments.push(Comment { line, col, text: chars[i + 2..j].iter().collect() });
+            blank_to!(j);
+        } else if c == '/' && next == Some('*') {
+            // Block comment; Rust block comments nest.
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            blank_to!(j);
+        } else if c == '"' {
+            // String literal (escapes honored, may span lines).
+            let mut j = i + 1;
+            while j < n {
+                if chars[j] == '\\' {
+                    j += 2;
+                } else if chars[j] == '"' {
+                    j += 1;
+                    break;
+                } else {
+                    j += 1;
+                }
+            }
+            blank_to!(j.min(n));
+        } else if (c == 'r' || c == 'b')
+            && (i == 0 || !is_ident(chars[i - 1]))
+            && raw_string_hashes(&chars, i).is_some()
+        {
+            // Raw (byte) string: ends at `"` followed by the same number
+            // of `#` marks.
+            let hashes = raw_string_hashes(&chars, i).expect("checked above");
+            let mut j = i;
+            while chars.get(j) != Some(&'"') {
+                j += 1;
+            }
+            j += 1;
+            'body: while j < n {
+                if chars[j] == '"' {
+                    let mut k = 0;
+                    while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        j += 1 + hashes;
+                        break 'body;
+                    }
+                }
+                j += 1;
+            }
+            blank_to!(j.min(n));
+        } else if c == '\'' {
+            // Char literal vs lifetime. `'\...'` and `'x'` are literals;
+            // anything else (`'a`, `'static`) is a lifetime or label and
+            // stays in the cleaned text.
+            if next == Some('\\') {
+                let mut j = i + 2;
+                let mut steps = 0;
+                while j < n && chars[j] != '\'' && steps < 12 {
+                    j += 1;
+                    steps += 1;
+                }
+                blank_to!((j + 1).min(n));
+            } else if chars.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                blank_to!(i + 3);
+            } else {
+                out.push('\'');
+                col += 1;
+                i += 1;
+            }
+        } else {
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            out.push(c);
+            i += 1;
+        }
+    }
+
+    let cleaned: Vec<String> = out.split('\n').map(str::to_string).collect();
+    let spawn_regions = find_spawn_regions(&out);
+    Scanned { cleaned, comments, spawn_regions }
+}
+
+/// Finds `spawn(...)` call-argument regions in the cleaned text: the
+/// token `spawn` at an identifier boundary, immediately followed (after
+/// whitespace) by `(`, up to the matching close paren.
+fn find_spawn_regions(cleaned: &str) -> Vec<(usize, usize)> {
+    let chars: Vec<char> = cleaned.chars().collect();
+    let pat: Vec<char> = "spawn".chars().collect();
+    let n = chars.len();
+    let mut regions = Vec::new();
+    let mut line_of = Vec::with_capacity(n + 1);
+    let mut l = 1usize;
+    for &c in &chars {
+        line_of.push(l);
+        if c == '\n' {
+            l += 1;
+        }
+    }
+    line_of.push(l);
+    let mut i = 0usize;
+    while i + pat.len() <= n {
+        if chars[i..i + pat.len()] != pat[..]
+            || (i > 0 && is_ident(chars[i - 1]))
+            || chars.get(i + pat.len()).copied().is_none_or(is_ident)
+        {
+            i += 1;
+            continue;
+        }
+        let mut j = i + pat.len();
+        while j < n && chars[j].is_whitespace() {
+            j += 1;
+        }
+        if chars.get(j) != Some(&'(') {
+            i += 1;
+            continue;
+        }
+        let open = j;
+        let mut depth = 1i64;
+        j += 1;
+        while j < n && depth > 0 {
+            match chars[j] {
+                '(' => depth += 1,
+                ')' => depth -= 1,
+                _ => {}
+            }
+            j += 1;
+        }
+        regions.push((line_of[open], line_of[(j.saturating_sub(1)).min(n)]));
+        i = j;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_blanked_and_captured() {
+        let s = scan("let a = 1; // trailing words\n// full line\nlet b = 2;\n");
+        assert_eq!(s.cleaned[0].trim_end(), "let a = 1;");
+        assert_eq!(s.cleaned[1].trim_end(), "");
+        assert_eq!(s.cleaned[2], "let b = 2;");
+        assert_eq!(s.comments.len(), 2);
+        assert_eq!(s.comments[0].line, 1);
+        assert_eq!(s.comments[0].col, 12);
+        assert_eq!(s.comments[0].text, " trailing words");
+        assert_eq!(s.comments[1].line, 2);
+        assert_eq!(s.comments[1].col, 1);
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let s = scan("a /* x /* y */ z */ b\n");
+        assert_eq!(s.cleaned[0].trim_end(), "a                   b");
+    }
+
+    #[test]
+    fn string_contents_are_blanked_including_hazard_tokens() {
+        let s = scan("let m = \"HashMap inside a string\";\n");
+        assert!(!s.cleaned[0].contains("HashMap"));
+        assert!(s.cleaned[0].contains("let m ="));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings_early() {
+        let s = scan("let m = \"a \\\" Instant::now b\"; let k = 3;\n");
+        assert!(!s.cleaned[0].contains("Instant"));
+        assert!(s.cleaned[0].contains("let k = 3;"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = scan("let m = r#\"SystemTime \" still inside\"#; let k = 1;\n");
+        assert!(!s.cleaned[0].contains("SystemTime"));
+        assert!(s.cleaned[0].contains("let k = 1;"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { let c = 'y'; let nl = '\\n'; c }\n");
+        assert!(s.cleaned[0].contains("fn f<'a>(x: &'a str)"));
+        assert!(!s.cleaned[0].contains("'y'"));
+        assert!(!s.cleaned[0].contains("\\n"));
+    }
+
+    #[test]
+    fn doc_comment_text_is_captured_with_marker() {
+        let s = scan("/// doc words\nfn g() {}\n");
+        assert_eq!(s.comments[0].text, "/ doc words");
+    }
+
+    #[test]
+    fn spawn_region_spans_the_call_arguments() {
+        let src = "scope(|s| {\n    s.spawn(move || {\n        work();\n    });\n});\n";
+        let s = scan(src);
+        assert_eq!(s.spawn_regions, vec![(2, 4)]);
+    }
+
+    #[test]
+    fn spawn_inside_identifiers_is_not_a_region() {
+        let s = scan("let spawn_count = 1; cost_spawn(2); respawn(3);\n");
+        assert!(s.spawn_regions.is_empty());
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_structure() {
+        let s = scan("let m = \"one\ntwo HashSet\nthree\"; let k = 9;\n");
+        assert_eq!(s.cleaned.len(), 4); // 3 lines + trailing empty
+        assert!(!s.cleaned[1].contains("HashSet"));
+        assert!(s.cleaned[2].contains("let k = 9;"));
+    }
+}

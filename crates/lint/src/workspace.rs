@@ -1,0 +1,152 @@
+//! Workspace discovery: which files the analyzer scans.
+//!
+//! Two modes, chosen by whether the root holds a `Cargo.toml`:
+//!
+//! * **Workspace mode** — walks the TREU layout (`crates/*/src`,
+//!   `crates/*/tests`, `crates/*/benches`, `src/`, `tests/`,
+//!   `examples/`). Directories named `fixtures`, `goldens`, `target` or
+//!   `vendor` are skipped: fixtures deliberately violate the rules, and
+//!   the vendored shims mimic external crates' internals.
+//! * **Corpus mode** — no manifest at the root: every `.rs` file below it
+//!   is scanned recursively. This is what fixture suites and ad-hoc
+//!   directory lints use.
+//!
+//! Files are sorted by relative path, so reports are deterministic.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One file to lint.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute (or root-joined) path on disk.
+    pub path: PathBuf,
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// True when the file is a crate root (`src/lib.rs`), which the
+    /// unsafe-attribute rule applies to.
+    pub is_crate_root: bool,
+}
+
+/// A set of files to lint, rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// The root all relative paths are reported against.
+    pub root: PathBuf,
+    /// Files in relative-path order.
+    pub files: Vec<SourceFile>,
+}
+
+const SKIP_DIRS: [&str; 5] = ["fixtures", "goldens", "target", "vendor", ".git"];
+
+impl Workspace {
+    /// Discovers the files under `root` (see the module docs for the two
+    /// modes).
+    pub fn discover(root: &Path) -> io::Result<Workspace> {
+        let mut rels = Vec::new();
+        if root.join("Cargo.toml").exists() {
+            for top in ["src", "tests", "examples"] {
+                collect(root, &root.join(top), &mut rels)?;
+            }
+            let crates = root.join("crates");
+            if crates.is_dir() {
+                let mut members: Vec<PathBuf> =
+                    std::fs::read_dir(&crates)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+                members.sort();
+                for member in members {
+                    for sub in ["src", "tests", "benches"] {
+                        collect(root, &member.join(sub), &mut rels)?;
+                    }
+                }
+            }
+        } else {
+            collect(root, root, &mut rels)?;
+        }
+        Ok(Workspace::from_rel_paths(root.to_path_buf(), rels))
+    }
+
+    /// Builds a workspace from explicit root-relative paths (fixture
+    /// tests use this to lint one file at a time).
+    pub fn from_files(root: impl Into<PathBuf>, rels: &[&str]) -> Workspace {
+        Workspace::from_rel_paths(root.into(), rels.iter().map(|r| r.to_string()).collect())
+    }
+
+    fn from_rel_paths(root: PathBuf, mut rels: Vec<String>) -> Workspace {
+        rels.sort();
+        rels.dedup();
+        let files = rels
+            .into_iter()
+            .map(|rel| SourceFile {
+                path: root.join(&rel),
+                is_crate_root: rel == "src/lib.rs" || rel.ends_with("/src/lib.rs"),
+                rel,
+            })
+            .collect();
+        Workspace { root, files }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir` into root-relative paths,
+/// honoring the skip list.
+fn collect(root: &Path, dir: &Path, rels: &mut Vec<String>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                collect(root, &path, rels)?;
+            }
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            rels.push(rel);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_files_marks_crate_roots_and_sorts() {
+        let ws = Workspace::from_files("/tmp/x", &["z/src/main.rs", "a/src/lib.rs", "src/lib.rs"]);
+        let rels: Vec<&str> = ws.files.iter().map(|f| f.rel.as_str()).collect();
+        assert_eq!(rels, vec!["a/src/lib.rs", "src/lib.rs", "z/src/main.rs"]);
+        assert!(ws.files[0].is_crate_root);
+        assert!(ws.files[1].is_crate_root);
+        assert!(!ws.files[2].is_crate_root);
+    }
+
+    #[test]
+    fn discover_walks_this_crate_in_workspace_mode() {
+        // The lint crate's own parent workspace: this file must be found,
+        // and the fixture corpus must be skipped.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let ws = Workspace::discover(&root).expect("discoverable");
+        assert!(ws.files.iter().any(|f| f.rel == "crates/lint/src/workspace.rs"));
+        assert!(ws.files.iter().any(|f| f.rel == "src/bin/treu.rs"));
+        assert!(!ws.files.iter().any(|f| f.rel.contains("fixtures")));
+        assert!(!ws.files.iter().any(|f| f.rel.starts_with("vendor/")));
+        let mut sorted = ws.files.iter().map(|f| f.rel.clone()).collect::<Vec<_>>();
+        sorted.sort();
+        assert_eq!(sorted, ws.files.iter().map(|f| f.rel.clone()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn discover_without_manifest_is_recursive() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+        let ws = Workspace::discover(&root).expect("fixtures present");
+        assert!(ws.files.iter().any(|f| f.rel == "r7_missing/src/lib.rs"));
+        assert!(ws.files.iter().any(|f| f.rel == "r1_unordered.rs"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Fixture-corpus conformance for the static reproducibility analyzer:
+//! every rule has at least one positive and one negative fixture, the
+//! whole corpus matches a golden JSON snapshot, and — the point of the
+//! exercise — the real workspace lints clean at `--deny warn`.
+
+use std::path::{Path, PathBuf};
+use treu_lint::{DenyLevel, Lint, LintReport, Workspace};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn lint_fixture(files: &[&str]) -> LintReport {
+    let ws = Workspace::from_files(fixtures_root(), files);
+    Lint::new().run(&ws).expect("fixture files are readable")
+}
+
+fn codes(report: &LintReport) -> Vec<&'static str> {
+    report.diagnostics.iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn r1_positive_flags_every_unordered_collection_use() {
+    let r = lint_fixture(&["r1_unordered.rs"]);
+    assert_eq!(r.errors(), 5, "{}", r.render_human()); // import x2, decl+ctor, ctor
+    assert!(codes(&r).iter().all(|c| *c == "R1"));
+    assert!(r.exceeds(DenyLevel::Error));
+}
+
+#[test]
+fn r1_negative_accepts_ordered_collections() {
+    let r = lint_fixture(&["r1_ok.rs"]);
+    assert!(r.diagnostics.is_empty(), "{}", r.render_human());
+}
+
+#[test]
+fn r2_positive_flags_every_ambient_randomness_source() {
+    let r = lint_fixture(&["r2_randomness.rs"]);
+    assert_eq!(r.errors(), 3, "{}", r.render_human());
+    assert!(codes(&r).iter().all(|c| *c == "R2"));
+}
+
+#[test]
+fn r2_negative_accepts_seed_derived_randomness() {
+    let r = lint_fixture(&["r2_ok.rs"]);
+    assert!(r.diagnostics.is_empty(), "{}", r.render_human());
+}
+
+#[test]
+fn r3_positive_flags_unannotated_wall_clock() {
+    let r = lint_fixture(&["r3_wallclock.rs"]);
+    assert_eq!(r.warnings(), 3, "{}", r.render_human()); // import, now(), SystemTime::now
+    assert!(codes(&r).iter().all(|c| *c == "R3"));
+    assert!(r.exceeds(DenyLevel::Warn));
+    assert!(!r.exceeds(DenyLevel::Error), "R3 is warn severity");
+}
+
+#[test]
+fn r3_negative_accepts_annotated_timing_scope() {
+    let r = lint_fixture(&["r3_ok.rs"]);
+    assert!(r.diagnostics.is_empty(), "{}", r.render_human());
+    assert_eq!(r.allows_honored, 1);
+}
+
+#[test]
+fn r4_positive_flags_ambient_env_read() {
+    let r = lint_fixture(&["r4_env.rs"]);
+    assert_eq!(r.warnings(), 1, "{}", r.render_human());
+    assert_eq!(codes(&r), vec!["R4"]);
+}
+
+#[test]
+fn r4_negative_exempts_the_capture_module_path() {
+    let r = lint_fixture(&["exempt/core/src/environment.rs"]);
+    assert!(r.diagnostics.is_empty(), "{}", r.render_human());
+}
+
+#[test]
+fn r5_positive_flags_relaxed_ordering_and_static_mut() {
+    let r = lint_fixture(&["r5_atomics.rs"]);
+    assert_eq!(r.errors(), 2, "{}", r.render_human());
+    assert!(codes(&r).iter().all(|c| *c == "R5"));
+}
+
+#[test]
+fn r5_negative_accepts_seqcst() {
+    let r = lint_fixture(&["r5_ok.rs"]);
+    assert!(r.diagnostics.is_empty(), "{}", r.render_human());
+}
+
+#[test]
+fn r6_positive_flags_float_accumulation_in_spawned_workers() {
+    let r = lint_fixture(&["r6_merge.rs"]);
+    assert_eq!(r.warnings(), 2, "{}", r.render_human());
+    assert!(codes(&r).iter().all(|c| *c == "R6"));
+}
+
+#[test]
+fn r6_negative_accepts_disjoint_slot_merge() {
+    let r = lint_fixture(&["r6_ok.rs"]);
+    assert!(r.diagnostics.is_empty(), "{}", r.render_human());
+}
+
+#[test]
+fn r7_positive_flags_crate_root_without_attribute() {
+    let r = lint_fixture(&["r7_missing/src/lib.rs"]);
+    assert_eq!(r.errors(), 1, "{}", r.render_human());
+    assert_eq!(codes(&r), vec!["R7"]);
+    assert_eq!(r.diagnostics[0].line, 1);
+}
+
+#[test]
+fn r7_negative_accepts_forbidding_crate_root() {
+    let r = lint_fixture(&["r7_ok/src/lib.rs"]);
+    assert!(r.diagnostics.is_empty(), "{}", r.render_human());
+}
+
+#[test]
+fn malformed_allows_are_errors_and_suppress_nothing() {
+    let r = lint_fixture(&["allow_malformed.rs"]);
+    let cs = codes(&r);
+    assert_eq!(cs.iter().filter(|c| **c == "A1").count(), 2, "{}", r.render_human());
+    assert_eq!(cs.iter().filter(|c| **c == "R3").count(), 1, "{}", r.render_human());
+    assert_eq!(r.allows_honored, 0);
+}
+
+#[test]
+fn unused_allows_warn() {
+    let r = lint_fixture(&["allow_unused.rs"]);
+    assert_eq!(codes(&r), vec!["A2"], "{}", r.render_human());
+    assert!(r.exceeds(DenyLevel::Warn));
+}
+
+#[test]
+fn fixture_corpus_matches_golden_json_snapshot() {
+    let ws = Workspace::discover(&fixtures_root()).expect("fixtures present");
+    let report = Lint::new().run(&ws).expect("fixtures readable");
+    let got = report.render_json();
+    let want = include_str!("goldens/fixtures_report.json");
+    assert_eq!(
+        got.trim(),
+        want.trim(),
+        "fixture corpus drifted from the golden snapshot; \
+         if the change is intentional, regenerate with:\n  \
+         cargo run --bin treu -- lint crates/lint/tests/fixtures --format json --deny none"
+    );
+}
+
+#[test]
+fn fixture_corpus_fails_at_deny_warn_and_error() {
+    let ws = Workspace::discover(&fixtures_root()).expect("fixtures present");
+    let report = Lint::new().run(&ws).expect("fixtures readable");
+    assert!(report.exceeds(DenyLevel::Warn));
+    assert!(report.exceeds(DenyLevel::Error));
+    assert!(!report.exceeds(DenyLevel::None));
+}
+
+/// The self-check the whole PR exists for: the TREU workspace obeys its
+/// own determinism conventions, with every wall-clock site annotated.
+#[test]
+fn workspace_lints_clean_at_deny_warn() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::discover(&root).expect("workspace discoverable");
+    assert!(ws.files.len() > 100, "suspiciously few files: {}", ws.files.len());
+    let report = Lint::new().run(&ws).expect("workspace readable");
+    assert!(report.diagnostics.is_empty(), "\n{}", report.render_human());
+    assert!(!report.exceeds(DenyLevel::Warn));
+    assert!(report.allows_honored >= 6, "the audited timing scopes should all be exercised");
+}

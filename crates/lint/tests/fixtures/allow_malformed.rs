@@ -1,0 +1,13 @@
+//! A1 fixture: malformed suppression directives. Neither suppresses, so
+//! the wall-clock finding fires too.
+
+pub fn measure() -> f64 {
+    // treu-lint: allow(wall-clock)
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn stamp() -> u64 {
+    // treu-lint: allow(wallclock, reason = "typo in the rule name")
+    0
+}

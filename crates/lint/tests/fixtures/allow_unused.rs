@@ -1,0 +1,6 @@
+//! A2 fixture: a well-formed allow with nothing left to suppress.
+
+// treu-lint: allow(wall-clock, reason = "left behind after a refactor")
+pub fn pure() -> u64 {
+    7
+}

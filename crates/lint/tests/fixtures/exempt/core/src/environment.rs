@@ -1,0 +1,6 @@
+//! R4 negative fixture: the sanctioned environment-capture module path
+//! is exempt — this is where ambient reads are supposed to live.
+
+pub fn capture(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}

@@ -1,0 +1,12 @@
+//! R1 negative fixture: ordered collections keep result paths canonical.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(names: &[&str]) -> Vec<(String, usize)> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for n in names {
+        *counts.entry((*n).to_string()).or_insert(0) += 1;
+    }
+    let mut seen = BTreeSet::new();
+    seen.insert(1u32);
+    counts.into_iter().collect()
+}

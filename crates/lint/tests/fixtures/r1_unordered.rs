@@ -1,0 +1,12 @@
+//! R1 positive fixture: unordered collections on a result path.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(names: &[&str]) -> Vec<(String, usize)> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for n in names {
+        *counts.entry((*n).to_string()).or_insert(0) += 1;
+    }
+    let mut seen = HashSet::new();
+    seen.insert(1u32);
+    counts.into_iter().collect()
+}

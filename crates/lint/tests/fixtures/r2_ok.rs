@@ -1,0 +1,7 @@
+//! R2 negative fixture: all randomness derives from the run seed.
+use treu_math::rng::{derive_seed, SplitMix64};
+
+pub fn seeded(seed: u64) -> f64 {
+    let mut rng = SplitMix64::new(derive_seed(seed, "draws"));
+    rng.next_f64()
+}

@@ -1,0 +1,8 @@
+//! R2 positive fixture: ambient randomness that no seed controls.
+
+pub fn noisy() -> f64 {
+    let mut rng = rand::thread_rng();
+    let x: f64 = rand::random();
+    let _fresh = rand::rngs::StdRng::from_entropy();
+    x + rng.gen::<f64>()
+}

@@ -1,0 +1,8 @@
+//! R3 negative fixture: an annotated timing-only scope.
+
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    // treu-lint: allow(wall-clock, reason = "wall time feeds the timing report only")
+    let t0 = std::time::Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}

@@ -1,0 +1,8 @@
+//! R3 positive fixture: wall-clock reads with no timing annotation.
+use std::time::{Instant, SystemTime};
+
+pub fn measure() -> f64 {
+    let t0 = Instant::now();
+    let _stamp = SystemTime::now();
+    t0.elapsed().as_secs_f64()
+}

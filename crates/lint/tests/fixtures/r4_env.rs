@@ -1,0 +1,6 @@
+//! R4 positive fixture: ambient environment read outside the capture
+//! module.
+
+pub fn home() -> Option<String> {
+    std::env::var("HOME").ok()
+}

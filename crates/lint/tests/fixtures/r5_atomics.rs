@@ -1,0 +1,9 @@
+//! R5 positive fixture: relaxed result-bearing atomic plus static mut.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+static mut SCRATCH: u64 = 0;
+
+pub fn bump(v: u64) -> u64 {
+    TOTAL.fetch_add(v, Ordering::Relaxed)
+}

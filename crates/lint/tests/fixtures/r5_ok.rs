@@ -1,0 +1,8 @@
+//! R5 negative fixture: sequentially consistent ordering, no static mut.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump(v: u64) -> u64 {
+    TOTAL.fetch_add(v, Ordering::SeqCst)
+}

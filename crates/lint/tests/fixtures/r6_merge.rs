@@ -1,0 +1,18 @@
+//! R6 positive fixture: float accumulation inside a spawned merge loop —
+//! the merge order follows the scheduler, not the input.
+
+pub fn parallel_sum(chunks: &[Vec<f64>]) -> f64 {
+    let mut total = 0.0;
+    std::thread::scope(|s| {
+        for chunk in chunks {
+            s.spawn(|| {
+                let mut local = 0.0;
+                for v in chunk {
+                    local += *v;
+                }
+                total += local;
+            });
+        }
+    });
+    total
+}

@@ -1,0 +1,18 @@
+//! R6 negative fixture: workers fill disjoint slots; the float merge
+//! happens after the join, in canonical input order.
+
+pub fn parallel_sum(chunks: &[Vec<f64>]) -> f64 {
+    let mut partials = vec![0.0; chunks.len()];
+    std::thread::scope(|s| {
+        for (slot, chunk) in partials.iter_mut().zip(chunks) {
+            s.spawn(move || {
+                let mut count = 0usize;
+                for _ in chunk {
+                    count += 1;
+                }
+                *slot = chunk.iter().sum::<f64>();
+            });
+        }
+    });
+    partials.iter().sum()
+}

@@ -1,0 +1,5 @@
+//! R7 positive fixture: a crate root without an unsafe_code attribute.
+
+pub fn answer() -> u32 {
+    42
+}

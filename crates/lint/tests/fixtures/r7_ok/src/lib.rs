@@ -1,0 +1,6 @@
+//! R7 negative fixture: a crate root forbidding unsafe code.
+#![forbid(unsafe_code)]
+
+pub fn answer() -> u32 {
+    42
+}

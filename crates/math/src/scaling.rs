@@ -51,6 +51,7 @@ pub fn measure_speedup(
     for &t in thread_counts {
         let mut best = f64::INFINITY;
         for _ in 0..reps {
+            // treu-lint: allow(wall-clock, reason = "speedup measurement is inherently wall-clock")
             let start = Instant::now();
             workload(t);
             best = best.min(start.elapsed().as_secs_f64());

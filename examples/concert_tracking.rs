@@ -26,6 +26,7 @@ fn main() {
         let mut rmse = 0.0;
         let mut final_err = 0.0;
         let mut evals = 0;
+        // treu-lint: allow(wall-clock, reason = "table prints advisory per-kernel wall time")
         let start = Instant::now();
         let trials = 10;
         for seed in 0..trials {

@@ -6,6 +6,7 @@
 //! treu tables [seed]         # regenerate the paper's three tables
 //! treu verify [id] [seed]    # run twice, check bitwise reproduction
 //! treu env                   # print the captured environment
+//! treu lint [path]           # static reproducibility analysis
 //! ```
 //!
 //! Every run/tables/verify invocation accepts `--jobs N` (or `-j N`):
@@ -16,6 +17,7 @@
 
 use treu::core::environment::Environment;
 use treu::core::exec::Executor;
+use treu::lint::{DenyLevel, Lint, RuleId, Workspace};
 use treu::surveys::{analysis, Cohort};
 
 fn main() {
@@ -107,10 +109,85 @@ fn main() {
             }
         }
         Some("env") => print!("{}", Environment::capture().render()),
+        Some("lint") => run_lint(&args[1..]),
         _ => {
-            eprintln!("usage: treu <list|run|tables|verify|env> [...] [--jobs N]");
+            eprintln!("usage: treu <list|run|tables|verify|env|lint> [...] [--jobs N]");
             std::process::exit(2);
         }
+    }
+}
+
+/// `treu lint [path] [--format human|json] [--deny none|warn|error]
+/// [--rules R1,wall-clock,...]` — static reproducibility analysis over a
+/// workspace (default: the current directory). Exits 1 when findings
+/// reach the deny level, 2 on usage or I/O errors.
+fn run_lint(args: &[String]) {
+    fn usage_err(msg: String) -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
+    let mut format = "human".to_string();
+    let mut deny = DenyLevel::Warn;
+    let mut rules: Option<Vec<RuleId>> = None;
+    let mut root: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut flag_value = |flag: &str| -> Option<String> {
+            if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                return Some(v.to_string());
+            }
+            if arg == flag {
+                if i + 1 >= args.len() {
+                    usage_err(format!("{flag} requires a value"));
+                }
+                i += 1;
+                return Some(args[i].clone());
+            }
+            None
+        };
+        if let Some(v) = flag_value("--format") {
+            if v != "human" && v != "json" {
+                usage_err(format!("invalid --format '{v}' (want human|json)"));
+            }
+            format = v;
+        } else if let Some(v) = flag_value("--deny") {
+            deny = DenyLevel::parse(&v).unwrap_or_else(|| {
+                usage_err(format!("invalid --deny '{v}' (want none|warn|error)"))
+            });
+        } else if let Some(v) = flag_value("--rules") {
+            let parsed: Option<Vec<RuleId>> = v.split(',').map(RuleId::parse).collect();
+            rules = Some(parsed.unwrap_or_else(|| {
+                usage_err(format!("invalid --rules '{v}' (want codes R1..R7 or rule names)"))
+            }));
+        } else if arg.starts_with('-') {
+            usage_err(format!("unknown lint flag '{arg}'"));
+        } else if root.is_none() {
+            root = Some(arg.clone());
+        } else {
+            usage_err(format!("unexpected argument '{arg}'"));
+        }
+        i += 1;
+    }
+    let root = root.unwrap_or_else(|| ".".to_string());
+    let ws = Workspace::discover(std::path::Path::new(&root)).unwrap_or_else(|e| {
+        eprintln!("lint: cannot walk '{root}': {e}");
+        std::process::exit(2);
+    });
+    let lint = match rules {
+        Some(r) => Lint::with_rules(r),
+        None => Lint::new(),
+    };
+    let report = lint.run(&ws).unwrap_or_else(|e| {
+        eprintln!("lint: {e}");
+        std::process::exit(2);
+    });
+    match format.as_str() {
+        "json" => print!("{}", report.render_json()),
+        _ => print!("{}", report.render_human()),
+    }
+    if report.exceeds(deny) {
+        std::process::exit(1);
     }
 }
 

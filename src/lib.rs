@@ -20,6 +20,7 @@ pub use treu_cluster as cluster;
 pub use treu_core as core;
 pub use treu_detect as detect;
 pub use treu_histo as histo;
+pub use treu_lint as lint;
 pub use treu_malware as malware;
 pub use treu_math as math;
 pub use treu_nn as nn;

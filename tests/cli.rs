@@ -91,3 +91,54 @@ fn no_args_prints_usage() {
     let stderr = String::from_utf8(out.stderr).expect("utf8");
     assert!(stderr.contains("usage"));
 }
+
+const WORKSPACE: &str = env!("CARGO_MANIFEST_DIR");
+const FIXTURES: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/crates/lint/tests/fixtures");
+
+#[test]
+fn lint_passes_on_the_workspace_at_deny_warn() {
+    let out = treu(&["lint", WORKSPACE, "--deny", "warn"]);
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn lint_fails_on_the_fixture_corpus() {
+    let out = treu(&["lint", FIXTURES]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("error[R1 unordered-collections]"), "{stdout}");
+    assert!(stdout.contains("hint:"), "{stdout}");
+}
+
+#[test]
+fn lint_json_format_reports_counts() {
+    let out = treu(&["lint", FIXTURES, "--format", "json", "--deny", "none"]);
+    assert!(out.status.success(), "--deny none never gates");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("\"version\": 1"), "{stdout}");
+    assert!(stdout.contains("\"code\": \"R5\""), "{stdout}");
+}
+
+#[test]
+fn lint_rules_filter_restricts_the_pass() {
+    let out = treu(&["lint", FIXTURES, "--rules", "R2", "--deny", "none"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("ambient-randomness"), "{stdout}");
+    assert!(!stdout.contains("unordered-collections"), "{stdout}");
+}
+
+#[test]
+fn lint_bad_flags_fail_with_usage_error() {
+    for bad in [
+        &["lint", "--format", "xml"][..],
+        &["lint", "--deny", "loud"],
+        &["lint", "--rules", "R9"],
+        &["lint", "--format"],
+    ] {
+        let out = treu(bad);
+        assert_eq!(out.status.code(), Some(2), "{bad:?}");
+    }
+}
