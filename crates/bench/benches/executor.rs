@@ -6,11 +6,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use treu_bench::workload;
 use treu_core::exec::Executor;
 use treu_core::experiment::{Experiment, Params, RunContext};
 use treu_core::sweep::Axis;
 use treu_core::ExperimentRegistry;
-use treu_math::parallel::default_threads;
+use treu_math::parallel::{default_threads, par_map, par_map_dynamic};
 use treu_robust::contamination::{ContaminatedSample, Contamination};
 use treu_robust::estimators;
 
@@ -79,6 +80,22 @@ fn bench(c: &mut Criterion) {
             b.iter(|| black_box(exec.sweep(&RobustTrial, &Params::new(), &axes, 3)))
         });
     }
+    g.finish();
+
+    // Static bands vs the self-scheduling queue on the skewed (Zipf-ish)
+    // sleep-cost workload. Sleeps make the scheduling difference visible
+    // on any core count; outputs must match bitwise either way.
+    let (n_tasks, scale_us, jobs) = (64, 1500, hw.max(4));
+    let s = par_map(n_tasks, jobs, |i| workload::run_task(i, scale_us));
+    let d = par_map_dynamic(n_tasks, jobs, |i| workload::run_task(i, scale_us));
+    assert_eq!(s, d, "static and dynamic schedules diverged on the skewed workload");
+    let mut g = c.benchmark_group("executor/skewed_sched");
+    g.bench_function("static", |b| {
+        b.iter(|| black_box(par_map(n_tasks, jobs, |i| workload::run_task(i, scale_us))))
+    });
+    g.bench_function("dynamic", |b| {
+        b.iter(|| black_box(par_map_dynamic(n_tasks, jobs, |i| workload::run_task(i, scale_us))))
+    });
     g.finish();
 }
 

@@ -1,0 +1,421 @@
+//! Content-addressed run cache: repeated executions cost ~zero.
+//!
+//! The practical-reproducibility literature the ROADMAP tracks names
+//! *re-execution cost* as the main reason artifacts go unverified — if
+//! checking a result means paying its full compute price again, people
+//! skip the check. This module removes that price without weakening the
+//! guarantee: a completed [`RunRecord`] is persisted under a key derived
+//! from everything that determines its bits, and a later run with the
+//! same key replays the stored trail instead of recomputing.
+//!
+//! **Key derivation.** A cache entry's *address* is
+//! `fnv64(id ‖ seed ‖ canonical-params)` — the experiment id, the master
+//! seed, and the parameter set rendered in canonical (BTreeMap key)
+//! order. The *validity* of an entry is governed separately by the
+//! **code+env fingerprint** stored inside it:
+//! [`Environment::capture`]`().fingerprint()`, which covers the harness
+//! version (code) plus OS, architecture and hardware threads (env). A
+//! lookup that finds the address but not the fingerprint is an
+//! **invalidation**, counted as such and recomputed — this is how a
+//! rebuilt harness or a new machine transparently refreshes the cache
+//! instead of serving stale bits.
+//!
+//! Storage is one plain-text file per entry (the provenance layer's
+//! [`Trail::render`]/[`Trail::parse`] round-trips metrics bitwise), so a
+//! cache directory doubles as a human-auditable archive of past runs.
+//! Hit / miss / invalidation / store counts are kept per handle and
+//! surfaced by the CLI after every cached command.
+
+use crate::environment::Environment;
+use crate::experiment::{Params, RunRecord};
+use crate::provenance::Trail;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const MAGIC: &str = "treu-cache v1";
+
+/// Counters for one cache handle's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from a valid entry.
+    pub hits: u64,
+    /// Lookups that found no entry at the address.
+    pub misses: u64,
+    /// Lookups that found an entry with a stale or unreadable
+    /// code+env fingerprint (recomputed and overwritten by the caller).
+    pub invalidations: u64,
+    /// Entries written.
+    pub stores: u64,
+}
+
+/// A content-addressed store of completed runs (and small text
+/// artifacts) under one directory.
+#[derive(Debug)]
+pub struct RunCache {
+    dir: PathBuf,
+    fingerprint: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    stores: AtomicU64,
+}
+
+/// FNV-1a over a byte stream — the same hash family the provenance
+/// fingerprint uses, applied to the cache key material.
+fn fnv64(parts: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for part in parts {
+        for &b in *part {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        // Separator so ("ab","c") never collides with ("a","bc").
+        h ^= 0xFF;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Canonical parameter rendering for key material: `k=v;` in key order
+/// (BTreeMap iteration), so insertion order never changes the address.
+fn canonical_params(params: &Params) -> String {
+    let mut s = String::new();
+    for (k, v) in params.iter() {
+        s.push_str(k);
+        s.push('=');
+        s.push_str(&v.to_string());
+        s.push(';');
+    }
+    s
+}
+
+impl RunCache {
+    /// Opens (creating if needed) a cache directory, keyed to the current
+    /// code+env fingerprint.
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        Self::open_with_fingerprint(dir, Environment::capture().fingerprint())
+    }
+
+    /// [`RunCache::open`] with an explicit code+env fingerprint — used by
+    /// tests to simulate a rebuilt harness or a different machine.
+    pub fn open_with_fingerprint(dir: &Path, fingerprint: u64) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            fingerprint,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The code+env fingerprint entries are validated against.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    fn run_path(&self, id: &str, seed: u64, params: &Params) -> PathBuf {
+        let key = fnv64(&[
+            b"run",
+            id.as_bytes(),
+            &seed.to_le_bytes(),
+            canonical_params(params).as_bytes(),
+        ]);
+        self.dir.join(format!("{key:016x}.run"))
+    }
+
+    fn blob_path(&self, kind: &str, tag: &str) -> PathBuf {
+        let key = fnv64(&[b"blob", kind.as_bytes(), tag.as_bytes()]);
+        self.dir.join(format!("{key:016x}.txt"))
+    }
+
+    /// Looks up the cached record for `(id, seed, params)`.
+    ///
+    /// Returns `None` on a miss (no entry) or an invalidation (entry
+    /// whose stored fingerprint differs from this handle's, or that fails
+    /// to parse); both are counted separately in [`RunCache::stats`].
+    pub fn lookup(&self, id: &str, seed: u64, params: &Params) -> Option<RunRecord> {
+        let path = self.run_path(id, seed, params);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::SeqCst);
+                return None;
+            }
+        };
+        match parse_run_entry(&text, self.fingerprint, seed) {
+            Some(rec) => {
+                self.hits.fetch_add(1, Ordering::SeqCst);
+                Some(rec)
+            }
+            None => {
+                self.invalidations.fetch_add(1, Ordering::SeqCst);
+                None
+            }
+        }
+    }
+
+    /// Persists a completed record under `(id, seed, params)`, stamped
+    /// with this handle's code+env fingerprint.
+    pub fn store(&self, id: &str, seed: u64, params: &Params, rec: &RunRecord) -> io::Result<()> {
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!("fingerprint {:#018x}\n", self.fingerprint));
+        out.push_str(&format!("name {}\n", rec.name));
+        out.push_str(&format!("seed {}\n", rec.seed));
+        out.push_str(&format!("wall {}\n", rec.wall_seconds));
+        out.push_str("trail\n");
+        out.push_str(&rec.trail.render());
+        std::fs::write(self.run_path(id, seed, params), out)?;
+        self.stores.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Looks up a cached text artifact (e.g. a rendered table) by kind
+    /// and tag, with the same fingerprint-invalidation rules as
+    /// [`RunCache::lookup`].
+    pub fn lookup_blob(&self, kind: &str, tag: &str) -> Option<String> {
+        let text = match std::fs::read_to_string(self.blob_path(kind, tag)) {
+            Ok(t) => t,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::SeqCst);
+                return None;
+            }
+        };
+        match parse_blob_entry(&text, self.fingerprint) {
+            Some(payload) => {
+                self.hits.fetch_add(1, Ordering::SeqCst);
+                Some(payload)
+            }
+            None => {
+                self.invalidations.fetch_add(1, Ordering::SeqCst);
+                None
+            }
+        }
+    }
+
+    /// Persists a text artifact under `(kind, tag)`.
+    pub fn store_blob(&self, kind: &str, tag: &str, payload: &str) -> io::Result<()> {
+        let mut out = String::new();
+        out.push_str(MAGIC);
+        out.push('\n');
+        out.push_str(&format!("fingerprint {:#018x}\n", self.fingerprint));
+        out.push_str("payload\n");
+        out.push_str(payload);
+        std::fs::write(self.blob_path(kind, tag), out)?;
+        self.stores.fetch_add(1, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Snapshot of this handle's counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::SeqCst),
+            misses: self.misses.load(Ordering::SeqCst),
+            invalidations: self.invalidations.load(Ordering::SeqCst),
+            stores: self.stores.load(Ordering::SeqCst),
+        }
+    }
+
+    /// One-line accounting for CLI output.
+    pub fn render_stats(&self) -> String {
+        let s = self.stats();
+        format!(
+            "cache: {} hit(s), {} miss(es), {} invalidation(s), {} store(s) ({})\n",
+            s.hits,
+            s.misses,
+            s.invalidations,
+            s.stores,
+            self.dir.display()
+        )
+    }
+}
+
+/// Parses a `.run` entry; `None` means stale or malformed (invalidation).
+fn parse_run_entry(text: &str, expect_fingerprint: u64, expect_seed: u64) -> Option<RunRecord> {
+    let mut lines = text.lines();
+    if lines.next()? != MAGIC {
+        return None;
+    }
+    let fp_line = lines.next()?.strip_prefix("fingerprint 0x")?;
+    if u64::from_str_radix(fp_line, 16).ok()? != expect_fingerprint {
+        return None;
+    }
+    let name = lines.next()?.strip_prefix("name ")?.to_string();
+    let seed: u64 = lines.next()?.strip_prefix("seed ")?.parse().ok()?;
+    if seed != expect_seed {
+        return None;
+    }
+    let wall_seconds: f64 = lines.next()?.strip_prefix("wall ")?.parse().ok()?;
+    if lines.next()? != "trail" {
+        return None;
+    }
+    let body: String = lines.map(|l| format!("{l}\n")).collect();
+    let trail = Trail::parse(&body)?;
+    Some(RunRecord { name, seed, trail, wall_seconds })
+}
+
+/// Parses a `.txt` blob entry; `None` means stale or malformed.
+fn parse_blob_entry(text: &str, expect_fingerprint: u64) -> Option<String> {
+    let rest = text.strip_prefix(MAGIC)?.strip_prefix('\n')?;
+    let rest = rest.strip_prefix("fingerprint 0x")?;
+    let (fp, rest) = rest.split_once('\n')?;
+    if u64::from_str_radix(fp, 16).ok()? != expect_fingerprint {
+        return None;
+    }
+    rest.strip_prefix("payload\n").map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_once, Experiment, RunContext};
+
+    struct Noisy;
+    impl Experiment for Noisy {
+        fn name(&self) -> &str {
+            "noisy"
+        }
+        fn run(&self, ctx: &mut RunContext) {
+            let n = ctx.int("n", 12) as usize;
+            let mut rng = ctx.rng("draws");
+            let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+            ctx.record("mean", mean);
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("treu-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn miss_then_store_then_hit_roundtrips_bitwise() {
+        let dir = tmp_dir("hit");
+        let cache = RunCache::open_with_fingerprint(&dir, 0xABCD).unwrap();
+        let params = Params::new().with_int("n", 20).with_text("tag", "x");
+        assert!(cache.lookup("E", 7, &params).is_none());
+        assert_eq!(cache.stats().misses, 1);
+
+        let rec = run_once(&Noisy, 7, params.clone());
+        cache.store("E", 7, &params, &rec).unwrap();
+        let cached = cache.lookup("E", 7, &params).expect("hit after store");
+        assert_eq!(cached.trail, rec.trail, "trail must round-trip bitwise");
+        assert_eq!(cached.fingerprint(), rec.fingerprint());
+        assert_eq!(cached.name, rec.name);
+        assert_eq!(cached.seed, 7);
+        assert_eq!(cached.wall_seconds, rec.wall_seconds);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations, s.stores), (1, 1, 0, 1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn key_distinguishes_id_seed_and_params() {
+        let dir = tmp_dir("key");
+        let cache = RunCache::open_with_fingerprint(&dir, 1).unwrap();
+        let p = Params::new().with_int("n", 8);
+        let rec = run_once(&Noisy, 7, p.clone());
+        cache.store("E", 7, &p, &rec).unwrap();
+        assert!(cache.lookup("F", 7, &p).is_none(), "different id");
+        assert!(cache.lookup("E", 8, &p).is_none(), "different seed");
+        assert!(
+            cache.lookup("E", 7, &Params::new().with_int("n", 9)).is_none(),
+            "different params"
+        );
+        assert!(cache.lookup("E", 7, &p).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn param_insertion_order_does_not_change_the_address() {
+        let dir = tmp_dir("order");
+        let cache = RunCache::open_with_fingerprint(&dir, 1).unwrap();
+        let p1 = Params::new().with_int("a", 1).with_int("b", 2);
+        let p2 = Params::new().with_int("b", 2).with_int("a", 1);
+        let rec = run_once(&Noisy, 3, p1.clone());
+        cache.store("E", 3, &p1, &rec).unwrap();
+        assert!(cache.lookup("E", 3, &p2).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_change_invalidates() {
+        let dir = tmp_dir("inval");
+        let p = Params::new();
+        let rec = run_once(&Noisy, 5, p.clone());
+        {
+            let old = RunCache::open_with_fingerprint(&dir, 0x1111).unwrap();
+            old.store("E", 5, &p, &rec).unwrap();
+            assert!(old.lookup("E", 5, &p).is_some());
+        }
+        // Same directory, new code+env fingerprint: the entry is stale.
+        let new = RunCache::open_with_fingerprint(&dir, 0x2222).unwrap();
+        assert!(new.lookup("E", 5, &p).is_none());
+        assert_eq!(new.stats().invalidations, 1);
+        assert_eq!(new.stats().misses, 0, "a stale entry is an invalidation, not a miss");
+        // Overwriting refreshes it for the new fingerprint.
+        new.store("E", 5, &p, &rec).unwrap();
+        assert!(new.lookup("E", 5, &p).is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_entry_counts_as_invalidation() {
+        let dir = tmp_dir("corrupt");
+        let cache = RunCache::open_with_fingerprint(&dir, 9).unwrap();
+        let p = Params::new();
+        let rec = run_once(&Noisy, 1, p.clone());
+        cache.store("E", 1, &p, &rec).unwrap();
+        // Truncate the entry on disk.
+        let entry = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        std::fs::write(&entry, "treu-cache v1\ngarbage").unwrap();
+        assert!(cache.lookup("E", 1, &p).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn blob_roundtrip_and_invalidation() {
+        let dir = tmp_dir("blob");
+        let cache = RunCache::open_with_fingerprint(&dir, 4).unwrap();
+        assert!(cache.lookup_blob("tables", "seed7").is_none());
+        let payload = "Table 1\n  row\n\nTable 2\n";
+        cache.store_blob("tables", "seed7", payload).unwrap();
+        assert_eq!(cache.lookup_blob("tables", "seed7").as_deref(), Some(payload));
+        assert!(cache.lookup_blob("tables", "seed8").is_none(), "tag is part of the address");
+        let other = RunCache::open_with_fingerprint(&dir, 5).unwrap();
+        assert!(other.lookup_blob("tables", "seed7").is_none());
+        assert_eq!(other.stats().invalidations, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_render_mentions_every_counter() {
+        let dir = tmp_dir("render");
+        let cache = RunCache::open_with_fingerprint(&dir, 2).unwrap();
+        let _ = cache.lookup("E", 0, &Params::new());
+        let s = cache.render_stats();
+        assert!(s.contains("0 hit(s)"));
+        assert!(s.contains("1 miss(es)"));
+        assert!(s.contains("0 invalidation(s)"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_uses_environment_fingerprint() {
+        let dir = tmp_dir("envfp");
+        let cache = RunCache::open(&dir).unwrap();
+        assert_eq!(cache.fingerprint(), Environment::capture().fingerprint());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -17,18 +17,34 @@
 //! fingerprints) may differ. The workspace conformance and property tests
 //! enforce this for every registered experiment id across jobs ∈ {1, 2, 8}.
 //!
+//! Scheduling is **dynamic**: workers claim index chunks from a shared
+//! atomic counter ([`treu_math::parallel::par_map_dynamic`]) instead of
+//! being handed fixed contiguous bands, so one expensive run (the §3
+//! "one job hogs the GPU" shape) no longer strands its band-mates behind
+//! it while other workers idle. Out-of-order compute plus index-ordered
+//! merge keeps the output bitwise-identical to sequential regardless of
+//! which worker computed what.
+//!
 //! Observability: the `_report` variants return an [`ExecReport`] with
-//! per-run wall seconds, total vs critical-path time, and the measured
-//! speedup with its implied Amdahl serial fraction
-//! ([`treu_math::scaling`]), so the parallelism is itself a measured,
-//! reportable experiment — the paper's §4 performance-measurement lesson
-//! applied to the harness.
+//! per-run wall seconds, total vs critical-path time, per-worker busy
+//! time (load-imbalance ratio, utilization), and the measured speedup
+//! with its implied Amdahl serial fraction ([`treu_math::scaling`]) —
+//! fitted from measured per-worker busy time when available, not batch
+//! wall time alone — so the parallelism is itself a measured, reportable
+//! experiment: the paper's §4 performance-measurement lesson applied to
+//! the harness.
+//!
+//! Batches can additionally run through a content-addressed
+//! [`RunCache`] (`*_cached` variants): runs whose key — experiment id,
+//! params, seed, code+env fingerprint — is already stored are replayed
+//! from disk instead of recomputed, making re-verification near-free.
 
+use crate::cache::RunCache;
 use crate::experiment::{run_once, Experiment, Params, RunRecord};
 use crate::registry::ExperimentRegistry;
 use crate::sweep::{grid_points, Axis, SweepPoint};
 use std::time::Instant;
-use treu_math::parallel::{default_threads, par_map_into};
+use treu_math::parallel::{adaptive_chunk, default_threads, par_map_dynamic_stats, SchedStats};
 use treu_math::scaling::amdahl_speedup;
 
 /// Deterministic parallel executor with a fixed worker count.
@@ -61,14 +77,25 @@ impl Executor {
     }
 
     /// The executor's core primitive: applies `f` to every index in
-    /// `0..n` across the configured workers and returns results in index
-    /// order. Scheduling never influences output order or content.
+    /// `0..n` across the configured workers — dynamic self-scheduling,
+    /// results in index order. Scheduling never influences output order
+    /// or content.
     pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        par_map_into(n, self.jobs, f)
+        self.map_indexed_stats(n, f).0
+    }
+
+    /// [`Executor::map_indexed`] plus the scheduler's per-worker
+    /// [`SchedStats`] (busy seconds, chunks claimed, items computed).
+    pub fn map_indexed_stats<T, F>(&self, n: usize, f: F) -> (Vec<T>, SchedStats)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        par_map_dynamic_stats(n, self.jobs, adaptive_chunk(n, self.jobs), f)
     }
 
     /// Parallel form of [`crate::experiment::run_seeds`]: one record per
@@ -92,12 +119,14 @@ impl Executor {
     {
         // treu-lint: allow(wall-clock, reason = "batch timing reported outside the fingerprint")
         let start = Instant::now();
-        let records = self.run_seeds(exp, seeds, params);
+        let (records, sched) =
+            self.map_indexed_stats(seeds.len(), |i| run_once(exp, seeds[i], params.clone()));
         let report = ExecReport::from_labelled(
             self.jobs,
             records.iter().map(|r| (format!("seed {}", r.seed), r.wall_seconds)),
             start.elapsed().as_secs_f64(),
-        );
+        )
+        .with_workers(&sched);
         (records, report)
     }
 
@@ -130,19 +159,53 @@ impl Executor {
         reg: &ExperimentRegistry,
         seed: u64,
     ) -> (Vec<(String, RunRecord)>, ExecReport) {
-        let entries: Vec<&str> = reg.iter().map(|(id, _)| id).collect();
+        self.run_all_report_cached(reg, seed, None)
+    }
+
+    /// [`Executor::run_all_report`] through an optional [`RunCache`]:
+    /// ids whose `(id, defaults, seed)` key is cached under the current
+    /// code+env fingerprint are replayed from disk; only the misses are
+    /// dispatched to workers, and their records are stored after the
+    /// batch. Results are identical to the uncached call (the cache
+    /// round-trips trails bitwise); a cached record's `wall_seconds` is
+    /// its original compute cost.
+    pub fn run_all_report_cached(
+        &self,
+        reg: &ExperimentRegistry,
+        seed: u64,
+        cache: Option<&RunCache>,
+    ) -> (Vec<(String, RunRecord)>, ExecReport) {
+        let entries: Vec<(&str, &Params)> = reg.iter().map(|(id, e)| (id, &e.defaults)).collect();
         // treu-lint: allow(wall-clock, reason = "batch timing reported outside the fingerprint")
         let start = Instant::now();
-        let records = self.map_indexed(entries.len(), |i| {
-            let id = entries[i];
-            let rec = reg.run(id, seed).expect("id comes from the registry's own iterator");
-            (id.to_string(), rec)
+        let mut slots: Vec<Option<RunRecord>> =
+            entries.iter().map(|(id, p)| cache.and_then(|c| c.lookup(id, seed, p))).collect();
+        let cached_runs = slots.iter().filter(|s| s.is_some()).count();
+        let misses: Vec<usize> = (0..entries.len()).filter(|&i| slots[i].is_none()).collect();
+        let (computed, sched) = self.map_indexed_stats(misses.len(), |k| {
+            let (id, _) = entries[misses[k]];
+            reg.run(id, seed).expect("id comes from the registry's own iterator")
         });
+        for (k, rec) in computed.into_iter().enumerate() {
+            let i = misses[k];
+            if let Some(c) = cache {
+                let (id, p) = entries[i];
+                let _ = c.store(id, seed, p, &rec);
+            }
+            slots[i] = Some(rec);
+        }
+        let records: Vec<(String, RunRecord)> = entries
+            .iter()
+            .zip(slots)
+            .map(|((id, _), rec)| (id.to_string(), rec.expect("every slot filled above")))
+            .collect();
         let report = ExecReport::from_labelled(
             self.jobs,
             records.iter().map(|(id, r)| (id.clone(), r.wall_seconds)),
             start.elapsed().as_secs_f64(),
-        );
+        )
+        .with_workers(&sched)
+        .with_cached(cached_runs);
         (records, report)
     }
 
@@ -181,26 +244,84 @@ impl Executor {
         seed: u64,
         params: impl Fn(&str, Params) -> Params + Sync,
     ) -> VerifyReport {
+        self.verify_all_cached_with(reg, seed, None, params)
+    }
+
+    /// [`Executor::verify_all`] through an optional [`RunCache`].
+    pub fn verify_all_cached(
+        &self,
+        reg: &ExperimentRegistry,
+        seed: u64,
+        cache: Option<&RunCache>,
+    ) -> VerifyReport {
+        self.verify_all_cached_with(reg, seed, cache, |_, defaults| defaults)
+    }
+
+    /// The general verification pass: parameter override hook plus an
+    /// optional [`RunCache`].
+    ///
+    /// A cache hit means the id was previously run (and, for entries this
+    /// pass wrote, cross-checked) under the *same code+env fingerprint*,
+    /// so its outcome is reported as reproduced-from-cache without
+    /// recomputation — re-verification of an unchanged artifact costs
+    /// ~zero. Misses run twice concurrently, are cross-checked, and the
+    /// first replica is stored on success. [`VerifyReport::recomputed`]
+    /// counts the ids that actually ran.
+    pub fn verify_all_cached_with(
+        &self,
+        reg: &ExperimentRegistry,
+        seed: u64,
+        cache: Option<&RunCache>,
+        params: impl Fn(&str, Params) -> Params + Sync,
+    ) -> VerifyReport {
         let jobs: Vec<(&str, Params)> =
             reg.iter().map(|(id, e)| (id, params(id, e.defaults.clone()))).collect();
         // treu-lint: allow(wall-clock, reason = "verification timing reported outside the fingerprint")
         let start = Instant::now();
-        // Both replicas of an id are independent tasks, so they run
+        let cached: Vec<Option<RunRecord>> =
+            jobs.iter().map(|(id, p)| cache.and_then(|c| c.lookup(id, seed, p))).collect();
+        let misses: Vec<usize> = (0..jobs.len()).filter(|&i| cached[i].is_none()).collect();
+        // Both replicas of a missed id are independent tasks, so they run
         // concurrently whenever jobs >= 2.
-        let runs = self.map_indexed(jobs.len() * 2, |i| {
-            let (id, p) = &jobs[i / 2];
+        let runs = self.map_indexed(misses.len() * 2, |i| {
+            let (id, p) = &jobs[misses[i / 2]];
             reg.run_with(id, seed, p.clone()).expect("id comes from the registry's own iterator")
         });
+        let recomputed = misses.len();
+        let mut fresh = runs.chunks_exact(2);
         let outcomes = jobs
             .iter()
-            .zip(runs.chunks_exact(2))
-            .map(|((id, _), pair)| VerifyOutcome {
-                id: id.to_string(),
-                fingerprint: pair[0].fingerprint(),
-                reproduced: pair[0].trail == pair[1].trail,
+            .zip(cached)
+            .map(|((id, p), hit)| match hit {
+                Some(rec) => VerifyOutcome {
+                    id: id.to_string(),
+                    fingerprint: rec.fingerprint(),
+                    reproduced: true,
+                    cached: true,
+                },
+                None => {
+                    let pair = fresh.next().expect("one fresh pair per miss");
+                    let reproduced = pair[0].trail == pair[1].trail;
+                    if reproduced {
+                        if let Some(c) = cache {
+                            let _ = c.store(id, seed, p, &pair[0]);
+                        }
+                    }
+                    VerifyOutcome {
+                        id: id.to_string(),
+                        fingerprint: pair[0].fingerprint(),
+                        reproduced,
+                        cached: false,
+                    }
+                }
             })
             .collect();
-        VerifyReport { jobs: self.jobs, outcomes, wall_seconds: start.elapsed().as_secs_f64() }
+        VerifyReport {
+            jobs: self.jobs,
+            outcomes,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            recomputed,
+        }
     }
 }
 
@@ -213,6 +334,9 @@ pub struct VerifyOutcome {
     pub fingerprint: u64,
     /// True when both replicas produced bitwise-identical trails.
     pub reproduced: bool,
+    /// True when the outcome was served from the run cache (previously
+    /// verified under the same code+env fingerprint) without recompute.
+    pub cached: bool,
 }
 
 /// The result of a registry-wide verification pass.
@@ -224,6 +348,9 @@ pub struct VerifyReport {
     pub outcomes: Vec<VerifyOutcome>,
     /// Wall-clock seconds for the whole pass.
     pub wall_seconds: f64,
+    /// Ids that were actually (re)computed this pass — with a warm cache
+    /// this is zero.
+    pub recomputed: usize,
 }
 
 impl VerifyReport {
@@ -237,14 +364,21 @@ impl VerifyReport {
         self.outcomes.iter().filter(|o| !o.reproduced).map(|o| o.id.as_str()).collect()
     }
 
+    /// Outcomes served from the cache.
+    pub fn cached_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.cached).count()
+    }
+
     /// Renders one line per id plus a summary line.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for o in &self.outcomes {
             if o.reproduced {
                 out.push_str(&format!(
-                    "{:<10} REPRODUCED (fingerprint {:#018x})\n",
-                    o.id, o.fingerprint
+                    "{:<10} REPRODUCED{} (fingerprint {:#018x})\n",
+                    o.id,
+                    if o.cached { " [cached]" } else { "" },
+                    o.fingerprint
                 ));
             } else {
                 out.push_str(&format!("{:<10} MISMATCH — run is not deterministic\n", o.id));
@@ -257,6 +391,13 @@ impl VerifyReport {
             self.wall_seconds,
             self.jobs
         ));
+        if self.cached_count() > 0 {
+            out.push_str(&format!(
+                "{} from cache, {} recomputed\n",
+                self.cached_count(),
+                self.recomputed
+            ));
+        }
         out
     }
 }
@@ -270,6 +411,18 @@ pub struct RunTiming {
     pub wall_seconds: f64,
 }
 
+/// One worker's measured load inside a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerLoad {
+    /// Seconds spent inside the claim loop (compute + negligible claim
+    /// overhead).
+    pub busy_seconds: f64,
+    /// Chunks claimed from the shared counter.
+    pub chunks: usize,
+    /// Items computed.
+    pub items: usize,
+}
+
 /// Timing report for a parallel batch: where the time went, how well the
 /// fan-out paid off, and what Amdahl's law implies about pushing further.
 #[derive(Debug, Clone)]
@@ -280,6 +433,12 @@ pub struct ExecReport {
     pub runs: Vec<RunTiming>,
     /// Measured wall seconds for the whole batch.
     pub wall_seconds: f64,
+    /// Per-worker load, in worker-spawn order; empty when the batch did
+    /// not go through the dynamic scheduler's stats path.
+    pub workers: Vec<WorkerLoad>,
+    /// Runs served from the run cache (their [`RunTiming`] carries the
+    /// original compute cost, not this batch's).
+    pub cached_runs: usize,
 }
 
 impl ExecReport {
@@ -297,7 +456,27 @@ impl ExecReport {
                 .map(|(label, wall_seconds)| RunTiming { label, wall_seconds })
                 .collect(),
             wall_seconds,
+            workers: Vec::new(),
+            cached_runs: 0,
         }
+    }
+
+    /// Attaches the dynamic scheduler's per-worker load accounting.
+    pub fn with_workers(mut self, sched: &SchedStats) -> Self {
+        self.workers = sched
+            .busy_seconds
+            .iter()
+            .zip(&sched.chunks_claimed)
+            .zip(&sched.items)
+            .map(|((&busy_seconds, &chunks), &items)| WorkerLoad { busy_seconds, chunks, items })
+            .collect();
+        self
+    }
+
+    /// Records how many runs were served from the cache.
+    pub fn with_cached(mut self, cached_runs: usize) -> Self {
+        self.cached_runs = cached_runs;
+        self
     }
 
     /// Total CPU-seconds across runs — the sequential cost.
@@ -310,20 +489,65 @@ impl ExecReport {
         self.runs.iter().map(|r| r.wall_seconds).fold(0.0, f64::max)
     }
 
+    /// Sum of per-worker busy seconds (0.0 when no worker stats).
+    pub fn total_busy_seconds(&self) -> f64 {
+        self.workers.iter().map(|w| w.busy_seconds).sum()
+    }
+
+    /// Load-imbalance ratio: busiest over least-busy worker. 1.0 when
+    /// fewer than two workers reported.
+    pub fn imbalance_ratio(&self) -> f64 {
+        if self.workers.len() < 2 {
+            return 1.0;
+        }
+        let max = self.workers.iter().map(|w| w.busy_seconds).fold(0.0, f64::max);
+        let min = self.workers.iter().map(|w| w.busy_seconds).fold(f64::INFINITY, f64::min);
+        if max <= 0.0 {
+            return 1.0;
+        }
+        max / min.max(1e-12)
+    }
+
+    /// Worker utilization: busy seconds over `workers × wall` (1.0 = no
+    /// idle time anywhere). Falls back to run-time accounting when no
+    /// worker stats are attached.
+    pub fn utilization(&self) -> f64 {
+        let wall = self.wall_seconds.max(1e-12);
+        let (busy, lanes) = if self.workers.is_empty() {
+            (self.total_seconds(), self.jobs.max(1) as f64)
+        } else {
+            (self.total_busy_seconds(), self.workers.len() as f64)
+        };
+        (busy / (lanes * wall)).clamp(0.0, 1.0)
+    }
+
     /// Measured speedup: sequential cost over measured batch wall time.
     pub fn speedup(&self) -> f64 {
         self.total_seconds() / self.wall_seconds.max(1e-12)
     }
 
-    /// The serial fraction Amdahl's law implies for the measured speedup
-    /// at this worker count (0 = perfect scaling, 1 = none). With one job
-    /// or one run there is no parallelism to attribute, so 1.0.
+    /// The serial fraction Amdahl's law implies for the measured batch
+    /// (0 = perfect scaling, 1 = none).
+    ///
+    /// When per-worker busy times are attached, the fit uses what was
+    /// *measured at the workers*: speedup = total busy seconds over batch
+    /// wall time, at the spawned worker count — so scheduler idle time
+    /// (imbalance) shows up as serial fraction instead of hiding inside
+    /// batch wall time. Without worker stats it falls back to the
+    /// per-run-sum estimate. With one effective lane there is no
+    /// parallelism to attribute, so 1.0.
     pub fn serial_fraction(&self) -> f64 {
-        let t = self.jobs.min(self.runs.len().max(1)) as f64;
+        let (s, t) = if self.workers.len() >= 2 {
+            (self.total_busy_seconds() / self.wall_seconds.max(1e-12), self.workers.len() as f64)
+        } else if self.workers.len() == 1 {
+            return 1.0;
+        } else {
+            (self.speedup(), self.jobs.min(self.runs.len().max(1)) as f64)
+        };
         if t <= 1.0 {
             return 1.0;
         }
-        let s = self.speedup().max(1e-12);
+        let s = s.max(1e-12);
         // S = 1 / (f + (1-f)/t)  =>  f = (1/S - 1/t) / (1 - 1/t)
         ((1.0 / s - 1.0 / t) / (1.0 - 1.0 / t)).clamp(0.0, 1.0)
     }
@@ -334,12 +558,18 @@ impl ExecReport {
         amdahl_speedup(self.serial_fraction(), threads)
     }
 
-    /// Renders the accounting: per-run lines, then totals and the scaling
-    /// estimate.
+    /// Renders the accounting: per-run lines, per-worker load, then
+    /// totals and the scaling estimate.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for r in &self.runs {
             out.push_str(&format!("  run    {:<24} {:>9.4}s\n", r.label, r.wall_seconds));
+        }
+        for (w, load) in self.workers.iter().enumerate() {
+            out.push_str(&format!(
+                "  worker {:<3} busy {:>9.4}s  {:>4} chunk(s)  {:>4} item(s)\n",
+                w, load.busy_seconds, load.chunks, load.items
+            ));
         }
         out.push_str(&format!(
             "  total {:.4}s over {} run(s); critical path {:.4}s; wall {:.4}s with {} job(s)\n",
@@ -349,10 +579,26 @@ impl ExecReport {
             self.wall_seconds,
             self.jobs
         ));
+        if !self.workers.is_empty() {
+            out.push_str(&format!(
+                "  load: utilization {:.1}%, imbalance max/min {:.2} over {} worker(s)\n",
+                100.0 * self.utilization(),
+                self.imbalance_ratio(),
+                self.workers.len()
+            ));
+        }
+        if self.cached_runs > 0 {
+            out.push_str(&format!(
+                "  cache: {} of {} run(s) served from the run cache\n",
+                self.cached_runs,
+                self.runs.len()
+            ));
+        }
         out.push_str(&format!(
-            "  speedup {:.2}x (implied Amdahl serial fraction {:.3}; projected {:.2}x at {} threads)\n",
+            "  speedup {:.2}x (implied Amdahl serial fraction {:.3}{}; projected {:.2}x at {} threads)\n",
             self.speedup(),
             self.serial_fraction(),
+            if self.workers.len() >= 2 { " from per-worker busy time" } else { "" },
             self.projected_speedup(2 * self.jobs.max(1)),
             2 * self.jobs.max(1)
         ));
@@ -544,5 +790,147 @@ mod tests {
     fn map_indexed_preserves_order_under_oversubscription() {
         let v = Executor::new(64).map_indexed(5, |i| i * i);
         assert_eq!(v, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn map_indexed_stats_reports_worker_load() {
+        let (v, sched) = Executor::new(4).map_indexed_stats(40, |i| i + 1);
+        assert_eq!(v, (1..=40).collect::<Vec<_>>());
+        assert!(sched.workers >= 1 && sched.workers <= 4);
+        assert_eq!(sched.items.iter().sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn report_with_workers_fits_amdahl_from_busy_time() {
+        // Two workers, each busy 1.0s, wall 1.0s: S = 2 at t = 2 ⇒ f = 0
+        // (perfect scaling), regardless of what the per-run sums say.
+        let sched = SchedStats {
+            workers: 2,
+            chunk: 1,
+            busy_seconds: vec![1.0, 1.0],
+            chunks_claimed: vec![2, 2],
+            items: vec![2, 2],
+        };
+        let report =
+            ExecReport::from_labelled(2, [("a".to_string(), 0.5), ("b".to_string(), 0.5)], 1.0)
+                .with_workers(&sched);
+        assert!((report.total_busy_seconds() - 2.0).abs() < 1e-12);
+        assert!(report.serial_fraction() < 1e-9, "balanced busy time ⇒ zero serial fraction");
+        assert!((report.utilization() - 1.0).abs() < 1e-9);
+        assert!((report.imbalance_ratio() - 1.0).abs() < 1e-9);
+
+        // One hot worker, one idle: S = 1.1/1.0 at t = 2 ⇒ large f.
+        let skew = SchedStats {
+            workers: 2,
+            chunk: 1,
+            busy_seconds: vec![1.0, 0.1],
+            chunks_claimed: vec![3, 1],
+            items: vec![3, 1],
+        };
+        let hot = ExecReport::from_labelled(2, [("a".to_string(), 1.1)], 1.0).with_workers(&skew);
+        assert!(hot.serial_fraction() > 0.5, "imbalance must surface as serial fraction");
+        assert!((hot.imbalance_ratio() - 10.0).abs() < 1e-9);
+        let rendered = hot.render();
+        assert!(rendered.contains("worker 0"));
+        assert!(rendered.contains("utilization"));
+        assert!(rendered.contains("from per-worker busy time"));
+    }
+
+    #[test]
+    fn single_worker_stats_mean_unit_serial_fraction() {
+        let sched = SchedStats {
+            workers: 1,
+            chunk: 4,
+            busy_seconds: vec![1.0],
+            chunks_claimed: vec![1],
+            items: vec![4],
+        };
+        let report =
+            ExecReport::from_labelled(1, [("a".to_string(), 1.0)], 1.0).with_workers(&sched);
+        assert_eq!(report.serial_fraction(), 1.0);
+    }
+
+    fn cache_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("treu-exec-cache-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn run_all_cached_is_bitwise_identical_and_free_on_rerun() {
+        use crate::cache::RunCache;
+        let reg = small_registry();
+        let dir = cache_dir("runall");
+        let cache = RunCache::open(&dir).unwrap();
+        let exec = Executor::new(2);
+        let plain = exec.run_all(&reg, 7);
+        let (cold, cold_report) = exec.run_all_report_cached(&reg, 7, Some(&cache));
+        assert_eq!(cold_report.cached_runs, 0);
+        for ((ida, a), (idb, b)) in plain.iter().zip(cold.iter()) {
+            assert_eq!(ida, idb);
+            assert_eq!(a.trail, b.trail, "cold cached batch must match the uncached batch");
+        }
+        let (warm, warm_report) = exec.run_all_report_cached(&reg, 7, Some(&cache));
+        assert_eq!(warm_report.cached_runs, reg.len(), "second pass is fully cached");
+        for ((ida, a), (idb, b)) in plain.iter().zip(warm.iter()) {
+            assert_eq!(ida, idb);
+            assert_eq!(a.trail, b.trail, "cache replay must round-trip trails bitwise");
+        }
+        assert!(warm_report.render().contains("served from the run cache"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_cached_recomputes_nothing_on_a_warm_cache() {
+        use crate::cache::RunCache;
+        let reg = small_registry();
+        let dir = cache_dir("verify");
+        let exec = Executor::new(4);
+        let cold_cache = RunCache::open(&dir).unwrap();
+        let cold = exec.verify_all_cached(&reg, 3, Some(&cold_cache));
+        assert!(cold.all_reproduced());
+        assert_eq!(cold.recomputed, reg.len());
+        assert_eq!(cold.cached_count(), 0);
+        assert_eq!(cold_cache.stats().misses, reg.len() as u64);
+
+        let warm_cache = RunCache::open(&dir).unwrap();
+        let warm = exec.verify_all_cached(&reg, 3, Some(&warm_cache));
+        assert!(warm.all_reproduced());
+        assert_eq!(warm.recomputed, 0, "warm cache must recompute zero experiments");
+        assert_eq!(warm.cached_count(), reg.len());
+        assert_eq!(warm_cache.stats().hits, reg.len() as u64, "hit count equals experiment count");
+        // Fingerprints replayed from cache equal the cold pass bitwise.
+        for (a, b) in cold.outcomes.iter().zip(warm.outcomes.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.fingerprint, b.fingerprint);
+        }
+        assert!(warm.render().contains("[cached]"));
+        assert!(warm.render().contains("from cache, 0 recomputed"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_does_not_cache_nondeterministic_runs() {
+        use crate::cache::RunCache;
+        let mut reg = small_registry();
+        reg.register(
+            "Z-bad",
+            "w",
+            "broken",
+            Params::new(),
+            Box::new(NonDet(std::sync::atomic::AtomicU64::new(0))),
+        );
+        let dir = cache_dir("nondet");
+        let cache = RunCache::open(&dir).unwrap();
+        let first = Executor::new(2).verify_all_cached(&reg, 3, Some(&cache));
+        assert_eq!(first.violations(), vec!["Z-bad"]);
+        // A second pass must re-run (and re-flag) the broken id: failures
+        // are never served from the cache.
+        let cache2 = RunCache::open(&dir).unwrap();
+        let second = Executor::new(2).verify_all_cached(&reg, 3, Some(&cache2));
+        assert_eq!(second.violations(), vec!["Z-bad"]);
+        assert_eq!(second.recomputed, 1);
+        assert_eq!(second.cached_count(), reg.len() - 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -28,8 +28,12 @@
 //!   tracking.
 //! * [`sweep`] — parameter-grid sweeps with per-point derived seeds.
 //! * [`exec`] — the deterministic parallel executor: fans seeds, sweeps
-//!   and registry batches over scoped workers and merges in canonical
-//!   order, so results are bitwise-identical for every `--jobs` value.
+//!   and registry batches over self-scheduling scoped workers and merges
+//!   in canonical order, so results are bitwise-identical for every
+//!   `--jobs` value.
+//! * [`cache`] — the content-addressed run cache: completed runs persist
+//!   under `hash(id, params, seed)` validated by a code+env fingerprint,
+//!   so re-verification recomputes nothing that has not changed.
 //! * [`aggregate`] — multi-seed metric summaries (the distributional view
 //!   reliability claims need).
 //! * [`report`] — plain-text table rendering shared by the survey crate and
@@ -41,6 +45,7 @@
 pub mod aggregate;
 pub mod artifact;
 pub mod badge;
+pub mod cache;
 pub mod environment;
 pub mod exec;
 pub mod experiment;
@@ -50,6 +55,7 @@ pub mod report;
 pub mod study;
 pub mod sweep;
 
+pub use cache::{CacheStats, RunCache};
 pub use exec::{ExecReport, Executor, VerifyReport};
 pub use experiment::{Experiment, RunContext, RunRecord};
 pub use provenance::Trail;

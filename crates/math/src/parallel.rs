@@ -7,6 +7,26 @@
 //! bands, hand each band to a scoped worker, and join. Workers own disjoint
 //! `&mut` regions, so the compiler proves data-race freedom — no locks, no
 //! atomics on the hot path.
+//!
+//! Two scheduling policies are provided for index-range maps:
+//!
+//! * **static** ([`par_map`]) — contiguous bands, one per worker, fixed up
+//!   front. Zero coordination, but a worker whose band holds the expensive
+//!   items becomes the critical path while the others idle.
+//! * **dynamic** ([`par_map_dynamic`]) — a self-scheduling work queue:
+//!   workers repeatedly claim the next chunk of indices from a shared
+//!   atomic counter, compute out of order, and the results are merged back
+//!   in **index order** after the join. Output is therefore bitwise
+//!   identical to the sequential map regardless of which worker computed
+//!   what, or in what order — scheduling moves wall-clock time, never
+//!   results.
+//!
+//! Both are deterministic in the only sense that matters here (output ==
+//! sequential output); dynamic additionally keeps workers busy under
+//! skewed per-item costs, and reports per-worker load via [`SchedStats`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Splits `buf` into `threads` near-equal bands of whole rows (each row is
 /// `row_len` elements) and runs `f(first_row_index, band)` on each band in
@@ -50,50 +70,13 @@ pub fn for_each_band(
 }
 
 /// Applies `f` to every index in `0..n` across `threads` scoped workers and
-/// collects the results in index order.
+/// collects the results in index order — **static** scheduling.
 ///
 /// Work is split into contiguous ranges, one per worker; each worker fills
-/// its own output band. Deterministic: output order never depends on thread
-/// scheduling.
+/// its own disjoint band of `Option<T>` slots, so any `Send` result type
+/// works (no `Default + Clone` required). Deterministic: output order
+/// never depends on thread scheduling.
 pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send + Default + Clone,
-    F: Fn(usize) -> T + Sync,
-{
-    let mut out = vec![T::default(); n];
-    if threads <= 1 || n <= 1 {
-        for (i, slot) in out.iter_mut().enumerate() {
-            *slot = f(i);
-        }
-        return out;
-    }
-    let band = n.div_ceil(threads);
-    crossbeam::scope(|s| {
-        let mut rest = out.as_mut_slice();
-        let mut i0 = 0;
-        while !rest.is_empty() {
-            let take = band.min(rest.len());
-            let (chunk, tail) = rest.split_at_mut(take);
-            let fr = &f;
-            let start = i0;
-            s.spawn(move |_| {
-                for (k, slot) in chunk.iter_mut().enumerate() {
-                    *slot = fr(start + k);
-                }
-            });
-            i0 += take;
-            rest = tail;
-        }
-    })
-    .expect("parallel map worker panicked");
-    out
-}
-
-/// Like [`par_map`] but without the `Default + Clone` bound on `T`:
-/// workers fill disjoint bands of `Option<T>` slots, so any `Send` result
-/// type works. Deterministic: output order never depends on thread
-/// scheduling.
-pub fn par_map_into<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -122,6 +105,193 @@ where
     })
     .expect("parallel map worker panicked");
     out.into_iter().map(|o| o.expect("worker filled every slot")).collect()
+}
+
+/// Alias of [`par_map`], kept for callers written against the old split
+/// API (`par_map` once required `T: Default + Clone`; this was the
+/// unbounded variant before the two merged).
+pub fn par_map_into<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map(n, threads, f)
+}
+
+/// Per-worker load accounting for one [`par_map_dynamic_stats`] call.
+///
+/// Busy seconds are measured inside each worker (claim loop entry to
+/// exit), so the vector exposes load imbalance directly: a static
+/// schedule over skewed costs shows one hot worker and idle peers, a
+/// dynamic schedule shows near-equal entries. Timing is environment, not
+/// result — nothing here feeds fingerprints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedStats {
+    /// Workers actually spawned (≤ the requested thread count; never more
+    /// than the number of chunks).
+    pub workers: usize,
+    /// Chunk size used (indices claimed per atomic increment).
+    pub chunk: usize,
+    /// Per-worker busy seconds, in worker-spawn order.
+    pub busy_seconds: Vec<f64>,
+    /// Per-worker count of chunks claimed.
+    pub chunks_claimed: Vec<usize>,
+    /// Per-worker count of items computed.
+    pub items: Vec<usize>,
+}
+
+impl SchedStats {
+    fn sequential(n: usize, chunk: usize, busy: f64) -> Self {
+        Self {
+            workers: 1,
+            chunk,
+            busy_seconds: vec![busy],
+            chunks_claimed: vec![n.div_ceil(chunk.max(1))],
+            items: vec![n],
+        }
+    }
+
+    /// Sum of per-worker busy seconds — the measured parallel cost.
+    pub fn total_busy_seconds(&self) -> f64 {
+        self.busy_seconds.iter().sum()
+    }
+
+    /// Busiest worker's seconds.
+    pub fn max_busy_seconds(&self) -> f64 {
+        self.busy_seconds.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Least-busy worker's seconds.
+    pub fn min_busy_seconds(&self) -> f64 {
+        self.busy_seconds.iter().copied().fold(f64::INFINITY, f64::min).min(self.max_busy_seconds())
+    }
+
+    /// Load-imbalance ratio: busiest over least-busy worker (1.0 =
+    /// perfectly balanced; large = one worker was the critical path).
+    pub fn imbalance_ratio(&self) -> f64 {
+        let max = self.max_busy_seconds();
+        let min = self.min_busy_seconds();
+        if max <= 0.0 {
+            return 1.0;
+        }
+        max / min.max(1e-12)
+    }
+
+    /// Worker utilization against a measured batch wall time: total busy
+    /// seconds over `workers * wall` (1.0 = no idle time anywhere).
+    pub fn utilization(&self, wall_seconds: f64) -> f64 {
+        if self.workers == 0 || wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        (self.total_busy_seconds() / (self.workers as f64 * wall_seconds)).clamp(0.0, 1.0)
+    }
+}
+
+/// Chunk size for [`par_map_dynamic`]: aims for ~8 claims per worker, so
+/// imbalance is bounded by roughly an eighth of a static band while the
+/// shared counter is touched rarely enough not to matter. Always ≥ 1.
+pub fn adaptive_chunk(n: usize, threads: usize) -> usize {
+    (n / (threads.max(1) * 8)).max(1)
+}
+
+/// Applies `f` to every index in `0..n` with **deterministic dynamic
+/// scheduling**: workers claim chunks of indices from a shared atomic
+/// counter (so expensive items never strand their band-mates on one
+/// worker), compute out of order, and results are merged back in index
+/// order after the join.
+///
+/// The output is bitwise-identical to `(0..n).map(f).collect()` for every
+/// thread count and chunk size — only wall-clock time depends on the
+/// schedule. Chunk size is chosen by [`adaptive_chunk`].
+pub fn par_map_dynamic<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_dynamic_stats(n, threads, adaptive_chunk(n, threads), f).0
+}
+
+/// [`par_map_dynamic`] with an explicit chunk size, returning per-worker
+/// [`SchedStats`] alongside the (index-ordered, scheduling-independent)
+/// results.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`.
+pub fn par_map_dynamic_stats<T, F>(
+    n: usize,
+    threads: usize,
+    chunk: usize,
+    f: F,
+) -> (Vec<T>, SchedStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    if threads <= 1 || n <= 1 {
+        // treu-lint: allow(wall-clock, reason = "per-worker busy time is report-only load accounting")
+        let t0 = Instant::now();
+        let out: Vec<T> = (0..n).map(f).collect();
+        return (out, SchedStats::sequential(n, chunk, t0.elapsed().as_secs_f64()));
+    }
+    // Each worker returns (claimed parts, chunks claimed, busy seconds);
+    // parts carry their start index so the merge below is order-free.
+    type WorkerYield<T> = (Vec<(usize, Vec<T>)>, usize, f64);
+    // Never spawn more workers than there are chunks to claim.
+    let workers = threads.min(n.div_ceil(chunk)).max(1);
+    let counter = AtomicUsize::new(0);
+    let mut per_worker: Vec<WorkerYield<T>> = Vec::with_capacity(workers);
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let fr = &f;
+                let ctr = &counter;
+                s.spawn(move |_| {
+                    // treu-lint: allow(wall-clock, reason = "per-worker busy time is report-only load accounting")
+                    let t0 = Instant::now();
+                    let mut parts: Vec<(usize, Vec<T>)> = Vec::new();
+                    let mut claimed = 0usize;
+                    loop {
+                        let start = ctr.fetch_add(chunk, Ordering::SeqCst);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        parts.push((start, (start..end).map(fr).collect()));
+                        claimed += 1;
+                    }
+                    (parts, claimed, t0.elapsed().as_secs_f64())
+                })
+            })
+            .collect();
+        for h in handles {
+            per_worker.push(h.join().expect("dynamic map worker panicked"));
+        }
+    })
+    .expect("dynamic map scope failed");
+    // Index-ordered merge: placement depends only on each part's start
+    // index, so completion order cannot influence the output.
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut stats = SchedStats {
+        workers,
+        chunk,
+        busy_seconds: Vec::with_capacity(workers),
+        chunks_claimed: Vec::with_capacity(workers),
+        items: Vec::with_capacity(workers),
+    };
+    for (parts, claimed, busy) in per_worker {
+        stats.items.push(parts.iter().map(|(_, vals)| vals.len()).sum());
+        stats.chunks_claimed.push(claimed);
+        stats.busy_seconds.push(busy);
+        for (start, vals) in parts {
+            for (k, v) in vals.into_iter().enumerate() {
+                slots[start + k] = Some(v);
+            }
+        }
+    }
+    let out = slots.into_iter().map(|o| o.expect("every index claimed exactly once")).collect();
+    (out, stats)
 }
 
 /// Reduces `0..n` with `map` then `combine`, in parallel, with a
@@ -229,6 +399,24 @@ mod tests {
         assert!(v.is_empty());
     }
 
+    /// A result type that is deliberately neither `Default` nor `Clone`:
+    /// the satellite fix is that `par_map` no longer needs either.
+    struct NoDefaultNoClone(String);
+
+    #[test]
+    fn par_map_works_without_default_or_clone() {
+        for threads in [1, 2, 5, 16] {
+            let v = par_map(23, threads, |i| NoDefaultNoClone(format!("r{i}")));
+            let got: Vec<&str> = v.iter().map(|x| x.0.as_str()).collect();
+            let expect: Vec<String> = (0..23).map(|i| format!("r{i}")).collect();
+            assert_eq!(
+                got,
+                expect.iter().map(String::as_str).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
     #[test]
     fn par_map_into_is_in_order_without_default() {
         // String is Clone but the point is the missing Default-based
@@ -246,6 +434,71 @@ mod tests {
         assert!(v.is_empty());
         let v = par_map_into(3, 64, |i| i * 10);
         assert_eq!(v, vec![0, 10, 20]);
+    }
+
+    #[test]
+    fn par_map_dynamic_matches_sequential_everywhere() {
+        let expect: Vec<usize> = (0..97).map(|i| i * i + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let v = par_map_dynamic(97, threads, |i| i * i + 1);
+            assert_eq!(v, expect, "threads={threads}");
+        }
+        for chunk in [1, 2, 7, 97, 1000] {
+            let (v, stats) = par_map_dynamic_stats(97, 4, chunk, |i| i * i + 1);
+            assert_eq!(v, expect, "chunk={chunk}");
+            assert_eq!(stats.items.iter().sum::<usize>(), 97, "chunk={chunk}");
+            assert_eq!(stats.chunks_claimed.iter().sum::<usize>(), 97usize.div_ceil(chunk));
+        }
+    }
+
+    #[test]
+    fn par_map_dynamic_empty_and_single() {
+        let v: Vec<String> = par_map_dynamic(0, 4, |_| String::new());
+        assert!(v.is_empty());
+        let v = par_map_dynamic(1, 8, |i| i + 41);
+        assert_eq!(v, vec![41]);
+    }
+
+    #[test]
+    fn par_map_dynamic_handles_nondefault_types() {
+        let v = par_map_dynamic(17, 3, |i| NoDefaultNoClone(format!("x{i}")));
+        assert_eq!(v[16].0, "x16");
+        assert_eq!(v.len(), 17);
+    }
+
+    #[test]
+    fn dynamic_stats_account_every_worker() {
+        let (_, stats) = par_map_dynamic_stats(40, 4, 2, |i| i);
+        assert!(stats.workers >= 1 && stats.workers <= 4);
+        assert_eq!(stats.busy_seconds.len(), stats.workers);
+        assert_eq!(stats.chunks_claimed.len(), stats.workers);
+        assert_eq!(stats.items.len(), stats.workers);
+        assert!(stats.busy_seconds.iter().all(|&b| b >= 0.0));
+        assert!(stats.imbalance_ratio() >= 1.0);
+        assert!((0.0..=1.0).contains(&stats.utilization(stats.max_busy_seconds())));
+        assert!(stats.total_busy_seconds() >= stats.max_busy_seconds());
+    }
+
+    #[test]
+    fn dynamic_never_spawns_more_workers_than_chunks() {
+        let (v, stats) = par_map_dynamic_stats(5, 64, 2, |i| i);
+        assert_eq!(v, vec![0, 1, 2, 3, 4]);
+        assert!(stats.workers <= 3, "5 items at chunk 2 is 3 chunks, got {}", stats.workers);
+    }
+
+    #[test]
+    fn adaptive_chunk_is_positive_and_scales() {
+        assert_eq!(adaptive_chunk(0, 4), 1);
+        assert_eq!(adaptive_chunk(20, 8), 1);
+        assert!(adaptive_chunk(100_000, 8) > 1);
+        // More threads → smaller chunks (finer balancing).
+        assert!(adaptive_chunk(100_000, 16) <= adaptive_chunk(100_000, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_panics() {
+        let _ = par_map_dynamic_stats(4, 2, 0, |i| i);
     }
 
     #[test]

@@ -14,7 +14,13 @@
 //! and the output is bitwise-identical for every N — parallelism changes
 //! wall-clock time, never results. The default is one worker per
 //! hardware thread.
+//!
+//! The same commands accept `--cache-dir DIR`: completed runs are stored
+//! content-addressed under DIR and replayed on later invocations when the
+//! id, seed, parameters and code+environment fingerprint all match.
+//! `--no-cache` disables the cache even when `--cache-dir` is given.
 
+use treu::core::cache::RunCache;
 use treu::core::environment::Environment;
 use treu::core::exec::Executor;
 use treu::lint::{DenyLevel, Lint, RuleId, Workspace};
@@ -29,31 +35,55 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let cache = match extract_cache(&mut args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let cache = cache.as_ref();
     let exec = Executor::new(jobs);
     let reg = treu::full_registry();
     let seed_arg = |i: usize| -> u64 { args.get(i).and_then(|s| s.parse().ok()).unwrap_or(2023) };
     match args.first().map(String::as_str) {
         Some("list") => print!("{}", reg.render_index()),
         Some("run") => match args.get(1) {
-            Some(id) => match reg.run(id, seed_arg(2)) {
-                Some(rec) => {
-                    println!(
-                        "{} (seed {}, {:.3}s, fingerprint {:#018x})",
-                        rec.name,
-                        rec.seed,
-                        rec.wall_seconds,
-                        rec.fingerprint()
-                    );
-                    print!("{}", rec.trail.render());
-                }
-                None => {
+            Some(id) => {
+                let seed = seed_arg(2);
+                let Some(entry) = reg.get(id) else {
                     eprintln!("unknown experiment id '{id}'; try `treu list`");
                     std::process::exit(1);
+                };
+                let hit = cache.and_then(|c| c.lookup(id, seed, &entry.defaults));
+                let cached = hit.is_some();
+                let rec = hit
+                    .or_else(|| {
+                        let rec = reg.run(id, seed).expect("id checked above");
+                        if let Some(c) = cache {
+                            if let Err(e) = c.store(id, seed, &entry.defaults, &rec) {
+                                eprintln!("cache: store failed: {e}");
+                            }
+                        }
+                        Some(rec)
+                    })
+                    .expect("run or replay produced a record");
+                println!(
+                    "{} (seed {}, {:.3}s, fingerprint {:#018x}){}",
+                    rec.name,
+                    rec.seed,
+                    rec.wall_seconds,
+                    rec.fingerprint(),
+                    if cached { " [cached]" } else { "" }
+                );
+                print!("{}", rec.trail.render());
+                if let Some(c) = cache {
+                    print!("{}", c.render_stats());
                 }
-            },
+            }
             // No id: run the whole registry through the executor.
             None => {
-                let (records, report) = exec.run_all_report(&reg, seed_arg(1));
+                let (records, report) = exec.run_all_report_cached(&reg, seed_arg(1), cache);
                 for (id, rec) in &records {
                     println!(
                         "{:<10} {} (seed {}, fingerprint {:#018x})",
@@ -65,34 +95,76 @@ fn main() {
                 }
                 println!();
                 print!("{}", report.render());
+                if let Some(c) = cache {
+                    print!("{}", c.render_stats());
+                }
             }
         },
         Some("tables") => {
-            let cohort = Cohort::simulate(seed_arg(1));
-            // The three analyses are independent; fan them out, print in
-            // canonical order regardless of which finished first.
-            let rendered = exec.map_indexed(3, |i| match i {
-                0 => analysis::render_table1(&analysis::table1(&cohort)),
-                1 => analysis::render_table2(&analysis::table2(&cohort)),
-                _ => analysis::render_table3(&analysis::table3(&cohort)),
-            });
-            for table in rendered {
-                println!("{table}");
+            let seed = seed_arg(1);
+            let tag = seed.to_string();
+            let out = match cache.and_then(|c| c.lookup_blob("tables", &tag)) {
+                Some(blob) => blob,
+                None => {
+                    let cohort = Cohort::simulate(seed);
+                    // The three analyses are independent; fan them out, print
+                    // in canonical order regardless of which finished first.
+                    let rendered = exec.map_indexed(3, |i| match i {
+                        0 => analysis::render_table1(&analysis::table1(&cohort)),
+                        1 => analysis::render_table2(&analysis::table2(&cohort)),
+                        _ => analysis::render_table3(&analysis::table3(&cohort)),
+                    });
+                    let mut out = String::new();
+                    for table in rendered {
+                        out.push_str(&table);
+                        out.push('\n');
+                    }
+                    if let Some(c) = cache {
+                        if let Err(e) = c.store_blob("tables", &tag, &out) {
+                            eprintln!("cache: store failed: {e}");
+                        }
+                    }
+                    out
+                }
+            };
+            print!("{out}");
+            if let Some(c) = cache {
+                print!("{}", c.render_stats());
             }
         }
         Some("verify") => {
             let seed = seed_arg(2);
             match args.get(1) {
                 Some(id) => {
-                    if reg.get(id).is_none() {
+                    let Some(entry) = reg.get(id) else {
                         eprintln!("unknown experiment id '{id}'");
                         std::process::exit(1);
+                    };
+                    if let Some(rec) = cache.and_then(|c| c.lookup(id, seed, &entry.defaults)) {
+                        // A cached trail was produced by a verified run under
+                        // the same code+env fingerprint: reproduced by replay.
+                        println!(
+                            "{id}: REPRODUCED [cached] (fingerprint {:#018x})",
+                            rec.fingerprint()
+                        );
+                        if let Some(c) = cache {
+                            print!("{}", c.render_stats());
+                        }
+                        return;
                     }
                     // Two concurrent replicas of the same run.
                     let runs =
                         exec.map_indexed(2, |_| reg.run(id, seed).expect("id checked above"));
                     if runs[0].trail == runs[1].trail {
+                        if let Some(c) = cache {
+                            if let Err(e) = c.store(id, seed, &entry.defaults, &runs[0]) {
+                                eprintln!("cache: store failed: {e}");
+                            }
+                        }
                         println!("{id}: REPRODUCED (fingerprint {:#018x})", runs[0].fingerprint());
+                        if let Some(c) = cache {
+                            print!("{}", c.render_stats());
+                        }
                     } else {
                         println!("{id}: MISMATCH — run is not deterministic");
                         std::process::exit(1);
@@ -100,8 +172,11 @@ fn main() {
                 }
                 // No id: verify the whole registry.
                 None => {
-                    let report = exec.verify_all(&reg, seed_arg(1));
+                    let report = exec.verify_all_cached(&reg, seed_arg(1), cache);
                     print!("{}", report.render());
+                    if let Some(c) = cache {
+                        print!("{}", c.render_stats());
+                    }
                     if !report.all_reproduced() {
                         std::process::exit(1);
                     }
@@ -111,7 +186,10 @@ fn main() {
         Some("env") => print!("{}", Environment::capture().render()),
         Some("lint") => run_lint(&args[1..]),
         _ => {
-            eprintln!("usage: treu <list|run|tables|verify|env|lint> [...] [--jobs N]");
+            eprintln!(
+                "usage: treu <list|run|tables|verify|env|lint> [...] \
+                 [--jobs N] [--cache-dir DIR] [--no-cache]"
+            );
             std::process::exit(2);
         }
     }
@@ -188,6 +266,44 @@ fn run_lint(args: &[String]) {
     }
     if report.exceeds(deny) {
         std::process::exit(1);
+    }
+}
+
+/// Removes `--cache-dir DIR` (or `--cache-dir=DIR`) and `--no-cache` from
+/// `args` and returns the opened run cache. The cache is opt-in: with no
+/// `--cache-dir` there is nothing to read or write, and `--no-cache`
+/// disables a `--cache-dir` that is also present (useful for forcing a
+/// recomputation without editing scripts).
+fn extract_cache(args: &mut Vec<String>) -> Result<Option<RunCache>, String> {
+    let mut dir: Option<String> = None;
+    let mut disabled = false;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        if arg == "--no-cache" {
+            disabled = true;
+            args.remove(i);
+        } else if arg == "--cache-dir" {
+            if i + 1 >= args.len() {
+                return Err("--cache-dir requires a value".to_string());
+            }
+            dir = Some(args.remove(i + 1));
+            args.remove(i);
+        } else if let Some(v) = arg.strip_prefix("--cache-dir=") {
+            dir = Some(v.to_string());
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    if disabled {
+        return Ok(None);
+    }
+    match dir {
+        None => Ok(None),
+        Some(d) => RunCache::open(std::path::Path::new(&d))
+            .map(Some)
+            .map_err(|e| format!("cannot open cache dir '{d}': {e}")),
     }
 }
 

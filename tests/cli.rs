@@ -92,6 +92,100 @@ fn no_args_prints_usage() {
     assert!(stderr.contains("usage"));
 }
 
+fn cache_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("treu-cli-cache-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn verify_replays_from_a_warm_cache() {
+    let dir = cache_dir("verify");
+    let dir_s = dir.to_str().expect("utf8 path");
+    let cold = treu(&["verify", "T1", "--cache-dir", dir_s]);
+    assert!(cold.status.success());
+    let cold_out = String::from_utf8(cold.stdout).expect("utf8");
+    assert!(cold_out.contains("REPRODUCED"), "{cold_out}");
+    assert!(!cold_out.contains("[cached]"), "cold pass must actually verify: {cold_out}");
+    assert!(cold_out.contains("1 miss(es)"), "{cold_out}");
+    assert!(cold_out.contains("1 store(s)"), "{cold_out}");
+
+    let warm = treu(&["verify", "T1", "--cache-dir", dir_s]);
+    assert!(warm.status.success());
+    let warm_out = String::from_utf8(warm.stdout).expect("utf8");
+    assert!(warm_out.contains("REPRODUCED [cached]"), "{warm_out}");
+    assert!(warm_out.contains("1 hit(s)"), "{warm_out}");
+
+    // The fingerprint replayed from the cache equals the verified one.
+    let fp = |s: &str| s.split("fingerprint ").nth(1).map(|t| t[..18].to_string());
+    assert_eq!(fp(&cold_out), fp(&warm_out), "cache replay changed the fingerprint");
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn no_cache_flag_disables_a_cache_dir() {
+    let dir = cache_dir("nocache");
+    let dir_s = dir.to_str().expect("utf8 path");
+    assert!(treu(&["verify", "T1", "--cache-dir", dir_s]).status.success());
+    let out = treu(&["verify", "T1", "--cache-dir", dir_s, "--no-cache"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(!stdout.contains("[cached]"), "--no-cache must force recomputation: {stdout}");
+    assert!(!stdout.contains("cache:"), "--no-cache prints no cache stats: {stdout}");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn run_and_tables_cache_without_changing_output() {
+    let dir = cache_dir("runtables");
+    let dir_s = dir.to_str().expect("utf8 path");
+
+    let plain = treu(&["run", "T2", "9"]);
+    let cold = treu(&["run", "T2", "9", "--cache-dir", dir_s]);
+    let warm = treu(&["run", "T2", "9", "--cache-dir", dir_s]);
+    assert!(plain.status.success() && cold.status.success() && warm.status.success());
+    // Wall time is environment, not result: drop the "N.NNNs," token (and
+    // cache chrome) before comparing.
+    let strip = |o: &std::process::Output| {
+        String::from_utf8(o.stdout.clone())
+            .expect("utf8")
+            .lines()
+            .filter(|l| !l.starts_with("cache:"))
+            .map(|l| {
+                l.replace(" [cached]", "")
+                    .split_whitespace()
+                    .filter(|t| !t.ends_with("s,"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&plain), strip(&cold), "caching changed run output");
+    assert_eq!(strip(&cold), strip(&warm), "cache replay changed run output");
+    assert!(String::from_utf8(warm.stdout).expect("utf8").contains("[cached]"));
+
+    let t_plain = treu(&["tables", "5"]);
+    let t_cold = treu(&["tables", "5", "--cache-dir", dir_s]);
+    let t_warm = treu(&["tables", "5", "--cache-dir", dir_s]);
+    assert!(t_plain.status.success() && t_cold.status.success() && t_warm.status.success());
+    assert_eq!(strip(&t_plain), strip(&t_cold), "caching changed tables output");
+    assert_eq!(strip(&t_cold), strip(&t_warm), "cache replay changed tables output");
+    let warm_raw = String::from_utf8(t_warm.stdout).expect("utf8");
+    assert!(warm_raw.contains("1 hit(s)"), "{warm_raw}");
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn bad_cache_flag_fails_with_usage_error() {
+    let out = treu(&["tables", "--cache-dir"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(stderr.contains("--cache-dir requires a value"), "{stderr}");
+}
+
 const WORKSPACE: &str = env!("CARGO_MANIFEST_DIR");
 const FIXTURES: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/crates/lint/tests/fixtures");
 

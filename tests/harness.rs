@@ -101,6 +101,53 @@ fn conformance_multi_seed_batches_are_job_count_invariant() {
 }
 
 #[test]
+fn conformance_warm_cache_verify_recomputes_nothing() {
+    // Acceptance criterion: a second `treu verify` against a warm cache
+    // recomputes zero experiments, the hit count equals the experiment
+    // count, and the replayed fingerprints match the cold pass bitwise.
+    use treu::core::cache::RunCache;
+    let reg = treu::full_registry();
+    let dir = std::env::temp_dir().join(format!("treu-harness-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let exec = Executor::new(4);
+
+    let cold_cache = RunCache::open(&dir).expect("cache dir");
+    let cold = exec.verify_all_cached_with(&reg, 77, Some(&cold_cache), |id, _| light_params(id));
+    assert!(cold.all_reproduced(), "cold pass: {:?}", cold.violations());
+    assert_eq!(cold.recomputed, reg.len(), "cold cache verifies everything the hard way");
+    assert_eq!(cold_cache.stats().misses, reg.len() as u64);
+    assert_eq!(cold_cache.stats().stores, reg.len() as u64);
+
+    // A fresh handle on the same directory, so the stats below are purely
+    // the warm pass's.
+    let warm_cache = RunCache::open(&dir).expect("cache dir");
+    let warm = exec.verify_all_cached_with(&reg, 77, Some(&warm_cache), |id, _| light_params(id));
+    assert!(warm.all_reproduced());
+    assert_eq!(warm.recomputed, 0, "warm cache must recompute zero experiments");
+    assert_eq!(warm.cached_count(), reg.len());
+    assert_eq!(warm_cache.stats().hits, reg.len() as u64, "hit count equals experiment count");
+    assert_eq!(warm_cache.stats().misses, 0);
+
+    let cold_fps: Vec<(String, u64)> =
+        cold.outcomes.iter().map(|o| (o.id.clone(), o.fingerprint)).collect();
+    let warm_fps: Vec<(String, u64)> =
+        warm.outcomes.iter().map(|o| (o.id.clone(), o.fingerprint)).collect();
+    assert_eq!(cold_fps, warm_fps, "cache replay changed a fingerprint");
+
+    // A different seed misses the cache: the address covers the seed.
+    // (Param sensitivity is covered by the cache unit tests; re-running
+    // the registry at default params here would be needlessly slow.)
+    let seed_cache = RunCache::open(&dir).expect("cache dir");
+    let reseeded =
+        exec.verify_all_cached_with(&reg, 78, Some(&seed_cache), |id, _| light_params(id));
+    assert!(reseeded.all_reproduced());
+    assert_eq!(seed_cache.stats().hits, 0, "seed is part of the cache address");
+    assert_eq!(reseeded.recomputed, reg.len());
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
 fn executor_report_accounts_for_every_registry_run() {
     let reg = treu::full_registry();
     // Two light survey ids through run_all on a restricted registry is not

@@ -223,6 +223,26 @@ proptest! {
     }
 
     #[test]
+    fn par_map_dynamic_equals_sequential_for_any_schedule(
+        n in 0usize..300,
+        jobs in 1usize..48,
+        chunk in 1usize..64,
+    ) {
+        // The tentpole invariant: the self-scheduling queue may claim
+        // chunks in any order, but the merged output must be bitwise
+        // what a sequential loop produces — for every (n, jobs, chunk).
+        let f = |i: usize| (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ n as u64;
+        let seq: Vec<u64> = (0..n).map(f).collect();
+        let (dynamic, sched) =
+            treu_math::parallel::par_map_dynamic_stats(n, jobs, chunk, f);
+        prop_assert_eq!(dynamic, seq);
+        // Load accounting covers exactly the work done, however it was
+        // distributed.
+        prop_assert_eq!(sched.items.iter().sum::<usize>(), n);
+        prop_assert!(sched.workers >= 1 && sched.workers <= jobs.max(1));
+    }
+
+    #[test]
     fn executor_verify_accepts_deterministic_runs(seed in any::<u64>(), jobs in job_counts()) {
         let params = Params::new().with_int("n", 6);
         let fp = Executor::new(jobs).assert_deterministic(&Synthetic, seed, &params);
