@@ -1,6 +1,7 @@
-//! Harnessed experiment E3: the clustered-rush vs staged-batches study.
+//! Harnessed experiments: E3 (clustered-rush vs staged-batches) and
+//! `cluster_faults` (node failures and recovery-policy cost).
 
-use crate::sim::{Cluster, Scheduler};
+use crate::sim::{Cluster, FailureModel, RecoveryPolicy, Scheduler};
 use crate::trace::{cohort_trace, SubmissionPolicy};
 use treu_core::experiment::{Experiment, Params, RunContext};
 use treu_core::ExperimentRegistry;
@@ -46,7 +47,53 @@ impl Experiment for GpuContentionExperiment {
     }
 }
 
-/// Registers E3.
+/// `cluster_faults`: the §3 contention study under a seeded node-failure
+/// model — per (submission policy, recovery policy) pair, how much the
+/// failures cost in stuck students, makespan, and wasted GPU-hours.
+pub struct ClusterFaultsExperiment;
+
+impl Experiment for ClusterFaultsExperiment {
+    fn name(&self) -> &str {
+        "cluster/faults"
+    }
+
+    fn run(&self, ctx: &mut RunContext) {
+        let n_jobs = ctx.int("jobs", 40) as usize;
+        let gpus = ctx.int("gpus", 8) as usize;
+        let trials = ctx.int("trials", 3) as u64;
+        let mtbf = ctx.float("mtbf_hours", 12.0);
+        let restart_cost = ctx.float("restart_cost_hours", 0.5);
+        let cluster = Cluster { gpus, stuck_threshold: 4.0 };
+        let policies =
+            [SubmissionPolicy::Clustered, SubmissionPolicy::Staged { batches: 4, window: 8.0 }];
+        for policy in policies {
+            for recovery in [RecoveryPolicy::Restage, RecoveryPolicy::Checkpoint] {
+                let (mut stuck, mut makespan, mut wasted, mut fails) = (0.0, 0.0, 0.0, 0.0);
+                for t in 0..trials {
+                    let mut rng = SplitMix64::new(derive_seed(ctx.seed(), &format!("t{t}")));
+                    let jobs = cohort_trace(n_jobs, policy, &mut rng);
+                    let fm = FailureModel {
+                        mtbf,
+                        restart_cost,
+                        seed: derive_seed(ctx.seed(), &format!("fm{t}")),
+                    };
+                    let fmx = cluster.simulate_faulty(&jobs, Scheduler::Backfill, &fm, recovery);
+                    stuck += fmx.metrics.stuck_fraction / trials as f64;
+                    makespan += fmx.metrics.makespan / trials as f64;
+                    wasted += fmx.wasted_gpu_hours / trials as f64;
+                    fails += fmx.failures as f64 / trials as f64;
+                }
+                let tag = format!("{}_{}", policy.name(), recovery.name());
+                ctx.record(&format!("{tag}_stuck_fraction"), stuck);
+                ctx.record(&format!("{tag}_makespan"), makespan);
+                ctx.record(&format!("{tag}_wasted_gpu_hours"), wasted);
+                ctx.record(&format!("{tag}_failures"), fails);
+            }
+        }
+    }
+}
+
+/// Registers E3 and `cluster_faults`.
 pub fn register(reg: &mut ExperimentRegistry) {
     reg.register(
         "E3",
@@ -54,6 +101,18 @@ pub fn register(reg: &mut ExperimentRegistry) {
         "GPU contention: clustered rush vs staged batches, FIFO vs backfill",
         Params::new().with_int("jobs", 40).with_int("gpus", 8),
         Box::new(GpuContentionExperiment),
+    );
+    reg.register(
+        "cluster_faults",
+        "Section 3",
+        "Node failures on the shared pool: restage vs checkpoint recovery cost",
+        Params::new()
+            .with_int("jobs", 40)
+            .with_int("gpus", 8)
+            .with_int("trials", 3)
+            .with_float("mtbf_hours", 12.0)
+            .with_float("restart_cost_hours", 0.5),
+        Box::new(ClusterFaultsExperiment),
     );
 }
 
@@ -110,5 +169,37 @@ mod tests {
         let mut reg = ExperimentRegistry::new();
         register(&mut reg);
         assert!(reg.get("E3").is_some());
+        assert!(reg.get("cluster_faults").is_some());
+    }
+
+    fn faults_record() -> &'static treu_core::RunRecord {
+        static REC: std::sync::OnceLock<treu_core::RunRecord> = std::sync::OnceLock::new();
+        REC.get_or_init(|| {
+            run_once(
+                &ClusterFaultsExperiment,
+                2023,
+                Params::new().with_float("mtbf_hours", 4.0).with_int("trials", 2),
+            )
+        })
+    }
+
+    #[test]
+    fn faults_experiment_checkpoint_beats_restage() {
+        let rec = faults_record();
+        for policy in ["clustered", "staged"] {
+            let restage = rec.metric(&format!("{policy}_restage_wasted_gpu_hours")).unwrap();
+            let ckpt = rec.metric(&format!("{policy}_checkpoint_wasted_gpu_hours")).unwrap();
+            assert!(ckpt < restage, "{policy}: checkpoint {ckpt} vs restage {restage}");
+        }
+        assert!(rec.metric("clustered_restage_failures").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn faults_experiment_is_deterministic() {
+        assert_deterministic(
+            &ClusterFaultsExperiment,
+            5,
+            &Params::new().with_int("jobs", 12).with_int("trials", 1),
+        );
     }
 }

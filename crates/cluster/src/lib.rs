@@ -15,6 +15,11 @@
 //! ([`experiment`], E3). Metrics are the ones the complaint is about:
 //! queue-wait percentiles and the fraction of "stuck" students.
 //!
+//! A seeded failure model ([`sim::FailureModel`]) extends the simulator
+//! with node failures / job preemptions and a [`sim::RecoveryPolicy`]
+//! (restage vs checkpoint), quantifying what unreliable shared hardware
+//! costs the cohort — the `cluster_faults` experiment.
+//!
 //! # Example
 //!
 //! ```
@@ -35,5 +40,5 @@ pub mod experiment;
 pub mod sim;
 pub mod trace;
 
-pub use sim::{Cluster, Metrics, Scheduler};
+pub use sim::{Cluster, FailureModel, FaultMetrics, Metrics, RecoveryPolicy, Scheduler};
 pub use trace::{Job, SubmissionPolicy};

@@ -1,6 +1,14 @@
 //! The discrete-event GPU-pool simulator.
+//!
+//! Besides the fault-free queueing model, [`Cluster::simulate_faulty`]
+//! layers a seeded node-failure/preemption model on top: each job draws
+//! its failure count from a per-job RNG stream (so the chaos is exactly
+//! reproducible for a seed, the same discipline the core fault plan
+//! follows), and a [`RecoveryPolicy`] decides how much GPU time each
+//! failure burns before the job completes.
 
 use crate::trace::Job;
+use treu_math::rng::{derive_seed, SplitMix64};
 use treu_math::stats;
 
 /// Scheduling discipline for the queue.
@@ -148,6 +156,124 @@ impl Cluster {
     }
 }
 
+/// Seeded node-failure / job-preemption model.
+///
+/// Failures are drawn per job from `SplitMix64(derive_seed(seed,
+/// "job{id}"))`: the probability a given attempt fails is
+/// `1 - exp(-duration / mtbf)` (exponential failure law over the job's
+/// exposure window), and attempts repeat until one survives (capped at
+/// [`FailureModel::MAX_FAILURES`] so a pathological trace still
+/// terminates). The draw depends only on `(seed, job id, duration)` —
+/// never on schedule order — so the same trace fails the same way under
+/// every scheduler and recovery policy, which is what makes the A/B
+/// comparison fair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureModel {
+    /// Mean time between failures a single job experiences (hours).
+    pub mtbf: f64,
+    /// Fixed restage/requeue overhead each failure costs (hours).
+    pub restart_cost: f64,
+    /// Seed for the failure draws.
+    pub seed: u64,
+}
+
+impl FailureModel {
+    /// Failure-count cap per job: keeps the inflated trace finite even
+    /// when `mtbf` is tiny relative to job durations.
+    pub const MAX_FAILURES: usize = 4;
+
+    /// Number of failures job `id` with `duration` suffers under this
+    /// model — deterministic per `(seed, id)`.
+    pub fn failures_for(&self, id: usize, duration: f64) -> usize {
+        let mut rng = SplitMix64::new(derive_seed(self.seed, &format!("job{id}")));
+        let p = 1.0 - (-duration / self.mtbf.max(1e-9)).exp();
+        let mut k = 0;
+        while k < Self::MAX_FAILURES && rng.next_f64() < p {
+            k += 1;
+        }
+        k
+    }
+
+    /// The same per-job RNG stream, positioned after the failure draws —
+    /// recovery-cost draws come from here so they never perturb `k`.
+    fn recovery_rng(&self, id: usize, failures: usize) -> SplitMix64 {
+        let mut rng = SplitMix64::new(derive_seed(self.seed, &format!("job{id}")));
+        for _ in 0..=failures.min(Self::MAX_FAILURES) {
+            rng.next_f64();
+        }
+        rng
+    }
+}
+
+/// What a failed job loses before it can continue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// No checkpoints: every failure throws away a uniform-random
+    /// fraction of the work done so far, plus the restart cost.
+    Restage,
+    /// Checkpoint/restart: a failure costs only the fixed restart
+    /// overhead; completed work survives.
+    Checkpoint,
+}
+
+impl RecoveryPolicy {
+    /// Short stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryPolicy::Restage => "restage",
+            RecoveryPolicy::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+/// [`Metrics`] plus the failure accounting of a faulty run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultMetrics {
+    /// Queueing metrics of the inflated (failure-burdened) trace.
+    pub metrics: Metrics,
+    /// Total failures injected across the trace.
+    pub failures: usize,
+    /// GPU-hours burnt on rework and restart overhead (not on results).
+    pub wasted_gpu_hours: f64,
+}
+
+impl Cluster {
+    /// [`Cluster::simulate`] under a seeded [`FailureModel`]: each job's
+    /// duration is inflated by what its failures cost under `recovery`,
+    /// then the trace runs through the ordinary discrete-event queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job demands more GPUs than the cluster has.
+    pub fn simulate_faulty(
+        &self,
+        jobs: &[Job],
+        scheduler: Scheduler,
+        fm: &FailureModel,
+        recovery: RecoveryPolicy,
+    ) -> FaultMetrics {
+        let mut failures = 0usize;
+        let mut wasted_gpu_hours = 0.0f64;
+        let burdened: Vec<Job> = jobs
+            .iter()
+            .map(|j| {
+                let k = fm.failures_for(j.id, j.duration);
+                failures += k;
+                let mut rng = fm.recovery_rng(j.id, k);
+                let overhead: f64 = match recovery {
+                    RecoveryPolicy::Checkpoint => k as f64 * fm.restart_cost,
+                    RecoveryPolicy::Restage => {
+                        (0..k).map(|_| rng.next_f64() * j.duration + fm.restart_cost).sum()
+                    }
+                };
+                wasted_gpu_hours += overhead * j.gpus as f64;
+                Job { duration: j.duration + overhead, ..j.clone() }
+            })
+            .collect();
+        FaultMetrics { metrics: self.simulate(&burdened, scheduler), failures, wasted_gpu_hours }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,5 +359,68 @@ mod tests {
         let a = c.simulate(&jobs, Scheduler::Backfill);
         let b = c.simulate(&jobs, Scheduler::Backfill);
         assert_eq!(a, b);
+    }
+
+    fn rush(n: usize, seed: u64) -> Vec<Job> {
+        let mut rng = treu_math::rng::SplitMix64::new(seed);
+        crate::trace::cohort_trace(n, crate::trace::SubmissionPolicy::Clustered, &mut rng)
+    }
+
+    #[test]
+    fn faulty_simulation_is_deterministic_and_seed_sensitive() {
+        let jobs = rush(30, 5);
+        let c = Cluster::default();
+        let fm = FailureModel { mtbf: 6.0, restart_cost: 0.5, seed: 9 };
+        let a = c.simulate_faulty(&jobs, Scheduler::Backfill, &fm, RecoveryPolicy::Restage);
+        let b = c.simulate_faulty(&jobs, Scheduler::Backfill, &fm, RecoveryPolicy::Restage);
+        assert_eq!(a, b, "same seed, same chaos, same metrics");
+        let other = FailureModel { seed: 10, ..fm };
+        let d = c.simulate_faulty(&jobs, Scheduler::Backfill, &other, RecoveryPolicy::Restage);
+        assert_ne!(a.failures, d.failures, "different seeds draw different failures");
+    }
+
+    #[test]
+    fn failure_draws_are_schedule_and_policy_independent() {
+        let jobs = rush(30, 6);
+        let c = Cluster::default();
+        let fm = FailureModel { mtbf: 6.0, restart_cost: 0.5, seed: 3 };
+        let fifo = c.simulate_faulty(&jobs, Scheduler::Fifo, &fm, RecoveryPolicy::Restage);
+        let back = c.simulate_faulty(&jobs, Scheduler::Backfill, &fm, RecoveryPolicy::Checkpoint);
+        assert_eq!(fifo.failures, back.failures, "failure count keys on (seed, job) only");
+    }
+
+    #[test]
+    fn checkpointing_wastes_less_than_restaging() {
+        let jobs = rush(40, 7);
+        let c = Cluster::default();
+        let fm = FailureModel { mtbf: 4.0, restart_cost: 0.25, seed: 11 };
+        let restage = c.simulate_faulty(&jobs, Scheduler::Backfill, &fm, RecoveryPolicy::Restage);
+        let ckpt = c.simulate_faulty(&jobs, Scheduler::Backfill, &fm, RecoveryPolicy::Checkpoint);
+        assert!(restage.failures > 0, "an mtbf of 4h over multi-hour jobs must fail someone");
+        assert!(
+            ckpt.wasted_gpu_hours < restage.wasted_gpu_hours,
+            "checkpoint {:.2} GPU-h vs restage {:.2} GPU-h",
+            ckpt.wasted_gpu_hours,
+            restage.wasted_gpu_hours
+        );
+        assert!(ckpt.metrics.makespan <= restage.metrics.makespan + 1e-9);
+    }
+
+    #[test]
+    fn infinite_reliability_recovers_the_fault_free_metrics() {
+        let jobs = rush(25, 8);
+        let c = Cluster::default();
+        let fm = FailureModel { mtbf: 1e12, restart_cost: 0.5, seed: 2 };
+        let faulty = c.simulate_faulty(&jobs, Scheduler::Backfill, &fm, RecoveryPolicy::Restage);
+        let clean = c.simulate(&jobs, Scheduler::Backfill);
+        assert_eq!(faulty.failures, 0);
+        assert_eq!(faulty.wasted_gpu_hours, 0.0);
+        assert_eq!(faulty.metrics, clean, "no failures ⇒ bitwise the fault-free simulation");
+    }
+
+    #[test]
+    fn failure_count_is_capped() {
+        let fm = FailureModel { mtbf: 1e-6, restart_cost: 0.1, seed: 1 };
+        assert_eq!(fm.failures_for(0, 100.0), FailureModel::MAX_FAILURES);
     }
 }

@@ -25,6 +25,14 @@
 //! cache directory doubles as a human-auditable archive of past runs.
 //! Hit / miss / invalidation / store counts are kept per handle and
 //! surfaced by the CLI after every cached command.
+//!
+//! **Integrity.** Every entry carries a checksum of its trail body that is
+//! verified at read time: an entry whose bytes no longer hash to what was
+//! stored (bit rot, a torn write from a killed process, tampering) is
+//! classified as **corrupt** ([`Lookup::Corrupt`]), deleted on the spot
+//! and recomputed by the caller — the cache self-heals instead of serving
+//! damaged provenance. Writes are atomic (temp file + rename) so a crash
+//! mid-store can never leave a truncated entry at an addressable path.
 
 use crate::environment::Environment;
 use crate::experiment::{Params, RunRecord};
@@ -33,7 +41,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-const MAGIC: &str = "treu-cache v1";
+const MAGIC: &str = "treu-cache v2";
 
 /// Counters for one cache handle's lifetime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -45,8 +53,27 @@ pub struct CacheStats {
     /// Lookups that found an entry with a stale or unreadable
     /// code+env fingerprint (recomputed and overwritten by the caller).
     pub invalidations: u64,
+    /// Entries whose read-time checksum verification failed — deleted on
+    /// sight and recomputed by the caller (self-healing).
+    pub corruptions: u64,
     /// Entries written.
     pub stores: u64,
+}
+
+/// A classified cache lookup — what [`RunCache::lookup_classified`]
+/// found at the address.
+#[derive(Debug)]
+pub enum Lookup {
+    /// Valid entry: fingerprint matched and the checksum verified.
+    Hit(RunRecord),
+    /// No entry at the address.
+    Miss,
+    /// Entry written under a different (or unreadable) code+env
+    /// fingerprint: stale, recompute and overwrite.
+    Stale,
+    /// Entry failed read-time checksum verification; it has been deleted
+    /// (auto-invalidated) and must be recomputed and re-stored.
+    Corrupt,
 }
 
 /// A content-addressed store of completed runs (and small text
@@ -58,6 +85,7 @@ pub struct RunCache {
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
+    corruptions: AtomicU64,
     stores: AtomicU64,
 }
 
@@ -107,6 +135,7 @@ impl RunCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            corruptions: AtomicU64::new(0),
             stores: AtomicU64::new(0),
         })
     }
@@ -138,33 +167,53 @@ impl RunCache {
 
     /// Looks up the cached record for `(id, seed, params)`.
     ///
-    /// Returns `None` on a miss (no entry) or an invalidation (entry
-    /// whose stored fingerprint differs from this handle's, or that fails
-    /// to parse); both are counted separately in [`RunCache::stats`].
+    /// Convenience wrapper over [`RunCache::lookup_classified`]: any
+    /// non-hit collapses to `None` (the per-cause counters still tick).
     pub fn lookup(&self, id: &str, seed: u64, params: &Params) -> Option<RunRecord> {
+        match self.lookup_classified(id, seed, params) {
+            Lookup::Hit(rec) => Some(rec),
+            _ => None,
+        }
+    }
+
+    /// Looks up `(id, seed, params)` and reports *why* a lookup failed:
+    /// miss (no entry), stale (different code+env fingerprint) or corrupt
+    /// (read-time checksum failure). A corrupt entry is deleted before
+    /// returning, so the caller's recompute-and-store self-heals the
+    /// cache; the corruption is counted in [`RunCache::stats`].
+    pub fn lookup_classified(&self, id: &str, seed: u64, params: &Params) -> Lookup {
         let path = self.run_path(id, seed, params);
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(_) => {
                 self.misses.fetch_add(1, Ordering::SeqCst);
-                return None;
+                return Lookup::Miss;
             }
         };
         match parse_run_entry(&text, self.fingerprint, seed) {
-            Some(rec) => {
+            EntryParse::Ok(rec) => {
                 self.hits.fetch_add(1, Ordering::SeqCst);
-                Some(rec)
+                Lookup::Hit(rec)
             }
-            None => {
+            EntryParse::Stale => {
                 self.invalidations.fetch_add(1, Ordering::SeqCst);
-                None
+                Lookup::Stale
+            }
+            EntryParse::Corrupt => {
+                self.corruptions.fetch_add(1, Ordering::SeqCst);
+                // Auto-invalidate: a damaged entry must never be consulted
+                // again, even by a handle that skips checksum verification.
+                let _ = std::fs::remove_file(&path);
+                Lookup::Corrupt
             }
         }
     }
 
     /// Persists a completed record under `(id, seed, params)`, stamped
-    /// with this handle's code+env fingerprint.
+    /// with this handle's code+env fingerprint and a checksum of the
+    /// trail body for read-time verification.
     pub fn store(&self, id: &str, seed: u64, params: &Params, rec: &RunRecord) -> io::Result<()> {
+        let body = rec.trail.render();
         let mut out = String::new();
         out.push_str(MAGIC);
         out.push('\n');
@@ -172,11 +221,26 @@ impl RunCache {
         out.push_str(&format!("name {}\n", rec.name));
         out.push_str(&format!("seed {}\n", rec.seed));
         out.push_str(&format!("wall {}\n", rec.wall_seconds));
+        out.push_str(&format!("checksum {:#018x}\n", fnv64(&[body.as_bytes()])));
         out.push_str("trail\n");
-        out.push_str(&rec.trail.render());
-        std::fs::write(self.run_path(id, seed, params), out)?;
+        out.push_str(&body);
+        self.write_atomic(&self.run_path(id, seed, params), &out)?;
         self.stores.fetch_add(1, Ordering::SeqCst);
         Ok(())
+    }
+
+    /// Atomic write: the payload lands under a unique temp name in the
+    /// cache directory and is renamed over the target, so a killed
+    /// process can never leave a truncated entry at an addressable path.
+    fn write_atomic(&self, path: &Path, contents: &str) -> io::Result<()> {
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = TMP_SEQ.fetch_add(1, Ordering::SeqCst);
+        let stem = path.file_name().and_then(|n| n.to_str()).unwrap_or("entry");
+        let tmp = self.dir.join(format!("{stem}.{}.{seq}.tmp", std::process::id()));
+        std::fs::write(&tmp, contents)?;
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
     }
 
     /// Looks up a cached text artifact (e.g. a rendered table) by kind
@@ -210,7 +274,7 @@ impl RunCache {
         out.push_str(&format!("fingerprint {:#018x}\n", self.fingerprint));
         out.push_str("payload\n");
         out.push_str(payload);
-        std::fs::write(self.blob_path(kind, tag), out)?;
+        self.write_atomic(&self.blob_path(kind, tag), &out)?;
         self.stores.fetch_add(1, Ordering::SeqCst);
         Ok(())
     }
@@ -221,6 +285,7 @@ impl RunCache {
             hits: self.hits.load(Ordering::SeqCst),
             misses: self.misses.load(Ordering::SeqCst),
             invalidations: self.invalidations.load(Ordering::SeqCst),
+            corruptions: self.corruptions.load(Ordering::SeqCst),
             stores: self.stores.load(Ordering::SeqCst),
         }
     }
@@ -229,38 +294,67 @@ impl RunCache {
     pub fn render_stats(&self) -> String {
         let s = self.stats();
         format!(
-            "cache: {} hit(s), {} miss(es), {} invalidation(s), {} store(s) ({})\n",
+            "cache: {} hit(s), {} miss(es), {} invalidation(s), {} corrupt (self-healed), {} store(s) ({})\n",
             s.hits,
             s.misses,
             s.invalidations,
+            s.corruptions,
             s.stores,
             self.dir.display()
         )
     }
 }
 
-/// Parses a `.run` entry; `None` means stale or malformed (invalidation).
-fn parse_run_entry(text: &str, expect_fingerprint: u64, expect_seed: u64) -> Option<RunRecord> {
-    let mut lines = text.lines();
-    if lines.next()? != MAGIC {
-        return None;
+/// Result of parsing a `.run` entry.
+enum EntryParse {
+    /// Valid entry under the expected fingerprint.
+    Ok(RunRecord),
+    /// Wrong magic or a foreign/unreadable fingerprint header — written
+    /// by another harness build or machine, not damaged.
+    Stale,
+    /// The header names this very fingerprint but the body fails its
+    /// checksum (or no longer parses): the entry was damaged after being
+    /// written.
+    Corrupt,
+}
+
+fn parse_run_entry(text: &str, expect_fingerprint: u64, expect_seed: u64) -> EntryParse {
+    fn header(text: &str, expect_fingerprint: u64) -> Option<bool> {
+        let mut lines = text.lines();
+        if lines.next()? != MAGIC {
+            return None;
+        }
+        let fp_line = lines.next()?.strip_prefix("fingerprint 0x")?;
+        Some(u64::from_str_radix(fp_line, 16).ok()? == expect_fingerprint)
     }
-    let fp_line = lines.next()?.strip_prefix("fingerprint 0x")?;
-    if u64::from_str_radix(fp_line, 16).ok()? != expect_fingerprint {
-        return None;
+    match header(text, expect_fingerprint) {
+        None | Some(false) => return EntryParse::Stale,
+        Some(true) => {}
     }
-    let name = lines.next()?.strip_prefix("name ")?.to_string();
-    let seed: u64 = lines.next()?.strip_prefix("seed ")?.parse().ok()?;
-    if seed != expect_seed {
-        return None;
+    fn body(text: &str, expect_seed: u64) -> Option<RunRecord> {
+        let mut lines = text.lines().skip(2);
+        let name = lines.next()?.strip_prefix("name ")?.to_string();
+        let seed: u64 = lines.next()?.strip_prefix("seed ")?.parse().ok()?;
+        if seed != expect_seed {
+            return None;
+        }
+        let wall_seconds: f64 = lines.next()?.strip_prefix("wall ")?.parse().ok()?;
+        let checksum_line = lines.next()?.strip_prefix("checksum 0x")?;
+        let checksum = u64::from_str_radix(checksum_line, 16).ok()?;
+        if lines.next()? != "trail" {
+            return None;
+        }
+        let body: String = lines.map(|l| format!("{l}\n")).collect();
+        if fnv64(&[body.as_bytes()]) != checksum {
+            return None;
+        }
+        let trail = Trail::parse(&body)?;
+        Some(RunRecord { name, seed, trail, wall_seconds })
     }
-    let wall_seconds: f64 = lines.next()?.strip_prefix("wall ")?.parse().ok()?;
-    if lines.next()? != "trail" {
-        return None;
+    match body(text, expect_seed) {
+        Some(rec) => EntryParse::Ok(rec),
+        None => EntryParse::Corrupt,
     }
-    let body: String = lines.map(|l| format!("{l}\n")).collect();
-    let trail = Trail::parse(&body)?;
-    Some(RunRecord { name, seed, trail, wall_seconds })
 }
 
 /// Parses a `.txt` blob entry; `None` means stale or malformed.
@@ -381,6 +475,71 @@ mod tests {
         std::fs::write(&entry, "treu-cache v1\ngarbage").unwrap();
         assert!(cache.lookup("E", 1, &p).is_none());
         assert_eq!(cache.stats().invalidations, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checksum_failure_is_corruption_and_self_heals() {
+        let dir = tmp_dir("checksum");
+        let cache = RunCache::open_with_fingerprint(&dir, 9).unwrap();
+        let p = Params::new();
+        let rec = run_once(&Noisy, 1, p.clone());
+        cache.store("E", 1, &p, &rec).unwrap();
+        // Damage the trail body while leaving the header (magic +
+        // matching fingerprint) intact: bit rot, not staleness.
+        let entry = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        let text = std::fs::read_to_string(&entry).unwrap();
+        let damaged = text.replacen("metric", "metrjc", 1);
+        assert_ne!(text, damaged, "fixture must actually flip bytes");
+        std::fs::write(&entry, damaged).unwrap();
+
+        assert!(matches!(cache.lookup_classified("E", 1, &p), Lookup::Corrupt));
+        let s = cache.stats();
+        assert_eq!((s.corruptions, s.invalidations, s.misses), (1, 0, 0));
+        assert!(!entry.exists(), "corrupt entry must be deleted on sight");
+        // The very next lookup is a clean miss; recompute + store heals.
+        assert!(matches!(cache.lookup_classified("E", 1, &p), Lookup::Miss));
+        cache.store("E", 1, &p, &rec).unwrap();
+        let healed = cache.lookup("E", 1, &p).expect("healed entry serves again");
+        assert_eq!(healed.trail, rec.trail);
+        assert!(cache.render_stats().contains("1 corrupt (self-healed)"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_entry_is_corruption_not_a_hit() {
+        let dir = tmp_dir("truncated");
+        let cache = RunCache::open_with_fingerprint(&dir, 9).unwrap();
+        let p = Params::new();
+        let rec = run_once(&Noisy, 1, p.clone());
+        cache.store("E", 1, &p, &rec).unwrap();
+        let entry = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        let text = std::fs::read_to_string(&entry).unwrap();
+        // Simulate the torn write atomic rename now prevents: keep the
+        // header, cut the file mid-trail.
+        std::fs::write(&entry, &text[..text.len() - 10]).unwrap();
+        assert!(cache.lookup("E", 1, &p).is_none());
+        assert_eq!(cache.stats().corruptions, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stores_are_atomic_no_temp_files_survive() {
+        let dir = tmp_dir("atomic");
+        let cache = RunCache::open_with_fingerprint(&dir, 2).unwrap();
+        let p = Params::new();
+        let rec = run_once(&Noisy, 4, p.clone());
+        for i in 0..8u64 {
+            cache.store("E", i, &p, &rec).unwrap();
+            cache.store_blob("tables", &i.to_string(), "payload").unwrap();
+        }
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must be renamed away: {leftovers:?}");
+        assert_eq!(cache.stats().stores, 16);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -38,12 +38,26 @@
 //! [`RunCache`] (`*_cached` variants): runs whose key — experiment id,
 //! params, seed, code+env fingerprint — is already stored are replayed
 //! from disk instead of recomputed, making re-verification near-free.
+//!
+//! **Supervision.** Registry batches are *supervised*: every run executes
+//! under `std::panic::catch_unwind`, optionally bounded by a per-run
+//! deadline (a scoped watchdog waits on a channel with a timeout — the
+//! verdict lands at the deadline, the straggler is joined cooperatively),
+//! and failed attempts retry under the deterministic backoff schedule in
+//! [`crate::fault::backoff_millis`] up to a [`SupervisePolicy`] budget.
+//! A run that exhausts its budget is **quarantined**, not fatal: the rest
+//! of the batch completes, the [`VerifyReport`] carries a per-run failure
+//! taxonomy ([`FailureKind`]), and the exit decision is deferred to a
+//! [`DenyPolicy`]. Injected chaos (a [`FaultPlan`]) flows through the
+//! same path, so the §3 "finish the batch and report what broke" story is
+//! a tested property, not a hope.
 
-use crate::cache::RunCache;
+use crate::cache::{Lookup, RunCache};
 use crate::experiment::{run_once, Experiment, Params, RunRecord};
+use crate::fault::{backoff_millis, FaultPlan, FaultyExperiment};
 use crate::registry::ExperimentRegistry;
 use crate::sweep::{grid_points, Axis, SweepPoint};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use treu_math::parallel::{adaptive_chunk, default_threads, par_map_dynamic_stats, SchedStats};
 use treu_math::scaling::amdahl_speedup;
 
@@ -274,45 +288,99 @@ impl Executor {
         cache: Option<&RunCache>,
         params: impl Fn(&str, Params) -> Params + Sync,
     ) -> VerifyReport {
-        let jobs: Vec<(&str, Params)> =
-            reg.iter().map(|(id, e)| (id, params(id, e.defaults.clone()))).collect();
+        self.verify_all_supervised_with(reg, seed, cache, &SupervisePolicy::default(), None, params)
+    }
+
+    /// Runs every registered experiment under supervision: panics are
+    /// caught, attempts retry per `policy`, and exhausted runs come back
+    /// as [`RunOutcome::Failed`] instead of aborting the batch. An
+    /// optional [`FaultPlan`] injects deterministic chaos on the way in.
+    pub fn run_all_supervised(
+        &self,
+        reg: &ExperimentRegistry,
+        seed: u64,
+        policy: &SupervisePolicy,
+        plan: Option<&FaultPlan>,
+    ) -> (Vec<(String, RunOutcome)>, ExecReport) {
+        let entries: Vec<_> = reg.iter().collect();
+        // treu-lint: allow(wall-clock, reason = "batch timing reported outside the fingerprint")
+        let start = Instant::now();
+        let (outcomes, sched) = self.map_indexed_stats(entries.len(), |i| {
+            let (id, e) = entries[i];
+            run_supervised(e.runner(), id, seed, &e.defaults, policy, plan, 0)
+        });
+        let pairs: Vec<(String, RunOutcome)> =
+            entries.iter().map(|(id, _)| id.to_string()).zip(outcomes).collect();
+        let failed = pairs.iter().filter(|(_, o)| !o.is_ok()).count();
+        let report = ExecReport::from_labelled(
+            self.jobs,
+            pairs.iter().filter_map(|(id, o)| o.record().map(|r| (id.clone(), r.wall_seconds))),
+            start.elapsed().as_secs_f64(),
+        )
+        .with_workers(&sched)
+        .with_failed(failed);
+        (pairs, report)
+    }
+
+    /// [`Executor::verify_all`] under full supervision — this is the
+    /// general pass every other verify method funnels into.
+    ///
+    /// Each non-cached id runs as two supervised replicas; both must
+    /// succeed and agree bitwise to count as reproduced. Failures carry a
+    /// taxonomy: a panic or deadline that survives the retry budget is
+    /// quarantined as such, replica disagreement is
+    /// [`FailureKind::Nondeterministic`], and when a *corrupt cache
+    /// entry* preceded the recompute the outcome is tagged
+    /// [`FailureKind::CorruptCache`] on failure (or marked self-healed on
+    /// success). The batch always completes; gating is the caller's
+    /// [`DenyPolicy`] decision.
+    pub fn verify_all_supervised_with(
+        &self,
+        reg: &ExperimentRegistry,
+        seed: u64,
+        cache: Option<&RunCache>,
+        policy: &SupervisePolicy,
+        plan: Option<&FaultPlan>,
+        params: impl Fn(&str, Params) -> Params + Sync,
+    ) -> VerifyReport {
+        let jobs: Vec<(&str, Params, &crate::registry::Entry)> =
+            reg.iter().map(|(id, e)| (id, params(id, e.defaults.clone()), e)).collect();
         // treu-lint: allow(wall-clock, reason = "verification timing reported outside the fingerprint")
         let start = Instant::now();
-        let cached: Vec<Option<RunRecord>> =
-            jobs.iter().map(|(id, p)| cache.and_then(|c| c.lookup(id, seed, p))).collect();
-        let misses: Vec<usize> = (0..jobs.len()).filter(|&i| cached[i].is_none()).collect();
+        let looked: Vec<Lookup> = jobs
+            .iter()
+            .map(|(id, p, _)| match cache {
+                Some(c) => c.lookup_classified(id, seed, p),
+                None => Lookup::Miss,
+            })
+            .collect();
+        let misses: Vec<usize> =
+            (0..jobs.len()).filter(|&i| !matches!(looked[i], Lookup::Hit(_))).collect();
         // Both replicas of a missed id are independent tasks, so they run
         // concurrently whenever jobs >= 2.
         let runs = self.map_indexed(misses.len() * 2, |i| {
-            let (id, p) = &jobs[misses[i / 2]];
-            reg.run_with(id, seed, p.clone()).expect("id comes from the registry's own iterator")
+            let (id, p, e) = &jobs[misses[i / 2]];
+            run_supervised(e.runner(), id, seed, p, policy, plan, (i % 2) as u32)
         });
         let recomputed = misses.len();
         let mut fresh = runs.chunks_exact(2);
         let outcomes = jobs
             .iter()
-            .zip(cached)
-            .map(|((id, p), hit)| match hit {
-                Some(rec) => VerifyOutcome {
+            .zip(looked)
+            .map(|((id, p, _), found)| match found {
+                Lookup::Hit(rec) => VerifyOutcome {
                     id: id.to_string(),
                     fingerprint: rec.fingerprint(),
                     reproduced: true,
                     cached: true,
+                    attempts: 1,
+                    healed_corruption: false,
+                    failure: None,
                 },
-                None => {
+                not_hit => {
+                    let was_corrupt = matches!(not_hit, Lookup::Corrupt);
                     let pair = fresh.next().expect("one fresh pair per miss");
-                    let reproduced = pair[0].trail == pair[1].trail;
-                    if reproduced {
-                        if let Some(c) = cache {
-                            let _ = c.store(id, seed, p, &pair[0]);
-                        }
-                    }
-                    VerifyOutcome {
-                        id: id.to_string(),
-                        fingerprint: pair[0].fingerprint(),
-                        reproduced,
-                        cached: false,
-                    }
+                    cross_check(id, seed, p, pair, cache, was_corrupt)
                 }
             })
             .collect();
@@ -323,6 +391,299 @@ impl Executor {
             recomputed,
         }
     }
+}
+
+/// Cross-checks one id's two supervised replicas into a [`VerifyOutcome`].
+fn cross_check(
+    id: &str,
+    seed: u64,
+    params: &Params,
+    pair: &[RunOutcome],
+    cache: Option<&RunCache>,
+    was_corrupt: bool,
+) -> VerifyOutcome {
+    match (&pair[0], &pair[1]) {
+        (
+            RunOutcome::Ok { record: a, attempts: aa },
+            RunOutcome::Ok { record: b, attempts: ab },
+        ) => {
+            let reproduced = a.trail == b.trail;
+            let attempts = (*aa).max(*ab);
+            if reproduced {
+                if let Some(c) = cache {
+                    let _ = c.store(id, seed, params, a);
+                }
+            }
+            let failure = (!reproduced).then(|| RunFailure {
+                taxonomy: if was_corrupt {
+                    FailureKind::CorruptCache
+                } else {
+                    FailureKind::Nondeterministic
+                },
+                attempts,
+                last_error: "verification replicas produced different trails".to_string(),
+            });
+            VerifyOutcome {
+                id: id.to_string(),
+                fingerprint: a.fingerprint(),
+                reproduced,
+                cached: false,
+                attempts,
+                healed_corruption: was_corrupt && reproduced,
+                failure,
+            }
+        }
+        _ => {
+            let f = pair
+                .iter()
+                .find_map(|o| match o {
+                    RunOutcome::Failed(f) => Some(f.clone()),
+                    RunOutcome::Ok { .. } => None,
+                })
+                .expect("a non-Ok pair contains a failure");
+            let fingerprint =
+                pair.iter().find_map(RunOutcome::record).map(RunRecord::fingerprint).unwrap_or(0);
+            let taxonomy = if was_corrupt { FailureKind::CorruptCache } else { f.taxonomy };
+            VerifyOutcome {
+                id: id.to_string(),
+                fingerprint,
+                reproduced: false,
+                cached: false,
+                attempts: f.attempts,
+                healed_corruption: false,
+                failure: Some(RunFailure { taxonomy, ..f }),
+            }
+        }
+    }
+}
+
+/// Retry and deadline budget for supervised execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SupervisePolicy {
+    /// Retries after the first attempt (0 = one attempt only).
+    pub retries: u32,
+    /// Per-attempt wall-clock deadline; `None` disarms the watchdog.
+    pub deadline: Option<Duration>,
+}
+
+impl SupervisePolicy {
+    /// A policy with `retries` retries and no deadline.
+    pub fn new(retries: u32) -> Self {
+        Self { retries, deadline: None }
+    }
+
+    /// Arms the per-attempt watchdog (non-positive `secs` disarms it).
+    pub fn with_deadline_secs(mut self, secs: f64) -> Self {
+        self.deadline = (secs > 0.0).then(|| Duration::from_secs_f64(secs));
+        self
+    }
+}
+
+/// Why a supervised run failed — the report's failure taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The run panicked on every attempt in the budget.
+    Panicked,
+    /// The run exceeded its per-attempt deadline on every attempt.
+    TimedOut,
+    /// Verification replicas completed but produced different trails.
+    Nondeterministic,
+    /// A cached entry failed read-time checksum verification and the
+    /// recomputation could not re-establish a verified result.
+    CorruptCache,
+}
+
+impl FailureKind {
+    /// Stable taxonomy label, as rendered in `QUARANTINED(..)` lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Panicked => "Panicked",
+            FailureKind::TimedOut => "TimedOut",
+            FailureKind::Nondeterministic => "Nondeterministic",
+            FailureKind::CorruptCache => "CorruptCache",
+        }
+    }
+}
+
+/// A quarantined run: taxonomy, attempts spent, and the last error text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunFailure {
+    /// What class of failure exhausted the budget.
+    pub taxonomy: FailureKind,
+    /// Attempts consumed (retries + 1 when exhausted).
+    pub attempts: u32,
+    /// The last attempt's error (panic message or deadline report).
+    pub last_error: String,
+}
+
+/// The outcome of one supervised run.
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// The run completed; `attempts` counts tries including the final
+    /// successful one (1 = clean first try).
+    Ok {
+        /// The completed record.
+        record: RunRecord,
+        /// Attempts consumed, including the successful one.
+        attempts: u32,
+    },
+    /// The run exhausted its budget and was quarantined.
+    Failed(RunFailure),
+}
+
+impl RunOutcome {
+    /// The completed record, if any.
+    pub fn record(&self) -> Option<&RunRecord> {
+        match self {
+            RunOutcome::Ok { record, .. } => Some(record),
+            RunOutcome::Failed(_) => None,
+        }
+    }
+
+    /// Attempts consumed either way.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            RunOutcome::Ok { attempts, .. } => *attempts,
+            RunOutcome::Failed(f) => f.attempts,
+        }
+    }
+
+    /// True on success.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, RunOutcome::Ok { .. })
+    }
+}
+
+/// When a report's findings should flip the exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenyPolicy {
+    /// Never gate: report and exit 0.
+    None,
+    /// Gate on warnings and errors: any quarantine/mismatch, any run that
+    /// needed retries to pass, any self-healed cache corruption.
+    Warn,
+    /// Gate on errors only: quarantined or mismatched runs.
+    Error,
+}
+
+impl DenyPolicy {
+    /// Parses `none|warn|error`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(DenyPolicy::None),
+            "warn" => Some(DenyPolicy::Warn),
+            "error" => Some(DenyPolicy::Error),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            DenyPolicy::None => "none",
+            DenyPolicy::Warn => "warn",
+            DenyPolicy::Error => "error",
+        }
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// One supervised attempt: catch panics, optionally bound by a deadline.
+#[allow(clippy::too_many_arguments)]
+fn attempt_once<E>(
+    exp: &E,
+    id: &str,
+    seed: u64,
+    params: &Params,
+    deadline: Option<Duration>,
+    plan: Option<&FaultPlan>,
+    attempt: u32,
+    replica: u32,
+) -> Result<RunRecord, (FailureKind, String)>
+where
+    E: Experiment + Sync + ?Sized,
+{
+    let run = || {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match plan {
+            Some(p) => {
+                run_once(&FaultyExperiment::new(exp, p, id, attempt, replica), seed, params.clone())
+            }
+            None => run_once(exp, seed, params.clone()),
+        }))
+        .map_err(|payload| (FailureKind::Panicked, panic_message(payload.as_ref())))
+    };
+    match deadline {
+        None => run(),
+        Some(limit) => {
+            // Watchdog: the attempt runs on a scoped thread while this
+            // thread waits on the channel with a timeout. The verdict is
+            // rendered *at* the deadline; the straggler is joined
+            // cooperatively when the scope closes (injected delays are
+            // bounded, so the join is too — a kill would need unsafe or
+            // process isolation, both out of contract here).
+            let (tx, rx) = std::sync::mpsc::channel();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let _ = tx.send(run());
+                });
+                match rx.recv_timeout(limit) {
+                    Ok(res) => res,
+                    Err(_) => Err((
+                        FailureKind::TimedOut,
+                        format!("exceeded per-run deadline of {:.3}s", limit.as_secs_f64()),
+                    )),
+                }
+            })
+        }
+    }
+}
+
+/// Runs one experiment under a [`SupervisePolicy`]: panics are caught,
+/// failed attempts retry after the deterministic
+/// [`crate::fault::backoff_millis`] pause, and an exhausted budget yields
+/// a quarantined [`RunOutcome::Failed`] instead of propagating.
+///
+/// `plan` (when present) wraps the experiment in a [`FaultyExperiment`]
+/// for attempt-aware chaos injection; `replica` distinguishes
+/// verification replicas so injected trail corruption cannot hide by
+/// corrupting both replicas identically.
+pub fn run_supervised<E>(
+    exp: &E,
+    id: &str,
+    seed: u64,
+    params: &Params,
+    policy: &SupervisePolicy,
+    plan: Option<&FaultPlan>,
+    replica: u32,
+) -> RunOutcome
+where
+    E: Experiment + Sync + ?Sized,
+{
+    let mut last = (FailureKind::Panicked, String::new());
+    for attempt in 0..=policy.retries {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(backoff_millis(attempt, id, seed)));
+        }
+        match attempt_once(exp, id, seed, params, policy.deadline, plan, attempt, replica) {
+            Ok(record) => return RunOutcome::Ok { record, attempts: attempt + 1 },
+            Err(e) => last = e,
+        }
+    }
+    RunOutcome::Failed(RunFailure {
+        taxonomy: last.0,
+        attempts: policy.retries + 1,
+        last_error: last.1,
+    })
 }
 
 /// One experiment's verification outcome.
@@ -337,6 +698,14 @@ pub struct VerifyOutcome {
     /// True when the outcome was served from the run cache (previously
     /// verified under the same code+env fingerprint) without recompute.
     pub cached: bool,
+    /// Attempts the slower replica needed (1 = clean first try; cached
+    /// outcomes are always 1).
+    pub attempts: u32,
+    /// True when a corrupt cache entry was detected, invalidated, and the
+    /// recompute re-established a verified result (self-healed).
+    pub healed_corruption: bool,
+    /// The failure, when the id did not reproduce.
+    pub failure: Option<RunFailure>,
 }
 
 /// The result of a registry-wide verification pass.
@@ -369,16 +738,71 @@ impl VerifyReport {
         self.outcomes.iter().filter(|o| o.cached).count()
     }
 
+    /// Outcomes quarantined by the supervisor: the run *could not
+    /// complete* (panic, deadline, corrupt cache) — as opposed to
+    /// completing with mismatched replicas, which is a plain
+    /// determinism violation.
+    pub fn quarantined(&self) -> Vec<&VerifyOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| {
+                o.failure.as_ref().is_some_and(|f| f.taxonomy != FailureKind::Nondeterministic)
+            })
+            .collect()
+    }
+
+    /// Outcomes that reproduced only after retries.
+    pub fn retried(&self) -> Vec<&VerifyOutcome> {
+        self.outcomes.iter().filter(|o| o.reproduced && o.attempts > 1).collect()
+    }
+
+    /// Outcomes whose corrupt cache entry was self-healed.
+    pub fn healed(&self) -> Vec<&VerifyOutcome> {
+        self.outcomes.iter().filter(|o| o.healed_corruption).collect()
+    }
+
+    /// True when this report should flip the exit code under `policy`:
+    /// `Error` gates on any non-reproduced id; `Warn` additionally gates
+    /// on runs that needed retries or self-healed cache corruption;
+    /// `None` never gates.
+    pub fn exceeds(&self, policy: DenyPolicy) -> bool {
+        match policy {
+            DenyPolicy::None => false,
+            DenyPolicy::Error => !self.all_reproduced(),
+            DenyPolicy::Warn => {
+                !self.all_reproduced() || !self.retried().is_empty() || !self.healed().is_empty()
+            }
+        }
+    }
+
     /// Renders one line per id plus a summary line.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for o in &self.outcomes {
             if o.reproduced {
+                let mut suffix = String::new();
+                if o.healed_corruption {
+                    suffix.push_str(" [healed corrupt cache entry]");
+                }
+                if o.attempts > 1 {
+                    suffix.push_str(&format!(" [after {} attempts]", o.attempts));
+                }
                 out.push_str(&format!(
-                    "{:<10} REPRODUCED{} (fingerprint {:#018x})\n",
+                    "{:<10} REPRODUCED{} (fingerprint {:#018x}){}\n",
                     o.id,
                     if o.cached { " [cached]" } else { "" },
-                    o.fingerprint
+                    o.fingerprint,
+                    suffix
+                ));
+            } else if let Some(f) =
+                o.failure.as_ref().filter(|f| f.taxonomy != FailureKind::Nondeterministic)
+            {
+                out.push_str(&format!(
+                    "{:<10} QUARANTINED({}) after {} attempt(s): {}\n",
+                    o.id,
+                    f.taxonomy.name(),
+                    f.attempts,
+                    f.last_error
                 ));
             } else {
                 out.push_str(&format!("{:<10} MISMATCH — run is not deterministic\n", o.id));
@@ -396,6 +820,14 @@ impl VerifyReport {
                 "{} from cache, {} recomputed\n",
                 self.cached_count(),
                 self.recomputed
+            ));
+        }
+        let quarantined = self.quarantined();
+        if !quarantined.is_empty() {
+            out.push_str(&format!(
+                "{} quarantined: {}\n",
+                quarantined.len(),
+                quarantined.iter().map(|o| o.id.as_str()).collect::<Vec<_>>().join(", ")
             ));
         }
         out
@@ -439,6 +871,9 @@ pub struct ExecReport {
     /// Runs served from the run cache (their [`RunTiming`] carries the
     /// original compute cost, not this batch's).
     pub cached_runs: usize,
+    /// Runs that exhausted their supervision budget and were quarantined
+    /// (they contribute no [`RunTiming`]).
+    pub failed_runs: usize,
 }
 
 impl ExecReport {
@@ -458,6 +893,7 @@ impl ExecReport {
             wall_seconds,
             workers: Vec::new(),
             cached_runs: 0,
+            failed_runs: 0,
         }
     }
 
@@ -479,6 +915,12 @@ impl ExecReport {
         self
     }
 
+    /// Records how many runs were quarantined by the supervisor.
+    pub fn with_failed(mut self, failed_runs: usize) -> Self {
+        self.failed_runs = failed_runs;
+        self
+    }
+
     /// Total CPU-seconds across runs — the sequential cost.
     pub fn total_seconds(&self) -> f64 {
         self.runs.iter().map(|r| r.wall_seconds).sum()
@@ -495,17 +937,23 @@ impl ExecReport {
     }
 
     /// Load-imbalance ratio: busiest over least-busy worker. 1.0 when
-    /// fewer than two workers reported.
+    /// fewer than two workers reported, or when nobody did measurable
+    /// work (e.g. every run quarantined) — always finite.
     pub fn imbalance_ratio(&self) -> f64 {
         if self.workers.len() < 2 {
             return 1.0;
         }
         let max = self.workers.iter().map(|w| w.busy_seconds).fold(0.0, f64::max);
         let min = self.workers.iter().map(|w| w.busy_seconds).fold(f64::INFINITY, f64::min);
-        if max <= 0.0 {
+        if max <= 0.0 || !min.is_finite() {
             return 1.0;
         }
-        max / min.max(1e-12)
+        let ratio = max / min.max(1e-9);
+        if ratio.is_finite() {
+            ratio
+        } else {
+            1.0
+        }
     }
 
     /// Worker utilization: busy seconds over `workers × wall` (1.0 = no
@@ -522,8 +970,14 @@ impl ExecReport {
     }
 
     /// Measured speedup: sequential cost over measured batch wall time.
+    /// 1.0 (not 0 or NaN) when there is nothing to account — an empty
+    /// batch or one where every run was quarantined.
     pub fn speedup(&self) -> f64 {
-        self.total_seconds() / self.wall_seconds.max(1e-12)
+        let total = self.total_seconds();
+        if self.runs.is_empty() || total <= 0.0 {
+            return 1.0;
+        }
+        total / self.wall_seconds.max(1e-12)
     }
 
     /// The serial fraction Amdahl's law implies for the measured batch
@@ -544,7 +998,7 @@ impl ExecReport {
         } else {
             (self.speedup(), self.jobs.min(self.runs.len().max(1)) as f64)
         };
-        if t <= 1.0 {
+        if t <= 1.0 || !s.is_finite() {
             return 1.0;
         }
         let s = s.max(1e-12);
@@ -592,6 +1046,12 @@ impl ExecReport {
                 "  cache: {} of {} run(s) served from the run cache\n",
                 self.cached_runs,
                 self.runs.len()
+            ));
+        }
+        if self.failed_runs > 0 {
+            out.push_str(&format!(
+                "  quarantined: {} run(s) exhausted their supervision budget\n",
+                self.failed_runs
             ));
         }
         out.push_str(&format!(
@@ -932,5 +1392,203 @@ mod tests {
         assert_eq!(second.recomputed, 1);
         assert_eq!(second.cached_count(), reg.len() - 1);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_report_stats_are_finite_and_sane() {
+        // Zero successful runs (everything quarantined, or nothing ran):
+        // the accounting must stay finite and neutral, not NaN or 0x.
+        let report = ExecReport::from_labelled(4, std::iter::empty(), 0.0).with_failed(3);
+        assert_eq!(report.speedup(), 1.0);
+        assert_eq!(report.serial_fraction(), 1.0);
+        assert_eq!(report.imbalance_ratio(), 1.0);
+        assert_eq!(report.utilization(), 0.0);
+        assert!(report.speedup().is_finite());
+        assert!(report.projected_speedup(8).is_finite());
+        let rendered = report.render();
+        assert!(rendered.contains("quarantined: 3 run(s)"));
+        assert!(!rendered.contains("NaN") && !rendered.contains("inf"));
+
+        // An idle worker next to a busy one must not blow the ratio up
+        // to 1e12 — clamped finite.
+        let skew = SchedStats {
+            workers: 2,
+            chunk: 1,
+            busy_seconds: vec![1.0, 0.0],
+            chunks_claimed: vec![1, 0],
+            items: vec![1, 0],
+        };
+        let lop = ExecReport::from_labelled(2, [("a".to_string(), 1.0)], 1.0).with_workers(&skew);
+        assert!(lop.imbalance_ratio().is_finite());
+        assert!(lop.serial_fraction().is_finite());
+    }
+
+    struct AlwaysPanics;
+    impl Experiment for AlwaysPanics {
+        fn name(&self) -> &str {
+            "always-panics"
+        }
+        fn run(&self, _ctx: &mut RunContext) {
+            panic!("permanent failure in the experiment body");
+        }
+    }
+
+    struct Slow;
+    impl Experiment for Slow {
+        fn name(&self) -> &str {
+            "slow"
+        }
+        fn run(&self, ctx: &mut RunContext) {
+            std::thread::sleep(std::time::Duration::from_millis(300));
+            ctx.record("done", 1.0);
+        }
+    }
+
+    #[test]
+    fn supervised_run_retries_transient_faults_to_success() {
+        use crate::fault::FaultPlan;
+        let plan = FaultPlan::transient(11, 1.0);
+        let budget = plan.max_transient_attempts();
+        assert!(budget >= 1);
+        let policy = SupervisePolicy::new(budget);
+        let out = run_supervised(&Noisy, "A", 7, &Params::new(), &policy, Some(&plan), 0);
+        let clean = run_supervised(&Noisy, "A", 7, &Params::new(), &policy, None, 0);
+        match (&out, &clean) {
+            (
+                RunOutcome::Ok { record: faulted, attempts },
+                RunOutcome::Ok { record: baseline, .. },
+            ) => {
+                assert_eq!(
+                    faulted.trail, baseline.trail,
+                    "transient faults must not perturb the converged trail"
+                );
+                let expected = plan.first_clean_attempt("A", 7).unwrap() + 1;
+                assert_eq!(*attempts, expected);
+            }
+            _ => panic!("both runs must converge within the advertised budget"),
+        }
+    }
+
+    #[test]
+    fn supervised_run_quarantines_permanent_panics() {
+        let policy = SupervisePolicy::new(2);
+        let out = run_supervised(&AlwaysPanics, "P", 1, &Params::new(), &policy, None, 0);
+        match out {
+            RunOutcome::Failed(f) => {
+                assert_eq!(f.taxonomy, FailureKind::Panicked);
+                assert_eq!(f.attempts, 3, "retries + 1 attempts consumed");
+                assert!(f.last_error.contains("permanent failure"));
+            }
+            RunOutcome::Ok { .. } => panic!("a permanent panic cannot succeed"),
+        }
+    }
+
+    #[test]
+    fn supervised_run_enforces_the_deadline() {
+        let policy = SupervisePolicy::new(0).with_deadline_secs(0.02);
+        let out = run_supervised(&Slow, "S", 1, &Params::new(), &policy, None, 0);
+        match out {
+            RunOutcome::Failed(f) => {
+                assert_eq!(f.taxonomy, FailureKind::TimedOut);
+                assert!(f.last_error.contains("deadline"));
+            }
+            RunOutcome::Ok { .. } => panic!("a 300ms run cannot beat a 20ms deadline"),
+        }
+        // A generous deadline lets the same run through untouched.
+        let ok = run_supervised(
+            &Slow,
+            "S",
+            1,
+            &Params::new(),
+            &SupervisePolicy::new(0).with_deadline_secs(10.0),
+            None,
+            0,
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn verify_quarantines_the_broken_id_and_completes_the_rest() {
+        let mut reg = small_registry();
+        reg.register("Z-panic", "w", "broken", Params::new(), Box::new(AlwaysPanics));
+        let policy = SupervisePolicy::new(1);
+        for jobs in [1, 4] {
+            let report = Executor::new(jobs).verify_all_supervised_with(
+                &reg,
+                3,
+                None,
+                &policy,
+                None,
+                |_, d| d,
+            );
+            assert_eq!(report.outcomes.len(), 4, "jobs={jobs}: the batch completes");
+            let ok: Vec<_> =
+                report.outcomes.iter().filter(|o| o.reproduced).map(|o| o.id.as_str()).collect();
+            assert_eq!(ok, vec!["A", "B", "C"], "jobs={jobs}");
+            let q = report.quarantined();
+            assert_eq!(q.len(), 1, "jobs={jobs}");
+            assert_eq!(q[0].id, "Z-panic");
+            let f = q[0].failure.as_ref().unwrap();
+            assert_eq!(f.taxonomy, FailureKind::Panicked);
+            assert_eq!(f.attempts, 2);
+            let rendered = report.render();
+            assert!(rendered.contains("QUARANTINED(Panicked)"), "jobs={jobs}:\n{rendered}");
+            assert!(rendered.contains("3/4 reproduced"), "jobs={jobs}");
+            assert!(rendered.contains("1 quarantined: Z-panic"), "jobs={jobs}");
+            // Gate decision is the policy's, not the report's.
+            assert!(report.exceeds(DenyPolicy::Error));
+            assert!(report.exceeds(DenyPolicy::Warn));
+            assert!(!report.exceeds(DenyPolicy::None));
+        }
+    }
+
+    #[test]
+    fn verify_tags_retried_runs_and_warn_policy_gates_them() {
+        use crate::fault::FaultPlan;
+        let reg = small_registry();
+        let plan = FaultPlan::transient(5, 1.0);
+        let policy = SupervisePolicy::new(plan.max_transient_attempts());
+        let faulted = Executor::new(2).verify_all_supervised_with(
+            &reg,
+            3,
+            None,
+            &policy,
+            Some(&plan),
+            |_, d| d,
+        );
+        assert!(faulted.all_reproduced(), "transient faults within budget must reproduce");
+        assert!(!faulted.retried().is_empty(), "rate-1.0 transient plan must force retries");
+        let clean = Executor::new(2).verify_all(&reg, 3);
+        for (a, b) in faulted.outcomes.iter().zip(clean.outcomes.iter()) {
+            assert_eq!(a.fingerprint, b.fingerprint, "{}: chaos must converge to clean", a.id);
+        }
+        assert!(faulted.exceeds(DenyPolicy::Warn), "retries are warn-worthy");
+        assert!(!faulted.exceeds(DenyPolicy::Error), "but not errors");
+        assert!(faulted.render().contains("attempts]"));
+    }
+
+    #[test]
+    fn run_all_supervised_reports_failures_without_aborting() {
+        let mut reg = small_registry();
+        reg.register("Z-panic", "w", "broken", Params::new(), Box::new(AlwaysPanics));
+        let (pairs, report) =
+            Executor::new(2).run_all_supervised(&reg, 7, &SupervisePolicy::new(0), None);
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(pairs.iter().filter(|(_, o)| o.is_ok()).count(), 3);
+        assert_eq!(report.failed_runs, 1);
+        assert_eq!(report.runs.len(), 3, "quarantined runs contribute no timing");
+        let base = Executor::sequential().run_all(&small_registry(), 7);
+        for ((id, out), (bid, brec)) in pairs.iter().filter(|(_, o)| o.is_ok()).zip(base.iter()) {
+            assert_eq!(id, bid);
+            assert_eq!(out.record().unwrap().trail, brec.trail);
+        }
+    }
+
+    #[test]
+    fn deny_policy_parses_and_names_round_trip() {
+        for p in [DenyPolicy::None, DenyPolicy::Warn, DenyPolicy::Error] {
+            assert_eq!(DenyPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(DenyPolicy::parse("loud"), None);
     }
 }

@@ -1,0 +1,465 @@
+//! Deterministic fault injection: seeded chaos for the supervisor.
+//!
+//! The paper's §3 is a catalogue of runs that *failed under contention* —
+//! stalled jobs, restaged batches, results lost to crashes — and the
+//! artifact-evaluation practice the ROADMAP tracks expects a harness to
+//! finish a campaign and report what broke instead of dying wholesale.
+//! Proving that property needs failures on demand, and the failures
+//! themselves must obey the workspace's determinism contract: a chaos run
+//! that cannot be re-run bitwise is exactly as untrustworthy as any other
+//! irreproducible result.
+//!
+//! A [`FaultPlan`] is therefore *seeded and content-addressed* like a
+//! cache key: whether a given run is faulted, and how, is a pure function
+//! of `(plan, experiment id, run seed)`, and transient faults additionally
+//! key on the *attempt* number so a retry schedule can outlast them. The
+//! same plan replayed against the same registry injects byte-for-byte the
+//! same failures — chaos tests are themselves reproducible experiments.
+//!
+//! Injection happens through the [`FaultyExperiment`] adapter, which wraps
+//! any [`Experiment`] without touching it: experiment crates stay fault-
+//! agnostic, there is no unsafe code, and removing the plan removes every
+//! trace of the machinery.
+
+use crate::experiment::{Experiment, RunContext};
+use std::time::Duration;
+
+/// One way a run can be made to fail (or misbehave).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Permanent panic: every attempt dies. Retries cannot save it; the
+    /// supervisor must quarantine.
+    Panic,
+    /// The run takes `ms` extra milliseconds — long enough to trip a
+    /// deadline when one is armed, otherwise harmless (wall time is
+    /// excluded from trails and fingerprints).
+    Delay(u64),
+    /// The run completes but its provenance trail is corrupted afterwards
+    /// (a replica-keyed metric is flipped in), so verification replicas
+    /// disagree: injected irreproducibility.
+    CorruptTrail,
+    /// Transient error: the first `k` attempts panic, attempt `k` (0-based)
+    /// succeeds. A retry budget of at least `k` recovers bitwise-identical
+    /// output.
+    TransientErr(u32),
+}
+
+impl FaultKind {
+    /// Short stable name for reports and taxonomy lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Delay(_) => "delay",
+            FaultKind::CorruptTrail => "corrupt-trail",
+            FaultKind::TransientErr(_) => "transient-err",
+        }
+    }
+
+    /// True when a sufficient retry budget recovers the fault-free result.
+    pub fn is_transient(self) -> bool {
+        matches!(self, FaultKind::TransientErr(_) | FaultKind::Delay(_))
+    }
+
+    fn encode(self) -> [u8; 9] {
+        let (tag, arg): (u8, u64) = match self {
+            FaultKind::Panic => (1, 0),
+            FaultKind::Delay(ms) => (2, ms),
+            FaultKind::CorruptTrail => (3, 0),
+            FaultKind::TransientErr(k) => (4, u64::from(k)),
+        };
+        let mut out = [0u8; 9];
+        out[0] = tag;
+        out[1..].copy_from_slice(&arg.to_le_bytes());
+        out
+    }
+}
+
+/// FNV-1a over byte parts with separators — the same construction the run
+/// cache uses for its addresses, reused here so fault draws are stable,
+/// well-mixed functions of their key material.
+fn fnv64(parts: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for part in parts {
+        for &b in *part {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= 0xFF;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A uniform draw in `[0, 1)` from a hash — 53 mantissa bits, the same
+/// construction `SplitMix64::next_f64` uses.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A seeded, content-addressed plan of which runs fail and how.
+///
+/// The plan is pure data: no RNG state, no wall clock. Every decision is
+/// a hash of `(plan seed, experiment id, run seed)`, so concurrent
+/// workers, retries and replicas all see one consistent story.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rate: f64,
+    menu: Vec<FaultKind>,
+    /// Ids that always receive a permanent [`FaultKind::Panic`],
+    /// regardless of `rate` — the quarantine tests' lever.
+    targets: Vec<String>,
+}
+
+impl FaultPlan {
+    /// A plan drawing from the full fault menu at `rate` (clamped to
+    /// `[0, 1]`): panics, delays, trail corruption and transient errors.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        Self::with_menu(
+            seed,
+            rate,
+            vec![
+                FaultKind::Panic,
+                FaultKind::Delay(40),
+                FaultKind::CorruptTrail,
+                FaultKind::TransientErr(1),
+                FaultKind::TransientErr(2),
+            ],
+        )
+    }
+
+    /// A transient-only plan: every injected fault is a
+    /// [`FaultKind::TransientErr`] of 1..=3 attempts, so a supervisor with
+    /// `retries >= 3` always converges to the fault-free result. This is
+    /// what `treu chaos` runs.
+    pub fn transient(seed: u64, rate: f64) -> Self {
+        Self::with_menu(
+            seed,
+            rate,
+            vec![
+                FaultKind::TransientErr(1),
+                FaultKind::TransientErr(2),
+                FaultKind::TransientErr(3),
+            ],
+        )
+    }
+
+    /// A plan with an explicit fault menu.
+    pub fn with_menu(seed: u64, rate: f64, menu: Vec<FaultKind>) -> Self {
+        Self { seed, rate: rate.clamp(0.0, 1.0), menu, targets: Vec::new() }
+    }
+
+    /// A plan that injects nothing except a permanent panic into the
+    /// listed ids — the minimal plan for quarantine-path tests.
+    pub fn panic_on(ids: &[&str]) -> Self {
+        Self {
+            seed: 0,
+            rate: 0.0,
+            menu: Vec::new(),
+            targets: ids.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Adds a permanently-panicking target id to any plan.
+    pub fn and_panic_on(mut self, id: &str) -> Self {
+        self.targets.push(id.to_string());
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's injection rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The fault (if any) this plan assigns to `(id, run_seed)`. The draw
+    /// is attempt-independent: a faulted run keeps its fault kind across
+    /// retries (transience lives inside [`FaultKind::TransientErr`]).
+    pub fn fault_for(&self, id: &str, run_seed: u64) -> Option<FaultKind> {
+        if self.targets.iter().any(|t| t == id) {
+            return Some(FaultKind::Panic);
+        }
+        if self.menu.is_empty() || self.rate <= 0.0 {
+            return None;
+        }
+        let gate = fnv64(&[
+            b"fault-gate",
+            &self.seed.to_le_bytes(),
+            id.as_bytes(),
+            &run_seed.to_le_bytes(),
+        ]);
+        if unit(gate) >= self.rate {
+            return None;
+        }
+        let pick = fnv64(&[
+            b"fault-kind",
+            &self.seed.to_le_bytes(),
+            id.as_bytes(),
+            &run_seed.to_le_bytes(),
+        ]);
+        Some(self.menu[(pick % self.menu.len() as u64) as usize])
+    }
+
+    /// The first attempt (0-based) at which `(id, run_seed)` succeeds, or
+    /// `None` when no retry budget can save it (permanent panic or trail
+    /// corruption). Used to size `retries` in the conformance tests.
+    pub fn first_clean_attempt(&self, id: &str, run_seed: u64) -> Option<u32> {
+        match self.fault_for(id, run_seed) {
+            None | Some(FaultKind::Delay(_)) => Some(0),
+            Some(FaultKind::TransientErr(k)) => Some(k),
+            Some(FaultKind::Panic) | Some(FaultKind::CorruptTrail) => None,
+        }
+    }
+
+    /// The largest `k` any [`FaultKind::TransientErr`] in the menu can
+    /// demand — the retry budget that guarantees convergence for a
+    /// transient-only plan.
+    pub fn max_transient_attempts(&self) -> u32 {
+        self.menu
+            .iter()
+            .filter_map(|k| match k {
+                FaultKind::TransientErr(n) => Some(*n),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True when every fault this plan can inject is recoverable by
+    /// retrying (no permanent panics, no trail corruption, no targets).
+    pub fn is_transient_only(&self) -> bool {
+        self.targets.is_empty() && self.menu.iter().all(|k| k.is_transient())
+    }
+
+    /// Content address of the plan — hash of everything that determines
+    /// its behaviour, so reports can name the exact chaos configuration.
+    pub fn fingerprint(&self) -> u64 {
+        let mut parts: Vec<Vec<u8>> = vec![
+            b"fault-plan".to_vec(),
+            self.seed.to_le_bytes().to_vec(),
+            self.rate.to_bits().to_le_bytes().to_vec(),
+        ];
+        for k in &self.menu {
+            parts.push(k.encode().to_vec());
+        }
+        for t in &self.targets {
+            parts.push(t.as_bytes().to_vec());
+        }
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        fnv64(&refs)
+    }
+
+    /// The nonce a [`FaultKind::CorruptTrail`] injection flips into the
+    /// trail. Keyed on the *replica* as well as `(id, seed, attempt)` so
+    /// two verification replicas corrupt differently — deterministic
+    /// corruption that still shows up as a mismatch.
+    pub fn corruption_nonce(&self, id: &str, run_seed: u64, attempt: u32, replica: u32) -> u64 {
+        fnv64(&[
+            b"corrupt",
+            &self.seed.to_le_bytes(),
+            id.as_bytes(),
+            &run_seed.to_le_bytes(),
+            &attempt.to_le_bytes(),
+            &replica.to_le_bytes(),
+        ])
+    }
+}
+
+/// Deterministic retry backoff: a fixed doubling table plus seeded jitter.
+///
+/// `attempt` is the attempt about to run (1 = first retry). The jitter is
+/// a hash of `(id, run_seed, attempt)` — no wall clock, no RNG state — so
+/// the whole retry schedule is part of the reproducible record. The table
+/// is in milliseconds and deliberately small: tests and CI retry in tens
+/// of milliseconds, while the doubling shape matches what a production
+/// backoff would scale up.
+pub fn backoff_millis(attempt: u32, id: &str, run_seed: u64) -> u64 {
+    const BASE_MS: [u64; 6] = [0, 2, 4, 8, 16, 32];
+    let base = BASE_MS[(attempt as usize).min(BASE_MS.len() - 1)];
+    let span = base / 2 + 1;
+    let h = fnv64(&[b"backoff", id.as_bytes(), &run_seed.to_le_bytes(), &attempt.to_le_bytes()]);
+    base + h % span
+}
+
+/// Wraps an [`Experiment`] so a [`FaultPlan`] can fail it on purpose.
+///
+/// The adapter is the only injection point: experiment crates never see
+/// the plan, and an unfaulted `(id, seed)` pair runs the inner experiment
+/// untouched — same trail, same fingerprint.
+pub struct FaultyExperiment<'a, E: Experiment + ?Sized> {
+    inner: &'a E,
+    plan: &'a FaultPlan,
+    id: &'a str,
+    attempt: u32,
+    replica: u32,
+}
+
+impl<'a, E: Experiment + ?Sized> FaultyExperiment<'a, E> {
+    /// Wraps `inner` under `plan` for one attempt of one replica of the
+    /// run registered as `id`.
+    pub fn new(inner: &'a E, plan: &'a FaultPlan, id: &'a str, attempt: u32, replica: u32) -> Self {
+        Self { inner, plan, id, attempt, replica }
+    }
+}
+
+impl<E: Experiment + ?Sized> Experiment for FaultyExperiment<'_, E> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn run(&self, ctx: &mut RunContext) {
+        let Some(fault) = self.plan.fault_for(self.id, ctx.seed()) else {
+            return self.inner.run(ctx);
+        };
+        match fault {
+            FaultKind::Panic => panic!(
+                "injected fault: permanent panic (id={}, seed={}, attempt={})",
+                self.id,
+                ctx.seed(),
+                self.attempt
+            ),
+            FaultKind::TransientErr(k) if self.attempt < k => panic!(
+                "injected fault: transient error {}/{k} (id={}, seed={})",
+                self.attempt + 1,
+                self.id,
+                ctx.seed()
+            ),
+            FaultKind::TransientErr(_) => self.inner.run(ctx),
+            FaultKind::Delay(ms) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                self.inner.run(ctx)
+            }
+            FaultKind::CorruptTrail => {
+                self.inner.run(ctx);
+                let nonce =
+                    self.plan.corruption_nonce(self.id, ctx.seed(), self.attempt, self.replica);
+                // An integer-valued f64 (never NaN) so trail equality
+                // behaves; replica-keyed so the two verification replicas
+                // disagree and the corruption is *caught*.
+                ctx.record("__injected_trail_corruption", (nonce >> 11) as f64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_once, Params};
+
+    struct Echo;
+    impl Experiment for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn run(&self, ctx: &mut RunContext) {
+            let mut rng = ctx.rng("draws");
+            ctx.record("x", rng.next_f64());
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_rate_scaled() {
+        let plan = FaultPlan::new(7, 0.25);
+        let again = FaultPlan::new(7, 0.25);
+        let ids = ["A", "B", "C", "D"];
+        let mut faulted = 0usize;
+        for id in ids {
+            for seed in 0..200u64 {
+                assert_eq!(plan.fault_for(id, seed), again.fault_for(id, seed));
+                if plan.fault_for(id, seed).is_some() {
+                    faulted += 1;
+                }
+            }
+        }
+        let frac = faulted as f64 / 800.0;
+        assert!((0.15..0.35).contains(&frac), "injection rate off target: {frac}");
+        // A different plan seed redraws.
+        let other = FaultPlan::new(8, 0.25);
+        assert!(
+            (0..200u64).any(|s| plan.fault_for("A", s) != other.fault_for("A", s)),
+            "plan seed must matter"
+        );
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing_and_targets_always_panic() {
+        let plan = FaultPlan::new(1, 0.0).and_panic_on("bad");
+        for seed in 0..50u64 {
+            assert_eq!(plan.fault_for("ok", seed), None);
+            assert_eq!(plan.fault_for("bad", seed), Some(FaultKind::Panic));
+        }
+        assert!(!plan.is_transient_only());
+        assert_eq!(plan.first_clean_attempt("bad", 3), None);
+    }
+
+    #[test]
+    fn transient_plans_converge_within_the_advertised_budget() {
+        let plan = FaultPlan::transient(11, 0.3);
+        assert!(plan.is_transient_only());
+        let budget = plan.max_transient_attempts();
+        assert_eq!(budget, 3);
+        for seed in 0..100u64 {
+            let first = plan.first_clean_attempt("X", seed).expect("transient plans always clear");
+            assert!(first <= budget, "clean attempt {first} exceeds budget {budget}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_covers_seed_rate_menu_and_targets() {
+        let base = FaultPlan::new(1, 0.2);
+        assert_eq!(base.fingerprint(), FaultPlan::new(1, 0.2).fingerprint());
+        assert_ne!(base.fingerprint(), FaultPlan::new(2, 0.2).fingerprint());
+        assert_ne!(base.fingerprint(), FaultPlan::new(1, 0.3).fingerprint());
+        assert_ne!(base.fingerprint(), FaultPlan::transient(1, 0.2).fingerprint());
+        assert_ne!(base.fingerprint(), FaultPlan::new(1, 0.2).and_panic_on("x").fingerprint());
+    }
+
+    #[test]
+    fn adapter_is_transparent_for_unfaulted_runs() {
+        let plan = FaultPlan::new(1, 0.0);
+        let plain = run_once(&Echo, 5, Params::new());
+        let wrapped = run_once(&FaultyExperiment::new(&Echo, &plan, "E", 0, 0), 5, Params::new());
+        assert_eq!(plain.trail, wrapped.trail, "no fault drawn ⇒ bitwise-identical trail");
+        assert_eq!(wrapped.name, "echo");
+    }
+
+    #[test]
+    fn transient_fault_panics_then_clears() {
+        let plan = FaultPlan::with_menu(3, 1.0, vec![FaultKind::TransientErr(2)]);
+        let attempt0 = std::panic::catch_unwind(|| {
+            run_once(&FaultyExperiment::new(&Echo, &plan, "E", 0, 0), 5, Params::new())
+        });
+        assert!(attempt0.is_err(), "attempt 0 must fail");
+        let attempt2 = run_once(&FaultyExperiment::new(&Echo, &plan, "E", 2, 0), 5, Params::new());
+        let plain = run_once(&Echo, 5, Params::new());
+        assert_eq!(attempt2.trail, plain.trail, "post-transient run is fault-free bitwise");
+    }
+
+    #[test]
+    fn corrupt_trail_diverges_across_replicas() {
+        let plan = FaultPlan::with_menu(3, 1.0, vec![FaultKind::CorruptTrail]);
+        let a = run_once(&FaultyExperiment::new(&Echo, &plan, "E", 0, 0), 5, Params::new());
+        let b = run_once(&FaultyExperiment::new(&Echo, &plan, "E", 0, 1), 5, Params::new());
+        assert_ne!(a.trail, b.trail, "replica-keyed corruption must be caught as a mismatch");
+        // But each replica's corruption is itself deterministic.
+        let a2 = run_once(&FaultyExperiment::new(&Echo, &plan, "E", 0, 0), 5, Params::new());
+        assert_eq!(a.trail, a2.trail);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        for attempt in 1..8u32 {
+            let a = backoff_millis(attempt, "E", 7);
+            assert_eq!(a, backoff_millis(attempt, "E", 7), "jitter must be seeded, not sampled");
+        }
+        assert_eq!(backoff_millis(0, "E", 7), 0, "attempt 0 never sleeps");
+        let late = backoff_millis(5, "E", 7);
+        assert!((32..=48).contains(&late), "base 32 + jitter <= span: {late}");
+        assert!(backoff_millis(1, "A", 1) <= 3, "first retry stays within base 2 + jitter");
+    }
+}

@@ -30,7 +30,13 @@
 //! * [`exec`] — the deterministic parallel executor: fans seeds, sweeps
 //!   and registry batches over self-scheduling scoped workers and merges
 //!   in canonical order, so results are bitwise-identical for every
-//!   `--jobs` value.
+//!   `--jobs` value. Supervised variants catch panics, enforce per-run
+//!   deadlines and retry under a deterministic backoff, quarantining (not
+//!   aborting on) runs that exhaust their budget.
+//! * [`fault`] — seeded, content-addressed fault injection: a
+//!   [`fault::FaultPlan`] deterministically panics, delays, corrupts or
+//!   transiently fails runs by `(id, seed, attempt)`, so the supervisor's
+//!   failure handling is itself a reproducible experiment.
 //! * [`cache`] — the content-addressed run cache: completed runs persist
 //!   under `hash(id, params, seed)` validated by a code+env fingerprint,
 //!   so re-verification recomputes nothing that has not changed.
@@ -49,6 +55,7 @@ pub mod cache;
 pub mod environment;
 pub mod exec;
 pub mod experiment;
+pub mod fault;
 pub mod provenance;
 pub mod registry;
 pub mod report;
@@ -56,7 +63,11 @@ pub mod study;
 pub mod sweep;
 
 pub use cache::{CacheStats, RunCache};
-pub use exec::{ExecReport, Executor, VerifyReport};
+pub use exec::{
+    DenyPolicy, ExecReport, Executor, FailureKind, RunFailure, RunOutcome, SupervisePolicy,
+    VerifyReport,
+};
 pub use experiment::{Experiment, RunContext, RunRecord};
+pub use fault::{FaultKind, FaultPlan, FaultyExperiment};
 pub use provenance::Trail;
 pub use registry::ExperimentRegistry;

@@ -28,6 +28,12 @@ impl Entry {
     pub fn name(&self) -> &str {
         self.runner.name()
     }
+
+    /// The boxed experiment itself — what the supervised executor wraps
+    /// in adapters ([`crate::fault::FaultyExperiment`]) before running.
+    pub fn runner(&self) -> &(dyn Experiment + Send + Sync) {
+        self.runner.as_ref()
+    }
 }
 
 /// Registry of experiments keyed by stable id.

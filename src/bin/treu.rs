@@ -5,6 +5,7 @@
 //! treu run [id] [seed]       # run one experiment (or all of them)
 //! treu tables [seed]         # regenerate the paper's three tables
 //! treu verify [id] [seed]    # run twice, check bitwise reproduction
+//! treu chaos [seed]          # verify under injected transient faults
 //! treu env                   # print the captured environment
 //! treu lint [path]           # static reproducibility analysis
 //! ```
@@ -19,12 +20,69 @@
 //! content-addressed under DIR and replayed on later invocations when the
 //! id, seed, parameters and code+environment fingerprint all match.
 //! `--no-cache` disables the cache even when `--cache-dir` is given.
+//!
+//! Supervision (run/verify): `--retries N` retries failed attempts under
+//! the deterministic backoff, `--deadline-secs F` arms a per-run
+//! watchdog, `--fault-seed S --fault-rate F` inject a seeded fault plan,
+//! `--fault-panic ID` makes one id fail permanently, and `--deny
+//! none|warn|error` decides what findings flip the exit code. Runs that
+//! exhaust their budget are quarantined with a taxonomy, never fatal to
+//! the batch.
 
 use treu::core::cache::RunCache;
 use treu::core::environment::Environment;
-use treu::core::exec::Executor;
+use treu::core::exec::{run_supervised, DenyPolicy, Executor, RunOutcome, SupervisePolicy};
+use treu::core::fault::FaultPlan;
 use treu::lint::{DenyLevel, Lint, RuleId, Workspace};
 use treu::surveys::{analysis, Cohort};
+
+/// Supervision settings pulled from the shared command-line flags.
+#[derive(Default)]
+struct Supervision {
+    retries: Option<u32>,
+    deadline_secs: Option<f64>,
+    fault_seed: Option<u64>,
+    fault_rate: Option<f64>,
+    fault_panic: Vec<String>,
+    deny: Option<DenyPolicy>,
+    enforce: bool,
+    full: bool,
+    conformance: bool,
+}
+
+impl Supervision {
+    /// The retry/deadline budget the flags ask for.
+    fn policy(&self) -> SupervisePolicy {
+        let p = SupervisePolicy::new(self.retries.unwrap_or(0));
+        match self.deadline_secs {
+            Some(s) => p.with_deadline_secs(s),
+            None => p,
+        }
+    }
+
+    /// The full-menu fault plan, when any fault flag is present.
+    fn plan(&self) -> Option<FaultPlan> {
+        if self.fault_seed.is_none() && self.fault_rate.is_none() && self.fault_panic.is_empty() {
+            return None;
+        }
+        let mut plan = FaultPlan::new(self.fault_seed.unwrap_or(0), self.fault_rate.unwrap_or(0.0));
+        for id in &self.fault_panic {
+            plan = plan.and_panic_on(id);
+        }
+        Some(plan)
+    }
+
+    /// Exit-code policy; errors gate by default, as `verify` always did.
+    fn deny(&self) -> DenyPolicy {
+        self.deny.unwrap_or(DenyPolicy::Error)
+    }
+
+    /// True when any supervision behaviour beyond "run it plain" is
+    /// requested — the plain paths stay bit-for-bit what they were.
+    fn active(&self) -> bool {
+        self.plan().is_some() || self.retries.is_some() || self.deadline_secs.is_some()
+    }
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +101,24 @@ fn main() {
         }
     };
     let cache = cache.as_ref();
+    // `lint` owns its own `--deny` flag; leave its arguments untouched.
+    let sup = if args.first().map(String::as_str) == Some("lint") {
+        Supervision::default()
+    } else {
+        match extract_supervision(&mut args) {
+            Ok(s) => s,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    };
+    let chaos = args.first().map(String::as_str) == Some("chaos");
+    if sup.plan().is_some() || chaos {
+        // Injected faults panic by design; the supervisor catches and
+        // reports them, so the default per-panic stderr trace is noise.
+        std::panic::set_hook(Box::new(|_| {}));
+    }
     let exec = Executor::new(jobs);
     let reg = treu::full_registry();
     let seed_arg = |i: usize| -> u64 { args.get(i).and_then(|s| s.parse().ok()).unwrap_or(2023) };
@@ -55,6 +131,51 @@ fn main() {
                     eprintln!("unknown experiment id '{id}'; try `treu list`");
                     std::process::exit(1);
                 };
+                if sup.active() {
+                    // Supervised runs bypass the cache: a faulted trail
+                    // must never be stored as the experiment's record.
+                    let out = run_supervised(
+                        entry.runner(),
+                        id,
+                        seed,
+                        &entry.defaults,
+                        &sup.policy(),
+                        sup.plan().as_ref(),
+                        0,
+                    );
+                    match out {
+                        RunOutcome::Ok { record, attempts } => {
+                            println!(
+                                "{} (seed {}, {:.3}s, fingerprint {:#018x}){}",
+                                record.name,
+                                record.seed,
+                                record.wall_seconds,
+                                record.fingerprint(),
+                                if attempts > 1 {
+                                    format!(" [after {attempts} attempts]")
+                                } else {
+                                    String::new()
+                                }
+                            );
+                            print!("{}", record.trail.render());
+                            if attempts > 1 && sup.deny() == DenyPolicy::Warn {
+                                std::process::exit(1);
+                            }
+                        }
+                        RunOutcome::Failed(f) => {
+                            println!(
+                                "{id}: QUARANTINED({}) after {} attempt(s): {}",
+                                f.taxonomy.name(),
+                                f.attempts,
+                                f.last_error
+                            );
+                            if sup.deny() != DenyPolicy::None {
+                                std::process::exit(1);
+                            }
+                        }
+                    }
+                    return;
+                }
                 let hit = cache.and_then(|c| c.lookup(id, seed, &entry.defaults));
                 let cached = hit.is_some();
                 let rec = hit
@@ -83,6 +204,49 @@ fn main() {
             }
             // No id: run the whole registry through the executor.
             None => {
+                if sup.active() {
+                    let (pairs, report) = exec.run_all_supervised(
+                        &reg,
+                        seed_arg(1),
+                        &sup.policy(),
+                        sup.plan().as_ref(),
+                    );
+                    for (id, out) in &pairs {
+                        match out {
+                            RunOutcome::Ok { record, attempts } => println!(
+                                "{:<10} {} (seed {}, fingerprint {:#018x}){}",
+                                id,
+                                record.name,
+                                record.seed,
+                                record.fingerprint(),
+                                if *attempts > 1 {
+                                    format!(" [after {attempts} attempts]")
+                                } else {
+                                    String::new()
+                                }
+                            ),
+                            RunOutcome::Failed(f) => println!(
+                                "{:<10} QUARANTINED({}) after {} attempt(s): {}",
+                                id,
+                                f.taxonomy.name(),
+                                f.attempts,
+                                f.last_error
+                            ),
+                        }
+                    }
+                    println!();
+                    print!("{}", report.render());
+                    let retried = pairs.iter().any(|(_, o)| o.is_ok() && o.attempts() > 1);
+                    let gated = match sup.deny() {
+                        DenyPolicy::None => false,
+                        DenyPolicy::Error => report.failed_runs > 0,
+                        DenyPolicy::Warn => report.failed_runs > 0 || retried,
+                    };
+                    if gated {
+                        std::process::exit(1);
+                    }
+                    return;
+                }
                 let (records, report) = exec.run_all_report_cached(&reg, seed_arg(1), cache);
                 for (id, rec) in &records {
                     println!(
@@ -140,6 +304,66 @@ fn main() {
                         eprintln!("unknown experiment id '{id}'");
                         std::process::exit(1);
                     };
+                    if sup.active() {
+                        let policy = sup.policy();
+                        let plan = sup.plan();
+                        let outs = exec.map_indexed(2, |i| {
+                            run_supervised(
+                                entry.runner(),
+                                id,
+                                seed,
+                                &entry.defaults,
+                                &policy,
+                                plan.as_ref(),
+                                i as u32,
+                            )
+                        });
+                        match (&outs[0], &outs[1]) {
+                            (
+                                RunOutcome::Ok { record: a, attempts: aa },
+                                RunOutcome::Ok { record: b, attempts: ab },
+                            ) if a.trail == b.trail => {
+                                let attempts = (*aa).max(*ab);
+                                println!(
+                                    "{id}: REPRODUCED (fingerprint {:#018x}){}",
+                                    a.fingerprint(),
+                                    if attempts > 1 {
+                                        format!(" [after {attempts} attempts]")
+                                    } else {
+                                        String::new()
+                                    }
+                                );
+                                if attempts > 1 && sup.deny() == DenyPolicy::Warn {
+                                    std::process::exit(1);
+                                }
+                            }
+                            (RunOutcome::Ok { .. }, RunOutcome::Ok { .. }) => {
+                                println!("{id}: MISMATCH — run is not deterministic");
+                                if sup.deny() != DenyPolicy::None {
+                                    std::process::exit(1);
+                                }
+                            }
+                            _ => {
+                                let f = outs
+                                    .iter()
+                                    .find_map(|o| match o {
+                                        RunOutcome::Failed(f) => Some(f),
+                                        RunOutcome::Ok { .. } => None,
+                                    })
+                                    .expect("a non-ok pair contains a failure");
+                                println!(
+                                    "{id}: QUARANTINED({}) after {} attempt(s): {}",
+                                    f.taxonomy.name(),
+                                    f.attempts,
+                                    f.last_error
+                                );
+                                if sup.deny() != DenyPolicy::None {
+                                    std::process::exit(1);
+                                }
+                            }
+                        }
+                        return;
+                    }
                     if let Some(rec) = cache.and_then(|c| c.lookup(id, seed, &entry.defaults)) {
                         // A cached trail was produced by a verified run under
                         // the same code+env fingerprint: reproduced by replay.
@@ -170,28 +394,116 @@ fn main() {
                         std::process::exit(1);
                     }
                 }
-                // No id: verify the whole registry.
+                // No id: verify the whole registry under supervision
+                // (with default flags this is exactly the old behaviour).
                 None => {
-                    let report = exec.verify_all_cached(&reg, seed_arg(1), cache);
+                    let report = exec.verify_all_supervised_with(
+                        &reg,
+                        seed_arg(1),
+                        cache,
+                        &sup.policy(),
+                        sup.plan().as_ref(),
+                        |id, d| if sup.conformance { treu::conformance_params(id) } else { d },
+                    );
                     print!("{}", report.render());
                     if let Some(c) = cache {
                         print!("{}", c.render_stats());
                     }
-                    if !report.all_reproduced() {
+                    if report.exceeds(sup.deny()) {
                         std::process::exit(1);
                     }
                 }
             }
         }
         Some("env") => print!("{}", Environment::capture().render()),
+        Some("chaos") => run_chaos(&exec, &reg, seed_arg(1), &sup),
         Some("lint") => run_lint(&args[1..]),
         _ => {
             eprintln!(
-                "usage: treu <list|run|tables|verify|env|lint> [...] \
-                 [--jobs N] [--cache-dir DIR] [--no-cache]"
+                "usage: treu <list|run|tables|verify|chaos|env|lint> [...] \
+                 [--jobs N] [--cache-dir DIR] [--no-cache] [--retries N] \
+                 [--deadline-secs F] [--fault-seed S] [--fault-rate F] \
+                 [--fault-panic ID] [--deny none|warn|error]"
             );
             std::process::exit(2);
         }
+    }
+}
+
+/// `treu chaos [seed] [--fault-seed S] [--rate F] [--retries N]
+/// [--deadline-secs F] [--enforce] [--full]` — the supervision
+/// conformance check: every registered experiment runs fault-free once
+/// (the baseline), then the whole registry is verified under a seeded
+/// *transient-only* fault plan with enough retries to outlast it. Every
+/// id must converge to its fault-free fingerprint; `--enforce` turns any
+/// divergence or quarantine into exit 1. Uses the fast conformance
+/// parameters unless `--full` asks for registry defaults.
+fn run_chaos(exec: &Executor, reg: &treu::core::ExperimentRegistry, seed: u64, sup: &Supervision) {
+    let plan = FaultPlan::transient(sup.fault_seed.unwrap_or(7), sup.fault_rate.unwrap_or(0.2));
+    let retries = sup.retries.unwrap_or_else(|| plan.max_transient_attempts());
+    let mut policy = SupervisePolicy::new(retries);
+    if let Some(s) = sup.deadline_secs {
+        policy = policy.with_deadline_secs(s);
+    }
+    let params = |id: &str, d: treu::core::experiment::Params| {
+        if sup.full {
+            d
+        } else {
+            treu::conformance_params(id)
+        }
+    };
+    // Fault-free baseline: one clean run per id, in parallel.
+    let ids: Vec<(&str, treu::core::experiment::Params)> =
+        reg.iter().map(|(id, e)| (id, params(id, e.defaults.clone()))).collect();
+    let baseline = exec.map_indexed(ids.len(), |i| {
+        let (id, p) = &ids[i];
+        reg.run_with(id, seed, p.clone())
+            .expect("id from the registry's own iterator")
+            .fingerprint()
+    });
+    // The same registry under injected transient chaos.
+    let report = exec.verify_all_supervised_with(reg, seed, None, &policy, Some(&plan), params);
+    let mut diverged = 0usize;
+    let mut quarantined = 0usize;
+    for (o, base) in report.outcomes.iter().zip(&baseline) {
+        if let Some(f) = &o.failure {
+            quarantined += 1;
+            println!(
+                "{:<10} QUARANTINED({}) after {} attempt(s): {}",
+                o.id,
+                f.taxonomy.name(),
+                f.attempts,
+                f.last_error
+            );
+        } else if o.fingerprint != *base {
+            diverged += 1;
+            println!(
+                "{:<10} DIVERGED: chaos fingerprint {:#018x} != fault-free {:#018x}",
+                o.id, o.fingerprint, base
+            );
+        } else {
+            println!(
+                "{:<10} CONVERGED (fingerprint {:#018x}{})",
+                o.id,
+                o.fingerprint,
+                if o.attempts > 1 { format!(", {} attempts", o.attempts) } else { String::new() }
+            );
+        }
+    }
+    println!(
+        "{}/{} converged to fault-free trails under fault plan (seed {}, rate {:.2}, {} retr{}) \
+         in {:.3}s with {} job(s)",
+        report.outcomes.len() - diverged - quarantined,
+        report.outcomes.len(),
+        plan.seed(),
+        plan.rate(),
+        retries,
+        if retries == 1 { "y" } else { "ies" },
+        report.wall_seconds,
+        report.jobs
+    );
+    if sup.enforce && (diverged > 0 || quarantined > 0) {
+        std::process::exit(1);
     }
 }
 
@@ -267,6 +579,79 @@ fn run_lint(args: &[String]) {
     if report.exceeds(deny) {
         std::process::exit(1);
     }
+}
+
+/// Removes the supervision flags from `args`: `--retries N`,
+/// `--deadline-secs F`, `--fault-seed S`, `--fault-rate F` (alias
+/// `--rate F`), `--fault-panic ID` (repeatable), `--deny
+/// none|warn|error`, and the boolean `--enforce` / `--full` /
+/// `--conformance`.
+fn extract_supervision(args: &mut Vec<String>) -> Result<Supervision, String> {
+    let mut sup = Supervision::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        let mut take = |flag: &str| -> Result<Option<String>, String> {
+            if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                args.remove(i);
+                return Ok(Some(v.to_string()));
+            }
+            if arg == flag {
+                if i + 1 >= args.len() {
+                    return Err(format!("{flag} requires a value"));
+                }
+                let v = args.remove(i + 1);
+                args.remove(i);
+                return Ok(Some(v));
+            }
+            Ok(None)
+        };
+        if let Some(v) = take("--retries")? {
+            sup.retries = Some(
+                v.parse::<u32>()
+                    .map_err(|_| format!("invalid --retries value '{v}' (want an integer)"))?,
+            );
+        } else if let Some(v) = take("--deadline-secs")? {
+            sup.deadline_secs = Some(
+                v.parse::<f64>()
+                    .map_err(|_| format!("invalid --deadline-secs value '{v}' (want seconds)"))?,
+            );
+        } else if let Some(v) = take("--fault-seed")? {
+            sup.fault_seed = Some(
+                v.parse::<u64>()
+                    .map_err(|_| format!("invalid --fault-seed value '{v}' (want an integer)"))?,
+            );
+        } else if let Some(v) = match take("--fault-rate")? {
+            Some(v) => Some(v),
+            None => take("--rate")?,
+        } {
+            let rate = v
+                .parse::<f64>()
+                .ok()
+                .filter(|r| (0.0..=1.0).contains(r))
+                .ok_or_else(|| format!("invalid fault rate '{v}' (want 0.0..=1.0)"))?;
+            sup.fault_rate = Some(rate);
+        } else if let Some(v) = take("--fault-panic")? {
+            sup.fault_panic.push(v);
+        } else if let Some(v) = take("--deny")? {
+            sup.deny = Some(
+                DenyPolicy::parse(&v)
+                    .ok_or_else(|| format!("invalid --deny '{v}' (want none|warn|error)"))?,
+            );
+        } else if arg == "--enforce" {
+            sup.enforce = true;
+            args.remove(i);
+        } else if arg == "--full" {
+            sup.full = true;
+            args.remove(i);
+        } else if arg == "--conformance" {
+            sup.conformance = true;
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(sup)
 }
 
 /// Removes `--cache-dir DIR` (or `--cache-dir=DIR`) and `--no-cache` from

@@ -32,6 +32,7 @@ pub use treu_surveys as surveys;
 pub use treu_traj as traj;
 pub use treu_unlearn as unlearn;
 
+use treu_core::experiment::Params;
 use treu_core::ExperimentRegistry;
 
 /// Builds the complete experiment registry: every table, figure-equivalent
@@ -50,7 +51,7 @@ pub fn full_registry() -> ExperimentRegistry {
     treu_malware::experiment::register(&mut reg); // E2.9
     treu_robust::experiment::register(&mut reg); // E2.10, E2.10-abl
     treu_shapes::experiment::register(&mut reg); // E2.11
-    treu_cluster::experiment::register(&mut reg); // E3
+    treu_cluster::experiment::register(&mut reg); // E3, cluster_faults
     reg
 }
 
@@ -58,7 +59,7 @@ pub fn full_registry() -> ExperimentRegistry {
 pub const TABLE_IDS: [&str; 3] = ["T1", "T2", "T3"];
 
 /// Every experiment id the registry is expected to contain.
-pub const ALL_EXPERIMENT_IDS: [&str; 19] = [
+pub const ALL_EXPERIMENT_IDS: [&str; 20] = [
     "T1",
     "T2",
     "T3",
@@ -78,7 +79,39 @@ pub const ALL_EXPERIMENT_IDS: [&str; 19] = [
     "E2.10-abl",
     "E2.11",
     "X-bias",
+    "cluster_faults",
 ];
+
+/// Lightened parameters per experiment id, so registry-wide conformance
+/// sweeps (the harness tests, `treu chaos`, CI smoke runs) stay fast.
+/// Determinism is a property of the code path, not of the workload size.
+pub fn conformance_params(id: &str) -> Params {
+    match id {
+        "E2.2a" | "E2.2b" => Params::new().with_int("trials", 2).with_int("particles", 64),
+        "E2.3" => Params::new().with_int("trials", 1).with_int("epochs", 8),
+        "E2.4" => Params::new()
+            .with_int("trials", 1)
+            .with_int("train_per_class", 6)
+            .with_int("test_per_class", 3),
+        "E2.5" => Params::new().with_int("population", 8).with_int("generations", 4),
+        "E2.5-abl" => Params::new().with_int("generations", 3),
+        "E2.6" => Params::new().with_int("trials", 1).with_int("epochs", 4),
+        "E2.7" => Params::new().with_int("n_train", 24).with_int("n_val", 8).with_int("epochs", 4),
+        "E2.8" => Params::new().with_int("episodes", 25).with_int("seeds", 2),
+        "E2.8-abl" => Params::new().with_int("episodes", 20).with_int("seeds", 2),
+        "E2.9" => Params::new()
+            .with_int("seq_len", 128)
+            .with_int("n_train_per_class", 6)
+            .with_int("n_test_per_class", 4)
+            .with_int("epochs", 2),
+        "E2.10" => Params::new().with_int("n", 200).with_int("trials", 1),
+        "E2.10-abl" => Params::new().with_int("n", 200).with_int("d", 16).with_int("trials", 1),
+        "E2.11" => Params::new().with_int("shapes", 8),
+        "E3" => Params::new().with_int("jobs", 12).with_int("trials", 2),
+        "cluster_faults" => Params::new().with_int("jobs", 12).with_int("trials", 1),
+        _ => Params::new(),
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -236,3 +236,86 @@ fn lint_bad_flags_fail_with_usage_error() {
         assert_eq!(out.status.code(), Some(2), "{bad:?}");
     }
 }
+
+// ---- supervision & chaos (ISSUE 4) -------------------------------------
+
+#[test]
+fn chaos_smoke_converges_under_enforce() {
+    let out = treu(&["chaos", "--fault-seed", "7", "--rate", "0.2", "--enforce", "-j", "4"]);
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("converged to fault-free trails"), "{stdout}");
+    assert!(!stdout.contains("DIVERGED"), "{stdout}");
+    assert!(!stdout.contains("QUARANTINED"), "{stdout}");
+}
+
+#[test]
+fn permanent_panic_quarantines_and_gates_per_deny_policy() {
+    // 1 of N permanently panicking: the other N−1 verify, the broken id is
+    // quarantined with its taxonomy, and the exit code follows --deny.
+    let base = ["verify", "--conformance", "--fault-panic", "E2.7", "--retries", "1"];
+    let n = treu::ALL_EXPERIMENT_IDS.len() + 1; // + E3
+
+    let deny_error = treu(&base); // --deny error is the default
+    let stdout = String::from_utf8(deny_error.stdout).expect("utf8");
+    assert_eq!(deny_error.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("QUARANTINED(Panicked) after 2 attempt(s)"), "{stdout}");
+    assert!(stdout.contains(&format!("{}/{} reproduced", n - 1, n)), "{stdout}");
+    assert!(stdout.contains("1 quarantined: E2.7"), "{stdout}");
+
+    let mut warn = base.to_vec();
+    warn.extend(["--deny", "warn"]);
+    assert_eq!(treu(&warn).status.code(), Some(1), "--deny warn also gates quarantines");
+
+    let mut none = base.to_vec();
+    none.extend(["--deny", "none"]);
+    let out = treu(&none);
+    assert!(out.status.success(), "--deny none reports but never gates");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("QUARANTINED(Panicked)"), "{stdout}");
+}
+
+#[test]
+fn single_id_supervised_run_reports_retries() {
+    // Rate-1.0 transient faults with a covering retry budget: the run
+    // succeeds, reports its attempts, and stays seed-stable.
+    // Fault seed 4 assigns (T1, seed 7) a transient error — the draw is
+    // content-addressed, so this is stable, not flaky.
+    let args = ["run", "T1", "7", "--fault-seed", "4", "--fault-rate", "1.0", "--retries", "3"];
+    let a = treu(&args);
+    let b = treu(&args);
+    assert!(a.status.success());
+    let sa = String::from_utf8(a.stdout).expect("utf8");
+    let sb = String::from_utf8(b.stdout).expect("utf8");
+    assert_eq!(sa, sb, "supervised runs must stay deterministic");
+    assert!(sa.contains("after") && sa.contains("attempts"), "{sa}");
+    assert!(sa.contains("fingerprint 0x"), "{sa}");
+
+    // The same run without faults yields the same fingerprint: supervision
+    // and injection never leak into results.
+    let clean = treu(&["run", "T1", "7"]);
+    let sc = String::from_utf8(clean.stdout).expect("utf8");
+    let fp = |s: &str| s.split("fingerprint ").nth(1).map(|t| t[..18].to_string());
+    assert_eq!(fp(&sa), fp(&sc), "fault plan changed a converged result");
+}
+
+#[test]
+fn deadline_quarantines_a_straggler() {
+    let out = treu(&["run", "E2.9", "--deadline-secs", "0.001", "--retries", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("QUARANTINED(TimedOut)"), "{stdout}");
+}
+
+#[test]
+fn bad_supervision_flags_fail_with_usage_error() {
+    for bad in [
+        &["run", "T1", "--retries"][..],
+        &["run", "T1", "--fault-rate", "1.5"],
+        &["run", "T1", "--deny", "loudly"],
+        &["chaos", "--rate", "nope"],
+    ] {
+        let out = treu(bad);
+        assert_eq!(out.status.code(), Some(2), "{bad:?}");
+    }
+}

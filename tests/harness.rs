@@ -8,37 +8,9 @@
 //! the sequential run. Heavy experiments run with lightened parameters —
 //! determinism is a property of the code path, not of the workload size.
 
+use treu::conformance_params as light_params;
 use treu::core::exec::Executor;
 use treu::core::experiment::Params;
-
-/// Lightened parameters per experiment id, so the full determinism sweep
-/// stays fast.
-fn light_params(id: &str) -> Params {
-    match id {
-        "E2.2a" | "E2.2b" => Params::new().with_int("trials", 2).with_int("particles", 64),
-        "E2.3" => Params::new().with_int("trials", 1).with_int("epochs", 8),
-        "E2.4" => Params::new()
-            .with_int("trials", 1)
-            .with_int("train_per_class", 6)
-            .with_int("test_per_class", 3),
-        "E2.5" => Params::new().with_int("population", 8).with_int("generations", 4),
-        "E2.5-abl" => Params::new().with_int("generations", 3),
-        "E2.6" => Params::new().with_int("trials", 1).with_int("epochs", 4),
-        "E2.7" => Params::new().with_int("n_train", 24).with_int("n_val", 8).with_int("epochs", 4),
-        "E2.8" => Params::new().with_int("episodes", 25).with_int("seeds", 2),
-        "E2.8-abl" => Params::new().with_int("episodes", 20).with_int("seeds", 2),
-        "E2.9" => Params::new()
-            .with_int("seq_len", 128)
-            .with_int("n_train_per_class", 6)
-            .with_int("n_test_per_class", 4)
-            .with_int("epochs", 2),
-        "E2.10" => Params::new().with_int("n", 200).with_int("trials", 1),
-        "E2.10-abl" => Params::new().with_int("n", 200).with_int("d", 16).with_int("trials", 1),
-        "E2.11" => Params::new().with_int("shapes", 8),
-        "E3" => Params::new().with_int("jobs", 12).with_int("trials", 2),
-        _ => Params::new(),
-    }
-}
 
 #[test]
 fn every_experiment_runs_and_is_deterministic() {
