@@ -14,17 +14,63 @@
 //!
 //! `--quick` shrinks the workload for CI smoke runs; `--enforce` exits
 //! nonzero unless dynamic scheduling beats static by the 1.3x floor the
-//! roadmap requires; `--jobs` defaults to 4 (the floor the acceptance
-//! criterion names) or the hardware thread count if larger.
+//! roadmap requires — and unless span tracing costs under the 2% ceiling
+//! (ISSUE 5); `--jobs` defaults to 4 (the floor the acceptance criterion
+//! names) or the hardware thread count if larger.
 
 #![forbid(unsafe_code)]
 
 use std::time::Instant;
 use treu_bench::workload;
+use treu_core::exec::Executor;
+use treu_core::experiment::{Experiment, Params, RunContext};
+use treu_core::ExperimentRegistry;
 use treu_math::parallel::{default_threads, par_map, par_map_dynamic};
 
 /// Minimum dynamic-over-static speedup `--enforce` accepts.
 const SPEEDUP_FLOOR: f64 = 1.3;
+
+/// Maximum trace overhead (tracing on vs off, percent) `--enforce`
+/// accepts.
+const TRACE_OVERHEAD_CEILING_PCT: f64 = 2.0;
+
+/// A CPU-bound task wrapped as a registered experiment, so the
+/// trace-overhead measurement exercises the same executor path `treu
+/// run` uses. Compute-bound (an LCG dependency chain) rather than
+/// sleep-based: sleep overshoot jitter is percent-scale at these batch
+/// sizes and would drown the sub-percent signal being priced.
+struct BenchTask {
+    seed: u64,
+    iters: u64,
+}
+
+impl Experiment for BenchTask {
+    fn name(&self) -> &str {
+        "bench-task"
+    }
+
+    fn run(&self, ctx: &mut RunContext) {
+        let mut acc = self.seed;
+        for k in 0..self.iters {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k | 1);
+        }
+        ctx.record("out", (acc >> 32) as f64);
+    }
+}
+
+fn bench_registry(n_tasks: usize, iters: u64) -> ExperimentRegistry {
+    let mut reg = ExperimentRegistry::new();
+    for rank in 0..n_tasks {
+        reg.register(
+            &format!("B{rank:03}"),
+            "bench",
+            "compute-bound trace-overhead task",
+            Params::new(),
+            Box::new(BenchTask { seed: rank as u64, iters }),
+        );
+    }
+    reg
+}
 
 struct Config {
     quick: bool,
@@ -113,12 +159,49 @@ fn main() {
     eprintln!("  dynamic queue : {dynamic_wall:.4}s  (ideal {ideal:.4}s)");
     eprintln!("  speedup       : {speedup:.2}x  (outputs bitwise-identical: {identical})");
 
+    // Trace overhead: the same registry batch with span recording on vs
+    // off, through the executor path `treu run` takes. The stream costs
+    // a handful of Vec pushes per run, so this must stay in the noise.
+    let trace_iters = if cfg.quick { 2_000_000 } else { 4_000_000 };
+    let reg = bench_registry(n_tasks, trace_iters);
+    let trace_repeats = repeats + 2;
+    // Interleave the two variants so slow drift (thermal, background
+    // load) hits both equally; keep the per-variant minimum as usual.
+    let mut untraced_wall = f64::INFINITY;
+    let mut traced_wall = f64::INFINITY;
+    let mut measured = None;
+    for _ in 0..trace_repeats {
+        let (w, out) =
+            time_min(1, || Executor::new(jobs).with_tracing(false).run_all_report(&reg, 1));
+        untraced_wall = untraced_wall.min(w);
+        let untraced_recs = out.0;
+        let (w, out) = time_min(1, || Executor::new(jobs).run_all_report(&reg, 1));
+        traced_wall = traced_wall.min(w);
+        measured = Some((untraced_recs, out.0, out.1));
+    }
+    let (untraced_recs, traced_recs, traced_report) = measured.expect("repeats >= 1");
+    let trace_identical = untraced_recs
+        .iter()
+        .zip(traced_recs.iter())
+        .all(|((ia, ra), (ib, rb))| ia == ib && ra.fingerprint() == rb.fingerprint());
+    assert!(trace_identical, "tracing changed batch results — determinism violation");
+    assert!(traced_report.counters.events > 0, "traced batch recorded no events");
+    let trace_overhead_pct = (traced_wall - untraced_wall) / untraced_wall * 100.0;
+    eprintln!(
+        "  trace off     : {untraced_wall:.4}s\n  trace on      : {traced_wall:.4}s  \
+         ({} event(s))\n  overhead      : {trace_overhead_pct:.2}%",
+        traced_report.counters.events
+    );
+
     let json = format!(
         "{{\n  \"bench\": \"executor/skewed\",\n  \"n_tasks\": {n_tasks},\n  \
          \"scale_us\": {scale_us},\n  \"jobs\": {jobs},\n  \"repeats\": {repeats},\n  \
          \"quick\": {quick},\n  \"static_wall_s\": {static_wall:.6},\n  \
          \"dynamic_wall_s\": {dynamic_wall:.6},\n  \"speedup\": {speedup:.4},\n  \
-         \"identical_outputs\": {identical}\n}}\n",
+         \"identical_outputs\": {identical},\n  \
+         \"untraced_wall_s\": {untraced_wall:.6},\n  \
+         \"traced_wall_s\": {traced_wall:.6},\n  \
+         \"trace_overhead_pct\": {trace_overhead_pct:.4}\n}}\n",
         quick = cfg.quick,
     );
     if let Err(e) = std::fs::write(&cfg.out, &json) {
@@ -130,6 +213,13 @@ fn main() {
     if cfg.enforce && speedup < SPEEDUP_FLOOR {
         eprintln!(
             "exec_bench: FAIL — dynamic speedup {speedup:.2}x is under the {SPEEDUP_FLOOR}x floor"
+        );
+        std::process::exit(1);
+    }
+    if cfg.enforce && trace_overhead_pct > TRACE_OVERHEAD_CEILING_PCT {
+        eprintln!(
+            "exec_bench: FAIL — trace overhead {trace_overhead_pct:.2}% is over the \
+             {TRACE_OVERHEAD_CEILING_PCT}% ceiling"
         );
         std::process::exit(1);
     }

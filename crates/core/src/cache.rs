@@ -40,12 +40,22 @@ use crate::provenance::Trail;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 const MAGIC: &str = "treu-cache v2";
 
 /// Counters for one cache handle's lifetime.
+///
+/// Snapshots are taken under one lock, so the classification invariant
+/// `lookups == hits + misses + invalidations + corruptions` holds in
+/// *every* snapshot — not just quiescent ones. (The previous per-counter
+/// atomics could tear: a snapshot taken between a concurrent lookup's
+/// two increments double- or under-counted a category.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
+    /// Classified lookups performed (runs and blobs alike): every lookup
+    /// lands in exactly one of the four categories below.
+    pub lookups: u64,
     /// Lookups served from a valid entry.
     pub hits: u64,
     /// Lookups that found no entry at the address.
@@ -58,6 +68,13 @@ pub struct CacheStats {
     pub corruptions: u64,
     /// Entries written.
     pub stores: u64,
+}
+
+impl CacheStats {
+    /// The snapshot invariant: every lookup was classified exactly once.
+    pub fn consistent(&self) -> bool {
+        self.lookups == self.hits + self.misses + self.invalidations + self.corruptions
+    }
 }
 
 /// A classified cache lookup — what [`RunCache::lookup_classified`]
@@ -82,11 +99,10 @@ pub enum Lookup {
 pub struct RunCache {
     dir: PathBuf,
     fingerprint: u64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    invalidations: AtomicU64,
-    corruptions: AtomicU64,
-    stores: AtomicU64,
+    // One lock for all counters: a lookup's lookups+category increments
+    // are a single critical section, so stats() can never observe a torn
+    // state. The lock covers counter arithmetic only, never file I/O.
+    stats: Mutex<CacheStats>,
 }
 
 /// FNV-1a over a byte stream — the same hash family the provenance
@@ -129,15 +145,13 @@ impl RunCache {
     /// tests to simulate a rebuilt harness or a different machine.
     pub fn open_with_fingerprint(dir: &Path, fingerprint: u64) -> io::Result<Self> {
         std::fs::create_dir_all(dir)?;
-        Ok(Self {
-            dir: dir.to_path_buf(),
-            fingerprint,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            invalidations: AtomicU64::new(0),
-            corruptions: AtomicU64::new(0),
-            stores: AtomicU64::new(0),
-        })
+        Ok(Self { dir: dir.to_path_buf(), fingerprint, stats: Mutex::new(CacheStats::default()) })
+    }
+
+    /// Applies one counter update under the stats lock.
+    fn bump(&self, f: impl FnOnce(&mut CacheStats)) {
+        let mut s = self.stats.lock().expect("cache stats mutex poisoned");
+        f(&mut s);
     }
 
     /// The cache directory.
@@ -186,21 +200,33 @@ impl RunCache {
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(_) => {
-                self.misses.fetch_add(1, Ordering::SeqCst);
+                self.bump(|s| {
+                    s.lookups += 1;
+                    s.misses += 1;
+                });
                 return Lookup::Miss;
             }
         };
         match parse_run_entry(&text, self.fingerprint, seed) {
             EntryParse::Ok(rec) => {
-                self.hits.fetch_add(1, Ordering::SeqCst);
+                self.bump(|s| {
+                    s.lookups += 1;
+                    s.hits += 1;
+                });
                 Lookup::Hit(rec)
             }
             EntryParse::Stale => {
-                self.invalidations.fetch_add(1, Ordering::SeqCst);
+                self.bump(|s| {
+                    s.lookups += 1;
+                    s.invalidations += 1;
+                });
                 Lookup::Stale
             }
             EntryParse::Corrupt => {
-                self.corruptions.fetch_add(1, Ordering::SeqCst);
+                self.bump(|s| {
+                    s.lookups += 1;
+                    s.corruptions += 1;
+                });
                 // Auto-invalidate: a damaged entry must never be consulted
                 // again, even by a handle that skips checksum verification.
                 let _ = std::fs::remove_file(&path);
@@ -225,7 +251,7 @@ impl RunCache {
         out.push_str("trail\n");
         out.push_str(&body);
         self.write_atomic(&self.run_path(id, seed, params), &out)?;
-        self.stores.fetch_add(1, Ordering::SeqCst);
+        self.bump(|s| s.stores += 1);
         Ok(())
     }
 
@@ -250,17 +276,26 @@ impl RunCache {
         let text = match std::fs::read_to_string(self.blob_path(kind, tag)) {
             Ok(t) => t,
             Err(_) => {
-                self.misses.fetch_add(1, Ordering::SeqCst);
+                self.bump(|s| {
+                    s.lookups += 1;
+                    s.misses += 1;
+                });
                 return None;
             }
         };
         match parse_blob_entry(&text, self.fingerprint) {
             Some(payload) => {
-                self.hits.fetch_add(1, Ordering::SeqCst);
+                self.bump(|s| {
+                    s.lookups += 1;
+                    s.hits += 1;
+                });
                 Some(payload)
             }
             None => {
-                self.invalidations.fetch_add(1, Ordering::SeqCst);
+                self.bump(|s| {
+                    s.lookups += 1;
+                    s.invalidations += 1;
+                });
                 None
             }
         }
@@ -275,31 +310,28 @@ impl RunCache {
         out.push_str("payload\n");
         out.push_str(payload);
         self.write_atomic(&self.blob_path(kind, tag), &out)?;
-        self.stores.fetch_add(1, Ordering::SeqCst);
+        self.bump(|s| s.stores += 1);
         Ok(())
     }
 
-    /// Snapshot of this handle's counters.
+    /// Snapshot of this handle's counters, taken under the stats lock —
+    /// [`CacheStats::consistent`] holds for every snapshot, concurrent
+    /// writers included.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::SeqCst),
-            misses: self.misses.load(Ordering::SeqCst),
-            invalidations: self.invalidations.load(Ordering::SeqCst),
-            corruptions: self.corruptions.load(Ordering::SeqCst),
-            stores: self.stores.load(Ordering::SeqCst),
-        }
+        *self.stats.lock().expect("cache stats mutex poisoned")
     }
 
     /// One-line accounting for CLI output.
     pub fn render_stats(&self) -> String {
         let s = self.stats();
         format!(
-            "cache: {} hit(s), {} miss(es), {} invalidation(s), {} corrupt (self-healed), {} store(s) ({})\n",
+            "cache: {} hit(s), {} miss(es), {} invalidation(s), {} corrupt (self-healed), {} store(s) over {} lookup(s) ({})\n",
             s.hits,
             s.misses,
             s.invalidations,
             s.corruptions,
             s.stores,
+            s.lookups,
             self.dir.display()
         )
     }
@@ -540,6 +572,46 @@ mod tests {
             .collect();
         assert!(leftovers.is_empty(), "temp files must be renamed away: {leftovers:?}");
         assert_eq!(cache.stats().stores, 16);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_snapshots_are_never_torn_under_concurrent_lookups() {
+        let dir = tmp_dir("torn");
+        let cache = RunCache::open_with_fingerprint(&dir, 2).unwrap();
+        let p = Params::new();
+        let rec = run_once(&Noisy, 1, p.clone());
+        cache.store("E", 1, &p, &rec).unwrap();
+        // Hammer classified lookups (hits and misses) from four threads
+        // while a fifth snapshots continuously: the classification
+        // invariant must hold in every single snapshot, not just at rest.
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let cache = &cache;
+                let p = &p;
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let _ = cache.lookup_classified("E", 1 + (t + i) % 2, p);
+                        let _ = cache.lookup_blob("tables", "nope");
+                    }
+                });
+            }
+            for _ in 0..500 {
+                let snap = cache.stats();
+                assert!(
+                    snap.consistent(),
+                    "torn snapshot: {} lookups vs {}+{}+{}+{}",
+                    snap.lookups,
+                    snap.hits,
+                    snap.misses,
+                    snap.invalidations,
+                    snap.corruptions
+                );
+            }
+        });
+        let end = cache.stats();
+        assert!(end.consistent());
+        assert_eq!(end.lookups, 4 * 200 * 2, "every lookup classified exactly once");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

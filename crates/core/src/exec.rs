@@ -57,6 +57,9 @@ use crate::experiment::{run_once, Experiment, Params, RunRecord};
 use crate::fault::{backoff_millis, FaultPlan, FaultyExperiment};
 use crate::registry::ExperimentRegistry;
 use crate::sweep::{grid_points, Axis, SweepPoint};
+use crate::trace::{
+    AttemptOutcome, BatchTrace, CacheResult, RunTrace, TraceCounters, TraceEvent, WorkerTiming,
+};
 use std::time::{Duration, Instant};
 use treu_math::parallel::{adaptive_chunk, default_threads, par_map_dynamic_stats, SchedStats};
 use treu_math::scaling::amdahl_speedup;
@@ -65,6 +68,7 @@ use treu_math::scaling::amdahl_speedup;
 #[derive(Debug, Clone)]
 pub struct Executor {
     jobs: usize,
+    tracing: bool,
 }
 
 impl Default for Executor {
@@ -75,14 +79,31 @@ impl Default for Executor {
 }
 
 impl Executor {
-    /// Executor with `jobs` workers (clamped to at least 1).
+    /// Executor with `jobs` workers (clamped to at least 1). Trace
+    /// collection is on by default — the stream is a handful of enum
+    /// pushes per run, well under the < 2% overhead budget exec_bench
+    /// enforces.
     pub fn new(jobs: usize) -> Self {
-        Self { jobs: jobs.max(1) }
+        Self { jobs: jobs.max(1), tracing: true }
     }
 
     /// Single-worker executor: runs everything inline, in order.
     pub fn sequential() -> Self {
         Self::new(1)
+    }
+
+    /// Enables or disables trace collection for the batch methods.
+    /// Disabled, the supervised paths skip every event push and reports
+    /// carry an empty [`BatchTrace`] — the baseline exec_bench measures
+    /// overhead against.
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
+        self
+    }
+
+    /// Whether trace collection is enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing
     }
 
     /// The configured worker count.
@@ -192,19 +213,60 @@ impl Executor {
         let entries: Vec<(&str, &Params)> = reg.iter().map(|(id, e)| (id, &e.defaults)).collect();
         // treu-lint: allow(wall-clock, reason = "batch timing reported outside the fingerprint")
         let start = Instant::now();
-        let mut slots: Vec<Option<RunRecord>> =
-            entries.iter().map(|(id, p)| cache.and_then(|c| c.lookup(id, seed, p))).collect();
+        let mut traces: Vec<RunTrace> =
+            entries.iter().map(|(id, _)| RunTrace::new(id, seed)).collect();
+        let mut slots: Vec<Option<RunRecord>> = entries
+            .iter()
+            .zip(traces.iter_mut())
+            .map(|((id, p), rt)| match cache {
+                None => None,
+                Some(c) => {
+                    let found = c.lookup_classified(id, seed, p);
+                    if self.tracing {
+                        rt.push(
+                            TraceEvent::Cache { result: cache_result(&found) },
+                            start.elapsed().as_secs_f64(),
+                        );
+                    }
+                    match found {
+                        Lookup::Hit(rec) => Some(rec),
+                        _ => None,
+                    }
+                }
+            })
+            .collect();
         let cached_runs = slots.iter().filter(|s| s.is_some()).count();
         let misses: Vec<usize> = (0..entries.len()).filter(|&i| slots[i].is_none()).collect();
+        let tracing = self.tracing;
         let (computed, sched) = self.map_indexed_stats(misses.len(), |k| {
             let (id, _) = entries[misses[k]];
-            reg.run(id, seed).expect("id comes from the registry's own iterator")
+            let mut rt = tracing.then(|| RunTrace::new(id, seed));
+            if let Some(rt) = rt.as_mut() {
+                rt.push(TraceEvent::Claim { replica: 0 }, start.elapsed().as_secs_f64());
+                rt.push(
+                    TraceEvent::AttemptStart { replica: 0, attempt: 0 },
+                    start.elapsed().as_secs_f64(),
+                );
+            }
+            let rec = reg.run(id, seed).expect("id comes from the registry's own iterator");
+            if let Some(rt) = rt.as_mut() {
+                rt.push(
+                    TraceEvent::AttemptEnd { replica: 0, attempt: 0, outcome: AttemptOutcome::Ok },
+                    start.elapsed().as_secs_f64(),
+                );
+            }
+            (rec, rt)
         });
-        for (k, rec) in computed.into_iter().enumerate() {
+        for (k, (rec, rt)) in computed.into_iter().enumerate() {
             let i = misses[k];
+            if let Some(rt) = rt {
+                traces[i].absorb(rt);
+            }
             if let Some(c) = cache {
                 let (id, p) = entries[i];
-                let _ = c.store(id, seed, p, &rec);
+                if c.store(id, seed, p, &rec).is_ok() && tracing {
+                    traces[i].push(TraceEvent::CacheStored, start.elapsed().as_secs_f64());
+                }
             }
             slots[i] = Some(rec);
         }
@@ -213,13 +275,15 @@ impl Executor {
             .zip(slots)
             .map(|((id, _), rec)| (id.to_string(), rec.expect("every slot filled above")))
             .collect();
+        let wall = start.elapsed().as_secs_f64();
         let report = ExecReport::from_labelled(
             self.jobs,
             records.iter().map(|(id, r)| (id.clone(), r.wall_seconds)),
-            start.elapsed().as_secs_f64(),
+            wall,
         )
         .with_workers(&sched)
-        .with_cached(cached_runs);
+        .with_cached(cached_runs)
+        .with_trace(batch_trace("run", seed, traces, self.jobs, wall, &sched));
         (records, report)
     }
 
@@ -305,20 +369,41 @@ impl Executor {
         let entries: Vec<_> = reg.iter().collect();
         // treu-lint: allow(wall-clock, reason = "batch timing reported outside the fingerprint")
         let start = Instant::now();
-        let (outcomes, sched) = self.map_indexed_stats(entries.len(), |i| {
+        let tracing = self.tracing;
+        let (results, sched) = self.map_indexed_stats(entries.len(), |i| {
             let (id, e) = entries[i];
-            run_supervised(e.runner(), id, seed, &e.defaults, policy, plan, 0)
+            let mut rt = tracing.then(|| RunTrace::new(id, seed));
+            if let Some(rt) = rt.as_mut() {
+                rt.push(TraceEvent::Claim { replica: 0 }, start.elapsed().as_secs_f64());
+            }
+            let out = run_supervised_traced(
+                e.runner(),
+                id,
+                seed,
+                &e.defaults,
+                policy,
+                plan,
+                0,
+                rt.as_mut().map(|rt| (rt, start)),
+            );
+            (out, rt)
         });
-        let pairs: Vec<(String, RunOutcome)> =
-            entries.iter().map(|(id, _)| id.to_string()).zip(outcomes).collect();
+        let mut traces = Vec::with_capacity(entries.len());
+        let mut pairs: Vec<(String, RunOutcome)> = Vec::with_capacity(entries.len());
+        for ((id, _), (out, rt)) in entries.iter().zip(results) {
+            traces.push(rt.unwrap_or_else(|| RunTrace::new(id, seed)));
+            pairs.push((id.to_string(), out));
+        }
         let failed = pairs.iter().filter(|(_, o)| !o.is_ok()).count();
+        let wall = start.elapsed().as_secs_f64();
         let report = ExecReport::from_labelled(
             self.jobs,
             pairs.iter().filter_map(|(id, o)| o.record().map(|r| (id.clone(), r.wall_seconds))),
-            start.elapsed().as_secs_f64(),
+            wall,
         )
         .with_workers(&sched)
-        .with_failed(failed);
+        .with_failed(failed)
+        .with_trace(batch_trace("run", seed, traces, self.jobs, wall, &sched));
         (pairs, report)
     }
 
@@ -347,53 +432,151 @@ impl Executor {
             reg.iter().map(|(id, e)| (id, params(id, e.defaults.clone()), e)).collect();
         // treu-lint: allow(wall-clock, reason = "verification timing reported outside the fingerprint")
         let start = Instant::now();
+        let mut traces: Vec<RunTrace> =
+            jobs.iter().map(|(id, _, _)| RunTrace::new(id, seed)).collect();
         let looked: Vec<Lookup> = jobs
             .iter()
-            .map(|(id, p, _)| match cache {
-                Some(c) => c.lookup_classified(id, seed, p),
-                None => Lookup::Miss,
+            .zip(traces.iter_mut())
+            .map(|((id, p, _), rt)| {
+                let found = match cache {
+                    Some(c) => c.lookup_classified(id, seed, p),
+                    None => Lookup::Miss,
+                };
+                if self.tracing && cache.is_some() {
+                    rt.push(
+                        TraceEvent::Cache { result: cache_result(&found) },
+                        start.elapsed().as_secs_f64(),
+                    );
+                }
+                found
             })
             .collect();
         let misses: Vec<usize> =
             (0..jobs.len()).filter(|&i| !matches!(looked[i], Lookup::Hit(_))).collect();
+        let tracing = self.tracing;
         // Both replicas of a missed id are independent tasks, so they run
-        // concurrently whenever jobs >= 2.
-        let runs = self.map_indexed(misses.len() * 2, |i| {
+        // concurrently whenever jobs >= 2. Each replica records into its
+        // own local buffer (no shared state on the hot path); buffers are
+        // merged below in fixed (id, replica) order, which is what keeps
+        // the rendered stream schedule-independent.
+        let (runs, sched) = self.map_indexed_stats(misses.len() * 2, |i| {
             let (id, p, e) = &jobs[misses[i / 2]];
-            run_supervised(e.runner(), id, seed, p, policy, plan, (i % 2) as u32)
+            let replica = (i % 2) as u32;
+            let mut rt = tracing.then(|| RunTrace::new(id, seed));
+            if let Some(rt) = rt.as_mut() {
+                rt.push(TraceEvent::Claim { replica }, start.elapsed().as_secs_f64());
+            }
+            let out = run_supervised_traced(
+                e.runner(),
+                id,
+                seed,
+                p,
+                policy,
+                plan,
+                replica,
+                rt.as_mut().map(|rt| (rt, start)),
+            );
+            (out, rt)
         });
         let recomputed = misses.len();
-        let mut fresh = runs.chunks_exact(2);
+        let mut fresh = runs.into_iter();
         let outcomes = jobs
             .iter()
             .zip(looked)
-            .map(|((id, p, _), found)| match found {
-                Lookup::Hit(rec) => VerifyOutcome {
-                    id: id.to_string(),
-                    fingerprint: rec.fingerprint(),
-                    reproduced: true,
-                    cached: true,
-                    attempts: 1,
-                    healed_corruption: false,
-                    failure: None,
-                },
+            .enumerate()
+            .map(|(i, ((id, p, _), found))| match found {
+                Lookup::Hit(rec) => {
+                    let outcome = VerifyOutcome {
+                        id: id.to_string(),
+                        fingerprint: rec.fingerprint(),
+                        reproduced: true,
+                        cached: true,
+                        attempts: 1,
+                        healed_corruption: false,
+                        failure: None,
+                    };
+                    if tracing && cache.is_some() {
+                        traces[i].push(
+                            TraceEvent::Verdict {
+                                reproduced: true,
+                                cached: true,
+                                attempts: 1,
+                                fingerprint: outcome.fingerprint,
+                                failure: None,
+                            },
+                            start.elapsed().as_secs_f64(),
+                        );
+                    }
+                    outcome
+                }
                 not_hit => {
                     let was_corrupt = matches!(not_hit, Lookup::Corrupt);
-                    let pair = fresh.next().expect("one fresh pair per miss");
-                    cross_check(id, seed, p, pair, cache, was_corrupt)
+                    let (oa, ta) = fresh.next().expect("two fresh runs per miss");
+                    let (ob, tb) = fresh.next().expect("two fresh runs per miss");
+                    if let Some(t) = ta {
+                        traces[i].absorb(t);
+                    }
+                    if let Some(t) = tb {
+                        traces[i].absorb(t);
+                    }
+                    cross_check(
+                        id,
+                        seed,
+                        p,
+                        &[oa, ob],
+                        cache,
+                        was_corrupt,
+                        tracing.then_some((&mut traces[i], start)),
+                    )
                 }
             })
             .collect();
-        VerifyReport {
-            jobs: self.jobs,
-            outcomes,
-            wall_seconds: start.elapsed().as_secs_f64(),
-            recomputed,
-        }
+        let wall = start.elapsed().as_secs_f64();
+        let trace = batch_trace("verify", seed, traces, self.jobs, wall, &sched);
+        let counters = trace.counters();
+        VerifyReport { jobs: self.jobs, outcomes, wall_seconds: wall, recomputed, trace, counters }
     }
 }
 
-/// Cross-checks one id's two supervised replicas into a [`VerifyOutcome`].
+/// Maps a cache [`Lookup`] classification onto its trace-event mirror.
+fn cache_result(found: &Lookup) -> CacheResult {
+    match found {
+        Lookup::Hit(_) => CacheResult::Hit,
+        Lookup::Miss => CacheResult::Miss,
+        Lookup::Stale => CacheResult::Stale,
+        Lookup::Corrupt => CacheResult::Corrupt,
+    }
+}
+
+/// Assembles per-run traces plus the scheduler's timing into a
+/// [`BatchTrace`] (worker loads and wall time go to the sidecar only).
+fn batch_trace(
+    kind: &str,
+    seed: u64,
+    runs: Vec<RunTrace>,
+    jobs: usize,
+    wall_seconds: f64,
+    sched: &SchedStats,
+) -> BatchTrace {
+    BatchTrace {
+        kind: kind.to_string(),
+        seed,
+        runs,
+        jobs,
+        wall_seconds,
+        workers: sched
+            .busy_seconds
+            .iter()
+            .zip(&sched.chunks_claimed)
+            .zip(&sched.items)
+            .map(|((&busy_seconds, &chunks), &items)| WorkerTiming { busy_seconds, chunks, items })
+            .collect(),
+    }
+}
+
+/// Cross-checks one id's two supervised replicas into a [`VerifyOutcome`],
+/// recording store/heal/verdict events into the run's trace when one is
+/// threaded through.
 fn cross_check(
     id: &str,
     seed: u64,
@@ -401,8 +584,9 @@ fn cross_check(
     pair: &[RunOutcome],
     cache: Option<&RunCache>,
     was_corrupt: bool,
+    mut tracer: Option<(&mut RunTrace, Instant)>,
 ) -> VerifyOutcome {
-    match (&pair[0], &pair[1]) {
+    let outcome = match (&pair[0], &pair[1]) {
         (
             RunOutcome::Ok { record: a, attempts: aa },
             RunOutcome::Ok { record: b, attempts: ab },
@@ -411,7 +595,12 @@ fn cross_check(
             let attempts = (*aa).max(*ab);
             if reproduced {
                 if let Some(c) = cache {
-                    let _ = c.store(id, seed, params, a);
+                    if c.store(id, seed, params, a).is_ok() {
+                        emit(&mut tracer, TraceEvent::CacheStored);
+                    }
+                }
+                if was_corrupt {
+                    emit(&mut tracer, TraceEvent::CacheHealed);
                 }
             }
             let failure = (!reproduced).then(|| RunFailure {
@@ -454,6 +643,25 @@ fn cross_check(
                 failure: Some(RunFailure { taxonomy, ..f }),
             }
         }
+    };
+    emit(
+        &mut tracer,
+        TraceEvent::Verdict {
+            reproduced: outcome.reproduced,
+            cached: false,
+            attempts: outcome.attempts,
+            fingerprint: outcome.fingerprint,
+            failure: outcome.failure.as_ref().map(|f| f.taxonomy.name()),
+        },
+    );
+    outcome
+}
+
+/// Pushes `event` into the tracer's run buffer, stamped with the elapsed
+/// time since the batch epoch. A `None` tracer costs one branch.
+fn emit(tracer: &mut Option<(&mut RunTrace, Instant)>, event: TraceEvent) {
+    if let Some((rt, epoch)) = tracer.as_mut() {
+        rt.push(event, epoch.elapsed().as_secs_f64());
     }
 }
 
@@ -669,16 +877,77 @@ pub fn run_supervised<E>(
 where
     E: Experiment + Sync + ?Sized,
 {
+    run_supervised_traced(exp, id, seed, params, policy, plan, replica, None)
+}
+
+/// [`run_supervised`] with span recording: every attempt boundary,
+/// injected fault and backoff pause is pushed into the caller's
+/// [`RunTrace`] (stamped relative to the epoch `Instant`). With `tracer`
+/// `None` the event path costs one branch per site — this *is*
+/// [`run_supervised`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_supervised_traced<E>(
+    exp: &E,
+    id: &str,
+    seed: u64,
+    params: &Params,
+    policy: &SupervisePolicy,
+    plan: Option<&FaultPlan>,
+    replica: u32,
+    mut tracer: Option<(&mut RunTrace, Instant)>,
+) -> RunOutcome
+where
+    E: Experiment + Sync + ?Sized,
+{
     let mut last = (FailureKind::Panicked, String::new());
     for attempt in 0..=policy.retries {
         if attempt > 0 {
-            std::thread::sleep(Duration::from_millis(backoff_millis(attempt, id, seed)));
+            let millis = backoff_millis(attempt, id, seed);
+            emit(&mut tracer, TraceEvent::Backoff { replica, attempt, millis });
+            std::thread::sleep(Duration::from_millis(millis));
+        }
+        emit(&mut tracer, TraceEvent::AttemptStart { replica, attempt });
+        if tracer.is_some() {
+            if let Some(kind) = plan.and_then(|p| p.fault_at(id, seed, attempt)) {
+                emit(&mut tracer, TraceEvent::Fault { replica, attempt, kind: kind.label() });
+            }
         }
         match attempt_once(exp, id, seed, params, policy.deadline, plan, attempt, replica) {
-            Ok(record) => return RunOutcome::Ok { record, attempts: attempt + 1 },
-            Err(e) => last = e,
+            Ok(record) => {
+                emit(
+                    &mut tracer,
+                    TraceEvent::AttemptEnd { replica, attempt, outcome: AttemptOutcome::Ok },
+                );
+                emit(
+                    &mut tracer,
+                    TraceEvent::Outcome {
+                        replica,
+                        ok: true,
+                        attempts: attempt + 1,
+                        taxonomy: None,
+                    },
+                );
+                return RunOutcome::Ok { record, attempts: attempt + 1 };
+            }
+            Err(e) => {
+                let outcome = match e.0 {
+                    FailureKind::TimedOut => AttemptOutcome::TimedOut,
+                    _ => AttemptOutcome::Panicked,
+                };
+                emit(&mut tracer, TraceEvent::AttemptEnd { replica, attempt, outcome });
+                last = e;
+            }
         }
     }
+    emit(
+        &mut tracer,
+        TraceEvent::Outcome {
+            replica,
+            ok: false,
+            attempts: policy.retries + 1,
+            taxonomy: Some(last.0.name()),
+        },
+    );
     RunOutcome::Failed(RunFailure {
         taxonomy: last.0,
         attempts: policy.retries + 1,
@@ -720,6 +989,11 @@ pub struct VerifyReport {
     /// Ids that were actually (re)computed this pass — with a warm cache
     /// this is zero.
     pub recomputed: usize,
+    /// The pass's merged event trace (empty when tracing was disabled).
+    pub trace: BatchTrace,
+    /// Aggregate counters folded from [`VerifyReport::trace`] — the
+    /// report and the trace are two views of the same event stream.
+    pub counters: TraceCounters,
 }
 
 impl VerifyReport {
@@ -830,6 +1104,9 @@ impl VerifyReport {
                 quarantined.iter().map(|o| o.id.as_str()).collect::<Vec<_>>().join(", ")
             ));
         }
+        if self.counters.events > 0 {
+            out.push_str(&self.counters.render_line());
+        }
         out
     }
 }
@@ -874,6 +1151,11 @@ pub struct ExecReport {
     /// Runs that exhausted their supervision budget and were quarantined
     /// (they contribute no [`RunTiming`]).
     pub failed_runs: usize,
+    /// The batch's merged event trace (empty when tracing was disabled or
+    /// the batch did not go through a traced path).
+    pub trace: BatchTrace,
+    /// Aggregate counters folded from [`ExecReport::trace`].
+    pub counters: TraceCounters,
 }
 
 impl ExecReport {
@@ -894,6 +1176,8 @@ impl ExecReport {
             workers: Vec::new(),
             cached_runs: 0,
             failed_runs: 0,
+            trace: BatchTrace::empty("batch", 0),
+            counters: TraceCounters::default(),
         }
     }
 
@@ -921,6 +1205,13 @@ impl ExecReport {
         self
     }
 
+    /// Attaches the batch's merged event trace and folds its counters.
+    pub fn with_trace(mut self, trace: BatchTrace) -> Self {
+        self.counters = trace.counters();
+        self.trace = trace;
+        self
+    }
+
     /// Total CPU-seconds across runs — the sequential cost.
     pub fn total_seconds(&self) -> f64 {
         self.runs.iter().map(|r| r.wall_seconds).sum()
@@ -945,10 +1236,14 @@ impl ExecReport {
         }
         let max = self.workers.iter().map(|w| w.busy_seconds).fold(0.0, f64::max);
         let min = self.workers.iter().map(|w| w.busy_seconds).fold(f64::INFINITY, f64::min);
-        if max <= 0.0 || !min.is_finite() {
+        // A worker with ~zero busy seconds did no measurable work — a
+        // fully-cached batch, or more workers than items. max over ~0 is
+        // scheduling noise, not imbalance; the old `min.max(1e-9)` floor
+        // turned it into a ~1e9 "ratio".
+        if max <= 0.0 || !min.is_finite() || min <= 1e-9 {
             return 1.0;
         }
-        let ratio = max / min.max(1e-9);
+        let ratio = max / min;
         if ratio.is_finite() {
             ratio
         } else {
@@ -956,10 +1251,23 @@ impl ExecReport {
         }
     }
 
+    /// True when every run in the batch was served from the run cache —
+    /// nothing was computed, so busy/wall ratios describe replay, not
+    /// work.
+    pub fn all_cached(&self) -> bool {
+        !self.runs.is_empty() && self.cached_runs >= self.runs.len()
+    }
+
     /// Worker utilization: busy seconds over `workers × wall` (1.0 = no
     /// idle time anywhere). Falls back to run-time accounting when no
     /// worker stats are attached.
     pub fn utilization(&self) -> f64 {
+        // A fully-cached batch computed nothing, but its RunTimings carry
+        // the runs' *original* costs — dividing those by this batch's
+        // near-zero wall time reported utilization far above 100%.
+        if self.all_cached() {
+            return 0.0;
+        }
         let wall = self.wall_seconds.max(1e-12);
         let (busy, lanes) = if self.workers.is_empty() {
             (self.total_seconds(), self.jobs.max(1) as f64)
@@ -1034,12 +1342,19 @@ impl ExecReport {
             self.jobs
         ));
         if !self.workers.is_empty() {
-            out.push_str(&format!(
-                "  load: utilization {:.1}%, imbalance max/min {:.2} over {} worker(s)\n",
-                100.0 * self.utilization(),
-                self.imbalance_ratio(),
-                self.workers.len()
-            ));
+            if self.all_cached() {
+                out.push_str(&format!(
+                    "  load: utilization — (all cached), {} worker(s) idle\n",
+                    self.workers.len()
+                ));
+            } else {
+                out.push_str(&format!(
+                    "  load: utilization {:.1}%, imbalance max/min {:.2} over {} worker(s)\n",
+                    100.0 * self.utilization(),
+                    self.imbalance_ratio(),
+                    self.workers.len()
+                ));
+            }
         }
         if self.cached_runs > 0 {
             out.push_str(&format!(
@@ -1053,6 +1368,9 @@ impl ExecReport {
                 "  quarantined: {} run(s) exhausted their supervision budget\n",
                 self.failed_runs
             ));
+        }
+        if self.counters.events > 0 {
+            out.push_str(&self.counters.render_line());
         }
         out.push_str(&format!(
             "  speedup {:.2}x (implied Amdahl serial fraction {:.3}{}; projected {:.2}x at {} threads)\n",
@@ -1337,6 +1655,12 @@ mod tests {
             assert_eq!(a.trail, b.trail, "cache replay must round-trip trails bitwise");
         }
         assert!(warm_report.render().contains("served from the run cache"));
+        // Regression: an all-hit batch has zero-busy workers — that must
+        // read as unit imbalance and an "all cached" load line, not an
+        // astronomically large max/min ratio.
+        assert_eq!(warm_report.imbalance_ratio(), 1.0);
+        assert!(warm_report.utilization() <= 1.0);
+        assert_eq!(warm_report.counters.cache_hits, reg.len() as u64);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1421,6 +1745,57 @@ mod tests {
         let lop = ExecReport::from_labelled(2, [("a".to_string(), 1.0)], 1.0).with_workers(&skew);
         assert!(lop.imbalance_ratio().is_finite());
         assert!(lop.serial_fraction().is_finite());
+    }
+
+    #[test]
+    fn zero_busy_workers_report_unit_imbalance_not_huge_ratios() {
+        // Regression: an all-cache-hit batch leaves every worker with ~0
+        // busy seconds. The old `min.max(1e-9)` floor reported a ~1e9
+        // "imbalance" for the busy/idle pair below instead of treating
+        // near-zero busy time as no-signal.
+        let idle = SchedStats {
+            workers: 2,
+            chunk: 1,
+            busy_seconds: vec![0.0, 0.0],
+            chunks_claimed: vec![0, 0],
+            items: vec![0, 0],
+        };
+        let all_idle = ExecReport::from_labelled(2, std::iter::empty(), 0.01).with_workers(&idle);
+        assert_eq!(all_idle.imbalance_ratio(), 1.0);
+        let near = SchedStats {
+            workers: 2,
+            chunk: 1,
+            busy_seconds: vec![1.0, 1e-12],
+            chunks_claimed: vec![1, 1],
+            items: vec![1, 1],
+        };
+        let lop = ExecReport::from_labelled(2, [("a".to_string(), 1.0)], 1.0).with_workers(&near);
+        assert_eq!(lop.imbalance_ratio(), 1.0, "sub-nanosecond busy time is noise, not load");
+    }
+
+    #[test]
+    fn fully_cached_batch_renders_all_cached_and_clamps_utilization() {
+        // A warm-cache batch's RunTimings carry the original compute
+        // costs (here 5s against a 1ms wall): utilization must not report
+        // >100%, and the load line must say "all cached" instead of
+        // manufacturing a percentage out of replay time.
+        let sched = SchedStats {
+            workers: 2,
+            chunk: 1,
+            busy_seconds: vec![0.0, 0.0],
+            chunks_claimed: vec![0, 0],
+            items: vec![0, 0],
+        };
+        let report =
+            ExecReport::from_labelled(2, [("a".to_string(), 2.0), ("b".to_string(), 3.0)], 0.001)
+                .with_workers(&sched)
+                .with_cached(2);
+        assert!(report.all_cached());
+        assert_eq!(report.utilization(), 0.0);
+        assert!(report.utilization() <= 1.0);
+        let rendered = report.render();
+        assert!(rendered.contains("— (all cached)"), "{rendered}");
+        assert!(!rendered.contains("utilization 1"), "{rendered}");
     }
 
     struct AlwaysPanics;

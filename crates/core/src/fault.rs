@@ -55,6 +55,17 @@ impl FaultKind {
         }
     }
 
+    /// Parameterized label for trace events, e.g. `delay(40ms)` or
+    /// `transient-err(2)` — deterministic, so it is safe to hash.
+    pub fn label(self) -> String {
+        match self {
+            FaultKind::Panic => "panic".to_string(),
+            FaultKind::Delay(ms) => format!("delay({ms}ms)"),
+            FaultKind::CorruptTrail => "corrupt-trail".to_string(),
+            FaultKind::TransientErr(k) => format!("transient-err({k})"),
+        }
+    }
+
     /// True when a sufficient retry budget recovers the fault-free result.
     pub fn is_transient(self) -> bool {
         matches!(self, FaultKind::TransientErr(_) | FaultKind::Delay(_))
@@ -202,6 +213,20 @@ impl FaultPlan {
             &run_seed.to_le_bytes(),
         ]);
         Some(self.menu[(pick % self.menu.len() as u64) as usize])
+    }
+
+    /// The fault actually *active* on one attempt — [`FaultPlan::fault_for`]
+    /// narrowed by attempt number, mirroring what
+    /// [`crate::fault::FaultyExperiment`] injects: a
+    /// [`FaultKind::TransientErr`] stops firing once the attempt index
+    /// reaches its budget, every other kind fires on all attempts. This is
+    /// what the trace layer records, so fault events appear only on
+    /// attempts that were genuinely faulted.
+    pub fn fault_at(&self, id: &str, run_seed: u64, attempt: u32) -> Option<FaultKind> {
+        match self.fault_for(id, run_seed) {
+            Some(FaultKind::TransientErr(k)) if attempt >= k => None,
+            other => other,
+        }
     }
 
     /// The first attempt (0-based) at which `(id, run_seed)` succeeds, or

@@ -40,6 +40,11 @@
 //! * [`cache`] — the content-addressed run cache: completed runs persist
 //!   under `hash(id, params, seed)` validated by a code+env fingerprint,
 //!   so re-verification recomputes nothing that has not changed.
+//! * [`trace`] — deterministic run-trace observability: every supervised
+//!   run emits ordered span events (claim → attempts → fault/backoff →
+//!   cache → verdict) merged index-ordered into a content-addressed JSONL
+//!   trace whose hash is schedule-independent; timestamps live in a
+//!   separate non-hashed sidecar.
 //! * [`aggregate`] — multi-seed metric summaries (the distributional view
 //!   reliability claims need).
 //! * [`report`] — plain-text table rendering shared by the survey crate and
@@ -61,6 +66,7 @@ pub mod registry;
 pub mod report;
 pub mod study;
 pub mod sweep;
+pub mod trace;
 
 pub use cache::{CacheStats, RunCache};
 pub use exec::{
@@ -71,3 +77,4 @@ pub use experiment::{Experiment, RunContext, RunRecord};
 pub use fault::{FaultKind, FaultPlan, FaultyExperiment};
 pub use provenance::Trail;
 pub use registry::ExperimentRegistry;
+pub use trace::{BatchTrace, RunTrace, TraceCounters, TraceEvent};

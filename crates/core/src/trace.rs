@@ -1,0 +1,1150 @@
+//! Deterministic run-trace observability: spans, counters, JSONL events.
+//!
+//! Reproducing a run bitwise says *that* it happened the same way twice;
+//! it does not say *what happened when* — which attempt a transient fault
+//! consumed, when a cache entry self-healed, why a run was quarantined.
+//! The practical-reproducibility work the ROADMAP tracks wants the runtime
+//! path itself to be part of the inspectable record, so this module gives
+//! every supervised run an ordered stream of span events (claim →
+//! attempt(s) → fault/backoff → cache hit/miss/heal → verdict) collected
+//! in a per-run ring buffer and merged **index-ordered** into one batch
+//! trace.
+//!
+//! **Determinism contract.** The event stream itself obeys the same rule
+//! as every other result in the workspace: it is a pure function of
+//! `(registry, seed, policy, plan)`. Everything scheduling-dependent —
+//! wall-clock timestamps, worker identities, the jobs count — is kept
+//! *out* of [`BatchTrace::render_events`] and written to a separate
+//! timing **sidecar** ([`BatchTrace::render_times`]) instead. The rendered
+//! event stream is therefore bitwise-identical for every `--jobs` value,
+//! and the trace file is **content-addressed**: its FNV-1a hash is its
+//! filename (`trace-<hash>.jsonl`), so two machines that produced the
+//! same execution story produce the same file at the same name, and
+//! `treu trace --check` can detect a tampered or truncated trace the same
+//! way the run cache detects a damaged entry.
+//!
+//! The format is line-oriented JSON (one object per line, no nesting)
+//! written and parsed by hand — the workspace carries no serde — with a
+//! header line, one descriptor line per run, and one line per event.
+//! [`TraceCounters`] folds a batch's events into the aggregate counts the
+//! reports print, so the report and the trace can never disagree.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Magic header value of the hashed event stream.
+pub const TRACE_MAGIC: &str = "treu-trace v1";
+/// Magic header value of the non-hashed timing sidecar.
+pub const TIMES_MAGIC: &str = "treu-trace-times v1";
+/// Default per-run ring-buffer capacity; a supervised verify run emits
+/// roughly a dozen events, so drops only happen under pathological retry
+/// storms — and are counted when they do.
+pub const DEFAULT_RING_CAPACITY: usize = 512;
+
+/// FNV-1a over a byte stream — the same hash family the run cache and
+/// fault plan use, here taken over the rendered event stream so the trace
+/// address is a pure function of the execution story.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Minimal JSON string escaping for the hand-rolled writer.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`json_escape`] for the tiny parser.
+fn json_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// What a classified cache lookup found — the trace-side mirror of
+/// [`crate::cache::Lookup`], kept separate so this module stays free of
+/// record payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheResult {
+    /// Valid entry served without recompute.
+    Hit,
+    /// No entry at the address.
+    Miss,
+    /// Entry invalidated by a code+env fingerprint change.
+    Stale,
+    /// Entry failed read-time checksum verification (deleted on sight).
+    Corrupt,
+}
+
+impl CacheResult {
+    /// Stable event-stream label.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheResult::Hit => "hit",
+            CacheResult::Miss => "miss",
+            CacheResult::Stale => "stale",
+            CacheResult::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// How one supervised attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// The attempt completed and produced a record.
+    Ok,
+    /// The attempt panicked (organic or injected).
+    Panicked,
+    /// The attempt exceeded its per-run deadline.
+    TimedOut,
+}
+
+impl AttemptOutcome {
+    /// Stable event-stream label.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttemptOutcome::Ok => "ok",
+            AttemptOutcome::Panicked => "panicked",
+            AttemptOutcome::TimedOut => "timed-out",
+        }
+    }
+}
+
+/// One span event in a run's execution story.
+///
+/// Every payload here is deterministic given `(registry, seed, policy,
+/// plan)` — worker ids, timestamps and jobs counts are deliberately not
+/// representable, which is what keeps the rendered stream bitwise-stable
+/// across schedules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A worker claimed this run (one per replica).
+    Claim {
+        /// Verification replica index (0 for plain runs).
+        replica: u32,
+    },
+    /// The run cache was consulted before dispatch.
+    Cache {
+        /// What the classified lookup found.
+        result: CacheResult,
+    },
+    /// A supervised attempt started.
+    AttemptStart {
+        /// Verification replica index.
+        replica: u32,
+        /// Attempt number (0 = first try).
+        attempt: u32,
+    },
+    /// The fault plan injected a fault into this attempt.
+    Fault {
+        /// Verification replica index.
+        replica: u32,
+        /// Attempt number the fault is active on.
+        attempt: u32,
+        /// Fault label, e.g. `transient-err(2)` or `delay(40ms)`.
+        kind: String,
+    },
+    /// The deterministic backoff pause before a retry.
+    Backoff {
+        /// Verification replica index.
+        replica: u32,
+        /// The attempt about to run (1 = first retry).
+        attempt: u32,
+        /// Milliseconds slept, from [`crate::fault::backoff_millis`].
+        millis: u64,
+    },
+    /// A supervised attempt ended.
+    AttemptEnd {
+        /// Verification replica index.
+        replica: u32,
+        /// Attempt number.
+        attempt: u32,
+        /// How it ended.
+        outcome: AttemptOutcome,
+    },
+    /// The supervisor's final word on one replica.
+    Outcome {
+        /// Verification replica index.
+        replica: u32,
+        /// True when a record was produced within the budget.
+        ok: bool,
+        /// Attempts consumed (including the successful one).
+        attempts: u32,
+        /// Failure taxonomy name when quarantined.
+        taxonomy: Option<&'static str>,
+    },
+    /// A verified record was stored into the run cache.
+    CacheStored,
+    /// A corrupt cache entry was invalidated and the recompute
+    /// re-established a verified result.
+    CacheHealed,
+    /// The cross-check verdict for the run.
+    Verdict {
+        /// True when replicas agreed bitwise (or a valid cache entry
+        /// stood in for recomputation).
+        reproduced: bool,
+        /// True when served from the run cache.
+        cached: bool,
+        /// Attempts the slower replica needed.
+        attempts: u32,
+        /// Fingerprint of the first replica (0 when none completed).
+        fingerprint: u64,
+        /// Failure taxonomy name when not reproduced.
+        failure: Option<&'static str>,
+    },
+    /// Cluster simulator: failures drawn for one job.
+    SimFailures {
+        /// Failure count under the seeded failure model.
+        failures: usize,
+    },
+    /// Cluster simulator: what recovery cost one job.
+    SimRecovery {
+        /// Recovery policy name (`restage` / `checkpoint`).
+        policy: &'static str,
+        /// Recovery overhead in milli-hours (integer so the rendered
+        /// stream never depends on float formatting).
+        overhead_millihours: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event name, as rendered in the `"ev"` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::Claim { .. } => "claim",
+            TraceEvent::Cache { .. } => "cache",
+            TraceEvent::AttemptStart { .. } => "attempt-start",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Backoff { .. } => "backoff",
+            TraceEvent::AttemptEnd { .. } => "attempt-end",
+            TraceEvent::Outcome { .. } => "outcome",
+            TraceEvent::CacheStored => "cache-stored",
+            TraceEvent::CacheHealed => "cache-healed",
+            TraceEvent::Verdict { .. } => "verdict",
+            TraceEvent::SimFailures { .. } => "sim-failures",
+            TraceEvent::SimRecovery { .. } => "sim-recovery",
+        }
+    }
+
+    /// Appends this event's payload fields (`,"k":v` pairs, fixed order).
+    fn render_fields(&self, out: &mut String) {
+        match self {
+            TraceEvent::Claim { replica } => out.push_str(&format!(",\"replica\":{replica}")),
+            TraceEvent::Cache { result } => {
+                out.push_str(&format!(",\"result\":\"{}\"", result.name()));
+            }
+            TraceEvent::AttemptStart { replica, attempt } => {
+                out.push_str(&format!(",\"replica\":{replica},\"attempt\":{attempt}"));
+            }
+            TraceEvent::Fault { replica, attempt, kind } => {
+                out.push_str(&format!(
+                    ",\"replica\":{replica},\"attempt\":{attempt},\"kind\":\"{}\"",
+                    json_escape(kind)
+                ));
+            }
+            TraceEvent::Backoff { replica, attempt, millis } => {
+                out.push_str(&format!(
+                    ",\"replica\":{replica},\"attempt\":{attempt},\"millis\":{millis}"
+                ));
+            }
+            TraceEvent::AttemptEnd { replica, attempt, outcome } => {
+                out.push_str(&format!(
+                    ",\"replica\":{replica},\"attempt\":{attempt},\"outcome\":\"{}\"",
+                    outcome.name()
+                ));
+            }
+            TraceEvent::Outcome { replica, ok, attempts, taxonomy } => {
+                out.push_str(&format!(
+                    ",\"replica\":{replica},\"ok\":{ok},\"attempts\":{attempts}"
+                ));
+                if let Some(t) = taxonomy {
+                    out.push_str(&format!(",\"taxonomy\":\"{t}\""));
+                }
+            }
+            TraceEvent::CacheStored | TraceEvent::CacheHealed => {}
+            TraceEvent::Verdict { reproduced, cached, attempts, fingerprint, failure } => {
+                out.push_str(&format!(
+                    ",\"reproduced\":{reproduced},\"cached\":{cached},\"attempts\":{attempts},\"fingerprint\":\"{fingerprint:#018x}\""
+                ));
+                if let Some(f) = failure {
+                    out.push_str(&format!(",\"failure\":\"{f}\""));
+                }
+            }
+            TraceEvent::SimFailures { failures } => {
+                out.push_str(&format!(",\"failures\":{failures}"));
+            }
+            TraceEvent::SimRecovery { policy, overhead_millihours } => {
+                out.push_str(&format!(
+                    ",\"policy\":\"{policy}\",\"overhead_millihours\":{overhead_millihours}"
+                ));
+            }
+        }
+    }
+}
+
+/// One run's bounded event buffer: events in emission order with
+/// batch-relative timestamps kept alongside (but never rendered into the
+/// hashed stream).
+#[derive(Debug, Clone)]
+pub struct RunTrace {
+    /// Experiment id (or synthetic label for non-registry runs).
+    pub id: String,
+    /// The run seed.
+    pub seed: u64,
+    events: Vec<(u64, TraceEvent, f64)>,
+    next_seq: u64,
+    capacity: usize,
+    /// Events evicted because the ring was full — deterministic for a
+    /// deterministic event stream, and reported in the run descriptor.
+    pub dropped: u64,
+}
+
+impl RunTrace {
+    /// A fresh trace with the [`DEFAULT_RING_CAPACITY`].
+    pub fn new(id: &str, seed: u64) -> Self {
+        Self::with_capacity(id, seed, DEFAULT_RING_CAPACITY)
+    }
+
+    /// A fresh trace holding at most `capacity` events (clamped to ≥ 1);
+    /// the oldest event is evicted (and counted) when the ring is full.
+    pub fn with_capacity(id: &str, seed: u64, capacity: usize) -> Self {
+        Self {
+            id: id.to_string(),
+            seed,
+            events: Vec::new(),
+            next_seq: 0,
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event at `at_seconds` (batch-relative wall offset; goes
+    /// only to the sidecar). Evicts the oldest event when full.
+    pub fn push(&mut self, event: TraceEvent, at_seconds: f64) {
+        if self.events.len() >= self.capacity {
+            self.events.remove(0);
+            self.dropped += 1;
+        }
+        self.events.push((self.next_seq, event, at_seconds));
+        self.next_seq += 1;
+    }
+
+    /// Moves every event of `other` (a replica-local buffer) into this
+    /// trace, re-sequencing in arrival order — the index-ordered merge
+    /// that keeps the stream schedule-independent.
+    pub fn absorb(&mut self, other: RunTrace) {
+        self.dropped += other.dropped;
+        for (_, ev, at) in other.events {
+            self.push(ev, at);
+        }
+    }
+
+    /// The buffered `(seq, event, at_seconds)` triples, oldest first.
+    pub fn events(&self) -> &[(u64, TraceEvent, f64)] {
+        &self.events
+    }
+
+    /// Buffered event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// One worker's timing as recorded in the sidecar (never hashed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerTiming {
+    /// Seconds inside the claim loop.
+    pub busy_seconds: f64,
+    /// Chunks claimed.
+    pub chunks: usize,
+    /// Items computed.
+    pub items: usize,
+}
+
+/// Aggregate counters folded from a batch's event stream — the single
+/// source the reports print from, so report and trace cannot disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCounters {
+    /// Runs in the batch.
+    pub runs: usize,
+    /// Total buffered events.
+    pub events: u64,
+    /// Events evicted from full rings.
+    pub dropped: u64,
+    /// Worker claims.
+    pub claims: u64,
+    /// Supervised attempts started.
+    pub attempts: u64,
+    /// Faults the plan injected.
+    pub faults_injected: u64,
+    /// Backoff pauses taken before retries.
+    pub backoffs: u64,
+    /// Cache lookups that hit.
+    pub cache_hits: u64,
+    /// Cache lookups that missed.
+    pub cache_misses: u64,
+    /// Cache entries invalidated by a fingerprint change.
+    pub cache_stale: u64,
+    /// Cache entries that failed checksum verification.
+    pub cache_corrupt: u64,
+    /// Verified records stored into the cache.
+    pub cache_stores: u64,
+    /// Corrupt entries that self-healed through recompute.
+    pub cache_healed: u64,
+    /// Replicas that completed within budget.
+    pub completed: u64,
+    /// Replicas that exhausted their budget (quarantined).
+    pub quarantined: u64,
+    /// Cross-check verdicts rendered.
+    pub verdicts: u64,
+    /// Verdicts that reproduced.
+    pub reproduced: u64,
+}
+
+impl TraceCounters {
+    /// One-line summary for report renders.
+    pub fn render_line(&self) -> String {
+        format!(
+            "  trace: {} event(s) over {} run(s): {} attempt(s), {} fault(s) injected, {} backoff(s), {} cache hit(s), {} store(s){}\n",
+            self.events,
+            self.runs,
+            self.attempts,
+            self.faults_injected,
+            self.backoffs,
+            self.cache_hits,
+            self.cache_stores,
+            if self.dropped > 0 { format!(", {} dropped", self.dropped) } else { String::new() }
+        )
+    }
+}
+
+/// A whole batch's merged trace: the deterministic event stream plus the
+/// scheduling-dependent timing data destined for the sidecar.
+#[derive(Debug, Clone)]
+pub struct BatchTrace {
+    /// Batch kind (`run`, `verify`, `chaos`, `cluster-sim`).
+    pub kind: String,
+    /// The batch seed.
+    pub seed: u64,
+    /// Per-run traces, in canonical (input) order.
+    pub runs: Vec<RunTrace>,
+    /// Worker count used (sidecar only).
+    pub jobs: usize,
+    /// Batch wall seconds (sidecar only).
+    pub wall_seconds: f64,
+    /// Per-worker timing (sidecar only).
+    pub workers: Vec<WorkerTiming>,
+}
+
+impl BatchTrace {
+    /// An empty trace of the given kind.
+    pub fn empty(kind: &str, seed: u64) -> Self {
+        Self {
+            kind: kind.to_string(),
+            seed,
+            runs: Vec::new(),
+            jobs: 0,
+            wall_seconds: 0.0,
+            workers: Vec::new(),
+        }
+    }
+
+    /// Renders the **deterministic** event stream: header, one descriptor
+    /// line per run, one line per event. Contains no timestamps, worker
+    /// ids or jobs counts — bitwise-identical for every schedule.
+    pub fn render_events(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"trace\":\"{TRACE_MAGIC}\",\"kind\":\"{}\",\"seed\":{},\"runs\":{}}}\n",
+            json_escape(&self.kind),
+            self.seed,
+            self.runs.len()
+        ));
+        for (i, run) in self.runs.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"run\":{i},\"id\":\"{}\",\"seed\":{},\"events\":{},\"dropped\":{}}}\n",
+                json_escape(&run.id),
+                run.seed,
+                run.len(),
+                run.dropped
+            ));
+            for (seq, ev, _) in run.events() {
+                out.push_str(&format!("{{\"run\":{i},\"seq\":{seq},\"ev\":\"{}\"", ev.name()));
+                ev.render_fields(&mut out);
+                out.push_str("}\n");
+            }
+        }
+        out
+    }
+
+    /// FNV-1a hash of [`BatchTrace::render_events`] — the trace's content
+    /// address and filename stem.
+    pub fn content_hash(&self) -> u64 {
+        fnv64(self.render_events().as_bytes())
+    }
+
+    /// Renders the **non-hashed** timing sidecar: jobs count, batch wall
+    /// time, per-worker loads, and one `at` offset per event.
+    pub fn render_times(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"times\":\"{TIMES_MAGIC}\",\"jobs\":{},\"wall_seconds\":{:.6},\"workers\":{}}}\n",
+            self.jobs,
+            self.wall_seconds,
+            self.workers.len()
+        ));
+        for (w, t) in self.workers.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"worker\":{w},\"busy_seconds\":{:.6},\"chunks\":{},\"items\":{}}}\n",
+                t.busy_seconds, t.chunks, t.items
+            ));
+        }
+        for (i, run) in self.runs.iter().enumerate() {
+            for (seq, _, at) in run.events() {
+                out.push_str(&format!("{{\"run\":{i},\"seq\":{seq},\"at\":{at:.6}}}\n"));
+            }
+        }
+        out
+    }
+
+    /// Folds the event stream into aggregate counters.
+    pub fn counters(&self) -> TraceCounters {
+        let mut c = TraceCounters { runs: self.runs.len(), ..TraceCounters::default() };
+        for run in &self.runs {
+            c.dropped += run.dropped;
+            for (_, ev, _) in run.events() {
+                c.events += 1;
+                match ev {
+                    TraceEvent::Claim { .. } => c.claims += 1,
+                    TraceEvent::Cache { result } => match result {
+                        CacheResult::Hit => c.cache_hits += 1,
+                        CacheResult::Miss => c.cache_misses += 1,
+                        CacheResult::Stale => c.cache_stale += 1,
+                        CacheResult::Corrupt => c.cache_corrupt += 1,
+                    },
+                    TraceEvent::AttemptStart { .. } => c.attempts += 1,
+                    TraceEvent::Fault { .. } => c.faults_injected += 1,
+                    TraceEvent::Backoff { .. } => c.backoffs += 1,
+                    TraceEvent::AttemptEnd { .. } => {}
+                    TraceEvent::Outcome { ok, .. } => {
+                        if *ok {
+                            c.completed += 1;
+                        } else {
+                            c.quarantined += 1;
+                        }
+                    }
+                    TraceEvent::CacheStored => c.cache_stores += 1,
+                    TraceEvent::CacheHealed => c.cache_healed += 1,
+                    TraceEvent::Verdict { reproduced, .. } => {
+                        c.verdicts += 1;
+                        if *reproduced {
+                            c.reproduced += 1;
+                        }
+                    }
+                    TraceEvent::SimFailures { .. } | TraceEvent::SimRecovery { .. } => {}
+                }
+            }
+        }
+        c
+    }
+
+    /// Content-addressed filename of the event stream.
+    pub fn file_name(&self) -> String {
+        format!("trace-{:016x}.jsonl", self.content_hash())
+    }
+
+    /// Sidecar filename next to [`BatchTrace::file_name`].
+    pub fn times_file_name(&self) -> String {
+        format!("trace-{:016x}.times.jsonl", self.content_hash())
+    }
+
+    /// Writes the event stream and its timing sidecar under `dir`
+    /// (created if needed); returns the event-stream path.
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, self.render_events())?;
+        std::fs::write(dir.join(self.times_file_name()), self.render_times())?;
+        Ok(path)
+    }
+}
+
+/// Extracts the raw (still-escaped, unquoted) value of `key` from one of
+/// our single-line JSON objects.
+fn jraw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        // Escape-aware scan to the closing quote.
+        let mut escaped = false;
+        for (i, c) in stripped.char_indices() {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => return Some(&stripped[..i]),
+                _ => {}
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}'])?;
+        Some(&rest[..end])
+    }
+}
+
+/// String field (unescaped).
+fn jstr(line: &str, key: &str) -> Option<String> {
+    jraw(line, key).map(json_unescape)
+}
+
+/// Unsigned integer field.
+fn ju64(line: &str, key: &str) -> Option<u64> {
+    jraw(line, key)?.parse().ok()
+}
+
+/// Float field.
+fn jf64(line: &str, key: &str) -> Option<f64> {
+    jraw(line, key)?.parse().ok()
+}
+
+/// One run's descriptor line from a parsed trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunHeader {
+    /// Run index within the batch.
+    pub run: usize,
+    /// Experiment id.
+    pub id: String,
+    /// Run seed.
+    pub seed: u64,
+    /// Event count.
+    pub events: u64,
+    /// Ring-buffer evictions.
+    pub dropped: u64,
+}
+
+/// One event line from a parsed trace, with its payload kept as raw
+/// key→value text (our writer emits flat objects only).
+#[derive(Debug, Clone)]
+pub struct EventLine {
+    /// Run index.
+    pub run: usize,
+    /// Sequence number within the run.
+    pub seq: u64,
+    /// Event name.
+    pub ev: String,
+    /// The full source line, for field extraction.
+    pub raw: String,
+}
+
+impl EventLine {
+    /// String payload field.
+    pub fn field(&self, key: &str) -> Option<String> {
+        jstr(&self.raw, key)
+    }
+
+    /// Integer payload field.
+    pub fn field_u64(&self, key: &str) -> Option<u64> {
+        ju64(&self.raw, key)
+    }
+}
+
+/// A parsed event stream.
+#[derive(Debug, Clone)]
+pub struct TraceFile {
+    /// Batch kind.
+    pub kind: String,
+    /// Batch seed.
+    pub seed: u64,
+    /// Per-run descriptors, in run order.
+    pub runs: Vec<RunHeader>,
+    /// Event lines, in file order.
+    pub events: Vec<EventLine>,
+}
+
+/// A parsed timing sidecar.
+#[derive(Debug, Clone)]
+pub struct TimesFile {
+    /// Worker count used.
+    pub jobs: usize,
+    /// Batch wall seconds.
+    pub wall_seconds: f64,
+    /// Per-worker timing.
+    pub workers: Vec<WorkerTiming>,
+    /// Batch-relative offset of each `(run, seq)` event.
+    pub at: BTreeMap<(usize, u64), f64>,
+}
+
+/// Parses a rendered event stream. Errors name the offending line.
+pub fn parse_trace(text: &str) -> Result<TraceFile, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty trace file")?;
+    if jstr(header, "trace").as_deref() != Some(TRACE_MAGIC) {
+        return Err(format!("not a {TRACE_MAGIC} file: {header}"));
+    }
+    let kind = jstr(header, "kind").ok_or("trace header missing kind")?;
+    let seed = ju64(header, "seed").ok_or("trace header missing seed")?;
+    let mut runs = Vec::new();
+    let mut events = Vec::new();
+    for line in lines {
+        let run =
+            ju64(line, "run").ok_or_else(|| format!("line missing run index: {line}"))? as usize;
+        if let Some(ev) = jstr(line, "ev") {
+            let seq = ju64(line, "seq").ok_or_else(|| format!("event missing seq: {line}"))?;
+            events.push(EventLine { run, seq, ev, raw: line.to_string() });
+        } else {
+            runs.push(RunHeader {
+                run,
+                id: jstr(line, "id").ok_or_else(|| format!("run descriptor missing id: {line}"))?,
+                seed: ju64(line, "seed").unwrap_or(0),
+                events: ju64(line, "events").unwrap_or(0),
+                dropped: ju64(line, "dropped").unwrap_or(0),
+            });
+        }
+    }
+    Ok(TraceFile { kind, seed, runs, events })
+}
+
+/// Parses a timing sidecar.
+pub fn parse_times(text: &str) -> Result<TimesFile, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty sidecar file")?;
+    if jstr(header, "times").as_deref() != Some(TIMES_MAGIC) {
+        return Err(format!("not a {TIMES_MAGIC} file: {header}"));
+    }
+    let jobs = ju64(header, "jobs").unwrap_or(0) as usize;
+    let wall_seconds = jf64(header, "wall_seconds").unwrap_or(0.0);
+    let mut workers = Vec::new();
+    let mut at = BTreeMap::new();
+    for line in lines {
+        if line.contains("\"worker\":") {
+            workers.push(WorkerTiming {
+                busy_seconds: jf64(line, "busy_seconds").unwrap_or(0.0),
+                chunks: ju64(line, "chunks").unwrap_or(0) as usize,
+                items: ju64(line, "items").unwrap_or(0) as usize,
+            });
+        } else if let (Some(run), Some(seq), Some(t)) =
+            (ju64(line, "run"), ju64(line, "seq"), jf64(line, "at"))
+        {
+            at.insert((run as usize, seq), t);
+        }
+    }
+    Ok(TimesFile { jobs, wall_seconds, workers, at })
+}
+
+/// The content hash a trace file's name claims, when the name follows the
+/// `trace-<16 hex>.jsonl` convention.
+pub fn hash_from_file_name(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let hex = name.strip_prefix("trace-")?.strip_suffix(".jsonl")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Verifies a stored trace against its content address: recomputes the
+/// FNV-1a hash of the file bytes and compares it with the hash embedded
+/// in the filename. Returns the verified hash, or a description of the
+/// mismatch / parse failure.
+pub fn check_trace_file(path: &Path) -> Result<u64, String> {
+    let claimed = hash_from_file_name(path)
+        .ok_or_else(|| format!("{}: name is not trace-<hash>.jsonl", path.display()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let actual = fnv64(text.as_bytes());
+    if actual != claimed {
+        return Err(format!(
+            "{}: content hash {actual:#018x} does not match address {claimed:#018x}",
+            path.display()
+        ));
+    }
+    parse_trace(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(actual)
+}
+
+/// Human description of one event line for the timeline renderer.
+fn describe(ev: &EventLine) -> String {
+    let rep = || ev.field_u64("replica").map(|r| format!(" replica {r}")).unwrap_or_default();
+    let att = || ev.field_u64("attempt").map(|a| format!(" attempt {a}")).unwrap_or_default();
+    match ev.ev.as_str() {
+        "claim" => format!("claim{}", rep()),
+        "cache" => format!("cache {}", ev.field("result").unwrap_or_default()),
+        "attempt-start" => format!("attempt-start{}{}", rep(), att()),
+        "fault" => format!("fault{}{} [{}]", rep(), att(), ev.field("kind").unwrap_or_default()),
+        "backoff" => {
+            format!("backoff{}{} ({}ms)", rep(), att(), ev.field_u64("millis").unwrap_or(0))
+        }
+        "attempt-end" => {
+            format!("attempt-end{}{} → {}", rep(), att(), ev.field("outcome").unwrap_or_default())
+        }
+        "outcome" => {
+            let ok = ev.field("ok").or_else(|| jraw(&ev.raw, "ok").map(str::to_string));
+            let verdict = if ok.as_deref() == Some("true") { "ok" } else { "quarantined" };
+            let tax = ev.field("taxonomy").map(|t| format!(" ({t})")).unwrap_or_default();
+            format!(
+                "outcome{} {verdict} after {} attempt(s){tax}",
+                rep(),
+                ev.field_u64("attempts").unwrap_or(0)
+            )
+        }
+        "cache-stored" => "cache store".to_string(),
+        "cache-healed" => "cache healed (corrupt entry recomputed)".to_string(),
+        "verdict" => {
+            let reproduced = jraw(&ev.raw, "reproduced").unwrap_or("false") == "true";
+            let cached = jraw(&ev.raw, "cached").unwrap_or("false") == "true";
+            let failure = ev.field("failure").map(|f| format!(" ({f})")).unwrap_or_default();
+            format!(
+                "verdict {}{}{failure}",
+                if reproduced { "REPRODUCED" } else { "NOT REPRODUCED" },
+                if cached { " [cached]" } else { "" }
+            )
+        }
+        "sim-failures" => format!("{} simulated failure(s)", ev.field_u64("failures").unwrap_or(0)),
+        "sim-recovery" => format!(
+            "recovery via {} cost {:.3}h",
+            ev.field("policy").unwrap_or_default(),
+            ev.field_u64("overhead_millihours").unwrap_or(0) as f64 / 1000.0
+        ),
+        other => other.to_string(),
+    }
+}
+
+/// Renders the per-run timeline. With a sidecar, each event carries its
+/// batch-relative `+offset`; without one, order alone tells the story.
+pub fn render_timeline(tf: &TraceFile, times: Option<&TimesFile>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} trace, seed {}, {} run(s){}\n",
+        tf.kind,
+        tf.seed,
+        tf.runs.len(),
+        times
+            .map(|t| format!(", {} job(s), wall {:.3}s", t.jobs, t.wall_seconds))
+            .unwrap_or_default()
+    ));
+    for header in &tf.runs {
+        out.push_str(&format!(
+            "run {:<3} {} (seed {}{})\n",
+            header.run,
+            header.id,
+            header.seed,
+            if header.dropped > 0 {
+                format!(", {} event(s) dropped", header.dropped)
+            } else {
+                String::new()
+            }
+        ));
+        for ev in tf.events.iter().filter(|e| e.run == header.run) {
+            let offset = times
+                .and_then(|t| t.at.get(&(ev.run, ev.seq)))
+                .map(|at| format!("+{at:9.6}s  "))
+                .unwrap_or_default();
+            out.push_str(&format!("  {offset}{}\n", describe(ev)));
+        }
+    }
+    out
+}
+
+/// Renders the per-worker utilization table from a sidecar.
+pub fn render_worker_table(times: &TimesFile) -> String {
+    let mut out = String::new();
+    out.push_str("worker   busy(s)    chunks   items   utilization\n");
+    let wall = times.wall_seconds.max(1e-12);
+    for (w, t) in times.workers.iter().enumerate() {
+        out.push_str(&format!(
+            "{w:<6}  {:>9.4}  {:>7}  {:>6}   {:>10.1}%\n",
+            t.busy_seconds,
+            t.chunks,
+            t.items,
+            100.0 * (t.busy_seconds / wall).clamp(0.0, 1.0)
+        ));
+    }
+    if times.workers.is_empty() {
+        out.push_str("(no worker timing recorded)\n");
+    }
+    out
+}
+
+/// The top-N slowest attempt spans (attempt-start → attempt-end pairs,
+/// matched per `(run, replica, attempt)` through the sidecar offsets).
+pub fn render_slowest(tf: &TraceFile, times: &TimesFile, top: usize) -> String {
+    let mut starts: BTreeMap<(usize, u64, u64), f64> = BTreeMap::new();
+    let mut spans: Vec<(f64, usize, u64, u64)> = Vec::new();
+    for ev in &tf.events {
+        let key =
+            (ev.run, ev.field_u64("replica").unwrap_or(0), ev.field_u64("attempt").unwrap_or(0));
+        let Some(&at) = times.at.get(&(ev.run, ev.seq)) else { continue };
+        match ev.ev.as_str() {
+            "attempt-start" => {
+                starts.insert(key, at);
+            }
+            "attempt-end" => {
+                if let Some(t0) = starts.remove(&key) {
+                    spans.push(((at - t0).max(0.0), key.0, key.1, key.2));
+                }
+            }
+            _ => {}
+        }
+    }
+    spans.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then((a.1, a.2, a.3).cmp(&(b.1, b.2, b.3)))
+    });
+    let mut out = String::new();
+    out.push_str(&format!("top {} slowest attempt span(s):\n", top.min(spans.len())));
+    for (rank, (dur, run, replica, attempt)) in spans.iter().take(top).enumerate() {
+        let id = tf.runs.iter().find(|h| h.run == *run).map(|h| h.id.as_str()).unwrap_or("?");
+        out.push_str(&format!(
+            "  {:>2}. {id} replica {replica} attempt {attempt} — {dur:.6}s\n",
+            rank + 1
+        ));
+    }
+    if spans.is_empty() {
+        out.push_str("  (no attempt spans with timing data)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BatchTrace {
+        let mut a = RunTrace::new("A", 7);
+        a.push(TraceEvent::Cache { result: CacheResult::Miss }, 0.001);
+        a.push(TraceEvent::Claim { replica: 0 }, 0.002);
+        a.push(TraceEvent::AttemptStart { replica: 0, attempt: 0 }, 0.003);
+        a.push(
+            TraceEvent::Fault { replica: 0, attempt: 0, kind: "transient-err(1)".to_string() },
+            0.004,
+        );
+        a.push(
+            TraceEvent::AttemptEnd { replica: 0, attempt: 0, outcome: AttemptOutcome::Panicked },
+            0.005,
+        );
+        a.push(TraceEvent::Backoff { replica: 0, attempt: 1, millis: 3 }, 0.006);
+        a.push(TraceEvent::AttemptStart { replica: 0, attempt: 1 }, 0.009);
+        a.push(
+            TraceEvent::AttemptEnd { replica: 0, attempt: 1, outcome: AttemptOutcome::Ok },
+            0.012,
+        );
+        a.push(TraceEvent::Outcome { replica: 0, ok: true, attempts: 2, taxonomy: None }, 0.012);
+        a.push(TraceEvent::CacheStored, 0.013);
+        a.push(
+            TraceEvent::Verdict {
+                reproduced: true,
+                cached: false,
+                attempts: 2,
+                fingerprint: 0xDEAD_BEEF,
+                failure: None,
+            },
+            0.014,
+        );
+        let mut b = RunTrace::new("B", 7);
+        b.push(TraceEvent::Cache { result: CacheResult::Hit }, 0.001);
+        b.push(
+            TraceEvent::Verdict {
+                reproduced: true,
+                cached: true,
+                attempts: 1,
+                fingerprint: 0xBEEF,
+                failure: None,
+            },
+            0.002,
+        );
+        BatchTrace {
+            kind: "verify".to_string(),
+            seed: 7,
+            runs: vec![a, b],
+            jobs: 4,
+            wall_seconds: 0.015,
+            workers: vec![
+                WorkerTiming { busy_seconds: 0.010, chunks: 2, items: 2 },
+                WorkerTiming { busy_seconds: 0.004, chunks: 1, items: 1 },
+            ],
+        }
+    }
+
+    #[test]
+    fn rendered_stream_excludes_schedule_and_hash_is_stable() {
+        let t = sample();
+        let rendered = t.render_events();
+        assert!(!rendered.contains("\"at\""), "timestamps belong to the sidecar");
+        assert!(!rendered.contains("jobs"), "jobs count belongs to the sidecar");
+        assert!(!rendered.contains("worker"), "worker identity belongs to the sidecar");
+        assert_eq!(t.content_hash(), t.content_hash());
+        // The hash is a pure function of the event content: changing the
+        // sidecar-only fields never moves the address.
+        let mut retimed = t.clone();
+        retimed.jobs = 1;
+        retimed.wall_seconds = 99.0;
+        retimed.workers.clear();
+        assert_eq!(t.content_hash(), retimed.content_hash());
+        // But the event content does.
+        let mut other = t.clone();
+        other.runs[0].push(TraceEvent::CacheHealed, 0.02);
+        assert_ne!(t.content_hash(), other.content_hash());
+    }
+
+    #[test]
+    fn counters_fold_the_event_stream() {
+        let c = sample().counters();
+        assert_eq!(c.runs, 2);
+        assert_eq!(c.claims, 1);
+        assert_eq!(c.attempts, 2);
+        assert_eq!(c.faults_injected, 1);
+        assert_eq!(c.backoffs, 1);
+        assert_eq!(c.cache_hits, 1);
+        assert_eq!(c.cache_misses, 1);
+        assert_eq!(c.cache_stores, 1);
+        assert_eq!(c.completed, 1);
+        assert_eq!(c.quarantined, 0);
+        assert_eq!(c.verdicts, 2);
+        assert_eq!(c.reproduced, 2);
+        assert!(c.render_line().contains("2 attempt(s)"));
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts_drops() {
+        let mut rt = RunTrace::with_capacity("R", 1, 3);
+        for i in 0..5u32 {
+            rt.push(TraceEvent::AttemptStart { replica: 0, attempt: i }, 0.0);
+        }
+        assert_eq!(rt.len(), 3);
+        assert_eq!(rt.dropped, 2);
+        let seqs: Vec<u64> = rt.events().iter().map(|(s, _, _)| *s).collect();
+        assert_eq!(seqs, vec![2, 3, 4], "oldest events are evicted first");
+    }
+
+    #[test]
+    fn absorb_merges_in_arrival_order_and_resequences() {
+        let mut main = RunTrace::new("M", 1);
+        main.push(TraceEvent::Cache { result: CacheResult::Miss }, 0.0);
+        let mut replica = RunTrace::new("M", 1);
+        replica.push(TraceEvent::Claim { replica: 1 }, 0.1);
+        replica.push(TraceEvent::AttemptStart { replica: 1, attempt: 0 }, 0.2);
+        main.absorb(replica);
+        let seqs: Vec<u64> = main.events().iter().map(|(s, _, _)| *s).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn parse_round_trips_the_renderer() {
+        let t = sample();
+        let tf = parse_trace(&t.render_events()).unwrap();
+        assert_eq!(tf.kind, "verify");
+        assert_eq!(tf.seed, 7);
+        assert_eq!(tf.runs.len(), 2);
+        assert_eq!(tf.runs[0].id, "A");
+        assert_eq!(tf.runs[0].events, 11);
+        assert_eq!(tf.events.len(), 13);
+        assert_eq!(tf.events[3].ev, "fault");
+        assert_eq!(tf.events[3].field("kind").as_deref(), Some("transient-err(1)"));
+        let times = parse_times(&t.render_times()).unwrap();
+        assert_eq!(times.jobs, 4);
+        assert_eq!(times.workers.len(), 2);
+        assert!((times.at[&(0, 3)] - 0.004).abs() < 1e-9);
+    }
+
+    #[test]
+    fn escaped_ids_survive_the_round_trip() {
+        let mut rt = RunTrace::new("weird \"id\"\nwith\\escapes", 3);
+        rt.push(TraceEvent::Claim { replica: 0 }, 0.0);
+        let t = BatchTrace { runs: vec![rt], ..BatchTrace::empty("run", 3) };
+        let tf = parse_trace(&t.render_events()).unwrap();
+        assert_eq!(tf.runs[0].id, "weird \"id\"\nwith\\escapes");
+    }
+
+    #[test]
+    fn write_check_detects_tampering() {
+        let dir = std::env::temp_dir().join(format!("treu-trace-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = sample();
+        let path = t.write(&dir).unwrap();
+        assert_eq!(hash_from_file_name(&path), Some(t.content_hash()));
+        assert_eq!(check_trace_file(&path).unwrap(), t.content_hash());
+        // Flip one byte: the content no longer matches the address.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replacen("claim", "cla1m", 1)).unwrap();
+        let err = check_trace_file(&path).unwrap_err();
+        assert!(err.contains("does not match"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn renderers_cover_timeline_workers_and_slowest() {
+        let t = sample();
+        let tf = parse_trace(&t.render_events()).unwrap();
+        let times = parse_times(&t.render_times()).unwrap();
+        let timeline = render_timeline(&tf, Some(&times));
+        assert!(timeline.contains("run 0   A"));
+        assert!(timeline.contains("fault replica 0 attempt 0 [transient-err(1)]"));
+        assert!(timeline.contains("backoff replica 0 attempt 1 (3ms)"));
+        assert!(timeline.contains("verdict REPRODUCED"));
+        assert!(timeline.contains("[cached]"));
+        assert!(timeline.contains("+"));
+        let workers = render_worker_table(&times);
+        assert!(workers.contains("utilization"));
+        assert!(workers.contains("0.0100"));
+        let slow = render_slowest(&tf, &times, 5);
+        assert!(slow.contains("A replica 0 attempt"), "{slow}");
+        // The attempt-1 span (0.009 → 0.012) and attempt-0 span
+        // (0.003 → 0.005): the slower one ranks first.
+        let first = slow.lines().nth(1).unwrap();
+        assert!(first.contains("attempt 1"), "{slow}");
+    }
+
+    #[test]
+    fn sim_events_render_and_describe() {
+        let mut rt = RunTrace::new("job0", 9);
+        rt.push(TraceEvent::SimFailures { failures: 2 }, 0.0);
+        rt.push(TraceEvent::SimRecovery { policy: "restage", overhead_millihours: 1500 }, 0.0);
+        let t = BatchTrace { runs: vec![rt], ..BatchTrace::empty("cluster-sim", 9) };
+        let tf = parse_trace(&t.render_events()).unwrap();
+        let timeline = render_timeline(&tf, None);
+        assert!(timeline.contains("2 simulated failure(s)"));
+        assert!(timeline.contains("recovery via restage cost 1.500h"));
+    }
+}

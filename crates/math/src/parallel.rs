@@ -399,6 +399,42 @@ mod tests {
         assert!(v.is_empty());
     }
 
+    #[test]
+    fn adaptive_chunk_is_positive_for_every_input_shape() {
+        // n == 0, threads == 0, threads > n, threads * 8 > n: all the
+        // degenerate shapes an empty or tiny registry produces. A zero
+        // chunk would trip par_map_dynamic_stats' assert and panic the
+        // whole batch.
+        for n in [0usize, 1, 2, 7, 8, 63, 64, 1000] {
+            for threads in [0usize, 1, 2, 3, 8, 64, 1000] {
+                let chunk = adaptive_chunk(n, threads);
+                assert!(chunk >= 1, "adaptive_chunk({n}, {threads}) = {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_dynamic_handles_empty_and_oversubscribed_inputs() {
+        // Property sweep over the edge shapes: empty input, more threads
+        // than items, zero threads. Output must equal the sequential map
+        // in every case — no panic, no dropped or duplicated index.
+        for (n, threads) in [(0usize, 8usize), (0, 0), (1, 8), (3, 64), (5, 0), (7, 7), (2, 1000)] {
+            let got = par_map_dynamic(n, threads, |i| i * 2 + 1);
+            let expect: Vec<usize> = (0..n).map(|i| i * 2 + 1).collect();
+            assert_eq!(got, expect, "n={n} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_dynamic_stats_covers_all_items_when_oversubscribed() {
+        // threads > n: only min(threads, ceil(n/chunk)) workers spawn,
+        // and the per-worker item counts still sum to n.
+        let (v, sched) = par_map_dynamic_stats(3, 16, 1, |i| i);
+        assert_eq!(v, vec![0, 1, 2]);
+        assert!(sched.workers >= 1 && sched.workers <= 3);
+        assert_eq!(sched.items.iter().sum::<usize>(), 3);
+    }
+
     /// A result type that is deliberately neither `Default` nor `Clone`:
     /// the satellite fix is that `par_map` no longer needs either.
     struct NoDefaultNoClone(String);

@@ -6,6 +6,7 @@
 //! treu tables [seed]         # regenerate the paper's three tables
 //! treu verify [id] [seed]    # run twice, check bitwise reproduction
 //! treu chaos [seed]          # verify under injected transient faults
+//! treu trace <dir|file>      # render or --check stored run traces
 //! treu env                   # print the captured environment
 //! treu lint [path]           # static reproducibility analysis
 //! ```
@@ -21,6 +22,14 @@
 //! id, seed, parameters and code+environment fingerprint all match.
 //! `--no-cache` disables the cache even when `--cache-dir` is given.
 //!
+//! `run`, `verify` and `chaos` also accept `--trace-out DIR`: the batch's
+//! span stream (claims, attempts, faults, backoffs, cache traffic,
+//! verdicts) is written content-addressed under DIR as
+//! `trace-<hash>.jsonl`, with timestamps in a `.times.jsonl` sidecar that
+//! is not part of the hash — the event stream is bitwise-identical for
+//! every `--jobs` count. `treu trace DIR` renders stored traces and
+//! `treu trace DIR --check` re-verifies them against their addresses.
+//!
 //! Supervision (run/verify): `--retries N` retries failed attempts under
 //! the deterministic backoff, `--deadline-secs F` arms a per-run
 //! watchdog, `--fault-seed S --fault-rate F` inject a seeded fault plan,
@@ -29,10 +38,18 @@
 //! exhaust their budget are quarantined with a taxonomy, never fatal to
 //! the batch.
 
+use std::path::{Path, PathBuf};
+
 use treu::core::cache::RunCache;
 use treu::core::environment::Environment;
-use treu::core::exec::{run_supervised, DenyPolicy, Executor, RunOutcome, SupervisePolicy};
+use treu::core::exec::{
+    run_supervised_traced, DenyPolicy, Executor, FailureKind, RunOutcome, SupervisePolicy,
+};
 use treu::core::fault::FaultPlan;
+use treu::core::trace::{
+    check_trace_file, parse_times, parse_trace, render_slowest, render_timeline,
+    render_worker_table, AttemptOutcome, BatchTrace, CacheResult, RunTrace, TraceEvent,
+};
 use treu::lint::{DenyLevel, Lint, RuleId, Workspace};
 use treu::surveys::{analysis, Cohort};
 
@@ -101,6 +118,14 @@ fn main() {
         }
     };
     let cache = cache.as_ref();
+    let trace_out = match extract_trace_out(&mut args) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let trace_out = trace_out.as_deref();
     // `lint` owns its own `--deny` flag; leave its arguments untouched.
     let sup = if args.first().map(String::as_str) == Some("lint") {
         Supervision::default()
@@ -132,9 +157,15 @@ fn main() {
                     std::process::exit(1);
                 };
                 if sup.active() {
+                    // treu-lint: allow(wall-clock, reason = "trace timestamps live in the non-hashed sidecar")
+                    let epoch = std::time::Instant::now();
+                    let mut rt = trace_out.map(|_| RunTrace::new(id, seed));
+                    if let Some(rt) = rt.as_mut() {
+                        rt.push(TraceEvent::Claim { replica: 0 }, 0.0);
+                    }
                     // Supervised runs bypass the cache: a faulted trail
                     // must never be stored as the experiment's record.
-                    let out = run_supervised(
+                    let out = run_supervised_traced(
                         entry.runner(),
                         id,
                         seed,
@@ -142,8 +173,9 @@ fn main() {
                         &sup.policy(),
                         sup.plan().as_ref(),
                         0,
+                        rt.as_mut().map(|rt| (rt, epoch)),
                     );
-                    match out {
+                    let gate = match out {
                         RunOutcome::Ok { record, attempts } => {
                             println!(
                                 "{} (seed {}, {:.3}s, fingerprint {:#018x}){}",
@@ -158,9 +190,7 @@ fn main() {
                                 }
                             );
                             print!("{}", record.trail.render());
-                            if attempts > 1 && sup.deny() == DenyPolicy::Warn {
-                                std::process::exit(1);
-                            }
+                            attempts > 1 && sup.deny() == DenyPolicy::Warn
                         }
                         RunOutcome::Failed(f) => {
                             println!(
@@ -169,26 +199,65 @@ fn main() {
                                 f.attempts,
                                 f.last_error
                             );
-                            if sup.deny() != DenyPolicy::None {
-                                std::process::exit(1);
-                            }
+                            sup.deny() != DenyPolicy::None
                         }
+                    };
+                    if let (Some(dir), Some(rt)) = (trace_out, rt) {
+                        let mut trace = BatchTrace::empty("run", seed);
+                        trace.jobs = 1;
+                        trace.wall_seconds = epoch.elapsed().as_secs_f64();
+                        trace.runs.push(rt);
+                        write_trace(&trace, dir);
+                    }
+                    if gate {
+                        std::process::exit(1);
                     }
                     return;
                 }
+                // treu-lint: allow(wall-clock, reason = "trace timestamps live in the non-hashed sidecar")
+                let epoch = std::time::Instant::now();
+                let mut rt = trace_out.map(|_| RunTrace::new(id, seed));
                 let hit = cache.and_then(|c| c.lookup(id, seed, &entry.defaults));
                 let cached = hit.is_some();
-                let rec = hit
-                    .or_else(|| {
+                if let (Some(rt), Some(_)) = (rt.as_mut(), cache) {
+                    let result = if cached { CacheResult::Hit } else { CacheResult::Miss };
+                    rt.push(TraceEvent::Cache { result }, epoch.elapsed().as_secs_f64());
+                }
+                let rec = match hit {
+                    Some(rec) => rec,
+                    None => {
+                        if let Some(rt) = rt.as_mut() {
+                            let at = epoch.elapsed().as_secs_f64();
+                            rt.push(TraceEvent::Claim { replica: 0 }, at);
+                            rt.push(TraceEvent::AttemptStart { replica: 0, attempt: 0 }, at);
+                        }
                         let rec = reg.run(id, seed).expect("id checked above");
+                        if let Some(rt) = rt.as_mut() {
+                            rt.push(
+                                TraceEvent::AttemptEnd {
+                                    replica: 0,
+                                    attempt: 0,
+                                    outcome: AttemptOutcome::Ok,
+                                },
+                                epoch.elapsed().as_secs_f64(),
+                            );
+                        }
                         if let Some(c) = cache {
-                            if let Err(e) = c.store(id, seed, &entry.defaults, &rec) {
-                                eprintln!("cache: store failed: {e}");
+                            match c.store(id, seed, &entry.defaults, &rec) {
+                                Ok(()) => {
+                                    if let Some(rt) = rt.as_mut() {
+                                        rt.push(
+                                            TraceEvent::CacheStored,
+                                            epoch.elapsed().as_secs_f64(),
+                                        );
+                                    }
+                                }
+                                Err(e) => eprintln!("cache: store failed: {e}"),
                             }
                         }
-                        Some(rec)
-                    })
-                    .expect("run or replay produced a record");
+                        rec
+                    }
+                };
                 println!(
                     "{} (seed {}, {:.3}s, fingerprint {:#018x}){}",
                     rec.name,
@@ -200,6 +269,13 @@ fn main() {
                 print!("{}", rec.trail.render());
                 if let Some(c) = cache {
                     print!("{}", c.render_stats());
+                }
+                if let (Some(dir), Some(rt)) = (trace_out, rt) {
+                    let mut trace = BatchTrace::empty("run", seed);
+                    trace.jobs = 1;
+                    trace.wall_seconds = epoch.elapsed().as_secs_f64();
+                    trace.runs.push(rt);
+                    write_trace(&trace, dir);
                 }
             }
             // No id: run the whole registry through the executor.
@@ -236,6 +312,9 @@ fn main() {
                     }
                     println!();
                     print!("{}", report.render());
+                    if let Some(dir) = trace_out {
+                        write_trace(&report.trace, dir);
+                    }
                     let retried = pairs.iter().any(|(_, o)| o.is_ok() && o.attempts() > 1);
                     let gated = match sup.deny() {
                         DenyPolicy::None => false,
@@ -261,6 +340,9 @@ fn main() {
                 print!("{}", report.render());
                 if let Some(c) = cache {
                     print!("{}", c.render_stats());
+                }
+                if let Some(dir) = trace_out {
+                    write_trace(&report.trace, dir);
                 }
             }
         },
@@ -307,8 +389,18 @@ fn main() {
                     if sup.active() {
                         let policy = sup.policy();
                         let plan = sup.plan();
-                        let outs = exec.map_indexed(2, |i| {
-                            run_supervised(
+                        // treu-lint: allow(wall-clock, reason = "trace timestamps live in the non-hashed sidecar")
+                        let epoch = std::time::Instant::now();
+                        let tracing = trace_out.is_some();
+                        let pairs = exec.map_indexed(2, |i| {
+                            let mut rt = tracing.then(|| RunTrace::new(id, seed));
+                            if let Some(rt) = rt.as_mut() {
+                                rt.push(
+                                    TraceEvent::Claim { replica: i as u32 },
+                                    epoch.elapsed().as_secs_f64(),
+                                );
+                            }
+                            let out = run_supervised_traced(
                                 entry.runner(),
                                 id,
                                 seed,
@@ -316,9 +408,12 @@ fn main() {
                                 &policy,
                                 plan.as_ref(),
                                 i as u32,
-                            )
+                                rt.as_mut().map(|rt| (rt, epoch)),
+                            );
+                            (out, rt)
                         });
-                        match (&outs[0], &outs[1]) {
+                        let (outs, rts): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+                        let (gate, verdict) = match (&outs[0], &outs[1]) {
                             (
                                 RunOutcome::Ok { record: a, attempts: aa },
                                 RunOutcome::Ok { record: b, attempts: ab },
@@ -333,15 +428,23 @@ fn main() {
                                         String::new()
                                     }
                                 );
-                                if attempts > 1 && sup.deny() == DenyPolicy::Warn {
-                                    std::process::exit(1);
-                                }
+                                let gate = attempts > 1 && sup.deny() == DenyPolicy::Warn;
+                                (gate, (true, attempts, a.fingerprint(), None))
                             }
-                            (RunOutcome::Ok { .. }, RunOutcome::Ok { .. }) => {
+                            (
+                                RunOutcome::Ok { record: a, attempts: aa },
+                                RunOutcome::Ok { attempts: ab, .. },
+                            ) => {
                                 println!("{id}: MISMATCH — run is not deterministic");
-                                if sup.deny() != DenyPolicy::None {
-                                    std::process::exit(1);
-                                }
+                                (
+                                    sup.deny() != DenyPolicy::None,
+                                    (
+                                        false,
+                                        (*aa).max(*ab),
+                                        a.fingerprint(),
+                                        Some(FailureKind::Nondeterministic.name()),
+                                    ),
+                                )
                             }
                             _ => {
                                 let f = outs
@@ -357,13 +460,49 @@ fn main() {
                                     f.attempts,
                                     f.last_error
                                 );
-                                if sup.deny() != DenyPolicy::None {
-                                    std::process::exit(1);
-                                }
+                                (
+                                    sup.deny() != DenyPolicy::None,
+                                    (false, f.attempts, 0, Some(f.taxonomy.name())),
+                                )
                             }
+                        };
+                        if let Some(dir) = trace_out {
+                            let mut merged = RunTrace::new(id, seed);
+                            for rt in rts.into_iter().flatten() {
+                                merged.absorb(rt);
+                            }
+                            let (reproduced, attempts, fingerprint, failure) = verdict;
+                            merged.push(
+                                TraceEvent::Verdict {
+                                    reproduced,
+                                    cached: false,
+                                    attempts,
+                                    fingerprint,
+                                    failure,
+                                },
+                                epoch.elapsed().as_secs_f64(),
+                            );
+                            let mut trace = BatchTrace::empty("verify", seed);
+                            trace.jobs = jobs;
+                            trace.wall_seconds = epoch.elapsed().as_secs_f64();
+                            trace.runs.push(merged);
+                            write_trace(&trace, dir);
+                        }
+                        if gate {
+                            std::process::exit(1);
                         }
                         return;
                     }
+                    // treu-lint: allow(wall-clock, reason = "trace timestamps live in the non-hashed sidecar")
+                    let epoch = std::time::Instant::now();
+                    let mut rt = trace_out.map(|_| RunTrace::new(id, seed));
+                    let write_verify_trace = |rt: RunTrace, dir: &Path| {
+                        let mut trace = BatchTrace::empty("verify", seed);
+                        trace.jobs = jobs;
+                        trace.wall_seconds = epoch.elapsed().as_secs_f64();
+                        trace.runs.push(rt);
+                        write_trace(&trace, dir);
+                    };
                     if let Some(rec) = cache.and_then(|c| c.lookup(id, seed, &entry.defaults)) {
                         // A cached trail was produced by a verified run under
                         // the same code+env fingerprint: reproduced by replay.
@@ -374,15 +513,58 @@ fn main() {
                         if let Some(c) = cache {
                             print!("{}", c.render_stats());
                         }
+                        if let (Some(dir), Some(mut rt)) = (trace_out, rt) {
+                            let at = epoch.elapsed().as_secs_f64();
+                            rt.push(TraceEvent::Cache { result: CacheResult::Hit }, at);
+                            rt.push(
+                                TraceEvent::Verdict {
+                                    reproduced: true,
+                                    cached: true,
+                                    attempts: 1,
+                                    fingerprint: rec.fingerprint(),
+                                    failure: None,
+                                },
+                                at,
+                            );
+                            write_verify_trace(rt, dir);
+                        }
                         return;
+                    }
+                    if let (Some(rt), Some(_)) = (rt.as_mut(), cache) {
+                        let at = epoch.elapsed().as_secs_f64();
+                        rt.push(TraceEvent::Cache { result: CacheResult::Miss }, at);
                     }
                     // Two concurrent replicas of the same run.
                     let runs =
                         exec.map_indexed(2, |_| reg.run(id, seed).expect("id checked above"));
-                    if runs[0].trail == runs[1].trail {
+                    if let Some(rt) = rt.as_mut() {
+                        let at = epoch.elapsed().as_secs_f64();
+                        for replica in 0..2u32 {
+                            rt.push(TraceEvent::Claim { replica }, at);
+                            rt.push(TraceEvent::AttemptStart { replica, attempt: 0 }, at);
+                            rt.push(
+                                TraceEvent::AttemptEnd {
+                                    replica,
+                                    attempt: 0,
+                                    outcome: AttemptOutcome::Ok,
+                                },
+                                at,
+                            );
+                        }
+                    }
+                    let reproduced = runs[0].trail == runs[1].trail;
+                    if reproduced {
                         if let Some(c) = cache {
-                            if let Err(e) = c.store(id, seed, &entry.defaults, &runs[0]) {
-                                eprintln!("cache: store failed: {e}");
+                            match c.store(id, seed, &entry.defaults, &runs[0]) {
+                                Ok(()) => {
+                                    if let Some(rt) = rt.as_mut() {
+                                        rt.push(
+                                            TraceEvent::CacheStored,
+                                            epoch.elapsed().as_secs_f64(),
+                                        );
+                                    }
+                                }
+                                Err(e) => eprintln!("cache: store failed: {e}"),
                             }
                         }
                         println!("{id}: REPRODUCED (fingerprint {:#018x})", runs[0].fingerprint());
@@ -391,6 +573,22 @@ fn main() {
                         }
                     } else {
                         println!("{id}: MISMATCH — run is not deterministic");
+                    }
+                    if let (Some(dir), Some(mut rt)) = (trace_out, rt.take()) {
+                        rt.push(
+                            TraceEvent::Verdict {
+                                reproduced,
+                                cached: false,
+                                attempts: 1,
+                                fingerprint: runs[0].fingerprint(),
+                                failure: (!reproduced)
+                                    .then(|| FailureKind::Nondeterministic.name()),
+                            },
+                            epoch.elapsed().as_secs_f64(),
+                        );
+                        write_verify_trace(rt, dir);
+                    }
+                    if !reproduced {
                         std::process::exit(1);
                     }
                 }
@@ -409,6 +607,9 @@ fn main() {
                     if let Some(c) = cache {
                         print!("{}", c.render_stats());
                     }
+                    if let Some(dir) = trace_out {
+                        write_trace(&report.trace, dir);
+                    }
                     if report.exceeds(sup.deny()) {
                         std::process::exit(1);
                     }
@@ -416,14 +617,15 @@ fn main() {
             }
         }
         Some("env") => print!("{}", Environment::capture().render()),
-        Some("chaos") => run_chaos(&exec, &reg, seed_arg(1), &sup),
+        Some("chaos") => run_chaos(&exec, &reg, seed_arg(1), &sup, trace_out),
+        Some("trace") => run_trace(&args[1..]),
         Some("lint") => run_lint(&args[1..]),
         _ => {
             eprintln!(
-                "usage: treu <list|run|tables|verify|chaos|env|lint> [...] \
-                 [--jobs N] [--cache-dir DIR] [--no-cache] [--retries N] \
-                 [--deadline-secs F] [--fault-seed S] [--fault-rate F] \
-                 [--fault-panic ID] [--deny none|warn|error]"
+                "usage: treu <list|run|tables|verify|chaos|trace|env|lint> [...] \
+                 [--jobs N] [--cache-dir DIR] [--no-cache] [--trace-out DIR] \
+                 [--retries N] [--deadline-secs F] [--fault-seed S] \
+                 [--fault-rate F] [--fault-panic ID] [--deny none|warn|error]"
             );
             std::process::exit(2);
         }
@@ -438,7 +640,13 @@ fn main() {
 /// id must converge to its fault-free fingerprint; `--enforce` turns any
 /// divergence or quarantine into exit 1. Uses the fast conformance
 /// parameters unless `--full` asks for registry defaults.
-fn run_chaos(exec: &Executor, reg: &treu::core::ExperimentRegistry, seed: u64, sup: &Supervision) {
+fn run_chaos(
+    exec: &Executor,
+    reg: &treu::core::ExperimentRegistry,
+    seed: u64,
+    sup: &Supervision,
+    trace_out: Option<&Path>,
+) {
     let plan = FaultPlan::transient(sup.fault_seed.unwrap_or(7), sup.fault_rate.unwrap_or(0.2));
     let retries = sup.retries.unwrap_or_else(|| plan.max_transient_attempts());
     let mut policy = SupervisePolicy::new(retries);
@@ -462,7 +670,7 @@ fn run_chaos(exec: &Executor, reg: &treu::core::ExperimentRegistry, seed: u64, s
             .fingerprint()
     });
     // The same registry under injected transient chaos.
-    let report = exec.verify_all_supervised_with(reg, seed, None, &policy, Some(&plan), params);
+    let mut report = exec.verify_all_supervised_with(reg, seed, None, &policy, Some(&plan), params);
     let mut diverged = 0usize;
     let mut quarantined = 0usize;
     for (o, base) in report.outcomes.iter().zip(&baseline) {
@@ -502,6 +710,10 @@ fn run_chaos(exec: &Executor, reg: &treu::core::ExperimentRegistry, seed: u64, s
         report.wall_seconds,
         report.jobs
     );
+    if let Some(dir) = trace_out {
+        report.trace.kind = "chaos".to_string();
+        write_trace(&report.trace, dir);
+    }
     if sup.enforce && (diverged > 0 || quarantined > 0) {
         std::process::exit(1);
     }
@@ -652,6 +864,163 @@ fn extract_supervision(args: &mut Vec<String>) -> Result<Supervision, String> {
         }
     }
     Ok(sup)
+}
+
+/// `treu trace <DIR|FILE> [--check] [--top N]` — inspects stored traces.
+/// A directory argument selects every `trace-*.jsonl` under it (sidecars
+/// excluded), in name order. `--check` re-verifies each file against its
+/// content address and exits 1 on any mismatch; the default mode renders
+/// the per-run timeline plus, when the timing sidecar is present, the
+/// per-worker utilization table and the top-N slowest attempt spans
+/// (default 5).
+fn run_trace(args: &[String]) {
+    fn usage_err(msg: String) -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
+    let mut check = false;
+    let mut top = 5usize;
+    let mut target: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut flag_value = |flag: &str| -> Option<String> {
+            if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                return Some(v.to_string());
+            }
+            if arg == flag {
+                if i + 1 >= args.len() {
+                    usage_err(format!("{flag} requires a value"));
+                }
+                i += 1;
+                return Some(args[i].clone());
+            }
+            None
+        };
+        if let Some(v) = flag_value("--top") {
+            top = v.parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                usage_err(format!("invalid --top value '{v}' (want a positive integer)"))
+            });
+        } else if arg == "--check" {
+            check = true;
+        } else if arg.starts_with('-') {
+            usage_err(format!("unknown trace flag '{arg}'"));
+        } else if target.is_none() {
+            target = Some(arg.clone());
+        } else {
+            usage_err(format!("unexpected argument '{arg}'"));
+        }
+        i += 1;
+    }
+    let target = target
+        .unwrap_or_else(|| usage_err("usage: treu trace <DIR|FILE> [--check] [--top N]".into()));
+    let path = Path::new(&target);
+    let files: Vec<PathBuf> = if path.is_dir() {
+        let mut files: Vec<PathBuf> = match std::fs::read_dir(path) {
+            Ok(entries) => entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.ends_with(".jsonl") && !n.ends_with(".times.jsonl"))
+                })
+                .collect(),
+            Err(e) => {
+                eprintln!("trace: cannot read '{target}': {e}");
+                std::process::exit(2);
+            }
+        };
+        files.sort();
+        if files.is_empty() {
+            eprintln!("trace: no trace files under '{target}'");
+            std::process::exit(2);
+        }
+        files
+    } else {
+        vec![path.to_path_buf()]
+    };
+    if check {
+        let mut failed = false;
+        for f in &files {
+            match check_trace_file(f) {
+                Ok(hash) => println!("{}: ok ({hash:#018x})", f.display()),
+                Err(e) => {
+                    eprintln!("{e}");
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        return;
+    }
+    for (n, f) in files.iter().enumerate() {
+        if n > 0 {
+            println!();
+        }
+        let text = std::fs::read_to_string(f).unwrap_or_else(|e| {
+            eprintln!("trace: cannot read '{}': {e}", f.display());
+            std::process::exit(2);
+        });
+        let tf = parse_trace(&text).unwrap_or_else(|e| {
+            eprintln!("trace: {}: {e}", f.display());
+            std::process::exit(2);
+        });
+        let times = std::fs::read_to_string(f.with_extension("times.jsonl"))
+            .ok()
+            .and_then(|t| parse_times(&t).ok());
+        print!("{}", render_timeline(&tf, times.as_ref()));
+        if let Some(times) = &times {
+            print!("{}", render_worker_table(times));
+            print!("{}", render_slowest(&tf, times, top));
+        }
+    }
+}
+
+/// Writes `trace` (event stream + timing sidecar) under `dir` and prints
+/// its content address.
+fn write_trace(trace: &BatchTrace, dir: &Path) {
+    match trace.write(dir) {
+        Ok(path) => {
+            let c = trace.counters();
+            println!(
+                "trace: {} ({} event(s) over {} run(s), hash {:#018x})",
+                path.display(),
+                c.events,
+                c.runs,
+                trace.content_hash()
+            );
+        }
+        Err(e) => {
+            eprintln!("trace: write failed under '{}': {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Removes `--trace-out DIR` (or `--trace-out=DIR`) from `args`; when
+/// present, run/verify/chaos write their span stream under DIR.
+fn extract_trace_out(args: &mut Vec<String>) -> Result<Option<PathBuf>, String> {
+    let mut dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        if arg == "--trace-out" {
+            if i + 1 >= args.len() {
+                return Err("--trace-out requires a value".to_string());
+            }
+            dir = Some(PathBuf::from(args.remove(i + 1)));
+            args.remove(i);
+        } else if let Some(v) = arg.strip_prefix("--trace-out=") {
+            dir = Some(PathBuf::from(v));
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(dir)
 }
 
 /// Removes `--cache-dir DIR` (or `--cache-dir=DIR`) and `--no-cache` from

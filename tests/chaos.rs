@@ -15,6 +15,7 @@
 #![recursion_limit = "256"]
 
 use proptest::prelude::*;
+use treu::core::cache::RunCache;
 use treu::core::exec::{DenyPolicy, Executor, FailureKind, SupervisePolicy};
 use treu::core::experiment::{Experiment, Params, RunContext};
 use treu::core::fault::FaultPlan;
@@ -216,6 +217,41 @@ fn permanent_panic_quarantines_one_id_and_spares_the_rest() {
     assert!(report.exceeds(DenyPolicy::Error));
     assert!(report.exceeds(DenyPolicy::Warn));
     assert!(!report.exceeds(DenyPolicy::None));
+}
+
+/// ISSUE 5 satellite (d): the cache's statistics live under one lock, so
+/// a snapshot taken while a chaotic parallel verification hammers the
+/// cache is never torn — every lookup lands in exactly one category, and
+/// the categories always sum back to the lookup count.
+#[test]
+fn cache_stats_stay_consistent_under_chaos() {
+    quiet_injected_panics();
+    let reg = synthetic_registry();
+    let dir = std::env::temp_dir().join(format!("treu-chaos-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = RunCache::open(&dir).expect("cache opens");
+    let plan = FaultPlan::transient(11, 0.3);
+    let policy = SupervisePolicy::new(plan.max_transient_attempts());
+    for pass in 0..2 {
+        let report = Executor::new(4).verify_all_supervised_with(
+            &reg,
+            21,
+            Some(&cache),
+            &policy,
+            Some(&plan),
+            |_, d| d,
+        );
+        assert!(report.all_reproduced(), "pass {pass}: {:?}", report.violations());
+        let stats = cache.stats();
+        assert!(stats.consistent(), "pass {pass}: torn snapshot {stats:?}");
+    }
+    let end = cache.stats();
+    let n = reg.len() as u64;
+    assert_eq!(end.lookups, 2 * n, "one classified lookup per id per pass");
+    assert_eq!(end.misses, n, "cold pass misses every id");
+    assert_eq!(end.hits, n, "warm pass replays every id");
+    assert_eq!(end.stores, n, "only the cold pass stores");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 
 /// Retries that rescue a run downgrade the finding to warn severity:

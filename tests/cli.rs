@@ -307,6 +307,127 @@ fn deadline_quarantines_a_straggler() {
     assert!(stdout.contains("QUARANTINED(TimedOut)"), "{stdout}");
 }
 
+// ---- run traces (ISSUE 5) ----------------------------------------------
+
+fn trace_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("treu-cli-trace-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// The lone event-stream file under a trace dir (the sidecar excluded).
+fn event_file(dir: &std::path::Path) -> std::path::PathBuf {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("trace dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".jsonl") && !n.ends_with(".times.jsonl"))
+        })
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 1, "expected exactly one event stream in {}", dir.display());
+    files.remove(0)
+}
+
+#[test]
+fn trace_out_is_bitwise_identical_across_jobs_counts() {
+    let d1 = trace_dir("j1");
+    let d4 = trace_dir("j4");
+    let a = treu(&["verify", "--conformance", "-j", "1", "--trace-out", d1.to_str().unwrap()]);
+    let b = treu(&["verify", "--conformance", "-j", "4", "--trace-out", d4.to_str().unwrap()]);
+    assert!(a.status.success() && b.status.success());
+    let stdout = String::from_utf8(a.stdout).expect("utf8");
+    assert!(stdout.contains("trace: "), "{stdout}");
+    let (fa, fb) = (event_file(&d1), event_file(&d4));
+    assert_eq!(fa.file_name(), fb.file_name(), "content address changed with --jobs");
+    assert_eq!(
+        std::fs::read(&fa).expect("readable"),
+        std::fs::read(&fb).expect("readable"),
+        "event stream changed with --jobs"
+    );
+    std::fs::remove_dir_all(&d1).expect("cleanup");
+    std::fs::remove_dir_all(&d4).expect("cleanup");
+}
+
+#[test]
+fn trace_subcommand_renders_and_checks_stored_traces() {
+    let dir = trace_dir("render");
+    let dir_s = dir.to_str().unwrap();
+    assert!(treu(&["run", "T1", "7", "--trace-out", dir_s]).status.success());
+
+    let rendered = treu(&["trace", dir_s]);
+    assert!(rendered.status.success());
+    let stdout = String::from_utf8(rendered.stdout).expect("utf8");
+    assert!(stdout.contains("run trace"), "{stdout}");
+    assert!(stdout.contains("claim replica 0"), "{stdout}");
+    assert!(stdout.contains("attempt-start replica 0 attempt 0"), "{stdout}");
+    assert!(stdout.contains("worker   busy(s)"), "{stdout}");
+
+    let checked = treu(&["trace", dir_s, "--check"]);
+    assert!(checked.status.success());
+    assert!(String::from_utf8(checked.stdout).expect("utf8").contains(": ok (0x"));
+
+    // Tampering with the stored bytes breaks the content address.
+    let f = event_file(&dir);
+    let mut bytes = std::fs::read(&f).expect("readable");
+    bytes.push(b'\n');
+    std::fs::write(&f, bytes).expect("writable");
+    let tampered = treu(&["trace", dir_s, "--check"]);
+    assert_eq!(tampered.status.code(), Some(1));
+    let stderr = String::from_utf8(tampered.stderr).expect("utf8");
+    assert!(stderr.contains("does not match address"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn faulted_run_trace_shows_fault_backoff_and_retry() {
+    let dir = trace_dir("faulted");
+    let dir_s = dir.to_str().unwrap();
+    // Fault seed 4 assigns (T1, seed 7) a transient error (see the
+    // supervised-run test above); the retry budget covers it.
+    let args = [
+        "run",
+        "T1",
+        "7",
+        "--fault-seed",
+        "4",
+        "--fault-rate",
+        "1.0",
+        "--retries",
+        "3",
+        "--trace-out",
+        dir_s,
+    ];
+    assert!(treu(&args).status.success());
+    let rendered = treu(&["trace", dir_s]);
+    assert!(rendered.status.success());
+    let stdout = String::from_utf8(rendered.stdout).expect("utf8");
+    let fault = stdout.find("fault replica 0");
+    let backoff = stdout.find("backoff replica 0");
+    assert!(fault.is_some(), "{stdout}");
+    assert!(backoff.is_some(), "{stdout}");
+    assert!(fault < backoff, "fault must precede the backoff: {stdout}");
+    assert!(stdout.contains("attempt-start replica 0 attempt 1"), "{stdout}");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+#[test]
+fn bad_trace_flags_fail_with_usage_error() {
+    for bad in [
+        &["run", "T1", "--trace-out"][..],
+        &["trace"],
+        &["trace", "--top", "0"],
+        &["trace", "--nope"],
+    ] {
+        let out = treu(bad);
+        assert_eq!(out.status.code(), Some(2), "{bad:?}");
+    }
+}
+
 #[test]
 fn bad_supervision_flags_fail_with_usage_error() {
     for bad in [
