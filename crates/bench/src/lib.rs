@@ -1,8 +1,11 @@
 //! Shared nothing between the criterion benches: each is self-contained.
-//! The one exception is [`workload`], the synthetic skewed-cost task set
+//! The two exceptions are [`workload`], the synthetic skewed-cost task set
 //! shared by the `executor` criterion bench and the `exec_bench` binary so
-//! both measure the same thing.
+//! both measure the same thing, and [`soak`], the sustained multi-tenant
+//! chaos soak driver behind `treu soak`.
 #![forbid(unsafe_code)]
+
+pub mod soak;
 
 pub mod workload {
     //! A skewed-cost workload for scheduler benchmarking.

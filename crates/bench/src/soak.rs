@@ -1,0 +1,643 @@
+//! `treu soak` — sustained multi-tenant chaos soak over a bounded cache.
+//!
+//! One-shot drills (`treu chaos`, `treu verify`) prove the harness
+//! survives a single pass; the reproducibility@XSEDE experience the
+//! ROADMAP tracks says shared-infrastructure reproduction fails in the
+//! *sustained, multi-tenant* regime — queues back up behind hot users,
+//! caches churn, faults arrive in phases, and drift creeps in over hours
+//! rather than minutes. This module simulates exactly that regime while
+//! keeping every observable deterministic:
+//!
+//! * **Traffic** is Zipf-distributed over seeded tenant ids: a pure
+//!   function of `(soak seed, submission index)` maps each submission to
+//!   a tenant, and each tenant to a small preferred pool of registry
+//!   experiments and run seeds — hot tenants re-request hot keys, which
+//!   is what gives a bounded cache a steady state to converge to.
+//! * **Dispatch** drains per-tenant FIFOs through
+//!   [`treu_core::exec::FairQueue`]: rounds of `capacity` slots, at most
+//!   `quota` per tenant per round, so a flooding tenant inflates its own
+//!   tail latency and nobody else's.
+//! * **Execution** is supervised under an epoch-phased
+//!   [`SoakSchedule`]: fault classes cycle in and out across epochs,
+//!   transient-only, with the retry budget sized so every run converges
+//!   to its fault-free bits.
+//! * **The cache** runs under a hard [`CacheBound`] with logical-clock
+//!   LRU eviction. All cache traffic happens on the driver thread in
+//!   dispatch order — lookups first, parallel compute of the misses,
+//!   then stores in dispatch order — so eviction decisions are identical
+//!   at every `--jobs` count.
+//! * **Latencies are logical**: a submission's latency is the dispatch
+//!   round that served it (1-based), a pure function of queue state.
+//!   p50/p99 are therefore reproducible numbers, not wall-clock noise.
+//!
+//! Every served submission appends one line to a logical trace; its FNV
+//! content address is the soak's identity. The acceptance criterion is
+//! that this address — which covers every fingerprint the soak saw — is
+//! bitwise-identical across job counts *and* to the fault-free baseline
+//! soak (same config at rate 0): chaos may cost attempts, never results.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+use treu_core::cache::{CacheBound, RunCache};
+use treu_core::exec::{
+    run_supervised, Executor, FairQueue, RunOutcome, SupervisePolicy, TenantLedger,
+};
+use treu_core::experiment::Params;
+use treu_core::fault::SoakSchedule;
+use treu_core::registry::Entry;
+use treu_core::ExperimentRegistry;
+
+/// FNV-1a over byte parts with separators — the same construction the
+/// run cache uses for its addresses.
+fn fnv64(parts: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for part in parts {
+        for &b in *part {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= 0xFF;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A uniform draw in `[0, 1)` from a hash (53 mantissa bits).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Soak shape: how much traffic, from whom, under how much pressure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakConfig {
+    /// Master seed for traffic generation (tenant draws, key pools).
+    pub seed: u64,
+    /// Number of simulated tenants.
+    pub tenants: usize,
+    /// Submissions generated per epoch.
+    pub submissions_per_epoch: usize,
+    /// Number of fault epochs (epoch 0 is always clean).
+    pub epochs: u32,
+    /// Dispatch slots per scheduling round.
+    pub capacity: usize,
+    /// Per-tenant slot quota per round.
+    pub quota: usize,
+    /// Zipf skew exponent for the tenant popularity curve.
+    pub zipf_s: f64,
+    /// Size of each tenant's preferred experiment pool.
+    pub ids_per_tenant: usize,
+    /// Size of each tenant's run-seed pool (smaller ⇒ hotter keys).
+    pub seeds_per_tenant: usize,
+    /// Seed of the epoch-phased fault schedule.
+    pub fault_seed: u64,
+    /// Base fault injection rate (0 ⇒ the fault-free baseline soak).
+    pub fault_rate: f64,
+    /// Cache bound the soak runs under.
+    pub bound: CacheBound,
+    /// Executor worker count for the compute phase.
+    pub jobs: usize,
+}
+
+impl SoakConfig {
+    /// The CI drill shape: small enough for seconds, large enough that
+    /// the bound forces evictions and the hit-rate has a steady state.
+    pub fn quick(jobs: usize) -> Self {
+        Self {
+            seed: 42,
+            tenants: 6,
+            submissions_per_epoch: 96,
+            epochs: 4,
+            capacity: 16,
+            quota: 4,
+            zipf_s: 1.1,
+            ids_per_tenant: 3,
+            seeds_per_tenant: 3,
+            fault_seed: 7,
+            fault_rate: 0.2,
+            bound: CacheBound::entries(24),
+            jobs,
+        }
+    }
+
+    /// The sustained shape: more tenants, more epochs, longer tail.
+    pub fn full(jobs: usize) -> Self {
+        Self {
+            seed: 42,
+            tenants: 12,
+            submissions_per_epoch: 400,
+            epochs: 8,
+            capacity: 24,
+            quota: 4,
+            zipf_s: 1.1,
+            ids_per_tenant: 4,
+            seeds_per_tenant: 4,
+            fault_seed: 7,
+            fault_rate: 0.25,
+            bound: CacheBound::entries(64),
+            jobs,
+        }
+    }
+
+    /// Total submissions across all epochs.
+    pub fn total_submissions(&self) -> usize {
+        self.submissions_per_epoch * self.epochs as usize
+    }
+}
+
+/// One generated submission: a tenant asking for one `(id, seed)` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submission {
+    /// Global submission index (generation order).
+    pub index: usize,
+    /// Epoch this submission belongs to.
+    pub epoch: u32,
+    /// Tenant id in `0..cfg.tenants`.
+    pub tenant: u64,
+    /// Registry experiment id.
+    pub id: String,
+    /// Run seed, drawn from the tenant's bounded seed pool.
+    pub seed: u64,
+}
+
+/// Draws the tenant for global submission `index`: inverse-CDF over the
+/// Zipf weights `w_k ∝ 1/(k+1)^s`. Pure function of `(cfg.seed, index)`.
+fn draw_tenant(cfg: &SoakConfig, index: usize) -> u64 {
+    let weights: Vec<f64> =
+        (0..cfg.tenants).map(|k| 1.0 / ((k + 1) as f64).powf(cfg.zipf_s)).collect();
+    let total: f64 = weights.iter().sum();
+    let u = unit(fnv64(&[b"soak-tenant", &cfg.seed.to_le_bytes(), &index.to_le_bytes()])) * total;
+    let mut acc = 0.0;
+    for (k, w) in weights.iter().enumerate() {
+        acc += w;
+        if u < acc {
+            return k as u64;
+        }
+    }
+    (cfg.tenants - 1) as u64
+}
+
+/// Generates the soak's full submission stream against the given
+/// experiment id pool. Deterministic: a pure function of `(cfg, ids)`.
+pub fn generate(cfg: &SoakConfig, ids: &[String]) -> Vec<Submission> {
+    assert!(!ids.is_empty(), "soak needs a non-empty experiment pool");
+    let per_epoch = cfg.submissions_per_epoch;
+    let mut subs = Vec::with_capacity(cfg.total_submissions());
+    for index in 0..cfg.total_submissions() {
+        let epoch = (index / per_epoch) as u32;
+        let tenant = draw_tenant(cfg, index);
+        // The tenant's preferred experiment pool: `ids_per_tenant`
+        // deterministic picks from the registry (repeats allowed — they
+        // just make that tenant hotter on fewer keys).
+        let slot_count = cfg.ids_per_tenant.max(1);
+        let pick = fnv64(&[b"soak-id", &cfg.seed.to_le_bytes(), &index.to_le_bytes()]);
+        let slot = (pick % slot_count as u64) as usize;
+        let id_ix = fnv64(&[
+            b"soak-pref",
+            &cfg.seed.to_le_bytes(),
+            &tenant.to_le_bytes(),
+            &slot.to_le_bytes(),
+        ]) % ids.len() as u64;
+        let id = ids[id_ix as usize].clone();
+        // Run seed from the tenant's bounded pool, so repeat requests
+        // address the same cache entries.
+        let seed_slot = fnv64(&[b"soak-seed-slot", &cfg.seed.to_le_bytes(), &index.to_le_bytes()])
+            % cfg.seeds_per_tenant.max(1) as u64;
+        let seed = fnv64(&[
+            b"soak-run-seed",
+            &cfg.seed.to_le_bytes(),
+            &tenant.to_le_bytes(),
+            &seed_slot.to_le_bytes(),
+        ]) % 100_000;
+        subs.push(Submission { index, epoch, tenant, id, seed });
+    }
+    subs
+}
+
+/// What one soak run measured. Everything except `wall_seconds` and
+/// `retried` is bitwise-identical across job counts and fault rates
+/// (retries are chaos-visible, results are not).
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Echo of the configuration that produced this report.
+    pub config: SoakConfig,
+    /// Submissions served (hits + computed).
+    pub served: u64,
+    /// Served from the cache.
+    pub hits: u64,
+    /// Served by computing.
+    pub computed: u64,
+    /// Runs whose first attempt failed but a retry rescued (chaos cost).
+    pub retried: u64,
+    /// Runs that exhausted the supervision budget (must be 0 for
+    /// transient-only schedules).
+    pub quarantined: u64,
+    /// Fingerprint mismatches against the clean baseline (must be 0).
+    pub drift: u64,
+    /// Cache evictions across the soak.
+    pub evictions: u64,
+    /// Total dispatch rounds.
+    pub rounds: u64,
+    /// p50 logical service latency, in rounds.
+    pub p50_latency_rounds: u64,
+    /// p99 logical service latency, in rounds.
+    pub p99_latency_rounds: u64,
+    /// Worst per-tenant max latency (the fairness headline).
+    pub worst_tenant_latency_rounds: u64,
+    /// Hit-rate per epoch, in epoch order.
+    pub epoch_hit_rates: Vec<f64>,
+    /// Final-epoch hit-rate — the steady state the cache converged to.
+    pub steady_hit_rate: f64,
+    /// FNV content address of the logical trace (covers every served
+    /// fingerprint and the eviction log).
+    pub trace_address: u64,
+    /// FNV address of the eviction log alone.
+    pub eviction_address: u64,
+    /// Resident cache entries at the end, in canonical order.
+    pub final_entries: Vec<String>,
+    /// Per-tenant accounting.
+    pub ledger: TenantLedger,
+    /// Content address of the fault schedule that was active.
+    pub schedule_fingerprint: u64,
+    /// Wall time of the whole soak (reporting only; never a result).
+    pub wall_seconds: f64,
+}
+
+impl SoakReport {
+    /// True when the soak met the zero-drift acceptance criterion.
+    pub fn zero_drift(&self) -> bool {
+        self.drift == 0 && self.quarantined == 0
+    }
+
+    /// Human summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "soak: {} submission(s), {} tenant(s), {} epoch(s), jobs={}, bound {} entr(ies)/{} byte(s)\n",
+            self.served,
+            self.config.tenants,
+            self.config.epochs,
+            self.config.jobs,
+            self.config.bound.max_entries,
+            self.config.bound.max_bytes,
+        ));
+        for (e, rate) in self.epoch_hit_rates.iter().enumerate() {
+            out.push_str(&format!("  epoch {e}: hit-rate {rate:.3}\n"));
+        }
+        out.push_str(&format!(
+            "  latency: p50 {} / p99 {} round(s); worst tenant max {} round(s) over {} round(s)\n",
+            self.p50_latency_rounds,
+            self.p99_latency_rounds,
+            self.worst_tenant_latency_rounds,
+            self.rounds,
+        ));
+        out.push_str(&format!(
+            "  cache: steady-state hit-rate {:.3}, {} eviction(s), {} resident\n",
+            self.steady_hit_rate,
+            self.evictions,
+            self.final_entries.len(),
+        ));
+        out.push_str(&format!(
+            "  chaos: {} retried, {} quarantined, drift {} — zero drift: {}\n",
+            self.retried,
+            self.quarantined,
+            self.drift,
+            self.zero_drift(),
+        ));
+        out.push_str(&format!("  trace address {:#018x}\n", self.trace_address));
+        out.push_str(&self.ledger.render());
+        out
+    }
+
+    /// Machine-readable JSON (`BENCH_soak.json`), hand-rolled like the
+    /// other bench emitters — no serde in the dependency budget.
+    pub fn render_json(&self) -> String {
+        let rates: Vec<String> = self.epoch_hit_rates.iter().map(|r| format!("{r:.6}")).collect();
+        format!(
+            "{{\n  \"bench\": \"soak/multi-tenant\",\n  \"seed\": {seed},\n  \
+             \"tenants\": {tenants},\n  \"epochs\": {epochs},\n  \
+             \"submissions\": {subs},\n  \"capacity\": {capacity},\n  \
+             \"quota\": {quota},\n  \"jobs\": {jobs},\n  \
+             \"cache_max_entries\": {maxe},\n  \"cache_max_bytes\": {maxb},\n  \
+             \"fault_rate\": {rate:.4},\n  \"served\": {served},\n  \
+             \"hits\": {hits},\n  \"computed\": {computed},\n  \
+             \"retried\": {retried},\n  \"quarantined\": {quarantined},\n  \
+             \"drift\": {drift},\n  \"evictions\": {evictions},\n  \
+             \"rounds\": {rounds},\n  \"p50_latency_rounds\": {p50},\n  \
+             \"p99_latency_rounds\": {p99},\n  \
+             \"worst_tenant_latency_rounds\": {worst},\n  \
+             \"epoch_hit_rates\": [{rates}],\n  \
+             \"steady_hit_rate\": {steady:.6},\n  \
+             \"zero_drift\": {zero},\n  \
+             \"trace_address\": \"{trace:#018x}\",\n  \
+             \"eviction_address\": \"{evaddr:#018x}\",\n  \
+             \"schedule_fingerprint\": \"{sched:#018x}\",\n  \
+             \"wall_seconds\": {wall:.6}\n}}\n",
+            seed = self.config.seed,
+            tenants = self.config.tenants,
+            epochs = self.config.epochs,
+            subs = self.served,
+            capacity = self.config.capacity,
+            quota = self.config.quota,
+            jobs = self.config.jobs,
+            maxe = self.config.bound.max_entries,
+            maxb = self.config.bound.max_bytes,
+            rate = self.config.fault_rate,
+            served = self.served,
+            hits = self.hits,
+            computed = self.computed,
+            retried = self.retried,
+            quarantined = self.quarantined,
+            drift = self.drift,
+            evictions = self.evictions,
+            rounds = self.rounds,
+            p50 = self.p50_latency_rounds,
+            p99 = self.p99_latency_rounds,
+            worst = self.worst_tenant_latency_rounds,
+            rates = rates.join(", "),
+            steady = self.steady_hit_rate,
+            zero = self.zero_drift(),
+            trace = self.trace_address,
+            evaddr = self.eviction_address,
+            sched = self.schedule_fingerprint,
+            wall = self.wall_seconds,
+        )
+    }
+}
+
+/// Nearest-rank quantile over service latencies.
+fn quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Computes (or replays) the clean-baseline fingerprint for a key. The
+/// baseline is always a fresh, unsupervised, fault-free run — the bits
+/// every cached or chaos-computed result must match.
+fn baseline_fingerprint(
+    reg: &ExperimentRegistry,
+    params_of: &dyn Fn(&str, Params) -> Params,
+    memo: &mut BTreeMap<(String, u64), u64>,
+    id: &str,
+    seed: u64,
+) -> u64 {
+    if let Some(fp) = memo.get(&(id.to_string(), seed)) {
+        return *fp;
+    }
+    let entry = reg.get(id).expect("soak submissions target registered ids");
+    let params = params_of(id, entry.defaults.clone());
+    let rec = reg.run_with(id, seed, params).expect("registered id runs");
+    let fp = rec.fingerprint();
+    memo.insert((id.to_string(), seed), fp);
+    fp
+}
+
+/// Runs the soak: Zipf traffic through fair dispatch, supervised
+/// execution under the epoch schedule, bounded cache in the middle.
+///
+/// `cache` should be opened with `cfg.bound` on an empty directory; the
+/// report's determinism claims are over cache operation order, which
+/// this driver serializes (lookups, then parallel compute, then stores,
+/// all in dispatch order) precisely so the `--jobs` count cannot leak
+/// into eviction decisions.
+pub fn run_soak(
+    reg: &ExperimentRegistry,
+    params_of: &dyn Fn(&str, Params) -> Params,
+    cfg: &SoakConfig,
+    cache: &RunCache,
+) -> SoakReport {
+    // treu-lint: allow(wall-clock, reason = "soak wall time is report-only; every result metric is logical")
+    let t0 = Instant::now();
+    let ids: Vec<String> = reg.iter().map(|(id, _)| id.to_string()).collect();
+    let subs = generate(cfg, &ids);
+    let schedule = SoakSchedule::new(cfg.fault_seed, cfg.fault_rate, cfg.epochs);
+    let policy = SupervisePolicy::new(schedule.retry_budget());
+    let exec = Executor::new(cfg.jobs);
+
+    let mut memo: BTreeMap<(String, u64), u64> = BTreeMap::new();
+    let mut ledger = TenantLedger::new();
+    let mut trace = String::new();
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut epoch_hit_rates = Vec::new();
+    let (mut hits, mut computed, mut retried, mut quarantined, mut drift) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut rounds = 0u64;
+
+    for epoch in 0..cfg.epochs {
+        let plan = schedule.plan_for(epoch);
+        let mut q = FairQueue::new(cfg.quota);
+        for sub in subs.iter().filter(|s| s.epoch == epoch) {
+            ledger.note_submitted(sub.tenant);
+            q.push(sub.tenant, sub);
+        }
+        let mut epoch_round = 0u64;
+        let (mut epoch_hits, mut epoch_served) = (0u64, 0u64);
+        while !q.is_empty() {
+            let round = q.next_round(cfg.capacity);
+            epoch_round += 1;
+            rounds += 1;
+
+            // Phase 1 — sequential lookups in dispatch order. Hits are
+            // served immediately; misses carry their params forward to
+            // the compute phase.
+            let mut missed: Vec<(&Submission, Params, &Entry)> = Vec::new();
+            for (tenant, sub) in &round {
+                let entry = reg.get(&sub.id).expect("soak submissions target registered ids");
+                let params = params_of(&sub.id, entry.defaults.clone());
+                match cache.lookup(&sub.id, sub.seed, &params) {
+                    Some(rec) => {
+                        let fp = rec.fingerprint();
+                        if fp != baseline_fingerprint(reg, params_of, &mut memo, &sub.id, sub.seed)
+                        {
+                            drift += 1;
+                        }
+                        hits += 1;
+                        epoch_hits += 1;
+                        epoch_served += 1;
+                        ledger.note_served(*tenant, epoch_round, true);
+                        latencies.push(epoch_round);
+                        trace.push_str(&format!(
+                            "sub={} epoch={epoch} round={epoch_round} tenant={tenant} id={} seed={} hit fp={fp:016x}\n",
+                            sub.index, sub.id, sub.seed
+                        ));
+                    }
+                    None => missed.push((sub, params, entry)),
+                }
+            }
+
+            // Phase 2 — parallel supervised compute of the misses. The
+            // executor merges in index order, so the outcome vector is
+            // schedule-independent.
+            let outcomes = exec.map_indexed(missed.len(), |k| {
+                let (sub, params, entry) = &missed[k];
+                run_supervised(entry.runner(), &sub.id, sub.seed, params, &policy, plan.as_ref(), 0)
+            });
+
+            // Phase 3 — sequential stores (and evictions) in dispatch
+            // order, on the driver thread.
+            for ((sub, params, _), outcome) in missed.iter().zip(outcomes) {
+                let tenant = sub.tenant;
+                match outcome {
+                    RunOutcome::Ok { record, attempts } => {
+                        let fp = record.fingerprint();
+                        if fp != baseline_fingerprint(reg, params_of, &mut memo, &sub.id, sub.seed)
+                        {
+                            drift += 1;
+                        }
+                        if attempts > 1 {
+                            retried += 1;
+                        }
+                        cache.store(&sub.id, sub.seed, params, &record).expect("soak cache store");
+                        computed += 1;
+                        epoch_served += 1;
+                        ledger.note_served(tenant, epoch_round, false);
+                        latencies.push(epoch_round);
+                        trace.push_str(&format!(
+                            "sub={} epoch={epoch} round={epoch_round} tenant={tenant} id={} seed={} computed fp={fp:016x}\n",
+                            sub.index, sub.id, sub.seed
+                        ));
+                    }
+                    RunOutcome::Failed(f) => {
+                        quarantined += 1;
+                        trace.push_str(&format!(
+                            "sub={} epoch={epoch} round={epoch_round} tenant={tenant} id={} seed={} quarantined taxonomy={}\n",
+                            sub.index, sub.id, sub.seed,
+                            f.taxonomy.name()
+                        ));
+                    }
+                }
+            }
+        }
+        epoch_hit_rates.push(if epoch_served == 0 {
+            0.0
+        } else {
+            epoch_hits as f64 / epoch_served as f64
+        });
+    }
+
+    // The eviction log joins the trace so eviction *order* is part of
+    // the soak's identity, not just its count.
+    for name in cache.eviction_log() {
+        trace.push_str(&format!("evict={name}\n"));
+    }
+    let trace_address = fnv64(&[trace.as_bytes()]);
+
+    latencies.sort_unstable();
+    let steady_hit_rate = epoch_hit_rates.last().copied().unwrap_or(0.0);
+    SoakReport {
+        config: cfg.clone(),
+        served: hits + computed,
+        hits,
+        computed,
+        retried,
+        quarantined,
+        drift,
+        evictions: cache.stats().evictions,
+        rounds,
+        p50_latency_rounds: quantile(&latencies, 0.50),
+        p99_latency_rounds: quantile(&latencies, 0.99),
+        worst_tenant_latency_rounds: ledger.worst_latency_rounds(),
+        epoch_hit_rates,
+        steady_hit_rate,
+        trace_address,
+        eviction_address: cache.eviction_fingerprint(),
+        final_entries: cache.resident_entries(),
+        ledger,
+        schedule_fingerprint: schedule.fingerprint(),
+        wall_seconds: t0.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SoakConfig {
+        SoakConfig::quick(2)
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_well_formed() {
+        let ids: Vec<String> = ["A", "B", "C", "D"].iter().map(|s| s.to_string()).collect();
+        let cfg = quick();
+        let a = generate(&cfg, &ids);
+        let b = generate(&cfg, &ids);
+        assert_eq!(a, b, "traffic is a pure function of the config");
+        assert_eq!(a.len(), cfg.total_submissions());
+        for s in &a {
+            assert!((s.tenant as usize) < cfg.tenants);
+            assert!(ids.contains(&s.id));
+            assert_eq!(s.epoch, (s.index / cfg.submissions_per_epoch) as u32);
+        }
+        let mut other_seed = cfg.clone();
+        other_seed.seed = 43;
+        assert_ne!(generate(&other_seed, &ids), a, "the soak seed must matter");
+    }
+
+    #[test]
+    fn tenant_draw_is_zipf_skewed() {
+        let cfg = quick();
+        let mut counts = vec![0usize; cfg.tenants];
+        for i in 0..4000 {
+            counts[draw_tenant(&cfg, i) as usize] += 1;
+        }
+        assert!(
+            counts[0] > 2 * counts[cfg.tenants - 1],
+            "head tenant must dominate the tail: {counts:?}"
+        );
+        assert!(counts.iter().all(|&c| c > 0), "every tenant gets traffic: {counts:?}");
+        let head_share = counts[0] as f64 / 4000.0;
+        assert!((0.30..0.60).contains(&head_share), "s=1.1 head share off: {head_share}");
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        assert_eq!(quantile(&[], 0.5), 0);
+        assert_eq!(quantile(&[7], 0.5), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile(&v, 0.50), 50);
+        assert_eq!(quantile(&v, 0.99), 99);
+        assert_eq!(quantile(&v, 1.0), 100);
+    }
+
+    #[test]
+    fn report_json_carries_the_acceptance_fields() {
+        let cfg = quick();
+        let report = SoakReport {
+            config: cfg,
+            served: 10,
+            hits: 6,
+            computed: 4,
+            retried: 1,
+            quarantined: 0,
+            drift: 0,
+            evictions: 3,
+            rounds: 5,
+            p50_latency_rounds: 1,
+            p99_latency_rounds: 4,
+            worst_tenant_latency_rounds: 4,
+            epoch_hit_rates: vec![0.25, 0.75],
+            steady_hit_rate: 0.75,
+            trace_address: 0xDEAD,
+            eviction_address: 0xBEEF,
+            final_entries: vec![],
+            ledger: TenantLedger::new(),
+            schedule_fingerprint: 0x1234,
+            wall_seconds: 0.5,
+        };
+        let json = report.render_json();
+        for field in [
+            "\"steady_hit_rate\": 0.750000",
+            "\"p50_latency_rounds\": 1",
+            "\"p99_latency_rounds\": 4",
+            "\"trace_address\": \"0x000000000000dead\"",
+            "\"zero_drift\": true",
+            "\"evictions\": 3",
+        ] {
+            assert!(json.contains(field), "missing {field} in:\n{json}");
+        }
+        assert!(report.render().contains("steady-state hit-rate 0.750"));
+    }
+}

@@ -33,10 +33,23 @@
 //! and recomputed by the caller — the cache self-heals instead of serving
 //! damaged provenance. Writes are atomic (temp file + rename) so a crash
 //! mid-store can never leave a truncated entry at an addressable path.
+//!
+//! **Lifecycle.** A handle opened with [`RunCache::open_bounded`] keeps
+//! the directory under a hard [`CacheBound`] (entry count and/or payload
+//! bytes) with deterministic LRU eviction. Recency is measured on a
+//! **logical clock** — a monotone counter that ticks once per classified
+//! lookup or store — never wall time, so two runs that issue the same
+//! cache operations in the same order evict the same entries in the same
+//! order regardless of machine speed or scheduling. The victim is always
+//! the minimum `(tick, file-name)` pair; the name tie-break makes even
+//! the cold-start case (a freshly seeded index where several entries
+//! share a tick) schedule-independent. Unbounded handles skip the index
+//! entirely, preserving the original grow-forever fast path.
 
 use crate::environment::Environment;
 use crate::experiment::{Params, RunRecord};
 use crate::provenance::Trail;
+use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,27 +66,173 @@ const MAGIC: &str = "treu-cache v2";
 /// two increments double- or under-counted a category.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Classified lookups performed (runs and blobs alike): every lookup
-    /// lands in exactly one of the four categories below.
+    /// Classified *run* lookups: every one lands in exactly one of the
+    /// four categories below. Blob traffic is counted separately so a
+    /// soak's run hit-rate is never diluted by table/report artifacts.
     pub lookups: u64,
-    /// Lookups served from a valid entry.
+    /// Run lookups served from a valid entry.
     pub hits: u64,
-    /// Lookups that found no entry at the address.
+    /// Run lookups that found no entry at the address.
     pub misses: u64,
-    /// Lookups that found an entry with a stale or unreadable
+    /// Run lookups that found an entry with a stale or unreadable
     /// code+env fingerprint (recomputed and overwritten by the caller).
     pub invalidations: u64,
-    /// Entries whose read-time checksum verification failed — deleted on
-    /// sight and recomputed by the caller (self-healing).
+    /// Run entries whose read-time checksum verification failed — deleted
+    /// on sight and recomputed by the caller (self-healing).
     pub corruptions: u64,
-    /// Entries written.
+    /// Run entries written.
     pub stores: u64,
+    /// Classified blob lookups ([`RunCache::lookup_blob`]): each lands in
+    /// exactly one of hit / miss / invalidation (blobs carry no checksum,
+    /// so there is no corrupt class).
+    pub blob_lookups: u64,
+    /// Blob lookups served from a valid entry.
+    pub blob_hits: u64,
+    /// Blob lookups that found no entry at the address.
+    pub blob_misses: u64,
+    /// Blob lookups that found a stale or malformed entry.
+    pub blob_invalidations: u64,
+    /// Blob entries written.
+    pub blob_stores: u64,
+    /// Entries (runs and blobs) evicted to keep a bounded handle under
+    /// its [`CacheBound`].
+    pub evictions: u64,
 }
 
 impl CacheStats {
-    /// The snapshot invariant: every lookup was classified exactly once.
+    /// The snapshot invariant: every lookup — run and blob alike — was
+    /// classified exactly once.
     pub fn consistent(&self) -> bool {
         self.lookups == self.hits + self.misses + self.invalidations + self.corruptions
+            && self.blob_lookups == self.blob_hits + self.blob_misses + self.blob_invalidations
+    }
+
+    /// Run hit-rate over this handle's lifetime; blob traffic is
+    /// excluded by construction. `0.0` before any run lookup.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// Hard occupancy bound for a cache directory: maximum resident entries
+/// and/or payload bytes. Zero disables that axis; the default is
+/// unbounded on both, which preserves the original grow-forever behavior
+/// (and its index-free fast path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheBound {
+    /// Maximum resident entries (runs + blobs); 0 = unbounded.
+    pub max_entries: usize,
+    /// Maximum resident payload bytes; 0 = unbounded.
+    pub max_bytes: u64,
+}
+
+impl CacheBound {
+    /// Unbounded on both axes.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Bound by entry count only.
+    pub fn entries(max_entries: usize) -> Self {
+        Self { max_entries, max_bytes: 0 }
+    }
+
+    /// Bound by payload bytes only.
+    pub fn bytes(max_bytes: u64) -> Self {
+        Self { max_entries: 0, max_bytes }
+    }
+
+    /// Bound on both axes (either may be 0 = unbounded).
+    pub fn new(max_entries: usize, max_bytes: u64) -> Self {
+        Self { max_entries, max_bytes }
+    }
+
+    /// True when at least one axis is bounded.
+    pub fn is_bounded(&self) -> bool {
+        self.max_entries > 0 || self.max_bytes > 0
+    }
+}
+
+/// One resident entry in the recency index of a bounded handle.
+#[derive(Debug, Clone, Copy)]
+struct Resident {
+    /// Logical-clock value of the entry's last classified touch.
+    tick: u64,
+    /// On-disk size of the entry file.
+    bytes: u64,
+}
+
+/// In-memory recency index for bounded handles. The clock ticks once per
+/// classified lookup or store — a pure operation counter, never wall
+/// time — so eviction order is a function of the operation sequence
+/// alone. Keyed by entry file name; `BTreeMap` keeps victim selection
+/// (`min (tick, name)`) and [`RunCache::resident_entries`] canonical.
+#[derive(Debug, Default)]
+struct LruIndex {
+    entries: BTreeMap<String, Resident>,
+    bytes: u64,
+    clock: u64,
+    evicted: Vec<String>,
+}
+
+impl LruIndex {
+    /// Ticks the clock and inserts or refreshes `name` at the new tick.
+    fn upsert(&mut self, name: &str, bytes: u64) {
+        self.clock += 1;
+        let tick = self.clock;
+        match self.entries.get_mut(name) {
+            Some(r) => {
+                self.bytes = self.bytes - r.bytes + bytes;
+                r.bytes = bytes;
+                r.tick = tick;
+            }
+            None => {
+                self.bytes += bytes;
+                self.entries.insert(name.to_string(), Resident { tick, bytes });
+            }
+        }
+    }
+
+    /// Ticks the clock and refreshes `name`'s recency when resident. A
+    /// hit on an untracked file (a foreign write, or a read that raced
+    /// an eviction's unlink) deliberately does *not* re-insert: the
+    /// index only trusts entries it saw stored or seeded, so a racing
+    /// reader can never resurrect an evicted name.
+    fn refresh(&mut self, name: &str, bytes: u64) {
+        self.clock += 1;
+        let tick = self.clock;
+        if let Some(r) = self.entries.get_mut(name) {
+            self.bytes = self.bytes - r.bytes + bytes;
+            r.bytes = bytes;
+            r.tick = tick;
+        }
+    }
+
+    /// Drops `name` from the index (file deleted or found absent).
+    fn forget(&mut self, name: &str) {
+        if let Some(r) = self.entries.remove(name) {
+            self.bytes -= r.bytes;
+        }
+    }
+
+    /// True while the index exceeds `bound` on either axis.
+    fn over(&self, bound: CacheBound) -> bool {
+        (bound.max_entries > 0 && self.entries.len() > bound.max_entries)
+            || (bound.max_bytes > 0 && self.bytes > bound.max_bytes)
+    }
+
+    /// The deterministic eviction victim: minimum `(tick, name)`. Linear
+    /// scan — bounded caches are small by definition, and O(n) here buys
+    /// a single-structure index with no heap to keep in sync.
+    fn victim(&self) -> Option<String> {
+        self.entries
+            .iter()
+            .min_by_key(|(name, r)| (r.tick, name.as_str()))
+            .map(|(name, _)| name.clone())
     }
 }
 
@@ -99,10 +258,16 @@ pub enum Lookup {
 pub struct RunCache {
     dir: PathBuf,
     fingerprint: u64,
+    bound: CacheBound,
     // One lock for all counters: a lookup's lookups+category increments
     // are a single critical section, so stats() can never observe a torn
     // state. The lock covers counter arithmetic only, never file I/O.
     stats: Mutex<CacheStats>,
+    // Recency index for bounded handles (empty and untouched when
+    // unbounded). Lock ordering: `index` and `stats` are never held
+    // together. Eviction unlinks files under this lock so the index and
+    // the directory can't diverge mid-eviction.
+    index: Mutex<LruIndex>,
 }
 
 /// FNV-1a over a byte stream — the same hash family the provenance
@@ -121,6 +286,11 @@ fn fnv64(parts: &[&[u8]]) -> u64 {
     h
 }
 
+/// The index key for an entry path: its file name.
+fn entry_name(path: &Path) -> String {
+    path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+}
+
 /// Canonical parameter rendering for key material: `k=v;` in key order
 /// (BTreeMap iteration), so insertion order never changes the address.
 fn canonical_params(params: &Params) -> String {
@@ -135,8 +305,8 @@ fn canonical_params(params: &Params) -> String {
 }
 
 impl RunCache {
-    /// Opens (creating if needed) a cache directory, keyed to the current
-    /// code+env fingerprint.
+    /// Opens (creating if needed) an unbounded cache directory, keyed to
+    /// the current code+env fingerprint.
     pub fn open(dir: &Path) -> io::Result<Self> {
         Self::open_with_fingerprint(dir, Environment::capture().fingerprint())
     }
@@ -144,8 +314,116 @@ impl RunCache {
     /// [`RunCache::open`] with an explicit code+env fingerprint — used by
     /// tests to simulate a rebuilt harness or a different machine.
     pub fn open_with_fingerprint(dir: &Path, fingerprint: u64) -> io::Result<Self> {
+        Self::open_bounded_with_fingerprint(dir, CacheBound::unbounded(), fingerprint)
+    }
+
+    /// Opens a cache held under a hard [`CacheBound`] with deterministic
+    /// logical-clock LRU eviction (see the module docs).
+    pub fn open_bounded(dir: &Path, bound: CacheBound) -> io::Result<Self> {
+        Self::open_bounded_with_fingerprint(dir, bound, Environment::capture().fingerprint())
+    }
+
+    /// [`RunCache::open_bounded`] with an explicit code+env fingerprint.
+    ///
+    /// Reopening a warm directory is deterministic: resident entries are
+    /// seeded into the index in file-name order (ticks `1..=n`), then the
+    /// bound is enforced immediately, so two processes opening the same
+    /// directory with the same bound evict the same entries.
+    pub fn open_bounded_with_fingerprint(
+        dir: &Path,
+        bound: CacheBound,
+        fingerprint: u64,
+    ) -> io::Result<Self> {
         std::fs::create_dir_all(dir)?;
-        Ok(Self { dir: dir.to_path_buf(), fingerprint, stats: Mutex::new(CacheStats::default()) })
+        let cache = Self {
+            dir: dir.to_path_buf(),
+            fingerprint,
+            bound,
+            stats: Mutex::new(CacheStats::default()),
+            index: Mutex::new(LruIndex::default()),
+        };
+        if bound.is_bounded() {
+            cache.seed_index()?;
+            let evicted = {
+                let mut ix = cache.index.lock().expect("cache index mutex poisoned");
+                cache.enforce_bound_locked(&mut ix)
+            };
+            if evicted > 0 {
+                cache.bump(|s| s.evictions += evicted);
+            }
+        }
+        Ok(cache)
+    }
+
+    /// Seeds the recency index from an existing directory: entry files in
+    /// name order get ticks `1..=n`, so a warm reopen never depends on
+    /// directory-listing order.
+    fn seed_index(&self) -> io::Result<()> {
+        let mut found: Vec<(String, u64)> = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".run") || name.ends_with(".txt") {
+                found.push((name, entry.metadata()?.len()));
+            }
+        }
+        found.sort();
+        let mut ix = self.index.lock().expect("cache index mutex poisoned");
+        for (name, bytes) in found {
+            ix.clock += 1;
+            let tick = ix.clock;
+            ix.bytes += bytes;
+            ix.entries.insert(name, Resident { tick, bytes });
+        }
+        Ok(())
+    }
+
+    /// Evicts least-recently-used entries (minimum `(tick, name)`) until
+    /// the index satisfies the bound; files are unlinked as they go.
+    /// Returns the eviction count. Caller holds the index lock. A bound
+    /// smaller than a single entry converges to an empty directory — the
+    /// just-stored entry is its own victim — rather than looping.
+    fn enforce_bound_locked(&self, ix: &mut LruIndex) -> u64 {
+        let mut evicted = 0u64;
+        while ix.over(self.bound) {
+            let Some(name) = ix.victim() else { break };
+            let _ = std::fs::remove_file(self.dir.join(&name));
+            ix.forget(&name);
+            ix.evicted.push(name);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Classified-lookup bookkeeping for bounded handles: every lookup
+    /// ticks the logical clock; `resident_bytes` refreshes (or inserts)
+    /// the entry's recency, `None` drops it from the index (absent or
+    /// just deleted). No-op when unbounded.
+    fn note_lookup(&self, path: &Path, resident_bytes: Option<u64>) {
+        if !self.bound.is_bounded() {
+            return;
+        }
+        let name = entry_name(path);
+        let mut ix = self.index.lock().expect("cache index mutex poisoned");
+        match resident_bytes {
+            Some(bytes) => ix.refresh(&name, bytes),
+            None => {
+                ix.clock += 1;
+                ix.forget(&name);
+            }
+        }
+    }
+
+    /// Store bookkeeping for bounded handles: ticks the clock, indexes
+    /// the entry, enforces the bound. Returns the eviction count.
+    fn note_store(&self, path: &Path, bytes: u64) -> u64 {
+        if !self.bound.is_bounded() {
+            return 0;
+        }
+        let name = entry_name(path);
+        let mut ix = self.index.lock().expect("cache index mutex poisoned");
+        ix.upsert(&name, bytes);
+        self.enforce_bound_locked(&mut ix)
     }
 
     /// Applies one counter update under the stats lock.
@@ -162,6 +440,43 @@ impl RunCache {
     /// The code+env fingerprint entries are validated against.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// The occupancy bound this handle enforces (unbounded by default).
+    pub fn bound(&self) -> CacheBound {
+        self.bound
+    }
+
+    /// Current logical-clock value: classified lookups + stores since
+    /// open. Always 0 on unbounded handles (the index is bypassed).
+    pub fn logical_clock(&self) -> u64 {
+        self.index.lock().expect("cache index mutex poisoned").clock
+    }
+
+    /// Evicted entry file names, in eviction order — the observable the
+    /// determinism properties compare across schedules.
+    pub fn eviction_log(&self) -> Vec<String> {
+        self.index.lock().expect("cache index mutex poisoned").evicted.clone()
+    }
+
+    /// FNV content address of the eviction log (order-sensitive), for
+    /// cheap jobs=1 vs jobs=N identity checks.
+    pub fn eviction_fingerprint(&self) -> u64 {
+        let ix = self.index.lock().expect("cache index mutex poisoned");
+        let parts: Vec<&[u8]> = ix.evicted.iter().map(|n| n.as_bytes()).collect();
+        fnv64(&parts)
+    }
+
+    /// Resident entry file names in canonical (name) order. Meaningful on
+    /// bounded handles; empty when unbounded.
+    pub fn resident_entries(&self) -> Vec<String> {
+        self.index.lock().expect("cache index mutex poisoned").entries.keys().cloned().collect()
+    }
+
+    /// Total resident payload bytes tracked by the index (0 when
+    /// unbounded).
+    pub fn resident_bytes(&self) -> u64 {
+        self.index.lock().expect("cache index mutex poisoned").bytes
     }
 
     fn run_path(&self, id: &str, seed: u64, params: &Params) -> PathBuf {
@@ -200,6 +515,7 @@ impl RunCache {
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(_) => {
+                self.note_lookup(&path, None);
                 self.bump(|s| {
                     s.lookups += 1;
                     s.misses += 1;
@@ -209,6 +525,7 @@ impl RunCache {
         };
         match parse_run_entry(&text, self.fingerprint, seed) {
             EntryParse::Ok(rec) => {
+                self.note_lookup(&path, Some(text.len() as u64));
                 self.bump(|s| {
                     s.lookups += 1;
                     s.hits += 1;
@@ -216,6 +533,9 @@ impl RunCache {
                 Lookup::Hit(rec)
             }
             EntryParse::Stale => {
+                // Still resident (the caller will overwrite it): refresh
+                // recency so the imminent store doesn't race an eviction.
+                self.note_lookup(&path, Some(text.len() as u64));
                 self.bump(|s| {
                     s.lookups += 1;
                     s.invalidations += 1;
@@ -223,13 +543,14 @@ impl RunCache {
                 Lookup::Stale
             }
             EntryParse::Corrupt => {
+                // Auto-invalidate: a damaged entry must never be consulted
+                // again, even by a handle that skips checksum verification.
+                let _ = std::fs::remove_file(&path);
+                self.note_lookup(&path, None);
                 self.bump(|s| {
                     s.lookups += 1;
                     s.corruptions += 1;
                 });
-                // Auto-invalidate: a damaged entry must never be consulted
-                // again, even by a handle that skips checksum verification.
-                let _ = std::fs::remove_file(&path);
                 Lookup::Corrupt
             }
         }
@@ -250,8 +571,14 @@ impl RunCache {
         out.push_str(&format!("checksum {:#018x}\n", fnv64(&[body.as_bytes()])));
         out.push_str("trail\n");
         out.push_str(&body);
-        self.write_atomic(&self.run_path(id, seed, params), &out)?;
-        self.bump(|s| s.stores += 1);
+        let path = self.run_path(id, seed, params);
+        let bytes = out.len() as u64;
+        self.write_atomic(&path, &out)?;
+        let evicted = self.note_store(&path, bytes);
+        self.bump(|s| {
+            s.stores += 1;
+            s.evictions += evicted;
+        });
         Ok(())
     }
 
@@ -273,28 +600,32 @@ impl RunCache {
     /// and tag, with the same fingerprint-invalidation rules as
     /// [`RunCache::lookup`].
     pub fn lookup_blob(&self, kind: &str, tag: &str) -> Option<String> {
-        let text = match std::fs::read_to_string(self.blob_path(kind, tag)) {
+        let path = self.blob_path(kind, tag);
+        let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
             Err(_) => {
+                self.note_lookup(&path, None);
                 self.bump(|s| {
-                    s.lookups += 1;
-                    s.misses += 1;
+                    s.blob_lookups += 1;
+                    s.blob_misses += 1;
                 });
                 return None;
             }
         };
         match parse_blob_entry(&text, self.fingerprint) {
             Some(payload) => {
+                self.note_lookup(&path, Some(text.len() as u64));
                 self.bump(|s| {
-                    s.lookups += 1;
-                    s.hits += 1;
+                    s.blob_lookups += 1;
+                    s.blob_hits += 1;
                 });
                 Some(payload)
             }
             None => {
+                self.note_lookup(&path, Some(text.len() as u64));
                 self.bump(|s| {
-                    s.lookups += 1;
-                    s.invalidations += 1;
+                    s.blob_lookups += 1;
+                    s.blob_invalidations += 1;
                 });
                 None
             }
@@ -309,8 +640,14 @@ impl RunCache {
         out.push_str(&format!("fingerprint {:#018x}\n", self.fingerprint));
         out.push_str("payload\n");
         out.push_str(payload);
-        self.write_atomic(&self.blob_path(kind, tag), &out)?;
-        self.bump(|s| s.stores += 1);
+        let path = self.blob_path(kind, tag);
+        let bytes = out.len() as u64;
+        self.write_atomic(&path, &out)?;
+        let evicted = self.note_store(&path, bytes);
+        self.bump(|s| {
+            s.blob_stores += 1;
+            s.evictions += evicted;
+        });
         Ok(())
     }
 
@@ -321,19 +658,26 @@ impl RunCache {
         *self.stats.lock().expect("cache stats mutex poisoned")
     }
 
-    /// One-line accounting for CLI output.
+    /// One-line accounting for CLI output. Blob and eviction counters
+    /// are appended only when they moved, so the common (run-only,
+    /// unbounded) line stays unchanged.
     pub fn render_stats(&self) -> String {
         let s = self.stats();
-        format!(
-            "cache: {} hit(s), {} miss(es), {} invalidation(s), {} corrupt (self-healed), {} store(s) over {} lookup(s) ({})\n",
-            s.hits,
-            s.misses,
-            s.invalidations,
-            s.corruptions,
-            s.stores,
-            s.lookups,
-            self.dir.display()
-        )
+        let mut line = format!(
+            "cache: {} hit(s), {} miss(es), {} invalidation(s), {} corrupt (self-healed), {} store(s) over {} lookup(s)",
+            s.hits, s.misses, s.invalidations, s.corruptions, s.stores, s.lookups,
+        );
+        if s.blob_lookups + s.blob_stores > 0 {
+            line.push_str(&format!(
+                "; blobs: {} hit(s), {} miss(es), {} store(s)",
+                s.blob_hits, s.blob_misses, s.blob_stores
+            ));
+        }
+        if self.bound.is_bounded() {
+            line.push_str(&format!("; {} eviction(s)", s.evictions));
+        }
+        line.push_str(&format!(" ({})\n", self.dir.display()));
+        line
     }
 }
 
@@ -571,7 +915,8 @@ mod tests {
             .filter(|p| p.extension().is_some_and(|e| e == "tmp"))
             .collect();
         assert!(leftovers.is_empty(), "temp files must be renamed away: {leftovers:?}");
-        assert_eq!(cache.stats().stores, 16);
+        assert_eq!(cache.stats().stores, 8);
+        assert_eq!(cache.stats().blob_stores, 8, "blob stores are counted on their own axis");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -611,7 +956,8 @@ mod tests {
         });
         let end = cache.stats();
         assert!(end.consistent());
-        assert_eq!(end.lookups, 4 * 200 * 2, "every lookup classified exactly once");
+        assert_eq!(end.lookups, 4 * 200, "every run lookup classified exactly once");
+        assert_eq!(end.blob_lookups, 4 * 200, "every blob lookup classified exactly once");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -626,7 +972,31 @@ mod tests {
         assert!(cache.lookup_blob("tables", "seed8").is_none(), "tag is part of the address");
         let other = RunCache::open_with_fingerprint(&dir, 5).unwrap();
         assert!(other.lookup_blob("tables", "seed7").is_none());
-        assert_eq!(other.stats().invalidations, 1);
+        assert_eq!(other.stats().blob_invalidations, 1);
+        assert_eq!(other.stats().invalidations, 0, "blob staleness never pollutes run counters");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Satellite regression: blob traffic used to share the run counters,
+    /// understating the run hit-rate any time a report blob missed. The
+    /// split keeps the two classifications independent.
+    #[test]
+    fn blob_traffic_does_not_distort_run_hit_rate() {
+        let dir = tmp_dir("blobsplit");
+        let cache = RunCache::open_with_fingerprint(&dir, 3).unwrap();
+        let p = Params::new();
+        let rec = run_once(&Noisy, 2, p.clone());
+        cache.store("E", 2, &p, &rec).unwrap();
+        assert!(cache.lookup("E", 2, &p).is_some());
+        // Three blob misses would previously have dragged hit_rate to 1/4.
+        for tag in ["a", "b", "c"] {
+            assert!(cache.lookup_blob("tables", tag).is_none());
+        }
+        let s = cache.stats();
+        assert!(s.consistent(), "{s:?}");
+        assert_eq!(s.hit_rate(), 1.0, "run hit-rate must ignore blob misses: {s:?}");
+        assert_eq!((s.lookups, s.hits), (1, 1));
+        assert_eq!((s.blob_lookups, s.blob_misses, s.blob_hits), (3, 3, 0));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -647,6 +1017,164 @@ mod tests {
         let dir = tmp_dir("envfp");
         let cache = RunCache::open(&dir).unwrap();
         assert_eq!(cache.fingerprint(), Environment::capture().fingerprint());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Stores a distinct record under each seed; entry names are the
+    /// content-addressed `.run` file names for those seeds.
+    fn store_seeds(cache: &RunCache, seeds: &[u64]) {
+        let p = Params::new();
+        for &seed in seeds {
+            let rec = run_once(&Noisy, seed, p.clone());
+            cache.store("E", seed, &p, &rec).unwrap();
+        }
+    }
+
+    #[test]
+    fn bounded_store_evicts_lru_by_logical_clock() {
+        let dir = tmp_dir("lru");
+        let cache =
+            RunCache::open_bounded_with_fingerprint(&dir, CacheBound::entries(2), 7).unwrap();
+        let p = Params::new();
+        store_seeds(&cache, &[1, 2]);
+        // Touch seed 1: it becomes the most recent, so seed 2 is the LRU
+        // victim when seed 3 arrives — pure operation order, no clocks.
+        assert!(cache.lookup("E", 1, &p).is_some());
+        store_seeds(&cache, &[3]);
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1, "{s:?}");
+        assert!(s.consistent(), "{s:?}");
+        assert!(cache.lookup("E", 1, &p).is_some(), "recently touched entry survives");
+        assert!(cache.lookup("E", 3, &p).is_some(), "just-stored entry survives");
+        assert!(cache.lookup("E", 2, &p).is_none(), "LRU entry was evicted");
+        assert_eq!(cache.eviction_log().len(), 1);
+        assert_eq!(cache.resident_entries().len(), 2);
+        assert!(cache.stats().consistent(), "consistent after post-eviction lookups");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Satellite edge case: a store issued while the cache already sits
+    /// exactly at its bound evicts exactly one entry and never overshoots.
+    #[test]
+    fn store_at_the_bound_evicts_exactly_one() {
+        let dir = tmp_dir("atbound");
+        let cache =
+            RunCache::open_bounded_with_fingerprint(&dir, CacheBound::entries(3), 7).unwrap();
+        store_seeds(&cache, &[1, 2, 3]);
+        assert_eq!(cache.resident_entries().len(), 3, "exactly at the bound");
+        assert_eq!(cache.stats().evictions, 0);
+        for (i, seed) in [(1u64, 4u64), (2, 5), (3, 6)] {
+            store_seeds(&cache, &[seed]);
+            let s = cache.stats();
+            assert_eq!(s.evictions, i, "one eviction per at-bound store: {s:?}");
+            assert!(s.consistent(), "consistent after every eviction: {s:?}");
+            assert_eq!(cache.resident_entries().len(), 3, "never overshoots the bound");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Satellite edge case: a byte bound smaller than a single entry
+    /// converges to an empty cache (the stored entry is its own victim)
+    /// instead of looping or wedging.
+    #[test]
+    fn bound_smaller_than_one_entry_converges_to_empty() {
+        let dir = tmp_dir("tiny");
+        let cache = RunCache::open_bounded_with_fingerprint(&dir, CacheBound::bytes(8), 7).unwrap();
+        let p = Params::new();
+        store_seeds(&cache, &[1]);
+        let s = cache.stats();
+        assert_eq!((s.stores, s.evictions), (1, 1), "{s:?}");
+        assert!(cache.resident_entries().is_empty());
+        assert_eq!(cache.resident_bytes(), 0);
+        assert!(cache.lookup("E", 1, &p).is_none(), "nothing can stay resident");
+        assert!(cache.stats().consistent());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Satellite edge case: an eviction racing a concurrent lookup is a
+    /// clean miss — the reader finds the file gone (or reads it whole
+    /// before the unlink) and every stats snapshot stays consistent.
+    #[test]
+    fn eviction_racing_concurrent_lookup_is_a_clean_miss() {
+        let dir = tmp_dir("race");
+        let cache =
+            RunCache::open_bounded_with_fingerprint(&dir, CacheBound::entries(2), 7).unwrap();
+        let p = Params::new();
+        std::thread::scope(|s| {
+            for t in 0..3u64 {
+                let cache = &cache;
+                let p = &p;
+                s.spawn(move || {
+                    for i in 0..60u64 {
+                        // Cycle lookups over the churn set: each is a hit
+                        // or a miss depending on how the race lands.
+                        let _ = cache.lookup("E", (t + i) % 6, p);
+                    }
+                });
+            }
+            // Churn stores through the 2-entry bound to force evictions
+            // while the readers run.
+            for round in 0..10u64 {
+                store_seeds(&cache, &[round % 6]);
+                let snap = cache.stats();
+                assert!(snap.consistent(), "torn under eviction churn: {snap:?}");
+            }
+        });
+        let end = cache.stats();
+        assert!(end.consistent(), "{end:?}");
+        assert!(end.evictions > 0, "the churn must actually evict: {end:?}");
+        assert!(cache.resident_entries().len() <= 2, "bound holds after the race");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Reopening a warm directory under a bound is deterministic: the
+    /// index seeds in file-name order, so the eviction that enforces the
+    /// bound at open picks the lexicographically smallest entry names.
+    #[test]
+    fn bounded_reopen_seeds_in_name_order_and_enforces_the_bound() {
+        let dir = tmp_dir("reopen");
+        {
+            let unbounded = RunCache::open_with_fingerprint(&dir, 7).unwrap();
+            store_seeds(&unbounded, &[1, 2, 3, 4]);
+        }
+        let reopened =
+            RunCache::open_bounded_with_fingerprint(&dir, CacheBound::entries(2), 7).unwrap();
+        assert_eq!(reopened.stats().evictions, 2, "bound enforced at open");
+        let mut expected: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        expected.sort();
+        assert_eq!(reopened.resident_entries(), expected, "index mirrors the directory");
+        let log = reopened.eviction_log();
+        assert_eq!(log.len(), 2);
+        assert!(log.windows(2).all(|w| w[0] < w[1]), "seed-order victims are name-ordered");
+        assert!(log.iter().all(|n| !expected.contains(n)), "victims are gone from disk");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The logical clock is an operation counter: lookups and stores tick
+    /// it, nothing else does, and unbounded handles never move it.
+    #[test]
+    fn logical_clock_counts_operations_not_time() {
+        let dir = tmp_dir("clock");
+        let cache =
+            RunCache::open_bounded_with_fingerprint(&dir, CacheBound::entries(8), 7).unwrap();
+        let p = Params::new();
+        assert_eq!(cache.logical_clock(), 0);
+        let _ = cache.lookup("E", 1, &p); // miss
+        assert_eq!(cache.logical_clock(), 1);
+        store_seeds(&cache, &[1]);
+        assert_eq!(cache.logical_clock(), 2);
+        let _ = cache.lookup("E", 1, &p); // hit
+        let _ = cache.lookup_blob("tables", "none"); // blob miss
+        assert_eq!(cache.logical_clock(), 4, "runs and blobs share one clock");
+        cache.stats(); // snapshots are free
+        cache.resident_entries();
+        assert_eq!(cache.logical_clock(), 4);
+        let unbounded = RunCache::open_with_fingerprint(&dir, 7).unwrap();
+        let _ = unbounded.lookup("E", 1, &p);
+        assert_eq!(unbounded.logical_clock(), 0, "unbounded handles bypass the index");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -294,6 +294,92 @@ impl FaultPlan {
     }
 }
 
+/// An epoch-phased soak schedule: fault classes cycle in and out across
+/// seeded epochs, chaos-mesh style, so a sustained run sees *evolving*
+/// pressure instead of one static plan.
+///
+/// Like [`FaultPlan`], the schedule is pure data: which plan governs
+/// epoch `e` is a hash of `(schedule seed, e)` and nothing else. Every
+/// per-epoch plan is transient-only, so a supervisor armed with
+/// [`SoakSchedule::retry_budget`] retries is guaranteed to converge to
+/// fault-free results in every epoch — the soak's zero-drift acceptance
+/// criterion is achievable by construction, and any divergence is a real
+/// bug, not an artifact of the chaos.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakSchedule {
+    seed: u64,
+    rate: f64,
+    epochs: u32,
+}
+
+impl SoakSchedule {
+    /// A schedule of `epochs` epochs at base injection `rate` (clamped to
+    /// `[0, 1]`). Epoch 0 is always fault-free — the in-band warmup every
+    /// later epoch's results are implicitly compared against.
+    pub fn new(seed: u64, rate: f64, epochs: u32) -> Self {
+        Self { seed, rate: rate.clamp(0.0, 1.0), epochs: epochs.max(1) }
+    }
+
+    /// The schedule's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The schedule's base injection rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Number of epochs.
+    pub fn epochs(&self) -> u32 {
+        self.epochs
+    }
+
+    /// The fault plan governing `epoch`, or `None` for a fault-free
+    /// epoch. Epoch 0 is always clean; later epochs rotate through
+    /// seeded transient-only menus — short and long transient bursts,
+    /// mixed menus with small delays — and roughly one in four is a
+    /// clean trough so recovery under zero pressure is exercised too.
+    pub fn plan_for(&self, epoch: u32) -> Option<FaultPlan> {
+        if epoch == 0 || epoch >= self.epochs || self.rate <= 0.0 {
+            return None;
+        }
+        let draw = fnv64(&[b"soak-epoch", &self.seed.to_le_bytes(), &epoch.to_le_bytes()]);
+        let menu: Vec<FaultKind> = match draw % 4 {
+            0 => vec![FaultKind::TransientErr(1), FaultKind::TransientErr(2)],
+            1 => vec![FaultKind::TransientErr(2), FaultKind::TransientErr(3)],
+            2 => vec![FaultKind::TransientErr(1), FaultKind::TransientErr(3), FaultKind::Delay(2)],
+            _ => return None, // clean trough
+        };
+        // Modulate the pressure per epoch: between 0.5× and 1.5× of the
+        // base rate, drawn from the same hash so replays agree.
+        let scale = 0.5 + unit(draw.rotate_left(17));
+        let plan_seed = fnv64(&[b"soak-plan-seed", &self.seed.to_le_bytes(), &epoch.to_le_bytes()]);
+        Some(FaultPlan::with_menu(plan_seed, (self.rate * scale).min(1.0), menu))
+    }
+
+    /// The retry budget that guarantees convergence in *every* epoch: the
+    /// worst transient any epoch menu can demand.
+    pub fn retry_budget(&self) -> u32 {
+        (0..self.epochs)
+            .filter_map(|e| self.plan_for(e))
+            .map(|p| p.max_transient_attempts())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Content address of the schedule — everything that determines its
+    /// behaviour, for naming the exact soak configuration in reports.
+    pub fn fingerprint(&self) -> u64 {
+        fnv64(&[
+            b"soak-schedule",
+            &self.seed.to_le_bytes(),
+            &self.rate.to_bits().to_le_bytes(),
+            &self.epochs.to_le_bytes(),
+        ])
+    }
+}
+
 /// Deterministic retry backoff: a fixed doubling table plus seeded jitter.
 ///
 /// `attempt` is the attempt about to run (1 = first retry). The jitter is
@@ -474,6 +560,43 @@ mod tests {
         // But each replica's corruption is itself deterministic.
         let a2 = run_once(&FaultyExperiment::new(&Echo, &plan, "E", 0, 0), 5, Params::new());
         assert_eq!(a.trail, a2.trail);
+    }
+
+    #[test]
+    fn soak_schedule_is_seeded_phased_and_transient_only() {
+        let sched = SoakSchedule::new(42, 0.25, 12);
+        let again = SoakSchedule::new(42, 0.25, 12);
+        assert_eq!(sched.plan_for(0), None, "epoch 0 is always the clean warmup");
+        let mut faulted_epochs = 0usize;
+        let mut distinct = std::collections::BTreeSet::new();
+        for e in 0..12 {
+            assert_eq!(sched.plan_for(e), again.plan_for(e), "replays must agree");
+            if let Some(plan) = sched.plan_for(e) {
+                faulted_epochs += 1;
+                assert!(plan.is_transient_only(), "epoch {e} plan must be recoverable");
+                assert!(plan.rate() > 0.0 && plan.rate() <= 0.375, "0.5x..1.5x of base");
+                distinct.insert(plan.fingerprint());
+            }
+        }
+        assert!(faulted_epochs >= 4, "most epochs apply pressure: {faulted_epochs}/12");
+        assert!(faulted_epochs < 11, "some epochs are clean troughs: {faulted_epochs}/12");
+        assert!(distinct.len() >= 2, "fault classes must actually phase in and out");
+        assert!(sched.retry_budget() <= 3);
+        assert!(sched.retry_budget() >= 1, "pressure epochs need a real budget");
+        // A different schedule seed re-phases the epochs.
+        let other = SoakSchedule::new(43, 0.25, 12);
+        assert!(
+            (0..12).any(|e| sched.plan_for(e) != other.plan_for(e)),
+            "schedule seed must matter"
+        );
+        assert_ne!(sched.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn soak_schedule_zero_rate_is_entirely_clean() {
+        let sched = SoakSchedule::new(5, 0.0, 8);
+        assert!((0..8).all(|e| sched.plan_for(e).is_none()));
+        assert_eq!(sched.retry_budget(), 0);
     }
 
     #[test]

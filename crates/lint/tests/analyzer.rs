@@ -63,6 +63,23 @@ fn r3_negative_accepts_annotated_timing_scope() {
 }
 
 #[test]
+fn r3_positive_flags_wall_clock_keyed_eviction() {
+    // ISSUE 6: the bounded-cache lifecycle's regression fixture — LRU
+    // recency read from the machine clock instead of a logical counter.
+    let r = lint_fixture(&["r3_eviction_wallclock.rs"]);
+    assert_eq!(r.warnings(), 4, "{}", r.render_human()); // import, touch, return type, now()
+    assert!(codes(&r).iter().all(|c| *c == "R3"));
+    assert!(r.exceeds(DenyLevel::Warn));
+}
+
+#[test]
+fn r3_negative_accepts_logical_clock_eviction() {
+    let r = lint_fixture(&["r3_eviction_ok.rs"]);
+    assert!(r.diagnostics.is_empty(), "{}", r.render_human());
+    assert_eq!(r.allows_honored, 0, "a logical clock needs no annotations");
+}
+
+#[test]
 fn r4_positive_flags_ambient_env_read() {
     let r = lint_fixture(&["r4_env.rs"]);
     assert_eq!(r.warnings(), 1, "{}", r.render_human());

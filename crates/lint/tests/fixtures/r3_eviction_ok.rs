@@ -1,0 +1,40 @@
+//! R3 negative fixture: the same bounded LRU with recency from a
+//! logical clock — a monotone counter ticked by cache operations, never
+//! read from the machine. Eviction order is a pure function of the
+//! operation sequence, ties broken by name, so every job count and every
+//! scheduler interleaving evicts identically. Lints clean with no
+//! annotations needed.
+use std::collections::BTreeMap;
+
+pub struct LogicalLru {
+    entries: BTreeMap<String, u64>,
+    clock: u64,
+    limit: usize,
+}
+
+impl LogicalLru {
+    pub fn touch(&mut self, name: &str) {
+        self.clock += 1;
+        self.entries.insert(name.to_string(), self.clock);
+    }
+
+    pub fn evict_oldest(&mut self) {
+        while self.entries.len() > self.limit {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(name, tick)| (**tick, name.clone()))
+                .map(|(name, _)| name.clone());
+            match victim {
+                Some(name) => {
+                    self.entries.remove(&name);
+                }
+                None => break,
+            }
+        }
+    }
+
+    pub fn logical_clock(&self) -> u64 {
+        self.clock
+    }
+}

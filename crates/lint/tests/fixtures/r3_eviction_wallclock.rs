@@ -1,0 +1,39 @@
+//! R3 positive fixture: LRU eviction recency keyed on wall-clock time —
+//! the exact regression the bounded-cache lifecycle must never grow.
+//! Victimizing the oldest `Instant` makes eviction order depend on when
+//! the scheduler ran each lookup, so two soaks of the same workload
+//! evict different entries. Recency must come from a logical operation
+//! counter instead.
+use std::collections::BTreeMap;
+use std::time::{Instant, SystemTime};
+
+pub struct WallClockLru {
+    entries: BTreeMap<String, Instant>,
+    limit: usize,
+}
+
+impl WallClockLru {
+    pub fn touch(&mut self, name: &str) {
+        self.entries.insert(name.to_string(), Instant::now());
+    }
+
+    pub fn evict_oldest(&mut self) {
+        while self.entries.len() > self.limit {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, stamp)| **stamp)
+                .map(|(name, _)| name.clone());
+            match victim {
+                Some(name) => {
+                    self.entries.remove(&name);
+                }
+                None => break,
+            }
+        }
+    }
+
+    pub fn stored_at(&self) -> SystemTime {
+        SystemTime::now()
+    }
+}

@@ -9,6 +9,7 @@
 //! treu trace <dir|file>      # render or --check stored run traces
 //! treu env                   # print the captured environment
 //! treu lint [path]           # static reproducibility analysis
+//! treu soak [seed]           # sustained multi-tenant chaos soak
 //! ```
 //!
 //! Every run/tables/verify invocation accepts `--jobs N` (or `-j N`):
@@ -40,7 +41,7 @@
 
 use std::path::{Path, PathBuf};
 
-use treu::core::cache::RunCache;
+use treu::core::cache::{CacheBound, RunCache};
 use treu::core::environment::Environment;
 use treu::core::exec::{
     run_supervised_traced, DenyPolicy, Executor, FailureKind, RunOutcome, SupervisePolicy,
@@ -139,7 +140,8 @@ fn main() {
         }
     };
     let chaos = args.first().map(String::as_str) == Some("chaos");
-    if sup.plan().is_some() || chaos {
+    let soak = args.first().map(String::as_str) == Some("soak");
+    if sup.plan().is_some() || chaos || soak {
         // Injected faults panic by design; the supervisor catches and
         // reports them, so the default per-panic stderr trace is noise.
         std::panic::set_hook(Box::new(|_| {}));
@@ -618,17 +620,218 @@ fn main() {
         }
         Some("env") => print!("{}", Environment::capture().render()),
         Some("chaos") => run_chaos(&exec, &reg, seed_arg(1), &sup, trace_out),
+        Some("soak") => run_soak_cmd(&reg, &args[1..], jobs, &sup),
         Some("trace") => run_trace(&args[1..]),
         Some("lint") => run_lint(&args[1..]),
         _ => {
             eprintln!(
-                "usage: treu <list|run|tables|verify|chaos|trace|env|lint> [...] \
+                "usage: treu <list|run|tables|verify|chaos|trace|env|lint|soak> [...] \
                  [--jobs N] [--cache-dir DIR] [--no-cache] [--trace-out DIR] \
                  [--retries N] [--deadline-secs F] [--fault-seed S] \
                  [--fault-rate F] [--fault-panic ID] [--deny none|warn|error]"
             );
             std::process::exit(2);
         }
+    }
+}
+
+/// The steady-state hit-rate the quick soak must converge to under its
+/// default bound — the cache is useless below this, and the quick shape
+/// reliably lands well above it.
+const SOAK_HIT_RATE_FLOOR: f64 = 0.25;
+
+/// `treu soak [seed] [--quick|--full-soak] [--enforce] [--tenants N]
+/// [--epochs N] [--per-epoch N] [--cache-entries N] [--cache-bytes N]
+/// [--out PATH] [--fault-seed S] [--rate F] [--jobs N]` — the sustained
+/// multi-tenant drill: Zipf traffic from seeded tenants through fair
+/// dispatch and supervised execution under an epoch-phased fault
+/// schedule, with the run cache under a hard bound and logical-clock LRU
+/// eviction. Writes `BENCH_soak.json` (or `--out`).
+///
+/// `--enforce` runs the acceptance ladder: the same soak at jobs=1,
+/// jobs=4 and fault-free, then requires bitwise-identical trace
+/// addresses, eviction logs and final cache contents across all three,
+/// zero drift and zero quarantines, at least one eviction (the bound
+/// must actually bite), and a steady-state hit-rate above the floor.
+fn run_soak_cmd(
+    reg: &treu::core::ExperimentRegistry,
+    args: &[String],
+    jobs: usize,
+    sup: &Supervision,
+) {
+    use treu_bench::soak::{generate, run_soak, SoakConfig, SoakReport};
+
+    fn usage_err(msg: String) -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
+    let mut cfg = if sup.full { SoakConfig::full(jobs) } else { SoakConfig::quick(jobs) };
+    if let Some(s) = sup.fault_seed {
+        cfg.fault_seed = s;
+    }
+    if let Some(r) = sup.fault_rate {
+        cfg.fault_rate = r;
+    }
+    let mut out_path = "BENCH_soak.json".to_string();
+    let mut seed_pos: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut flag_value = |flag: &str| -> Option<String> {
+            if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                return Some(v.to_string());
+            }
+            if arg == flag {
+                if i + 1 >= args.len() {
+                    usage_err(format!("{flag} requires a value"));
+                }
+                i += 1;
+                return Some(args[i].clone());
+            }
+            None
+        };
+        let parse_n = |flag: &str, v: &str| -> usize {
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| usage_err(format!("invalid {flag} value '{v}'")))
+        };
+        if let Some(v) = flag_value("--tenants") {
+            cfg.tenants = parse_n("--tenants", &v);
+        } else if let Some(v) = flag_value("--epochs") {
+            cfg.epochs = parse_n("--epochs", &v) as u32;
+        } else if let Some(v) = flag_value("--per-epoch") {
+            cfg.submissions_per_epoch = parse_n("--per-epoch", &v);
+        } else if let Some(v) = flag_value("--cache-entries") {
+            cfg.bound = CacheBound::entries(parse_n("--cache-entries", &v));
+        } else if let Some(v) = flag_value("--cache-bytes") {
+            cfg.bound = CacheBound::bytes(parse_n("--cache-bytes", &v) as u64);
+        } else if let Some(v) = flag_value("--out") {
+            out_path = v;
+        } else if arg == "--quick" {
+            // The default shape; accepted so scripts can say what they mean.
+        } else if arg.starts_with('-') {
+            usage_err(format!("unknown soak flag '{arg}'"));
+        } else if seed_pos.is_none() && arg.parse::<u64>().is_ok() {
+            seed_pos = Some(arg.parse().expect("checked above"));
+        } else {
+            usage_err(format!("unexpected argument '{arg}'"));
+        }
+        i += 1;
+    }
+    if let Some(s) = seed_pos {
+        cfg.seed = s;
+    }
+    // Conformance parameters keep every submission fast — the soak's
+    // stress is volume and churn, not per-run cost.
+    let params_of = |id: &str, _d: treu::core::experiment::Params| treu::conformance_params(id);
+
+    // Each soak run gets a fresh bounded cache in scratch space; the
+    // report is what survives, not the directory.
+    let scratch = std::env::temp_dir().join(format!("treu-soak-{}", std::process::id()));
+    let run_once = |label: &str, cfg: &SoakConfig| -> SoakReport {
+        let dir = scratch.join(label);
+        if dir.exists() {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        let cache = RunCache::open_bounded(&dir, cfg.bound).unwrap_or_else(|e| {
+            eprintln!("soak: cannot open cache under '{}': {e}", dir.display());
+            std::process::exit(2);
+        });
+        let report = run_soak(reg, &params_of, cfg, &cache);
+        let _ = std::fs::remove_dir_all(&dir);
+        report
+    };
+
+    // Sanity before spending anything: the generator must produce
+    // traffic for the configured tenant population.
+    let ids: Vec<String> = reg.iter().map(|(id, _)| id.to_string()).collect();
+    if generate(&cfg, &ids).is_empty() {
+        usage_err("soak: empty submission stream (check --epochs/--per-epoch)".into());
+    }
+
+    let primary = run_once("primary", &cfg);
+    print!("{}", primary.render());
+    match std::fs::write(&out_path, primary.render_json()) {
+        Ok(()) => println!("soak: wrote {out_path}"),
+        Err(e) => {
+            eprintln!("soak: cannot write '{out_path}': {e}");
+            std::process::exit(2);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    if !sup.enforce {
+        return;
+    }
+
+    // The acceptance ladder: same soak at jobs=1, jobs=4, and with the
+    // fault schedule disabled. Chaos and parallelism may cost retries
+    // and wall time — never bits.
+    let mut failures: Vec<String> = Vec::new();
+    let mut variants: Vec<(String, SoakReport)> = Vec::new();
+    for jobs_variant in [1usize, 4] {
+        if jobs_variant == cfg.jobs {
+            continue;
+        }
+        let mut v = cfg.clone();
+        v.jobs = jobs_variant;
+        variants
+            .push((format!("jobs={jobs_variant}"), run_once(&format!("jobs{jobs_variant}"), &v)));
+    }
+    let mut clean = cfg.clone();
+    clean.fault_rate = 0.0;
+    variants.push(("fault-free".to_string(), run_once("clean", &clean)));
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    for (label, report) in &variants {
+        if report.trace_address != primary.trace_address {
+            failures.push(format!(
+                "{label}: trace address {:#018x} != primary {:#018x}",
+                report.trace_address, primary.trace_address
+            ));
+        }
+        if report.eviction_address != primary.eviction_address {
+            failures.push(format!("{label}: eviction log diverged from primary"));
+        }
+        if report.final_entries != primary.final_entries {
+            failures.push(format!("{label}: final cache contents diverged from primary"));
+        }
+        if !report.zero_drift() {
+            failures.push(format!(
+                "{label}: drift {} / quarantined {}",
+                report.drift, report.quarantined
+            ));
+        }
+    }
+    if !primary.zero_drift() {
+        failures.push(format!(
+            "primary: drift {} / quarantined {}",
+            primary.drift, primary.quarantined
+        ));
+    }
+    if primary.evictions == 0 {
+        failures
+            .push("primary: the cache bound never evicted — soak too small for the bound".into());
+    }
+    if primary.steady_hit_rate < SOAK_HIT_RATE_FLOOR {
+        failures.push(format!(
+            "primary: steady-state hit-rate {:.3} below floor {SOAK_HIT_RATE_FLOOR}",
+            primary.steady_hit_rate
+        ));
+    }
+    if failures.is_empty() {
+        println!(
+            "soak: ENFORCED — {} variant(s) bitwise-identical to primary \
+             (trace {:#018x}), zero drift, steady-state hit-rate {:.3}",
+            variants.len(),
+            primary.trace_address,
+            primary.steady_hit_rate
+        );
+    } else {
+        for f in &failures {
+            eprintln!("soak: FAILED — {f}");
+        }
+        std::process::exit(1);
     }
 }
 

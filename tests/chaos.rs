@@ -15,7 +15,7 @@
 #![recursion_limit = "256"]
 
 use proptest::prelude::*;
-use treu::core::cache::RunCache;
+use treu::core::cache::{CacheBound, RunCache};
 use treu::core::exec::{DenyPolicy, Executor, FailureKind, SupervisePolicy};
 use treu::core::experiment::{Experiment, Params, RunContext};
 use treu::core::fault::FaultPlan;
@@ -251,6 +251,53 @@ fn cache_stats_stay_consistent_under_chaos() {
     assert_eq!(end.misses, n, "cold pass misses every id");
     assert_eq!(end.hits, n, "warm pass replays every id");
     assert_eq!(end.stores, n, "only the cold pass stores");
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// ISSUE 6 satellite (b): the same chaos invariant with the cache under
+/// a hard bound — `CacheStats::consistent()` must hold after every
+/// eviction, the bound must hold at rest, and eviction churn must never
+/// corrupt a verification verdict.
+#[test]
+fn bounded_cache_stats_stay_consistent_under_chaotic_eviction() {
+    quiet_injected_panics();
+    let reg = synthetic_registry();
+    let dir = std::env::temp_dir().join(format!("treu-chaos-bounded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Bound below the registry size so every pass churns the cache.
+    let bound = CacheBound::entries(3);
+    let cache = RunCache::open_bounded(&dir, bound).expect("cache opens");
+    let plan = FaultPlan::transient(11, 0.3);
+    let policy = SupervisePolicy::new(plan.max_transient_attempts());
+    for pass in 0..3 {
+        let report = Executor::new(4).verify_all_supervised_with(
+            &reg,
+            21,
+            Some(&cache),
+            &policy,
+            Some(&plan),
+            |_, d| d,
+        );
+        assert!(report.all_reproduced(), "pass {pass}: {:?}", report.violations());
+        let stats = cache.stats();
+        assert!(stats.consistent(), "pass {pass}: torn snapshot after evictions {stats:?}");
+        assert!(
+            cache.resident_entries().len() <= 3,
+            "pass {pass}: bound violated at rest: {:?}",
+            cache.resident_entries()
+        );
+    }
+    let end = cache.stats();
+    let n = reg.len() as u64;
+    assert_eq!(end.lookups, 3 * n, "one classified lookup per id per pass");
+    assert_eq!(end.hits + end.misses, 3 * n, "every lookup classified");
+    assert!(end.evictions > 0, "a 3-entry bound over {n} ids must evict: {end:?}");
+    assert_eq!(end.stores, end.misses, "every miss recomputes and stores");
+    assert_eq!(
+        end.evictions,
+        cache.eviction_log().len() as u64,
+        "the eviction log and the counter must agree"
+    );
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
 

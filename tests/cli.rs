@@ -440,3 +440,134 @@ fn bad_supervision_flags_fail_with_usage_error() {
         assert_eq!(out.status.code(), Some(2), "{bad:?}");
     }
 }
+
+/// A soak shape small enough for a CLI test: three tenants, two epochs,
+/// a six-entry bound — still enough traffic to hit, miss and evict.
+fn small_soak_args<'a>(out_path: &'a str, extra: &[&'a str]) -> Vec<&'a str> {
+    let mut args = vec![
+        "soak",
+        "42",
+        "--tenants",
+        "3",
+        "--epochs",
+        "2",
+        "--per-epoch",
+        "16",
+        "--cache-entries",
+        "6",
+        "--out",
+        out_path,
+    ];
+    args.extend_from_slice(extra);
+    args
+}
+
+#[test]
+fn soak_writes_bench_json_with_logical_latencies_and_hit_rate() {
+    let out_path = std::env::temp_dir().join(format!("treu-soak-cli-{}.json", std::process::id()));
+    let out_s = out_path.to_str().unwrap();
+    let out = treu(&small_soak_args(out_s, &[]));
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("soak: 32 submission(s), 3 tenant(s), 2 epoch(s)"), "{stdout}");
+    assert!(stdout.contains("steady-state hit-rate"), "{stdout}");
+    assert!(stdout.contains("trace address 0x"), "{stdout}");
+    assert!(stdout.contains("zero drift: true"), "{stdout}");
+    let json = std::fs::read_to_string(&out_path).expect("BENCH_soak.json written");
+    for field in [
+        "\"bench\": \"soak/multi-tenant\"",
+        "\"p50_latency_rounds\"",
+        "\"p99_latency_rounds\"",
+        "\"steady_hit_rate\"",
+        "\"epoch_hit_rates\"",
+        "\"zero_drift\": true",
+        "\"trace_address\"",
+    ] {
+        assert!(json.contains(field), "missing {field} in:\n{json}");
+    }
+    std::fs::remove_file(&out_path).expect("cleanup");
+}
+
+#[test]
+fn soak_output_is_identical_at_jobs_one_and_four() {
+    let out_path = std::env::temp_dir().join(format!("treu-soak-jobs-{}.json", std::process::id()));
+    let out_s = out_path.to_str().unwrap();
+    let one = treu(&small_soak_args(out_s, &["--jobs", "1"]));
+    let json_one = std::fs::read_to_string(&out_path).expect("json written");
+    let four = treu(&small_soak_args(out_s, &["--jobs", "4"]));
+    let json_four = std::fs::read_to_string(&out_path).expect("json written");
+    assert!(one.status.success() && four.status.success());
+    // The header echoes the jobs count itself; every line below it —
+    // hit-rates, latencies, trace address, ledger — must be identical.
+    let logical_lines = |out: &[u8]| -> String {
+        String::from_utf8(out.to_vec())
+            .expect("utf8")
+            .lines()
+            .filter(|l| !l.contains("jobs="))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        logical_lines(&one.stdout),
+        logical_lines(&four.stdout),
+        "--jobs must never change the soak's results"
+    );
+    let strip_variable = |json: &str| -> String {
+        json.lines()
+            .filter(|l| !l.contains("wall_seconds") && !l.contains("\"jobs\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip_variable(&json_one),
+        strip_variable(&json_four),
+        "every logical JSON field must be jobs-invariant"
+    );
+    std::fs::remove_file(&out_path).expect("cleanup");
+}
+
+#[test]
+fn soak_enforce_accepts_a_converging_soak() {
+    let out_path =
+        std::env::temp_dir().join(format!("treu-soak-enforce-{}.json", std::process::id()));
+    let out_s = out_path.to_str().unwrap();
+    // A slightly roomier shape than the other CLI soaks: the enforce
+    // ladder gates on the steady-state hit-rate floor, so the bound must
+    // hold the hot set.
+    let out = treu(&[
+        "soak",
+        "42",
+        "--tenants",
+        "3",
+        "--epochs",
+        "2",
+        "--per-epoch",
+        "32",
+        "--cache-entries",
+        "12",
+        "--out",
+        out_s,
+        "--enforce",
+        "--jobs",
+        "2",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("soak: ENFORCED"), "{stdout}");
+    assert!(stdout.contains("bitwise-identical to primary"), "{stdout}");
+    std::fs::remove_file(&out_path).expect("cleanup");
+}
+
+#[test]
+fn bad_soak_flags_fail_with_usage_error() {
+    for bad in [
+        &["soak", "--bogus"][..],
+        &["soak", "--tenants", "x"],
+        &["soak", "--epochs", "0"],
+        &["soak", "--per-epoch"],
+        &["soak", "not-a-seed"],
+    ] {
+        let out = treu(bad);
+        assert_eq!(out.status.code(), Some(2), "{bad:?}");
+    }
+}

@@ -1,0 +1,286 @@
+//! Soak conformance suite (ISSUE 6): the sustained multi-tenant chaos
+//! soak must be a *deterministic* stress — Zipf traffic, fair dispatch,
+//! epoch-phased faults and bounded-cache eviction all compose into a
+//! report whose every result field is a pure function of the config.
+//!
+//! Three properties anchor the lifecycle model:
+//!
+//! 1. **Eviction determinism** — same seed + bound ⇒ identical eviction
+//!    order, final cache contents and trace address at jobs=1 vs jobs=4.
+//! 2. **Zipf sanity** — the tenant draw is genuinely skewed: the head
+//!    tenant dominates, every tenant still gets traffic.
+//! 3. **Zero drift** — over random (seed, rate, bound) triples, every
+//!    served fingerprint matches the fault-free baseline and the soak's
+//!    trace address equals the rate-0 soak's, bit for bit.
+
+// The vendored proptest shim expands multi-parameter strategies deeply.
+#![recursion_limit = "256"]
+
+use proptest::prelude::*;
+use treu::core::cache::{CacheBound, RunCache};
+use treu::core::experiment::{Experiment, Params, RunContext};
+use treu::core::ExperimentRegistry;
+use treu_bench::soak::{generate, run_soak, SoakConfig, SoakReport};
+
+/// Silences the per-panic stderr trace for *injected* panics only.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.starts_with("injected fault") {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// A cheap seeded experiment so the soak sweep stays fast; the cache,
+/// scheduler and supervisor under test are the production ones.
+struct Synthetic(&'static str);
+
+impl Experiment for Synthetic {
+    fn name(&self) -> &str {
+        self.0
+    }
+
+    fn run(&self, ctx: &mut RunContext) {
+        let n = ctx.int("n", 16).unsigned_abs() as usize;
+        let mut rng = ctx.rng("draws");
+        let sum: f64 = (0..n.max(1)).map(|_| rng.next_f64()).sum();
+        ctx.record("sum", sum);
+    }
+}
+
+fn synthetic_registry() -> ExperimentRegistry {
+    let mut reg = ExperimentRegistry::new();
+    for (id, n) in [("S1", 8), ("S2", 16), ("S3", 24), ("S4", 4), ("S5", 12)] {
+        reg.register(
+            id,
+            "prop",
+            "synthetic",
+            Params::new().with_int("n", n),
+            Box::new(Synthetic(id)),
+        );
+    }
+    reg
+}
+
+/// A small soak shape the property sweep can afford: enough traffic for
+/// the bound to bite, small enough for dozens of runs.
+fn small_config(seed: u64, rate: f64, bound: CacheBound, jobs: usize) -> SoakConfig {
+    SoakConfig {
+        seed,
+        tenants: 4,
+        submissions_per_epoch: 32,
+        epochs: 3,
+        capacity: 8,
+        quota: 2,
+        zipf_s: 1.1,
+        ids_per_tenant: 3,
+        seeds_per_tenant: 2,
+        fault_seed: seed ^ 0x5151,
+        fault_rate: rate,
+        bound,
+        jobs,
+    }
+}
+
+/// Runs one soak on a fresh bounded cache directory, returning the
+/// report and the end-of-soak cache statistics snapshot.
+fn soak_once(
+    reg: &ExperimentRegistry,
+    cfg: &SoakConfig,
+    label: &str,
+) -> (SoakReport, treu::core::cache::CacheStats) {
+    let dir = std::env::temp_dir().join(format!(
+        "treu-soak-test-{}-{label}-{}",
+        std::process::id(),
+        cfg.seed
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = RunCache::open_bounded(&dir, cfg.bound).expect("cache opens");
+    let report = run_soak(reg, &|_, d| d, cfg, &cache);
+    let stats = cache.stats();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+    (report, stats)
+}
+
+/// Property 1 body: the jobs knob must be invisible to every result —
+/// eviction order, final contents, latencies and the trace address.
+fn check_eviction_determinism(seed: u64, rate: f64, max_entries: usize) {
+    quiet_injected_panics();
+    let reg = synthetic_registry();
+    let bound = CacheBound::entries(max_entries);
+    let (one, stats_one) = soak_once(&reg, &small_config(seed, rate, bound, 1), "j1");
+    let (four, stats_four) = soak_once(&reg, &small_config(seed, rate, bound, 4), "j4");
+    prop_assert_eq!(&one.final_entries, &four.final_entries, "final cache contents diverged");
+    prop_assert_eq!(one.eviction_address, four.eviction_address, "eviction order diverged");
+    prop_assert_eq!(one.trace_address, four.trace_address, "trace address diverged");
+    prop_assert_eq!(one.hits, four.hits);
+    prop_assert_eq!(one.computed, four.computed);
+    prop_assert_eq!(one.rounds, four.rounds);
+    prop_assert_eq!(one.p50_latency_rounds, four.p50_latency_rounds);
+    prop_assert_eq!(one.p99_latency_rounds, four.p99_latency_rounds);
+    prop_assert_eq!(&one.epoch_hit_rates, &four.epoch_hit_rates);
+    prop_assert_eq!(stats_one.evictions, stats_four.evictions);
+    prop_assert!(stats_one.consistent(), "jobs=1 stats torn: {:?}", stats_one);
+    prop_assert!(stats_four.consistent(), "jobs=4 stats torn: {:?}", stats_four);
+    prop_assert!(
+        one.final_entries.len() <= max_entries,
+        "bound violated at rest: {} > {max_entries}",
+        one.final_entries.len()
+    );
+}
+
+/// Property 3 body: chaos is invisible in the bits — zero drift, zero
+/// quarantine, and the whole logical trace identical to the rate-0 soak.
+fn check_zero_drift(seed: u64, rate: f64, max_entries: usize) {
+    quiet_injected_panics();
+    let reg = synthetic_registry();
+    let bound = CacheBound::entries(max_entries);
+    let cfg = small_config(seed, rate, bound, 2);
+    let (chaotic, stats) = soak_once(&reg, &cfg, "chaos");
+    prop_assert!(
+        chaotic.zero_drift(),
+        "seed={seed} rate={rate} bound={max_entries}: drift {} quarantined {}",
+        chaotic.drift,
+        chaotic.quarantined
+    );
+    prop_assert!(stats.consistent(), "stats torn after soak: {stats:?}");
+    let mut clean_cfg = cfg.clone();
+    clean_cfg.fault_rate = 0.0;
+    let (clean, _) = soak_once(&reg, &clean_cfg, "clean");
+    prop_assert_eq!(
+        chaotic.trace_address,
+        clean.trace_address,
+        "seed={} rate={}: chaos leaked into the logical trace",
+        seed,
+        rate
+    );
+    prop_assert_eq!(&chaotic.final_entries, &clean.final_entries);
+    prop_assert_eq!(chaotic.eviction_address, clean.eviction_address);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn eviction_is_deterministic_across_job_counts(
+        seed in 0u64..10_000,
+        rate in 0.0f64..0.3,
+        max_entries in 2usize..12,
+    ) {
+        check_eviction_determinism(seed, rate, max_entries);
+    }
+
+    #[test]
+    fn soak_has_zero_drift_for_random_seed_rate_bound_triples(
+        seed in 0u64..10_000,
+        rate in 0.0f64..0.3,
+        max_entries in 2usize..12,
+    ) {
+        check_zero_drift(seed, rate, max_entries);
+    }
+}
+
+/// Property 2: the Zipf tenant draw is skewed but total — the head
+/// tenant dominates the tail and no tenant starves at generation time.
+#[test]
+fn zipf_traffic_is_skewed_and_total() {
+    let cfg = SoakConfig {
+        submissions_per_epoch: 1000,
+        epochs: 4,
+        ..small_config(2023, 0.0, CacheBound::unbounded(), 1)
+    };
+    let ids: Vec<String> = ["S1", "S2", "S3", "S4", "S5"].iter().map(|s| s.to_string()).collect();
+    let subs = generate(&cfg, &ids);
+    assert_eq!(subs.len(), 4000);
+    assert_eq!(subs, generate(&cfg, &ids), "traffic replays bitwise");
+    let mut counts = vec![0usize; cfg.tenants];
+    for s in &subs {
+        counts[s.tenant as usize] += 1;
+        assert!(ids.contains(&s.id));
+    }
+    assert!(
+        counts[0] > 2 * counts[cfg.tenants - 1],
+        "head tenant must dominate the tail: {counts:?}"
+    );
+    assert!(counts.iter().all(|&c| c > 0), "every tenant gets traffic: {counts:?}");
+    let sorted: Vec<usize> = {
+        let mut v = counts.clone();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    };
+    assert_eq!(sorted, counts, "Zipf popularity must decrease with tenant rank: {counts:?}");
+}
+
+/// The steady-state claim behind `--enforce`: with a bound large enough
+/// to hold the hot set, the hit-rate converges and the final epochs are
+/// served mostly from cache, while a bound of one entry still soaks
+/// cleanly (it just computes nearly everything).
+#[test]
+fn hit_rate_converges_to_a_steady_state_under_a_workable_bound() {
+    quiet_injected_panics();
+    let reg = synthetic_registry();
+    let cfg = SoakConfig { epochs: 5, ..small_config(7, 0.2, CacheBound::entries(16), 2) };
+    let (report, _) = soak_once(&reg, &cfg, "steady");
+    assert!(report.zero_drift(), "drift {} quarantined {}", report.drift, report.quarantined);
+    assert!(
+        report.steady_hit_rate > 0.5,
+        "16 entries hold the hot set; steady hit-rate {:.3} too low\n{}",
+        report.steady_hit_rate,
+        report.render()
+    );
+    let late = &report.epoch_hit_rates[2..];
+    assert!(
+        late.iter().all(|&r| r > 0.5),
+        "late epochs must be warm: {:?}",
+        report.epoch_hit_rates
+    );
+
+    let tiny = SoakConfig { bound: CacheBound::entries(1), ..cfg };
+    let (starved, stats) = soak_once(&reg, &tiny, "tiny");
+    assert!(starved.zero_drift());
+    assert!(stats.consistent(), "{stats:?}");
+    assert!(starved.final_entries.len() <= 1);
+    assert!(
+        starved.steady_hit_rate < report.steady_hit_rate,
+        "a one-entry cache cannot out-hit a 16-entry cache"
+    );
+}
+
+/// Fairness under flood: tenant 0 owns roughly half the traffic, yet the
+/// soak still serves every tenant and tenant 0 pays its own queueing
+/// tail rather than exporting it.
+#[test]
+fn hot_tenant_pays_its_own_latency_tail() {
+    quiet_injected_panics();
+    let reg = synthetic_registry();
+    let cfg = small_config(42, 0.1, CacheBound::entries(16), 2);
+    let (report, _) = soak_once(&reg, &cfg, "fair");
+    let hot = report.ledger.get(0);
+    assert_eq!(
+        report.ledger.len(),
+        cfg.tenants,
+        "every tenant must be served:\n{}",
+        report.ledger.render()
+    );
+    for (tenant, stats) in report.ledger.iter() {
+        assert!(stats.served > 0, "tenant {tenant} starved");
+        if tenant != 0 {
+            assert!(
+                stats.max_latency_rounds <= hot.max_latency_rounds,
+                "tenant {tenant} waited longer than the flooding tenant:\n{}",
+                report.ledger.render()
+            );
+        }
+    }
+    assert_eq!(report.worst_tenant_latency_rounds, hot.max_latency_rounds);
+}
