@@ -47,25 +47,9 @@ use treu_core::fault::SoakSchedule;
 use treu_core::registry::Entry;
 use treu_core::ExperimentRegistry;
 
-/// FNV-1a over byte parts with separators — the same construction the
-/// run cache uses for its addresses.
-fn fnv64(parts: &[&[u8]]) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for part in parts {
-        for &b in *part {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        h ^= 0xFF;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
-
-/// A uniform draw in `[0, 1)` from a hash (53 mantissa bits).
-fn unit(h: u64) -> f64 {
-    (h >> 11) as f64 / (1u64 << 53) as f64
-}
+// Traffic shapes are drawn from the canonical separator-mixed FNV-1a
+// fold — the same construction the run cache uses for its addresses.
+use treu_core::hash::{fnv64_parts, unit};
 
 /// Soak shape: how much traffic, from whom, under how much pressure.
 #[derive(Debug, Clone, PartialEq)]
@@ -165,7 +149,8 @@ fn draw_tenant(cfg: &SoakConfig, index: usize) -> u64 {
     let weights: Vec<f64> =
         (0..cfg.tenants).map(|k| 1.0 / ((k + 1) as f64).powf(cfg.zipf_s)).collect();
     let total: f64 = weights.iter().sum();
-    let u = unit(fnv64(&[b"soak-tenant", &cfg.seed.to_le_bytes(), &index.to_le_bytes()])) * total;
+    let u =
+        unit(fnv64_parts(&[b"soak-tenant", &cfg.seed.to_le_bytes(), &index.to_le_bytes()])) * total;
     let mut acc = 0.0;
     for (k, w) in weights.iter().enumerate() {
         acc += w;
@@ -189,9 +174,9 @@ pub fn generate(cfg: &SoakConfig, ids: &[String]) -> Vec<Submission> {
         // deterministic picks from the registry (repeats allowed — they
         // just make that tenant hotter on fewer keys).
         let slot_count = cfg.ids_per_tenant.max(1);
-        let pick = fnv64(&[b"soak-id", &cfg.seed.to_le_bytes(), &index.to_le_bytes()]);
+        let pick = fnv64_parts(&[b"soak-id", &cfg.seed.to_le_bytes(), &index.to_le_bytes()]);
         let slot = (pick % slot_count as u64) as usize;
-        let id_ix = fnv64(&[
+        let id_ix = fnv64_parts(&[
             b"soak-pref",
             &cfg.seed.to_le_bytes(),
             &tenant.to_le_bytes(),
@@ -200,9 +185,10 @@ pub fn generate(cfg: &SoakConfig, ids: &[String]) -> Vec<Submission> {
         let id = ids[id_ix as usize].clone();
         // Run seed from the tenant's bounded pool, so repeat requests
         // address the same cache entries.
-        let seed_slot = fnv64(&[b"soak-seed-slot", &cfg.seed.to_le_bytes(), &index.to_le_bytes()])
-            % cfg.seeds_per_tenant.max(1) as u64;
-        let seed = fnv64(&[
+        let seed_slot =
+            fnv64_parts(&[b"soak-seed-slot", &cfg.seed.to_le_bytes(), &index.to_le_bytes()])
+                % cfg.seeds_per_tenant.max(1) as u64;
+        let seed = fnv64_parts(&[
             b"soak-run-seed",
             &cfg.seed.to_le_bytes(),
             &tenant.to_le_bytes(),
@@ -522,7 +508,7 @@ pub fn run_soak(
     for name in cache.eviction_log() {
         trace.push_str(&format!("evict={name}\n"));
     }
-    let trace_address = fnv64(&[trace.as_bytes()]);
+    let trace_address = fnv64_parts(&[trace.as_bytes()]);
 
     latencies.sort_unstable();
     let steady_hit_rate = epoch_hit_rates.last().copied().unwrap_or(0.0);

@@ -9,7 +9,7 @@
 //! same key replays the stored trail instead of recomputing.
 //!
 //! **Key derivation.** A cache entry's *address* is
-//! `fnv64(id ‖ seed ‖ canonical-params)` — the experiment id, the master
+//! `fnv64_parts(id ‖ seed ‖ canonical-params)` — the experiment id, the master
 //! seed, and the parameter set rendered in canonical (BTreeMap key)
 //! order. The *validity* of an entry is governed separately by the
 //! **code+env fingerprint** stored inside it:
@@ -270,21 +270,9 @@ pub struct RunCache {
     index: Mutex<LruIndex>,
 }
 
-/// FNV-1a over a byte stream — the same hash family the provenance
-/// fingerprint uses, applied to the cache key material.
-fn fnv64(parts: &[&[u8]]) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for part in parts {
-        for &b in *part {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        // Separator so ("ab","c") never collides with ("a","bc").
-        h ^= 0xFF;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
+// Cache keys are the canonical separator-mixed FNV-1a fold over their
+// key material — the same hash family the provenance fingerprint uses.
+use crate::hash::fnv64_parts;
 
 /// The index key for an entry path: its file name.
 fn entry_name(path: &Path) -> String {
@@ -464,7 +452,7 @@ impl RunCache {
     pub fn eviction_fingerprint(&self) -> u64 {
         let ix = self.index.lock().expect("cache index mutex poisoned");
         let parts: Vec<&[u8]> = ix.evicted.iter().map(|n| n.as_bytes()).collect();
-        fnv64(&parts)
+        fnv64_parts(&parts)
     }
 
     /// Resident entry file names in canonical (name) order. Meaningful on
@@ -480,7 +468,7 @@ impl RunCache {
     }
 
     fn run_path(&self, id: &str, seed: u64, params: &Params) -> PathBuf {
-        let key = fnv64(&[
+        let key = fnv64_parts(&[
             b"run",
             id.as_bytes(),
             &seed.to_le_bytes(),
@@ -490,7 +478,7 @@ impl RunCache {
     }
 
     fn blob_path(&self, kind: &str, tag: &str) -> PathBuf {
-        let key = fnv64(&[b"blob", kind.as_bytes(), tag.as_bytes()]);
+        let key = fnv64_parts(&[b"blob", kind.as_bytes(), tag.as_bytes()]);
         self.dir.join(format!("{key:016x}.txt"))
     }
 
@@ -568,7 +556,7 @@ impl RunCache {
         out.push_str(&format!("name {}\n", rec.name));
         out.push_str(&format!("seed {}\n", rec.seed));
         out.push_str(&format!("wall {}\n", rec.wall_seconds));
-        out.push_str(&format!("checksum {:#018x}\n", fnv64(&[body.as_bytes()])));
+        out.push_str(&format!("checksum {:#018x}\n", fnv64_parts(&[body.as_bytes()])));
         out.push_str("trail\n");
         out.push_str(&body);
         let path = self.run_path(id, seed, params);
@@ -721,7 +709,7 @@ fn parse_run_entry(text: &str, expect_fingerprint: u64, expect_seed: u64) -> Ent
             return None;
         }
         let body: String = lines.map(|l| format!("{l}\n")).collect();
-        if fnv64(&[body.as_bytes()]) != checksum {
+        if fnv64_parts(&[body.as_bytes()]) != checksum {
             return None;
         }
         let trail = Trail::parse(&body)?;

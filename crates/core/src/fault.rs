@@ -85,27 +85,10 @@ impl FaultKind {
     }
 }
 
-/// FNV-1a over byte parts with separators — the same construction the run
-/// cache uses for its addresses, reused here so fault draws are stable,
-/// well-mixed functions of their key material.
-fn fnv64(parts: &[&[u8]]) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for part in parts {
-        for &b in *part {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-        h ^= 0xFF;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
-
-/// A uniform draw in `[0, 1)` from a hash — 53 mantissa bits, the same
-/// construction `SplitMix64::next_f64` uses.
-fn unit(h: u64) -> f64 {
-    (h >> 11) as f64 / (1u64 << 53) as f64
-}
+// Fault draws are the canonical separator-mixed FNV-1a fold over their
+// key material, mapped to [0, 1) — stable, well-mixed functions shared
+// with the run cache's addresses.
+use crate::hash::{fnv64_parts, unit};
 
 /// A seeded, content-addressed plan of which runs fail and how.
 ///
@@ -197,7 +180,7 @@ impl FaultPlan {
         if self.menu.is_empty() || self.rate <= 0.0 {
             return None;
         }
-        let gate = fnv64(&[
+        let gate = fnv64_parts(&[
             b"fault-gate",
             &self.seed.to_le_bytes(),
             id.as_bytes(),
@@ -206,7 +189,7 @@ impl FaultPlan {
         if unit(gate) >= self.rate {
             return None;
         }
-        let pick = fnv64(&[
+        let pick = fnv64_parts(&[
             b"fault-kind",
             &self.seed.to_le_bytes(),
             id.as_bytes(),
@@ -275,7 +258,7 @@ impl FaultPlan {
             parts.push(t.as_bytes().to_vec());
         }
         let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
-        fnv64(&refs)
+        fnv64_parts(&refs)
     }
 
     /// The nonce a [`FaultKind::CorruptTrail`] injection flips into the
@@ -283,7 +266,7 @@ impl FaultPlan {
     /// two verification replicas corrupt differently — deterministic
     /// corruption that still shows up as a mismatch.
     pub fn corruption_nonce(&self, id: &str, run_seed: u64, attempt: u32, replica: u32) -> u64 {
-        fnv64(&[
+        fnv64_parts(&[
             b"corrupt",
             &self.seed.to_le_bytes(),
             id.as_bytes(),
@@ -344,7 +327,7 @@ impl SoakSchedule {
         if epoch == 0 || epoch >= self.epochs || self.rate <= 0.0 {
             return None;
         }
-        let draw = fnv64(&[b"soak-epoch", &self.seed.to_le_bytes(), &epoch.to_le_bytes()]);
+        let draw = fnv64_parts(&[b"soak-epoch", &self.seed.to_le_bytes(), &epoch.to_le_bytes()]);
         let menu: Vec<FaultKind> = match draw % 4 {
             0 => vec![FaultKind::TransientErr(1), FaultKind::TransientErr(2)],
             1 => vec![FaultKind::TransientErr(2), FaultKind::TransientErr(3)],
@@ -354,7 +337,8 @@ impl SoakSchedule {
         // Modulate the pressure per epoch: between 0.5× and 1.5× of the
         // base rate, drawn from the same hash so replays agree.
         let scale = 0.5 + unit(draw.rotate_left(17));
-        let plan_seed = fnv64(&[b"soak-plan-seed", &self.seed.to_le_bytes(), &epoch.to_le_bytes()]);
+        let plan_seed =
+            fnv64_parts(&[b"soak-plan-seed", &self.seed.to_le_bytes(), &epoch.to_le_bytes()]);
         Some(FaultPlan::with_menu(plan_seed, (self.rate * scale).min(1.0), menu))
     }
 
@@ -371,7 +355,7 @@ impl SoakSchedule {
     /// Content address of the schedule — everything that determines its
     /// behaviour, for naming the exact soak configuration in reports.
     pub fn fingerprint(&self) -> u64 {
-        fnv64(&[
+        fnv64_parts(&[
             b"soak-schedule",
             &self.seed.to_le_bytes(),
             &self.rate.to_bits().to_le_bytes(),
@@ -392,7 +376,8 @@ pub fn backoff_millis(attempt: u32, id: &str, run_seed: u64) -> u64 {
     const BASE_MS: [u64; 6] = [0, 2, 4, 8, 16, 32];
     let base = BASE_MS[(attempt as usize).min(BASE_MS.len() - 1)];
     let span = base / 2 + 1;
-    let h = fnv64(&[b"backoff", id.as_bytes(), &run_seed.to_le_bytes(), &attempt.to_le_bytes()]);
+    let h =
+        fnv64_parts(&[b"backoff", id.as_bytes(), &run_seed.to_le_bytes(), &attempt.to_le_bytes()]);
     base + h % span
 }
 

@@ -1,0 +1,25 @@
+//! Canonical content-address hashing (re-exported from `treu-math`).
+//!
+//! Every content address in the harness — trace addresses, run-cache
+//! keys, fault-plan draws, checksum lines — must come from the same
+//! FNV-1a fold, or two subsystems that claim to agree on an address can
+//! silently disagree. The single implementation lives in
+//! [`treu_math::hash`] (the lowest layer, so `derive_seed` can share it);
+//! this module is the canonical access path for everything above the math
+//! layer. The analyzer's R12 (`duplicate-primitive`) rule enforces that
+//! no module grows its own copy again.
+
+pub use treu_math::hash::{fnv64, fnv64_parts, unit, FNV_OFFSET, FNV_PRIME};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reexport_is_the_math_implementation() {
+        assert_eq!(fnv64(b"treu"), treu_math::hash::fnv64(b"treu"));
+        assert_eq!(fnv64_parts(&[b"a", b"b"]), treu_math::hash::fnv64_parts(&[b"a", b"b"]));
+        assert_eq!(unit(FNV_OFFSET), treu_math::hash::unit(FNV_OFFSET));
+        assert_eq!(FNV_PRIME, 0x0000_0100_0000_01B3);
+    }
+}

@@ -61,6 +61,7 @@ pub mod environment;
 pub mod exec;
 pub mod experiment;
 pub mod fault;
+pub mod hash;
 pub mod provenance;
 pub mod registry;
 pub mod report;

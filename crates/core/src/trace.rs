@@ -42,17 +42,9 @@ pub const TIMES_MAGIC: &str = "treu-trace-times v1";
 /// storms — and are counted when they do.
 pub const DEFAULT_RING_CAPACITY: usize = 512;
 
-/// FNV-1a over a byte stream — the same hash family the run cache and
-/// fault plan use, here taken over the rendered event stream so the trace
-/// address is a pure function of the execution story.
-fn fnv64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
+// The trace address is the canonical FNV-1a fold over the rendered event
+// stream — the same hash the run cache and fault plan use.
+use crate::hash::fnv64;
 
 /// Minimal JSON string escaping for the hand-rolled writer.
 fn json_escape(s: &str) -> String {

@@ -78,7 +78,7 @@ pub fn parse(comment: &Comment) -> Parsed {
     let rule_str = rest[..comma].trim();
     let Some(rule) = RuleId::parse(rule_str) else {
         return Parsed::Malformed(format!(
-            "unknown rule `{rule_str}` (use a code R1..R7 or a rule name)"
+            "unknown rule `{rule_str}` (use a code R1..R12 or a rule name)"
         ));
     };
     let rest = rest[comma + 1..].trim_start();

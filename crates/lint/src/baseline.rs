@@ -1,0 +1,162 @@
+//! Finding baselines — ratcheting for `treu lint`.
+//!
+//! A baseline file records the findings a workspace currently has, one
+//! per line, so CI can fail only on *new* findings while the recorded
+//! debt is paid down over time. Keys are `(code, file, message)` — line
+//! numbers are deliberately excluded so unrelated edits that shift a
+//! known finding up or down the file do not break the gate. Keys form a
+//! multiset: two identical findings need two baseline entries, so fixing
+//! one of them still shrinks the recorded debt.
+//!
+//! The format is line-oriented and diff-friendly:
+//!
+//! ```text
+//! # treu-lint baseline v1
+//! R3<TAB>crates/x/src/a.rs<TAB>`Instant::now` reads the wall clock ...
+//! ```
+
+use crate::report::LintReport;
+use std::collections::BTreeMap;
+
+/// Magic first line of a baseline file.
+pub const HEADER: &str = "# treu-lint baseline v1";
+
+/// Renders a report's findings as baseline text (sorted, deterministic).
+pub fn render(report: &LintReport) -> String {
+    let mut lines: Vec<String> = report
+        .diagnostics
+        .iter()
+        .map(|d| format!("{}\t{}\t{}", d.code, d.file, d.message))
+        .collect();
+    lines.sort();
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for l in lines {
+        out.push_str(&l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses baseline text into a finding-key multiset. Blank lines and
+/// `#` comments are skipped; a malformed line is an error naming it.
+pub fn parse(text: &str) -> Result<BTreeMap<(String, String, String), usize>, String> {
+    let mut keys = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.splitn(3, '\t');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(code), Some(file), Some(message)) if !code.is_empty() => {
+                *keys
+                    .entry((code.to_string(), file.to_string(), message.to_string()))
+                    .or_insert(0) += 1;
+            }
+            _ => {
+                return Err(format!(
+                    "baseline line {} is not `code<TAB>file<TAB>message`: {line:?}",
+                    idx + 1
+                ));
+            }
+        }
+    }
+    Ok(keys)
+}
+
+/// Splits a report against a baseline: returns the report containing
+/// only findings *not* covered by the baseline, plus the number of
+/// findings the baseline absorbed. Summary counters follow the kept
+/// findings, so deny-level gating works unchanged on the result.
+pub fn apply(
+    report: LintReport,
+    mut baseline: BTreeMap<(String, String, String), usize>,
+) -> (LintReport, usize) {
+    let mut kept = Vec::new();
+    let mut absorbed = 0usize;
+    for d in report.diagnostics {
+        let key = (d.code.to_string(), d.file.clone(), d.message.clone());
+        match baseline.get_mut(&key) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                absorbed += 1;
+            }
+            _ => kept.push(d),
+        }
+    }
+    (
+        LintReport {
+            files_scanned: report.files_scanned,
+            diagnostics: kept,
+            allows_honored: report.allows_honored,
+        },
+        absorbed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Diagnostic, Severity};
+
+    fn diag(code: &'static str, file: &str, message: &str, line: usize) -> Diagnostic {
+        Diagnostic {
+            code,
+            rule: "unordered-collections",
+            severity: Severity::Error,
+            file: file.to_string(),
+            line,
+            col: 1,
+            message: message.to_string(),
+            hint: String::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    fn report(diags: Vec<Diagnostic>) -> LintReport {
+        LintReport { files_scanned: 1, diagnostics: diags, allows_honored: 0 }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let r = report(vec![diag("R1", "b.rs", "msg b", 9), diag("R1", "a.rs", "msg a", 3)]);
+        let text = render(&r);
+        assert!(text.starts_with(HEADER));
+        let keys = parse(&text).unwrap();
+        assert_eq!(keys.len(), 2);
+        assert_eq!(keys[&("R1".into(), "a.rs".into(), "msg a".into())], 1);
+    }
+
+    #[test]
+    fn apply_absorbs_known_findings_and_keeps_new_ones() {
+        let old = report(vec![diag("R1", "a.rs", "known", 3)]);
+        let baseline = parse(&render(&old)).unwrap();
+        // Same finding moved to another line + one new finding.
+        let now = report(vec![diag("R1", "a.rs", "known", 30), diag("R5", "a.rs", "new", 4)]);
+        let (kept, absorbed) = apply(now, baseline);
+        assert_eq!(absorbed, 1);
+        assert_eq!(kept.diagnostics.len(), 1);
+        assert_eq!(kept.diagnostics[0].code, "R5");
+    }
+
+    #[test]
+    fn multiset_counts_absorb_each_entry_once() {
+        let old = report(vec![diag("R1", "a.rs", "dup", 1), diag("R1", "a.rs", "dup", 2)]);
+        let baseline = parse(&render(&old)).unwrap();
+        let now = report(vec![
+            diag("R1", "a.rs", "dup", 1),
+            diag("R1", "a.rs", "dup", 2),
+            diag("R1", "a.rs", "dup", 3),
+        ]);
+        let (kept, absorbed) = apply(now, baseline);
+        assert_eq!(absorbed, 2);
+        assert_eq!(kept.diagnostics.len(), 1, "the third occurrence is new");
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let err = parse("# header\nnot tab separated\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+}

@@ -1,0 +1,420 @@
+//! Item extraction: functions, impl/mod scopes and `use` imports.
+//!
+//! A single pass over the [`lexer`](crate::lexer) token stream recovers
+//! the structure the flow analysis needs: every `fn` definition with its
+//! qualified name (module and impl scopes joined with `::`), its body
+//! line span, and the call sites inside it; plus the file's `use`
+//! imports, which the call-graph builder uses to resolve ambiguous
+//! simple names across the workspace. This is deliberately not a full
+//! parser — generics, where-clauses and patterns are skipped by brace/
+//! paren balance — but item spans and call names are exact for the
+//! rustfmt-shaped code the workspace contains (macro bodies stay
+//! invisible, as documented in DESIGN §9).
+
+use crate::lexer::{Tok, Token};
+
+/// One `fn` definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Simple name (`fnv64`).
+    pub name: String,
+    /// Scope-qualified name within the file (`LruIndex::touch`).
+    pub qual: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based inclusive body line span (opening to closing brace);
+    /// bodiless trait declarations span their header line only.
+    pub body_lines: (usize, usize),
+    /// Call sites inside the body, in source order.
+    pub calls: Vec<CallSite>,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee simple name (`fnv64` for `hash::fnv64(..)`, `push` for
+    /// `v.push(..)`).
+    pub name: String,
+    /// Path segments written before the name (empty for bare and method
+    /// calls) — `["crate", "hash"]` for `crate::hash::fnv64(..)`.
+    pub path: Vec<String>,
+    /// 1-based line of the callee name.
+    pub line: usize,
+    /// 1-based char column of the callee name.
+    pub col: usize,
+}
+
+/// One `use` import binding a local alias to a path.
+#[derive(Debug, Clone)]
+pub struct UseImport {
+    /// Full path segments, ending with the imported name.
+    pub path: Vec<String>,
+    /// The name the import binds locally (last segment, or the `as`
+    /// alias).
+    pub alias: String,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileItems {
+    /// Function definitions in source order.
+    pub fns: Vec<FnDef>,
+    /// `use` imports in source order (globs are skipped).
+    pub imports: Vec<UseImport>,
+}
+
+/// Keywords that look like calls when followed by `(` but never are.
+const NON_CALL_WORDS: [&str; 10] =
+    ["if", "while", "for", "match", "return", "fn", "loop", "as", "in", "move"];
+
+/// Extracts items from a lexed token stream.
+pub fn extract(toks: &[Token]) -> FileItems {
+    let mut items = FileItems::default();
+    // Named scopes currently open: (name, brace depth at which it opened).
+    let mut scopes: Vec<(String, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while scopes.last().is_some_and(|(_, d)| *d > depth) {
+                    scopes.pop();
+                }
+                i += 1;
+            }
+            Tok::Ident(w) if w == "mod" => {
+                // `mod name {` opens a scope; `mod name;` does not.
+                let name = toks.get(i + 1).and_then(Token::ident).map(str::to_string);
+                i += 2;
+                if let (Some(name), Some(t)) = (name, toks.get(i)) {
+                    if t.is_punct('{') {
+                        depth += 1;
+                        scopes.push((name, depth));
+                        i += 1;
+                    }
+                }
+            }
+            Tok::Ident(w) if w == "impl" => {
+                let (name, next) = impl_scope_name(toks, i + 1);
+                i = next;
+                if toks.get(i).is_some_and(|t| t.is_punct('{')) {
+                    depth += 1;
+                    scopes.push((name, depth));
+                    i += 1;
+                }
+            }
+            Tok::Ident(w) if w == "use" => {
+                i = parse_use(toks, i + 1, &mut items.imports);
+            }
+            Tok::Ident(w) if w == "fn" => {
+                let Some(name) = toks.get(i + 1).and_then(Token::ident) else {
+                    i += 1;
+                    continue;
+                };
+                let name = name.to_string();
+                let fn_line = toks[i].line;
+                let qual = scopes
+                    .iter()
+                    .map(|(n, _)| n.as_str())
+                    .chain(std::iter::once(name.as_str()))
+                    .collect::<Vec<_>>()
+                    .join("::");
+                // Skip the header: everything up to the body `{` at paren
+                // depth 0, or a `;` ending a bodiless declaration.
+                let mut j = i + 2;
+                let mut parens = 0i64;
+                let mut body: Option<(usize, usize)> = None;
+                while let Some(t) = toks.get(j) {
+                    match t.tok {
+                        Tok::Punct('(') | Tok::Punct('[') => parens += 1,
+                        Tok::Punct(')') | Tok::Punct(']') => parens -= 1,
+                        Tok::Punct(';') if parens == 0 => break,
+                        Tok::Punct('{') if parens == 0 => {
+                            body = Some((j, matching_brace(toks, j)));
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                // `next` re-enters the body at its `{` so the main loop
+                // tracks depth and extracts nested `fn`s too.
+                let (body_lines, calls, next) = match body {
+                    Some((open, close)) => {
+                        let lines = (toks[open].line, toks[close.min(toks.len() - 1)].line);
+                        (lines, extract_calls(&toks[open..=close.min(toks.len() - 1)]), open)
+                    }
+                    None => ((fn_line, fn_line), Vec::new(), j + 1),
+                };
+                items.fns.push(FnDef { name, qual, line: fn_line, body_lines, calls });
+                i = next;
+            }
+            _ => i += 1,
+        }
+    }
+    items
+}
+
+/// The scope name for an `impl` header starting at `start` (just past the
+/// `impl` keyword). Returns the chosen name and the index of the token
+/// that ends the header (the `{`, or wherever scanning stopped).
+fn impl_scope_name(toks: &[Token], start: usize) -> (String, usize) {
+    let mut i = start;
+    let mut angle = 0i64;
+    let mut after_for = false;
+    let mut name = String::new();
+    while let Some(t) = toks.get(i) {
+        match &t.tok {
+            Tok::Punct('{') if angle == 0 => break,
+            Tok::Punct(';') if angle == 0 => break,
+            Tok::Punct('<') => angle += 1,
+            Tok::Punct('>') => angle -= 1,
+            Tok::Ident(w) if angle == 0 => {
+                if w == "for" {
+                    after_for = true;
+                    name.clear();
+                } else if w != "where" {
+                    // Inherent impl: the first path's last segment.
+                    // Trait impl: the segment after `for` wins.
+                    if name.is_empty()
+                        || after_for
+                        || toks.get(i - 1).map(|p| &p.tok) == Some(&Tok::PathSep)
+                    {
+                        name = w.clone();
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (name, i)
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn matching_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Parses one `use ...;` starting just past the `use` keyword; appends
+/// the flattened imports and returns the index past the terminating `;`.
+fn parse_use(toks: &[Token], start: usize, out: &mut Vec<UseImport>) -> usize {
+    // Collect the token slice up to `;`, then flatten group syntax.
+    let mut end = start;
+    while let Some(t) = toks.get(end) {
+        if t.is_punct(';') {
+            break;
+        }
+        end += 1;
+    }
+    flatten_use(&toks[start..end.min(toks.len())], &[], out);
+    end + 1
+}
+
+/// Recursively flattens a use tree (`a::b::{c, d as e}`) into imports.
+fn flatten_use(toks: &[Token], prefix: &[String], out: &mut Vec<UseImport>) {
+    let mut path: Vec<String> = prefix.to_vec();
+    let mut i = 0usize;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Ident(w) if w == "as" => {
+                // `path as alias`.
+                if let Some(alias) = toks.get(i + 1).and_then(Token::ident) {
+                    out.push(UseImport { path: path.clone(), alias: alias.to_string() });
+                }
+                return;
+            }
+            Tok::Ident(w) => {
+                path.push(w.clone());
+                i += 1;
+            }
+            Tok::PathSep => i += 1,
+            Tok::Punct('{') => {
+                // Split the group's top-level comma-separated subtrees.
+                let close = matching_brace_punct(toks, i);
+                let inner = &toks[i + 1..close.min(toks.len())];
+                let mut seg_start = 0usize;
+                let mut depth = 0i64;
+                for (j, t) in inner.iter().enumerate() {
+                    match t.tok {
+                        Tok::Punct('{') => depth += 1,
+                        Tok::Punct('}') => depth -= 1,
+                        Tok::Punct(',') if depth == 0 => {
+                            flatten_use(&inner[seg_start..j], &path, out);
+                            seg_start = j + 1;
+                        }
+                        _ => {}
+                    }
+                }
+                if seg_start < inner.len() {
+                    flatten_use(&inner[seg_start..], &path, out);
+                }
+                return;
+            }
+            Tok::Punct('*') => return, // globs are not resolved
+            _ => i += 1,
+        }
+    }
+    if let Some(alias) = path.last().cloned() {
+        if path.len() > 1 || prefix.is_empty() {
+            out.push(UseImport { path, alias });
+        }
+    }
+}
+
+/// Index of the `}` matching the `{` at `open` within a use tree.
+fn matching_brace_punct(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len()
+}
+
+/// Extracts call sites from a body token slice: `name(`, `a::b::name(`
+/// and `.name(` — macro invocations (`name!(`) are skipped, matching the
+/// analyzer's macros-are-invisible contract.
+fn extract_calls(body: &[Token]) -> Vec<CallSite> {
+    let mut calls = Vec::new();
+    for (j, t) in body.iter().enumerate() {
+        let Some(name) = t.ident() else { continue };
+        if NON_CALL_WORDS.contains(&name) || name.chars().next().is_some_and(|c| c.is_ascii_digit())
+        {
+            continue;
+        }
+        // The name must be directly followed by `(` (rustfmt keeps call
+        // parens tight) — `name !(` is a macro and is skipped.
+        let Some(next) = body.get(j + 1) else { continue };
+        if !next.is_punct('(') {
+            continue;
+        }
+        // Names preceded by `fn` are definitions, not calls.
+        if body.get(j.wrapping_sub(1)).and_then(Token::ident) == Some("fn") {
+            continue;
+        }
+        // Walk the `::`-joined path backwards to capture the written
+        // prefix (`crate::hash::fnv64` → ["crate", "hash"]).
+        let mut path_rev: Vec<String> = Vec::new();
+        let mut k = j;
+        while k >= 2 && body[k - 1].tok == Tok::PathSep {
+            if let Some(seg) = body[k - 2].ident() {
+                path_rev.push(seg.to_string());
+                k -= 2;
+            } else {
+                break;
+            }
+        }
+        path_rev.reverse();
+        calls.push(CallSite { name: name.to_string(), path: path_rev, line: t.line, col: t.col });
+    }
+    calls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::scanner::scan;
+
+    fn items_of(src: &str) -> FileItems {
+        extract(&lex(&scan(src).cleaned))
+    }
+
+    #[test]
+    fn plain_fn_with_body_span_and_calls() {
+        let src = "fn f(x: u64) -> u64 {\n    helper(x);\n    crate::hash::fnv64(&[])\n}\n";
+        let it = items_of(src);
+        assert_eq!(it.fns.len(), 1);
+        let f = &it.fns[0];
+        assert_eq!(f.name, "f");
+        assert_eq!(f.qual, "f");
+        assert_eq!(f.line, 1);
+        assert_eq!(f.body_lines, (1, 4));
+        let names: Vec<&str> = f.calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["helper", "fnv64"]);
+        assert_eq!(f.calls[1].path, vec!["crate", "hash"]);
+    }
+
+    #[test]
+    fn impl_and_mod_scopes_qualify_names() {
+        let src =
+            "mod inner {\n    struct S;\n    impl S {\n        fn touch(&self) {}\n    }\n    \
+                   impl Display for S {\n        fn fmt(&self) {}\n    }\n}\nfn top() {}\n";
+        let it = items_of(src);
+        let quals: Vec<&str> = it.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(quals, vec!["inner::S::touch", "inner::S::fmt", "top"]);
+    }
+
+    #[test]
+    fn use_imports_flatten_groups_and_aliases() {
+        let src = "use treu_core::hash::{fnv64, unit as u01};\nuse std::io;\n";
+        let it = items_of(src);
+        let got: Vec<(String, String)> =
+            it.imports.iter().map(|u| (u.alias.clone(), u.path.join("::"))).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("fnv64".to_string(), "treu_core::hash::fnv64".to_string()),
+                ("u01".to_string(), "treu_core::hash::unit".to_string()),
+                ("io".to_string(), "std::io".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn method_calls_and_macros() {
+        let src = "fn g(v: &mut Vec<u64>) {\n    v.push(1);\n    println!(\"x\");\n    \
+                   self.helper.run(2);\n}\n";
+        let it = items_of(src);
+        let names: Vec<&str> = it.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["push", "run"], "macro skipped, methods kept");
+    }
+
+    #[test]
+    fn trait_declarations_have_no_body() {
+        let src =
+            "trait T {\n    fn required(&self) -> u64;\n    fn provided(&self) -> u64 {\n        \
+                   self.required()\n    }\n}\n";
+        let it = items_of(src);
+        assert_eq!(it.fns.len(), 2);
+        assert_eq!(it.fns[0].body_lines, (2, 2));
+        assert_eq!(it.fns[1].body_lines.1, 5);
+        assert_eq!(it.fns[1].calls[0].name, "required");
+    }
+
+    #[test]
+    fn nested_fns_are_extracted_with_generics_in_headers() {
+        let src = "fn outer<T: Clone>(x: T) -> T where T: Default {\n    fn inner(y: u64) -> u64 { y }\n    \
+                   inner(1);\n    x\n}\n";
+        let it = items_of(src);
+        let names: Vec<&str> = it.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+}

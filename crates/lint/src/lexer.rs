@@ -1,0 +1,152 @@
+//! Token-level lexer over scanned (cleaned) source.
+//!
+//! The [`scanner`](crate::scanner) blanks comments and literal contents
+//! out of the source, which leaves exactly the part of the file the flow
+//! analysis cares about: identifiers and structural punctuation. This
+//! lexer turns those cleaned lines into a token stream with 1-based
+//! line/char-column spans, so the item extractor and call-graph builder
+//! never re-derive positions from raw text. Numbers lex as idents (the
+//! extractor treats both as words); lifetimes survive as a `'` punct
+//! followed by an ident, which no downstream consumer confuses with a
+//! path.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier, keyword, or numeric literal remnant.
+    Ident(String),
+    /// `::`
+    PathSep,
+    /// `->`
+    Arrow,
+    /// `=>`
+    FatArrow,
+    /// Any other single punctuation char.
+    Punct(char),
+}
+
+/// A token with its 1-based source position (char columns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based char column of the token's first char.
+    pub col: usize,
+}
+
+impl Token {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the punct `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes cleaned lines (see [`crate::scanner::Scanned::cleaned`]) into a
+/// token stream. Whitespace separates tokens and is not represented.
+pub fn lex(cleaned: &[String]) -> Vec<Token> {
+    let mut out = Vec::new();
+    for (idx, line) in cleaned.iter().enumerate() {
+        let lineno = idx + 1;
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            let col = i + 1;
+            if is_ident_start(c) {
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                let word: String = chars[i..j].iter().collect();
+                out.push(Token { tok: Tok::Ident(word), line: lineno, col });
+                i = j;
+            } else if c == ':' && chars.get(i + 1) == Some(&':') {
+                out.push(Token { tok: Tok::PathSep, line: lineno, col });
+                i += 2;
+            } else if c == '-' && chars.get(i + 1) == Some(&'>') {
+                out.push(Token { tok: Tok::Arrow, line: lineno, col });
+                i += 2;
+            } else if c == '=' && chars.get(i + 1) == Some(&'>') {
+                out.push(Token { tok: Tok::FatArrow, line: lineno, col });
+                i += 2;
+            } else {
+                out.push(Token { tok: Tok::Punct(c), line: lineno, col });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex_str(s: &str) -> Vec<Token> {
+        lex(&s.split('\n').map(str::to_string).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn idents_and_path_separators() {
+        let toks = lex_str("std::env::var(name)");
+        let words: Vec<String> =
+            toks.iter().filter_map(|t| t.ident().map(str::to_string)).collect();
+        assert_eq!(words, vec!["std", "env", "var", "name"]);
+        assert_eq!(toks.iter().filter(|t| t.tok == Tok::PathSep).count(), 2);
+    }
+
+    #[test]
+    fn spans_are_one_based_char_columns() {
+        let toks = lex_str("fn αβ() {}\nlet x = 1;");
+        assert_eq!(toks[0], Token { tok: Tok::Ident("fn".into()), line: 1, col: 1 });
+        assert_eq!(toks[1], Token { tok: Tok::Ident("αβ".into()), line: 1, col: 4 });
+        // `(` sits at char column 6 even though αβ is 4 bytes.
+        assert!(toks[2].is_punct('('));
+        assert_eq!((toks[2].line, toks[2].col), (1, 6));
+        let let_tok = toks.iter().find(|t| t.ident() == Some("let")).unwrap();
+        assert_eq!((let_tok.line, let_tok.col), (2, 1));
+    }
+
+    #[test]
+    fn arrows_are_single_tokens() {
+        let toks = lex_str("fn f() -> u64 { |x| match x { _ => 0 } }");
+        assert_eq!(toks.iter().filter(|t| t.tok == Tok::Arrow).count(), 1);
+        assert_eq!(toks.iter().filter(|t| t.tok == Tok::FatArrow).count(), 1);
+    }
+
+    #[test]
+    fn numbers_lex_as_words() {
+        let toks = lex_str("let x = 42;");
+        assert!(toks.iter().any(|t| t.ident() == Some("42")));
+    }
+
+    #[test]
+    fn lifetimes_do_not_merge_into_paths() {
+        let toks = lex_str("fn f<'a>(x: &'a str) {}");
+        assert!(toks.iter().any(|t| t.is_punct('\'')));
+        assert!(toks.iter().any(|t| t.ident() == Some("a")));
+        assert!(!toks.iter().any(|t| t.tok == Tok::PathSep));
+    }
+}

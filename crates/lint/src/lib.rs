@@ -3,9 +3,11 @@
 //! PR 1 made determinism *verifiable at runtime* (`treu verify` re-runs
 //! every experiment and cross-checks trail fingerprints); this crate
 //! makes the conventions that determinism rests on *enforceable before
-//! anything runs*. A small hand-rolled scanner (no external deps — the
-//! workspace builds offline) walks every source file and reports
-//! violations of the workspace's determinism rules:
+//! anything runs*. A hand-rolled analyzer (no external deps — the
+//! workspace builds offline) walks every source file, applies the
+//! single-site token rules, and then runs a flow pass over a workspace
+//! call graph ([`lexer`] → [`items`] → [`callgraph`] → [`taint`]) for
+//! the cross-file rules:
 //!
 //! | code | name | severity | hazard |
 //! |------|------|----------|--------|
@@ -16,11 +18,19 @@
 //! | R5 | `relaxed-atomics` | error | `Ordering::Relaxed` result atomics, `static mut` |
 //! | R6 | `thread-float-merge` | warn | float accumulation inside spawned merge loops |
 //! | R7 | `missing-unsafe-forbid` | error | crate roots without `#![forbid(unsafe_code)]` |
+//! | R8 | `taint-reaches-fingerprint` | error | nondeterministic value flows into a fingerprint/cache key |
+//! | R9 | `unordered-parallel-merge` | error | parallel results merged in completion order |
+//! | R10 | `locked-accumulation` | warn | order-sensitive accumulation under a `Mutex` in parallel code |
+//! | R11 | `default-hasher-output` | error | `DefaultHasher`/`RandomState` hash reaches output |
+//! | R12 | `duplicate-primitive` | warn | determinism-critical primitive defined in several places |
 //!
 //! Plus two directive diagnostics: `A1 malformed-allow` (error) and
 //! `A2 unused-allow` (warn). Suppression is per-line via a mandatory-
-//! reason comment (see [`allow`]); the analyzer is exposed as this
-//! library, as the `treu lint` CLI subcommand, and as a CI gate.
+//! reason comment (see [`allow`]); flow findings (which carry their full
+//! source→sink call path as notes) are suppressed at the line the
+//! finding anchors to. The analyzer is exposed as this library, as the
+//! `treu lint` CLI subcommand (`--flow` on by default, `--baseline` for
+//! ratcheting), and as a CI gate.
 //!
 //! ```
 //! use treu_lint::{DenyLevel, Lint, Workspace};
@@ -33,10 +43,15 @@
 #![warn(missing_docs)]
 
 pub mod allow;
+pub mod baseline;
+pub mod callgraph;
+pub mod items;
+pub mod lexer;
 pub mod lint;
 pub mod report;
 pub mod rules;
 pub mod scanner;
+pub mod taint;
 pub mod workspace;
 
 pub use lint::Lint;

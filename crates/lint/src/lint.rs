@@ -1,10 +1,23 @@
-//! The analyzer pipeline: scan each file, honor suppression directives,
-//! apply every active rule, and assemble a [`LintReport`].
+//! The analyzer pipeline.
+//!
+//! Three phases, in order:
+//!
+//! 1. **Per-file scan** — read, scan, collect directives and apply the
+//!    single-site rules (R1..R7, A1). Files are independent here, so
+//!    this phase fans out across [`Lint::jobs`] threads; results are
+//!    reassembled in workspace order, so the report is byte-identical
+//!    for every job count.
+//! 2. **Flow pass** — one serial walk over the workspace call graph for
+//!    the cross-file rules R8..R12 (see [`taint`]). Flow findings honor
+//!    the same allow directives, anchored at the finding line.
+//! 3. **Assembly** — unused-allow accounting (A2) and the final
+//!    deterministic sort.
 
 use crate::allow::{self, Allow, Parsed};
 use crate::report::{Diagnostic, LintReport, Severity};
 use crate::rules::{self, RuleId};
 use crate::scanner::{self, Scanned};
+use crate::taint::{self, FlowInput};
 use crate::workspace::{SourceFile, Workspace};
 use std::io;
 
@@ -12,6 +25,8 @@ use std::io;
 #[derive(Debug, Clone)]
 pub struct Lint {
     rules: Vec<RuleId>,
+    flow: bool,
+    jobs: usize,
 }
 
 impl Default for Lint {
@@ -20,16 +35,35 @@ impl Default for Lint {
     }
 }
 
+/// Phase-1 output for one file.
+struct PreFile {
+    sc: Scanned,
+    allows: Vec<Allow>,
+    diags: Vec<Diagnostic>,
+}
+
 impl Lint {
-    /// A pass with every rule active.
+    /// A pass with every rule active, the flow pass on, single-threaded.
     pub fn new() -> Self {
-        Self { rules: RuleId::ALL.to_vec() }
+        Self { rules: RuleId::ALL.to_vec(), flow: true, jobs: 1 }
     }
 
     /// A pass restricted to `rules` (directives naming inactive rules are
     /// ignored entirely).
     pub fn with_rules(rules: Vec<RuleId>) -> Self {
-        Self { rules }
+        Self { rules, flow: true, jobs: 1 }
+    }
+
+    /// Enables or disables the cross-file flow pass (R8..R12).
+    pub fn flow(mut self, on: bool) -> Self {
+        self.flow = on;
+        self
+    }
+
+    /// Sets the phase-1 worker-thread count (clamped to at least 1).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
     }
 
     /// The active rule set.
@@ -45,12 +79,68 @@ impl Lint {
     /// non-UTF-8 files) abort the pass — a file the analyzer cannot read
     /// is a file it cannot vouch for.
     pub fn run(&self, ws: &Workspace) -> io::Result<LintReport> {
+        // Phase 1: independent per-file scans, fanned out over contiguous
+        // index chunks so reassembly is a no-op.
+        let texts = read_all(ws, self.jobs)?;
+        let mut pres: Vec<PreFile> = Vec::with_capacity(ws.files.len());
+        if self.jobs <= 1 || ws.files.len() < 2 {
+            for (file, text) in ws.files.iter().zip(&texts) {
+                pres.push(self.scan_file(file, text));
+            }
+        } else {
+            let jobs = self.jobs.min(ws.files.len());
+            let chunk = ws.files.len().div_ceil(jobs);
+            let mut parts: Vec<Vec<PreFile>> = Vec::new();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (files, texts) in ws.files.chunks(chunk).zip(texts.chunks(chunk)) {
+                    handles.push(scope.spawn(move || {
+                        files
+                            .iter()
+                            .zip(texts)
+                            .map(|(f, t)| self.scan_file(f, t))
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                for h in handles {
+                    parts.push(h.join().expect("scan worker panicked"));
+                }
+            });
+            pres = parts.into_iter().flatten().collect();
+        }
+
+        // Phase 2: the serial cross-file flow pass.
+        if self.flow && self.rules.iter().any(|r| r.is_flow()) {
+            self.flow_pass(ws, &mut pres);
+        }
+
+        // Phase 3: unused-allow accounting and the deterministic sort.
         let mut diagnostics = Vec::new();
         let mut allows_honored = 0usize;
-        for file in &ws.files {
-            let text = std::fs::read_to_string(&file.path)
-                .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", file.path.display())))?;
-            allows_honored += self.lint_file(file, &text, &mut diagnostics);
+        for (file, pre) in ws.files.iter().zip(pres) {
+            diagnostics.extend(pre.diags);
+            for a in &pre.allows {
+                if a.used {
+                    allows_honored += 1;
+                } else {
+                    diagnostics.push(Diagnostic {
+                        code: "A2",
+                        rule: "unused-allow",
+                        severity: Severity::Warn,
+                        file: file.rel.clone(),
+                        line: a.line,
+                        col: a.col,
+                        message: format!(
+                            "allow({}) suppresses nothing on line {}",
+                            a.rule.name(),
+                            a.target_line
+                        ),
+                        hint: "delete the stale directive so suppressions stay meaningful"
+                            .to_string(),
+                        notes: Vec::new(),
+                    });
+                }
+            }
         }
         diagnostics.sort_by(|a, b| {
             (&a.file, a.line, a.col, a.code).cmp(&(&b.file, b.line, b.col, b.code))
@@ -58,26 +148,30 @@ impl Lint {
         Ok(LintReport { files_scanned: ws.files.len(), diagnostics, allows_honored })
     }
 
-    /// Lints one file, appending diagnostics; returns how many allow
-    /// directives suppressed something.
-    fn lint_file(&self, file: &SourceFile, text: &str, out: &mut Vec<Diagnostic>) -> usize {
-        let sc = scanner::scan(text);
-        let mut allows = self.collect_allows(file, &sc, out);
-
-        for rule in &self.rules {
-            match rule {
-                RuleId::ThreadFloatMerge => self.check_thread_merge(file, &sc, &mut allows, out),
-                RuleId::MissingUnsafeForbid => check_crate_root(file, &sc, out),
-                rule => self.check_tokens(file, *rule, &sc, &mut allows, out),
+    /// Lints one in-memory file through the full pipeline (flow pass
+    /// included, over the one-file "workspace"); appends diagnostics and
+    /// returns how many allow directives suppressed something. Test and
+    /// doc surface — `run` is the real entry point.
+    pub fn lint_file(&self, file: &SourceFile, text: &str, out: &mut Vec<Diagnostic>) -> usize {
+        let mut pre = self.scan_file(file, text);
+        if self.flow && self.rules.iter().any(|r| r.is_flow()) {
+            let allowed: Vec<(usize, RuleId)> =
+                pre.allows.iter().map(|a| (a.target_line, a.rule)).collect();
+            let inputs = [FlowInput { rel: &file.rel, sc: &pre.sc, allowed }];
+            for finding in taint::analyze(&inputs, &self.rules) {
+                if suppress(&mut pre.allows, finding.rule, finding.line) {
+                    continue;
+                }
+                let mut d =
+                    diagnostic(file, finding.rule, finding.line, finding.col, finding.message);
+                d.notes = finding.notes;
+                pre.diags.push(d);
             }
         }
-
-        let mut honored = 0;
-        for a in &allows {
-            if a.used {
-                honored += 1;
-            } else {
-                out.push(Diagnostic {
+        let honored = pre.allows.iter().filter(|a| a.used).count();
+        for a in &pre.allows {
+            if !a.used {
+                pre.diags.push(Diagnostic {
                     code: "A2",
                     rule: "unused-allow",
                     severity: Severity::Warn,
@@ -90,10 +184,57 @@ impl Lint {
                         a.target_line
                     ),
                     hint: "delete the stale directive so suppressions stay meaningful".to_string(),
+                    notes: Vec::new(),
                 });
             }
         }
+        out.extend(pre.diags);
         honored
+    }
+
+    /// Phase 1 for one file: scan + directives + single-site rules.
+    fn scan_file(&self, file: &SourceFile, text: &str) -> PreFile {
+        let sc = scanner::scan(text);
+        let mut diags = Vec::new();
+        let mut allows = self.collect_allows(file, &sc, &mut diags);
+        for rule in &self.rules {
+            match rule {
+                RuleId::ThreadFloatMerge => {
+                    self.check_thread_merge(file, &sc, &mut allows, &mut diags)
+                }
+                RuleId::MissingUnsafeForbid => check_crate_root(file, &sc, &mut diags),
+                rule if rule.is_flow() => {}
+                rule => self.check_tokens(file, *rule, &sc, &mut allows, &mut diags),
+            }
+        }
+        PreFile { sc, allows, diags }
+    }
+
+    /// Phase 2: flow findings for the whole workspace, suppressed against
+    /// the owning file's directives.
+    fn flow_pass(&self, ws: &Workspace, pres: &mut [PreFile]) {
+        let inputs: Vec<FlowInput<'_>> = ws
+            .files
+            .iter()
+            .zip(pres.iter())
+            .map(|(file, pre)| FlowInput {
+                rel: &file.rel,
+                sc: &pre.sc,
+                allowed: pre.allows.iter().map(|a| (a.target_line, a.rule)).collect(),
+            })
+            .collect();
+        let findings = taint::analyze(&inputs, &self.rules);
+        drop(inputs);
+        for finding in findings {
+            let pre = &mut pres[finding.file];
+            if suppress(&mut pre.allows, finding.rule, finding.line) {
+                continue;
+            }
+            let file = &ws.files[finding.file];
+            let mut d = diagnostic(file, finding.rule, finding.line, finding.col, finding.message);
+            d.notes = finding.notes;
+            pre.diags.push(d);
+        }
     }
 
     /// Parses every comment for directives; malformed ones become `A1`
@@ -117,6 +258,7 @@ impl Lint {
                     col: c.col,
                     message: msg,
                     hint: "write: treu-lint: allow(<rule>, reason = \"<why>\")".to_string(),
+                    notes: Vec::new(),
                 }),
                 Parsed::Directive { rule, reason } => {
                     if !self.active(rule) {
@@ -202,6 +344,36 @@ impl Lint {
     }
 }
 
+/// Reads every workspace file, fanning the I/O out with the same
+/// chunking as phase 1. The first error (in workspace order) wins.
+fn read_all(ws: &Workspace, jobs: usize) -> io::Result<Vec<String>> {
+    let read = |file: &SourceFile| {
+        std::fs::read_to_string(&file.path)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", file.path.display())))
+    };
+    if jobs <= 1 || ws.files.len() < 2 {
+        return ws.files.iter().map(read).collect();
+    }
+    let jobs = jobs.min(ws.files.len());
+    let chunk = ws.files.len().div_ceil(jobs);
+    let mut parts: Vec<io::Result<Vec<String>>> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for files in ws.files.chunks(chunk) {
+            handles
+                .push(scope.spawn(move || files.iter().map(read).collect::<io::Result<Vec<_>>>()));
+        }
+        for h in handles {
+            parts.push(h.join().expect("read worker panicked"));
+        }
+    });
+    let mut texts = Vec::with_capacity(ws.files.len());
+    for part in parts {
+        texts.extend(part?);
+    }
+    Ok(texts)
+}
+
 /// R7: crate roots must carry an unsafe_code attribute. Not suppressible.
 fn check_crate_root(file: &SourceFile, sc: &Scanned, out: &mut Vec<Diagnostic>) {
     if !file.is_crate_root {
@@ -248,6 +420,7 @@ fn diagnostic(
         col,
         message,
         hint: rule.hint().to_string(),
+        notes: Vec::new(),
     }
 }
 
@@ -386,5 +559,39 @@ mod tests {
         assert_eq!(honored, 0);
         assert!(diags.iter().any(|d| d.code == "A1"));
         assert!(diags.iter().any(|d| d.code == "R3"));
+    }
+
+    #[test]
+    fn flow_findings_flow_through_lint_file() {
+        let src = "fn stamp() -> u64 {\n    let t = SystemTime::now();\n    \
+                   fnv64(&[1])\n}\n";
+        let (_, diags) = lint_source("src/a.rs", src);
+        let r8: Vec<_> = diags.iter().filter(|d| d.code == "R8").collect();
+        assert_eq!(r8.len(), 1, "{diags:?}");
+        assert_eq!(r8[0].line, 3);
+        assert!(!r8[0].notes.is_empty());
+    }
+
+    #[test]
+    fn flow_findings_are_suppressible_at_the_sink_line() {
+        let src = "fn stamp() -> u64 {\n    let t = SystemTime::now();\n    \
+                   fnv64(&[1]) // treu-lint: allow(taint-reaches-fingerprint, reason = \"demo audit\")\n}\n";
+        let (honored, diags) = lint_source("src/a.rs", src);
+        assert!(diags.iter().all(|d| d.code != "R8"), "{diags:?}");
+        assert!(honored >= 1);
+    }
+
+    #[test]
+    fn no_flow_disables_r8_through_r12() {
+        let src = "fn stamp() -> u64 {\n    let t = SystemTime::now();\n    fnv64(&[1])\n}\n";
+        let file = SourceFile {
+            path: std::path::PathBuf::from("src/a.rs"),
+            rel: "src/a.rs".to_string(),
+            is_crate_root: false,
+        };
+        let mut out = Vec::new();
+        Lint::new().flow(false).lint_file(&file, src, &mut out);
+        assert!(out.iter().all(|d| d.code != "R8"), "{out:?}");
+        assert!(out.iter().any(|d| d.code == "R3"), "token rules still run");
     }
 }

@@ -46,7 +46,7 @@ impl DenyLevel {
 /// One finding, anchored to a file:line:col span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Stable rule code (`R1`..`R7`, or `A1`/`A2` for directive issues).
+    /// Stable rule code (`R1`..`R12`, or `A1`/`A2` for directive issues).
     pub code: &'static str,
     /// Kebab-case rule name.
     pub rule: &'static str,
@@ -62,6 +62,9 @@ pub struct Diagnostic {
     pub message: String,
     /// How to fix it.
     pub hint: String,
+    /// Supporting evidence — for flow rules, the source→sink call path,
+    /// one hop per entry. Empty for single-site rules.
+    pub notes: Vec<String>,
 }
 
 /// The result of linting a workspace.
@@ -100,9 +103,13 @@ impl LintReport {
         let mut out = String::new();
         for d in &self.diagnostics {
             out.push_str(&format!(
-                "{}[{} {}] {}:{}:{} — {}\n    hint: {}\n",
-                d.severity, d.code, d.rule, d.file, d.line, d.col, d.message, d.hint
+                "{}[{} {}] {}:{}:{} — {}\n",
+                d.severity, d.code, d.rule, d.file, d.line, d.col, d.message
             ));
+            for note in &d.notes {
+                out.push_str(&format!("    note: {note}\n"));
+            }
+            out.push_str(&format!("    hint: {}\n", d.hint));
         }
         let verdict = if self.diagnostics.is_empty() { " — clean" } else { "" };
         out.push_str(&format!(
@@ -131,9 +138,10 @@ impl LintReport {
             if i > 0 {
                 out.push(',');
             }
+            let notes = d.notes.iter().map(|n| json_str(n)).collect::<Vec<_>>().join(", ");
             out.push_str(&format!(
                 "\n    {{\"code\": {}, \"rule\": {}, \"severity\": {}, \"file\": {}, \
-                 \"line\": {}, \"col\": {}, \"message\": {}, \"hint\": {}}}",
+                 \"line\": {}, \"col\": {}, \"message\": {}, \"hint\": {}, \"notes\": [{notes}]}}",
                 json_str(d.code),
                 json_str(d.rule),
                 json_str(&d.severity.to_string()),
@@ -185,6 +193,7 @@ mod tests {
             col: 7,
             message: "a \"quoted\" hazard".to_string(),
             hint: "fix it".to_string(),
+            notes: Vec::new(),
         }
     }
 
@@ -238,6 +247,19 @@ mod tests {
         let s = r.render_json();
         assert!(s.contains("a \\\"quoted\\\" hazard"));
         assert!(s.contains("\"severity\": \"warn\""));
+        assert!(s.contains("\"notes\": []"));
+    }
+
+    #[test]
+    fn notes_render_in_both_formats() {
+        let mut d = diag(Severity::Error);
+        d.notes = vec!["source: `Instant::now` at a.rs:2".to_string(), "sink here".to_string()];
+        let r = LintReport { files_scanned: 1, diagnostics: vec![d], allows_honored: 0 };
+        let human = r.render_human();
+        assert!(human.contains("    note: source: `Instant::now` at a.rs:2\n"));
+        assert!(human.contains("    note: sink here\n    hint: fix it\n"));
+        let json = r.render_json();
+        assert!(json.contains("\"notes\": [\"source: `Instant::now` at a.rs:2\", \"sink here\"]"));
     }
 
     #[test]

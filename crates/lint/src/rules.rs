@@ -1,11 +1,14 @@
 //! The determinism rule set.
 //!
-//! Each rule has a stable code (`R1`..`R7`), a kebab-case name usable in
+//! Each rule has a stable code (`R1`..`R12`), a kebab-case name usable in
 //! allow directives and `--rules` filters, a severity, and a fix hint.
 //! Token rules match word-boundary occurrences in cleaned source text
 //! (so string literals and comments never trigger them); the thread-merge
 //! rule additionally uses the scanner's spawn regions, and the crate-root
-//! rule is file-level.
+//! rule is file-level. Rules `R8`..`R12` are *flow rules*: they run over
+//! the workspace call graph built by [`callgraph`](crate::callgraph) and
+//! the taint propagation in [`taint`](crate::taint), so a single file in
+//! isolation cannot decide them.
 
 use crate::report::Severity;
 
@@ -26,11 +29,26 @@ pub enum RuleId {
     ThreadFloatMerge,
     /// R7: crate roots must forbid (or deliberately deny) `unsafe_code`.
     MissingUnsafeForbid,
+    /// R8: a nondeterministic value flows into a fingerprint/cache-key
+    /// sink through the call graph.
+    TaintReachesFingerprint,
+    /// R9: parallel results merged into a shared collection in completion
+    /// order instead of by index.
+    UnorderedParallelMerge,
+    /// R10: order-sensitive accumulation under a `Mutex` inside a
+    /// parallel region.
+    LockedAccumulation,
+    /// R11: a `DefaultHasher`/`RandomState` hash flows into persisted or
+    /// reported output.
+    DefaultHasherOutput,
+    /// R12: a determinism-critical primitive is defined in more than one
+    /// place, so the copies can drift apart.
+    DuplicatePrimitive,
 }
 
 impl RuleId {
     /// Every rule, in code order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 12] = [
         RuleId::UnorderedCollections,
         RuleId::AmbientRandomness,
         RuleId::WallClock,
@@ -38,7 +56,25 @@ impl RuleId {
         RuleId::RelaxedAtomics,
         RuleId::ThreadFloatMerge,
         RuleId::MissingUnsafeForbid,
+        RuleId::TaintReachesFingerprint,
+        RuleId::UnorderedParallelMerge,
+        RuleId::LockedAccumulation,
+        RuleId::DefaultHasherOutput,
+        RuleId::DuplicatePrimitive,
     ];
+
+    /// True for the call-graph/taint rules (`R8`..`R12`), which run in
+    /// the cross-file flow pass rather than per file.
+    pub fn is_flow(self) -> bool {
+        matches!(
+            self,
+            RuleId::TaintReachesFingerprint
+                | RuleId::UnorderedParallelMerge
+                | RuleId::LockedAccumulation
+                | RuleId::DefaultHasherOutput
+                | RuleId::DuplicatePrimitive
+        )
+    }
 
     /// Stable short code (`R1`..`R7`).
     pub fn code(self) -> &'static str {
@@ -50,6 +86,11 @@ impl RuleId {
             RuleId::RelaxedAtomics => "R5",
             RuleId::ThreadFloatMerge => "R6",
             RuleId::MissingUnsafeForbid => "R7",
+            RuleId::TaintReachesFingerprint => "R8",
+            RuleId::UnorderedParallelMerge => "R9",
+            RuleId::LockedAccumulation => "R10",
+            RuleId::DefaultHasherOutput => "R11",
+            RuleId::DuplicatePrimitive => "R12",
         }
     }
 
@@ -63,6 +104,11 @@ impl RuleId {
             RuleId::RelaxedAtomics => "relaxed-atomics",
             RuleId::ThreadFloatMerge => "thread-float-merge",
             RuleId::MissingUnsafeForbid => "missing-unsafe-forbid",
+            RuleId::TaintReachesFingerprint => "taint-reaches-fingerprint",
+            RuleId::UnorderedParallelMerge => "unordered-parallel-merge",
+            RuleId::LockedAccumulation => "locked-accumulation",
+            RuleId::DefaultHasherOutput => "default-hasher-output",
+            RuleId::DuplicatePrimitive => "duplicate-primitive",
         }
     }
 
@@ -72,8 +118,15 @@ impl RuleId {
             RuleId::UnorderedCollections
             | RuleId::AmbientRandomness
             | RuleId::RelaxedAtomics
-            | RuleId::MissingUnsafeForbid => Severity::Error,
-            RuleId::WallClock | RuleId::EnvRead | RuleId::ThreadFloatMerge => Severity::Warn,
+            | RuleId::MissingUnsafeForbid
+            | RuleId::TaintReachesFingerprint
+            | RuleId::UnorderedParallelMerge
+            | RuleId::DefaultHasherOutput => Severity::Error,
+            RuleId::WallClock
+            | RuleId::EnvRead
+            | RuleId::ThreadFloatMerge
+            | RuleId::LockedAccumulation
+            | RuleId::DuplicatePrimitive => Severity::Warn,
         }
     }
 
@@ -101,6 +154,21 @@ impl RuleId {
             RuleId::MissingUnsafeForbid => {
                 "add #![forbid(unsafe_code)] to the crate root (or deny with a justifying comment)"
             }
+            RuleId::TaintReachesFingerprint => {
+                "break the flow: fingerprint only run-derived inputs, and keep ambient reads in report-only fields"
+            }
+            RuleId::UnorderedParallelMerge => {
+                "preallocate an output slot per input index (map_indexed) instead of pushing in completion order"
+            }
+            RuleId::LockedAccumulation => {
+                "accumulate into per-worker slots and fold them in input order after the join"
+            }
+            RuleId::DefaultHasherOutput => {
+                "hash with treu-core::hash::fnv64 — DefaultHasher/RandomState are seeded per process"
+            }
+            RuleId::DuplicatePrimitive => {
+                "import the canonical definition (treu-core::hash / treu-math) instead of redefining it"
+            }
         }
     }
 
@@ -122,7 +190,13 @@ impl RuleId {
             RuleId::WallClock => &["Instant::now", "SystemTime"],
             RuleId::EnvRead => &["env::var", "env::vars", "env::var_os", "env::vars_os"],
             RuleId::RelaxedAtomics => &["Ordering::Relaxed", "static mut"],
-            RuleId::ThreadFloatMerge | RuleId::MissingUnsafeForbid => &[],
+            RuleId::ThreadFloatMerge
+            | RuleId::MissingUnsafeForbid
+            | RuleId::TaintReachesFingerprint
+            | RuleId::UnorderedParallelMerge
+            | RuleId::LockedAccumulation
+            | RuleId::DefaultHasherOutput
+            | RuleId::DuplicatePrimitive => &[],
         }
     }
 
@@ -151,6 +225,23 @@ impl RuleId {
                     .to_string()
             }
             RuleId::MissingUnsafeForbid => "crate root does not forbid unsafe_code".to_string(),
+            // Flow rules compose their own site-specific messages in the
+            // taint pass; these are the generic fallbacks.
+            RuleId::TaintReachesFingerprint => {
+                format!("nondeterministic value flows into `{token}`")
+            }
+            RuleId::UnorderedParallelMerge => {
+                "parallel results merged in completion order".to_string()
+            }
+            RuleId::LockedAccumulation => {
+                "order-sensitive accumulation under a lock in a parallel region".to_string()
+            }
+            RuleId::DefaultHasherOutput => {
+                format!("per-process-seeded hash flows into `{token}`")
+            }
+            RuleId::DuplicatePrimitive => {
+                format!("duplicate definition of determinism-critical `{token}`")
+            }
         }
     }
 
@@ -159,6 +250,12 @@ impl RuleId {
         match self {
             RuleId::EnvRead => &["core/src/environment.rs"],
             RuleId::ThreadFloatMerge => &["math/src/parallel.rs", "core/src/exec.rs"],
+            // Environment capture feeds the provenance fingerprint by
+            // design, so its reads never seed R8 taint.
+            RuleId::TaintReachesFingerprint => &["core/src/environment.rs"],
+            RuleId::UnorderedParallelMerge | RuleId::LockedAccumulation => {
+                &["math/src/parallel.rs", "core/src/exec.rs"]
+            }
             _ => &[],
         }
     }
@@ -280,6 +377,17 @@ mod tests {
             assert_eq!(RuleId::parse(r.code()), Some(r));
             assert_eq!(RuleId::parse(r.name()), Some(r));
             assert!(!r.hint().is_empty());
+        }
+    }
+
+    #[test]
+    fn flow_rules_are_exactly_r8_through_r12_and_tokenless() {
+        let flow: Vec<&str> =
+            RuleId::ALL.into_iter().filter(|r| r.is_flow()).map(RuleId::code).collect();
+        assert_eq!(flow, vec!["R8", "R9", "R10", "R11", "R12"]);
+        for r in RuleId::ALL.into_iter().filter(|r| r.is_flow()) {
+            assert!(r.tokens().is_empty(), "{} must not token-match", r.code());
+            assert!(r.suppressible(), "{} must accept audited allows", r.code());
         }
     }
 }

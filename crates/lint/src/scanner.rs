@@ -33,7 +33,15 @@ pub struct Scanned {
     /// 1-based inclusive line ranges covered by `spawn(...)` call
     /// arguments (closures running on worker threads).
     pub spawn_regions: Vec<(usize, usize)>,
+    /// 1-based inclusive line ranges covered by any parallel-execution
+    /// call (`spawn`, `par_map`, `par_map_dynamic`, `map_indexed`) — the
+    /// regions the flow rules R9/R10 reason about. Superset of
+    /// [`Scanned::spawn_regions`].
+    pub par_regions: Vec<(usize, usize)>,
 }
+
+/// Call tokens whose argument closures run concurrently.
+pub const PAR_TOKENS: [&str; 4] = ["spawn", "par_map", "par_map_dynamic", "map_indexed"];
 
 fn is_ident(c: char) -> bool {
     c.is_ascii_alphanumeric() || c == '_'
@@ -191,16 +199,23 @@ pub fn scan(source: &str) -> Scanned {
     }
 
     let cleaned: Vec<String> = out.split('\n').map(str::to_string).collect();
-    let spawn_regions = find_spawn_regions(&out);
-    Scanned { cleaned, comments, spawn_regions }
+    let spawn_regions = find_call_regions(&out, "spawn");
+    let mut par_regions = Vec::new();
+    for tok in PAR_TOKENS {
+        par_regions.extend(find_call_regions(&out, tok));
+    }
+    par_regions.sort_unstable();
+    par_regions.dedup();
+    Scanned { cleaned, comments, spawn_regions, par_regions }
 }
 
-/// Finds `spawn(...)` call-argument regions in the cleaned text: the
-/// token `spawn` at an identifier boundary, immediately followed (after
-/// whitespace) by `(`, up to the matching close paren.
-fn find_spawn_regions(cleaned: &str) -> Vec<(usize, usize)> {
+/// Finds `<token>(...)` call-argument regions in the cleaned text: the
+/// token at an identifier boundary, immediately followed (after
+/// whitespace) by `(`, up to the matching close paren. Returns 1-based
+/// inclusive line ranges.
+fn find_call_regions(cleaned: &str, token: &str) -> Vec<(usize, usize)> {
     let chars: Vec<char> = cleaned.chars().collect();
-    let pat: Vec<char> = "spawn".chars().collect();
+    let pat: Vec<char> = token.chars().collect();
     let n = chars.len();
     let mut regions = Vec::new();
     let mut line_of = Vec::with_capacity(n + 1);
@@ -316,6 +331,15 @@ mod tests {
     fn spawn_inside_identifiers_is_not_a_region() {
         let s = scan("let spawn_count = 1; cost_spawn(2); respawn(3);\n");
         assert!(s.spawn_regions.is_empty());
+    }
+
+    #[test]
+    fn par_regions_cover_all_parallel_call_tokens() {
+        let src = "par_map_dynamic(8, |i| {\n    work(i)\n});\nlet x = 1;\n\
+                   s.spawn(|| {\n    more();\n});\n";
+        let s = scan(src);
+        assert_eq!(s.par_regions, vec![(1, 3), (5, 7)]);
+        assert_eq!(s.spawn_regions, vec![(5, 7)], "spawn_regions stays spawn-only");
     }
 
     #[test]

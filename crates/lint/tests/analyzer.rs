@@ -133,6 +133,90 @@ fn r7_negative_accepts_forbidding_crate_root() {
 }
 
 #[test]
+fn r8_positive_flags_thread_identity_reaching_a_fingerprint() {
+    let r = lint_fixture(&["r8_taint.rs"]);
+    let r8: Vec<_> = r.diagnostics.iter().filter(|d| d.code == "R8").collect();
+    assert_eq!(r8.len(), 2, "{}", r.render_human()); // both fnv64 calls on the sink line
+    assert!(r.exceeds(DenyLevel::Error), "R8 is error severity");
+    // The finding carries the full source→sink call path.
+    let notes = &r8[0].notes;
+    assert!(notes.iter().any(|n| n.contains("source: `thread::current`")), "{notes:?}");
+    assert!(notes.iter().any(|n| n.contains("via `r8_thread_stamp`")), "{notes:?}");
+    assert!(notes.iter().any(|n| n.contains("sink: `fnv64`")), "{notes:?}");
+}
+
+#[test]
+fn r8_negative_accepts_logical_counter_stamps() {
+    let r = lint_fixture(&["r8_ok.rs"]);
+    assert!(r.diagnostics.is_empty(), "{}", r.render_human());
+}
+
+#[test]
+fn r9_positive_flags_completion_order_merge() {
+    let r = lint_fixture(&["r9_merge.rs"]);
+    assert_eq!(codes(&r), vec!["R9"], "{}", r.render_human());
+    assert!(r.exceeds(DenyLevel::Error));
+}
+
+#[test]
+fn r9_negative_accepts_indexed_slots() {
+    let r = lint_fixture(&["r9_ok.rs"]);
+    assert!(r.diagnostics.is_empty(), "{}", r.render_human());
+}
+
+#[test]
+fn r10_positive_flags_locked_float_accumulation() {
+    let r = lint_fixture(&["r10_lock.rs"]);
+    assert_eq!(codes(&r), vec!["R10"], "{}", r.render_human());
+    assert!(r.exceeds(DenyLevel::Warn));
+    assert!(!r.exceeds(DenyLevel::Error), "R10 is warn severity");
+}
+
+#[test]
+fn r10_negative_accepts_slot_fold_after_join() {
+    let r = lint_fixture(&["r10_ok.rs"]);
+    assert!(r.diagnostics.is_empty(), "{}", r.render_human());
+}
+
+#[test]
+fn r11_positive_flags_default_hasher_reaching_output() {
+    let r = lint_fixture(&["r11_hasher.rs"]);
+    assert_eq!(codes(&r), vec!["R11"], "{}", r.render_human());
+    assert!(r.exceeds(DenyLevel::Error));
+}
+
+#[test]
+fn r11_negative_accepts_transient_hasher_use() {
+    let r = lint_fixture(&["r11_ok.rs"]);
+    assert!(r.diagnostics.is_empty(), "{}", r.render_human());
+}
+
+#[test]
+fn r12_positive_flags_duplicate_primitive_with_drift_note() {
+    let r = lint_fixture(&["r12_dup.rs", "r12_dup_b.rs"]);
+    let r12: Vec<_> = r.diagnostics.iter().filter(|d| d.code == "R12").collect();
+    assert_eq!(r12.len(), 1, "{}", r.render_human());
+    assert_eq!(r12[0].file, "r12_dup_b.rs", "the non-canonical site is flagged");
+    assert!(r12[0].notes.iter().any(|n| n.contains("canonical definition at r12_dup.rs")));
+    assert!(r12[0].notes.iter().any(|n| n.contains("have drifted")), "{:?}", r12[0].notes);
+}
+
+#[test]
+fn r12_negative_accepts_methods_sharing_a_primitive_name() {
+    let r = lint_fixture(&["r12_ok.rs"]);
+    assert!(r.diagnostics.is_empty(), "{}", r.render_human());
+}
+
+#[test]
+fn spans_use_char_columns_for_non_ascii_source() {
+    let r = lint_fixture(&["unicode_span.rs"]);
+    assert_eq!(codes(&r), vec!["R3"], "{}", r.render_human());
+    // `SystemTime` sits at char column 43; a byte-based scanner would
+    // report 52 (αβγ and κόσμε are multi-byte).
+    assert_eq!((r.diagnostics[0].line, r.diagnostics[0].col), (7, 43));
+}
+
+#[test]
 fn malformed_allows_are_errors_and_suppress_nothing() {
     let r = lint_fixture(&["allow_malformed.rs"]);
     let cs = codes(&r);

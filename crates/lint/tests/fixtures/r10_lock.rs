@@ -1,0 +1,14 @@
+//! R10 positive: float accumulation through a `Mutex` inside a spawned
+//! worker. Addition order follows lock-acquisition order, and float
+//! addition is not associative — reruns drift in the low bits.
+
+pub fn r10_locked_total(chunks: &[f64], total: &std::sync::Mutex<f64>) {
+    std::thread::scope(|s| {
+        for chunk in chunks.chunks(4) {
+            s.spawn(move || {
+                let local = chunk.iter().map(|c| c * 0.5).sum();
+                *total.lock().unwrap() += local;
+            });
+        }
+    });
+}

@@ -1,0 +1,14 @@
+//! R10 negative: per-worker slots folded in input order after the join
+//! — no lock inside the parallel region, deterministic sum outside it.
+
+pub fn r10_slot_fold(chunks: &[f64]) -> f64 {
+    let mut slots = vec![0.0f64; chunks.chunks(4).len()];
+    std::thread::scope(|s| {
+        for (slot, chunk) in slots.iter_mut().zip(chunks.chunks(4)) {
+            s.spawn(move || {
+                *slot = chunk.iter().map(|c| c * 0.5).sum();
+            });
+        }
+    });
+    slots.iter().sum()
+}

@@ -1,0 +1,9 @@
+//! R11 positive: a `DefaultHasher` digest (seeded per process since
+//! Rust's std uses randomized SipHash keys) flows into a content hash
+//! that lands in persisted output.
+
+pub fn r11_report_digest(name: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    h.write(name.as_bytes());
+    content_hash(h.finish())
+}

@@ -1,0 +1,8 @@
+//! R11 negative: a `DefaultHasher` used for a transient in-process
+//! check whose value never reaches a fingerprint/cache-key sink.
+
+pub fn r11_transient_probe(name: &str) -> bool {
+    let mut h = DefaultHasher::new();
+    h.write(name.as_bytes());
+    h.finish() % 16 == 0
+}

@@ -1,0 +1,12 @@
+//! R12 positive (first of a pair): the canonical-looking copy of a
+//! determinism-critical primitive. See `r12_dup_b.rs` for the second
+//! definition, which has already drifted.
+
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}

@@ -1,0 +1,12 @@
+//! R12 positive (second of a pair): a re-implementation of `fnv64` that
+//! has drifted — it multiplies before xoring, so it is FNV-1, not
+//! FNV-1a, and fingerprints diverge between the two call sites.
+
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        h ^= b as u64;
+    }
+    h
+}

@@ -1,0 +1,12 @@
+//! R12 negative: a *method* named like a critical primitive is not a
+//! duplicate definition — only free functions shadow the canonical one.
+
+pub struct R12Draw {
+    state: u64,
+}
+
+impl R12Draw {
+    pub fn unit(&self) -> f64 {
+        (self.state >> 11) as f64 / 9_007_199_254_740_992.0
+    }
+}

@@ -1,0 +1,12 @@
+//! R8 negative: the same shape as `r8_taint.rs`, but the stamp comes
+//! from a logical counter the caller threads through — nothing ambient
+//! reaches the fingerprint, so the flow pass stays quiet.
+
+fn r8_logical_stamp(counter: u64) -> u64 {
+    counter.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+pub fn r8_stable_key(payload: &[u8], counter: u64) -> u64 {
+    let stamp = r8_logical_stamp(counter);
+    fnv64(&stamp.to_le_bytes()) ^ fnv64(payload)
+}

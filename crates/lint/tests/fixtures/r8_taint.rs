@@ -1,0 +1,14 @@
+//! R8 positive: thread identity flows through a helper into a cache key.
+//! Thread ids have no single-site token rule, so only the flow pass can
+//! see this hazard — the taint seeds at the `thread::current` read and
+//! propagates up the call chain into the `fnv64` sink.
+
+fn r8_thread_stamp() -> u64 {
+    let id = std::thread::current().id();
+    format!("{id:?}").len() as u64
+}
+
+pub fn r8_cache_key(payload: &[u8]) -> u64 {
+    let stamp = r8_thread_stamp();
+    fnv64(&stamp.to_le_bytes()) ^ fnv64(payload)
+}

@@ -1,0 +1,9 @@
+//! R9 positive: worker results pushed into a shared `Mutex<Vec<_>>`
+//! from inside a parallel region land in completion order, which the
+//! scheduler — not the input — decides.
+
+pub fn r9_completion_order(items: &[u64], out: &std::sync::Mutex<Vec<u64>>) {
+    par_map_dynamic(8, |i| {
+        out.lock().unwrap().push(items[i] * 2);
+    });
+}

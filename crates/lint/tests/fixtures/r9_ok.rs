@@ -1,0 +1,10 @@
+//! R9 negative: each worker writes its own preallocated slot, so the
+//! merged output is in input order regardless of scheduling.
+
+pub fn r9_indexed_slots(items: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; items.len()];
+    map_indexed(items, &mut out, |i, slot| {
+        *slot = items[i] * 2;
+    });
+    out
+}

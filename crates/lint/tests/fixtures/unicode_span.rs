@@ -1,0 +1,9 @@
+//! Span-regression fixture: non-ASCII identifiers and string contents
+//! before a violation. Columns are char-based, so the `SystemTime`
+//! finding must anchor at the same column a human counting characters
+//! would report — not a byte offset.
+
+pub fn unicode_span_démo() -> u64 {
+    let αβγ = "κόσμε"; let t = std::time::SystemTime::now();
+    αβγ.len() as u64 + t.elapsed().unwrap().as_secs()
+}

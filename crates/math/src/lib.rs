@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod decomp;
+pub mod hash;
 pub mod matrix;
 pub mod parallel;
 pub mod pca;

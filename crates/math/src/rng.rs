@@ -82,11 +82,7 @@ impl SplitMix64 {
 /// assert_eq!(derive_seed(42, "weights"), derive_seed(42, "weights"));
 /// ```
 pub fn derive_seed(parent: u64, tag: &str) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for b in tag.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
+    let h = crate::hash::fnv64(tag.as_bytes());
     let mut mix = SplitMix64::new(parent ^ h);
     mix.next_u64()
 }

@@ -622,7 +622,7 @@ fn main() {
         Some("chaos") => run_chaos(&exec, &reg, seed_arg(1), &sup, trace_out),
         Some("soak") => run_soak_cmd(&reg, &args[1..], jobs, &sup),
         Some("trace") => run_trace(&args[1..]),
-        Some("lint") => run_lint(&args[1..]),
+        Some("lint") => run_lint(&args[1..], jobs),
         _ => {
             eprintln!(
                 "usage: treu <list|run|tables|verify|chaos|trace|env|lint|soak> [...] \
@@ -923,10 +923,14 @@ fn run_chaos(
 }
 
 /// `treu lint [path] [--format human|json] [--deny none|warn|error]
-/// [--rules R1,wall-clock,...]` — static reproducibility analysis over a
-/// workspace (default: the current directory). Exits 1 when findings
-/// reach the deny level, 2 on usage or I/O errors.
-fn run_lint(args: &[String]) {
+/// [--rules R1,wall-clock,...] [--flow|--no-flow] [--baseline FILE]
+/// [--write-baseline FILE]` — static reproducibility analysis over a
+/// workspace (default: the current directory). The cross-file flow pass
+/// (rules R8..R12) is on by default; `--baseline` gates only on findings
+/// not recorded in FILE, and `--write-baseline` records the current
+/// findings. Exits 1 when findings reach the deny level, 2 on usage or
+/// I/O errors.
+fn run_lint(args: &[String], jobs: usize) {
     fn usage_err(msg: String) -> ! {
         eprintln!("{msg}");
         std::process::exit(2);
@@ -935,6 +939,9 @@ fn run_lint(args: &[String]) {
     let mut deny = DenyLevel::Warn;
     let mut rules: Option<Vec<RuleId>> = None;
     let mut root: Option<String> = None;
+    let mut flow = true;
+    let mut baseline_path: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let arg = &args[i];
@@ -963,8 +970,16 @@ fn run_lint(args: &[String]) {
         } else if let Some(v) = flag_value("--rules") {
             let parsed: Option<Vec<RuleId>> = v.split(',').map(RuleId::parse).collect();
             rules = Some(parsed.unwrap_or_else(|| {
-                usage_err(format!("invalid --rules '{v}' (want codes R1..R7 or rule names)"))
+                usage_err(format!("invalid --rules '{v}' (want codes R1..R12 or rule names)"))
             }));
+        } else if let Some(v) = flag_value("--baseline") {
+            baseline_path = Some(v);
+        } else if let Some(v) = flag_value("--write-baseline") {
+            write_baseline = Some(v);
+        } else if arg == "--flow" {
+            flow = true;
+        } else if arg == "--no-flow" {
+            flow = false;
         } else if arg.starts_with('-') {
             usage_err(format!("unknown lint flag '{arg}'"));
         } else if root.is_none() {
@@ -982,11 +997,34 @@ fn run_lint(args: &[String]) {
     let lint = match rules {
         Some(r) => Lint::with_rules(r),
         None => Lint::new(),
-    };
-    let report = lint.run(&ws).unwrap_or_else(|e| {
+    }
+    .flow(flow)
+    .jobs(jobs);
+    let mut report = lint.run(&ws).unwrap_or_else(|e| {
         eprintln!("lint: {e}");
         std::process::exit(2);
     });
+    if let Some(path) = write_baseline {
+        let text = treu_lint::baseline::render(&report);
+        std::fs::write(&path, text).unwrap_or_else(|e| {
+            eprintln!("lint: cannot write baseline '{path}': {e}");
+            std::process::exit(2);
+        });
+        eprintln!("lint: wrote {} finding(s) to baseline '{path}'", report.diagnostics.len());
+    }
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("lint: cannot read baseline '{path}': {e}");
+            std::process::exit(2);
+        });
+        let keys = treu_lint::baseline::parse(&text).unwrap_or_else(|e| {
+            eprintln!("lint: {path}: {e}");
+            std::process::exit(2);
+        });
+        let (kept, absorbed) = treu_lint::baseline::apply(report, keys);
+        report = kept;
+        eprintln!("lint: baseline '{path}' absorbed {absorbed} finding(s)");
+    }
     match format.as_str() {
         "json" => print!("{}", report.render_json()),
         _ => print!("{}", report.render_human()),

@@ -225,11 +225,39 @@ fn lint_rules_filter_restricts_the_pass() {
 }
 
 #[test]
+fn lint_no_flow_drops_the_taint_findings() {
+    let with = treu(&["lint", FIXTURES, "--format", "json", "--deny", "none"]);
+    let without = treu(&["lint", FIXTURES, "--no-flow", "--format", "json", "--deny", "none"]);
+    assert!(with.status.success() && without.status.success());
+    let with = String::from_utf8(with.stdout).expect("utf8");
+    let without = String::from_utf8(without.stdout).expect("utf8");
+    assert!(with.contains("\"code\": \"R8\""), "{with}");
+    for flow in ["\"R8\"", "\"R9\"", "\"R10\"", "\"R11\"", "\"R12\""] {
+        assert!(!without.contains(flow), "--no-flow leaked {flow}:\n{without}");
+    }
+}
+
+#[test]
+fn lint_baseline_round_trip_absorbs_existing_findings() {
+    let file = std::env::temp_dir().join(format!("treu-cli-baseline-{}.tsv", std::process::id()));
+    let path = file.to_str().expect("utf8 temp path");
+    let write = treu(&["lint", FIXTURES, "--write-baseline", path, "--deny", "none"]);
+    assert!(write.status.success(), "{}", String::from_utf8_lossy(&write.stderr));
+    // Replaying against the baseline absorbs every finding, so the run
+    // passes even at the strictest gate.
+    let replay = treu(&["lint", FIXTURES, "--baseline", path, "--deny", "warn"]);
+    let stdout = String::from_utf8(replay.stdout).expect("utf8");
+    assert!(replay.status.success(), "{stdout}");
+    assert!(stdout.contains("clean"), "{stdout}");
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
 fn lint_bad_flags_fail_with_usage_error() {
     for bad in [
         &["lint", "--format", "xml"][..],
         &["lint", "--deny", "loud"],
-        &["lint", "--rules", "R9"],
+        &["lint", "--rules", "R13"],
         &["lint", "--format"],
     ] {
         let out = treu(bad);
