@@ -1,0 +1,491 @@
+//! The schedule book: the autotune loop's output, closed back into the
+//! math kernels.
+//!
+//! `treu tune` runs the genetic tuner over **real GEMM timings** per
+//! [`ShapeClass`], records each class's winning [`Schedule`] in a
+//! [`ScheduleBook`], persists the book content-addressed through
+//! `treu-core::cache` (one blob under [`BOOK_KIND`]/[`BOOK_TAG`], so the
+//! cache's fingerprint validation and atomic writes apply), and
+//! [`ScheduleBook::install`] pushes the winners into
+//! `treu_math::gemm`'s plan table — from then on every
+//! `Matrix::matmul` in the process dispatches to its tuned plan.
+//!
+//! Timing is inherently wall-clock and machine-dependent, so *which*
+//! schedule wins is environment, not result: every candidate plan computes
+//! the bitwise-identical product (the ascending-k rule), and the tuner
+//! re-verifies the winner against the naive kernel before it is admitted
+//! to the book.
+
+use crate::schedule::Schedule;
+use crate::tuner::{GaParams, Tuner};
+use std::collections::BTreeMap;
+use std::time::Instant;
+use treu_core::cache::RunCache;
+use treu_math::gemm::{self, GemmPlan, ShapeClass};
+use treu_math::rng::{derive_seed, SplitMix64};
+use treu_math::Matrix;
+
+/// Cache blob kind the book is persisted under.
+pub const BOOK_KIND: &str = "schedule-book";
+/// Cache blob tag (bump on format changes).
+pub const BOOK_TAG: &str = "v1";
+
+/// Shapes the spawn-overhead crossover probe sweeps (square extents).
+const CROSSOVER_SIZES: [usize; 6] = [16, 24, 32, 48, 64, 96];
+
+/// One tuned (kernel, shape-class) record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunedEntry {
+    /// Shape class the schedule was tuned for.
+    pub class: ShapeClass,
+    /// The concrete `(m, k, n)` workload the class was tuned on.
+    pub shape: (usize, usize, usize),
+    /// The GA's winning schedule.
+    pub schedule: Schedule,
+    /// Naive-kernel throughput on the tuning workload, GFLOP/s.
+    pub naive_gflops: f64,
+    /// Winning-schedule throughput on the tuning workload, GFLOP/s.
+    pub tuned_gflops: f64,
+}
+
+impl TunedEntry {
+    /// The GEMM plan this entry's schedule lowers to.
+    pub fn plan(&self) -> GemmPlan {
+        plan_from_schedule(&self.schedule)
+    }
+}
+
+/// Lowers a schedule from the GA's discrete space into a [`GemmPlan`].
+///
+/// The schedule's tile axes are in register-quad units: each is scaled ×4
+/// into a cache-block extent, so the GA's 1..=64 tile range spans
+/// register-tile (4) to L2-panel (256) blocking. `unroll` maps directly to
+/// the microkernel width and `threads` to the band-parallel worker count.
+pub fn plan_from_schedule(s: &Schedule) -> GemmPlan {
+    GemmPlan {
+        mc: s.tile_i.saturating_mul(4).max(1),
+        kc: s.tile_k.saturating_mul(4).max(1),
+        nc: s.tile_j.saturating_mul(4).max(1),
+        nr: s.unroll.max(1),
+        threads: s.threads.max(1),
+    }
+}
+
+/// The inverse lowering: a plan expressed back in the schedule IR (tile
+/// axes in register-quad units). Used to let hand-written plans — like
+/// the class default — compete in the tuner's bake-off and still be
+/// recorded as schedules; such schedules may sit outside the GA's
+/// discrete choice lists, which only constrain random generation.
+///
+/// Tiles are capped at 2^16 register-quads (a 262144-wide block after
+/// lowering): the kernel clamps every plan to the actual shape anyway,
+/// so the cap never changes a dispatched plan — it only keeps the
+/// "unblocked" small-class default from rendering as `usize::MAX / 4`.
+fn schedule_from_plan(p: &GemmPlan) -> Schedule {
+    const TILE_CAP: usize = 1 << 16;
+    Schedule {
+        tile_i: (p.mc / 4).clamp(1, TILE_CAP),
+        tile_j: (p.nc / 4).clamp(1, TILE_CAP),
+        tile_k: (p.kc / 4).clamp(1, TILE_CAP),
+        unroll: p.nr.max(1),
+        threads: p.threads.max(1),
+    }
+}
+
+/// The tuned-schedule registry: winning schedules per shape class plus the
+/// measured sequential/parallel crossover, serializable to one cache blob.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct ScheduleBook {
+    entries: BTreeMap<String, TunedEntry>,
+    crossover: Option<usize>,
+}
+
+impl ScheduleBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of tuned classes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the book holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The tuned entry for a class, if any.
+    pub fn entry(&self, class: ShapeClass) -> Option<&TunedEntry> {
+        self.entries.get(&class.key())
+    }
+
+    /// All entries in class-key order.
+    pub fn entries(&self) -> impl Iterator<Item = &TunedEntry> {
+        self.entries.values()
+    }
+
+    /// The measured spawn-overhead crossover (output elements), if probed.
+    pub fn crossover(&self) -> Option<usize> {
+        self.crossover
+    }
+
+    /// Tunes the matmul kernel for the shape class of `(m, k, n)` with the
+    /// genetic tuner over real timings of the schedule-driven kernel, and
+    /// records the winner. Deterministic workload from `seed`; timing (and
+    /// therefore which schedule wins) is machine-dependent, results never
+    /// are — the winner is re-verified bitwise against the naive kernel.
+    ///
+    /// Returns the recorded entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the winning schedule's product diverges bitwise from the
+    /// naive kernel — that would be a determinism bug in the GEMM kernel,
+    /// and admitting the schedule would poison every downstream matmul.
+    pub fn tune_matmul(
+        &mut self,
+        (m, k, n): (usize, usize, usize),
+        ga: GaParams,
+        seed: u64,
+        repeats: usize,
+    ) -> &TunedEntry {
+        let class = ShapeClass::of(m, k, n);
+        let mut rng = SplitMix64::new(derive_seed(seed, "book.workload"));
+        let a = Matrix::from_fn(m, k, |_, _| rng.next_gaussian());
+        let b = Matrix::from_fn(k, n, |_, _| rng.next_gaussian());
+        let reference = a.matmul_naive(&b);
+        let mut tuner = Tuner::new(ga, derive_seed(seed, "book.ga"));
+        let (ga_best, _) = tuner.tune(|s| {
+            let plan = plan_from_schedule(&s).clamped(m, k, n);
+            time_min(repeats, || a.matmul_with_plan(&b, &plan))
+        });
+        // The GA's reported cost is a minimum taken over many noisy
+        // measurements, so it is biased optimistic — on a loaded machine a
+        // mediocre schedule can "win" on a lucky sample. Before admission
+        // the winner must beat the hand-written class default in a fresh
+        // head-to-head timing at higher repeat count; the default is
+        // expressible in the schedule IR, so the book's entry stays a
+        // schedule either way.
+        let bake = repeats.max(3);
+        let naive_secs = time_min(bake, || a.matmul_naive(&b));
+        let dflt = schedule_from_plan(&GemmPlan::default_for(class));
+        let mut best = ga_best;
+        let mut best_secs = f64::INFINITY;
+        for cand in [ga_best, dflt] {
+            let plan = plan_from_schedule(&cand).clamped(m, k, n);
+            let secs = time_min(bake, || a.matmul_with_plan(&b, &plan));
+            if secs < best_secs {
+                best = cand;
+                best_secs = secs;
+            }
+        }
+        let plan = plan_from_schedule(&best).clamped(m, k, n);
+        let tuned = a.matmul_with_plan(&b, &plan);
+        assert_bitwise(&reference, &tuned, &format!("tuned schedule for class {}", class.key()));
+        let flops = 2.0 * m as f64 * k as f64 * n as f64;
+        let entry = TunedEntry {
+            class,
+            shape: (m, k, n),
+            schedule: best,
+            naive_gflops: gflops(flops, naive_secs),
+            tuned_gflops: gflops(flops, best_secs),
+        };
+        self.entries.insert(class.key(), entry);
+        self.entries.get(&class.key()).expect("entry just inserted")
+    }
+
+    /// Measures the spawn-overhead crossover: the smallest probed square
+    /// GEMM whose band-parallel run at `jobs` workers beats the sequential
+    /// run. Records `size²` (the output-element count) as the crossover;
+    /// leaves the previous value when parallel never wins (callers then
+    /// fall back to the historical constant).
+    pub fn measure_crossover(&mut self, jobs: usize, seed: u64, repeats: usize) -> Option<usize> {
+        if jobs <= 1 {
+            return self.crossover;
+        }
+        let mut rng = SplitMix64::new(derive_seed(seed, "book.crossover"));
+        for size in CROSSOVER_SIZES {
+            let a = Matrix::from_fn(size, size, |_, _| rng.next_gaussian());
+            let b = Matrix::from_fn(size, size, |_, _| rng.next_gaussian());
+            let class = ShapeClass::of(size, size, size);
+            let seq_plan = gemm::plan_for(class).sequential().clamped(size, size, size);
+            let par_plan = seq_plan.with_threads(jobs);
+            let seq = time_min(repeats, || a.matmul_with_plan(&b, &seq_plan));
+            let par = time_min(repeats, || a.matmul_with_plan(&b, &par_plan));
+            if par < seq {
+                self.crossover = Some(size * size);
+                return self.crossover;
+            }
+        }
+        self.crossover
+    }
+
+    /// Installs the book into the process-global dispatch tables: every
+    /// entry's plan into `treu_math::gemm`'s plan table, and the measured
+    /// crossover (when present) as the parallel gate.
+    pub fn install(&self) {
+        for e in self.entries.values() {
+            gemm::install_plan(e.class, e.plan().clamped_soft());
+        }
+        if let Some(c) = self.crossover {
+            gemm::install_parallel_crossover(c);
+        }
+    }
+
+    /// Serializes the book to its line format (one entry per line,
+    /// `matmul <class> <m> <k> <n> <tile_i> <tile_j> <tile_k> <unroll>
+    /// <threads> <naive_gflops> <tuned_gflops>`, plus an optional
+    /// `crossover <elems>` line).
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        for e in self.entries.values() {
+            let s = &e.schedule;
+            out.push_str(&format!(
+                "matmul {} {} {} {} {} {} {} {} {} {:.4} {:.4}\n",
+                e.class.key(),
+                e.shape.0,
+                e.shape.1,
+                e.shape.2,
+                s.tile_i,
+                s.tile_j,
+                s.tile_k,
+                s.unroll,
+                s.threads,
+                e.naive_gflops,
+                e.tuned_gflops,
+            ));
+        }
+        if let Some(c) = self.crossover {
+            out.push_str(&format!("crossover {c}\n"));
+        }
+        out
+    }
+
+    /// Parses a book serialized by [`ScheduleBook::serialize`]. Unknown or
+    /// malformed lines are skipped (forward compatibility), so a partially
+    /// readable book degrades to fewer tuned classes, never an error.
+    pub fn parse(payload: &str) -> Self {
+        let mut book = Self::new();
+        for line in payload.lines() {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            match parts.as_slice() {
+                ["crossover", c] => {
+                    book.crossover = c.parse::<usize>().ok().filter(|&v| v > 0);
+                }
+                ["matmul", key, m, k, n, ti, tj, tk, un, th, ng, tg] => {
+                    let parsed = (|| {
+                        let class = ShapeClass::parse_key(key)?;
+                        Some(TunedEntry {
+                            class,
+                            shape: (m.parse().ok()?, k.parse().ok()?, n.parse().ok()?),
+                            schedule: Schedule {
+                                tile_i: ti.parse().ok()?,
+                                tile_j: tj.parse().ok()?,
+                                tile_k: tk.parse().ok()?,
+                                unroll: un.parse().ok()?,
+                                threads: th.parse().ok()?,
+                            },
+                            naive_gflops: ng.parse().ok()?,
+                            tuned_gflops: tg.parse().ok()?,
+                        })
+                    })();
+                    if let Some(e) = parsed {
+                        book.entries.insert(e.class.key(), e);
+                    }
+                }
+                _ => {}
+            }
+        }
+        book
+    }
+
+    /// Loads the persisted book from a run cache; empty book on miss.
+    pub fn load(cache: &RunCache) -> Self {
+        match cache.lookup_blob(BOOK_KIND, BOOK_TAG) {
+            Some(payload) => Self::parse(&payload),
+            None => Self::new(),
+        }
+    }
+
+    /// Persists the book through the cache's atomic content-addressed blob
+    /// store.
+    pub fn persist(&self, cache: &RunCache) -> std::io::Result<()> {
+        cache.store_blob(BOOK_KIND, BOOK_TAG, &self.serialize())
+    }
+
+    /// Human-readable table for CLI output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("class  shape              schedule                                            naive    tuned  speedup\n");
+        for e in self.entries.values() {
+            let (m, k, n) = e.shape;
+            let speedup = if e.naive_gflops > 0.0 { e.tuned_gflops / e.naive_gflops } else { 0.0 };
+            out.push_str(&format!(
+                "{:<6} {:<18} {:<51} {:>6.2} {:>8.2} {:>7.2}x\n",
+                e.class.key(),
+                format!("{m}x{k}x{n}"),
+                e.schedule.render(),
+                e.naive_gflops,
+                e.tuned_gflops,
+                speedup,
+            ));
+        }
+        match self.crossover {
+            Some(c) => out.push_str(&format!("parallel crossover: {c} output elements\n")),
+            None => out.push_str(&format!(
+                "parallel crossover: not measured (fallback {})\n",
+                gemm::FALLBACK_PARALLEL_CROSSOVER
+            )),
+        }
+        out
+    }
+}
+
+/// A plan clamp that keeps extents sane without knowing the final shape
+/// (the per-call clamp in the kernel handles that): only normalizes nr and
+/// threads.
+trait ClampSoft {
+    fn clamped_soft(self) -> Self;
+}
+
+impl ClampSoft for GemmPlan {
+    fn clamped_soft(self) -> Self {
+        GemmPlan { threads: self.threads.max(1), ..self }
+    }
+}
+
+fn gflops(flops: f64, secs: f64) -> f64 {
+    if secs > 0.0 {
+        flops / secs / 1e9
+    } else {
+        0.0
+    }
+}
+
+/// Minimum wall time of `repeats` runs of `f` — minimum, not mean, because
+/// scheduling noise only ever adds time.
+fn time_min<T>(repeats: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        // treu-lint: allow(wall-clock, reason = "kernel timing is the tuner's fitness signal; report-only, never fingerprinted")
+        let t0 = Instant::now();
+        let _keep = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn assert_bitwise(want: &Matrix, got: &Matrix, ctx: &str) {
+    assert_eq!(want.shape(), got.shape(), "{ctx}: shape mismatch");
+    for (i, (a, b)) in want.as_slice().iter().zip(got.as_slice()).enumerate() {
+        assert!(
+            a.to_bits() == b.to_bits(),
+            "{ctx}: element {i} diverges bitwise ({a} vs {b}) — determinism bug"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ga() -> GaParams {
+        GaParams { population: 4, generations: 2, tournament: 2, elites: 1, ..GaParams::default() }
+    }
+
+    #[test]
+    fn plan_lowering_scales_tiles() {
+        let s = Schedule { tile_i: 16, tile_j: 32, tile_k: 64, unroll: 8, threads: 2 };
+        let p = plan_from_schedule(&s);
+        assert_eq!(p, GemmPlan { mc: 64, kc: 256, nc: 128, nr: 8, threads: 2 });
+        let naive = plan_from_schedule(&Schedule::naive());
+        assert_eq!((naive.mc, naive.kc, naive.nc, naive.nr, naive.threads), (4, 4, 4, 1, 1));
+    }
+
+    #[test]
+    fn tune_records_a_verified_entry() {
+        let mut book = ScheduleBook::new();
+        let e = book.tune_matmul((24, 18, 20), tiny_ga(), 7, 1).clone();
+        assert_eq!(e.class, ShapeClass::of(24, 18, 20));
+        assert_eq!(e.shape, (24, 18, 20));
+        assert!(e.tuned_gflops > 0.0 && e.naive_gflops > 0.0);
+        assert_eq!(book.len(), 1);
+        assert_eq!(book.entry(e.class), Some(&e));
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip() {
+        let mut book = ScheduleBook::new();
+        book.tune_matmul((20, 12, 16), tiny_ga(), 3, 1);
+        book.tune_matmul((70, 12, 16), tiny_ga(), 4, 1);
+        book.crossover = Some(2304);
+        let text = book.serialize();
+        let parsed = ScheduleBook::parse(&text);
+        assert_eq!(parsed.len(), book.len());
+        assert_eq!(parsed.crossover(), Some(2304));
+        for (a, b) in parsed.entries().zip(book.entries()) {
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.schedule, b.schedule);
+            assert_eq!(a.shape, b.shape);
+        }
+    }
+
+    #[test]
+    fn parse_skips_garbage_lines() {
+        let text =
+            "matmul zzz 1 2\nnot-a-line\ncrossover 100\nmatmul mmm 64 64 64 8 8 8 4 1 1.0 2.0\n";
+        let book = ScheduleBook::parse(text);
+        assert_eq!(book.len(), 1);
+        assert_eq!(book.crossover(), Some(100));
+        let e = book.entries().next().unwrap();
+        assert_eq!(e.class, ShapeClass::of(64, 64, 64));
+        assert_eq!(e.schedule.unroll, 4);
+    }
+
+    #[test]
+    fn install_pushes_plans_into_the_dispatch_table() {
+        let mut book = ScheduleBook::new();
+        // A deliberately odd class no default workload hits: m Huge, k Tiny.
+        let e = book.tune_matmul((1030, 4, 20), tiny_ga(), 9, 1).clone();
+        book.install();
+        let installed = gemm::installed_plan(e.class).expect("plan installed");
+        assert_eq!(installed.nr, plan_from_schedule(&e.schedule).nr);
+    }
+
+    #[test]
+    fn crossover_measurement_is_bounded_and_optional() {
+        let mut book = ScheduleBook::new();
+        let before = book.crossover();
+        assert_eq!(before, None);
+        // jobs=1 cannot beat itself: measurement declines to run.
+        assert_eq!(book.measure_crossover(1, 1, 1), None);
+        let measured = book.measure_crossover(2, 1, 1);
+        if let Some(c) = measured {
+            let max = CROSSOVER_SIZES[CROSSOVER_SIZES.len() - 1];
+            assert!(c >= CROSSOVER_SIZES[0] * CROSSOVER_SIZES[0] && c <= max * max);
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_class() {
+        let mut book = ScheduleBook::new();
+        book.tune_matmul((20, 12, 16), tiny_ga(), 3, 1);
+        let r = book.render();
+        assert!(r.contains("ss") || r.contains("st"), "render: {r}");
+        assert!(r.contains("crossover"));
+    }
+
+    #[test]
+    fn cache_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("treu-book-{}", std::process::id()));
+        let cache = RunCache::open(&dir).expect("open cache");
+        let mut book = ScheduleBook::new();
+        book.tune_matmul((20, 12, 16), tiny_ga(), 3, 1);
+        book.persist(&cache).expect("persist");
+        let loaded = ScheduleBook::load(&cache);
+        assert_eq!(loaded.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

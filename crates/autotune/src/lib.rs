@@ -30,6 +30,7 @@
 #![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 
+pub mod book;
 pub mod cost;
 pub mod executor;
 pub mod experiment;
@@ -38,6 +39,7 @@ pub mod roofline;
 pub mod schedule;
 pub mod tuner;
 
+pub use book::ScheduleBook;
 pub use kernels::Kernel;
 pub use schedule::Schedule;
 pub use tuner::{GaParams, Tuner};

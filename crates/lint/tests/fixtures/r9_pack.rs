@@ -1,0 +1,11 @@
+//! R9 positive: parallel pack workers push finished B panels into a
+//! shared `Mutex<Vec<_>>`, so the packed strip order is whichever worker
+//! finishes first — the scheduler, not the column index, decides the
+//! buffer layout the microkernel will read.
+
+pub fn r9_panel_pour(b: &[f64], panels: &std::sync::Mutex<Vec<Vec<f64>>>) {
+    par_map_dynamic(8, |jc| {
+        let panel: Vec<f64> = b.iter().skip(jc).step_by(8).copied().collect();
+        panels.lock().unwrap().push(panel);
+    });
+}

@@ -1,0 +1,12 @@
+//! R9 negative: each pack worker writes its panel into the
+//! column-indexed slot preallocated for it, so the packed buffer layout
+//! is a pure function of the input no matter which worker finishes
+//! first — the index-ordered merge the blocked GEMM's packing uses.
+
+pub fn r9_panel_slots(b: &[f64]) -> Vec<Vec<f64>> {
+    let mut panels = vec![Vec::new(); 8];
+    map_indexed(b, &mut panels, |jc, slot| {
+        *slot = b.iter().skip(jc).step_by(8).copied().collect();
+    });
+    panels
+}

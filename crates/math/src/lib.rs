@@ -12,6 +12,8 @@
 //! * [`vector`] — free functions over `&[f64]` slices (dot, axpy, norms).
 //! * [`matrix`] — a row-major dense [`matrix::Matrix`] with blocked and
 //!   parallel multiplication.
+//! * [`gemm`] — shape classes, blocking plans and the installed-plan table
+//!   the autotuner feeds (`Matrix::matmul` dispatches through it).
 //! * [`decomp`] — Jacobi eigendecomposition and one-sided Jacobi SVD.
 //! * [`pca`] — principal component analysis on row-sample matrices.
 //! * [`stats`] — descriptive statistics (mean, mode, quantiles, covariance).
@@ -36,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod decomp;
+pub mod gemm;
 pub mod hash;
 pub mod matrix;
 pub mod parallel;

@@ -1,11 +1,29 @@
 //! Row-major dense matrices.
 //!
 //! [`Matrix`] is the workhorse container of the workspace: a contiguous
-//! row-major `Vec<f64>` with shape metadata. Multiplication comes in three
-//! flavours — naive (`matmul_naive`, kept for testing and as the autotuner's
-//! reference point), cache-blocked (`matmul`) and thread-parallel
-//! (`matmul_parallel`, crossbeam-scoped over row bands).
+//! row-major `Vec<f64>` with shape metadata. Multiplication comes in
+//! several flavours — naive (`matmul_naive`, kept for testing and as the
+//! autotuner's reference point), schedule-driven cache-blocked (`matmul`,
+//! dispatching through the [`crate::gemm`] plan table), thread-parallel
+//! (`matmul_parallel`, crossbeam-scoped over row bands), and the
+//! transpose-free variants `matmul_tn` / `matmul_nt` that read one operand
+//! through its transpose without materializing it.
+//!
+//! # The ascending-k rule
+//!
+//! Every multiplication path computes each output element as **one
+//! sequential ascending-k chain**: `acc = ((0 + a·b|k=0) + a·b|k=1) + …`.
+//! Blocking (MC/KC/NC) reorders only which elements are visited when and
+//! what gets packed — never the per-element accumulation order — so naive,
+//! blocked, packed and parallel results are bitwise-identical at every
+//! plan and thread count. Spilling a partial accumulator to the output
+//! buffer between KC panels and reloading it is exact (each f64 add rounds
+//! once either way), so KC blocking preserves the chain too. What would
+//! *break* the rule: multiple interleaved accumulators per element (as in
+//! `vector::dot`'s 4-way unroll) or skipping zero terms (`0.0` terms still
+//! move signed zeros and NaNs). Neither is used on any matmul path.
 
+use crate::gemm::{self, GemmPlan, ShapeClass};
 use crate::parallel;
 use crate::vector;
 use std::fmt;
@@ -164,7 +182,11 @@ impl Matrix {
     }
 
     /// Naive triple-loop multiplication; the reference implementation used
-    /// by tests and by the autotuner baseline.
+    /// by tests, the conformance suite and the autotuner baseline.
+    ///
+    /// Note there is deliberately no `a == 0.0` fast path: skipping zero
+    /// terms would change signed-zero and NaN propagation, breaking the
+    /// bitwise tuned ≡ naive contract.
     ///
     /// # Panics
     ///
@@ -175,9 +197,6 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
                 let brow = other.row(k);
                 let orow = out.row_mut(i);
                 vector::axpy(a, brow, orow);
@@ -186,15 +205,46 @@ impl Matrix {
         out
     }
 
-    /// Cache-blocked multiplication (ikj loop order, 64-wide tiles).
+    /// Schedule-driven multiplication: classifies the shape, looks up the
+    /// plan table ([`gemm::plan_for`] — tuned plan if `treu tune` installed
+    /// one, hand-written default otherwise) and runs the cache-blocked
+    /// kernel single-threaded.
     ///
     /// # Panics
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
+        let plan = gemm::plan_for(ShapeClass::of(self.rows, self.cols, other.cols)).sequential();
+        self.matmul_with_plan(other, &plan)
+    }
+
+    /// Multiplication under an explicit [`GemmPlan`] — the entry point the
+    /// autotuner times candidate schedules through. `plan.threads > 1`
+    /// band-parallelizes over output rows via [`parallel::for_each_band`].
+    ///
+    /// Bitwise-identical to [`Matrix::matmul_naive`] for every plan and
+    /// thread count (the ascending-k rule).
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_with_plan(&self, other: &Matrix, plan: &GemmPlan) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        Self::mul_into_range(self, other, out.as_mut_slice(), 0, self.rows);
+        if out.data.is_empty() {
+            return out;
+        }
+        let threads = plan.threads.max(1);
+        if threads <= 1 || self.rows <= 1 {
+            Self::mul_into_range(self, other, out.as_mut_slice(), 0, self.rows, plan);
+        } else {
+            let ocols = other.cols;
+            parallel::for_each_band(out.as_mut_slice(), ocols, threads, |band_start, band| {
+                let rows = band.len() / ocols;
+                Self::mul_into_range(self, other, band, band_start, band_start + rows, plan);
+            });
+        }
         out
     }
 
@@ -202,8 +252,9 @@ impl Matrix {
     ///
     /// Uses `crossbeam::scope`; each worker owns a disjoint `&mut` band of
     /// the output, so no synchronization is needed. Falls back to the
-    /// single-threaded path for small outputs where spawn overhead would
-    /// dominate.
+    /// single-threaded path below the spawn-overhead crossover
+    /// ([`gemm::parallel_crossover`] — measured by the schedule book when
+    /// available, a 64×64-output constant otherwise).
     ///
     /// # Panics
     ///
@@ -211,31 +262,142 @@ impl Matrix {
     pub fn matmul_parallel(&self, other: &Matrix, threads: usize) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
         let threads = threads.max(1);
-        if threads == 1 || self.rows * other.cols < 64 * 64 {
+        if threads == 1 || self.rows * other.cols < gemm::parallel_crossover() {
             return self.matmul(other);
         }
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        let ocols = other.cols;
-        parallel::for_each_band(out.as_mut_slice(), ocols, threads, |band_start, band| {
-            let rows = band.len() / ocols;
-            Self::mul_into_range(self, other, band, band_start, band_start + rows);
-        });
+        let plan =
+            gemm::plan_for(ShapeClass::of(self.rows, self.cols, other.cols)).with_threads(threads);
+        self.matmul_with_plan(other, &plan)
+    }
+
+    /// Transpose-free `selfᵀ · other`: `self` is stored `k×m` and read
+    /// column-wise, so callers holding an activation they would otherwise
+    /// `transpose()` (every backward pass) skip the allocation + copy.
+    ///
+    /// Bitwise-identical to `self.transpose().matmul(other)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shared `k` extents disagree (`self.rows != other.rows`).
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn: dimension mismatch");
+        let (kdim, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        if out.data.is_empty() || kdim == 0 {
+            return out;
+        }
+        let plan = gemm::plan_for(ShapeClass::of(m, kdim, n)).clamped(m, kdim, n);
+        let mut bpack = vec![0.0; kdim * plan.nc];
+        // A's logical row i is the stored column i: gather it per KC panel
+        // into a contiguous buffer so the same ascending-k microkernel runs.
+        let mut apack = vec![0.0; plan.kc];
+        for jc in (0..n).step_by(plan.nc) {
+            let ncur = plan.nc.min(n - jc);
+            pack_b_strip(&other.data, n, kdim, jc, ncur, &mut bpack);
+            for ic in (0..m).step_by(plan.mc) {
+                let iend = (ic + plan.mc).min(m);
+                for pc in (0..kdim).step_by(plan.kc) {
+                    let kcur = plan.kc.min(kdim - pc);
+                    let bpanel = &bpack[pc * ncur..(pc + kcur) * ncur];
+                    for i in ic..iend {
+                        for kk in 0..kcur {
+                            apack[kk] = self.data[(pc + kk) * m + i];
+                        }
+                        let crow = &mut out.data[i * n + jc..i * n + jc + ncur];
+                        microkernel_row(&apack[..kcur], bpanel, crow, ncur, plan.nr);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose-free `self · otherᵀ`: `other` is stored `n×k`, so both
+    /// operands are read along contiguous rows and each output element is
+    /// one sequential dot chain — no packing needed, no `transpose()`
+    /// allocation for callers multiplying by a weight transpose.
+    ///
+    /// Bitwise-identical to `self.matmul(&other.transpose())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shared `k` extents disagree (`self.cols != other.cols`).
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt: dimension mismatch");
+        let (m, kdim, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        if out.data.is_empty() {
+            return out;
+        }
+        for i in 0..m {
+            let arow = self.row(i);
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            // Four independent per-element chains at a time for ILP; each
+            // chain is still one ascending-k reduction.
+            while j + 4 <= n {
+                let b0 = other.row(j);
+                let b1 = other.row(j + 1);
+                let b2 = other.row(j + 2);
+                let b3 = other.row(j + 3);
+                let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+                for kk in 0..kdim {
+                    let av = arow[kk];
+                    a0 += av * b0[kk];
+                    a1 += av * b1[kk];
+                    a2 += av * b2[kk];
+                    a3 += av * b3[kk];
+                }
+                orow[j] = a0;
+                orow[j + 1] = a1;
+                orow[j + 2] = a2;
+                orow[j + 3] = a3;
+                j += 4;
+            }
+            while j < n {
+                orow[j] = vector::dot_chain(arow, other.row(j));
+                j += 1;
+            }
+        }
         out
     }
 
     /// Computes rows `[r0, r1)` of `self * other` into `out_band`, a buffer
-    /// whose first element corresponds to `(r0, 0)` of the product.
-    fn mul_into_range(a: &Matrix, b: &Matrix, out_band: &mut [f64], r0: usize, r1: usize) {
-        const KB: usize = 64;
+    /// whose first element corresponds to `(r0, 0)` of the product, blocked
+    /// and packed per `plan`.
+    ///
+    /// Loop nest: NC strips of B are packed contiguous once per strip; MC
+    /// row blocks keep a C block hot across the KC panel loop; the NR-wide
+    /// microkernel keeps per-element accumulator chains in registers for a
+    /// full panel. Per output element the reduction order is ascending k
+    /// regardless of all three block extents.
+    fn mul_into_range(
+        a: &Matrix,
+        b: &Matrix,
+        out_band: &mut [f64],
+        r0: usize,
+        r1: usize,
+        plan: &GemmPlan,
+    ) {
         let n = b.cols;
-        for i in r0..r1 {
-            let orow = &mut out_band[(i - r0) * n..(i - r0 + 1) * n];
-            for kb in (0..a.cols).step_by(KB) {
-                let kend = (kb + KB).min(a.cols);
-                for k in kb..kend {
-                    let aik = a[(i, k)];
-                    if aik != 0.0 {
-                        vector::axpy(aik, b.row(k), orow);
+        let kdim = a.cols;
+        if n == 0 || kdim == 0 || r1 <= r0 {
+            return;
+        }
+        let p = plan.clamped(r1 - r0, kdim, n);
+        let mut bpack = vec![0.0; kdim * p.nc];
+        for jc in (0..n).step_by(p.nc) {
+            let ncur = p.nc.min(n - jc);
+            pack_b_strip(&b.data, n, kdim, jc, ncur, &mut bpack);
+            for ic in (r0..r1).step_by(p.mc) {
+                let iend = (ic + p.mc).min(r1);
+                for pc in (0..kdim).step_by(p.kc) {
+                    let kcur = p.kc.min(kdim - pc);
+                    let bpanel = &bpack[pc * ncur..(pc + kcur) * ncur];
+                    for i in ic..iend {
+                        let arow = &a.data[i * kdim + pc..i * kdim + pc + kcur];
+                        let crow = &mut out_band[(i - r0) * n + jc..(i - r0) * n + jc + ncur];
+                        microkernel_row(arow, bpanel, crow, ncur, p.nr);
                     }
                 }
             }
@@ -290,6 +452,64 @@ impl Matrix {
     }
 }
 
+/// Packs B's column strip `[0..kdim) × [jc, jc+ncur)` into `bpack` as a
+/// contiguous row-major `kdim × ncur` panel. The pack is an index-ordered
+/// copy — row `kk` of the panel is row `kk` of the strip — so it cannot
+/// reorder any reduction.
+fn pack_b_strip(bdata: &[f64], n: usize, kdim: usize, jc: usize, ncur: usize, bpack: &mut [f64]) {
+    for (kk, dst) in bpack.chunks_mut(ncur).take(kdim).enumerate() {
+        let src = &bdata[kk * n + jc..kk * n + jc + ncur];
+        dst[..ncur].copy_from_slice(src);
+    }
+}
+
+/// One output row segment against a packed `kcur × ncur` B panel: NR-wide
+/// register tiles, with the tail cascading down through every narrower
+/// supported width (so a 23-column panel at `nr = 16` runs one 16-wide
+/// tile, one 4-wide, one 2-wide and one scalar column — never a long
+/// scalar crawl). Each output element's partial sum is loaded once,
+/// extended by `kcur` ascending-k adds in a register, and stored once —
+/// the spill/reload between KC panels rounds identically to a
+/// register-resident chain, so the tile width never changes a bit.
+fn microkernel_row(arow: &[f64], bpanel: &[f64], crow: &mut [f64], ncur: usize, nr: usize) {
+    let mut j = 0;
+    for w in gemm::NR_CHOICES.into_iter().filter(|&w| w <= nr) {
+        while j + w <= ncur {
+            let cseg = &mut crow[j..j + w];
+            match w {
+                16 => microkernel_tile::<16>(arow, bpanel, ncur, j, cseg),
+                8 => microkernel_tile::<8>(arow, bpanel, ncur, j, cseg),
+                4 => microkernel_tile::<4>(arow, bpanel, ncur, j, cseg),
+                2 => microkernel_tile::<2>(arow, bpanel, ncur, j, cseg),
+                _ => microkernel_tile::<1>(arow, bpanel, ncur, j, cseg),
+            }
+            j += w;
+        }
+    }
+}
+
+/// NR independent accumulator chains (one per output element) advanced in
+/// lockstep over ascending k. Const-generic width so the accumulators stay
+/// in registers.
+#[inline]
+fn microkernel_tile<const NR: usize>(
+    arow: &[f64],
+    bpanel: &[f64],
+    ncur: usize,
+    j: usize,
+    cseg: &mut [f64],
+) {
+    let mut acc = [0.0f64; NR];
+    acc.copy_from_slice(&cseg[..NR]);
+    for (kk, &av) in arow.iter().enumerate() {
+        let b = &bpanel[kk * ncur + j..kk * ncur + j + NR];
+        for t in 0..NR {
+            acc[t] += av * b[t];
+        }
+    }
+    cseg.copy_from_slice(&acc);
+}
+
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     #[inline]
@@ -316,6 +536,13 @@ mod tests {
         Matrix::from_fn(r, c, |_, _| rng.next_gaussian())
     }
 
+    fn assert_bitwise_eq(a: &Matrix, b: &Matrix, ctx: &str) {
+        assert_eq!(a.shape(), b.shape(), "{ctx}: shape");
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: element {i}: {x} vs {y}");
+        }
+    }
+
     #[test]
     fn identity_is_neutral() {
         let mut rng = SplitMix64::new(1);
@@ -326,26 +553,101 @@ mod tests {
     }
 
     #[test]
-    fn blocked_matches_naive() {
+    fn blocked_is_bitwise_naive() {
         let mut rng = SplitMix64::new(2);
-        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (17, 31, 9), (65, 64, 70)] {
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (17, 31, 9), (65, 64, 70), (70, 130, 40)] {
             let a = random_matrix(&mut rng, m, k);
             let b = random_matrix(&mut rng, k, n);
-            let d = a.matmul(&b).max_abs_diff(&a.matmul_naive(&b));
-            assert!(d < 1e-10, "({m},{k},{n}) diff {d}");
+            assert_bitwise_eq(&a.matmul(&b), &a.matmul_naive(&b), &format!("({m},{k},{n})"));
         }
     }
 
     #[test]
-    fn parallel_matches_sequential() {
+    fn every_plan_is_bitwise_naive() {
+        let mut rng = SplitMix64::new(7);
+        let a = random_matrix(&mut rng, 37, 53);
+        let b = random_matrix(&mut rng, 53, 29);
+        let want = a.matmul_naive(&b);
+        for &(mc, kc, nc, nr) in &[
+            (1, 1, 1, 1),
+            (2, 3, 5, 2),
+            (8, 16, 8, 4),
+            (64, 64, 64, 8),
+            (37, 53, 29, 16),
+            (usize::MAX, usize::MAX, usize::MAX, 8),
+        ] {
+            for threads in [1, 2, 4] {
+                let plan = GemmPlan { mc, kc, nc, nr, threads };
+                let got = a.matmul_with_plan(&b, &plan);
+                assert_bitwise_eq(&got, &want, &format!("plan {plan:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_terms_keep_bitwise_parity() {
+        // Rows of zeros and a NaN exercise the no-zero-skip contract: a
+        // skipped 0.0 · NaN term would diverge from the blocked kernel.
+        let mut a = Matrix::zeros(4, 4);
+        a[(1, 2)] = -0.0;
+        a[(2, 1)] = 3.5;
+        let mut b = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f64 - 5.0);
+        b[(3, 0)] = f64::NAN;
+        let naive = a.matmul_naive(&b);
+        let blocked = a.matmul(&b);
+        for (x, y) in naive.as_slice().iter().zip(blocked.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise() {
         let mut rng = SplitMix64::new(3);
         let a = random_matrix(&mut rng, 97, 83);
         let b = random_matrix(&mut rng, 83, 101);
         let seq = a.matmul(&b);
         for threads in [1, 2, 3, 8] {
             let par = a.matmul_parallel(&b, threads);
-            assert!(par.max_abs_diff(&seq) < 1e-10, "threads={threads}");
+            assert_bitwise_eq(&par, &seq, &format!("threads={threads}"));
         }
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose_bitwise() {
+        let mut rng = SplitMix64::new(11);
+        for &(k, m, n) in &[(1, 1, 1), (5, 3, 4), (31, 17, 9), (64, 70, 65), (130, 40, 70)] {
+            let at = random_matrix(&mut rng, k, m); // stores Aᵀ
+            let b = random_matrix(&mut rng, k, n);
+            let want = at.transpose().matmul(&b);
+            assert_bitwise_eq(&at.matmul_tn(&b), &want, &format!("tn ({k},{m},{n})"));
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose_bitwise() {
+        let mut rng = SplitMix64::new(12);
+        for &(m, k, n) in &[(1, 1, 1), (5, 3, 4), (31, 17, 9), (64, 70, 65), (40, 130, 70)] {
+            let a = random_matrix(&mut rng, m, k);
+            let bt = random_matrix(&mut rng, n, k); // stores Bᵀ
+            let want = a.matmul(&bt.transpose());
+            assert_bitwise_eq(&a.matmul_nt(&bt), &want, &format!("nt ({m},{k},{n})"));
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_multiply() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 4);
+        assert_eq!(a.matmul(&b).shape(), (0, 4));
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 4);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 4));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::zeros(3, 2);
+        assert_eq!(a.matmul_tn(&b).shape(), (2, 2));
+        assert_eq!(a.matmul_nt(&b).shape(), (3, 3));
     }
 
     #[test]
@@ -383,6 +685,22 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_tn: dimension mismatch")]
+    fn matmul_tn_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 3);
+        let _ = a.matmul_tn(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul_nt: dimension mismatch")]
+    fn matmul_nt_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(3, 4);
+        let _ = a.matmul_nt(&b);
     }
 
     #[test]

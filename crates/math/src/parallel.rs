@@ -194,6 +194,32 @@ pub fn adaptive_chunk(n: usize, threads: usize) -> usize {
     (n / (threads.max(1) * 8)).max(1)
 }
 
+/// Cache-line size the false-sharing floor pads against.
+pub const CACHE_LINE_BYTES: usize = 64;
+
+/// [`adaptive_chunk`] with a **false-sharing floor** for small elements:
+/// when more than one worker will run, the chunk never goes below one
+/// cache line's worth of `elem_bytes`-sized results (8 for `f64`/`u64`),
+/// so two workers claiming adjacent chunks are never both writing into
+/// the same 64-byte line of the merged output slab. Larger elements
+/// (`elem_bytes >= 64`, or `0` for unsized/indirect results) get no extra
+/// floor — each result already spans a full line.
+///
+/// Only wall-clock time depends on the chunk size; the index-ordered merge
+/// keeps results bitwise-identical either way.
+pub fn adaptive_chunk_sized(n: usize, threads: usize, elem_bytes: usize) -> usize {
+    let base = adaptive_chunk(n, threads);
+    // One worker (or one item per worker anyway) cannot false-share.
+    if threads.max(1) == 1 {
+        return base;
+    }
+    let floor = match elem_bytes {
+        0 => 1,
+        b => CACHE_LINE_BYTES.div_ceil(b),
+    };
+    base.max(floor)
+}
+
 /// Applies `f` to every index in `0..n` with **deterministic dynamic
 /// scheduling**: workers claim chunks of indices from a shared atomic
 /// counter (so expensive items never strand their band-mates on one
@@ -202,13 +228,16 @@ pub fn adaptive_chunk(n: usize, threads: usize) -> usize {
 ///
 /// The output is bitwise-identical to `(0..n).map(f).collect()` for every
 /// thread count and chunk size — only wall-clock time depends on the
-/// schedule. Chunk size is chosen by [`adaptive_chunk`].
+/// schedule. Chunk size is chosen by [`adaptive_chunk_sized`] with the
+/// result type's size, so small-element maps (`f64`, `u64`) never hand two
+/// workers chunks that land in the same cache line of the output.
 pub fn par_map_dynamic<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    par_map_dynamic_stats(n, threads, adaptive_chunk(n, threads), f).0
+    let chunk = adaptive_chunk_sized(n, threads, std::mem::size_of::<T>());
+    par_map_dynamic_stats(n, threads, chunk, f).0
 }
 
 /// [`par_map_dynamic`] with an explicit chunk size, returning per-worker
@@ -520,6 +549,68 @@ mod tests {
         let (v, stats) = par_map_dynamic_stats(5, 64, 2, |i| i);
         assert_eq!(v, vec![0, 1, 2, 3, 4]);
         assert!(stats.workers <= 3, "5 items at chunk 2 is 3 chunks, got {}", stats.workers);
+    }
+
+    #[test]
+    fn sized_chunk_floor_prevents_false_sharing_for_small_elements() {
+        // Satellite sweep: at every (n, jobs) in the stated range, an
+        // 8-byte-element map must never split one cache line of output
+        // across two workers. We assert through the stats of the same
+        // chunk par_map_dynamic would use, and that the output still
+        // equals the sequential map bitwise.
+        let line_elems = CACHE_LINE_BYTES / std::mem::size_of::<f64>(); // 8
+        for n in 1..=257usize {
+            for jobs in [1usize, 2, 4] {
+                let chunk = adaptive_chunk_sized(n, jobs, std::mem::size_of::<f64>());
+                assert!(chunk >= 1, "n={n} jobs={jobs}");
+                if jobs > 1 {
+                    assert!(
+                        chunk >= line_elems,
+                        "n={n} jobs={jobs}: chunk {chunk} splits a cache line"
+                    );
+                }
+                let (got, stats) =
+                    par_map_dynamic_stats(n, jobs, chunk, |i| (i as f64).sqrt() + 0.5);
+                let expect: Vec<f64> = (0..n).map(|i| (i as f64).sqrt() + 0.5).collect();
+                assert_eq!(got, expect, "n={n} jobs={jobs}");
+                assert_eq!(stats.chunk, chunk);
+                assert_eq!(stats.items.iter().sum::<usize>(), n, "n={n} jobs={jobs}");
+                assert_eq!(
+                    stats.chunks_claimed.iter().sum::<usize>(),
+                    n.div_ceil(chunk),
+                    "n={n} jobs={jobs}"
+                );
+                // With the floor in force, a worker count that could
+                // false-share never exceeds the number of full lines.
+                assert!(stats.workers <= jobs.max(1), "n={n} jobs={jobs}");
+                if jobs > 1 {
+                    assert!(
+                        stats.workers <= n.div_ceil(line_elems),
+                        "n={n} jobs={jobs}: {} workers over {} output lines",
+                        stats.workers,
+                        n.div_ceil(line_elems)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sized_chunk_leaves_large_elements_alone() {
+        // A 64-byte (or larger) element already owns its cache line; the
+        // floor must not inflate chunks and cost balancing granularity.
+        assert_eq!(adaptive_chunk_sized(1000, 4, 64), adaptive_chunk(1000, 4));
+        assert_eq!(adaptive_chunk_sized(1000, 4, 128), adaptive_chunk(1000, 4));
+        // elem_bytes == 0 (ZST or indirect) gets no floor either.
+        assert_eq!(adaptive_chunk_sized(1000, 4, 0), adaptive_chunk(1000, 4));
+        // Single-threaded maps cannot false-share: floor off.
+        assert_eq!(adaptive_chunk_sized(20, 1, 8), adaptive_chunk(20, 1));
+        // Small elements at multiple workers get the line floor.
+        assert_eq!(adaptive_chunk_sized(20, 8, 8), 8);
+        assert_eq!(adaptive_chunk_sized(20, 8, 16), 4);
+        assert_eq!(adaptive_chunk_sized(20, 8, 1), 64);
+        // The floor never shrinks an already-large adaptive chunk.
+        assert!(adaptive_chunk_sized(100_000, 2, 8) >= adaptive_chunk(100_000, 2));
     }
 
     #[test]

@@ -31,6 +31,25 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     acc[0] + acc[1] + acc[2] + acc[3] + tail
 }
 
+/// Dot product as **one sequential ascending-index chain** — the
+/// order-pinned counterpart of [`dot`]. Slower (a serial FP dependency
+/// chain), but its accumulation order is exactly the ascending-k order the
+/// GEMM determinism rule fixes, so tuned matmul paths that need bitwise
+/// parity with the naive kernel must use this, never [`dot`].
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot_chain(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot_chain: length mismatch");
+    let mut acc = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
 /// `y += alpha * x` (the BLAS `axpy` update).
 ///
 /// # Panics
@@ -200,6 +219,18 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn dot_mismatch_panics() {
         dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn dot_chain_is_the_sequential_order() {
+        let a: Vec<f64> = (0..41).map(|i| (i as f64).cos() * 3.0).collect();
+        let b: Vec<f64> = (0..41).map(|i| (i as f64).sin() - 0.5).collect();
+        let mut seq = 0.0f64;
+        for (x, y) in a.iter().zip(&b) {
+            seq += x * y;
+        }
+        assert_eq!(dot_chain(&a, &b).to_bits(), seq.to_bits());
+        assert_eq!(dot_chain(&[], &[]), 0.0);
     }
 
     #[test]

@@ -199,7 +199,7 @@ impl Layer for SelfAttention {
         self.k = input.matmul(&self.wk);
         self.v = input.matmul(&self.wv);
         let scale = 1.0 / (self.dim as f64).sqrt();
-        let mut scores = self.q.matmul(&self.k.transpose());
+        let mut scores = self.q.matmul_nt(&self.k);
         scores.scale_in_place(scale);
         let l = scores.rows();
         let mut attn = Matrix::zeros(l, l);
@@ -213,9 +213,11 @@ impl Layer for SelfAttention {
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let scale = 1.0 / (self.dim as f64).sqrt();
-        // dA = dY V^T ; dV = A^T dY
-        let d_attn = grad_out.matmul(&self.v.transpose());
-        let d_v = self.attn.transpose().matmul(grad_out);
+        // dA = dY V^T ; dV = A^T dY — transposed operands are read in
+        // place (matmul_nt / matmul_tn), as everywhere below: no
+        // transpose() allocations in the backward pass.
+        let d_attn = grad_out.matmul_nt(&self.v);
+        let d_v = self.attn.matmul_tn(grad_out);
         // Softmax backward per row: dS_i = A_i ⊙ (dA_i - <dA_i, A_i>)
         let l = self.attn.rows();
         let mut d_scores = Matrix::zeros(l, l);
@@ -229,14 +231,14 @@ impl Layer for SelfAttention {
         }
         // dQ = dS K ; dK = dS^T Q
         let d_q = d_scores.matmul(&self.k);
-        let d_k = d_scores.transpose().matmul(&self.q);
+        let d_k = d_scores.matmul_tn(&self.q);
         // Parameter grads and input grad.
-        self.grad_wq = self.grad_wq.add(&self.x.transpose().matmul(&d_q));
-        self.grad_wk = self.grad_wk.add(&self.x.transpose().matmul(&d_k));
-        self.grad_wv = self.grad_wv.add(&self.x.transpose().matmul(&d_v));
-        let mut grad_in = d_q.matmul(&self.wq.transpose());
-        grad_in = grad_in.add(&d_k.matmul(&self.wk.transpose()));
-        grad_in.add(&d_v.matmul(&self.wv.transpose()))
+        self.grad_wq = self.grad_wq.add(&self.x.matmul_tn(&d_q));
+        self.grad_wk = self.grad_wk.add(&self.x.matmul_tn(&d_k));
+        self.grad_wv = self.grad_wv.add(&self.x.matmul_tn(&d_v));
+        let mut grad_in = d_q.matmul_nt(&self.wq);
+        grad_in = grad_in.add(&d_k.matmul_nt(&self.wk));
+        grad_in.add(&d_v.matmul_nt(&self.wv))
     }
 
     fn for_each_param(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {

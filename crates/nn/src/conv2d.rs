@@ -3,11 +3,18 @@
 //! Input rows are `(channels x h x w)` channel-major flattenings —
 //! element `c*h*w + y*w + x` — matching how the histopathology and
 //! detection crates rasterize patches. Valid padding, stride 1.
+//!
+//! The forward pass is im2col-packed: each sample's receptive fields are
+//! gathered once into a contiguous `(out_h*out_w) x fan_in` patch buffer,
+//! then every output element is one ascending-`f` accumulator chain
+//! (`f = ic*k² + dy*k + dx`) seeded with the bias — exactly the term order
+//! of the naive six-loop form, so packing changes layout and speed, never
+//! a result bit.
 
 use crate::init;
 use crate::layer::Layer;
 use treu_math::rng::SplitMix64;
-use treu_math::Matrix;
+use treu_math::{parallel, vector, Matrix};
 
 /// 2-D convolution with "valid" padding and stride 1.
 pub struct Conv2d {
@@ -72,25 +79,131 @@ impl Conv2d {
         self.out_channels * self.out_h() * self.out_w()
     }
 
+    /// Patch width (`in_channels * kernel * kernel`).
+    fn fan_in(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+
     #[inline]
     fn in_idx(&self, c: usize, y: usize, x: usize) -> usize {
         c * self.h * self.w + y * self.w + x
     }
 
-    #[inline]
-    fn w_idx(&self, ic: usize, dy: usize, dx: usize) -> usize {
-        ic * self.kernel * self.kernel + dy * self.kernel + dx
+    /// The sample-independent im2col gather map: entry `pix*fan_in + f` is
+    /// the input-row index feeding patch element `f` of output pixel `pix`.
+    fn im2col_map(&self) -> Vec<usize> {
+        let (oh, ow) = (self.out_h(), self.out_w());
+        let mut map = Vec::with_capacity(oh * ow * self.fan_in());
+        for y in 0..oh {
+            for xx in 0..ow {
+                for ic in 0..self.in_channels {
+                    for dy in 0..self.kernel {
+                        for dx in 0..self.kernel {
+                            map.push(self.in_idx(ic, y + dy, xx + dx));
+                        }
+                    }
+                }
+            }
+        }
+        map
     }
-}
 
-impl Layer for Conv2d {
-    fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
+    /// Gathers one sample row into the patch buffer (`(oh*ow) x fan_in`).
+    fn gather_patches(x: &[f64], map: &[usize], patches: &mut [f64]) {
+        for (dst, &src) in patches.iter_mut().zip(map) {
+            *dst = x[src];
+        }
+    }
+
+    /// Convolves one sample's packed patches into one output row.
+    ///
+    /// Per output element the accumulator starts at the bias and grows by
+    /// one ascending-`f` chain — the naive loop's exact order. Four output
+    /// pixels advance in lockstep for ILP; their chains stay independent.
+    fn forward_row(&self, patches: &[f64], orow: &mut [f64]) {
+        let fan = self.fan_in();
+        let pix_count = self.out_h() * self.out_w();
+        for oc in 0..self.out_channels {
+            let filt = self.weights.row(oc);
+            let b = self.bias[oc];
+            let oseg = &mut orow[oc * pix_count..(oc + 1) * pix_count];
+            let mut pix = 0;
+            while pix + 4 <= pix_count {
+                let p0 = &patches[pix * fan..(pix + 1) * fan];
+                let p1 = &patches[(pix + 1) * fan..(pix + 2) * fan];
+                let p2 = &patches[(pix + 2) * fan..(pix + 3) * fan];
+                let p3 = &patches[(pix + 3) * fan..(pix + 4) * fan];
+                let (mut a0, mut a1, mut a2, mut a3) = (b, b, b, b);
+                for f in 0..fan {
+                    let wv = filt[f];
+                    a0 += p0[f] * wv;
+                    a1 += p1[f] * wv;
+                    a2 += p2[f] * wv;
+                    a3 += p3[f] * wv;
+                }
+                oseg[pix] = a0;
+                oseg[pix + 1] = a1;
+                oseg[pix + 2] = a2;
+                oseg[pix + 3] = a3;
+                pix += 4;
+            }
+            while pix < pix_count {
+                let p = &patches[pix * fan..(pix + 1) * fan];
+                let mut acc = b;
+                for f in 0..fan {
+                    acc += p[f] * filt[f];
+                }
+                oseg[pix] = acc;
+                pix += 1;
+            }
+        }
+    }
+
+    /// Forward pass without caching the input — the reentrant (`&self`)
+    /// variant benches and inference paths use. `threads > 1` splits the
+    /// batch over sample rows; each worker owns a disjoint output band, and
+    /// the result is bitwise-identical at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width disagrees with the layer geometry.
+    pub fn forward_ref(&self, input: &Matrix, threads: usize) -> Matrix {
         assert_eq!(
             input.cols(),
             self.in_channels * self.h * self.w,
             "Conv2d: input width mismatch"
         );
-        self.input = input.clone();
+        let out_len = self.out_len();
+        let mut out = Matrix::zeros(input.rows(), out_len);
+        if out.as_slice().is_empty() {
+            return out;
+        }
+        let map = self.im2col_map();
+        let patch_len = self.out_h() * self.out_w() * self.fan_in();
+        parallel::for_each_band(out.as_mut_slice(), out_len, threads.max(1), |row0, band| {
+            let mut patches = vec![0.0; patch_len];
+            for (i, orow) in band.chunks_mut(out_len).enumerate() {
+                Self::gather_patches(input.row(row0 + i), &map, &mut patches);
+                self.forward_row(&patches, orow);
+            }
+        });
+        out
+    }
+
+    /// The naive six-loop forward — the reference kernel the packed
+    /// im2col path must reproduce bit-for-bit (bias-seeded ascending-f
+    /// accumulation chain per output pixel). Kept public so benches can
+    /// price the packed path against the untransformed loop nest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width disagrees with the layer geometry.
+    pub fn forward_naive(&self, input: &Matrix) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.in_channels * self.h * self.w,
+            "Conv2d: input width mismatch"
+        );
         let (oh, ow) = (self.out_h(), self.out_w());
         let mut out = Matrix::zeros(input.rows(), self.out_channels * oh * ow);
         for r in 0..input.rows() {
@@ -104,7 +217,9 @@ impl Layer for Conv2d {
                             for dy in 0..self.kernel {
                                 for dx in 0..self.kernel {
                                     acc += x[self.in_idx(ic, y + dy, xx + dx)]
-                                        * filt[self.w_idx(ic, dy, dx)];
+                                        * filt[ic * self.kernel * self.kernel
+                                            + dy * self.kernel
+                                            + dx];
                                 }
                             }
                         }
@@ -115,32 +230,43 @@ impl Layer for Conv2d {
         }
         out
     }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Matrix, _train: bool) -> Matrix {
+        self.input = input.clone();
+        self.forward_ref(input, 1)
+    }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let (oh, ow) = (self.out_h(), self.out_w());
         assert_eq!(grad_out.cols(), self.out_channels * oh * ow, "Conv2d: grad width mismatch");
         assert_eq!(grad_out.rows(), self.input.rows(), "Conv2d: grad batch mismatch");
+        let fan = self.fan_in();
+        let pix_count = oh * ow;
+        let map = self.im2col_map();
+        let mut patches = vec![0.0; pix_count * fan];
         let mut grad_in = Matrix::zeros(self.input.rows(), self.in_channels * self.h * self.w);
         for r in 0..grad_out.rows() {
-            let x = self.input.row(r);
+            Self::gather_patches(self.input.row(r), &map, &mut patches);
+            let girow = grad_in.row_mut(r);
             for oc in 0..self.out_channels {
-                for y in 0..oh {
-                    for xx in 0..ow {
-                        let g = grad_out[(r, oc * oh * ow + y * ow + xx)];
-                        if g == 0.0 {
-                            continue;
-                        }
-                        self.grad_b[oc] += g;
-                        for ic in 0..self.in_channels {
-                            for dy in 0..self.kernel {
-                                for dx in 0..self.kernel {
-                                    let ii = self.in_idx(ic, y + dy, xx + dx);
-                                    let wi = self.w_idx(ic, dy, dx);
-                                    self.grad_w[(oc, wi)] += g * x[ii];
-                                    grad_in[(r, ii)] += g * self.weights[(oc, wi)];
-                                }
-                            }
-                        }
+                let gseg = &grad_out.row(r)[oc * pix_count..(oc + 1) * pix_count];
+                let wrow = self.weights.row(oc);
+                let gwrow = self.grad_w.row_mut(oc);
+                for pix in 0..pix_count {
+                    let g = gseg[pix];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.grad_b[oc] += g;
+                    // dW row: one axpy over the packed patch — same
+                    // ascending-f term order as the naive gather loop.
+                    vector::axpy(g, &patches[pix * fan..(pix + 1) * fan], gwrow);
+                    // dX: scatter back through the im2col map.
+                    let pmap = &map[pix * fan..(pix + 1) * fan];
+                    for f in 0..fan {
+                        girow[pmap[f]] += g * wrow[f];
                     }
                 }
             }
@@ -198,6 +324,24 @@ mod tests {
         let y = c.forward(&x, true);
         assert_eq!(y.shape(), (2, 5 * 6 * 8));
         assert_eq!(c.param_count(), 5 * 27 + 5);
+    }
+
+    #[test]
+    fn packed_forward_matches_naive_loop_bitwise() {
+        let mut rng = SplitMix64::new(42);
+        let mut c = Conv2d::new(3, 4, 3, 7, 9, 11);
+        for b in c.bias.iter_mut() {
+            *b = rng.next_gaussian();
+        }
+        let x = Matrix::from_fn(3, 3 * 7 * 9, |_, _| rng.next_gaussian());
+        let want = c.forward_naive(&x);
+        for threads in [1, 2, 4] {
+            let got = c.forward_ref(&x, threads);
+            assert_eq!(got.shape(), want.shape());
+            for (i, (a, b)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads} elem {i}: {a} vs {b}");
+            }
+        }
     }
 
     #[test]

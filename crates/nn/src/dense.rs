@@ -77,15 +77,17 @@ impl Layer for Dense {
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         assert_eq!(grad_out.rows(), self.input.rows(), "Dense: backward batch mismatch");
         assert_eq!(grad_out.cols(), self.w.cols(), "Dense: backward width mismatch");
-        // dW = x^T g ; db = column sums of g ; dx = g W^T
-        let gw = self.input.transpose().matmul(grad_out);
+        // dW = x^T g ; db = column sums of g ; dx = g W^T — both GEMMs
+        // read the transposed operand in place (matmul_tn / matmul_nt), so
+        // no transpose copies are allocated on the training hot path.
+        let gw = self.input.matmul_tn(grad_out);
         self.grad_w = self.grad_w.add(&gw);
         for r in 0..grad_out.rows() {
             for (gb, g) in self.grad_b.iter_mut().zip(grad_out.row(r)) {
                 *gb += g;
             }
         }
-        grad_out.matmul(&self.w.transpose())
+        grad_out.matmul_nt(&self.w)
     }
 
     fn for_each_param(&mut self, f: &mut dyn FnMut(&mut [f64], &mut [f64])) {

@@ -10,6 +10,7 @@
 //! treu env                   # print the captured environment
 //! treu lint [path]           # static reproducibility analysis
 //! treu soak [seed]           # sustained multi-tenant chaos soak
+//! treu tune [seed]           # autotune matmul schedules into the book
 //! ```
 //!
 //! Every run/tables/verify invocation accepts `--jobs N` (or `-j N`):
@@ -623,9 +624,10 @@ fn main() {
         Some("soak") => run_soak_cmd(&reg, &args[1..], jobs, &sup),
         Some("trace") => run_trace(&args[1..]),
         Some("lint") => run_lint(&args[1..], jobs),
+        Some("tune") => run_tune_cmd(&args[1..], cache, jobs, &sup),
         _ => {
             eprintln!(
-                "usage: treu <list|run|tables|verify|chaos|trace|env|lint|soak> [...] \
+                "usage: treu <list|run|tables|verify|chaos|trace|env|lint|soak|tune> [...] \
                  [--jobs N] [--cache-dir DIR] [--no-cache] [--trace-out DIR] \
                  [--retries N] [--deadline-secs F] [--fault-seed S] \
                  [--fault-rate F] [--fault-panic ID] [--deny none|warn|error]"
@@ -1329,4 +1331,116 @@ fn extract_jobs(args: &mut Vec<String>) -> Result<usize, String> {
             })?;
     }
     Ok(jobs)
+}
+
+/// `treu tune [seed] [--quick|--full] [--shapes MxKxN,...] [--repeats N]`
+/// — closes the autotune loop for the math kernels. For each requested
+/// shape the genetic tuner searches real blocked-matmul schedules, every
+/// winner is re-verified bitwise against the naive kernel before it is
+/// admitted, the parallel spawn-overhead crossover is measured at the
+/// current `--jobs`, and the resulting schedule book is persisted
+/// through the content-addressed run cache when `--cache-dir` is given.
+fn run_tune_cmd(args: &[String], cache: Option<&RunCache>, jobs: usize, sup: &Supervision) {
+    use treu::autotune::tuner::GaParams;
+    use treu::autotune::ScheduleBook;
+
+    fn usage_err(msg: String) -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
+    fn parse_shape(text: &str) -> Option<(usize, usize, usize)> {
+        let mut dims = text.split('x').map(|p| p.parse::<usize>().ok().filter(|&d| d >= 1));
+        let (m, k, n) = (dims.next()??, dims.next()??, dims.next()??);
+        if dims.next().is_some() {
+            return None;
+        }
+        Some((m, k, n))
+    }
+    let mut shapes: Option<Vec<(usize, usize, usize)>> = None;
+    let mut repeats: Option<usize> = None;
+    let mut seed_pos: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut flag_value = |flag: &str| -> Option<String> {
+            if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                return Some(v.to_string());
+            }
+            if arg == flag {
+                if i + 1 >= args.len() {
+                    usage_err(format!("{flag} requires a value"));
+                }
+                i += 1;
+                return Some(args[i].clone());
+            }
+            None
+        };
+        if let Some(v) = flag_value("--shapes") {
+            let parsed: Option<Vec<_>> = v.split(',').map(parse_shape).collect();
+            shapes = Some(parsed.unwrap_or_else(|| {
+                usage_err(format!("invalid --shapes '{v}' (want MxKxN[,MxKxN...])"))
+            }));
+        } else if let Some(v) = flag_value("--repeats") {
+            repeats = Some(v.parse::<usize>().ok().filter(|&r| r >= 1).unwrap_or_else(|| {
+                usage_err(format!("invalid --repeats value '{v}' (want a positive integer)"))
+            }));
+        } else if arg == "--quick" {
+            // The default shape; accepted so scripts can say what they mean.
+        } else if arg.starts_with('-') {
+            usage_err(format!("unknown tune flag '{arg}'"));
+        } else if seed_pos.is_none() && arg.parse::<u64>().is_ok() {
+            seed_pos = Some(arg.parse().expect("checked above"));
+        } else {
+            usage_err(format!("unexpected argument '{arg}'"));
+        }
+        i += 1;
+    }
+    let seed = seed_pos.unwrap_or(2023);
+    // Quick keeps CI latency low; --full runs the registry-default GA.
+    let ga = if sup.full {
+        GaParams::default()
+    } else {
+        GaParams { population: 8, generations: 5, ..GaParams::default() }
+    };
+    let repeats = repeats.unwrap_or(if sup.full { 3 } else { 2 });
+    let shapes = shapes.unwrap_or_else(|| {
+        if sup.full {
+            vec![(64, 64, 64), (128, 512, 128), (512, 64, 512), (320, 320, 320)]
+        } else {
+            vec![(64, 64, 64), (256, 256, 256)]
+        }
+    });
+
+    let mut book = match cache {
+        Some(c) => ScheduleBook::load(c),
+        None => ScheduleBook::new(),
+    };
+    for &shape in &shapes {
+        let e = book.tune_matmul(shape, ga, seed, repeats);
+        let (m, k, n) = e.shape;
+        println!(
+            "tuned {m}x{k}x{n} (class {}): {:.2} -> {:.2} GFLOP/s",
+            e.class.key(),
+            e.naive_gflops,
+            e.tuned_gflops
+        );
+    }
+    if jobs > 1 {
+        match book.measure_crossover(jobs, seed, repeats) {
+            Some(c) => println!("parallel crossover at jobs {jobs}: {c} output elements"),
+            None => println!("parallel crossover at jobs {jobs}: never profitable on probe sizes"),
+        }
+    }
+    book.install();
+    print!("{}", book.render());
+    match cache {
+        Some(c) => {
+            if let Err(e) = book.persist(c) {
+                eprintln!("tune: cannot persist schedule book: {e}");
+                std::process::exit(1);
+            }
+            println!("schedule book persisted ({} entries)", book.len());
+        }
+        None => println!("note: book not persisted; pass --cache-dir DIR to keep schedules"),
+    }
 }

@@ -599,3 +599,61 @@ fn bad_soak_flags_fail_with_usage_error() {
         assert_eq!(out.status.code(), Some(2), "{bad:?}");
     }
 }
+
+#[test]
+fn tune_persists_a_schedule_book_and_reloads_it() {
+    let dir = cache_dir("tune");
+    let dirs = dir.to_str().expect("utf8 path");
+    let args = ["tune", "7", "--quick", "--shapes", "24x24x24", "--repeats", "1", "--jobs", "1"];
+    let first = treu(&[&args[..], &["--cache-dir", dirs]].concat());
+    assert!(first.status.success(), "{}", String::from_utf8_lossy(&first.stderr));
+    let text = String::from_utf8_lossy(&first.stdout);
+    assert!(text.contains("tuned 24x24x24 (class sss)"), "missing tune line:\n{text}");
+    assert!(text.contains("schedule book persisted (1 entries)"), "missing persist line:\n{text}");
+
+    // A second tune of a different shape reloads the stored book and
+    // accumulates: the 24^3 small-class entry is replaced by the newer
+    // tune of the same class, so the book still holds exactly one entry
+    // per shape class.
+    let again = treu(&[
+        "tune",
+        "7",
+        "--quick",
+        "--shapes",
+        "80x80x80",
+        "--repeats",
+        "1",
+        "--jobs",
+        "1",
+        "--cache-dir",
+        dirs,
+    ]);
+    assert!(again.status.success(), "{}", String::from_utf8_lossy(&again.stderr));
+    let text = String::from_utf8_lossy(&again.stdout);
+    assert!(text.contains("sss"), "first class survived the reload:\n{text}");
+    assert!(text.contains("mmm"), "second class tuned:\n{text}");
+    assert!(text.contains("schedule book persisted (2 entries)"), "book grew:\n{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tune_without_a_cache_dir_still_reports_but_does_not_persist() {
+    let out = treu(&["tune", "7", "--quick", "--shapes", "16x16x16", "--repeats", "1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("not persisted"), "missing no-cache note:\n{text}");
+}
+
+#[test]
+fn bad_tune_flags_fail_with_usage_error() {
+    for bad in [
+        &["tune", "--bogus"][..],
+        &["tune", "--shapes", "12x12"],
+        &["tune", "--shapes", "axbxc"],
+        &["tune", "--repeats", "0"],
+        &["tune", "not-a-seed"],
+    ] {
+        let out = treu(bad);
+        assert_eq!(out.status.code(), Some(2), "{bad:?}");
+    }
+}
