@@ -350,13 +350,12 @@ impl SoakReport {
     }
 }
 
-/// Nearest-rank quantile over service latencies.
+/// Nearest-rank quantile over service latencies — delegated to the one
+/// shared ceil-rank implementation so the soak, the tenant ledger and
+/// every future consumer agree on what "p99" means (the analyzer's R12
+/// rule keeps it that way).
 fn quantile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    treu_core::exec::quantile_ceil_rank(sorted, q)
 }
 
 /// Computes (or replays) the clean-baseline fingerprint for a key. The

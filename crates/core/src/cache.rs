@@ -323,6 +323,7 @@ impl RunCache {
         fingerprint: u64,
     ) -> io::Result<Self> {
         std::fs::create_dir_all(dir)?;
+        sweep_orphaned_tmp(dir);
         let cache = Self {
             dir: dir.to_path_buf(),
             fingerprint,
@@ -666,6 +667,142 @@ impl RunCache {
         }
         line.push_str(&format!(" ({})\n", self.dir.display()));
         line
+    }
+}
+
+/// Removes `.tmp` droppings left by writers that died mid-`store`
+/// (temp names embed the writer's pid: `{stem}.{pid}.{seq}.tmp`). A tmp
+/// is *orphaned* — and safe to unlink — only when its writer is gone:
+/// the pid is not ours and names no live process. Live writers' tmps are
+/// left alone so a concurrent open can never race an in-flight rename.
+/// Unparseable names are treated as orphaned. Best-effort: I/O errors
+/// are ignored (the sweep re-runs on every open).
+fn sweep_orphaned_tmp(dir: &Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.ends_with(".tmp") {
+            continue;
+        }
+        // `{stem}.{pid}.{seq}.tmp` → pid is the third segment from the end.
+        let writer_pid = name.rsplit('.').nth(2).and_then(|p| p.parse::<u32>().ok());
+        let live = match writer_pid {
+            Some(pid) if pid == std::process::id() => true,
+            // Liveness via procfs where available; elsewhere a pid-named
+            // tmp from another process is presumed orphaned (tests and
+            // single-process use never hit this).
+            Some(pid) => Path::new("/proc").exists() && Path::new(&format!("/proc/{pid}")).exists(),
+            None => false,
+        };
+        if !live {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Magic header of a per-process stats sidecar.
+const STATS_MAGIC: &str = "treu-cache-stats v1";
+
+/// Renders a [`CacheStats`] snapshot in the sidecar format: one
+/// `field value` line per counter, fixed order.
+fn render_stats_file(s: &CacheStats) -> String {
+    format!(
+        "{STATS_MAGIC}\nlookups {}\nhits {}\nmisses {}\ninvalidations {}\ncorruptions {}\nstores {}\nblob_lookups {}\nblob_hits {}\nblob_misses {}\nblob_invalidations {}\nblob_stores {}\nevictions {}\n",
+        s.lookups,
+        s.hits,
+        s.misses,
+        s.invalidations,
+        s.corruptions,
+        s.stores,
+        s.blob_lookups,
+        s.blob_hits,
+        s.blob_misses,
+        s.blob_invalidations,
+        s.blob_stores,
+        s.evictions,
+    )
+}
+
+/// Parses a sidecar written by [`render_stats_file`].
+fn parse_stats_file(text: &str) -> Option<CacheStats> {
+    let mut lines = text.lines();
+    if lines.next()? != STATS_MAGIC {
+        return None;
+    }
+    let mut field = |name: &str| -> Option<u64> {
+        lines.next()?.strip_prefix(name)?.strip_prefix(' ')?.parse().ok()
+    };
+    Some(CacheStats {
+        lookups: field("lookups")?,
+        hits: field("hits")?,
+        misses: field("misses")?,
+        invalidations: field("invalidations")?,
+        corruptions: field("corruptions")?,
+        stores: field("stores")?,
+        blob_lookups: field("blob_lookups")?,
+        blob_hits: field("blob_hits")?,
+        blob_misses: field("blob_misses")?,
+        blob_invalidations: field("blob_invalidations")?,
+        blob_stores: field("blob_stores")?,
+        evictions: field("evictions")?,
+    })
+}
+
+impl CacheStats {
+    /// Field-wise sum, for folding per-process sidecars into one view.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.invalidations += other.invalidations;
+        self.corruptions += other.corruptions;
+        self.stores += other.stores;
+        self.blob_lookups += other.blob_lookups;
+        self.blob_hits += other.blob_hits;
+        self.blob_misses += other.blob_misses;
+        self.blob_invalidations += other.blob_invalidations;
+        self.blob_stores += other.blob_stores;
+        self.evictions += other.evictions;
+    }
+}
+
+impl RunCache {
+    /// Writes this handle's counter snapshot to a per-process sidecar
+    /// (`stats-<pid>.stats`, atomic temp+rename like every entry write).
+    ///
+    /// This is the multi-process half of hit/miss accounting: worker
+    /// processes sharing a cache directory cannot share the in-memory
+    /// [`CacheStats`] mutex, so each writes its own sidecar at shutdown
+    /// and the coordinator folds them in at join with
+    /// [`RunCache::merge_stats_sidecars`] — counts are never torn because
+    /// no counter is ever written concurrently. Sidecars use a dedicated
+    /// `.stats` extension, so entry indexing and eviction never see them.
+    pub fn write_stats_sidecar(&self) -> io::Result<PathBuf> {
+        let path = self.dir.join(format!("stats-{}.stats", std::process::id()));
+        self.write_atomic(&path, &render_stats_file(&self.stats()))?;
+        Ok(path)
+    }
+
+    /// Folds every `.stats` sidecar under the cache directory into this
+    /// handle's counters, consuming (deleting) the sidecars. Returns how
+    /// many sidecars were merged. Unreadable or foreign-format files are
+    /// left in place and not counted.
+    pub fn merge_stats_sidecars(&self) -> io::Result<usize> {
+        let mut merged = 0usize;
+        let mut names: Vec<PathBuf> = std::fs::read_dir(&self.dir)?
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "stats"))
+            .collect();
+        names.sort();
+        for path in names {
+            let Ok(text) = std::fs::read_to_string(&path) else { continue };
+            let Some(s) = parse_stats_file(&text) else { continue };
+            self.bump(|mine| mine.merge(&s));
+            let _ = std::fs::remove_file(&path);
+            merged += 1;
+        }
+        Ok(merged)
     }
 }
 
@@ -1164,5 +1301,84 @@ mod tests {
         let _ = unbounded.lookup("E", 1, &p);
         assert_eq!(unbounded.logical_clock(), 0, "unbounded handles bypass the index");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphaned_tmp_is_swept_on_open_but_live_writers_are_spared() {
+        let dir = tmp_dir("sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A dead writer's dropping: pid 4294967294 names no live process.
+        let orphan = dir.join("abcd.run.4294967294.3.tmp");
+        std::fs::write(&orphan, "partial entry bytes").unwrap();
+        // An unparseable name is presumed orphaned too.
+        let junk = dir.join("noise.tmp");
+        std::fs::write(&junk, "x").unwrap();
+        // Our own in-flight write must survive an open from this process.
+        let own = dir.join(format!("efgh.run.{}.9.tmp", std::process::id()));
+        std::fs::write(&own, "still being written").unwrap();
+
+        let cache = RunCache::open_with_fingerprint(&dir, 1).unwrap();
+        assert!(!orphan.exists(), "dead writer's tmp is swept on open");
+        assert!(!junk.exists(), "unparseable tmp is swept on open");
+        assert!(own.exists(), "a live writer's tmp is never swept");
+        assert!(cache.stats().consistent());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_sidecars_round_trip_merge_and_are_consumed() {
+        let dir = tmp_dir("sidecar");
+        let p = Params::new().with_int("n", 6);
+        let rec = run_once(&Noisy, 2, p.clone());
+
+        // "Worker" handle: one miss, one store, one hit — then sidecar.
+        let worker = RunCache::open_with_fingerprint(&dir, 5).unwrap();
+        assert!(worker.lookup("W", 2, &p).is_none());
+        worker.store("W", 2, &p, &rec).unwrap();
+        assert!(worker.lookup("W", 2, &p).is_some());
+        let sidecar = worker.write_stats_sidecar().unwrap();
+        assert!(sidecar.exists());
+        assert_eq!(sidecar.extension().unwrap(), "stats");
+
+        // "Coordinator" handle on the same directory: its own hit, plus
+        // the worker's counters folded in at join.
+        let coord = RunCache::open_with_fingerprint(&dir, 5).unwrap();
+        assert!(coord.lookup("W", 2, &p).is_some());
+        assert_eq!(coord.merge_stats_sidecars().unwrap(), 1);
+        assert!(!sidecar.exists(), "merged sidecars are consumed");
+        let s = coord.stats();
+        assert_eq!((s.lookups, s.hits, s.misses, s.stores), (3, 2, 1, 1));
+        assert!(s.consistent(), "merging classified counters preserves the invariant");
+        // Nothing left to merge.
+        assert_eq!(coord.merge_stats_sidecars().unwrap(), 0);
+
+        // Sidecars are invisible to entry indexing: a bounded reopen
+        // seeds only .run/.txt files.
+        worker.write_stats_sidecar().unwrap();
+        let bounded =
+            RunCache::open_bounded_with_fingerprint(&dir, CacheBound::entries(10), 5).unwrap();
+        assert_eq!(bounded.resident_entries().len(), 1, "only the .run entry is indexed");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_file_format_round_trips_every_counter() {
+        let s = CacheStats {
+            lookups: 12,
+            hits: 5,
+            misses: 4,
+            invalidations: 2,
+            corruptions: 1,
+            stores: 7,
+            blob_lookups: 3,
+            blob_hits: 1,
+            blob_misses: 2,
+            blob_invalidations: 0,
+            blob_stores: 1,
+            evictions: 9,
+        };
+        assert_eq!(parse_stats_file(&render_stats_file(&s)), Some(s));
+        assert_eq!(parse_stats_file("not a sidecar"), None);
+        assert_eq!(parse_stats_file(&format!("{STATS_MAGIC}\nlookups nope\n")), None);
     }
 }

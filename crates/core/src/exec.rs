@@ -540,7 +540,7 @@ impl Executor {
 }
 
 /// Maps a cache [`Lookup`] classification onto its trace-event mirror.
-fn cache_result(found: &Lookup) -> CacheResult {
+pub(crate) fn cache_result(found: &Lookup) -> CacheResult {
     match found {
         Lookup::Hit(_) => CacheResult::Hit,
         Lookup::Miss => CacheResult::Miss,
@@ -551,7 +551,7 @@ fn cache_result(found: &Lookup) -> CacheResult {
 
 /// Assembles per-run traces plus the scheduler's timing into a
 /// [`BatchTrace`] (worker loads and wall time go to the sidecar only).
-fn batch_trace(
+pub(crate) fn batch_trace(
     kind: &str,
     seed: u64,
     runs: Vec<RunTrace>,
@@ -578,7 +578,7 @@ fn batch_trace(
 /// Cross-checks one id's two supervised replicas into a [`VerifyOutcome`],
 /// recording store/heal/verdict events into the run's trace when one is
 /// threaded through.
-fn cross_check(
+pub(crate) fn cross_check(
     id: &str,
     seed: u64,
     params: &Params,
@@ -660,7 +660,7 @@ fn cross_check(
 
 /// Pushes `event` into the tracer's run buffer, stamped with the elapsed
 /// time since the batch epoch. A `None` tracer costs one branch.
-fn emit(tracer: &mut Option<(&mut RunTrace, Instant)>, event: TraceEvent) {
+pub(crate) fn emit(tracer: &mut Option<(&mut RunTrace, Instant)>, event: TraceEvent) {
     if let Some((rt, epoch)) = tracer.as_mut() {
         rt.push(event, epoch.elapsed().as_secs_f64());
     }
@@ -842,10 +842,12 @@ where
             // process isolation, both out of contract here).
             let (tx, rx) = std::sync::mpsc::channel();
             std::thread::scope(|s| {
+                // treu-lint: allow(wall-clock, reason = "deadline budget accounting; never part of a result")
+                let attempt_start = Instant::now();
                 s.spawn(move || {
                     let _ = tx.send(run());
                 });
-                match rx.recv_timeout(limit) {
+                match await_deadline(&rx, attempt_start, limit) {
                     Ok(res) => res,
                     Err(_) => Err((
                         FailureKind::TimedOut,
@@ -853,6 +855,38 @@ where
                     )),
                 }
             })
+        }
+    }
+}
+
+/// Waits on `rx` for at most `limit` measured from the logical attempt
+/// start `start` — *not* from each call to `recv_timeout`. Re-arming a
+/// wait with the full deadline after a spurious wakeup lets the
+/// effective budget drift arbitrarily past `limit`; this loop always
+/// re-arms with the remaining budget, so the total wait is bounded by
+/// `limit` no matter how often the wait is interrupted.
+///
+/// Returns `Err(true)` when the sender disconnected without a value and
+/// `Err(false)` on deadline exhaustion. Shared by the per-attempt
+/// watchdog above and reused as the supervision discipline for the
+/// service coordinator's per-worker watchdog.
+pub(crate) fn await_deadline<T>(
+    rx: &std::sync::mpsc::Receiver<T>,
+    start: Instant,
+    limit: Duration,
+) -> Result<T, bool> {
+    use std::sync::mpsc::RecvTimeoutError;
+    loop {
+        let remaining = limit.saturating_sub(start.elapsed());
+        if remaining.is_zero() {
+            return Err(false);
+        }
+        match rx.recv_timeout(remaining) {
+            Ok(v) => return Ok(v),
+            Err(RecvTimeoutError::Disconnected) => return Err(true),
+            // A wakeup short of the budget: recompute the remainder from
+            // the attempt epoch and keep waiting.
+            Err(RecvTimeoutError::Timeout) => continue,
         }
     }
 }
@@ -1385,6 +1419,23 @@ impl ExecReport {
     }
 }
 
+/// Nearest-rank (ceil) quantile over an ascending-sorted sample.
+///
+/// The rank is `ceil(q * n)` clamped to `1..=n`, so `q = 0.99` answers
+/// "the smallest value at or above which 99% of samples sit". The
+/// tempting truncating form `(n * 99) / 100` is an off-by-one below 100
+/// samples — at `n = 3` it indexes the *median* instead of the maximum —
+/// which is exactly the kind of silent small-sample skew a
+/// reproducibility report cannot afford. Shared by the soak harness and
+/// [`TenantLedger::p99_latency_rounds`].
+pub fn quantile_ceil_rank(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 /// Per-tenant accounting for a sustained multi-tenant run.
 ///
 /// Latencies are **logical**: measured in dispatch rounds (a pure count
@@ -1423,6 +1474,9 @@ impl TenantStats {
 #[derive(Debug, Clone, Default)]
 pub struct TenantLedger {
     tenants: BTreeMap<u64, TenantStats>,
+    // Pooled across tenants ([`TenantStats`] stays `Copy`); one entry per
+    // served submission, in service order.
+    latencies: Vec<u64>,
 }
 
 impl TenantLedger {
@@ -1447,6 +1501,7 @@ impl TenantLedger {
         }
         t.max_latency_rounds = t.max_latency_rounds.max(latency_rounds);
         t.total_latency_rounds += latency_rounds;
+        self.latencies.push(latency_rounds);
     }
 
     /// This tenant's stats (zeroed when unknown).
@@ -1474,6 +1529,15 @@ impl TenantLedger {
     /// everyone else's.
     pub fn worst_latency_rounds(&self) -> u64 {
         self.tenants.values().map(|t| t.max_latency_rounds).max().unwrap_or(0)
+    }
+
+    /// Ceil-rank p99 of service latency pooled across all tenants (0 when
+    /// nothing served). At small n this is the maximum, never a smaller
+    /// rank — see [`quantile_ceil_rank`].
+    pub fn p99_latency_rounds(&self) -> u64 {
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        quantile_ceil_rank(&sorted, 0.99)
     }
 
     /// Per-tenant table for reports.
@@ -2248,5 +2312,76 @@ mod tests {
         assert!(table.contains("t1"), "{table}");
         assert!(table.contains("max-lat"), "{table}");
         assert_eq!(ledger.get(99), TenantStats::default(), "unknown tenants read as zero");
+    }
+
+    #[test]
+    fn quantile_ceil_rank_never_undershoots_small_samples() {
+        assert_eq!(quantile_ceil_rank(&[], 0.99), 0);
+        assert_eq!(quantile_ceil_rank(&[7], 0.99), 7);
+
+        // n = 3: ceil rank is ceil(2.97) = 3 → the maximum. The truncating
+        // form (3 * 99) / 100 = 2 would index the *median* — the exact
+        // off-by-one this function exists to rule out.
+        let three = [1u64, 2, 3];
+        assert_eq!(quantile_ceil_rank(&three, 0.99), 3);
+        assert_eq!((three.len() * 99) / 100, 2, "the truncating rank lands on the median");
+
+        // n = 99: ceil(98.01) = 99 → still the maximum; truncation gives 98.
+        let n99: Vec<u64> = (1..=99).collect();
+        assert_eq!(quantile_ceil_rank(&n99, 0.99), 99);
+        assert_eq!((n99.len() * 99) / 100, 98);
+
+        // n = 100: ceil(99.0) = 99 → first index where the two agree.
+        let n100: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile_ceil_rank(&n100, 0.99), 99);
+        assert_eq!(quantile_ceil_rank(&n100, 0.50), 50);
+        assert_eq!(quantile_ceil_rank(&n100, 1.0), 100);
+        assert_eq!(quantile_ceil_rank(&n100, 0.0), 1, "rank clamps to at least 1");
+    }
+
+    #[test]
+    fn tenant_ledger_p99_is_ceil_rank_over_pooled_latencies() {
+        let mut ledger = TenantLedger::new();
+        assert_eq!(ledger.p99_latency_rounds(), 0, "empty ledger reads as zero");
+        // Three served submissions across two tenants: p99 must be the
+        // pooled maximum (9), not the median a truncating rank would pick.
+        ledger.note_served(1, 2, true);
+        ledger.note_served(2, 9, false);
+        ledger.note_served(1, 4, false);
+        assert_eq!(ledger.p99_latency_rounds(), 9);
+        assert_eq!(ledger.worst_latency_rounds(), 9);
+    }
+
+    #[test]
+    fn await_deadline_measures_from_the_logical_attempt_start() {
+        use std::sync::mpsc::channel;
+
+        // A pre-aged epoch: the budget is already spent, so the watchdog
+        // must report expiry immediately instead of re-arming with the
+        // full deadline (the drift bug this helper replaces). No sleeps —
+        // the test is deterministic and immune to slow machines.
+        let (_tx, rx) = channel::<()>();
+        let limit = Duration::from_millis(50);
+        // treu-lint: allow(wall-clock, reason = "test exercises the real deadline clock")
+        let aged = Instant::now().checked_sub(Duration::from_secs(1)).expect("clock is past 1s");
+        // treu-lint: allow(wall-clock, reason = "test exercises the real deadline clock")
+        let before = Instant::now();
+        assert_eq!(await_deadline(&rx, aged, limit), Err(false), "budget already exhausted");
+        assert!(
+            before.elapsed() < Duration::from_millis(40),
+            "an exhausted budget must not re-arm the full deadline"
+        );
+
+        // Disconnection is surfaced distinctly from expiry.
+        let (tx2, rx2) = channel::<u32>();
+        drop(tx2);
+        // treu-lint: allow(wall-clock, reason = "test exercises the real deadline clock")
+        assert_eq!(await_deadline(&rx2, Instant::now(), limit), Err(true));
+
+        // A value beats the deadline.
+        let (tx3, rx3) = channel::<u32>();
+        tx3.send(7).unwrap();
+        // treu-lint: allow(wall-clock, reason = "test exercises the real deadline clock")
+        assert_eq!(await_deadline(&rx3, Instant::now(), limit), Ok(7));
     }
 }

@@ -170,6 +170,19 @@ impl FaultPlan {
         self.rate
     }
 
+    /// The fault menu draws pick from, in draw order. Exposed so the
+    /// service layer can serialize a plan over the worker wire protocol
+    /// and reconstruct it bitwise on the other side.
+    pub fn menu(&self) -> &[FaultKind] {
+        &self.menu
+    }
+
+    /// Ids that always receive a permanent panic (see
+    /// [`FaultPlan::panic_on`]), for the same wire round-trip.
+    pub fn targets(&self) -> &[String] {
+        &self.targets
+    }
+
     /// The fault (if any) this plan assigns to `(id, run_seed)`. The draw
     /// is attempt-independent: a faulted run keeps its fault kind across
     /// retries (transience lives inside [`FaultKind::TransientErr`]).
@@ -361,6 +374,84 @@ impl SoakSchedule {
             &self.rate.to_bits().to_le_bytes(),
             &self.epochs.to_le_bytes(),
         ])
+    }
+}
+
+/// A seeded plan of *process* kills for the sharded verification
+/// service's chaos drills: which worker incarnations get SIGKILLed, and
+/// after how many dispatched shards.
+///
+/// Like [`FaultPlan`], the plan is pure data — whether incarnation `k` of
+/// worker `w` is killed, and when, is a hash of `(plan seed, w, k)` and
+/// nothing else, so a kill schedule replays bitwise. The kill point is
+/// expressed in *dispatched shards*: the coordinator delivers the n-th
+/// shard to the doomed incarnation and then kills it immediately, which
+/// guarantees the SIGKILL lands mid-shard (the worker can never have
+/// answered a frame it has not yet been sent). Results survive by
+/// construction: the dead incarnation's in-flight shard is requeued and
+/// recomputed, and every task result is a pure function of its spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KillPlan {
+    seed: u64,
+    rate: f64,
+}
+
+impl KillPlan {
+    /// A plan killing every doomed incarnation drawn at `rate` (clamped
+    /// to `[0, 1]`); `new` uses the default drill rate of 0.5 — roughly
+    /// every other incarnation dies, so respawns *and* clean completions
+    /// are both exercised.
+    pub fn new(seed: u64) -> Self {
+        Self::with_rate(seed, 0.5)
+    }
+
+    /// A plan with an explicit kill rate. `1.0` kills every incarnation,
+    /// which drives the respawn budget to exhaustion and forces the
+    /// coordinator's graceful in-process degradation.
+    pub fn with_rate(seed: u64, rate: f64) -> Self {
+        Self { seed, rate: rate.clamp(0.0, 1.0) }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's kill rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The 1-based dispatched-shard count at which incarnation
+    /// `incarnation` of worker `worker` is SIGKILLed, or `None` when this
+    /// incarnation survives. The draw is content-addressed: replays and
+    /// concurrent observers agree.
+    pub fn kill_on_dispatch(&self, worker: usize, incarnation: u32) -> Option<u64> {
+        if self.rate <= 0.0 {
+            return None;
+        }
+        let gate = fnv64_parts(&[
+            b"kill-gate",
+            &self.seed.to_le_bytes(),
+            &(worker as u64).to_le_bytes(),
+            &incarnation.to_le_bytes(),
+        ]);
+        if unit(gate) >= self.rate {
+            return None;
+        }
+        let pick = fnv64_parts(&[
+            b"kill-shard",
+            &self.seed.to_le_bytes(),
+            &(worker as u64).to_le_bytes(),
+            &incarnation.to_le_bytes(),
+        ]);
+        Some(1 + pick % 2)
+    }
+
+    /// Content address of the plan, for naming the exact kill schedule in
+    /// reports.
+    pub fn fingerprint(&self) -> u64 {
+        fnv64_parts(&[b"kill-plan", &self.seed.to_le_bytes(), &self.rate.to_bits().to_le_bytes()])
     }
 }
 
@@ -582,6 +673,44 @@ mod tests {
         let sched = SoakSchedule::new(5, 0.0, 8);
         assert!((0..8).all(|e| sched.plan_for(e).is_none()));
         assert_eq!(sched.retry_budget(), 0);
+    }
+
+    #[test]
+    fn kill_plan_is_seeded_rate_scaled_and_mid_shard() {
+        let plan = KillPlan::new(9);
+        let again = KillPlan::new(9);
+        let mut killed = 0usize;
+        for w in 0..8usize {
+            for k in 0..25u32 {
+                assert_eq!(plan.kill_on_dispatch(w, k), again.kill_on_dispatch(w, k));
+                if let Some(n) = plan.kill_on_dispatch(w, k) {
+                    killed += 1;
+                    assert!((1..=2).contains(&n), "kill point must be an early shard: {n}");
+                }
+            }
+        }
+        let frac = killed as f64 / 200.0;
+        assert!((0.35..0.65).contains(&frac), "kill rate off the 0.5 target: {frac}");
+        // Rate 0 spares everyone; rate 1 kills every incarnation.
+        assert!((0..20).all(|k| KillPlan::with_rate(9, 0.0).kill_on_dispatch(0, k).is_none()));
+        assert!((0..20).all(|k| KillPlan::with_rate(9, 1.0).kill_on_dispatch(0, k).is_some()));
+        // Seed matters.
+        let other = KillPlan::new(10);
+        assert!((0..25u32).any(|k| plan.kill_on_dispatch(0, k) != other.kill_on_dispatch(0, k)));
+        assert_ne!(plan.fingerprint(), other.fingerprint());
+        assert_ne!(plan.fingerprint(), KillPlan::with_rate(9, 1.0).fingerprint());
+    }
+
+    #[test]
+    fn plan_menu_and_targets_are_observable_for_the_wire() {
+        let plan = FaultPlan::transient(3, 0.2).and_panic_on("bad");
+        assert_eq!(plan.menu().len(), 3);
+        assert!(plan.menu().iter().all(|k| matches!(k, FaultKind::TransientErr(_))));
+        assert_eq!(plan.targets(), ["bad".to_string()]);
+        let rebuilt = FaultPlan::with_menu(plan.seed(), plan.rate(), plan.menu().to_vec())
+            .and_panic_on("bad");
+        assert_eq!(rebuilt, plan, "accessors must suffice to reconstruct a plan bitwise");
+        assert_eq!(rebuilt.fingerprint(), plan.fingerprint());
     }
 
     #[test]

@@ -45,6 +45,12 @@
 //!   cache → verdict) merged index-ordered into a content-addressed JSONL
 //!   trace whose hash is schedule-independent; timestamps live in a
 //!   separate non-hashed sidecar.
+//! * [`svc`] — the crash-tolerant sharded verification service: `treu
+//!   worker` subprocesses speak a length-prefixed JSONL protocol, a
+//!   supervising coordinator shards work across them with heartbeats,
+//!   exactly-once shard requeue, seeded respawn backoff and graceful
+//!   degradation to in-process execution — with fingerprints and trace
+//!   addresses bitwise-identical at every topology and kill schedule.
 //! * [`aggregate`] — multi-seed metric summaries (the distributional view
 //!   reliability claims need).
 //! * [`report`] — plain-text table rendering shared by the survey crate and
@@ -66,6 +72,7 @@ pub mod provenance;
 pub mod registry;
 pub mod report;
 pub mod study;
+pub mod svc;
 pub mod sweep;
 pub mod trace;
 
@@ -75,7 +82,8 @@ pub use exec::{
     VerifyReport,
 };
 pub use experiment::{Experiment, RunContext, RunRecord};
-pub use fault::{FaultKind, FaultPlan, FaultyExperiment};
+pub use fault::{FaultKind, FaultPlan, FaultyExperiment, KillPlan};
 pub use provenance::Trail;
 pub use registry::ExperimentRegistry;
+pub use svc::{SvcConfig, SvcStats, WorkerPool};
 pub use trace::{BatchTrace, RunTrace, TraceCounters, TraceEvent};

@@ -1,0 +1,1739 @@
+//! Crash-tolerant sharded verification service.
+//!
+//! Promotes the single-process [`crate::exec::Executor`] into a
+//! coordinator/worker architecture: `treu worker` subprocesses speak a
+//! length-prefixed JSONL protocol over stdin/stdout, the coordinator shards
+//! the task list across N workers with shard-level work stealing, and a
+//! supervision tree makes the whole thing crash-tolerant:
+//!
+//! * per-worker heartbeat + no-progress watchdog (the same `recv_timeout`
+//!   discipline as [`crate::exec`]'s per-run deadline),
+//! * crash/hang detection that requeues the dead worker's in-flight shard
+//!   exactly once per incarnation,
+//! * deterministic doubling backoff on worker respawn (seeded, via
+//!   [`crate::fault::backoff_millis`]),
+//! * a bounded respawn budget after which the coordinator degrades
+//!   gracefully to in-process execution of the orphaned shards — it never
+//!   aborts the registry.
+//!
+//! Because every result and trace event is a pure function of
+//! `(id, seed, params, policy, plan, replica)`, outputs can be computed on
+//! any worker, killed and recomputed, and merged index-ordered into the
+//! existing schedule-independent trace stream: fingerprints and trace
+//! addresses are bitwise-identical at every (process count, jobs-per-worker,
+//! kill schedule) topology.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use crate::cache::{Lookup, RunCache};
+use crate::exec::{
+    ExecReport, FailureKind, RunFailure, RunOutcome, SupervisePolicy, VerifyOutcome, VerifyReport,
+};
+use crate::experiment::{ParamValue, Params, RunRecord};
+use crate::fault::{backoff_millis, FaultKind, FaultPlan, KillPlan};
+use crate::provenance::Trail;
+use crate::registry::ExperimentRegistry;
+use crate::trace::{json_escape, json_unescape, RunTrace, TraceEvent};
+use treu_math::parallel::SchedStats;
+
+/// Wire protocol version spoken between coordinator and worker.
+pub const PROTO_VERSION: u32 = 1;
+
+/// How often an in-flight shard emits a keepalive beat when no task has
+/// completed — a fraction of any sane hang timeout, so slow-but-alive
+/// workers are never declared hung.
+const KEEPALIVE_INTERVAL: Duration = Duration::from_secs(5);
+
+/// Upper bound on a single frame payload; anything larger is a protocol
+/// error rather than an allocation request.
+const MAX_FRAME: usize = 16 << 20;
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+/// Write one length-prefixed frame: ASCII decimal byte length, `\n`, payload.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    w.write_all(payload.len().to_string().as_bytes())?;
+    w.write_all(b"\n")?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. Returns `Ok(None)` on clean EOF before
+/// the length line; truncation or a malformed length mid-stream is an error.
+pub fn read_frame(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Ok(None);
+    }
+    let len: usize = header
+        .trim_end()
+        .parse()
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad frame length"))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame not UTF-8"))
+}
+
+// ---------------------------------------------------------------------------
+// Wire encoding helpers
+// ---------------------------------------------------------------------------
+
+/// Minimal field extractor for this module's own flat JSON objects: finds
+/// `"key":` and returns the raw value token (string values come back
+/// *escaped*, without their quotes).
+fn jfield<'a>(payload: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = payload.find(&pat)? + pat.len();
+    let rest = &payload[at..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let bytes = stripped.as_bytes();
+        let mut end = 0;
+        while end < bytes.len() {
+            match bytes[end] {
+                b'\\' => end += 2,
+                b'"' => return Some(&stripped[..end]),
+                _ => end += 1,
+            }
+        }
+        None
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(&rest[..end])
+    }
+}
+
+fn encode_menu(menu: &[FaultKind]) -> String {
+    menu.iter()
+        .map(|k| match k {
+            FaultKind::Panic => "p".to_string(),
+            FaultKind::Delay(ms) => format!("d{ms}"),
+            FaultKind::CorruptTrail => "c".to_string(),
+            FaultKind::TransientErr(n) => format!("e{n}"),
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn decode_menu(s: &str) -> Option<Vec<FaultKind>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',')
+        .map(|tok| match tok.as_bytes().first()? {
+            b'p' => Some(FaultKind::Panic),
+            b'c' => Some(FaultKind::CorruptTrail),
+            b'd' => tok[1..].parse().ok().map(FaultKind::Delay),
+            b'e' => tok[1..].parse().ok().map(FaultKind::TransientErr),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Encode a [`FaultPlan`] for the wire such that the worker reconstructs a
+/// bitwise-identical plan: same fingerprint, same fault on every
+/// `(id, seed, attempt)`.
+pub fn encode_plan(plan: &FaultPlan) -> String {
+    let targets = plan.targets().iter().map(|t| json_escape(t)).collect::<Vec<_>>().join("\u{1f}");
+    format!(
+        "{:x}:{:x}:{}:{}",
+        plan.seed(),
+        plan.rate().to_bits(),
+        encode_menu(plan.menu()),
+        targets
+    )
+}
+
+/// Decode the wire form produced by [`encode_plan`].
+pub fn decode_plan(s: &str) -> Option<FaultPlan> {
+    let mut it = s.splitn(4, ':');
+    let seed = u64::from_str_radix(it.next()?, 16).ok()?;
+    let rate = f64::from_bits(u64::from_str_radix(it.next()?, 16).ok()?);
+    let menu = decode_menu(it.next()?)?;
+    let targets = it.next()?;
+    let mut plan = FaultPlan::with_menu(seed, rate, menu);
+    if !targets.is_empty() {
+        for t in targets.split('\u{1f}') {
+            plan = plan.and_panic_on(&json_unescape(t));
+        }
+    }
+    Some(plan)
+}
+
+// ---------------------------------------------------------------------------
+// Task specs and outputs
+// ---------------------------------------------------------------------------
+
+/// One unit of work shipped to a worker: everything the deterministic
+/// execution function needs, keyed by the caller's result index.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Position in the caller's result vector (merge key).
+    pub index: usize,
+    /// Experiment id.
+    pub id: String,
+    /// Base seed.
+    pub seed: u64,
+    /// Replica number (verification replicas claim 0 and 1).
+    pub replica: u32,
+    /// Parameters for this run.
+    pub params: Params,
+    /// Supervised retry budget.
+    pub retries: u32,
+    /// Per-attempt deadline in microseconds; 0 disarms the watchdog.
+    pub deadline_us: u64,
+    /// Whether the worker should consult/populate its cache for this task.
+    pub cache: bool,
+}
+
+/// The result of one task, with its trace events for index-ordered merge.
+#[derive(Debug, Clone)]
+pub struct TaskOutput {
+    /// Merge key (same as the spec's index).
+    pub index: usize,
+    /// Run outcome (success record or classified failure).
+    pub outcome: RunOutcome,
+    /// Whether the result came from the worker-side cache.
+    pub cached: bool,
+    /// Trace events the worker's ring evicted for this task.
+    pub dropped: u64,
+    /// Trace events recorded for this task, in emit order.
+    pub events: Vec<(TraceEvent, f64)>,
+}
+
+fn encode_param(v: &ParamValue) -> (char, String) {
+    match v {
+        ParamValue::Int(i) => ('i', i.to_string()),
+        ParamValue::Float(f) => ('f', format!("{:016x}", f.to_bits())),
+        ParamValue::Text(t) => ('t', json_escape(t)),
+        ParamValue::Bool(b) => ('b', b.to_string()),
+    }
+}
+
+fn render_shard(shard: usize, tasks: &[TaskSpec]) -> String {
+    let mut out = format!("{{\"msg\":\"shard\",\"shard\":{shard},\"tasks\":{}}}", tasks.len());
+    for t in tasks {
+        out.push_str(&format!(
+            "\ntask\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            t.index,
+            json_escape(&t.id),
+            t.seed,
+            t.replica,
+            t.retries,
+            t.deadline_us,
+            u8::from(t.cache)
+        ));
+        for (k, v) in t.params.iter() {
+            let (tag, val) = encode_param(v);
+            out.push_str(&format!("\nparam\t{}\t{}\t{tag}\t{val}", t.index, json_escape(k)));
+        }
+    }
+    out
+}
+
+fn parse_shard(payload: &str) -> Option<(usize, Vec<TaskSpec>)> {
+    let mut lines = payload.lines();
+    let shard: usize = jfield(lines.next()?, "shard")?.parse().ok()?;
+    let mut tasks: Vec<TaskSpec> = Vec::new();
+    for line in lines {
+        let mut f = line.split('\t');
+        match f.next()? {
+            "task" => tasks.push(TaskSpec {
+                index: f.next()?.parse().ok()?,
+                id: json_unescape(f.next()?),
+                seed: f.next()?.parse().ok()?,
+                replica: f.next()?.parse().ok()?,
+                params: Params::new(),
+                retries: f.next()?.parse().ok()?,
+                deadline_us: f.next()?.parse().ok()?,
+                cache: f.next()? == "1",
+            }),
+            "param" => {
+                let index: usize = f.next()?.parse().ok()?;
+                let key = json_unescape(f.next()?);
+                let tag = f.next()?;
+                let val = f.next()?;
+                let t = tasks.iter_mut().rfind(|t| t.index == index)?;
+                let params = std::mem::take(&mut t.params);
+                t.params = match tag {
+                    "i" => params.with_int(&key, val.parse().ok()?),
+                    "f" => {
+                        params.with_float(&key, f64::from_bits(u64::from_str_radix(val, 16).ok()?))
+                    }
+                    "t" => params.with_text(&key, &json_unescape(val)),
+                    "b" => params.with_bool(&key, val.parse().ok()?),
+                    _ => return None,
+                };
+            }
+            _ => return None,
+        }
+    }
+    Some((shard, tasks))
+}
+
+fn render_done(shard: usize, outputs: &[TaskOutput]) -> String {
+    let mut out = format!("{{\"msg\":\"done\",\"shard\":{shard},\"results\":{}}}", outputs.len());
+    for o in outputs {
+        match &o.outcome {
+            RunOutcome::Ok { record, attempts } => {
+                out.push_str(&format!(
+                    "\nok\t{}\t{attempts}\t{}\t{}\t{}\t{}\t{:016x}",
+                    o.index,
+                    u8::from(o.cached),
+                    o.dropped,
+                    json_escape(&record.name),
+                    record.seed,
+                    record.wall_seconds.to_bits()
+                ));
+                out.push_str(&format!(
+                    "\ntrail\t{}\t{}",
+                    o.index,
+                    json_escape(&record.trail.render())
+                ));
+            }
+            RunOutcome::Failed(fail) => {
+                out.push_str(&format!(
+                    "\nfail\t{}\t{}\t{}\t{}\t{}",
+                    o.index,
+                    fail.taxonomy.name(),
+                    fail.attempts,
+                    o.dropped,
+                    json_escape(&fail.last_error)
+                ));
+            }
+        }
+        for (ev, at) in &o.events {
+            out.push_str(&format!(
+                "\nev\t{}\t{:016x}\t{}",
+                o.index,
+                at.to_bits(),
+                json_escape(&ev.render_json())
+            ));
+        }
+    }
+    out
+}
+
+fn parse_done(payload: &str) -> Option<(usize, Vec<TaskOutput>)> {
+    let mut lines = payload.lines();
+    let shard: usize = jfield(lines.next()?, "shard")?.parse().ok()?;
+    let mut outputs: Vec<TaskOutput> = Vec::new();
+    for line in lines {
+        let mut f = line.split('\t');
+        match f.next()? {
+            "ok" => {
+                let index: usize = f.next()?.parse().ok()?;
+                let attempts: u32 = f.next()?.parse().ok()?;
+                let cached = f.next()? == "1";
+                let dropped: u64 = f.next()?.parse().ok()?;
+                let name = json_unescape(f.next()?);
+                let seed: u64 = f.next()?.parse().ok()?;
+                let wall = f64::from_bits(u64::from_str_radix(f.next()?, 16).ok()?);
+                outputs.push(TaskOutput {
+                    index,
+                    outcome: RunOutcome::Ok {
+                        record: RunRecord { name, seed, trail: Trail::new(), wall_seconds: wall },
+                        attempts,
+                    },
+                    cached,
+                    dropped,
+                    events: Vec::new(),
+                });
+            }
+            "trail" => {
+                let index: usize = f.next()?.parse().ok()?;
+                let rendered = json_unescape(f.next()?);
+                let o = outputs.iter_mut().rfind(|o| o.index == index)?;
+                if let RunOutcome::Ok { record, .. } = &mut o.outcome {
+                    record.trail = Trail::parse(&rendered)?;
+                }
+            }
+            "fail" => {
+                let index: usize = f.next()?.parse().ok()?;
+                let taxonomy = match f.next()? {
+                    "Panicked" => FailureKind::Panicked,
+                    "TimedOut" => FailureKind::TimedOut,
+                    "Nondeterministic" => FailureKind::Nondeterministic,
+                    "CorruptCache" => FailureKind::CorruptCache,
+                    _ => return None,
+                };
+                let attempts: u32 = f.next()?.parse().ok()?;
+                let dropped: u64 = f.next()?.parse().ok()?;
+                let last_error = json_unescape(f.next()?);
+                outputs.push(TaskOutput {
+                    index,
+                    outcome: RunOutcome::Failed(RunFailure { taxonomy, attempts, last_error }),
+                    cached: false,
+                    dropped,
+                    events: Vec::new(),
+                });
+            }
+            "ev" => {
+                let index: usize = f.next()?.parse().ok()?;
+                let at = f64::from_bits(u64::from_str_radix(f.next()?, 16).ok()?);
+                let ev = TraceEvent::parse_json(&json_unescape(f.next()?))?;
+                outputs.iter_mut().rfind(|o| o.index == index)?.events.push((ev, at));
+            }
+            _ => return None,
+        }
+    }
+    Some((shard, outputs))
+}
+
+// ---------------------------------------------------------------------------
+// Task execution (shared by worker processes and the degraded coordinator)
+// ---------------------------------------------------------------------------
+
+/// Execute one task deterministically. This is the same code path whether it
+/// runs inside a `treu worker` subprocess or in-process after degradation,
+/// which is what makes topology unable to change results or hashed trace
+/// content.
+pub fn execute_task(
+    reg: &ExperimentRegistry,
+    t: &TaskSpec,
+    plan: Option<&FaultPlan>,
+    cache: Option<&RunCache>,
+    tracing: bool,
+    epoch: Instant,
+) -> TaskOutput {
+    let mut rt = tracing.then(|| RunTrace::new(&t.id, t.seed));
+    let mut policy = SupervisePolicy::new(t.retries);
+    if t.deadline_us > 0 {
+        policy = policy.with_deadline_secs(t.deadline_us as f64 / 1e6);
+    }
+    if let Some(rt) = rt.as_mut() {
+        rt.push(TraceEvent::Claim { replica: t.replica }, epoch.elapsed().as_secs_f64());
+    }
+    let (outcome, cached) = match reg.get(&t.id) {
+        None => (
+            RunOutcome::Failed(RunFailure {
+                taxonomy: FailureKind::Panicked,
+                attempts: 0,
+                last_error: format!("unknown experiment '{}'", t.id),
+            }),
+            false,
+        ),
+        Some(entry) => {
+            let mut hit = None;
+            if t.cache {
+                if let Some(cache) = cache {
+                    let found = cache.lookup_classified(&t.id, t.seed, &t.params);
+                    if let Some(rt) = rt.as_mut() {
+                        rt.push(
+                            TraceEvent::Cache { result: crate::exec::cache_result(&found) },
+                            epoch.elapsed().as_secs_f64(),
+                        );
+                    }
+                    if let Lookup::Hit(rec) = found {
+                        hit = Some(rec);
+                    }
+                }
+            }
+            match hit {
+                Some(record) => (RunOutcome::Ok { record, attempts: 1 }, true),
+                None => {
+                    let outcome = crate::exec::run_supervised_traced(
+                        entry.runner(),
+                        &t.id,
+                        t.seed,
+                        &t.params,
+                        &policy,
+                        plan,
+                        t.replica,
+                        rt.as_mut().map(|r| (r, epoch)),
+                    );
+                    if let (true, Some(cache), RunOutcome::Ok { record, .. }) =
+                        (t.cache, cache, &outcome)
+                    {
+                        if cache.store(&t.id, t.seed, &t.params, record).is_ok() {
+                            if let Some(rt) = rt.as_mut() {
+                                rt.push(TraceEvent::CacheStored, epoch.elapsed().as_secs_f64());
+                            }
+                        }
+                    }
+                    (outcome, false)
+                }
+            }
+        }
+    };
+    let (events, dropped) = match rt {
+        Some(rt) => (rt.events().iter().map(|(_, ev, at)| (ev.clone(), *at)).collect(), rt.dropped),
+        None => (Vec::new(), 0),
+    };
+    TaskOutput { index: t.index, outcome, cached, dropped, events }
+}
+
+// ---------------------------------------------------------------------------
+// Worker loop
+// ---------------------------------------------------------------------------
+
+/// The body of `treu worker`: read frames from `input`, execute shards with
+/// a small in-process work-stealing pool, stream heartbeats, write results
+/// back to `output`. Generic over the streams so tests can drive it in
+/// memory.
+pub fn worker_loop(
+    reg: &ExperimentRegistry,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<()> {
+    let mut input = input;
+    let mut jobs = 1usize;
+    let mut tracing = false;
+    let mut plan: Option<FaultPlan> = None;
+    let mut cache: Option<RunCache> = None;
+    // treu-lint: allow(wall-clock, reason = "trace timestamps are an unhashed sidecar")
+    let epoch = Instant::now();
+    while let Some(payload) = read_frame(&mut input)? {
+        match jfield(&payload, "msg").unwrap_or("") {
+            "hello" => {
+                let proto: u32 =
+                    jfield(&payload, "proto").and_then(|v| v.parse().ok()).unwrap_or(0);
+                if proto != PROTO_VERSION {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("protocol mismatch: coordinator v{proto}, worker v{PROTO_VERSION}"),
+                    ));
+                }
+                jobs = jfield(&payload, "jobs").and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
+                tracing = jfield(&payload, "tracing") == Some("true");
+                plan = jfield(&payload, "plan").and_then(|p| decode_plan(&json_unescape(p)));
+                if let Some(dir) = jfield(&payload, "cache_dir") {
+                    cache = RunCache::open(Path::new(&json_unescape(dir))).ok();
+                }
+                write_frame(
+                    &mut output,
+                    &format!("{{\"msg\":\"ready\",\"pid\":{}}}", std::process::id()),
+                )?;
+            }
+            "shard" => {
+                let (shard, tasks) = parse_shard(&payload).ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidData, "malformed shard frame")
+                })?;
+                let outputs = run_shard(
+                    reg,
+                    &tasks,
+                    plan.as_ref(),
+                    cache.as_ref(),
+                    tracing,
+                    jobs,
+                    epoch,
+                    |done| {
+                        write_frame(
+                            &mut output,
+                            &format!("{{\"msg\":\"beat\",\"shard\":{shard},\"done\":{done}}}"),
+                        )
+                    },
+                )?;
+                write_frame(&mut output, &render_done(shard, &outputs))?;
+            }
+            "shutdown" => {
+                if let Some(cache) = cache.as_ref() {
+                    let _ = cache.write_stats_sidecar();
+                }
+                write_frame(&mut output, "{\"msg\":\"bye\"}")?;
+                return Ok(());
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Execute a shard's tasks with `jobs` threads work-stealing off a shared
+/// claim counter; outputs are re-sorted by index so shard-internal
+/// scheduling never leaks into the merged stream.
+#[allow(clippy::too_many_arguments)]
+fn run_shard(
+    reg: &ExperimentRegistry,
+    tasks: &[TaskSpec],
+    plan: Option<&FaultPlan>,
+    cache: Option<&RunCache>,
+    tracing: bool,
+    jobs: usize,
+    epoch: Instant,
+    mut beat: impl FnMut(usize) -> io::Result<()>,
+) -> io::Result<Vec<TaskOutput>> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<TaskOutput>();
+    let mut outputs: Vec<TaskOutput> = Vec::with_capacity(tasks.len());
+    std::thread::scope(|scope| -> io::Result<()> {
+        for _ in 0..jobs.min(tasks.len().max(1)) {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                let Some(t) = tasks.get(i) else { break };
+                if tx.send(execute_task(reg, t, plan, cache, tracing, epoch)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        loop {
+            match rx.recv_timeout(KEEPALIVE_INTERVAL) {
+                Ok(out) => {
+                    outputs.push(out);
+                    beat(outputs.len())?;
+                }
+                // A single long task starves the per-completion beat; a
+                // keepalive beat tells the coordinator's no-progress
+                // watchdog the worker is slow, not dead. Beats are a
+                // wall-clock side channel — never part of results.
+                Err(mpsc::RecvTimeoutError::Timeout) => beat(outputs.len())?,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        Ok(())
+    })?;
+    outputs.sort_by_key(|o| o.index);
+    Ok(outputs)
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+// ---------------------------------------------------------------------------
+
+/// Configuration for the sharded service coordinator.
+#[derive(Debug, Clone)]
+pub struct SvcConfig {
+    /// Number of worker processes.
+    pub workers: usize,
+    /// Jobs (threads) per worker.
+    pub jobs: usize,
+    /// Whether workers record trace events.
+    pub tracing: bool,
+    /// Tasks per shard; 0 picks an automatic size.
+    pub shard_size: usize,
+    /// Respawns allowed per worker slot before the slot is declared dead.
+    pub respawn_budget: u32,
+    /// How long a busy or starting worker may go without progress.
+    pub hang_timeout: Duration,
+    /// Seeded kill plan for chaos drills: the coordinator SIGKILLs its own
+    /// workers mid-shard.
+    pub kill_plan: Option<KillPlan>,
+    /// Override the worker command line; empty means `current_exe worker`.
+    pub worker_cmd: Vec<String>,
+    /// Cache directory workers should open (run mode only).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl SvcConfig {
+    /// A coordinator over `workers` processes with defaults matching the CLI.
+    pub fn new(workers: usize) -> Self {
+        SvcConfig {
+            workers: workers.max(1),
+            jobs: 1,
+            tracing: false,
+            shard_size: 0,
+            respawn_budget: 2,
+            hang_timeout: Duration::from_secs(60),
+            kill_plan: None,
+            worker_cmd: Vec::new(),
+            cache_dir: None,
+        }
+    }
+
+    /// Set jobs (threads) per worker.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Enable or disable worker-side tracing.
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Fix the shard size (0 = automatic).
+    pub fn with_shard_size(mut self, n: usize) -> Self {
+        self.shard_size = n;
+        self
+    }
+
+    /// Set the per-slot respawn budget.
+    pub fn with_respawn_budget(mut self, n: u32) -> Self {
+        self.respawn_budget = n;
+        self
+    }
+
+    /// Set the no-progress hang timeout.
+    pub fn with_hang_timeout(mut self, d: Duration) -> Self {
+        self.hang_timeout = d;
+        self
+    }
+
+    /// Arm a seeded kill plan.
+    pub fn with_kill_plan(mut self, plan: KillPlan) -> Self {
+        self.kill_plan = Some(plan);
+        self
+    }
+
+    /// Override the worker command line (tests use `/bin/true`, `/bin/sleep`).
+    pub fn with_worker_cmd(mut self, cmd: Vec<String>) -> Self {
+        self.worker_cmd = cmd;
+        self
+    }
+
+    /// Point run-mode workers at a shared cache directory.
+    pub fn with_cache_dir(mut self, dir: PathBuf) -> Self {
+        self.cache_dir = Some(dir);
+        self
+    }
+
+    fn auto_shard_size(&self, tasks: usize) -> usize {
+        if self.shard_size > 0 {
+            return self.shard_size;
+        }
+        (tasks / (self.workers * 4).max(1)).clamp(1, 8)
+    }
+}
+
+/// Supervision counters for one coordinated batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SvcStats {
+    /// Worker slots configured.
+    pub workers: usize,
+    /// Total worker processes spawned (incarnations across all slots).
+    pub spawned: u32,
+    /// Workers SIGKILLed by the kill plan.
+    pub kills: u32,
+    /// Worker crashes observed (EOF without a kill we caused).
+    pub crashes: u32,
+    /// Workers declared hung by the no-progress watchdog.
+    pub hangs: u32,
+    /// Shards requeued after an incarnation died holding them.
+    pub requeues: u32,
+    /// Total shard dispatches.
+    pub shards: u32,
+    /// Heartbeat frames received.
+    pub heartbeats: u32,
+    /// Tasks completed in-process after degradation.
+    pub degraded_tasks: u32,
+    /// Whether the coordinator degraded to in-process execution.
+    pub degraded: bool,
+}
+
+impl SvcStats {
+    /// One-line summary for reports.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "svc: workers={} spawned={} shards={} requeues={} kills={} crashes={} hangs={} beats={}",
+            self.workers,
+            self.spawned,
+            self.shards,
+            self.requeues,
+            self.kills,
+            self.crashes,
+            self.hangs,
+            self.heartbeats
+        );
+        if self.degraded {
+            s.push_str(&format!(" DEGRADED(in-process tasks={})", self.degraded_tasks));
+        }
+        s
+    }
+}
+
+struct Incarnation {
+    child: Child,
+    stdin: ChildStdin,
+}
+
+struct Slot {
+    live: Option<Incarnation>,
+    /// Incarnation counter; reader frames are tagged with it so frames from
+    /// a killed incarnation are dropped instead of corrupting the next one.
+    inc: u32,
+    spawned: u32,
+    ready: bool,
+    /// We deliberately killed this incarnation (kill plan or hang watchdog),
+    /// so its EOF is not counted as a crash.
+    killed: bool,
+    /// Requeue-exactly-once-per-incarnation flag.
+    requeued: bool,
+    /// Shards dispatched to the current incarnation (kill-plan ordinal).
+    dispatched: u32,
+    /// Kill-plan verdict for this incarnation: kill during the Nth dispatch.
+    doom: Option<u64>,
+    /// Shard currently in flight, if any.
+    busy: Option<usize>,
+    last_progress: Instant,
+    dead: bool,
+}
+
+enum Wire {
+    Frame { worker: usize, inc: u32, payload: String },
+    Eof { worker: usize, inc: u32 },
+}
+
+/// Coordinator over a pool of `treu worker` subprocesses.
+pub struct WorkerPool {
+    cfg: SvcConfig,
+}
+
+impl WorkerPool {
+    /// Create a pool with the given configuration.
+    pub fn new(cfg: SvcConfig) -> Self {
+        WorkerPool { cfg }
+    }
+
+    /// The configuration this pool runs with.
+    pub fn config(&self) -> &SvcConfig {
+        &self.cfg
+    }
+
+    fn worker_command(&self) -> io::Result<Command> {
+        let argv: Vec<String> = if self.cfg.worker_cmd.is_empty() {
+            vec![std::env::current_exe()?.to_string_lossy().into_owned(), "worker".to_string()]
+        } else {
+            self.cfg.worker_cmd.clone()
+        };
+        let mut cmd = Command::new(&argv[0]);
+        // env_clear pins the worker environment: determinism must not hinge
+        // on whatever the parent shell happened to export (Environment::
+        // capture reads no env vars, so the cache fingerprint still agrees).
+        cmd.args(&argv[1..])
+            .env_clear()
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        Ok(cmd)
+    }
+
+    fn hello(&self, plan: Option<&FaultPlan>) -> String {
+        let mut s = format!(
+            "{{\"msg\":\"hello\",\"proto\":{PROTO_VERSION},\"jobs\":{},\"tracing\":{}",
+            self.cfg.jobs, self.cfg.tracing
+        );
+        if let Some(plan) = plan {
+            s.push_str(&format!(",\"plan\":\"{}\"", json_escape(&encode_plan(plan))));
+        }
+        if let Some(dir) = &self.cfg.cache_dir {
+            s.push_str(&format!(",\"cache_dir\":\"{}\"", json_escape(&dir.to_string_lossy())));
+        }
+        s.push('}');
+        s
+    }
+
+    /// Run `tasks` across the pool. `tasks[i].index` must equal `i`.
+    ///
+    /// Results come back complete: any task orphaned by crashes beyond the
+    /// respawn budget is executed in-process (`degraded_cache` is the
+    /// coordinator-side cache used only for those), so this never aborts
+    /// short of an I/O failure in the coordinator itself.
+    // Indexing keeps `slots[w]` borrows short: the dispatch and hang loops
+    // hand `&mut slots[w]` to `fail_incarnation` mid-iteration.
+    #[allow(clippy::needless_range_loop)]
+    pub fn run_tasks(
+        &self,
+        reg: &ExperimentRegistry,
+        tasks: Vec<TaskSpec>,
+        plan: Option<&FaultPlan>,
+        degraded_cache: Option<&RunCache>,
+        seed: u64,
+    ) -> io::Result<(Vec<TaskOutput>, SvcStats)> {
+        let mut stats = SvcStats { workers: self.cfg.workers, ..SvcStats::default() };
+        // treu-lint: allow(wall-clock, reason = "supervision timing sidecar, never hashed")
+        let epoch = Instant::now();
+        if tasks.is_empty() {
+            return Ok((Vec::new(), stats));
+        }
+        debug_assert!(tasks.iter().enumerate().all(|(i, t)| t.index == i));
+        let total = tasks.len();
+        let mut results: Vec<Option<TaskOutput>> = (0..total).map(|_| None).collect();
+        let shard_size = self.cfg.auto_shard_size(total);
+        let shards: Vec<Vec<TaskSpec>> = tasks.chunks(shard_size).map(<[_]>::to_vec).collect();
+        let mut queue: VecDeque<usize> = (0..shards.len()).collect();
+        let hello = self.hello(plan);
+        let (tx, rx) = mpsc::channel::<Wire>();
+        let nslots = self.cfg.workers.min(shards.len());
+        let mut slots: Vec<Slot> = Vec::with_capacity(nslots);
+        for w in 0..nslots {
+            let mut slot = Slot {
+                live: None,
+                inc: 0,
+                spawned: 0,
+                ready: false,
+                killed: false,
+                requeued: false,
+                dispatched: 0,
+                doom: None,
+                busy: None,
+                last_progress: epoch,
+                dead: false,
+            };
+            self.respawn(w, &mut slot, &hello, &tx, &mut stats, seed, false);
+            slots.push(slot);
+        }
+        let mut filled = 0usize;
+        while filled < total {
+            if slots.iter().all(|s| s.dead) {
+                // Degradation ladder, final rung: every slot exhausted its
+                // respawn budget. Finish the orphaned work in-process rather
+                // than abort — same execute_task, so results are identical.
+                stats.degraded = true;
+                for (i, slot) in results.iter_mut().enumerate() {
+                    if slot.is_none() {
+                        *slot = Some(execute_task(
+                            reg,
+                            &tasks[i],
+                            plan,
+                            degraded_cache,
+                            self.cfg.tracing,
+                            epoch,
+                        ));
+                        stats.degraded_tasks += 1;
+                    }
+                }
+                break;
+            }
+            // Dispatch queued shards to ready, idle, live slots.
+            for w in 0..slots.len() {
+                if queue.is_empty() {
+                    break;
+                }
+                if slots[w].dead
+                    || slots[w].live.is_none()
+                    || !slots[w].ready
+                    || slots[w].busy.is_some()
+                {
+                    continue;
+                }
+                let sh = queue.pop_front().expect("non-empty queue");
+                slots[w].busy = Some(sh);
+                slots[w].dispatched += 1;
+                // treu-lint: allow(wall-clock, reason = "supervision watchdog")
+                slots[w].last_progress = Instant::now();
+                stats.shards += 1;
+                let frame = render_shard(sh, &shards[sh]);
+                let write_ok = {
+                    let inc = slots[w].live.as_mut().expect("live incarnation");
+                    write_frame(&mut inc.stdin, &frame).is_ok()
+                };
+                if !write_ok {
+                    stats.crashes += 1;
+                    self.fail_incarnation(
+                        w,
+                        &mut slots[w],
+                        &mut queue,
+                        &hello,
+                        &tx,
+                        &mut stats,
+                        seed,
+                    );
+                    continue;
+                }
+                // Chaos drill: the kill plan said to SIGKILL this incarnation
+                // during its doom-th dispatch. The shard frame was just
+                // delivered, so the kill lands mid-shard.
+                if slots[w].doom == Some(u64::from(slots[w].dispatched)) {
+                    stats.kills += 1;
+                    slots[w].killed = true;
+                    self.fail_incarnation(
+                        w,
+                        &mut slots[w],
+                        &mut queue,
+                        &hello,
+                        &tx,
+                        &mut stats,
+                        seed,
+                    );
+                }
+            }
+            // Watchdog tick: smallest remaining hang budget among slots that
+            // owe us progress, clamped to keep the loop responsive.
+            let mut tick = Duration::from_millis(250);
+            for s in slots.iter() {
+                if s.dead || s.live.is_none() {
+                    continue;
+                }
+                if s.busy.is_some() || !s.ready {
+                    let rem = self.cfg.hang_timeout.saturating_sub(s.last_progress.elapsed());
+                    tick = tick.min(rem.max(Duration::from_millis(10)));
+                }
+            }
+            match rx.recv_timeout(tick) {
+                Ok(Wire::Frame { worker, inc, payload }) => {
+                    let slot = &mut slots[worker];
+                    if inc != slot.inc || slot.dead {
+                        continue; // stale incarnation
+                    }
+                    // treu-lint: allow(wall-clock, reason = "supervision watchdog")
+                    slot.last_progress = Instant::now();
+                    match jfield(&payload, "msg") {
+                        Some("ready") => slot.ready = true,
+                        Some("beat") => stats.heartbeats += 1,
+                        Some("done") => {
+                            if let Some((sh, outputs)) = parse_done(&payload) {
+                                if slot.busy == Some(sh) {
+                                    slot.busy = None;
+                                }
+                                for out in outputs {
+                                    let pos = out.index;
+                                    if pos < total && results[pos].is_none() {
+                                        results[pos] = Some(out);
+                                        filled += 1;
+                                    }
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                Ok(Wire::Eof { worker, inc }) => {
+                    let slot = &mut slots[worker];
+                    if inc == slot.inc && !slot.dead && slot.live.is_some() {
+                        if !slot.killed {
+                            stats.crashes += 1;
+                        }
+                        self.fail_incarnation(
+                            worker, slot, &mut queue, &hello, &tx, &mut stats, seed,
+                        );
+                    }
+                }
+                Err(_) => {}
+            }
+            // Hang check: any live slot owing progress past the timeout.
+            for w in 0..slots.len() {
+                let hung = {
+                    let s = &slots[w];
+                    !s.dead
+                        && s.live.is_some()
+                        && (s.busy.is_some() || !s.ready)
+                        && s.last_progress.elapsed() > self.cfg.hang_timeout
+                };
+                if hung {
+                    stats.hangs += 1;
+                    slots[w].killed = true;
+                    self.fail_incarnation(
+                        w,
+                        &mut slots[w],
+                        &mut queue,
+                        &hello,
+                        &tx,
+                        &mut stats,
+                        seed,
+                    );
+                }
+            }
+        }
+        // Orderly shutdown: ask live workers to flush stats sidecars, then
+        // give them a bounded grace period before reaping by force.
+        for slot in slots.iter_mut() {
+            if let Some(mut inc) = slot.live.take() {
+                let _ = write_frame(&mut inc.stdin, "{\"msg\":\"shutdown\"}");
+                drop(inc.stdin);
+                // treu-lint: allow(wall-clock, reason = "shutdown grace period")
+                let patience = Instant::now();
+                loop {
+                    match inc.child.try_wait() {
+                        Ok(Some(_)) => break,
+                        Ok(None) if patience.elapsed() < Duration::from_secs(5) => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        _ => {
+                            let _ = inc.child.kill();
+                            let _ = inc.child.wait();
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let outputs: Vec<TaskOutput> =
+            results.into_iter().map(|r| r.expect("coordinator filled every task")).collect();
+        Ok((outputs, stats))
+    }
+
+    /// Kill (if needed) and reap the current incarnation, requeue its
+    /// in-flight shard exactly once for this incarnation, then respawn —
+    /// or mark the slot dead once the respawn budget is exhausted.
+    #[allow(clippy::too_many_arguments)]
+    fn fail_incarnation(
+        &self,
+        w: usize,
+        slot: &mut Slot,
+        queue: &mut VecDeque<usize>,
+        hello: &str,
+        tx: &mpsc::Sender<Wire>,
+        stats: &mut SvcStats,
+        seed: u64,
+    ) {
+        if let Some(sh) = slot.busy.take() {
+            if !slot.requeued {
+                slot.requeued = true;
+                queue.push_front(sh);
+                stats.requeues += 1;
+            }
+        }
+        if let Some(mut inc) = slot.live.take() {
+            let _ = inc.child.kill();
+            let _ = inc.child.wait();
+        }
+        self.respawn(w, slot, hello, tx, stats, seed, true);
+    }
+
+    /// Spawn (or respawn) a worker into `slot`. Respawns sleep a seeded,
+    /// deterministically doubling backoff first; a slot whose budget is
+    /// exhausted is marked dead instead.
+    #[allow(clippy::too_many_arguments)]
+    fn respawn(
+        &self,
+        w: usize,
+        slot: &mut Slot,
+        hello: &str,
+        tx: &mpsc::Sender<Wire>,
+        stats: &mut SvcStats,
+        seed: u64,
+        is_respawn: bool,
+    ) {
+        slot.inc += 1;
+        slot.ready = false;
+        slot.killed = false;
+        slot.requeued = false;
+        slot.dispatched = 0;
+        slot.busy = None;
+        if slot.spawned > self.cfg.respawn_budget {
+            slot.dead = true;
+            return;
+        }
+        if is_respawn {
+            let ms = backoff_millis(slot.spawned, &format!("svc-worker-{w}"), seed);
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        let mut cmd = match self.worker_command() {
+            Ok(cmd) => cmd,
+            Err(_) => {
+                slot.dead = true;
+                return;
+            }
+        };
+        let mut child = match cmd.spawn() {
+            Ok(child) => child,
+            Err(_) => {
+                slot.dead = true;
+                return;
+            }
+        };
+        slot.spawned += 1;
+        stats.spawned += 1;
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut stdin = child.stdin.take().expect("piped stdin");
+        if write_frame(&mut stdin, hello).is_err() {
+            let _ = child.kill();
+            let _ = child.wait();
+            self.respawn(w, slot, hello, tx, stats, seed, true);
+            return;
+        }
+        let inc = slot.inc;
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let mut reader = io::BufReader::new(stdout);
+            loop {
+                match read_frame(&mut reader) {
+                    Ok(Some(payload)) => {
+                        if tx.send(Wire::Frame { worker: w, inc, payload }).is_err() {
+                            break;
+                        }
+                    }
+                    _ => {
+                        let _ = tx.send(Wire::Eof { worker: w, inc });
+                        break;
+                    }
+                }
+            }
+        });
+        slot.doom = self.cfg.kill_plan.as_ref().and_then(|kp| kp.kill_on_dispatch(w, slot.inc));
+        slot.live = Some(Incarnation { child, stdin });
+        // treu-lint: allow(wall-clock, reason = "supervision watchdog")
+        slot.last_progress = Instant::now();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// High-level entry points (verify / run across the pool)
+// ---------------------------------------------------------------------------
+
+fn empty_sched(workers: usize) -> SchedStats {
+    SchedStats {
+        workers,
+        chunk: 0,
+        busy_seconds: Vec::new(),
+        chunks_claimed: Vec::new(),
+        items: Vec::new(),
+    }
+}
+
+fn policy_deadline_us(policy: &SupervisePolicy) -> u64 {
+    policy.deadline.map(|d| d.as_micros() as u64).unwrap_or(0)
+}
+
+/// Registry-wide verification across the worker pool. Mirrors
+/// [`crate::exec::Executor::verify_all_supervised_with`] exactly: cache
+/// lookups, cross-checks, and verdicts happen coordinator-side; workers only
+/// compute the two fresh replicas per missed id. The resulting trace is
+/// bitwise-identical to the in-process path at every topology.
+pub fn verify_all_svc(
+    reg: &ExperimentRegistry,
+    seed: u64,
+    cache: Option<&RunCache>,
+    policy: &SupervisePolicy,
+    plan: Option<&FaultPlan>,
+    params: impl Fn(&str, Params) -> Params,
+    cfg: SvcConfig,
+) -> io::Result<(VerifyReport, SvcStats)> {
+    // treu-lint: allow(wall-clock, reason = "verification timing reported outside the fingerprint")
+    let start = Instant::now();
+    let tracing = cfg.tracing;
+    let jobs_total = cfg.workers * cfg.jobs;
+    let ids: Vec<(String, Params)> =
+        reg.iter().map(|(id, e)| (id.to_string(), params(id, e.defaults.clone()))).collect();
+    let mut traces: Vec<RunTrace> = ids.iter().map(|(id, _)| RunTrace::new(id, seed)).collect();
+    // Coordinator-side cache lookups, exactly as the in-process verifier.
+    let looked: Vec<Lookup> = ids
+        .iter()
+        .zip(traces.iter_mut())
+        .map(|((id, p), rt)| {
+            let found = match cache {
+                Some(c) => c.lookup_classified(id, seed, p),
+                None => Lookup::Miss,
+            };
+            if tracing && cache.is_some() {
+                rt.push(
+                    TraceEvent::Cache { result: crate::exec::cache_result(&found) },
+                    start.elapsed().as_secs_f64(),
+                );
+            }
+            found
+        })
+        .collect();
+    let misses: Vec<usize> =
+        (0..ids.len()).filter(|&i| !matches!(looked[i], Lookup::Hit(_))).collect();
+    // Both replicas of a missed id ship as independent tasks; replica = k % 2
+    // preserves the in-process Claim numbering.
+    let mut tasks: Vec<TaskSpec> = Vec::with_capacity(misses.len() * 2);
+    for (k, mi) in misses.iter().flat_map(|&i| [i, i]).enumerate() {
+        let (id, p) = &ids[mi];
+        tasks.push(TaskSpec {
+            index: k,
+            id: id.clone(),
+            seed,
+            replica: (k % 2) as u32,
+            params: p.clone(),
+            retries: policy.retries,
+            deadline_us: policy_deadline_us(policy),
+            cache: false,
+        });
+    }
+    let pool = WorkerPool::new(cfg);
+    let (outputs, svc_stats) = pool.run_tasks(reg, tasks, plan, None, seed)?;
+    // Rebuild per-replica traces and absorb them in (id, replica) order —
+    // identical to the in-process index-ordered merge.
+    let recomputed = misses.len();
+    let mut fresh = outputs.into_iter();
+    let outcomes: Vec<VerifyOutcome> = ids
+        .iter()
+        .zip(looked)
+        .enumerate()
+        .map(|(i, ((id, p), found))| match found {
+            Lookup::Hit(rec) => {
+                let outcome = VerifyOutcome {
+                    id: id.clone(),
+                    fingerprint: rec.fingerprint(),
+                    reproduced: true,
+                    cached: true,
+                    attempts: 1,
+                    healed_corruption: false,
+                    failure: None,
+                };
+                if tracing && cache.is_some() {
+                    traces[i].push(
+                        TraceEvent::Verdict {
+                            reproduced: true,
+                            cached: true,
+                            attempts: 1,
+                            fingerprint: outcome.fingerprint,
+                            failure: None,
+                        },
+                        start.elapsed().as_secs_f64(),
+                    );
+                }
+                outcome
+            }
+            not_hit => {
+                let was_corrupt = matches!(not_hit, Lookup::Corrupt);
+                let a = fresh.next().expect("two replicas per miss");
+                let b = fresh.next().expect("two replicas per miss");
+                for out in [&a, &b] {
+                    if tracing {
+                        let mut sub = RunTrace::new(id, seed);
+                        sub.dropped += out.dropped;
+                        for (ev, at) in &out.events {
+                            sub.push(ev.clone(), *at);
+                        }
+                        traces[i].absorb(sub);
+                    }
+                }
+                crate::exec::cross_check(
+                    id,
+                    seed,
+                    p,
+                    &[a.outcome, b.outcome],
+                    cache,
+                    was_corrupt,
+                    tracing.then_some((&mut traces[i], start)),
+                )
+            }
+        })
+        .collect();
+    let wall = start.elapsed().as_secs_f64();
+    let trace = crate::exec::batch_trace("verify", seed, traces, jobs_total, wall, &empty_sched(0));
+    let counters = trace.counters();
+    Ok((
+        VerifyReport {
+            jobs: jobs_total,
+            outcomes,
+            wall_seconds: wall,
+            recomputed,
+            trace,
+            counters,
+        },
+        svc_stats,
+    ))
+}
+
+/// What [`run_all_svc`] yields: per-experiment outcomes in registry
+/// order, the merged batch report, and the service-layer stats.
+pub type SvcRunAll = (Vec<(String, RunOutcome)>, ExecReport, SvcStats);
+
+/// Registry-wide run across the worker pool. Workers consult and populate
+/// the shared cache directly (atomic temp+rename keeps entries untorn);
+/// hit/miss stats land in per-process sidecars the coordinator merges at
+/// join, so concurrent writers never tear counts.
+pub fn run_all_svc(
+    reg: &ExperimentRegistry,
+    seed: u64,
+    cache: Option<&RunCache>,
+    policy: &SupervisePolicy,
+    plan: Option<&FaultPlan>,
+    mut cfg: SvcConfig,
+) -> io::Result<SvcRunAll> {
+    // treu-lint: allow(wall-clock, reason = "batch timing reported outside the fingerprint")
+    let start = Instant::now();
+    if let Some(cache) = cache {
+        cfg.cache_dir = Some(cache.dir().to_path_buf());
+    }
+    let tracing = cfg.tracing;
+    let jobs_total = cfg.workers * cfg.jobs;
+    let ids: Vec<(String, Params)> =
+        reg.iter().map(|(id, e)| (id.to_string(), e.defaults.clone())).collect();
+    let tasks: Vec<TaskSpec> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, (id, p))| TaskSpec {
+            index: i,
+            id: id.clone(),
+            seed,
+            replica: 0,
+            params: p.clone(),
+            retries: policy.retries,
+            deadline_us: policy_deadline_us(policy),
+            cache: cache.is_some(),
+        })
+        .collect();
+    let pool = WorkerPool::new(cfg);
+    let (outputs, svc_stats) = pool.run_tasks(reg, tasks, plan, cache, seed)?;
+    if let Some(cache) = cache {
+        let _ = cache.merge_stats_sidecars();
+    }
+    let mut traces: Vec<RunTrace> = Vec::with_capacity(ids.len());
+    let mut pairs: Vec<(String, RunOutcome)> = Vec::with_capacity(ids.len());
+    let mut cached_count = 0usize;
+    for (out, (id, _)) in outputs.into_iter().zip(ids.iter()) {
+        let mut rt = RunTrace::new(id, seed);
+        if tracing {
+            rt.dropped += out.dropped;
+            for (ev, at) in &out.events {
+                rt.push(ev.clone(), *at);
+            }
+        }
+        traces.push(rt);
+        if out.cached {
+            cached_count += 1;
+        }
+        pairs.push((id.clone(), out.outcome));
+    }
+    let failed = pairs.iter().filter(|(_, o)| !matches!(o, RunOutcome::Ok { .. })).count();
+    let wall = start.elapsed().as_secs_f64();
+    let report = ExecReport::from_labelled(
+        jobs_total,
+        pairs.iter().filter_map(|(id, o)| o.record().map(|r| (id.clone(), r.wall_seconds))),
+        wall,
+    )
+    .with_cached(cached_count)
+    .with_failed(failed)
+    .with_trace(crate::exec::batch_trace(
+        "run",
+        seed,
+        traces,
+        jobs_total,
+        wall,
+        &empty_sched(0),
+    ));
+    Ok((pairs, report, svc_stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+    use crate::experiment::{Experiment, RunContext};
+
+    struct Echo;
+    impl Experiment for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn run(&self, ctx: &mut RunContext) {
+            let gain = ctx.int("gain", 1);
+            let mut rng = ctx.rng("echo");
+            for i in 0..4 {
+                let draw = rng.next_u64() >> 12;
+                ctx.record(&format!("step{i}"), (draw as f64) * gain as f64);
+            }
+        }
+    }
+
+    fn small_registry() -> ExperimentRegistry {
+        let mut reg = ExperimentRegistry::new();
+        reg.register(
+            "alpha",
+            "svc::tests",
+            "svc test experiment",
+            Params::new().with_int("gain", 3),
+            Box::new(Echo),
+        );
+        reg.register(
+            "beta",
+            "svc::tests",
+            "svc test experiment",
+            Params::new().with_int("gain", 5),
+            Box::new(Echo),
+        );
+        reg.register("gamma", "svc::tests", "svc test experiment", Params::new(), Box::new(Echo));
+        reg
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_malformed_input() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello world").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = io::BufReader::new(&buf[..]);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("hello world"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+        let huge = format!("{}\n", MAX_FRAME + 1);
+        let mut r = io::BufReader::new(huge.as_bytes());
+        assert!(read_frame(&mut r).is_err(), "oversize frame rejected");
+        let mut r = io::BufReader::new(&b"notanumber\nxx"[..]);
+        assert!(read_frame(&mut r).is_err(), "bad length rejected");
+        let mut r = io::BufReader::new(&b"10\nshort"[..]);
+        assert!(read_frame(&mut r).is_err(), "truncated payload rejected");
+    }
+
+    #[test]
+    fn fault_plan_wire_round_trip_is_bitwise() {
+        let plan = FaultPlan::with_menu(
+            0xfeed,
+            0.35,
+            vec![
+                FaultKind::Panic,
+                FaultKind::Delay(40),
+                FaultKind::CorruptTrail,
+                FaultKind::TransientErr(2),
+            ],
+        )
+        .and_panic_on("bad:colon\ttab")
+        .and_panic_on("worse");
+        let back = decode_plan(&encode_plan(&plan)).expect("decodes");
+        assert_eq!(back.fingerprint(), plan.fingerprint());
+        // Per-attempt faults must agree everywhere, not just the fingerprint.
+        for attempt in 0..4 {
+            assert_eq!(
+                format!("{:?}", back.fault_at("probe", 99, attempt)),
+                format!("{:?}", plan.fault_at("probe", 99, attempt))
+            );
+        }
+        assert!(decode_plan("zz:0:p:").is_none(), "bad seed rejected");
+    }
+
+    #[test]
+    fn shard_and_done_frames_round_trip() {
+        let tasks = vec![
+            TaskSpec {
+                index: 0,
+                id: "we\"ird\tid".into(),
+                seed: 42,
+                replica: 1,
+                params: Params::new()
+                    .with_int("n", -3)
+                    .with_float("x", 0.1 + 0.2)
+                    .with_text("label", "tab\there")
+                    .with_bool("flag", true),
+                retries: 2,
+                deadline_us: 1_500_000,
+                cache: true,
+            },
+            TaskSpec {
+                index: 1,
+                id: "plain".into(),
+                seed: 43,
+                replica: 0,
+                params: Params::new(),
+                retries: 0,
+                deadline_us: 0,
+                cache: false,
+            },
+        ];
+        let (shard, parsed) = parse_shard(&render_shard(3, &tasks)).expect("parses");
+        assert_eq!(shard, 3);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].id, tasks[0].id);
+        assert_eq!(parsed[0].deadline_us, 1_500_000);
+        assert!(parsed[0].cache && !parsed[1].cache);
+        let canon = |p: &Params| {
+            let mut kv: Vec<String> = p.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            kv.sort();
+            kv.join(",")
+        };
+        assert_eq!(canon(&parsed[0].params), canon(&tasks[0].params));
+
+        let reg = small_registry();
+        // treu-lint: allow(wall-clock, reason = "test epoch for unhashed timestamps")
+        let epoch = Instant::now();
+        let spec = TaskSpec {
+            index: 0,
+            id: "alpha".into(),
+            seed: 9,
+            replica: 1,
+            params: reg.get("alpha").unwrap().defaults.clone(),
+            retries: 0,
+            deadline_us: 0,
+            cache: false,
+        };
+        let out = execute_task(&reg, &spec, None, None, true, epoch);
+        let failed = TaskOutput {
+            index: 1,
+            outcome: RunOutcome::Failed(RunFailure {
+                taxonomy: FailureKind::TimedOut,
+                attempts: 3,
+                last_error: "slow\tand\"bad".into(),
+            }),
+            cached: false,
+            dropped: 2,
+            events: Vec::new(),
+        };
+        let (shard, parsed) = parse_done(&render_done(5, &[out.clone(), failed])).expect("parses");
+        assert_eq!(shard, 5);
+        assert_eq!(parsed.len(), 2);
+        let (
+            RunOutcome::Ok { record: ra, attempts: aa },
+            RunOutcome::Ok { record: rb, attempts: ab },
+        ) = (&out.outcome, &parsed[0].outcome)
+        else {
+            panic!("ok outcome survives the wire");
+        };
+        assert_eq!(aa, ab);
+        assert_eq!(ra.fingerprint(), rb.fingerprint(), "trail survives bitwise");
+        assert_eq!(out.events.len(), parsed[0].events.len());
+        assert!(!out.events.is_empty(), "traced execution produced events");
+        for ((ea, ta), (eb, tb)) in out.events.iter().zip(parsed[0].events.iter()) {
+            assert_eq!(ea.render_json(), eb.render_json());
+            assert_eq!(ta.to_bits(), tb.to_bits());
+        }
+        match &parsed[1].outcome {
+            RunOutcome::Failed(f) => {
+                assert_eq!(f.taxonomy.name(), "TimedOut");
+                assert_eq!(f.attempts, 3);
+                assert_eq!(f.last_error, "slow\tand\"bad");
+            }
+            _ => panic!("failure survives the wire"),
+        }
+        assert_eq!(parsed[1].dropped, 2);
+    }
+
+    #[test]
+    fn worker_loop_in_memory_matches_direct_execution() {
+        let reg = small_registry();
+        let mut inbox = Vec::new();
+        write_frame(
+            &mut inbox,
+            &format!("{{\"msg\":\"hello\",\"proto\":{PROTO_VERSION},\"jobs\":2,\"tracing\":true}}"),
+        )
+        .unwrap();
+        let tasks: Vec<TaskSpec> = ["alpha", "beta", "gamma"]
+            .iter()
+            .enumerate()
+            .map(|(i, id)| TaskSpec {
+                index: i,
+                id: (*id).to_string(),
+                seed: 17,
+                replica: (i % 2) as u32,
+                params: reg.get(id).unwrap().defaults.clone(),
+                retries: 1,
+                deadline_us: 0,
+                cache: false,
+            })
+            .collect();
+        write_frame(&mut inbox, &render_shard(0, &tasks)).unwrap();
+        write_frame(&mut inbox, "{\"msg\":\"shutdown\"}").unwrap();
+        let mut outbox = Vec::new();
+        worker_loop(&reg, io::BufReader::new(&inbox[..]), &mut outbox).unwrap();
+        let mut r = io::BufReader::new(&outbox[..]);
+        let ready = read_frame(&mut r).unwrap().expect("ready frame");
+        assert_eq!(jfield(&ready, "msg"), Some("ready"));
+        let mut done = None;
+        let mut beats = 0;
+        let mut bye = false;
+        while let Some(frame) = read_frame(&mut r).unwrap() {
+            match jfield(&frame, "msg") {
+                Some("beat") => beats += 1,
+                Some("done") => done = Some(frame),
+                Some("bye") => bye = true,
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert!(bye, "worker acknowledges shutdown");
+        assert_eq!(beats, 3, "one heartbeat per completed task");
+        let (shard, outputs) = parse_done(&done.expect("done frame")).expect("parses");
+        assert_eq!(shard, 0);
+        assert_eq!(outputs.len(), 3);
+        // Parity with direct in-process execution: fingerprints and events.
+        // treu-lint: allow(wall-clock, reason = "test epoch for unhashed timestamps")
+        let epoch = Instant::now();
+        for (t, out) in tasks.iter().zip(outputs.iter()) {
+            let direct = execute_task(&reg, t, None, None, true, epoch);
+            let (RunOutcome::Ok { record: a, .. }, RunOutcome::Ok { record: b, .. }) =
+                (&direct.outcome, &out.outcome)
+            else {
+                panic!("both succeed");
+            };
+            assert_eq!(a.fingerprint(), b.fingerprint());
+            assert_eq!(direct.events.len(), out.events.len());
+            for ((ea, _), (eb, _)) in direct.events.iter().zip(out.events.iter()) {
+                assert_eq!(ea.render_json(), eb.render_json());
+            }
+        }
+    }
+
+    #[test]
+    fn worker_rejects_protocol_mismatch() {
+        let reg = small_registry();
+        let mut inbox = Vec::new();
+        write_frame(&mut inbox, "{\"msg\":\"hello\",\"proto\":999,\"jobs\":1,\"tracing\":false}")
+            .unwrap();
+        let mut outbox = Vec::new();
+        let err = worker_loop(&reg, io::BufReader::new(&inbox[..]), &mut outbox).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn instantly_dying_workers_degrade_to_in_process_with_identical_results() {
+        let reg = small_registry();
+        let seed = 23;
+        // /bin/true exits immediately: every incarnation EOFs before ready,
+        // the respawn budget burns down, and the coordinator finishes the
+        // whole registry in-process.
+        assert!(Path::new("/bin/true").exists(), "test needs /bin/true");
+        let cfg = SvcConfig::new(2)
+            .with_jobs(2)
+            .with_tracing(true)
+            .with_respawn_budget(1)
+            .with_hang_timeout(Duration::from_millis(200))
+            .with_worker_cmd(vec!["/bin/true".into()]);
+        let policy = SupervisePolicy::new(1);
+        let (report, stats) =
+            verify_all_svc(&reg, seed, None, &policy, None, |_, p| p, cfg).unwrap();
+        assert!(stats.degraded, "budget exhaustion must degrade, not abort");
+        assert!(stats.crashes > 0);
+        assert!(stats.degraded_tasks > 0);
+        assert!(report.all_reproduced());
+        // Bitwise parity with the plain in-process verifier.
+        let exec = Executor::new(2).with_tracing(true);
+        let baseline = exec.verify_all_supervised_with(&reg, seed, None, &policy, None, |_, p| p);
+        assert_eq!(report.outcomes.len(), baseline.outcomes.len());
+        for (a, b) in report.outcomes.iter().zip(baseline.outcomes.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.fingerprint, b.fingerprint, "fingerprint parity for {}", a.id);
+        }
+        assert_eq!(
+            report.trace.content_hash(),
+            baseline.trace.content_hash(),
+            "trace address parity"
+        );
+        assert_eq!(report.trace.file_name(), baseline.trace.file_name());
+    }
+
+    #[test]
+    fn hung_workers_are_detected_and_the_registry_still_completes() {
+        let reg = small_registry();
+        assert!(Path::new("/bin/sleep").exists(), "test needs /bin/sleep");
+        // /bin/sleep never speaks the protocol: the no-progress watchdog
+        // fires, budget 0 means one incarnation per slot, then degradation.
+        let cfg = SvcConfig::new(1)
+            .with_tracing(true)
+            .with_respawn_budget(0)
+            .with_hang_timeout(Duration::from_millis(120))
+            .with_worker_cmd(vec!["/bin/sleep".into(), "60".into()]);
+        let policy = SupervisePolicy::new(0);
+        let (report, stats) = verify_all_svc(&reg, 5, None, &policy, None, |_, p| p, cfg).unwrap();
+        assert!(stats.hangs >= 1, "watchdog must fire");
+        assert!(stats.degraded);
+        assert!(report.all_reproduced());
+    }
+
+    #[test]
+    fn degraded_run_mode_matches_in_process_fingerprints() {
+        let reg = small_registry();
+        let cfg = SvcConfig::new(2)
+            .with_tracing(true)
+            .with_respawn_budget(0)
+            .with_hang_timeout(Duration::from_millis(150))
+            .with_worker_cmd(vec!["/bin/true".into()]);
+        let policy = SupervisePolicy::new(0);
+        let (runs, report, stats) = run_all_svc(&reg, 31, None, &policy, None, cfg).unwrap();
+        assert!(stats.degraded);
+        assert_eq!(runs.len(), reg.len());
+        assert_eq!(report.failed_runs, 0);
+        let exec = Executor::new(2).with_tracing(true);
+        let (base, base_report) = exec.run_all_supervised(&reg, 31, &policy, None);
+        for ((id_a, out_a), (id_b, out_b)) in runs.iter().zip(base.iter()) {
+            assert_eq!(id_a, id_b);
+            let (RunOutcome::Ok { record: a, .. }, RunOutcome::Ok { record: b, .. }) =
+                (out_a, out_b)
+            else {
+                panic!("both paths succeed");
+            };
+            assert_eq!(a.fingerprint(), b.fingerprint());
+        }
+        assert_eq!(
+            report.trace.content_hash(),
+            base_report.trace.content_hash(),
+            "run-mode trace parity under degradation"
+        );
+    }
+}

@@ -47,7 +47,7 @@ pub const DEFAULT_RING_CAPACITY: usize = 512;
 use crate::hash::fnv64;
 
 /// Minimal JSON string escaping for the hand-rolled writer.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -64,7 +64,7 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Inverse of [`json_escape`] for the tiny parser.
-fn json_unescape(s: &str) -> String {
+pub(crate) fn json_unescape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -87,6 +87,18 @@ fn json_unescape(s: &str) -> String {
         }
     }
     out
+}
+
+/// Maps a failure-taxonomy label back onto the `&'static str` the
+/// in-process supervisor emits (see `FailureKind::name`).
+fn intern_taxonomy(s: &str) -> Option<&'static str> {
+    match s {
+        "Panicked" => Some("Panicked"),
+        "TimedOut" => Some("TimedOut"),
+        "Nondeterministic" => Some("Nondeterministic"),
+        "CorruptCache" => Some("CorruptCache"),
+        _ => None,
+    }
 }
 
 /// What a classified cache lookup found — the trace-side mirror of
@@ -251,6 +263,105 @@ impl TraceEvent {
             TraceEvent::Verdict { .. } => "verdict",
             TraceEvent::SimFailures { .. } => "sim-failures",
             TraceEvent::SimRecovery { .. } => "sim-recovery",
+        }
+    }
+
+    /// One self-contained JSON object for this event — the wire form the
+    /// sharded service ships worker-side events in. Uses the exact same
+    /// field renderer as the batch stream, so a worker-computed event
+    /// rendered remotely is byte-identical to the same event rendered
+    /// in-process.
+    pub fn render_json(&self) -> String {
+        let mut out = format!("{{\"ev\":\"{}\"", self.name());
+        self.render_fields(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// Parses one [`TraceEvent::render_json`] object back into an event.
+    ///
+    /// Taxonomy, failure, policy and outcome labels are **interned** onto
+    /// the same `&'static str` values the in-process path uses — an
+    /// unknown label yields `None` rather than an allocated impostor, so
+    /// a parsed stream can never hash differently from a native one.
+    pub fn parse_json(line: &str) -> Option<TraceEvent> {
+        let replica = || ju64(line, "replica").map(|v| v as u32);
+        let attempt = || ju64(line, "attempt").map(|v| v as u32);
+        let boolean = |key: &str| match jraw(line, key) {
+            Some("true") => Some(true),
+            Some("false") => Some(false),
+            _ => None,
+        };
+        match jstr(line, "ev")?.as_str() {
+            "claim" => Some(TraceEvent::Claim { replica: replica()? }),
+            "cache" => {
+                let result = match jstr(line, "result")?.as_str() {
+                    "hit" => CacheResult::Hit,
+                    "miss" => CacheResult::Miss,
+                    "stale" => CacheResult::Stale,
+                    "corrupt" => CacheResult::Corrupt,
+                    _ => return None,
+                };
+                Some(TraceEvent::Cache { result })
+            }
+            "attempt-start" => {
+                Some(TraceEvent::AttemptStart { replica: replica()?, attempt: attempt()? })
+            }
+            "fault" => Some(TraceEvent::Fault {
+                replica: replica()?,
+                attempt: attempt()?,
+                kind: jstr(line, "kind")?,
+            }),
+            "backoff" => Some(TraceEvent::Backoff {
+                replica: replica()?,
+                attempt: attempt()?,
+                millis: ju64(line, "millis")?,
+            }),
+            "attempt-end" => {
+                let outcome = match jstr(line, "outcome")?.as_str() {
+                    "ok" => AttemptOutcome::Ok,
+                    "panicked" => AttemptOutcome::Panicked,
+                    "timed-out" => AttemptOutcome::TimedOut,
+                    _ => return None,
+                };
+                Some(TraceEvent::AttemptEnd { replica: replica()?, attempt: attempt()?, outcome })
+            }
+            "outcome" => Some(TraceEvent::Outcome {
+                replica: replica()?,
+                ok: boolean("ok")?,
+                attempts: ju64(line, "attempts")? as u32,
+                taxonomy: match jstr(line, "taxonomy") {
+                    None => None,
+                    Some(t) => Some(intern_taxonomy(&t)?),
+                },
+            }),
+            "cache-stored" => Some(TraceEvent::CacheStored),
+            "cache-healed" => Some(TraceEvent::CacheHealed),
+            "verdict" => Some(TraceEvent::Verdict {
+                reproduced: boolean("reproduced")?,
+                cached: boolean("cached")?,
+                attempts: ju64(line, "attempts")? as u32,
+                fingerprint: {
+                    let raw = jstr(line, "fingerprint")?;
+                    u64::from_str_radix(raw.strip_prefix("0x")?, 16).ok()?
+                },
+                failure: match jstr(line, "failure") {
+                    None => None,
+                    Some(f) => Some(intern_taxonomy(&f)?),
+                },
+            }),
+            "sim-failures" => {
+                Some(TraceEvent::SimFailures { failures: ju64(line, "failures")? as usize })
+            }
+            "sim-recovery" => Some(TraceEvent::SimRecovery {
+                policy: match jstr(line, "policy")?.as_str() {
+                    "restage" => "restage",
+                    "checkpoint" => "checkpoint",
+                    _ => return None,
+                },
+                overhead_millihours: ju64(line, "overhead_millihours")?,
+            }),
+            _ => None,
         }
     }
 
@@ -604,7 +715,7 @@ impl BatchTrace {
 
 /// Extracts the raw (still-escaped, unquoted) value of `key` from one of
 /// our single-line JSON objects.
-fn jraw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn jraw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
@@ -627,17 +738,17 @@ fn jraw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 }
 
 /// String field (unescaped).
-fn jstr(line: &str, key: &str) -> Option<String> {
+pub(crate) fn jstr(line: &str, key: &str) -> Option<String> {
     jraw(line, key).map(json_unescape)
 }
 
 /// Unsigned integer field.
-fn ju64(line: &str, key: &str) -> Option<u64> {
+pub(crate) fn ju64(line: &str, key: &str) -> Option<u64> {
     jraw(line, key)?.parse().ok()
 }
 
 /// Float field.
-fn jf64(line: &str, key: &str) -> Option<f64> {
+pub(crate) fn jf64(line: &str, key: &str) -> Option<f64> {
     jraw(line, key)?.parse().ok()
 }
 
@@ -1126,6 +1237,50 @@ mod tests {
         // (0.003 → 0.005): the slower one ranks first.
         let first = slow.lines().nth(1).unwrap();
         assert!(first.contains("attempt 1"), "{slow}");
+    }
+
+    #[test]
+    fn event_json_round_trips_every_variant_bitwise() {
+        let events = vec![
+            TraceEvent::Claim { replica: 1 },
+            TraceEvent::Cache { result: CacheResult::Stale },
+            TraceEvent::AttemptStart { replica: 0, attempt: 2 },
+            TraceEvent::Fault { replica: 1, attempt: 0, kind: "delay(40ms) \"q\"".to_string() },
+            TraceEvent::Backoff { replica: 0, attempt: 1, millis: 12 },
+            TraceEvent::AttemptEnd { replica: 0, attempt: 1, outcome: AttemptOutcome::TimedOut },
+            TraceEvent::Outcome { replica: 1, ok: false, attempts: 3, taxonomy: Some("TimedOut") },
+            TraceEvent::Outcome { replica: 0, ok: true, attempts: 1, taxonomy: None },
+            TraceEvent::CacheStored,
+            TraceEvent::CacheHealed,
+            TraceEvent::Verdict {
+                reproduced: false,
+                cached: false,
+                attempts: 2,
+                fingerprint: 0x0123_4567_89AB_CDEF,
+                failure: Some("Nondeterministic"),
+            },
+            TraceEvent::Verdict {
+                reproduced: true,
+                cached: true,
+                attempts: 1,
+                fingerprint: 0,
+                failure: None,
+            },
+            TraceEvent::SimFailures { failures: 3 },
+            TraceEvent::SimRecovery { policy: "checkpoint", overhead_millihours: 250 },
+        ];
+        for ev in &events {
+            let line = ev.render_json();
+            let back =
+                TraceEvent::parse_json(&line).unwrap_or_else(|| panic!("parse failed for {line}"));
+            assert_eq!(&back, ev, "{line}");
+            // Re-rendering the parsed event is byte-identical — the wire
+            // cannot perturb the hashed stream.
+            assert_eq!(back.render_json(), line);
+        }
+        // Unknown labels are rejected, never interned as impostors.
+        assert!(TraceEvent::parse_json("{\"ev\":\"outcome\",\"replica\":0,\"ok\":true,\"attempts\":1,\"taxonomy\":\"Gremlins\"}").is_none());
+        assert!(TraceEvent::parse_json("{\"ev\":\"no-such-event\"}").is_none());
     }
 
     #[test]

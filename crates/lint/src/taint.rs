@@ -5,8 +5,10 @@
 //! builds the [`CallGraph`] and then:
 //!
 //! * seeds taint at **source** sites — wall-clock reads, `std::env`
-//!   reads, ambient RNG, thread ids, unordered-collection use, and the
-//!   per-process-seeded `DefaultHasher`/`RandomState` — and propagates
+//!   reads, ambient RNG, thread ids, unordered-collection use, the
+//!   per-process-seeded `DefaultHasher`/`RandomState`, and process
+//!   spawns whose child inherits the ambient environment (audited by an
+//!   `env_clear` scrub in the spawning function) — and propagates
 //!   it callee → caller to a fixpoint (a breadth-first worklist with a
 //!   visited set, so recursive and mutually-recursive call graphs
 //!   terminate);
@@ -55,17 +57,23 @@ pub enum SourceClass {
     ThreadId,
     /// `DefaultHasher`/`RandomState` — reported as R11, not R8.
     DefaultHasher,
+    /// A process spawn whose child inherits the parent environment — the
+    /// whole ambient env becomes an input to whatever the child computes.
+    /// Audited by scrubbing: a spawn whose enclosing function calls
+    /// `env_clear` pins the child environment and seeds no taint.
+    SpawnEnv,
 }
 
 impl SourceClass {
     /// Every class, in seeding order.
-    pub const ALL: [SourceClass; 6] = [
+    pub const ALL: [SourceClass; 7] = [
         SourceClass::WallClock,
         SourceClass::EnvRead,
         SourceClass::AmbientRandomness,
         SourceClass::UnorderedIteration,
         SourceClass::ThreadId,
         SourceClass::DefaultHasher,
+        SourceClass::SpawnEnv,
     ];
 
     /// Tokens that mark a source of this class in cleaned text.
@@ -77,6 +85,7 @@ impl SourceClass {
             SourceClass::UnorderedIteration => RuleId::UnorderedCollections.tokens(),
             SourceClass::ThreadId => &["thread::current", "ThreadId"],
             SourceClass::DefaultHasher => &["DefaultHasher", "RandomState"],
+            SourceClass::SpawnEnv => &["Command::new"],
         }
     }
 
@@ -88,7 +97,7 @@ impl SourceClass {
             SourceClass::EnvRead => Some(RuleId::EnvRead),
             SourceClass::AmbientRandomness => Some(RuleId::AmbientRandomness),
             SourceClass::UnorderedIteration => Some(RuleId::UnorderedCollections),
-            SourceClass::ThreadId | SourceClass::DefaultHasher => None,
+            SourceClass::ThreadId | SourceClass::DefaultHasher | SourceClass::SpawnEnv => None,
         }
     }
 
@@ -101,6 +110,7 @@ impl SourceClass {
             SourceClass::UnorderedIteration => "unordered-collection iteration",
             SourceClass::ThreadId => "thread identity",
             SourceClass::DefaultHasher => "a per-process-seeded hash",
+            SourceClass::SpawnEnv => "an inherited spawn environment",
         }
     }
 
@@ -296,6 +306,25 @@ fn collect_sources(inputs: &[FlowInput<'_>], graph: &CallGraph) -> Vec<SourceSit
                     .is_some_and(|r| input.allowed.iter().any(|&(l, ar)| l == lineno && ar == r));
                 if audited {
                     continue;
+                }
+                // A spawn that scrubs the child environment is pinned by
+                // construction: with `env_clear` in the enclosing
+                // function, the child sees only what the spawner sets
+                // explicitly, so no ambient environment leaks through.
+                if class == SourceClass::SpawnEnv {
+                    let scrubbed = match graph.fn_at(fi, lineno) {
+                        Some(fid) => {
+                            let f = &graph.fns[fid];
+                            let end = f.body_lines.1.min(input.sc.cleaned.len());
+                            input.sc.cleaned[f.line - 1..end]
+                                .iter()
+                                .any(|l| l.contains("env_clear"))
+                        }
+                        None => line.contains("env_clear"),
+                    };
+                    if scrubbed {
+                        continue;
+                    }
                 }
                 for token in class.tokens() {
                     if rules::find_token(line, token).is_empty() {

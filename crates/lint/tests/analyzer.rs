@@ -152,6 +152,22 @@ fn r8_negative_accepts_logical_counter_stamps() {
 }
 
 #[test]
+fn r8_positive_flags_inherited_spawn_env_reaching_a_fingerprint() {
+    let r = lint_fixture(&["r8_spawn.rs"]);
+    let r8: Vec<_> = r.diagnostics.iter().filter(|d| d.code == "R8").collect();
+    assert_eq!(r8.len(), 2, "{}", r.render_human()); // both fnv64 calls on the sink line
+    let notes = &r8[0].notes;
+    assert!(notes.iter().any(|n| n.contains("inherited spawn environment")), "{notes:?}");
+    assert!(notes.iter().any(|n| n.contains("via `r8_spawn_worker`")), "{notes:?}");
+}
+
+#[test]
+fn r8_negative_accepts_env_scrubbed_spawns() {
+    let r = lint_fixture(&["r8_spawn_ok.rs"]);
+    assert!(r.diagnostics.is_empty(), "{}", r.render_human());
+}
+
+#[test]
 fn r9_positive_flags_completion_order_merge() {
     let r = lint_fixture(&["r9_merge.rs"]);
     assert_eq!(codes(&r), vec!["R9"], "{}", r.render_human());

@@ -1,0 +1,14 @@
+//! R8 positive: a subprocess is spawned with the parent's inherited
+//! environment and the same call chain fingerprints its output — every
+//! ambient env var becomes an uncontrolled input to the cache key. The
+//! spawn must scrub (`env_clear`) before the flow pass trusts it.
+
+fn r8_spawn_worker() -> u64 {
+    let out = std::process::Command::new("worker").output();
+    out.map(|o| o.stdout.len() as u64).unwrap_or(0)
+}
+
+pub fn r8_spawned_key(payload: &[u8]) -> u64 {
+    let stamp = r8_spawn_worker();
+    fnv64(&stamp.to_le_bytes()) ^ fnv64(payload)
+}

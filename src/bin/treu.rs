@@ -11,6 +11,7 @@
 //! treu lint [path]           # static reproducibility analysis
 //! treu soak [seed]           # sustained multi-tenant chaos soak
 //! treu tune [seed]           # autotune matmul schedules into the book
+//! treu worker                # verification worker (spawned, not typed)
 //! ```
 //!
 //! Every run/tables/verify invocation accepts `--jobs N` (or `-j N`):
@@ -32,6 +33,17 @@
 //! every `--jobs` count. `treu trace DIR` renders stored traces and
 //! `treu trace DIR --check` re-verifies them against their addresses.
 //!
+//! Registry-wide `run`, `verify`, `chaos` and `soak` accept `--workers
+//! N`: the batch is sharded across N supervised `treu worker`
+//! subprocesses speaking a length-prefixed frame protocol over
+//! stdin/stdout. `--kill-plan SEED` arms a seeded chaos monkey that
+//! SIGKILLs workers mid-shard (`--kill-rate F` tunes it),
+//! `--respawn-budget N` bounds respawns per worker slot before the
+//! coordinator degrades gracefully to in-process execution, and
+//! `--shard-size N` overrides the auto shard size. Results, fingerprints
+//! and trace addresses are bitwise-identical at every topology and kill
+//! schedule.
+//!
 //! Supervision (run/verify): `--retries N` retries failed attempts under
 //! the deterministic backoff, `--deadline-secs F` arms a per-run
 //! watchdog, `--fault-seed S --fault-rate F` inject a seeded fault plan,
@@ -47,7 +59,8 @@ use treu::core::environment::Environment;
 use treu::core::exec::{
     run_supervised_traced, DenyPolicy, Executor, FailureKind, RunOutcome, SupervisePolicy,
 };
-use treu::core::fault::FaultPlan;
+use treu::core::fault::{FaultPlan, KillPlan};
+use treu::core::svc::{run_all_svc, verify_all_svc, worker_loop, SvcConfig};
 use treu::core::trace::{
     check_trace_file, parse_times, parse_trace, render_slowest, render_timeline,
     render_worker_table, AttemptOutcome, BatchTrace, CacheResult, RunTrace, TraceEvent,
@@ -105,6 +118,21 @@ impl Supervision {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("worker") {
+        // A verification worker: speak the length-prefixed frame protocol
+        // over stdin/stdout until the coordinator says shutdown. Injected
+        // faults panic by design and the in-worker supervisor catches
+        // them, so the default per-panic stderr trace is noise.
+        std::panic::set_hook(Box::new(|_| {}));
+        let reg = treu::full_registry();
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        if let Err(e) = worker_loop(&reg, stdin.lock(), stdout.lock()) {
+            eprintln!("worker: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let jobs = match extract_jobs(&mut args) {
         Ok(j) => j,
         Err(msg) => {
@@ -128,6 +156,14 @@ fn main() {
         }
     };
     let trace_out = trace_out.as_deref();
+    let svc = match extract_svc(&mut args) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let svc = svc.as_ref();
     // `lint` owns its own `--deny` flag; leave its arguments untouched.
     let sup = if args.first().map(String::as_str) == Some("lint") {
         Supervision::default()
@@ -283,6 +319,62 @@ fn main() {
             }
             // No id: run the whole registry through the executor.
             None => {
+                if let Some(svc) = svc {
+                    let (pairs, report, stats) = run_all_svc(
+                        &reg,
+                        seed_arg(1),
+                        cache,
+                        &sup.policy(),
+                        sup.plan().as_ref(),
+                        svc.config(jobs, true),
+                    )
+                    .unwrap_or_else(|e| {
+                        eprintln!("svc: {e}");
+                        std::process::exit(2);
+                    });
+                    for (id, out) in &pairs {
+                        match out {
+                            RunOutcome::Ok { record, attempts } => println!(
+                                "{:<10} {} (seed {}, fingerprint {:#018x}){}",
+                                id,
+                                record.name,
+                                record.seed,
+                                record.fingerprint(),
+                                if *attempts > 1 {
+                                    format!(" [after {attempts} attempts]")
+                                } else {
+                                    String::new()
+                                }
+                            ),
+                            RunOutcome::Failed(f) => println!(
+                                "{:<10} QUARANTINED({}) after {} attempt(s): {}",
+                                id,
+                                f.taxonomy.name(),
+                                f.attempts,
+                                f.last_error
+                            ),
+                        }
+                    }
+                    println!();
+                    print!("{}", report.render());
+                    println!("{}", stats.render());
+                    if let Some(c) = cache {
+                        print!("{}", c.render_stats());
+                    }
+                    if let Some(dir) = trace_out {
+                        write_trace(&report.trace, dir);
+                    }
+                    let retried = pairs.iter().any(|(_, o)| o.is_ok() && o.attempts() > 1);
+                    let gated = match sup.deny() {
+                        DenyPolicy::None => false,
+                        DenyPolicy::Error => report.failed_runs > 0,
+                        DenyPolicy::Warn => report.failed_runs > 0 || retried,
+                    };
+                    if gated {
+                        std::process::exit(1);
+                    }
+                    return;
+                }
                 if sup.active() {
                     let (pairs, report) = exec.run_all_supervised(
                         &reg,
@@ -598,14 +690,40 @@ fn main() {
                 // No id: verify the whole registry under supervision
                 // (with default flags this is exactly the old behaviour).
                 None => {
-                    let report = exec.verify_all_supervised_with(
-                        &reg,
-                        seed_arg(1),
-                        cache,
-                        &sup.policy(),
-                        sup.plan().as_ref(),
-                        |id, d| if sup.conformance { treu::conformance_params(id) } else { d },
-                    );
+                    let params = |id: &str, d| {
+                        if sup.conformance {
+                            treu::conformance_params(id)
+                        } else {
+                            d
+                        }
+                    };
+                    let report = match svc {
+                        Some(svc) => {
+                            let (report, stats) = verify_all_svc(
+                                &reg,
+                                seed_arg(1),
+                                cache,
+                                &sup.policy(),
+                                sup.plan().as_ref(),
+                                params,
+                                svc.config(jobs, true),
+                            )
+                            .unwrap_or_else(|e| {
+                                eprintln!("svc: {e}");
+                                std::process::exit(2);
+                            });
+                            println!("{}", stats.render());
+                            report
+                        }
+                        None => exec.verify_all_supervised_with(
+                            &reg,
+                            seed_arg(1),
+                            cache,
+                            &sup.policy(),
+                            sup.plan().as_ref(),
+                            params,
+                        ),
+                    };
                     print!("{}", report.render());
                     if let Some(c) = cache {
                         print!("{}", c.render_stats());
@@ -620,17 +738,19 @@ fn main() {
             }
         }
         Some("env") => print!("{}", Environment::capture().render()),
-        Some("chaos") => run_chaos(&exec, &reg, seed_arg(1), &sup, trace_out),
-        Some("soak") => run_soak_cmd(&reg, &args[1..], jobs, &sup),
+        Some("chaos") => run_chaos(&exec, &reg, seed_arg(1), &sup, trace_out, svc, jobs),
+        Some("soak") => run_soak_cmd(&reg, &args[1..], jobs, &sup, svc),
         Some("trace") => run_trace(&args[1..]),
         Some("lint") => run_lint(&args[1..], jobs),
         Some("tune") => run_tune_cmd(&args[1..], cache, jobs, &sup),
         _ => {
             eprintln!(
-                "usage: treu <list|run|tables|verify|chaos|trace|env|lint|soak|tune> [...] \
+                "usage: treu <list|run|tables|verify|chaos|trace|env|lint|soak|tune|worker> [...] \
                  [--jobs N] [--cache-dir DIR] [--no-cache] [--trace-out DIR] \
                  [--retries N] [--deadline-secs F] [--fault-seed S] \
-                 [--fault-rate F] [--fault-panic ID] [--deny none|warn|error]"
+                 [--fault-rate F] [--fault-panic ID] [--deny none|warn|error] \
+                 [--workers N] [--kill-plan SEED] [--kill-rate F] \
+                 [--respawn-budget N] [--shard-size N]"
             );
             std::process::exit(2);
         }
@@ -660,12 +780,17 @@ fn run_soak_cmd(
     args: &[String],
     jobs: usize,
     sup: &Supervision,
+    svc: Option<&SvcOpts>,
 ) {
     use treu_bench::soak::{generate, run_soak, SoakConfig, SoakReport};
 
     fn usage_err(msg: String) -> ! {
         eprintln!("{msg}");
         std::process::exit(2);
+    }
+    if let Some(o) = svc {
+        run_svc_soak_cmd(reg, args, sup, o);
+        return;
     }
     let mut cfg = if sup.full { SoakConfig::full(jobs) } else { SoakConfig::quick(jobs) };
     if let Some(s) = sup.fault_seed {
@@ -837,6 +962,88 @@ fn run_soak_cmd(
     }
 }
 
+/// `treu soak --workers N [seed] [--passes N] [--out PATH] [--kill-plan
+/// SEED] [--kill-rate F] [--respawn-budget N] [--enforce]` — the
+/// sharded-service soak: registry-wide verification driven repeatedly
+/// through the coordinator/worker pool at a ladder of `(workers, jobs)`
+/// topologies, with the seeded kill plan SIGKILLing workers mid-shard
+/// when armed. Every pass must land on the fault-free in-process
+/// baseline's trace address and fingerprint digest; throughput per
+/// topology is written to `BENCH_svc.json` (or `--out`). `--enforce`
+/// turns any divergence into exit 1.
+fn run_svc_soak_cmd(
+    reg: &treu::core::ExperimentRegistry,
+    args: &[String],
+    sup: &Supervision,
+    o: &SvcOpts,
+) {
+    use treu_bench::svc::{run_svc_soak, SvcSoakConfig};
+
+    fn usage_err(msg: String) -> ! {
+        eprintln!("{msg}");
+        std::process::exit(2);
+    }
+    let mut cfg = SvcSoakConfig::new(o.workers);
+    cfg.kill_seed = o.kill_seed;
+    cfg.kill_rate = o.kill_rate;
+    cfg.respawn_budget = o.respawn_budget;
+    let mut out_path = "BENCH_svc.json".to_string();
+    let mut seed_pos: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let mut flag_value = |flag: &str| -> Option<String> {
+            if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                return Some(v.to_string());
+            }
+            if arg == flag {
+                if i + 1 >= args.len() {
+                    usage_err(format!("{flag} requires a value"));
+                }
+                i += 1;
+                return Some(args[i].clone());
+            }
+            None
+        };
+        if let Some(v) = flag_value("--passes") {
+            cfg.passes = v.parse::<u32>().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                usage_err(format!("invalid --passes value '{v}' (want a positive integer)"))
+            });
+        } else if let Some(v) = flag_value("--out") {
+            out_path = v;
+        } else if arg.starts_with('-') {
+            usage_err(format!("unknown svc soak flag '{arg}'"));
+        } else if seed_pos.is_none() && arg.parse::<u64>().is_ok() {
+            seed_pos = Some(arg.parse().expect("checked above"));
+        } else {
+            usage_err(format!("unexpected argument '{arg}'"));
+        }
+        i += 1;
+    }
+    if let Some(s) = seed_pos {
+        cfg.seed = s;
+    }
+    // Conformance parameters, as in the multi-tenant soak: the stress is
+    // process churn and shard traffic, not per-run cost.
+    let params_of = |id: &str, _d: treu::core::experiment::Params| treu::conformance_params(id);
+    let report = run_svc_soak(reg, &params_of, &cfg).unwrap_or_else(|e| {
+        eprintln!("svc soak: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", report.render());
+    match std::fs::write(&out_path, report.render_json()) {
+        Ok(()) => println!("svc soak: wrote {out_path}"),
+        Err(e) => {
+            eprintln!("svc soak: cannot write '{out_path}': {e}");
+            std::process::exit(2);
+        }
+    }
+    if sup.enforce && !report.all_converged() {
+        eprintln!("svc soak: FAILED — a topology diverged from the in-process baseline");
+        std::process::exit(1);
+    }
+}
+
 /// `treu chaos [seed] [--fault-seed S] [--rate F] [--retries N]
 /// [--deadline-secs F] [--enforce] [--full]` — the supervision
 /// conformance check: every registered experiment runs fault-free once
@@ -845,12 +1052,21 @@ fn run_soak_cmd(
 /// id must converge to its fault-free fingerprint; `--enforce` turns any
 /// divergence or quarantine into exit 1. Uses the fast conformance
 /// parameters unless `--full` asks for registry defaults.
+///
+/// With `--workers N` the chaos pass runs through the sharded
+/// coordinator/worker service instead of in-process threads, and
+/// `--kill-plan SEED` additionally arms the process-level chaos monkey
+/// that SIGKILLs workers mid-shard — the drill then proves that
+/// supervision, requeue and degradation still converge every id to its
+/// fault-free fingerprint.
 fn run_chaos(
     exec: &Executor,
     reg: &treu::core::ExperimentRegistry,
     seed: u64,
     sup: &Supervision,
     trace_out: Option<&Path>,
+    svc: Option<&SvcOpts>,
+    jobs: usize,
 ) {
     let plan = FaultPlan::transient(sup.fault_seed.unwrap_or(7), sup.fault_rate.unwrap_or(0.2));
     let retries = sup.retries.unwrap_or_else(|| plan.max_transient_attempts());
@@ -874,8 +1090,22 @@ fn run_chaos(
             .expect("id from the registry's own iterator")
             .fingerprint()
     });
-    // The same registry under injected transient chaos.
-    let mut report = exec.verify_all_supervised_with(reg, seed, None, &policy, Some(&plan), params);
+    // The same registry under injected transient chaos — through the
+    // sharded service when --workers is given, in-process otherwise.
+    let mut svc_stats = None;
+    let mut report = match svc {
+        Some(o) => {
+            let (r, stats) =
+                verify_all_svc(reg, seed, None, &policy, Some(&plan), params, o.config(jobs, true))
+                    .unwrap_or_else(|e| {
+                        eprintln!("svc: {e}");
+                        std::process::exit(2);
+                    });
+            svc_stats = Some(stats);
+            r
+        }
+        None => exec.verify_all_supervised_with(reg, seed, None, &policy, Some(&plan), params),
+    };
     let mut diverged = 0usize;
     let mut quarantined = 0usize;
     for (o, base) in report.outcomes.iter().zip(&baseline) {
@@ -915,6 +1145,9 @@ fn run_chaos(
         report.wall_seconds,
         report.jobs
     );
+    if let Some(stats) = &svc_stats {
+        println!("{}", stats.render());
+    }
     if let Some(dir) = trace_out {
         report.trace.kind = "chaos".to_string();
         write_trace(&report.trace, dir);
@@ -1107,6 +1340,112 @@ fn extract_supervision(args: &mut Vec<String>) -> Result<Supervision, String> {
         }
     }
     Ok(sup)
+}
+
+/// Sharded-service settings pulled from the shared command-line flags.
+struct SvcOpts {
+    workers: usize,
+    kill_seed: Option<u64>,
+    kill_rate: Option<f64>,
+    respawn_budget: Option<u32>,
+    shard_size: Option<usize>,
+}
+
+impl SvcOpts {
+    /// The pool configuration these flags ask for. `jobs` is the
+    /// *per-worker* thread count (the shared `--jobs` flag).
+    fn config(&self, jobs: usize, tracing: bool) -> SvcConfig {
+        let mut cfg = SvcConfig::new(self.workers).with_jobs(jobs).with_tracing(tracing);
+        if let Some(n) = self.respawn_budget {
+            cfg = cfg.with_respawn_budget(n);
+        }
+        if let Some(n) = self.shard_size {
+            cfg = cfg.with_shard_size(n);
+        }
+        if let Some(s) = self.kill_seed {
+            let kp = match self.kill_rate {
+                Some(r) => KillPlan::with_rate(s, r),
+                None => KillPlan::new(s),
+            };
+            cfg = cfg.with_kill_plan(kp);
+        }
+        cfg
+    }
+}
+
+/// Removes the sharded-service flags from `args`: `--workers N` routes
+/// registry-wide run/verify/chaos/soak through the coordinator/worker
+/// service; `--kill-plan SEED` arms the seeded chaos-monkey that SIGKILLs
+/// workers mid-shard, `--kill-rate F` tunes its aggression,
+/// `--respawn-budget N` bounds respawns per slot before degradation, and
+/// `--shard-size N` overrides the auto shard size.
+fn extract_svc(args: &mut Vec<String>) -> Result<Option<SvcOpts>, String> {
+    let mut workers: Option<usize> = None;
+    let mut kill_seed: Option<u64> = None;
+    let mut kill_rate: Option<f64> = None;
+    let mut respawn_budget: Option<u32> = None;
+    let mut shard_size: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        let mut take = |flag: &str| -> Result<Option<String>, String> {
+            if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                args.remove(i);
+                return Ok(Some(v.to_string()));
+            }
+            if arg == flag {
+                if i + 1 >= args.len() {
+                    return Err(format!("{flag} requires a value"));
+                }
+                let v = args.remove(i + 1);
+                args.remove(i);
+                return Ok(Some(v));
+            }
+            Ok(None)
+        };
+        if let Some(v) = take("--workers")? {
+            workers = Some(v.parse::<usize>().ok().filter(|&w| w >= 1).ok_or_else(|| {
+                format!("invalid --workers value '{v}' (want a positive integer)")
+            })?);
+        } else if let Some(v) = take("--kill-plan")? {
+            kill_seed = Some(
+                v.parse::<u64>()
+                    .map_err(|_| format!("invalid --kill-plan value '{v}' (want a seed)"))?,
+            );
+        } else if let Some(v) = take("--kill-rate")? {
+            kill_rate = Some(
+                v.parse::<f64>()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or_else(|| format!("invalid --kill-rate value '{v}' (want 0.0..=1.0)"))?,
+            );
+        } else if let Some(v) = take("--respawn-budget")? {
+            respawn_budget =
+                Some(v.parse::<u32>().map_err(|_| {
+                    format!("invalid --respawn-budget value '{v}' (want an integer)")
+                })?);
+        } else if let Some(v) = take("--shard-size")? {
+            shard_size = Some(v.parse::<usize>().ok().filter(|&s| s >= 1).ok_or_else(|| {
+                format!("invalid --shard-size value '{v}' (want a positive integer)")
+            })?);
+        } else {
+            i += 1;
+        }
+    }
+    let Some(workers) = workers else {
+        if kill_seed.is_some()
+            || kill_rate.is_some()
+            || respawn_budget.is_some()
+            || shard_size.is_some()
+        {
+            return Err(
+                "--kill-plan/--kill-rate/--respawn-budget/--shard-size require --workers N"
+                    .to_string(),
+            );
+        }
+        return Ok(None);
+    };
+    Ok(Some(SvcOpts { workers, kill_seed, kill_rate, respawn_budget, shard_size }))
 }
 
 /// `treu trace <DIR|FILE> [--check] [--top N]` — inspects stored traces.
