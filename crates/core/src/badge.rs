@@ -40,8 +40,13 @@ pub struct ClaimCheck {
 
 impl ClaimCheck {
     /// Relative error of the rerun against the claim (absolute error when
-    /// the claimed value is zero).
+    /// the claimed value is zero). `NaN` when either side is not finite —
+    /// use [`ClaimCheck::is_finite`] to distinguish "measurement broken"
+    /// from "measurement missed".
     pub fn relative_error(&self) -> f64 {
+        if !self.is_finite() {
+            return f64::NAN;
+        }
         if self.claimed == 0.0 {
             (self.measured - self.claimed).abs()
         } else {
@@ -49,9 +54,17 @@ impl ClaimCheck {
         }
     }
 
+    /// Whether both the claimed and measured values are finite numbers.
+    /// A NaN or infinite measurement means the rerun produced no usable
+    /// evidence at all, which is a different failure from a numeric miss.
+    pub fn is_finite(&self) -> bool {
+        self.claimed.is_finite() && self.measured.is_finite()
+    }
+
     /// Whether the rerun reproduces the claim within `tolerance`.
+    /// Non-finite measurements never reproduce anything.
     pub fn within(&self, tolerance: f64) -> bool {
-        self.relative_error() <= tolerance
+        self.is_finite() && self.relative_error() <= tolerance
     }
 }
 
@@ -113,6 +126,16 @@ pub fn evaluate(artifact: &Artifact, available: bool, checks: &[ClaimCheck]) -> 
     for claim in &artifact.claims {
         match checks.iter().find(|c| c.claim_id == claim.id) {
             Some(check) if check.within(claim.tolerance) => {}
+            Some(check) if !check.is_finite() => {
+                // A NaN/infinite measurement is not a near-miss: the rerun
+                // produced no comparable number, so say that instead of a
+                // meaningless "off by NaN%".
+                reproduced = false;
+                withheld.push(format!(
+                    "Reproduced: claim {} measurement is not finite (measured {}, claimed {}) — no numeric comparison possible",
+                    claim.id, check.measured, check.claimed
+                ));
+            }
             Some(check) => {
                 reproduced = false;
                 withheld.push(format!(
@@ -213,6 +236,40 @@ mod tests {
         assert!(e.has(Badge::ArtifactsFunctional));
         assert!(!e.has(Badge::ResultsReproduced));
         assert!(e.withheld.iter().any(|w| w.contains("no claims")));
+    }
+
+    #[test]
+    fn nan_measurement_withheld_with_distinct_reason() {
+        let mut checks = good_checks();
+        checks[0].measured = f64::NAN;
+        let e = evaluate(&good_artifact(), true, &checks);
+        assert!(e.has(Badge::ArtifactsFunctional));
+        assert!(!e.has(Badge::ResultsReproduced));
+        let reason =
+            e.withheld.iter().find(|w| w.contains("C1")).expect("C1 withheld reason present");
+        assert!(reason.contains("not finite"), "distinct non-finite reason, got: {reason}");
+        assert!(reason.contains("NaN"), "names the NaN measurement: {reason}");
+        assert!(!reason.contains("off by"), "must not read as a numeric miss: {reason}");
+    }
+
+    #[test]
+    fn infinite_measurement_withheld_with_distinct_reason() {
+        let mut checks = good_checks();
+        checks[1].measured = f64::INFINITY;
+        let e = evaluate(&good_artifact(), true, &checks);
+        assert!(!e.has(Badge::ResultsReproduced));
+        let reason = e.withheld.iter().find(|w| w.contains("C2")).expect("C2 withheld");
+        assert!(reason.contains("not finite") && reason.contains("inf"), "{reason}");
+    }
+
+    #[test]
+    fn non_finite_checks_never_within() {
+        let c = ClaimCheck { claim_id: "n".into(), claimed: 1.0, measured: f64::NAN };
+        assert!(!c.is_finite());
+        assert!(!c.within(f64::INFINITY), "even an infinite tolerance cannot absolve NaN");
+        assert!(c.relative_error().is_nan());
+        let c = ClaimCheck { claim_id: "i".into(), claimed: 1.0, measured: f64::INFINITY };
+        assert!(!c.within(1e300));
     }
 
     #[test]

@@ -55,7 +55,10 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-const MAGIC: &str = "treu-cache v2";
+// v3: the trail grammar inside entries gained escaping (provenance render
+// is now injective), so v2 bodies could parse differently — old entries
+// classify as Stale and refresh rather than risk a silent re-read skew.
+const MAGIC: &str = "treu-cache v3";
 
 /// Counters for one cache handle's lifetime.
 ///
@@ -469,18 +472,11 @@ impl RunCache {
     }
 
     fn run_path(&self, id: &str, seed: u64, params: &Params) -> PathBuf {
-        let key = fnv64_parts(&[
-            b"run",
-            id.as_bytes(),
-            &seed.to_le_bytes(),
-            canonical_params(params).as_bytes(),
-        ]);
-        self.dir.join(format!("{key:016x}.run"))
+        self.dir.join(run_entry_file(id, seed, params))
     }
 
     fn blob_path(&self, kind: &str, tag: &str) -> PathBuf {
-        let key = fnv64_parts(&[b"blob", kind.as_bytes(), tag.as_bytes()]);
-        self.dir.join(format!("{key:016x}.txt"))
+        self.dir.join(blob_entry_file(kind, tag))
     }
 
     /// Looks up the cached record for `(id, seed, params)`.
@@ -856,6 +852,47 @@ fn parse_run_entry(text: &str, expect_fingerprint: u64, expect_seed: u64) -> Ent
         Some(rec) => EntryParse::Ok(rec),
         None => EntryParse::Corrupt,
     }
+}
+
+/// Content-addressed file name of the run entry for `(id, seed, params)`
+/// — the same FNV-1a address [`RunCache`] uses internally, exposed so the
+/// attestation layer ([`crate::attest`]) can name cache products without
+/// holding a cache handle.
+pub fn run_entry_file(id: &str, seed: u64, params: &Params) -> String {
+    let key = fnv64_parts(&[
+        b"run",
+        id.as_bytes(),
+        &seed.to_le_bytes(),
+        canonical_params(params).as_bytes(),
+    ]);
+    format!("{key:016x}.run")
+}
+
+/// Content-addressed file name of the blob entry for `(kind, tag)`.
+pub fn blob_entry_file(kind: &str, tag: &str) -> String {
+    let key = fnv64_parts(&[b"blob", kind.as_bytes(), tag.as_bytes()]);
+    format!("{key:016x}.txt")
+}
+
+/// The topology-stable portion of a run entry's text: the rendered trail
+/// body after the `trail` header line. The header's `wall` line varies
+/// between otherwise identical runs, so content addresses over entries
+/// must hash only the body. `None` when the text is not a current-format
+/// run entry.
+pub fn run_entry_body(text: &str) -> Option<&str> {
+    let mut rest = text.strip_prefix(MAGIC)?.strip_prefix('\n')?;
+    for prefix in ["fingerprint ", "name ", "seed ", "wall ", "checksum "] {
+        rest = rest.strip_prefix(prefix)?.split_once('\n')?.1;
+    }
+    rest.strip_prefix("trail\n")
+}
+
+/// The payload of a blob entry, ignoring the fingerprint header. `None`
+/// when the text is not a current-format blob entry.
+pub fn blob_entry_payload(text: &str) -> Option<&str> {
+    let rest = text.strip_prefix(MAGIC)?.strip_prefix('\n')?;
+    let rest = rest.strip_prefix("fingerprint ")?.split_once('\n')?.1;
+    rest.strip_prefix("payload\n")
 }
 
 /// Parses a `.txt` blob entry; `None` means stale or malformed.

@@ -21,6 +21,11 @@
 //!   first-class and completeness is checked for each separately.
 //! * [`badge`] — ACM-style badge evaluation (Available / Functional /
 //!   Results Reproduced) computed from an artifact spec plus run evidence.
+//! * [`attest`] — in-toto-style attestation: each pipeline step (run →
+//!   verify → badge) emits a MAC-sealed **link** naming its materials and
+//!   products as FNV-1a content addresses, chained into a Merkle DAG
+//!   rooted in a **layout** document; `treu attest verify` walks the
+//!   chain and pinpoints the first step whose products were tampered.
 //! * [`registry`] — the per-experiment index required by DESIGN.md: every
 //!   table/figure id maps to a runnable entry.
 //! * [`study`] — the human-centered-computing substrate for §2.1: diary
@@ -61,6 +66,7 @@
 
 pub mod aggregate;
 pub mod artifact;
+pub mod attest;
 pub mod badge;
 pub mod cache;
 pub mod environment;
@@ -76,6 +82,7 @@ pub mod svc;
 pub mod sweep;
 pub mod trace;
 
+pub use attest::{AttestKey, AttestStore, ChainReport, Layout, Link, LinkDraft};
 pub use cache::{CacheStats, RunCache};
 pub use exec::{
     DenyPolicy, ExecReport, Executor, FailureKind, RunFailure, RunOutcome, SupervisePolicy,

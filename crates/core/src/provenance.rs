@@ -11,6 +11,106 @@
 //! Metric values are hashed via their IEEE-754 bit patterns, so the
 //! fingerprint is sensitive to any numeric difference, including ones far
 //! below printing precision.
+//!
+//! The rendered text form escapes structural characters (backslash,
+//! newline, carriage return, and — in key position — `=` and `<`) so that
+//! [`Trail::parse`] is the exact inverse of [`Trail::render`] for *any*
+//! event content: a parameter key containing `" = "` or a note containing
+//! an embedded newline can no longer forge extra lines or re-split into
+//! different events. This matters beyond cosmetics: the attestation layer
+//! ([`crate::attest`]) content-addresses rendered trail text, so the
+//! text form must be injective.
+
+/// Escapes a string for value position in a rendered line: `\` → `\\`,
+/// newline → `\n`, carriage return → `\r`. Keeps every line one line.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a string for key position (left of a ` = ` or ` <- `
+/// separator): everything [`escape_text`] escapes, plus `=` → `\=` and
+/// `<` → `\<`, so the first unescaped separator in a line is always the
+/// real one.
+pub fn escape_key(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '=' => out.push_str("\\="),
+            '<' => out.push_str("\\<"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Exact inverse of [`escape_text`]/[`escape_key`]. Fails closed: an
+/// unknown escape sequence or a dangling trailing backslash returns
+/// `None` instead of guessing.
+pub fn unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            '=' => out.push('='),
+            '<' => out.push('<'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Renders an `f64` so that parsing the text recovers the exact bit
+/// pattern. Finite values use Rust's shortest-round-trip formatting;
+/// non-canonical NaNs (any payload other than `f64::NAN`) carry their
+/// bits explicitly as `NaN#<16 hex digits>`.
+fn render_f64(v: f64) -> String {
+    if v.is_nan() && v.to_bits() != f64::NAN.to_bits() {
+        format!("NaN#{:016x}", v.to_bits())
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Exact inverse of [`render_f64`]; also accepts any standard float
+/// literal Rust's `f64::from_str` does.
+fn parse_f64(s: &str) -> Option<f64> {
+    if let Some(hex) = s.strip_prefix("NaN#") {
+        let v = f64::from_bits(u64::from_str_radix(hex, 16).ok()?);
+        return v.is_nan().then_some(v);
+    }
+    s.parse().ok()
+}
+
+/// Parses a rendered seed of the form `0x<1..=16 hex digits>`. Exactly
+/// one `0x` prefix is stripped — `0x0x2a` is malformed, not `0x2a` — and
+/// every remaining character must be a hex digit (so `from_str_radix`
+/// leniencies like a leading `+` are rejected too).
+fn parse_seed(s: &str) -> Option<u64> {
+    let hex = s.strip_prefix("0x")?;
+    if hex.is_empty() || hex.len() > 16 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
 
 /// One provenance event.
 #[derive(Debug, Clone, PartialEq)]
@@ -155,9 +255,11 @@ impl Trail {
     /// Parses a trail back from its [`Trail::render`] text, enabling
     /// plain-text archival of run provenance alongside an artifact.
     ///
-    /// Returns `None` on any malformed line. Metric values round-trip
-    /// bitwise because `render` prints full `f64` precision and Rust's
-    /// float formatting is shortest-round-trip.
+    /// Exact inverse of [`Trail::render`]: keys and values are unescaped
+    /// after splitting on the first unescaped separator, metric values
+    /// round-trip bitwise (including non-canonical NaN payloads via the
+    /// `NaN#<bits>` form), and seeds must carry exactly one `0x` prefix.
+    /// Returns `None` on any malformed line, unknown escape, or bad seed.
     pub fn parse(text: &str) -> Option<Trail> {
         let mut t = Trail::new();
         for line in text.lines() {
@@ -167,16 +269,16 @@ impl Trail {
             }
             if let Some(rest) = line.strip_prefix("param  ") {
                 let (k, v) = rest.split_once(" = ")?;
-                t.param(k, v);
+                t.param(&unescape(k)?, unescape(v)?);
             } else if let Some(rest) = line.strip_prefix("rng    ") {
                 let (tag, seed) = rest.split_once(" <- ")?;
-                let seed = u64::from_str_radix(seed.trim().trim_start_matches("0x"), 16).ok()?;
-                t.rng_stream(tag, seed);
+                let seed = parse_seed(seed.trim())?;
+                t.rng_stream(&unescape(tag)?, seed);
             } else if let Some(rest) = line.strip_prefix("metric ") {
                 let (name, v) = rest.split_once(" = ")?;
-                t.metric(name, v.trim().parse().ok()?);
+                t.metric(&unescape(name)?, parse_f64(v.trim())?);
             } else if let Some(rest) = line.strip_prefix("note   ") {
-                t.note(rest);
+                t.note(unescape(rest)?);
             } else {
                 return None;
             }
@@ -185,18 +287,28 @@ impl Trail {
     }
 
     /// Renders the trail as indented plain text for reports and debugging.
+    ///
+    /// Structural characters in event content are escaped (see the module
+    /// docs), so the rendered form is injective: distinct trails render to
+    /// distinct text and [`Trail::parse`] recovers the events exactly.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for e in &self.events {
             match e {
-                Event::Param { key, value } => out.push_str(&format!("  param  {key} = {value}\n")),
+                Event::Param { key, value } => out.push_str(&format!(
+                    "  param  {} = {}\n",
+                    escape_key(key),
+                    escape_text(value)
+                )),
                 Event::RngStream { tag, seed } => {
-                    out.push_str(&format!("  rng    {tag} <- {seed:#018x}\n"))
+                    out.push_str(&format!("  rng    {} <- {seed:#018x}\n", escape_key(tag)))
                 }
-                Event::Metric { name, value } => {
-                    out.push_str(&format!("  metric {name} = {value}\n"))
-                }
-                Event::Note(text) => out.push_str(&format!("  note   {text}\n")),
+                Event::Metric { name, value } => out.push_str(&format!(
+                    "  metric {} = {}\n",
+                    escape_key(name),
+                    render_f64(*value)
+                )),
+                Event::Note(text) => out.push_str(&format!("  note   {}\n", escape_text(text))),
             }
         }
         out
@@ -298,6 +410,76 @@ mod tests {
         assert_eq!(Trail::parse("rng    x <- zz"), None);
         // Empty text parses to the empty trail.
         assert_eq!(Trail::parse(""), Some(Trail::new()));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_seeds() {
+        // Exactly one 0x prefix: the old trim_start_matches("0x") accepted
+        // a repeated prefix, silently reading 0x0x2a as 0x2a.
+        assert_eq!(Trail::parse("rng    x <- 0x0x2a"), None);
+        // from_str_radix's leading-sign leniency must not leak through.
+        assert_eq!(Trail::parse("rng    x <- 0x+2a"), None);
+        // The prefix is mandatory and the digits non-empty, <= 16.
+        assert_eq!(Trail::parse("rng    x <- 2a"), None);
+        assert_eq!(Trail::parse("rng    x <- 0x"), None);
+        assert_eq!(Trail::parse("rng    x <- 0x00000000000000001"), None);
+        // A well-formed seed still parses.
+        let t = Trail::parse("rng    x <- 0x2a").expect("valid seed");
+        assert_eq!(t.events()[0], Event::RngStream { tag: "x".into(), seed: 0x2a });
+    }
+
+    #[test]
+    fn adversarial_content_roundtrips_exactly() {
+        let mut t = Trail::new();
+        t.param("key = with separator", "value\nwith newline");
+        t.param("tricky\\=", " leading and trailing ");
+        t.metric("name <- arrow", f64::NAN);
+        t.metric("naïve ünicode", f64::NEG_INFINITY);
+        t.metric("neg zero", -0.0);
+        t.rng_stream("tag <- fake", 0xDEAD);
+        t.note("note that looks like\n  param  x = 1");
+        t.note("");
+        let rendered = t.render();
+        let parsed = Trail::parse(&rendered).expect("escaped text parses");
+        // NaN breaks PartialEq, so compare the canonical encodings.
+        assert_eq!(parsed.render(), rendered);
+        assert_eq!(parsed.fingerprint(), t.fingerprint());
+        assert_eq!(parsed.len(), t.len());
+        // The forged note must still be one note, not a param event.
+        assert!(matches!(&parsed.events()[6], Event::Note(n) if n.contains("param  x = 1")));
+    }
+
+    #[test]
+    fn injection_cannot_forge_events() {
+        // Before escaping, this key re-split into a different param and the
+        // value's newline forged a second line that parse rejected (or
+        // worse, accepted as a foreign event).
+        let mut t = Trail::new();
+        t.param("a = b", "c");
+        let parsed = Trail::parse(&t.render()).expect("parses");
+        assert_eq!(parsed, t);
+        assert_eq!(parsed.events().len(), 1);
+        assert_eq!(parsed.events()[0], Event::Param { key: "a = b".into(), value: "c".into() });
+    }
+
+    #[test]
+    fn unescape_fails_closed() {
+        assert_eq!(unescape("trailing\\"), None);
+        assert_eq!(unescape("unknown \\q escape"), None);
+        assert_eq!(unescape("fine \\\\ \\n \\r \\= \\<"), Some("fine \\ \n \r = <".into()));
+    }
+
+    #[test]
+    fn noncanonical_nan_roundtrips_bitwise() {
+        let payload = f64::from_bits(0x7FF8_0000_0000_BEEF);
+        let mut t = Trail::new();
+        t.metric("weird", payload);
+        let rendered = t.render();
+        assert!(rendered.contains("NaN#7ff800000000beef"), "{rendered}");
+        let parsed = Trail::parse(&rendered).expect("parses");
+        assert_eq!(parsed.fingerprint(), t.fingerprint(), "bitwise NaN payload roundtrip");
+        // A NaN# form whose bits are not actually a NaN is malformed.
+        assert_eq!(Trail::parse("metric x = NaN#0000000000000001"), None);
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //! existing schedule-independent trace stream: fingerprints and trace
 //! addresses are bitwise-identical at every (process count, jobs-per-worker,
 //! kill schedule) topology.
+//!
+//! Attestation links ([`crate::attest`]) are emitted **coordinator-side
+//! only**, after the merged report is assembled: workers never see
+//! `--attest-dir`, cannot race on the chain, and because every address a
+//! link names is schedule-independent, the sealed link bytes — MAC
+//! included — are identical at every topology (DESIGN §15–16).
 
 use std::collections::VecDeque;
 use std::io::{self, BufRead, Write};

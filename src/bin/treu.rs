@@ -8,6 +8,7 @@
 //! treu chaos [seed]          # verify under injected transient faults
 //! treu trace <dir|file>      # render or --check stored run traces
 //! treu env                   # print the captured environment
+//! treu attest <init|show|verify|badge>   # attestation chain ops
 //! treu lint [path]           # static reproducibility analysis
 //! treu soak [seed]           # sustained multi-tenant chaos soak
 //! treu tune [seed]           # autotune matmul schedules into the book
@@ -44,6 +45,18 @@
 //! and trace addresses are bitwise-identical at every topology and kill
 //! schedule.
 //!
+//! Registry-wide `run` and `verify` also accept `--attest-dir DIR` (and
+//! `--attest-key FILE`): after the batch completes, the coordinator
+//! seals an in-toto-style **link** into DIR naming everything the step
+//! consumed and produced as content addresses, chained by a keyed MAC to
+//! the previous link and rooted in the layout document. `treu attest
+//! init` provisions the directory, `treu attest show` prints the chain,
+//! `treu attest verify` walks it and pinpoints the first step whose
+//! products were tampered, and `treu attest badge` turns a verified
+//! chain into an ACM-style badge evaluation. Links are emitted
+//! coordinator-side only, so their bytes are identical at every
+//! `(workers, jobs)` topology.
+//!
 //! Supervision (run/verify): `--retries N` retries failed attempts under
 //! the deterministic backoff, `--deadline-secs F` arms a per-run
 //! watchdog, `--fault-seed S --fault-rate F` inject a seeded fault plan,
@@ -54,17 +67,24 @@
 
 use std::path::{Path, PathBuf};
 
-use treu::core::cache::{CacheBound, RunCache};
+use treu::core::artifact::Artifact;
+use treu::core::attest::{
+    hash_bytes, verify_chain, AttestKey, AttestStore, Layout, Link, LinkDraft, VerifyContext,
+};
+use treu::core::badge::{evaluate, Badge, ClaimCheck};
+use treu::core::cache::{run_entry_file, CacheBound, RunCache};
 use treu::core::environment::Environment;
 use treu::core::exec::{
     run_supervised_traced, DenyPolicy, Executor, FailureKind, RunOutcome, SupervisePolicy,
 };
+use treu::core::experiment::Params;
 use treu::core::fault::{FaultPlan, KillPlan};
 use treu::core::svc::{run_all_svc, verify_all_svc, worker_loop, SvcConfig};
 use treu::core::trace::{
     check_trace_file, parse_times, parse_trace, render_slowest, render_timeline,
     render_worker_table, AttemptOutcome, BatchTrace, CacheResult, RunTrace, TraceEvent,
 };
+use treu::core::ExperimentRegistry;
 use treu::lint::{DenyLevel, Lint, RuleId, Workspace};
 use treu::surveys::{analysis, Cohort};
 
@@ -164,6 +184,14 @@ fn main() {
         }
     };
     let svc = svc.as_ref();
+    let attest = match extract_attest(&mut args) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let attest = attest.as_ref();
     // `lint` owns its own `--deny` flag; leave its arguments untouched.
     let sup = if args.first().map(String::as_str) == Some("lint") {
         Supervision::default()
@@ -195,6 +223,12 @@ fn main() {
                     eprintln!("unknown experiment id '{id}'; try `treu list`");
                     std::process::exit(1);
                 };
+                if attest.is_some() {
+                    eprintln!(
+                        "attest: links attest whole-registry batches; \
+                         --attest-dir is ignored for a single-id run"
+                    );
+                }
                 if sup.active() {
                     // treu-lint: allow(wall-clock, reason = "trace timestamps live in the non-hashed sidecar")
                     let epoch = std::time::Instant::now();
@@ -364,6 +398,19 @@ fn main() {
                     if let Some(dir) = trace_out {
                         write_trace(&report.trace, dir);
                     }
+                    if let Some(at) = attest {
+                        // Coordinator-side only: workers never touch the chain.
+                        let mut d = LinkDraft::new("run", seed_arg(1));
+                        d.absorb_run_outcomes(&pairs);
+                        attest_emit(
+                            at,
+                            &reg,
+                            d,
+                            cache,
+                            &|_, p| p,
+                            trace_out.map(|_| &report.trace),
+                        );
+                    }
                     let retried = pairs.iter().any(|(_, o)| o.is_ok() && o.attempts() > 1);
                     let gated = match sup.deny() {
                         DenyPolicy::None => false,
@@ -410,6 +457,18 @@ fn main() {
                     if let Some(dir) = trace_out {
                         write_trace(&report.trace, dir);
                     }
+                    if let Some(at) = attest {
+                        let mut d = LinkDraft::new("run", seed_arg(1));
+                        d.absorb_run_outcomes(&pairs);
+                        attest_emit(
+                            at,
+                            &reg,
+                            d,
+                            cache,
+                            &|_, p| p,
+                            trace_out.map(|_| &report.trace),
+                        );
+                    }
                     let retried = pairs.iter().any(|(_, o)| o.is_ok() && o.attempts() > 1);
                     let gated = match sup.deny() {
                         DenyPolicy::None => false,
@@ -438,6 +497,11 @@ fn main() {
                 }
                 if let Some(dir) = trace_out {
                     write_trace(&report.trace, dir);
+                }
+                if let Some(at) = attest {
+                    let mut d = LinkDraft::new("run", seed_arg(1));
+                    d.absorb_run_records(&records);
+                    attest_emit(at, &reg, d, cache, &|_, p| p, trace_out.map(|_| &report.trace));
                 }
             }
         },
@@ -481,6 +545,12 @@ fn main() {
                         eprintln!("unknown experiment id '{id}'");
                         std::process::exit(1);
                     };
+                    if attest.is_some() {
+                        eprintln!(
+                            "attest: links attest whole-registry batches; \
+                             --attest-dir is ignored for a single-id verify"
+                        );
+                    }
                     if sup.active() {
                         let policy = sup.policy();
                         let plan = sup.plan();
@@ -731,6 +801,13 @@ fn main() {
                     if let Some(dir) = trace_out {
                         write_trace(&report.trace, dir);
                     }
+                    if let Some(at) = attest {
+                        // Coordinator-side only: the svc workers never see
+                        // the chain, so link bytes are topology-invariant.
+                        let mut d = LinkDraft::new("verify", seed_arg(1));
+                        d.absorb_verify(&report);
+                        attest_emit(at, &reg, d, cache, &params, trace_out.map(|_| &report.trace));
+                    }
                     if report.exceeds(sup.deny()) {
                         std::process::exit(1);
                     }
@@ -738,6 +815,7 @@ fn main() {
             }
         }
         Some("env") => print!("{}", Environment::capture().render()),
+        Some("attest") => run_attest_cmd(&args[1..], &reg, attest, cache, trace_out, &sup),
         Some("chaos") => run_chaos(&exec, &reg, seed_arg(1), &sup, trace_out, svc, jobs),
         Some("soak") => run_soak_cmd(&reg, &args[1..], jobs, &sup, svc),
         Some("trace") => run_trace(&args[1..]),
@@ -745,8 +823,9 @@ fn main() {
         Some("tune") => run_tune_cmd(&args[1..], cache, jobs, &sup),
         _ => {
             eprintln!(
-                "usage: treu <list|run|tables|verify|chaos|trace|env|lint|soak|tune|worker> [...] \
-                 [--jobs N] [--cache-dir DIR] [--no-cache] [--trace-out DIR] \
+                "usage: treu <list|run|tables|verify|chaos|trace|env|attest|lint|soak|tune|worker> \
+                 [...] [--jobs N] [--cache-dir DIR] [--no-cache] [--trace-out DIR] \
+                 [--attest-dir DIR] [--attest-key FILE] \
                  [--retries N] [--deadline-secs F] [--fault-seed S] \
                  [--fault-rate F] [--fault-panic ID] [--deny none|warn|error] \
                  [--workers N] [--kill-plan SEED] [--kill-rate F] \
@@ -1579,6 +1658,328 @@ fn write_trace(trace: &BatchTrace, dir: &Path) {
             eprintln!("trace: write failed under '{}': {e}", dir.display());
             std::process::exit(2);
         }
+    }
+}
+
+/// Seed for the deterministically derived default attestation key, used
+/// when `--attest-dir` is given but no key file exists yet. Derivation
+/// is deterministic so the whole pipeline (including the topology
+/// conformance drill) stays reproducible; provision a real key file for
+/// anything beyond tamper-evidence.
+const ATTEST_DEFAULT_KEY_SEED: u64 = 2023;
+
+/// Attestation settings pulled from `--attest-dir DIR` and
+/// `--attest-key FILE`. The key file defaults to `DIR/attest.key`.
+struct AttestOpts {
+    dir: PathBuf,
+    key: Option<PathBuf>,
+}
+
+impl AttestOpts {
+    fn store(&self) -> AttestStore {
+        AttestStore::open(&self.dir)
+    }
+
+    /// The key file path in effect: `--attest-key`, else `DIR/attest.key`.
+    fn key_path(&self) -> PathBuf {
+        self.key.clone().unwrap_or_else(|| self.store().key_path())
+    }
+
+    /// Loads the key, failing the process when it is absent or invalid.
+    fn require_key(&self) -> AttestKey {
+        let path = self.key_path();
+        AttestKey::load(&path).unwrap_or_else(|e| {
+            eprintln!(
+                "attest: cannot load key '{}': {e} (run `treu attest init` or pass --attest-key)",
+                path.display()
+            );
+            std::process::exit(2);
+        })
+    }
+
+    /// Loads the key, deriving and writing the deterministic default on
+    /// first use so a bare `--attest-dir` works out of the box. An
+    /// explicit `--attest-key` is never auto-created — a typo there must
+    /// not silently mint a new identity.
+    fn load_or_init_key(&self, seed: u64) -> AttestKey {
+        if self.key.is_some() || self.key_path().is_file() {
+            return self.require_key();
+        }
+        let key = AttestKey::derive(seed);
+        match self.store().write_key(&key) {
+            Ok(p) => {
+                println!(
+                    "attest: wrote key {} (fingerprint {:#018x})",
+                    p.display(),
+                    key.fingerprint()
+                );
+                key
+            }
+            Err(e) => {
+                eprintln!("attest: cannot write key '{}': {e}", self.key_path().display());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Writes the default run→verify→badge layout when the store has none.
+    fn ensure_layout(&self, key: &AttestKey) {
+        let store = self.store();
+        if store.initialized() {
+            return;
+        }
+        match store.write_layout(&Layout::default_pipeline(key)) {
+            Ok(p) => println!("attest: wrote default layout {}", p.display()),
+            Err(e) => {
+                eprintln!("attest: cannot write layout: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Removes `--attest-dir DIR` and `--attest-key FILE` (or the `=`-joined
+/// forms) from `args`. `--attest-key` alone is a usage error — the key
+/// names no chain without a directory.
+fn extract_attest(args: &mut Vec<String>) -> Result<Option<AttestOpts>, String> {
+    let mut dir: Option<PathBuf> = None;
+    let mut key: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        if arg == "--attest-dir" {
+            if i + 1 >= args.len() {
+                return Err("--attest-dir requires a value".to_string());
+            }
+            dir = Some(PathBuf::from(args.remove(i + 1)));
+            args.remove(i);
+        } else if let Some(v) = arg.strip_prefix("--attest-dir=") {
+            dir = Some(PathBuf::from(v));
+            args.remove(i);
+        } else if arg == "--attest-key" {
+            if i + 1 >= args.len() {
+                return Err("--attest-key requires a value".to_string());
+            }
+            key = Some(PathBuf::from(args.remove(i + 1)));
+            args.remove(i);
+        } else if let Some(v) = arg.strip_prefix("--attest-key=") {
+            key = Some(PathBuf::from(v));
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    match (dir, key) {
+        (Some(dir), key) => Ok(Some(AttestOpts { dir, key })),
+        (None, Some(_)) => Err("--attest-key requires --attest-dir".to_string()),
+        (None, None) => Ok(None),
+    }
+}
+
+/// Seals one pipeline step's link onto the chain: the draft's run
+/// products plus root materials (registry index, environment), the
+/// cache entry behind every attested run, and the trace stream when one
+/// was written. Called on the coordinator after the batch has merged, so
+/// the link bytes are identical at every `(workers, jobs)` topology.
+fn attest_emit(
+    at: &AttestOpts,
+    reg: &ExperimentRegistry,
+    mut draft: LinkDraft,
+    cache: Option<&RunCache>,
+    params_of: &dyn Fn(&str, Params) -> Params,
+    trace: Option<&BatchTrace>,
+) {
+    let key = at.load_or_init_key(ATTEST_DEFAULT_KEY_SEED);
+    at.ensure_layout(&key);
+    draft.material("registry:index", hash_bytes(reg.render_index().as_bytes()));
+    draft.material("env:fingerprint", Environment::capture().fingerprint());
+    if let Some(c) = cache {
+        let ids: Vec<String> = draft
+            .products
+            .keys()
+            .filter_map(|n| n.strip_prefix("run:"))
+            .map(str::to_string)
+            .collect();
+        for id in ids {
+            if let Some(entry) = reg.get(&id) {
+                let file = run_entry_file(&id, draft.seed, &params_of(&id, entry.defaults.clone()));
+                draft.absorb_cache_entry(c, &id, &file);
+            }
+        }
+    }
+    if let Some(tr) = trace {
+        draft.product(
+            format!("trace:{}", tr.file_name()),
+            hash_bytes(tr.render_events().as_bytes()),
+        );
+    }
+    match at.store().append(&key, draft) {
+        Ok((path, link)) => println!(
+            "attest: {} link {} ({} material(s), {} product(s), mac {:#018x})",
+            link.step,
+            path.display(),
+            link.materials.len(),
+            link.products.len(),
+            link.mac
+        ),
+        Err(e) => {
+            eprintln!("attest: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `treu attest <init|show|verify|badge> --attest-dir DIR [--attest-key
+/// FILE] [--cache-dir DIR] [--trace-out DIR] [--enforce]` — attestation
+/// chain operations. `init` provisions the key and layout, `show` prints
+/// the chain, `verify` walks it (exit 1 names the first broken step),
+/// and `badge` turns a verified chain into an ACM-style badge
+/// evaluation, appending the result as the final link.
+fn run_attest_cmd(
+    args: &[String],
+    reg: &ExperimentRegistry,
+    attest: Option<&AttestOpts>,
+    cache: Option<&RunCache>,
+    trace_out: Option<&Path>,
+    sup: &Supervision,
+) {
+    fn usage() -> ! {
+        eprintln!(
+            "usage: treu attest <init|show|verify|badge> --attest-dir DIR \
+             [--attest-key FILE] [--cache-dir DIR] [--trace-out DIR] [--enforce] [seed]"
+        );
+        std::process::exit(2);
+    }
+    let Some(at) = attest else {
+        eprintln!("attest: --attest-dir DIR is required");
+        usage();
+    };
+    let store = at.store();
+    let exit_on = |e: std::io::Error| -> ! {
+        eprintln!("attest: {e}");
+        std::process::exit(2);
+    };
+    // The re-hash context: current registry/environment values always,
+    // artifact directories when the caller names them.
+    let ctx = VerifyContext {
+        cache_dir: cache.map(|c| c.dir()),
+        trace_dir: trace_out,
+        registry_index_hash: Some(hash_bytes(reg.render_index().as_bytes())),
+        env_fingerprint: Some(Environment::capture().fingerprint()),
+    };
+    match args.first().map(String::as_str) {
+        Some("init") => {
+            let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(ATTEST_DEFAULT_KEY_SEED);
+            let key = at.load_or_init_key(seed);
+            at.ensure_layout(&key);
+            let layout = store.load_layout().unwrap_or_else(|e| exit_on(e));
+            if !layout.mac_ok(&key) {
+                eprintln!(
+                    "attest: existing layout is sealed under key {:#018x}, not {:#018x}",
+                    layout.key_fingerprint,
+                    key.fingerprint()
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "attest: {} initialized (key fingerprint {:#018x}, layout mac {:#018x}, {} step(s))",
+                store.dir().display(),
+                key.fingerprint(),
+                layout.mac,
+                layout.steps.len()
+            );
+        }
+        Some("show") => {
+            let layout = store.load_layout().unwrap_or_else(|e| exit_on(e));
+            print!("{}", layout.render());
+            let files = store.link_files().unwrap_or_else(|e| exit_on(e));
+            for (file, text) in &files {
+                match Link::parse(text) {
+                    Some(l) => println!(
+                        "{file}: step {} seed {} prev {:#018x} mac {:#018x} \
+                         ({} material(s), {} product(s))",
+                        l.step,
+                        l.seed,
+                        l.prev,
+                        l.mac,
+                        l.materials.len(),
+                        l.products.len()
+                    ),
+                    None => println!("{file}: UNPARSEABLE"),
+                }
+            }
+            println!("{} link(s)", files.len());
+        }
+        Some("verify") => {
+            let key = at.require_key();
+            let report = verify_chain(&store, &key, &ctx);
+            print!("{}", report.render());
+            if !report.ok() {
+                std::process::exit(1);
+            }
+            if sup.enforce && report.links() == 0 {
+                eprintln!("attest: --enforce requires a non-empty chain (nothing was attested)");
+                std::process::exit(1);
+            }
+        }
+        Some("badge") => {
+            let key = at.require_key();
+            let chain = verify_chain(&store, &key, &ctx);
+            if !chain.ok() {
+                print!("{}", chain.render());
+                eprintln!("attest: chain is broken; refusing to badge tampered evidence");
+                std::process::exit(1);
+            }
+            // The latest verify link carries the rerun evidence the
+            // badge ladder needs.
+            let files = store.link_files().unwrap_or_else(|e| exit_on(e));
+            let verify_link = files
+                .iter()
+                .rev()
+                .find_map(|(_, text)| Link::parse(text).filter(|l| l.step == "verify"));
+            let Some(vl) = verify_link else {
+                eprintln!(
+                    "attest: no verify link in the chain; \
+                     run `treu verify --attest-dir ...` first"
+                );
+                std::process::exit(1);
+            };
+            let reproduced = vl.products.keys().filter(|n| n.starts_with("run:")).count();
+            let measured = reproduced as f64 / reg.len() as f64;
+            let artifact = Artifact::new("treu", env!("CARGO_PKG_VERSION"))
+                .with_code("harness", "rust", true, true)
+                .with_doc("DESIGN.md", &["R1"])
+                .with_claim("R1", "every registry experiment reproduces bitwise", 0.0);
+            let checks = vec![ClaimCheck { claim_id: "R1".into(), claimed: 1.0, measured }];
+            let eval = evaluate(&artifact, true, &checks);
+            let mut rendered = String::new();
+            for b in &eval.awarded {
+                rendered.push_str(&format!("awarded {b:?}\n"));
+            }
+            for w in &eval.withheld {
+                rendered.push_str(&format!("withheld {w}\n"));
+            }
+            print!("{rendered}");
+            let mut d = LinkDraft::new("badge", vl.seed);
+            for (name, addr) in vl.products.iter().filter(|(n, _)| n.starts_with("run:")) {
+                d.material(name.clone(), *addr);
+            }
+            d.product("badge:evaluation", hash_bytes(rendered.as_bytes()));
+            match store.append(&key, d) {
+                Ok((path, link)) => println!(
+                    "attest: badge link {} ({} material(s), mac {:#018x})",
+                    path.display(),
+                    link.materials.len(),
+                    link.mac
+                ),
+                Err(e) => exit_on(e),
+            }
+            if sup.enforce && !eval.has(Badge::ResultsReproduced) {
+                eprintln!("attest: --enforce requires the ResultsReproduced badge");
+                std::process::exit(1);
+            }
+        }
+        _ => usage(),
     }
 }
 

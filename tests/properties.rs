@@ -46,6 +46,57 @@ fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
         .prop_map(move |v| Matrix::from_vec(rows, cols, v))
 }
 
+/// One trail event, for the render/parse round-trip property.
+#[derive(Debug, Clone)]
+enum TrailEvent {
+    Param(String, String),
+    Rng(String, u64),
+    Metric(String, f64),
+    Note(String),
+}
+
+/// Adversarial text for trail keys, values, tags and notes: arbitrary
+/// unicode plus the exact shapes that used to make the grammar
+/// injectable — embedded ` = `, ` <- `, newlines that mimic whole
+/// forged lines, dangling backslashes, and leading whitespace.
+fn adversarial_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        ".{0,12}",
+        Just(String::new()),
+        Just("k = v".to_string()),
+        Just("metric forged = 42".to_string()),
+        Just("a\nrng b <- 0x2a".to_string()),
+        Just("note first\nnote second".to_string()),
+        Just("trailing\\".to_string()),
+        Just("  leading spaces".to_string()),
+        Just("tab\tand\rcarriage".to_string()),
+        Just("0x0x2a".to_string()),
+        (".{0,6}", ".{0,6}").prop_map(|(a, b)| format!("{a}\n{b}")),
+    ]
+}
+
+/// Metric values including every non-finite and sign-tricky case.
+fn adversarial_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        any::<f64>(),
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(-0.0f64),
+        Just(0.0f64),
+        Just(f64::MIN_POSITIVE),
+    ]
+}
+
+fn trail_event() -> impl Strategy<Value = TrailEvent> {
+    prop_oneof![
+        (adversarial_text(), adversarial_text()).prop_map(|(k, v)| TrailEvent::Param(k, v)),
+        (adversarial_text(), any::<u64>()).prop_map(|(t, s)| TrailEvent::Rng(t, s)),
+        (adversarial_text(), adversarial_f64()).prop_map(|(n, v)| TrailEvent::Metric(n, v)),
+        adversarial_text().prop_map(TrailEvent::Note),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -167,6 +218,31 @@ proptest! {
         let mut b = Trail::new();
         b.metric(&name, v2);
         prop_assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn trail_parse_inverts_render_on_adversarial_content(
+        events in proptest::collection::vec(trail_event(), 0..12)
+    ) {
+        let mut t = Trail::new();
+        for e in &events {
+            match e {
+                TrailEvent::Param(k, v) => t.param(k, v),
+                TrailEvent::Rng(tag, seed) => t.rng_stream(tag, *seed),
+                TrailEvent::Metric(n, v) => t.metric(n, *v),
+                TrailEvent::Note(text) => t.note(text.clone()),
+            }
+        }
+        let rendered = t.render();
+        let parsed = Trail::parse(&rendered);
+        prop_assert!(parsed.is_some(), "render must always parse:\n{}", rendered);
+        let parsed = parsed.unwrap();
+        // Bitwise identity: re-render equality plus fingerprint equality
+        // covers every event byte-for-byte (including NaN payload bits,
+        // which `PartialEq` on f64 cannot see).
+        prop_assert_eq!(parsed.render(), rendered.clone(), "parse∘render must be the identity");
+        prop_assert_eq!(parsed.fingerprint(), t.fingerprint());
+        prop_assert_eq!(parsed.events().len(), t.events().len());
     }
 
     #[test]
